@@ -1,0 +1,211 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//!
+//! * the term-level distance cache (memoised vs. cold per pair),
+//! * the similarity measure vs. the related-work baselines
+//!   (Example 3 overlap, DELPHI containment, unweighted sim),
+//! * parallel pairwise comparison (1 vs. 4 worker threads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dogmatix_bench::CdFixture;
+use dogmatix_core::baseline::{delphi_containment, overlap_fraction, unweighted_sim};
+use dogmatix_core::heuristics::{table4_heuristic, HeuristicExpr};
+use dogmatix_core::od::OdSet;
+use dogmatix_core::pipeline::DogmatixConfig;
+use dogmatix_core::sim::{DistCache, SimEngine};
+use std::collections::HashMap;
+
+fn fixture_ods(n: usize) -> (CdFixture, OdSet) {
+    let fixture = CdFixture::dataset1(n);
+    let heuristic = HeuristicExpr::k_closest_descendants(6);
+    let disc = fixture
+        .schema
+        .find_by_path(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
+        .unwrap();
+    let mut selections = HashMap::new();
+    selections.insert(
+        dogmatix_datagen::cd::CD_CANDIDATE_PATH.to_string(),
+        heuristic.select_paths(&fixture.schema, disc),
+    );
+    let candidates = fixture
+        .doc
+        .select(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
+        .unwrap();
+    let ods = OdSet::build(&fixture.doc, &candidates, &selections, &fixture.mapping);
+    (fixture, ods)
+}
+
+fn bench_distance_cache(c: &mut Criterion) {
+    let (_, ods) = fixture_ods(80);
+    let engine = SimEngine::new(&ods, 0.15);
+    let n = ods.len();
+    let mut group = c.benchmark_group("distance_cache");
+    group.sample_size(10);
+
+    group.bench_function("shared_cache", |b| {
+        b.iter(|| {
+            let mut cache = DistCache::new();
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    acc += engine.sim(i, j, &mut cache);
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("cold_cache_per_pair", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let mut cache = DistCache::new();
+                    acc += engine.sim(i, j, &mut cache);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let (_, ods) = fixture_ods(80);
+    let engine = SimEngine::new(&ods, 0.15);
+    let n = ods.len();
+    let mut group = c.benchmark_group("similarity_measures");
+    group.sample_size(10);
+
+    group.bench_function("dogmatix_sim", |b| {
+        let mut cache = DistCache::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    acc += engine.sim(i, j, &mut cache);
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("unweighted_sim", |b| {
+        let mut cache = DistCache::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    acc += unweighted_sim(&ods, i, j, 0.15, &mut cache);
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("delphi_containment", |b| {
+        let mut cache = DistCache::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    acc += delphi_containment(&ods, i, j, 0.15, &mut cache);
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("overlap_fraction", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    acc += overlap_fraction(&ods, i, j);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let fixture = CdFixture::dataset1(150);
+    let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
+    let mut group = c.benchmark_group("parallel_comparison");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let dx = dogmatix_core::pipeline::Dogmatix::new(
+            DogmatixConfig {
+                threads,
+                ..dogmatix_eval::setup::paper_config(heuristic.clone())
+            },
+            fixture.mapping.clone(),
+        );
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                dx.run(&fixture.doc, &fixture.schema, dogmatix_eval::setup::CD_TYPE)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning_methods(c: &mut Criterion) {
+    // Framework Definition 4 admits filtering AND clustering/windowing
+    // pruning methods: compare the object filter against single- and
+    // multi-pass sorted neighborhood.
+    let (_, ods) = fixture_ods(150);
+    let mut group = c.benchmark_group("pruning_methods");
+    group.sample_size(10);
+    group.bench_function("object_filter", |b| {
+        b.iter(|| dogmatix_core::filter::object_filter(&ods, 0.15, 0.55))
+    });
+    group.bench_function("sorted_neighborhood_w10", |b| {
+        b.iter(|| dogmatix_core::neighborhood::sorted_neighborhood(&ods, 10))
+    });
+    group.bench_function("multipass_neighborhood_w10_p3", |b| {
+        b.iter(|| dogmatix_core::neighborhood::multipass_sorted_neighborhood(&ods, 10, 3))
+    });
+    group.finish();
+}
+
+fn bench_tree_edit_distance(c: &mut Criterion) {
+    // The Section 5 outlook's alternative measure: TED cost per candidate
+    // pair vs the OD-based sim.
+    let fixture = CdFixture::dataset1(30);
+    let candidates = fixture
+        .doc
+        .select(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
+        .unwrap();
+    let mut group = c.benchmark_group("tree_edit_distance");
+    group.sample_size(10);
+    group.bench_function("ted_30_candidates_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..candidates.len() {
+                for j in (i + 1)..candidates.len() {
+                    acc += dogmatix_xml::treedist::tree_similarity(
+                        &fixture.doc,
+                        candidates[i],
+                        &fixture.doc,
+                        candidates[j],
+                    );
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance_cache,
+    bench_measures,
+    bench_parallelism,
+    bench_pruning_methods,
+    bench_tree_edit_distance
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Edit-distance microbenches: the ablation of the \[18\] bound trick.
+//!
+//! `ned_within` (length bound → bag bound → banded Levenshtein) vs. the
+//! naive full `ned` on the value distribution the pipeline actually
+//! compares (CD titles/artists with occasional near-duplicates).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dogmatix_datagen::cd::{generate_cds, CdCorpusConfig};
+use dogmatix_textsim::{levenshtein, levenshtein_bounded, ned, ned_within};
+
+fn value_pairs(n: usize) -> Vec<(String, String)> {
+    let cds = generate_cds(&CdCorpusConfig {
+        n,
+        ..Default::default()
+    });
+    let mut pairs = Vec::new();
+    for i in 0..cds.len() {
+        let j = (i * 7 + 13) % cds.len();
+        pairs.push((cds[i].title.clone(), cds[j].title.clone()));
+        pairs.push((cds[i].artist.clone(), cds[j].artist.clone()));
+    }
+    pairs
+}
+
+fn bench_editdist(c: &mut Criterion) {
+    let pairs = value_pairs(200);
+    let mut group = c.benchmark_group("editdist");
+
+    group.bench_function("ned_full", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (x, y) in &pairs {
+                acc += ned(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("ned_within_bounds_theta_0.15", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (x, y) in &pairs {
+                if ned_within(black_box(x), black_box(y), 0.15).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    group.bench_function("levenshtein_full", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (x, y) in &pairs {
+                acc += levenshtein(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("levenshtein_banded_max_2", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (x, y) in &pairs {
+                if levenshtein_bounded(black_box(x), black_box(y), 2).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_editdist);
+criterion_main!(benches);

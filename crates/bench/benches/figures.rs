@@ -1,0 +1,44 @@
+//! One bench per paper figure: regenerating each experiment at reduced
+//! scale, so `cargo bench` both times the harness and re-validates that
+//! every figure's pipeline still runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig5_exp1_k6_n60", |b| {
+        b.iter(|| dogmatix_eval::fig5::run(42, 60, &[1], &[6]))
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig6_exp2_r2_n60", |b| {
+        b.iter(|| dogmatix_eval::fig6::run(42, 60, &[2], &[2]))
+    });
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig7_n400", |b| {
+        b.iter(|| dogmatix_eval::fig7::run(42, 400, 10, 6, &[0.55, 0.85]))
+    });
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig8_n120_three_fractions", |b| {
+        b.iter(|| dogmatix_eval::fig8::run(42, 120, &[0.0, 0.5, 0.9]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5, bench_fig6, bench_fig7, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! End-to-end pipeline scaling: detection wall time vs. corpus size
+//! (the paper's outlook names efficiency as future work — this bench
+//! tracks where our implementation stands).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dogmatix_bench::CdFixture;
+use dogmatix_core::heuristics::{table4_heuristic, HeuristicExpr};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_scaling");
+    group.sample_size(10);
+    let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
+    for n in [50usize, 100, 200] {
+        let fixture = CdFixture::dataset1(n);
+        let dx = fixture.detector(heuristic.clone(), true);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                dx.run(&fixture.doc, &fixture.schema, dogmatix_eval::setup::CD_TYPE)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

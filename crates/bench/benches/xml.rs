@@ -1,0 +1,37 @@
+//! XML substrate benches: parser throughput, XPath selection, schema
+//! inference, and serialisation on a realistic corpus document.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dogmatix_datagen::datasets::dataset1_sized;
+use dogmatix_xml::{Document, Schema};
+
+fn bench_xml(c: &mut Criterion) {
+    let (doc, _) = dataset1_sized(42, 250);
+    let xml = doc.to_xml();
+
+    let mut group = c.benchmark_group("xml");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("parse_corpus", |b| {
+        b.iter(|| Document::parse(black_box(&xml)).unwrap())
+    });
+    group.bench_function("serialize_corpus", |b| b.iter(|| black_box(&doc).to_xml()));
+    group.finish();
+
+    let mut group = c.benchmark_group("xml_ops");
+    group.bench_function("xpath_select_candidates", |b| {
+        b.iter(|| doc.select("/discs/disc").unwrap().len())
+    });
+    group.bench_function("xpath_descendant_axis", |b| {
+        b.iter(|| doc.select("//title").unwrap().len())
+    });
+    group.bench_function("xpath_value_predicate", |b| {
+        b.iter(|| doc.select("/discs/disc[genre='Rock']/title").unwrap().len())
+    });
+    group.bench_function("schema_inference", |b| {
+        b.iter(|| Schema::infer(black_box(&doc)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xml);
+criterion_main!(benches);

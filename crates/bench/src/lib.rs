@@ -1,0 +1,46 @@
+//! Shared fixtures for the criterion benches: pre-built datasets and
+//! detector configurations so individual benches measure the pipeline
+//! stage under test rather than corpus generation.
+
+use dogmatix_core::heuristics::HeuristicExpr;
+use dogmatix_core::mapping::Mapping;
+use dogmatix_core::pipeline::{Dogmatix, DogmatixConfig};
+use dogmatix_datagen::datasets::dataset1_sized;
+use dogmatix_datagen::GoldStandard;
+use dogmatix_xml::{Document, Schema};
+
+/// A ready-to-run Dataset 1 fixture.
+pub struct CdFixture {
+    /// The corpus document.
+    pub doc: Document,
+    /// Ground truth.
+    pub gold: GoldStandard,
+    /// The CD schema.
+    pub schema: Schema,
+    /// The CD mapping.
+    pub mapping: Mapping,
+}
+
+impl CdFixture {
+    /// Builds Dataset 1 at `n` originals.
+    pub fn dataset1(n: usize) -> Self {
+        let (doc, gold) = dataset1_sized(42, n);
+        CdFixture {
+            doc,
+            gold,
+            schema: dogmatix_eval::setup::cd_schema(),
+            mapping: dogmatix_eval::setup::cd_mapping(),
+        }
+    }
+
+    /// A detector with the paper's thresholds and the given heuristic.
+    pub fn detector(&self, heuristic: HeuristicExpr, use_filter: bool) -> Dogmatix {
+        Dogmatix::new(
+            DogmatixConfig {
+                use_filter,
+                ..dogmatix_eval::setup::paper_config(heuristic)
+            },
+            self.mapping.clone(),
+        )
+    }
+}

@@ -1,0 +1,257 @@
+//! Self-configuration heuristics (the paper's outlook, Section 8).
+//!
+//! Two pieces of expert input remain in DogmatiX: *which elements are
+//! candidates* and *which heuristic/parameters to use*. The paper names
+//! both as future work:
+//!
+//! * "we intend to explore methods to determine candidates automatically,
+//!   e.g., by searching for primary element types" — [`suggest_candidates`]
+//!   ranks schema elements by how object-like they are (repeating,
+//!   complex content, several simple-typed describing children),
+//! * "future investigation will include automating the choice of a good
+//!   heuristic by exploiting the XML Schema and statistics about the
+//!   data" — [`recommend_k`] grows the k-closest selection while the
+//!   marginal identifying power (average IDF of the added element's
+//!   values) stays high, stopping exactly where the paper's Figure 5
+//!   analysis says descriptions stop improving.
+
+use crate::heuristics::HeuristicExpr;
+use crate::mapping::Mapping;
+use crate::od::OdSet;
+use dogmatix_textsim::idf;
+use dogmatix_xml::{Document, Schema, SchemaNodeId};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// A candidate-element suggestion with its score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateSuggestion {
+    /// Schema path of the suggested element.
+    pub path: String,
+    /// Heuristic score (higher = more object-like).
+    pub score: f64,
+}
+
+/// Ranks schema elements by how likely they represent identifiable
+/// real-world objects. Scoring favours elements that
+///
+/// * may repeat (`maxOccurs > 1` — objects come in collections),
+/// * have complex content (objects are described by parts, not text),
+/// * own at least two simple-typed children (enough data to compare),
+/// * sit shallow in the tree (top-level entities rather than details).
+pub fn suggest_candidates(schema: &Schema) -> Vec<CandidateSuggestion> {
+    let mut out = Vec::new();
+    for node in schema.all_nodes() {
+        let n = schema.node(node);
+        if !matches!(n.content(), dogmatix_xml::ContentModel::Complex) {
+            continue;
+        }
+        let repeats = !schema.is_singleton(node);
+        let simple_children = schema
+            .children(node)
+            .iter()
+            .filter(|c| schema.has_text(**c))
+            .count();
+        if simple_children < 2 {
+            continue;
+        }
+        let depth = schema.depth(node);
+        let score = (simple_children as f64).min(6.0)
+            + if repeats { 4.0 } else { 0.0 }
+            + 3.0 / (1.0 + depth as f64);
+        out.push(CandidateSuggestion {
+            path: schema.path(node),
+            score,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    out
+}
+
+/// Statistics about one description element's identifying power over a
+/// document sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementStats {
+    /// Schema path of the element.
+    pub path: String,
+    /// Average IDF of its values across the candidate sample (0 when the
+    /// element never carries data).
+    pub mean_idf: f64,
+    /// Fraction of candidates in which the element carries a value.
+    pub coverage: f64,
+}
+
+/// Measures the identifying power of every element the `hkd` heuristic
+/// would add, in breadth-first (k) order.
+pub fn element_stats(
+    doc: &Document,
+    schema: &Schema,
+    mapping: &Mapping,
+    candidate_path: &str,
+    max_k: usize,
+) -> Vec<ElementStats> {
+    let Some(e0) = schema.find_by_path(candidate_path) else {
+        return Vec::new();
+    };
+    let order: Vec<SchemaNodeId> = schema.breadth_first(e0).into_iter().take(max_k).collect();
+    let candidates = doc.select(candidate_path).unwrap_or_default();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    // One OdSet with everything selected: per-path stats fall out of the
+    // interned terms.
+    let all_paths: BTreeSet<String> = order.iter().map(|n| schema.path(*n)).collect();
+    let mut selections = HashMap::new();
+    selections.insert(candidate_path.to_string(), all_paths);
+    let ods = OdSet::build(doc, &candidates, &selections, mapping);
+    let total = ods.len();
+
+    order
+        .iter()
+        .map(|node| {
+            let path = schema.path(*node);
+            let mut idf_sum = 0.0;
+            let mut count = 0usize;
+            let mut covered = 0usize;
+            for od in &ods.ods {
+                let mut has = false;
+                for t in &od.tuples {
+                    if t.path == path {
+                        has = true;
+                        idf_sum += idf(total, ods.term(t.term).postings.len());
+                        count += 1;
+                    }
+                }
+                if has {
+                    covered += 1;
+                }
+            }
+            ElementStats {
+                path,
+                mean_idf: if count > 0 { idf_sum / count as f64 } else { 0.0 },
+                coverage: covered as f64 / total as f64,
+            }
+        })
+        .collect()
+}
+
+/// Recommends a `k` for the k-closest heuristic: grow the description
+/// while added elements contribute identifying power, stop once an
+/// element's contribution (mean IDF × coverage) falls below
+/// `min_gain` — after at least two informative elements are in.
+///
+/// Returns the recommended heuristic and the stats it was based on.
+pub fn recommend_k(
+    doc: &Document,
+    schema: &Schema,
+    mapping: &Mapping,
+    candidate_path: &str,
+    max_k: usize,
+    min_gain: f64,
+) -> (HeuristicExpr, Vec<ElementStats>) {
+    let stats = element_stats(doc, schema, mapping, candidate_path, max_k);
+    let mut k = 0usize;
+    let mut informative = 0usize;
+    for (i, s) in stats.iter().enumerate() {
+        let gain = s.mean_idf * s.coverage;
+        if gain >= min_gain {
+            k = i + 1;
+            informative += 1;
+        } else if informative >= 2 {
+            // Stop at the first weak element after a solid core — the
+            // Figure 5 lesson: adding low-IDF data stops helping and
+            // eventually hurts.
+            break;
+        } else {
+            k = i + 1; // still building the core, keep going
+        }
+    }
+    (HeuristicExpr::k_closest_descendants(k.max(1)), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dogmatix_datagen::cd::{CD_CANDIDATE_PATH, CD_XSD};
+    use dogmatix_datagen::datasets::dataset1_sized;
+
+    #[test]
+    fn cd_schema_suggests_disc_first() {
+        let schema = Schema::parse_xsd(CD_XSD).unwrap();
+        let suggestions = suggest_candidates(&schema);
+        assert!(!suggestions.is_empty());
+        assert_eq!(suggestions[0].path, "/discs/disc");
+    }
+
+    #[test]
+    fn movie_schema_suggests_movie_over_actor() {
+        let doc = Document::parse(
+            "<moviedoc>\
+               <movie><title>A</title><year>1999</year>\
+                 <actor><name>X</name><role>R</role></actor></movie>\
+               <movie><title>B</title><year>2000</year>\
+                 <actor><name>Y</name><role>S</role></actor>\
+                 <actor><name>Z</name><role>T</role></actor></movie>\
+             </moviedoc>",
+        )
+        .unwrap();
+        let schema = Schema::infer(&doc).unwrap();
+        let suggestions = suggest_candidates(&schema);
+        let movie_rank = suggestions.iter().position(|s| s.path == "/moviedoc/movie");
+        let actor_rank = suggestions
+            .iter()
+            .position(|s| s.path == "/moviedoc/movie/actor");
+        assert!(movie_rank.is_some());
+        assert!(movie_rank < actor_rank || actor_rank.is_none());
+    }
+
+    #[test]
+    fn stats_rank_title_above_genre() {
+        let (doc, _) = dataset1_sized(5, 60);
+        let schema = Schema::parse_xsd(CD_XSD).unwrap();
+        let mapping = crate::Mapping::new();
+        let stats = element_stats(&doc, &schema, &mapping, CD_CANDIDATE_PATH, 8);
+        let get = |p: &str| stats.iter().find(|s| s.path == p).unwrap();
+        let title = get("/discs/disc/title");
+        let genre = get("/discs/disc/genre");
+        assert!(
+            title.mean_idf > genre.mean_idf,
+            "title idf {} vs genre idf {}",
+            title.mean_idf,
+            genre.mean_idf
+        );
+        // The complex tracks element carries no direct text.
+        assert_eq!(get("/discs/disc/tracks").coverage, 0.0);
+    }
+
+    #[test]
+    fn recommended_k_lands_in_the_plateau() {
+        // Figure 5's plateau is 3 ≤ k ≤ 7: the recommender must include
+        // the high-IDF did/artist/title core and stop before (or at) the
+        // low-value tail.
+        let (doc, _) = dataset1_sized(5, 60);
+        let schema = Schema::parse_xsd(CD_XSD).unwrap();
+        let mapping = crate::Mapping::new();
+        let (h, stats) = recommend_k(&doc, &schema, &mapping, CD_CANDIDATE_PATH, 8, 2.0);
+        assert!(!stats.is_empty());
+        match h {
+            HeuristicExpr::KClosestDescendants { k } => {
+                assert!((3..=7).contains(&k), "recommended k = {k}");
+            }
+            other => panic!("expected hkd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_candidate_path_yields_empty_stats() {
+        let (doc, _) = dataset1_sized(5, 10);
+        let schema = Schema::parse_xsd(CD_XSD).unwrap();
+        let stats = element_stats(&doc, &schema, &crate::Mapping::new(), "/nope", 8);
+        assert!(stats.is_empty());
+    }
+}

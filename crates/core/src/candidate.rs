@@ -1,0 +1,122 @@
+//! Candidate definition and the candidate query (framework Section 2.1,
+//! detection Step 1).
+//!
+//! The duplicate candidates of a real-world type `T` are the union of all
+//! instances of the schema elements mapped to `T` (Definition 1):
+//! `Ω_T = ⋃ O_i^T`. Candidates are returned in document order, so indices
+//! are stable across runs.
+
+use crate::error::DogmatixError;
+use crate::mapping::Mapping;
+use dogmatix_xml::{Document, NodeId, Schema};
+
+/// The resolved candidate set for one real-world type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateSet {
+    /// Real-world type name.
+    pub rw_type: String,
+    /// Schema-element paths contributing candidates (`S_T`).
+    pub schema_paths: Vec<String>,
+    /// Candidate element nodes in document order (`Ω_T`).
+    pub nodes: Vec<NodeId>,
+}
+
+/// Step 1 — candidate query formulation and execution: selects all
+/// instances of each schema element mapped to `rw_type`.
+///
+/// Fails if the type is unknown or if a mapped path does not exist in the
+/// schema (catching mapping typos early, before an empty run).
+pub fn select_candidates(
+    doc: &Document,
+    schema: &Schema,
+    mapping: &Mapping,
+    rw_type: &str,
+) -> Result<CandidateSet, DogmatixError> {
+    let paths = mapping
+        .paths_of(rw_type)
+        .ok_or_else(|| DogmatixError::UnknownType {
+            name: rw_type.to_string(),
+        })?;
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for path in paths {
+        if schema.find_by_path(path).is_none() {
+            return Err(DogmatixError::PathNotInSchema { path: path.clone() });
+        }
+        nodes.extend(doc.select(path)?);
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    Ok(CandidateSet {
+        rw_type: rw_type.to_string(),
+        schema_paths: paths.to_vec(),
+        nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dogmatix_xml::Document;
+
+    fn setup() -> (Document, Schema, Mapping) {
+        let doc = Document::parse(
+            "<db><movie><t>A</t></movie><film><t>B</t></film><movie><t>C</t></movie>\
+             <actor><n>X</n></actor></db>",
+        )
+        .unwrap();
+        let schema = Schema::infer(&doc).unwrap();
+        let mut m = Mapping::new();
+        m.add_type("motion-pic", ["/db/movie", "/db/film"]);
+        m.add_type("ACTOR", ["/db/actor"]);
+        (doc, schema, m)
+    }
+
+    #[test]
+    fn union_across_schema_elements() {
+        // Example 1 of the paper: Ω_motion-pic spans Movie and Film.
+        let (doc, schema, m) = setup();
+        let set = select_candidates(&doc, &schema, &m, "motion-pic").unwrap();
+        assert_eq!(set.nodes.len(), 3);
+        assert_eq!(set.schema_paths.len(), 2);
+        // Document order.
+        let names: Vec<_> = set.nodes.iter().map(|n| doc.name(*n).unwrap()).collect();
+        assert_eq!(names, vec!["movie", "film", "movie"]);
+    }
+
+    #[test]
+    fn types_do_not_mix() {
+        let (doc, schema, m) = setup();
+        let actors = select_candidates(&doc, &schema, &m, "ACTOR").unwrap();
+        assert_eq!(actors.nodes.len(), 1);
+    }
+
+    #[test]
+    fn unknown_type_errors() {
+        let (doc, schema, m) = setup();
+        let e = select_candidates(&doc, &schema, &m, "NOSUCH").unwrap_err();
+        assert!(matches!(e, DogmatixError::UnknownType { .. }));
+    }
+
+    #[test]
+    fn mapped_path_missing_from_schema_errors() {
+        let (doc, schema, mut m) = setup();
+        m.add_type("BROKEN", ["/db/nosuchelement"]);
+        let e = select_candidates(&doc, &schema, &m, "BROKEN").unwrap_err();
+        assert!(matches!(e, DogmatixError::PathNotInSchema { .. }));
+    }
+
+    #[test]
+    fn empty_candidate_set_is_ok() {
+        // A path valid in the schema may have zero instances in this doc.
+        let doc = Document::parse("<db><movie><t>A</t></movie></db>").unwrap();
+        let schema = {
+            let full = Document::parse("<db><movie><t>A</t></movie><film><t>B</t></film></db>")
+                .unwrap();
+            Schema::infer(&full).unwrap()
+        };
+        let mut m = Mapping::new();
+        m.add_type("FILM", ["/db/film"]);
+        let set = select_candidates(&doc, &schema, &m, "FILM").unwrap();
+        assert!(set.nodes.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Duplicate clustering via transitive closure (detection Step 6).
+//!
+//! "The relationship is-duplicate-of is transitive… the pairs can be
+//! combined to duplicate clusters through transitivity." Implemented with
+//! a union-find (disjoint-set) structure with path halving and union by
+//! size.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let grandparent = self.parent[self.parent[x] as usize];
+            self.parent[x] = grandparent;
+            x = grandparent as usize;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Builds duplicate clusters from detected pairs over `n` candidates.
+///
+/// Returns only clusters with at least two members (singletons are not
+/// duplicates of anything), each sorted, in order of smallest member.
+pub fn clusters_from_pairs(n: usize, pairs: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(n);
+    for (a, b) in pairs {
+        uf.union(*a, *b);
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups
+        .into_values()
+        .filter(|g| g.len() >= 2)
+        .collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitivity_merges_chains() {
+        // o1~o2, o2~o3 → {o1, o2, o3} (the paper's Step 6 example).
+        let clusters = clusters_from_pairs(5, &[(0, 1), (1, 2)]);
+        assert_eq!(clusters, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn independent_clusters_stay_apart() {
+        let clusters = clusters_from_pairs(6, &[(0, 1), (3, 4)]);
+        assert_eq!(clusters, vec![vec![0, 1], vec![3, 4]]);
+    }
+
+    #[test]
+    fn singletons_are_dropped() {
+        let clusters = clusters_from_pairs(4, &[]);
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn duplicate_pairs_are_idempotent() {
+        let clusters = clusters_from_pairs(3, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(clusters, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn union_find_invariants() {
+        let mut uf = UnionFind::new(10);
+        assert!(uf.union(0, 5));
+        assert!(!uf.union(5, 0), "already merged");
+        assert!(uf.connected(0, 5));
+        assert!(!uf.connected(0, 1));
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        for i in 0..10 {
+            assert!(uf.connected(0, i));
+        }
+    }
+
+    #[test]
+    fn everything_connected_forms_one_cluster() {
+        let pairs: Vec<(usize, usize)> = (0..99).map(|i| (i, i + 1)).collect();
+        let clusters = clusters_from_pairs(100, &pairs);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 100);
+    }
+}

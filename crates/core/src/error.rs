@@ -1,0 +1,79 @@
+//! Error type of the core crate.
+
+use std::fmt;
+
+/// Errors produced while configuring or running DogmatiX.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DogmatixError {
+    /// A problem in the underlying XML substrate (parse, XPath, schema).
+    Xml(dogmatix_xml::XmlError),
+    /// A real-world type referenced by the caller is not in the mapping.
+    UnknownType {
+        /// The missing type name.
+        name: String,
+    },
+    /// A mapped XPath does not exist in the schema.
+    PathNotInSchema {
+        /// The offending path.
+        path: String,
+    },
+    /// Invalid configuration (e.g. thresholds outside `[0, 1]`).
+    Config {
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DogmatixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DogmatixError::Xml(e) => write!(f, "{e}"),
+            DogmatixError::UnknownType { name } => {
+                write!(f, "real-world type '{name}' is not defined in the mapping")
+            }
+            DogmatixError::PathNotInSchema { path } => {
+                write!(f, "mapped path '{path}' does not exist in the schema")
+            }
+            DogmatixError::Config { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DogmatixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DogmatixError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dogmatix_xml::XmlError> for DogmatixError {
+    fn from(e: dogmatix_xml::XmlError) -> Self {
+        DogmatixError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DogmatixError::UnknownType {
+            name: "MOVIE".into(),
+        };
+        assert!(e.to_string().contains("MOVIE"));
+        let e = DogmatixError::Config {
+            message: "theta out of range".into(),
+        };
+        assert!(e.to_string().contains("theta"));
+    }
+
+    #[test]
+    fn xml_errors_convert() {
+        let xe = dogmatix_xml::Document::parse("<a>").unwrap_err();
+        let de: DogmatixError = xe.into();
+        assert!(matches!(de, DogmatixError::Xml(_)));
+    }
+}

@@ -1,0 +1,289 @@
+//! The object filter `f` for comparison reduction (paper Section 5.2,
+//! detection Step 4).
+//!
+//! `f(OD_i)` measures "the amount of information OD_i shares with any
+//! other OD_j, compared to the amount of information unique to OD_i"
+//! (Equation 9):
+//!
+//! ```text
+//! f(OD_i) = setSoftIDF(S_shared) / (setSoftIDF(S_unique) + setSoftIDF(S_shared))
+//! ```
+//!
+//! Because `f` upper-bounds the similarity of `OD_i` with *every* other
+//! object, `f(OD_i) ≤ θ_cand` proves that `OD_i` has no duplicate at all,
+//! and **all** pairs involving it are pruned in one step — the paper:
+//! "we filter not only individual pairs of candidates, but entire sets of
+//! pairs in a single step".
+//!
+//! ### Implementation
+//!
+//! The filter is computed on the interned term table in two passes:
+//!
+//! 1. **term-family discovery** — for every distinct term, find the
+//!    ned-similar terms of the same real-world type (length-bucketed scan
+//!    with the \[18\] bounds, so most candidates die on the length or bag
+//!    bound without an edit-distance computation);
+//! 2. **per-object aggregation** — a tuple is *shared* if its term family
+//!    spans at least two objects, *unique* otherwise; shared weight is
+//!    `ln(|Ω| / |family postings|)` (the softIDF of the tuple with its
+//!    similar partners), unique weight is the tuple's own IDF.
+//!
+//! The cost is one pass over distinct terms plus one over tuples —
+//! matching the paper's claim that computing `f` for all objects costs
+//! about as much as one `sim` evaluation per object, while `sim` runs per
+//! *pair*.
+
+use crate::od::OdSet;
+use dogmatix_textsim::{idf, ned_within};
+
+/// Result of the filter pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterOutcome {
+    /// `f(OD_i)` per candidate.
+    pub f_values: Vec<f64>,
+    /// Whether candidate `i` is pruned (`f ≤ θ_cand`).
+    pub pruned: Vec<bool>,
+    /// Number of edit-distance computations the term scan performed
+    /// (diagnostics for the ablation benches).
+    pub distance_computations: usize,
+}
+
+impl FilterOutcome {
+    /// Number of pruned candidates.
+    pub fn pruned_count(&self) -> usize {
+        self.pruned.iter().filter(|p| **p).count()
+    }
+}
+
+/// Computes the object filter for every candidate.
+///
+/// `theta_tuple` is the tuple-similarity threshold (shared with the
+/// similarity measure); `theta_cand` the duplicate threshold the filter
+/// prunes against.
+pub fn object_filter(ods: &OdSet, theta_tuple: f64, theta_cand: f64) -> FilterOutcome {
+    let total = ods.len();
+    let (family_union, distance_computations) = term_families(ods, theta_tuple);
+
+    let mut f_values = Vec::with_capacity(total);
+    let mut pruned = Vec::with_capacity(total);
+    for od in &ods.ods {
+        let mut shared = 0.0f64;
+        let mut unique = 0.0f64;
+        for t in &od.tuples {
+            let fam = family_union[t.term.index()];
+            if fam >= 2 {
+                shared += idf(total, fam);
+            } else {
+                unique += idf(total, ods.term(t.term).postings.len().max(1));
+            }
+        }
+        let denom = shared + unique;
+        let f = if denom > 0.0 { shared / denom } else { 0.0 };
+        f_values.push(f);
+        pruned.push(f <= theta_cand);
+    }
+    FilterOutcome {
+        f_values,
+        pruned,
+        distance_computations,
+    }
+}
+
+/// For every term, the number of distinct objects containing the term or
+/// any ned-similar term of the same type (`|O_odti ∪ O_odtj ∪ …|`).
+///
+/// Returns the per-term family sizes and the count of edit-distance
+/// computations performed.
+fn term_families(ods: &OdSet, theta_tuple: f64) -> (Vec<usize>, usize) {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    // Group term indices by real-world type.
+    let mut by_type: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, t) in ods.terms.iter().enumerate() {
+        by_type.entry(t.rw_type.as_str()).or_default().push(i);
+    }
+
+    let mut families: Vec<BTreeSet<u32>> = ods
+        .terms
+        .iter()
+        .map(|t| t.postings.iter().copied().collect())
+        .collect();
+    let mut computations = 0usize;
+
+    for group in by_type.values() {
+        // Sort by length so only a bounded window of terms can be within
+        // the ned threshold (length difference bound).
+        let mut sorted: Vec<usize> = group.clone();
+        sorted.sort_by_key(|i| ods.terms[*i].char_len);
+        for (pos, &a) in sorted.iter().enumerate() {
+            let la = ods.terms[a].char_len;
+            for &b in sorted[pos + 1..].iter() {
+                let lb = ods.terms[b].char_len;
+                debug_assert!(lb >= la);
+                // ned < θ needs (lb - la) < θ · lb, i.e. lb < la / (1 - θ).
+                if (lb - la) as f64 >= theta_tuple * lb.max(1) as f64 {
+                    break;
+                }
+                computations += 1;
+                if ned_within(&ods.terms[a].norm, &ods.terms[b].norm, theta_tuple).is_some() {
+                    let pa: Vec<u32> = ods.terms[a].postings.clone();
+                    let pb: Vec<u32> = ods.terms[b].postings.clone();
+                    families[a].extend(pb);
+                    families[b].extend(pa);
+                }
+            }
+        }
+    }
+    (families.into_iter().map(|f| f.len()).collect(), computations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapping;
+    use crate::od::OdSet;
+    use crate::sim::{DistCache, SimEngine};
+    use dogmatix_xml::Document;
+    use std::collections::{BTreeSet, HashMap};
+
+    fn build(xml: &str, candidate: &str, selected: &[&str]) -> OdSet {
+        let doc = Document::parse(xml).unwrap();
+        let candidates = doc.select(candidate).unwrap();
+        let mut sel = HashMap::new();
+        sel.insert(
+            candidate.to_string(),
+            selected.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+        );
+        OdSet::build(&doc, &candidates, &sel, &Mapping::new())
+    }
+
+    #[test]
+    fn isolated_object_is_pruned() {
+        let ods = build(
+            "<r>\
+               <m><t>Alpha Song</t><a>Alice</a></m>\
+               <m><t>Alpha Song</t><a>Alice</a></m>\
+               <m><t>Zz Qq Xx</t><a>Nobody Known</a></m>\
+               <m><t>Beta Tune</t><a>Bob</a></m>\
+               <m><t>Beta Tune</t><a>Bob</a></m>\
+             </r>",
+            "/r/m",
+            &["/r/m/t", "/r/m/a"],
+        );
+        let out = object_filter(&ods, 0.15, 0.55);
+        // Candidate 2 shares nothing → f = 0 → pruned.
+        assert_eq!(out.f_values[2], 0.0);
+        assert!(out.pruned[2]);
+        // The duplicated pairs share everything → f = 1 → kept.
+        assert_eq!(out.f_values[0], 1.0);
+        assert!(!out.pruned[0]);
+        assert!(!out.pruned[1]);
+        assert!(!out.pruned[3]);
+        assert!(!out.pruned[4]);
+    }
+
+    #[test]
+    fn near_duplicates_survive_via_similar_terms() {
+        // The shared value carries a typo — exact matching would miss it,
+        // the ned-similar family must catch it.
+        let ods = build(
+            "<r>\
+               <m><t>Midnight Journey</t></m>\
+               <m><t>Midnigth Journey</t></m>\
+               <m><t>Completely Other</t></m>\
+               <m><t>Another Thing Entirely</t></m>\
+             </r>",
+            "/r/m",
+            &["/r/m/t"],
+        );
+        let out = object_filter(&ods, 0.15, 0.55);
+        assert!(!out.pruned[0], "f={}", out.f_values[0]);
+        assert!(!out.pruned[1], "f={}", out.f_values[1]);
+        assert!(out.pruned[2]);
+        assert!(out.pruned[3]);
+        assert!(out.distance_computations > 0);
+    }
+
+    #[test]
+    fn filter_never_prunes_candidates_with_detectable_duplicates() {
+        // The property that matters for correctness: every candidate whose
+        // best sim exceeds θ_cand must survive the filter. (The filter is
+        // an *empirical* bound — the paper's own Figure 8 reports filter
+        // precision well below 100%, i.e. their filter also prunes some
+        // candidates that do have duplicates; but candidates whose
+        // duplicates are detectable above the threshold must be kept.)
+        let ods = build(
+            "<r>\
+               <m><t>Alpha Beta</t><y>1999</y></m>\
+               <m><t>Alpha Beta</t><y>1999</y></m>\
+               <m><t>Gamma Delta</t><y>1999</y></m>\
+               <m><t>Epsilon Zeta</t><y>2002</y></m>\
+               <m><t>Eta Theta</t><y>2003</y></m>\
+             </r>",
+            "/r/m",
+            &["/r/m/t", "/r/m/y"],
+        );
+        let theta_cand = 0.55;
+        let out = object_filter(&ods, 0.15, theta_cand);
+        let engine = SimEngine::new(&ods, 0.15);
+        let mut cache = DistCache::new();
+        for i in 0..ods.len() {
+            let best = (0..ods.len())
+                .filter(|j| *j != i)
+                .map(|j| engine.sim(i, j, &mut cache))
+                .fold(0.0f64, f64::max);
+            if best > theta_cand {
+                assert!(
+                    !out.pruned[i],
+                    "candidate {i} with best sim {best} was pruned (f={})",
+                    out.f_values[i]
+                );
+            }
+        }
+        // The exact-duplicate pair shares everything → f = 1.
+        assert_eq!(out.f_values[0], 1.0);
+        assert_eq!(out.f_values[1], 1.0);
+    }
+
+    #[test]
+    fn empty_descriptions_are_pruned() {
+        let ods = build("<r><m><t>A</t></m><m><t>B</t></m></r>", "/r/m", &[]);
+        let out = object_filter(&ods, 0.15, 0.55);
+        assert!(out.pruned.iter().all(|p| *p));
+        assert_eq!(out.pruned_count(), 2);
+    }
+
+    #[test]
+    fn zero_theta_cand_keeps_partial_sharers() {
+        let ods = build(
+            "<r><m><t>Shared</t><u>OnlyHere</u></m>\
+                <m><t>Shared</t><u>OnlyThere</u></m>\
+                <m><t>Unrelated</t><u>Xyz</u></m></r>",
+            "/r/m",
+            &["/r/m/t", "/r/m/u"],
+        );
+        let out = object_filter(&ods, 0.15, 0.0);
+        // Candidates 0/1 share one term → f > 0 → kept at θ=0.
+        assert!(!out.pruned[0] && !out.pruned[1]);
+        assert!(out.pruned[2], "f={}", out.f_values[2]);
+    }
+
+    #[test]
+    fn family_size_counts_objects_not_terms() {
+        // Three ned-similar variants spread over three objects: each
+        // term's family must span all three objects.
+        let ods = build(
+            "<r><m><t>abcdefghij</t></m>\
+                <m><t>abcdefghiX</t></m>\
+                <m><t>abcdefghYj</t></m>\
+                <m><t>unrelated thing</t></m></r>",
+            "/r/m",
+            &["/r/m/t"],
+        );
+        let out = object_filter(&ods, 0.25, 0.55);
+        for i in 0..3 {
+            assert!(!out.pruned[i], "variant {i} must be kept");
+        }
+        assert!(out.pruned[3]);
+    }
+}

@@ -1,0 +1,452 @@
+//! Description-selection heuristics and conditions (paper Section 4).
+//!
+//! A heuristic determines, for a schema element `e0`, the set of schema
+//! paths whose instances describe `e0` (Definition 5). Three base
+//! heuristics are defined:
+//!
+//! * [`HeuristicExpr::r_distant_ancestors`] (`hra`, Heuristic 1),
+//! * [`HeuristicExpr::r_distant_descendants`] (`hrd`, Heuristic 2),
+//! * [`HeuristicExpr::k_closest_descendants`] (`hkd`, Heuristic 3,
+//!   breadth-first order),
+//!
+//! refined by four conditions —
+//! content model ([`ConditionExpr::ContentModel`], Condition 1), string
+//! data type ([`ConditionExpr::StringType`], Condition 2), mandatory
+//! elements ([`ConditionExpr::Mandatory`], Condition 3), singleton
+//! elements ([`ConditionExpr::Singleton`], Condition 4) — and composed
+//! with the AND/OR algebra of Combinations 1–3 (`h1 ∧ h2 = σ1 ∩ σ2`,
+//! `h1 ∨ h2 = σ1 ∪ σ2`, `h[c]` filters `σ_h` by `c`).
+//!
+//! The mandatory/singleton conditions are evaluated along the *chain*
+//! between `e0` and the selected element, matching the paper's reading:
+//! a grandchild is mandatory to `e0` only if every link on the way is
+//! mandatory, and an ancestor satisfies `cme` only if `e0` cannot exist
+//! without it (every link from the ancestor down to `e0` is mandatory).
+
+use dogmatix_xml::{Schema, SchemaNodeId};
+use std::collections::BTreeSet;
+
+/// A condition expression over schema elements (Conditions 1–4 plus the
+/// AND/OR algebra of Combination 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConditionExpr {
+    /// Condition 1 (`ccm`): only elements that can carry a text node
+    /// (simple or mixed content).
+    ContentModel,
+    /// Condition 2 (`csdt`): only elements of string data type.
+    StringType,
+    /// Condition 3 (`cme`): only elements mandatory to `e0` (chainwise).
+    Mandatory,
+    /// Condition 4 (`cse`): only elements in a 1:1 relation with `e0`
+    /// (chainwise singleton).
+    Singleton,
+    /// Logical AND (Combination 2).
+    And(Box<ConditionExpr>, Box<ConditionExpr>),
+    /// Logical OR (Combination 2).
+    Or(Box<ConditionExpr>, Box<ConditionExpr>),
+}
+
+impl ConditionExpr {
+    /// `self ∧ other`.
+    pub fn and(self, other: ConditionExpr) -> ConditionExpr {
+        ConditionExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: ConditionExpr) -> ConditionExpr {
+        ConditionExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the condition for element `node` relative to `e0`.
+    pub fn eval(&self, schema: &Schema, e0: SchemaNodeId, node: SchemaNodeId) -> bool {
+        match self {
+            ConditionExpr::ContentModel => schema.has_text(node),
+            ConditionExpr::StringType => schema.is_string_type(node),
+            ConditionExpr::Mandatory => chain(schema, e0, node)
+                .map(|c| c.iter().all(|n| schema.is_mandatory(*n)))
+                .unwrap_or(false),
+            ConditionExpr::Singleton => chain(schema, e0, node)
+                .map(|c| c.iter().all(|n| schema.is_singleton(*n)))
+                .unwrap_or(false),
+            ConditionExpr::And(a, b) => {
+                a.eval(schema, e0, node) && b.eval(schema, e0, node)
+            }
+            ConditionExpr::Or(a, b) => a.eval(schema, e0, node) || b.eval(schema, e0, node),
+        }
+    }
+}
+
+/// The chain of schema nodes linking `e0` to `node`, excluding `e0`
+/// itself. For a descendant this is the path from `e0` down to `node`;
+/// for an ancestor it is the path from `node` down to `e0` (whose
+/// occurrence constraints govern whether `e0` is mandatory/singleton
+/// within `node`). Returns `None` if the nodes are unrelated.
+fn chain(schema: &Schema, e0: SchemaNodeId, node: SchemaNodeId) -> Option<Vec<SchemaNodeId>> {
+    if e0 == node {
+        return Some(Vec::new());
+    }
+    // node as descendant of e0.
+    let mut path = vec![node];
+    let mut current = node;
+    while let Some(p) = schema.parent(current) {
+        if p == e0 {
+            return Some(path);
+        }
+        path.push(p);
+        current = p;
+    }
+    // node as ancestor of e0: chain is from below node down to e0.
+    let mut path = vec![e0];
+    let mut current = e0;
+    while let Some(p) = schema.parent(current) {
+        if p == node {
+            return Some(path);
+        }
+        path.push(p);
+        current = p;
+    }
+    None
+}
+
+/// A heuristic expression (Heuristics 1–3 plus Combinations 1 and 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeuristicExpr {
+    /// Heuristic 1, `hra`: ancestors within radius `r`.
+    RDistantAncestors {
+        /// Radius (`r_a > 0`).
+        r: usize,
+    },
+    /// Heuristic 2, `hrd`: descendants within radius `r`.
+    RDistantDescendants {
+        /// Radius (`r_d > 0`).
+        r: usize,
+    },
+    /// Heuristic 3, `hkd`: the first `k` descendants in breadth-first
+    /// order.
+    KClosestDescendants {
+        /// Number of elements to consider.
+        k: usize,
+    },
+    /// Combination 1 (i): `h1 ∧ h2 = σ1 ∩ σ2`.
+    And(Box<HeuristicExpr>, Box<HeuristicExpr>),
+    /// Combination 1 (ii): `h1 ∨ h2 = σ1 ∪ σ2`.
+    Or(Box<HeuristicExpr>, Box<HeuristicExpr>),
+    /// Combination 3: `h[c]` — refine the selection by a condition.
+    Refined {
+        /// The heuristic being refined.
+        heuristic: Box<HeuristicExpr>,
+        /// The refining condition.
+        condition: ConditionExpr,
+    },
+}
+
+impl HeuristicExpr {
+    /// `hra` with radius `r`.
+    pub fn r_distant_ancestors(r: usize) -> Self {
+        HeuristicExpr::RDistantAncestors { r }
+    }
+
+    /// `hrd` with radius `r`.
+    pub fn r_distant_descendants(r: usize) -> Self {
+        HeuristicExpr::RDistantDescendants { r }
+    }
+
+    /// `hkd` with the first `k` breadth-first descendants.
+    pub fn k_closest_descendants(k: usize) -> Self {
+        HeuristicExpr::KClosestDescendants { k }
+    }
+
+    /// `self ∧ other` (Combination 1).
+    pub fn and(self, other: HeuristicExpr) -> Self {
+        HeuristicExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other` (Combination 1).
+    pub fn or(self, other: HeuristicExpr) -> Self {
+        HeuristicExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self[c]` (Combination 3).
+    pub fn refined(self, condition: ConditionExpr) -> Self {
+        HeuristicExpr::Refined {
+            heuristic: Box::new(self),
+            condition,
+        }
+    }
+
+    /// Evaluates the selection `σ` for candidate element `e0`, returning
+    /// schema node ids.
+    pub fn select(&self, schema: &Schema, e0: SchemaNodeId) -> BTreeSet<SchemaNodeId> {
+        match self {
+            HeuristicExpr::RDistantAncestors { r } => schema
+                .ancestors(e0)
+                .take(*r)
+                .collect(),
+            HeuristicExpr::RDistantDescendants { r } => {
+                schema.descendants_within(e0, *r).into_iter().collect()
+            }
+            HeuristicExpr::KClosestDescendants { k } => schema
+                .breadth_first(e0)
+                .into_iter()
+                .take(*k)
+                .collect(),
+            HeuristicExpr::And(a, b) => {
+                let sa = a.select(schema, e0);
+                let sb = b.select(schema, e0);
+                sa.intersection(&sb).copied().collect()
+            }
+            HeuristicExpr::Or(a, b) => {
+                let mut sa = a.select(schema, e0);
+                sa.extend(b.select(schema, e0));
+                sa
+            }
+            HeuristicExpr::Refined {
+                heuristic,
+                condition,
+            } => heuristic
+                .select(schema, e0)
+                .into_iter()
+                .filter(|n| condition.eval(schema, e0, *n))
+                .collect(),
+        }
+    }
+
+    /// Like [`HeuristicExpr::select`] but returning schema name paths —
+    /// the `σ_id` XPath form of Definition 5.
+    pub fn select_paths(&self, schema: &Schema, e0: SchemaNodeId) -> BTreeSet<String> {
+        self.select(schema, e0)
+            .into_iter()
+            .map(|n| schema.path(n))
+            .collect()
+    }
+}
+
+/// The experiment suite of the paper's Table 4: `exp1 = h`,
+/// `exp2 = h[csdt]`, `exp3 = h[cme]`, `exp4 = h[cse]`,
+/// `exp5 = h[csdt ∧ cme]`, `exp6 = h[csdt ∧ cse]`, `exp7 = h[cme ∧ cse]`,
+/// `exp8 = h[csdt ∧ cse ∧ cme]`.
+///
+/// Returns the condition to refine `h` with, or `None` for `exp1`.
+pub fn table4_condition(experiment: usize) -> Option<ConditionExpr> {
+    use ConditionExpr::{Mandatory as Cme, Singleton as Cse, StringType as Csdt};
+    match experiment {
+        1 => None,
+        2 => Some(Csdt),
+        3 => Some(Cme),
+        4 => Some(Cse),
+        5 => Some(Csdt.and(Cme)),
+        6 => Some(Csdt.and(Cse)),
+        7 => Some(Cme.and(Cse)),
+        8 => Some(Csdt.and(Cse).and(Cme)),
+        other => panic!("Table 4 defines experiments 1..=8, got {other}"),
+    }
+}
+
+/// Builds the `h` (optionally refined per Table 4) for one experiment.
+pub fn table4_heuristic(base: HeuristicExpr, experiment: usize) -> HeuristicExpr {
+    match table4_condition(experiment) {
+        None => base,
+        Some(c) => base.refined(c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dogmatix_xml::schema::model::{ContentModel, MaxOccurs, SimpleType};
+
+    /// The Table 5 CD schema.
+    fn cd_schema() -> (Schema, SchemaNodeId) {
+        let mut s = Schema::with_root("discs", ContentModel::Complex);
+        let disc = s.add_child(s.root(), "disc", 0, MaxOccurs::Unbounded, false, ContentModel::Complex);
+        s.add_child(disc, "did", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
+        s.add_child(disc, "artist", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
+        s.add_child(disc, "title", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
+        s.add_child(disc, "genre", 0, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
+        s.add_child(disc, "year", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::GYear));
+        s.add_child(disc, "cdextra", 0, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
+        let tracks = s.add_child(disc, "tracks", 1, MaxOccurs::Bounded(1), false, ContentModel::Complex);
+        s.add_child(tracks, "title", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
+        (s, disc)
+    }
+
+    fn names(schema: &Schema, sel: &BTreeSet<SchemaNodeId>) -> BTreeSet<String> {
+        sel.iter().map(|n| schema.path(*n)).collect()
+    }
+
+    #[test]
+    fn hrd_radius_one_selects_direct_children() {
+        let (s, disc) = cd_schema();
+        let sel = HeuristicExpr::r_distant_descendants(1).select(&s, disc);
+        assert_eq!(sel.len(), 7);
+        assert!(!names(&s, &sel).contains("/discs/disc/tracks/title"));
+    }
+
+    #[test]
+    fn hrd_radius_two_reaches_track_titles() {
+        let (s, disc) = cd_schema();
+        let sel = HeuristicExpr::r_distant_descendants(2).select_paths(&s, disc);
+        assert!(sel.contains("/discs/disc/tracks/title"));
+        assert_eq!(sel.len(), 8);
+    }
+
+    #[test]
+    fn hkd_takes_breadth_first_prefix() {
+        let (s, disc) = cd_schema();
+        for (k, expect_last) in [
+            (1, "/discs/disc/did"),
+            (3, "/discs/disc/title"),
+            (8, "/discs/disc/tracks/title"),
+        ] {
+            let sel = HeuristicExpr::k_closest_descendants(k).select_paths(&s, disc);
+            assert_eq!(sel.len(), k);
+            assert!(sel.contains(expect_last), "k={k}");
+        }
+        // k=7 equals hrd r=1 (paper: "experiments for k=7 ... same as
+        // r-distance heuristic for r=1").
+        let k7 = HeuristicExpr::k_closest_descendants(7).select_paths(&s, disc);
+        let r1 = HeuristicExpr::r_distant_descendants(1).select_paths(&s, disc);
+        assert_eq!(k7, r1);
+        let k8 = HeuristicExpr::k_closest_descendants(8).select_paths(&s, disc);
+        let r2 = HeuristicExpr::r_distant_descendants(2).select_paths(&s, disc);
+        assert_eq!(k8, r2);
+    }
+
+    #[test]
+    fn hra_selects_ancestors() {
+        let (s, _) = cd_schema();
+        let title = s.find_by_path("/discs/disc/tracks/title").unwrap();
+        let sel = HeuristicExpr::r_distant_ancestors(2).select_paths(&s, title);
+        assert_eq!(
+            sel.into_iter().collect::<Vec<_>>(),
+            vec!["/discs/disc".to_string(), "/discs/disc/tracks".to_string()]
+        );
+    }
+
+    #[test]
+    fn conditions_match_table5_semantics() {
+        let (s, disc) = cd_schema();
+        let all = HeuristicExpr::r_distant_descendants(2);
+
+        // csdt drops year (gYear) and tracks (complex).
+        let sel = all.clone().refined(ConditionExpr::StringType).select_paths(&s, disc);
+        assert!(!sel.contains("/discs/disc/year"));
+        assert!(!sel.contains("/discs/disc/tracks"));
+        assert!(sel.contains("/discs/disc/tracks/title"));
+
+        // cme drops genre, cdextra (optional).
+        let sel = all.clone().refined(ConditionExpr::Mandatory).select_paths(&s, disc);
+        assert!(!sel.contains("/discs/disc/genre"));
+        assert!(!sel.contains("/discs/disc/cdextra"));
+        assert!(sel.contains("/discs/disc/tracks/title"), "chain did/tracks both mandatory");
+
+        // cse drops artist, title, cdextra, tracks/title (repeatable).
+        let sel = all.clone().refined(ConditionExpr::Singleton).select_paths(&s, disc);
+        assert_eq!(
+            sel.into_iter().collect::<Vec<_>>(),
+            vec![
+                "/discs/disc/did".to_string(),
+                "/discs/disc/genre".to_string(),
+                "/discs/disc/tracks".to_string(),
+                "/discs/disc/year".to_string(),
+            ]
+        );
+
+        // ccm drops only tracks (no text node).
+        let sel = all.clone().refined(ConditionExpr::ContentModel).select_paths(&s, disc);
+        assert!(!sel.contains("/discs/disc/tracks"));
+        assert_eq!(sel.len(), 7);
+    }
+
+    #[test]
+    fn exp8_reduces_to_did_only() {
+        // The paper: "exp8 only considers did for any k".
+        let (s, disc) = cd_schema();
+        for k in 1..=8 {
+            let h = table4_heuristic(HeuristicExpr::k_closest_descendants(k), 8);
+            let sel = h.select_paths(&s, disc);
+            assert!(sel.len() <= 1);
+            if !sel.is_empty() {
+                assert!(sel.contains("/discs/disc/did"), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_algebra() {
+        let (s, disc) = cd_schema();
+        let h1 = HeuristicExpr::k_closest_descendants(3);
+        let h2 = HeuristicExpr::r_distant_descendants(1);
+        let and = h1.clone().and(h2.clone()).select(&s, disc);
+        let or = h1.clone().or(h2.clone()).select(&s, disc);
+        assert_eq!(and.len(), 3); // k=3 ⊂ r=1
+        assert_eq!(or.len(), 7);
+        // Intersection/union laws.
+        let s1 = h1.select(&s, disc);
+        assert!(and.is_subset(&s1));
+        assert!(s1.is_subset(&or));
+    }
+
+    #[test]
+    fn paper_combination_example() {
+        // hra[cme] ∨ hrd[csdt ∧ ccm] from Section 4.3.
+        let (s, _) = cd_schema();
+        let title = s.find_by_path("/discs/disc/tracks/title").unwrap();
+        let h = HeuristicExpr::r_distant_ancestors(1)
+            .refined(ConditionExpr::Mandatory)
+            .or(HeuristicExpr::r_distant_descendants(1)
+                .refined(ConditionExpr::StringType.and(ConditionExpr::ContentModel)));
+        // title's parent is tracks, mandatory within... chain from tracks
+        // to title is {title} (mandatory) — wait: ancestors of
+        // tracks/title: chain(title→tracks) = {title}, mandatory ✓.
+        let sel = h.select_paths(&s, title);
+        assert!(sel.contains("/discs/disc/tracks"));
+    }
+
+    #[test]
+    fn mandatory_chain_blocks_optional_intermediate() {
+        // grandchild mandatory but its parent optional → not mandatory to e0.
+        let mut s = Schema::with_root("r", ContentModel::Complex);
+        let mid = s.add_child(s.root(), "mid", 0, MaxOccurs::Bounded(1), false, ContentModel::Complex);
+        s.add_child(mid, "leaf", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
+        let root = s.root();
+        let sel = HeuristicExpr::r_distant_descendants(2)
+            .refined(ConditionExpr::Mandatory)
+            .select_paths(&s, root);
+        assert!(sel.is_empty(), "optional mid breaks the chain, got {sel:?}");
+    }
+
+    #[test]
+    fn singleton_chain_blocks_repeating_intermediate() {
+        let mut s = Schema::with_root("r", ContentModel::Complex);
+        let mid = s.add_child(s.root(), "mid", 1, MaxOccurs::Unbounded, false, ContentModel::Complex);
+        s.add_child(mid, "leaf", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
+        let root = s.root();
+        let sel = HeuristicExpr::r_distant_descendants(2)
+            .refined(ConditionExpr::Singleton)
+            .select_paths(&s, root);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn table4_covers_eight_experiments() {
+        assert!(table4_condition(1).is_none());
+        for e in 2..=8 {
+            assert!(table4_condition(e).is_some(), "exp{e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn table4_rejects_out_of_range() {
+        table4_condition(9);
+    }
+
+    #[test]
+    fn zero_radius_selects_nothing() {
+        let (s, disc) = cd_schema();
+        assert!(HeuristicExpr::r_distant_descendants(0).select(&s, disc).is_empty());
+        assert!(HeuristicExpr::r_distant_ancestors(0).select(&s, disc).is_empty());
+        assert!(HeuristicExpr::k_closest_descendants(0).select(&s, disc).is_empty());
+    }
+}

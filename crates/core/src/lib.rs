@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # dogmatix-core
+//!
+//! DogmatiX — domain-independent duplicate detection in XML, reproducing
+//! Weis & Naumann, *DogmatiX Tracks down Duplicates in XML*, SIGMOD 2005.
+//!
+//! The crate is organised along the paper's structure:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §2 framework: candidate definition | [`candidate`], [`mapping`] |
+//! | §2 framework: duplicate definition | [`od`] (descriptions), [`classify`] |
+//! | §2 framework: duplicate detection (6 steps) | [`pipeline`] |
+//! | §4 description-selection heuristics + conditions | [`heuristics`] |
+//! | §5 similarity measure (`odtDist`, `softIDF`, `sim`) | [`sim`] |
+//! | §5.2 object filter `f` | [`filter`] |
+//! | step 6 duplicate clustering | [`cluster`] |
+//! | Fig. 3 dup-cluster output | [`output`] |
+//! | §7 related-work measures for ablations | [`baseline`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dogmatix_core::heuristics::HeuristicExpr;
+//! use dogmatix_core::mapping::Mapping;
+//! use dogmatix_core::pipeline::{Dogmatix, DogmatixConfig};
+//! use dogmatix_xml::{Document, Schema};
+//!
+//! let doc = Document::parse(
+//!     "<moviedoc>\
+//!        <movie><title>The Matrix</title><year>1999</year></movie>\
+//!        <movie><title>Matrix</title><year>1999</year></movie>\
+//!        <movie><title>Signs</title><year>2002</year></movie>\
+//!      </moviedoc>")?;
+//! let schema = Schema::infer(&doc)?;
+//! let mut mapping = Mapping::new();
+//! mapping.add_type("MOVIE", ["/moviedoc/movie"]);
+//!
+//! // θ_tuple = 0.45 admits "Matrix" ≈ "The Matrix" (ned 0.4); the paper's
+//! // default 0.15 targets typo-level differences.
+//! let config = DogmatixConfig {
+//!     heuristic: HeuristicExpr::r_distant_descendants(1),
+//!     theta_tuple: 0.45,
+//!     ..DogmatixConfig::default()
+//! };
+//! let result = Dogmatix::new(config, mapping).run(&doc, &schema, "MOVIE")?;
+//! assert_eq!(result.clusters.len(), 1);          // {Matrix, The Matrix}
+//! assert_eq!(result.duplicate_pairs.len(), 1);
+//! # Ok::<(), dogmatix_core::DogmatixError>(())
+//! ```
+
+pub mod auto;
+pub mod baseline;
+pub mod candidate;
+pub mod classify;
+pub mod cluster;
+pub mod error;
+pub mod filter;
+pub mod fusion;
+pub mod heuristics;
+pub mod mapping;
+pub mod neighborhood;
+pub mod od;
+pub mod output;
+pub mod pipeline;
+pub mod query;
+pub mod sim;
+
+pub use error::DogmatixError;
+pub use mapping::Mapping;
+pub use pipeline::{DetectionResult, Dogmatix, DogmatixConfig};

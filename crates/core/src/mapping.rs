@@ -1,0 +1,275 @@
+//! The real-world type mapping `M` (paper Section 2.1 and Table 3).
+//!
+//! `M` associates schema elements (identified by their name paths) with
+//! real-world types: `MOVIE → {/moviedoc/movie}`, or — in an integration
+//! scenario — `motion-pic → {Movie, Film}`. DogmatiX consumes `M` twice:
+//!
+//! 1. **candidate selection**: the schema elements of the chosen type are
+//!    the duplicate candidates (Definition 1),
+//! 2. **comparability**: two OD tuples are comparable iff their paths map
+//!    to the same real-world type (Section 5's first requirement —
+//!    incomparable data "cannot contribute to the similarity").
+//!
+//! Paths not listed in `M` default to their own path as a singleton type,
+//! so single-schema scenarios work without enumerating every element.
+//!
+//! The mapping also carries optional *composite value rules*, our
+//! implementation of Table 6's `firstname + lastname` entry: the OD value
+//! of a listed owner element is the concatenation of several children.
+
+use std::collections::HashMap;
+
+/// A composite-value rule: the OD tuple for `owner_path` instances takes
+/// its value from the joined direct text of the named children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositeRule {
+    /// Name path of the owning element, e.g.
+    /// `/integrated/filmdienst/movie/people/person`.
+    pub owner_path: String,
+    /// Child element names joined in order, e.g. `["firstname", "lastname"]`.
+    pub parts: Vec<String>,
+    /// Real-world type of the composite value.
+    pub rw_type: String,
+}
+
+/// The mapping `M` from element paths to real-world types.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Mapping {
+    /// type name → paths (insertion-ordered).
+    types: Vec<(String, Vec<String>)>,
+    /// path → index into `types`.
+    by_path: HashMap<String, usize>,
+    /// Composite value rules (extension; empty by default).
+    composites: Vec<CompositeRule>,
+}
+
+impl Mapping {
+    /// Creates an empty mapping.
+    pub fn new() -> Self {
+        Mapping::default()
+    }
+
+    /// Registers a real-world type with its schema-element paths. Paths
+    /// may use the paper's `$doc/...` anchor; it is normalised away.
+    ///
+    /// ```
+    /// use dogmatix_core::Mapping;
+    /// let mut m = Mapping::new();
+    /// m.add_type("MOVIE", ["$doc/moviedoc/movie"]);
+    /// assert_eq!(m.paths_of("MOVIE").unwrap(), &["/moviedoc/movie".to_string()]);
+    /// ```
+    pub fn add_type<'a>(
+        &mut self,
+        name: &str,
+        paths: impl IntoIterator<Item = &'a str>,
+    ) -> &mut Self {
+        let idx = match self.types.iter().position(|(n, _)| n == name) {
+            Some(i) => i,
+            None => {
+                self.types.push((name.to_string(), Vec::new()));
+                self.types.len() - 1
+            }
+        };
+        for p in paths {
+            let normalised = normalise_path(p);
+            if !self.types[idx].1.contains(&normalised) {
+                self.by_path.insert(normalised.clone(), idx);
+                self.types[idx].1.push(normalised);
+            }
+        }
+        self
+    }
+
+    /// Adds a composite-value rule (see [`CompositeRule`]).
+    pub fn add_composite(&mut self, rule: CompositeRule) -> &mut Self {
+        self.composites.push(rule);
+        self
+    }
+
+    /// The registered composite rules.
+    pub fn composites(&self) -> &[CompositeRule] {
+        &self.composites
+    }
+
+    /// Finds the composite rule owning `path`, if any.
+    pub fn composite_for(&self, path: &str) -> Option<&CompositeRule> {
+        self.composites.iter().find(|c| c.owner_path == path)
+    }
+
+    /// Real-world type of a path: the mapped name, or the path itself if
+    /// unmapped (identity default).
+    pub fn type_of<'a>(&'a self, path: &'a str) -> &'a str {
+        match self.by_path.get(path) {
+            Some(i) => &self.types[*i].0,
+            None => path,
+        }
+    }
+
+    /// Whether two paths are comparable, i.e. map to the same type.
+    pub fn comparable(&self, a: &str, b: &str) -> bool {
+        self.type_of(a) == self.type_of(b)
+    }
+
+    /// Paths of a registered type.
+    pub fn paths_of(&self, name: &str) -> Option<&[String]> {
+        self.types
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// All registered type names, in insertion order.
+    pub fn type_names(&self) -> impl Iterator<Item = &str> {
+        self.types.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Parses the paper's simple mapping format: one line per type,
+    /// `NAME: path[, path...]`. Empty lines and `#` comments are skipped.
+    ///
+    /// ```
+    /// use dogmatix_core::Mapping;
+    /// let m = Mapping::parse("
+    ///   MOVIE: $doc/moviedoc/movie
+    ///   TITLE: $doc/moviedoc/movie/title
+    /// ").unwrap();
+    /// assert_eq!(m.type_of("/moviedoc/movie/title"), "TITLE");
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, crate::DogmatixError> {
+        let mut m = Mapping::new();
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, paths) = line.split_once(':').ok_or_else(|| {
+                crate::DogmatixError::Config {
+                    message: format!("mapping line {} has no ':': {line:?}", lineno + 1),
+                }
+            })?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(crate::DogmatixError::Config {
+                    message: format!("mapping line {} has an empty type name", lineno + 1),
+                });
+            }
+            let paths: Vec<&str> = paths.split(',').map(str::trim).filter(|p| !p.is_empty()).collect();
+            if paths.is_empty() {
+                return Err(crate::DogmatixError::Config {
+                    message: format!("mapping line {} lists no paths", lineno + 1),
+                });
+            }
+            m.add_type(name, paths);
+        }
+        Ok(m)
+    }
+
+    /// Serialises in the same line format accepted by [`Mapping::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, paths) in &self.types {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(&paths.join(", "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Strips the `$var` anchor and trailing slashes.
+fn normalise_path(p: &str) -> String {
+    let p = p.trim();
+    let p = if p.starts_with('$') {
+        match p.find('/') {
+            Some(i) => &p[i..],
+            None => p,
+        }
+    } else {
+        p
+    };
+    p.trim_end_matches('/').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_default_for_unmapped_paths() {
+        let m = Mapping::new();
+        assert_eq!(m.type_of("/a/b"), "/a/b");
+        assert!(m.comparable("/a/b", "/a/b"));
+        assert!(!m.comparable("/a/b", "/a/c"));
+    }
+
+    #[test]
+    fn mapped_paths_share_a_type() {
+        let mut m = Mapping::new();
+        m.add_type("motion-pic", ["/db/movie", "/db/film"]);
+        assert!(m.comparable("/db/movie", "/db/film"));
+        assert_eq!(m.type_of("/db/movie"), "motion-pic");
+        assert_eq!(
+            m.paths_of("motion-pic").unwrap(),
+            &["/db/movie".to_string(), "/db/film".to_string()]
+        );
+    }
+
+    #[test]
+    fn add_type_merges_and_dedups() {
+        let mut m = Mapping::new();
+        m.add_type("T", ["/a"]);
+        m.add_type("T", ["/a", "/b"]);
+        assert_eq!(m.paths_of("T").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dollar_anchor_normalised() {
+        let mut m = Mapping::new();
+        m.add_type("MOVIE", ["$doc/moviedoc/movie"]);
+        assert_eq!(m.type_of("/moviedoc/movie"), "MOVIE");
+    }
+
+    #[test]
+    fn parse_table3_format() {
+        let m = Mapping::parse(
+            "MOVIE: $doc/moviedoc/movie\n\
+             TITLE: $doc/moviedoc/movie/title\n\
+             YEAR: $doc/moviedoc/movie/year\n\
+             ACTOR: $doc/moviedoc/movie/actor\n\
+             ACTORNAME: $doc/moviedoc/movie/actor/name\n\
+             ACTORROLE: $doc/moviedoc/movie/actor/role\n",
+        )
+        .unwrap();
+        assert_eq!(m.type_names().count(), 6);
+        assert_eq!(m.type_of("/moviedoc/movie/actor/name"), "ACTORNAME");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Mapping::parse("NOCOLON").is_err());
+        assert!(Mapping::parse(": /a").is_err());
+        assert!(Mapping::parse("T:").is_err());
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let mut m = Mapping::new();
+        m.add_type("A", ["/x/a", "/y/a"]);
+        m.add_type("B", ["/x/b"]);
+        let re = Mapping::parse(&m.to_text()).unwrap();
+        assert_eq!(re.paths_of("A").unwrap().len(), 2);
+        assert_eq!(re.type_of("/x/b"), "B");
+    }
+
+    #[test]
+    fn composite_rules() {
+        let mut m = Mapping::new();
+        m.add_composite(CompositeRule {
+            owner_path: "/i/fd/movie/people/person".into(),
+            parts: vec!["firstname".into(), "lastname".into()],
+            rw_type: "PERSON".into(),
+        });
+        assert!(m.composite_for("/i/fd/movie/people/person").is_some());
+        assert!(m.composite_for("/other").is_none());
+    }
+}

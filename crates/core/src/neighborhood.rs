@@ -1,0 +1,246 @@
+//! Sorted-neighborhood comparison reduction (framework Definition 4,
+//! "clustering" flavour).
+//!
+//! The framework's comparison-reduction component admits two pruning
+//! families: *filtering* (DogmatiX's object filter, Section 5.2) and
+//! *clustering/windowing*. This module implements the classic
+//! merge/purge sorted-neighborhood method of Hernández & Stolfo \[7\]
+//! in its domain-independent variant \[12\]: candidates are sorted by a
+//! key derived from their descriptions and only pairs within a sliding
+//! window are compared.
+//!
+//! The paper notes the method's XML problem — "even defining the sorting
+//! key by hand is not at all straightforward" — so the key here is
+//! derived automatically: the concatenation of the candidate's most
+//! identifying OD values (highest IDF first), which is exactly the
+//! information DogmatiX already has. The benches compare its pruning
+//! quality against the object filter.
+
+use crate::od::OdSet;
+use dogmatix_textsim::idf;
+
+/// A comparison plan: the pairs (by candidate index) that survive
+/// pruning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparisonPlan {
+    /// Surviving pairs, `i < j`, sorted.
+    pub pairs: Vec<(usize, usize)>,
+    /// Total possible pairs (for reduction-ratio reporting).
+    pub total_pairs: usize,
+}
+
+impl ComparisonPlan {
+    /// Fraction of pairs pruned away.
+    pub fn reduction(&self) -> f64 {
+        if self.total_pairs == 0 {
+            return 0.0;
+        }
+        1.0 - self.pairs.len() as f64 / self.total_pairs as f64
+    }
+}
+
+/// Builds the automatic sorting key for one candidate: its OD values
+/// ordered by descending IDF (most identifying first), normalised and
+/// concatenated.
+pub fn sort_key(ods: &OdSet, candidate: usize) -> String {
+    let total = ods.len();
+    let od = &ods.ods[candidate];
+    let mut weighted: Vec<(f64, &str)> = od
+        .tuples
+        .iter()
+        .map(|t| {
+            let info = ods.term(t.term);
+            (idf(total, info.postings.len()), info.norm.as_str())
+        })
+        .collect();
+    weighted.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.cmp(b.1))
+    });
+    let mut key = String::new();
+    for (_, v) in weighted.iter().take(4) {
+        key.push_str(v);
+        key.push('\u{1f}');
+    }
+    key
+}
+
+/// Sorted-neighborhood plan: sort candidates by [`sort_key`], keep pairs
+/// within a window of the given size (`window >= 2`; a window of `n`
+/// degenerates to all pairs).
+pub fn sorted_neighborhood(ods: &OdSet, window: usize) -> ComparisonPlan {
+    assert!(window >= 2, "a window below 2 compares nothing");
+    let n = ods.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let keys: Vec<String> = (0..n).map(|i| sort_key(ods, i)).collect();
+    order.sort_by(|a, b| keys[*a].cmp(&keys[*b]).then(a.cmp(b)));
+
+    let mut pairs = Vec::new();
+    for pos in 0..n {
+        for offset in 1..window.min(n - pos) {
+            let (a, b) = (order[pos], order[pos + offset]);
+            pairs.push(if a < b { (a, b) } else { (b, a) });
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    ComparisonPlan {
+        pairs,
+        total_pairs: n * n.saturating_sub(1) / 2,
+    }
+}
+
+/// Multi-pass sorted neighborhood \[7\]: union of windows over several
+/// key orderings (here: rotations prioritising the `pass`-th most
+/// identifying value), which recovers pairs a single key ordering
+/// separates.
+pub fn multipass_sorted_neighborhood(
+    ods: &OdSet,
+    window: usize,
+    passes: usize,
+) -> ComparisonPlan {
+    assert!(window >= 2, "a window below 2 compares nothing");
+    let n = ods.len();
+    let total = ods.len();
+    let mut pairs = Vec::new();
+    for pass in 0..passes.max(1) {
+        let keys: Vec<String> = (0..n)
+            .map(|i| {
+                let od = &ods.ods[i];
+                let mut weighted: Vec<(f64, &str)> = od
+                    .tuples
+                    .iter()
+                    .map(|t| {
+                        let info = ods.term(t.term);
+                        (idf(total, info.postings.len()), info.norm.as_str())
+                    })
+                    .collect();
+                weighted.sort_by(|a, b| {
+                    b.0.partial_cmp(&a.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.1.cmp(b.1))
+                });
+                let rot = pass.min(weighted.len().saturating_sub(1));
+                weighted.rotate_left(rot);
+                let mut key = String::new();
+                for (_, v) in weighted.iter().take(4) {
+                    key.push_str(v);
+                    key.push('\u{1f}');
+                }
+                key
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|a, b| keys[*a].cmp(&keys[*b]).then(a.cmp(b)));
+        for pos in 0..n {
+            for offset in 1..window.min(n - pos) {
+                let (a, b) = (order[pos], order[pos + offset]);
+                pairs.push(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    ComparisonPlan {
+        pairs,
+        total_pairs: n * n.saturating_sub(1) / 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapping;
+    use crate::od::OdSet;
+    use dogmatix_xml::Document;
+    use std::collections::{BTreeSet, HashMap};
+
+    fn build(xml: &str) -> OdSet {
+        let doc = Document::parse(xml).unwrap();
+        let candidates = doc.select("/r/m").unwrap();
+        let mut sel = HashMap::new();
+        sel.insert(
+            "/r/m".to_string(),
+            ["/r/m/t", "/r/m/y"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
+        );
+        OdSet::build(&doc, &candidates, &sel, &Mapping::new())
+    }
+
+    fn dup_corpus() -> OdSet {
+        build(
+            "<r>\
+               <m><t>Alpha Song</t><y>1999</y></m>\
+               <m><t>Gamma Tune</t><y>1987</y></m>\
+               <m><t>Alpha Song</t><y>1999</y></m>\
+               <m><t>Delta Roll</t><y>1987</y></m>\
+               <m><t>Gamma Tune</t><y>1987</y></m>\
+               <m><t>Epsilon Beat</t><y>2001</y></m>\
+             </r>",
+        )
+    }
+
+    #[test]
+    fn duplicates_sort_adjacent() {
+        let ods = dup_corpus();
+        let plan = sorted_neighborhood(&ods, 2);
+        // The duplicate pairs (0,2) and (1,4) must land in the window.
+        assert!(plan.pairs.contains(&(0, 2)));
+        assert!(plan.pairs.contains(&(1, 4)));
+        assert!(plan.reduction() > 0.5, "reduction {}", plan.reduction());
+    }
+
+    #[test]
+    fn window_n_degenerates_to_all_pairs() {
+        let ods = dup_corpus();
+        let plan = sorted_neighborhood(&ods, ods.len());
+        assert_eq!(plan.pairs.len(), plan.total_pairs);
+        assert_eq!(plan.reduction(), 0.0);
+    }
+
+    #[test]
+    fn larger_window_is_superset() {
+        let ods = dup_corpus();
+        let small = sorted_neighborhood(&ods, 2);
+        let large = sorted_neighborhood(&ods, 4);
+        for p in &small.pairs {
+            assert!(large.pairs.contains(p));
+        }
+        assert!(large.pairs.len() >= small.pairs.len());
+    }
+
+    #[test]
+    fn multipass_is_superset_of_single_pass() {
+        let ods = dup_corpus();
+        let single = sorted_neighborhood(&ods, 2);
+        let multi = multipass_sorted_neighborhood(&ods, 2, 2);
+        for p in &single.pairs {
+            assert!(multi.pairs.contains(p), "missing {p:?}");
+        }
+    }
+
+    #[test]
+    fn sort_key_puts_identifying_values_first() {
+        let ods = dup_corpus();
+        // Titles are rarer than years → keys start with the title.
+        let key = sort_key(&ods, 3);
+        assert!(key.starts_with("delta roll"), "key = {key:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window below 2")]
+    fn window_one_rejected() {
+        sorted_neighborhood(&dup_corpus(), 1);
+    }
+
+    #[test]
+    fn empty_odset() {
+        let ods = build("<r/>");
+        let plan = sorted_neighborhood(&ods, 2);
+        assert!(plan.pairs.is_empty());
+        assert_eq!(plan.total_pairs, 0);
+    }
+}

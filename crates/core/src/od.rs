@@ -1,0 +1,428 @@
+//! Object descriptions (framework Definitions 2–3, detection Steps 2–3).
+//!
+//! An object description (OD) is a relation `OD(value, name)`; for XML the
+//! tuples are `<text, xpath>` pairs (Section 3.4). This module instantiates
+//! descriptions: given a candidate element and a selection `σ` of schema
+//! paths, it collects the matching ancestor/descendant instances and emits
+//! one OD tuple per non-empty text value. In line with Section 4's
+//! content-model discussion, elements without a text node yield no tuple —
+//! "it is not similar to any other OD tuple, however, it should not be
+//! considered contradictory as it contains no data".
+//!
+//! For efficiency, tuple values are normalised once and interned into
+//! *terms*: a term is a distinct `(real-world type, normalised value)`
+//! pair with a posting list of the ODs containing it. `softIDF`
+//! (Definition 8) and the object filter (Section 5.2) are computed on the
+//! term level — the paper's "graph representation to associate ODs and
+//! their contained OD tuples".
+
+use crate::mapping::Mapping;
+use dogmatix_xml::{Document, NodeId};
+use std::collections::HashMap;
+
+/// Interned id of a distinct `(rw_type, normalised value)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// Arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One OD tuple: `(value, name)` where name is the schema path, enriched
+/// with the resolved real-world type and interned term id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OdTuple {
+    /// Raw text value as found in the document.
+    pub value: String,
+    /// Schema name path of the source element (the paper's `xpath`).
+    pub path: String,
+    /// Real-world type per the mapping `M`.
+    pub rw_type: String,
+    /// Interned real-world type id (index into [`OdSet::type_names`]).
+    pub type_id: u32,
+    /// Interned term id (set by [`OdSet::build`]).
+    pub term: TermId,
+}
+
+/// The description of one candidate object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectDescription {
+    /// The candidate element this OD describes.
+    pub node: NodeId,
+    /// OD tuples in document order.
+    pub tuples: Vec<OdTuple>,
+    /// Tuple indices grouped by interned type id, sorted by type id —
+    /// the pairwise hot path merge-joins these instead of rebuilding a
+    /// hash map per comparison.
+    pub groups: Vec<(u32, Vec<u32>)>,
+}
+
+/// Interned term metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermInfo {
+    /// Real-world type.
+    pub rw_type: String,
+    /// Interned real-world type id.
+    pub type_id: u32,
+    /// Normalised value.
+    pub norm: String,
+    /// Length of `norm` in chars (cached for distance bounds).
+    pub char_len: usize,
+    /// Sorted, deduplicated indices of ODs containing this term.
+    pub postings: Vec<u32>,
+}
+
+/// All ODs of a candidate set plus the term table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OdSet {
+    /// One OD per candidate, aligned with candidate order.
+    pub ods: Vec<ObjectDescription>,
+    /// Interned terms.
+    pub terms: Vec<TermInfo>,
+    /// Interned real-world type names (indexed by type id).
+    pub type_names: Vec<String>,
+}
+
+impl OdSet {
+    /// Number of objects (`|Ω_T|`, the softIDF denominator base).
+    pub fn len(&self) -> usize {
+        self.ods.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ods.is_empty()
+    }
+
+    /// Term metadata for a term id.
+    #[inline]
+    pub fn term(&self, id: TermId) -> &TermInfo {
+        &self.terms[id.index()]
+    }
+
+    /// Steps 2+3 — description query execution and OD generation, fused
+    /// as the paper suggests ("in practice the queries may be combined").
+    ///
+    /// `selections` maps each candidate's schema path to its selection
+    /// `σ` (a set of schema name paths); candidates originating from
+    /// different schema elements (integration scenarios) get their own
+    /// selection.
+    pub fn build(
+        doc: &Document,
+        candidates: &[NodeId],
+        selections: &HashMap<String, std::collections::BTreeSet<String>>,
+        mapping: &Mapping,
+    ) -> OdSet {
+        let mut terms: Vec<TermInfo> = Vec::new();
+        let mut lookup: HashMap<(u32, String), TermId> = HashMap::new();
+        let mut type_names: Vec<String> = Vec::new();
+        let mut type_lookup: HashMap<String, u32> = HashMap::new();
+        let mut ods = Vec::with_capacity(candidates.len());
+
+        for (od_index, &cand) in candidates.iter().enumerate() {
+            let cand_path = doc.name_path(cand);
+            let selection = selections.get(&cand_path);
+            let mut tuples = Vec::new();
+            if let Some(sel) = selection {
+                // Descendant instances.
+                collect_descendants(doc, cand, sel, mapping, &mut tuples);
+                // Ancestor instances.
+                for anc in doc.ancestors(cand) {
+                    let path = doc.name_path(anc);
+                    if sel.contains(&path) {
+                        push_tuple(doc, anc, &path, mapping, &mut tuples);
+                    }
+                }
+            }
+            // Intern types and terms.
+            for t in tuples.iter_mut() {
+                let type_id = *type_lookup.entry(t.rw_type.clone()).or_insert_with(|| {
+                    type_names.push(t.rw_type.clone());
+                    (type_names.len() - 1) as u32
+                });
+                t.type_id = type_id;
+                let norm = dogmatix_textsim::normalize_value(&t.value);
+                let key = (type_id, norm.clone());
+                let id = *lookup.entry(key).or_insert_with(|| {
+                    let id = TermId(terms.len() as u32);
+                    terms.push(TermInfo {
+                        rw_type: t.rw_type.clone(),
+                        type_id,
+                        char_len: norm.chars().count(),
+                        norm,
+                        postings: Vec::new(),
+                    });
+                    id
+                });
+                t.term = id;
+                let postings = &mut terms[id.index()].postings;
+                if postings.last() != Some(&(od_index as u32)) {
+                    postings.push(od_index as u32);
+                }
+            }
+            // Group tuple indices by type id for the pairwise hot path.
+            let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
+            for (i, t) in tuples.iter().enumerate() {
+                match groups.iter_mut().find(|(ty, _)| *ty == t.type_id) {
+                    Some((_, idxs)) => idxs.push(i as u32),
+                    None => groups.push((t.type_id, vec![i as u32])),
+                }
+            }
+            groups.sort_by_key(|(ty, _)| *ty);
+            ods.push(ObjectDescription {
+                node: cand,
+                tuples,
+                groups,
+            });
+        }
+        OdSet {
+            ods,
+            terms,
+            type_names,
+        }
+    }
+}
+
+/// Walks descendants of `cand`, emitting tuples for selected paths and
+/// applying composite rules (a composite owner consumes its parts).
+fn collect_descendants(
+    doc: &Document,
+    cand: NodeId,
+    selection: &std::collections::BTreeSet<String>,
+    mapping: &Mapping,
+    out: &mut Vec<OdTuple>,
+) {
+    let mut stack: Vec<NodeId> = doc.child_elements(cand).collect();
+    stack.reverse();
+    while let Some(n) = stack.pop() {
+        let path = doc.name_path(n);
+        if let Some(rule) = mapping.composite_for(&path) {
+            // The rule fires when the heuristic selected the part
+            // elements (selecting only the complex owner, e.g. at a
+            // smaller radius, contributes no data — same as any other
+            // text-less element).
+            if rule
+                .parts
+                .iter()
+                .any(|p| selection.contains(&format!("{path}/{p}")))
+            {
+                let mut parts = Vec::with_capacity(rule.parts.len());
+                for part in &rule.parts {
+                    for c in doc.child_elements(n) {
+                        if doc.name(c) == Some(part.as_str()) {
+                            if let Some(t) = doc.direct_text(c) {
+                                parts.push(t);
+                            }
+                        }
+                    }
+                }
+                if !parts.is_empty() {
+                    out.push(OdTuple {
+                        value: parts.join(" "),
+                        path: path.clone(),
+                        rw_type: rule.rw_type.clone(),
+                        type_id: 0,
+                        term: TermId(0),
+                    });
+                }
+                // Parts are consumed; do not descend further.
+                continue;
+            }
+        }
+        if selection.contains(&path) {
+            push_tuple(doc, n, &path, mapping, out);
+        }
+        let mut children: Vec<NodeId> = doc.child_elements(n).collect();
+        children.reverse();
+        stack.extend(children);
+    }
+}
+
+fn push_tuple(
+    doc: &Document,
+    node: NodeId,
+    path: &str,
+    mapping: &Mapping,
+    out: &mut Vec<OdTuple>,
+) {
+    // Elements without a text node contribute no data (Section 4,
+    // content-model discussion).
+    if let Some(text) = doc.direct_text(node) {
+        out.push(OdTuple {
+            value: text,
+            path: path.to_string(),
+            rw_type: mapping.type_of(path).to_string(),
+            type_id: 0,
+            term: TermId(0),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::CompositeRule;
+    use std::collections::BTreeSet;
+
+    fn movie_doc() -> Document {
+        Document::parse(
+            "<moviedoc>\
+               <movie><title>The Matrix</title><year>1999</year>\
+                 <actor><name>Keanu Reeves</name><role>Neo</role></actor>\
+                 <actor><name>L. Fishburne</name><role>Morpheus</role></actor>\
+               </movie>\
+               <movie><title>Matrix</title><year>1999</year>\
+                 <actor><name>Keanu Reeves</name><role>The One</role></actor>\
+               </movie>\
+               <movie><title>Signs</title><year>2002</year>\
+                 <actor><name>Mel Gibson</name><role>Graham Hess</role></actor>\
+               </movie>\
+             </moviedoc>",
+        )
+        .unwrap()
+    }
+
+    fn selection(paths: &[&str]) -> HashMap<String, BTreeSet<String>> {
+        let mut m = HashMap::new();
+        m.insert(
+            "/moviedoc/movie".to_string(),
+            paths.iter().map(|s| s.to_string()).collect(),
+        );
+        m
+    }
+
+    #[test]
+    fn table2_object_descriptions() {
+        // Reproduces the paper's Table 2: description = title, year,
+        // actor/name.
+        let doc = movie_doc();
+        let candidates = doc.select("/moviedoc/movie").unwrap();
+        let sel = selection(&[
+            "/moviedoc/movie/title",
+            "/moviedoc/movie/year",
+            "/moviedoc/movie/actor/name",
+        ]);
+        let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+        assert_eq!(ods.len(), 3);
+        let values: Vec<_> = ods.ods[0].tuples.iter().map(|t| t.value.as_str()).collect();
+        assert_eq!(values, vec!["The Matrix", "1999", "Keanu Reeves", "L. Fishburne"]);
+        assert_eq!(ods.ods[1].tuples.len(), 3);
+        assert_eq!(ods.ods[2].tuples.len(), 3);
+        // Roles were not selected.
+        assert!(ods.ods[0].tuples.iter().all(|t| !t.value.contains("Neo")));
+    }
+
+    #[test]
+    fn terms_are_shared_and_postings_sorted() {
+        let doc = movie_doc();
+        let candidates = doc.select("/moviedoc/movie").unwrap();
+        let sel = selection(&["/moviedoc/movie/year", "/moviedoc/movie/actor/name"]);
+        let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+        // "1999" appears in movies 0 and 1 → one term, postings [0, 1].
+        let year_term = ods
+            .terms
+            .iter()
+            .find(|t| t.norm == "1999")
+            .expect("term for 1999");
+        assert_eq!(year_term.postings, vec![0, 1]);
+        // "keanu reeves" also in movies 0 and 1.
+        let keanu = ods.terms.iter().find(|t| t.norm == "keanu reeves").unwrap();
+        assert_eq!(keanu.postings, vec![0, 1]);
+    }
+
+    #[test]
+    fn complex_elements_yield_no_tuple() {
+        let doc = movie_doc();
+        let candidates = doc.select("/moviedoc/movie").unwrap();
+        // Selecting the complex <actor> element itself contributes no
+        // data (no direct text).
+        let sel = selection(&["/moviedoc/movie/actor"]);
+        let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+        assert!(ods.ods.iter().all(|od| od.tuples.is_empty()));
+    }
+
+    #[test]
+    fn ancestors_contribute_when_selected() {
+        let doc = Document::parse(
+            "<lib>shared text<book><isbn>1</isbn></book><book><isbn>2</isbn></book></lib>",
+        )
+        .unwrap();
+        let candidates = doc.select("/lib/book").unwrap();
+        let mut sel = HashMap::new();
+        sel.insert(
+            "/lib/book".to_string(),
+            ["/lib".to_string()].into_iter().collect::<BTreeSet<_>>(),
+        );
+        let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+        assert_eq!(ods.ods[0].tuples.len(), 1);
+        assert_eq!(ods.ods[0].tuples[0].value, "shared text");
+        // Both books share the ancestor term.
+        assert_eq!(ods.terms.len(), 1);
+        assert_eq!(ods.terms[0].postings, vec![0, 1]);
+    }
+
+    #[test]
+    fn rw_types_resolved_via_mapping() {
+        let doc = movie_doc();
+        let candidates = doc.select("/moviedoc/movie").unwrap();
+        let sel = selection(&["/moviedoc/movie/title"]);
+        let mut mapping = Mapping::new();
+        mapping.add_type("TITLE", ["/moviedoc/movie/title"]);
+        let ods = OdSet::build(&doc, &candidates, &sel, &mapping);
+        assert!(ods.ods[0].tuples.iter().all(|t| t.rw_type == "TITLE"));
+    }
+
+    #[test]
+    fn composite_rule_joins_children() {
+        let doc = Document::parse(
+            "<db><m><person><firstname>Keanu</firstname><lastname>Reeves</lastname></person></m></db>",
+        )
+        .unwrap();
+        let candidates = doc.select("/db/m").unwrap();
+        let mut sel = HashMap::new();
+        sel.insert(
+            "/db/m".to_string(),
+            ["/db/m/person/firstname", "/db/m/person/lastname"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
+        );
+        let mut mapping = Mapping::new();
+        mapping.add_composite(CompositeRule {
+            owner_path: "/db/m/person".into(),
+            parts: vec!["firstname".into(), "lastname".into()],
+            rw_type: "PERSON".into(),
+        });
+        let ods = OdSet::build(&doc, &candidates, &sel, &mapping);
+        assert_eq!(ods.ods[0].tuples.len(), 1);
+        assert_eq!(ods.ods[0].tuples[0].value, "Keanu Reeves");
+        assert_eq!(ods.ods[0].tuples[0].rw_type, "PERSON");
+    }
+
+    #[test]
+    fn values_normalised_for_terms_but_raw_preserved() {
+        let doc = Document::parse("<r><m><t>  The   MATRIX </t></m></r>").unwrap();
+        let candidates = doc.select("/r/m").unwrap();
+        let mut sel = HashMap::new();
+        sel.insert(
+            "/r/m".to_string(),
+            ["/r/m/t".to_string()].into_iter().collect::<BTreeSet<_>>(),
+        );
+        let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+        assert_eq!(ods.ods[0].tuples[0].value, "The   MATRIX");
+        assert_eq!(ods.term(ods.ods[0].tuples[0].term).norm, "the matrix");
+    }
+
+    #[test]
+    fn candidates_without_selection_get_empty_ods() {
+        let doc = movie_doc();
+        let candidates = doc.select("/moviedoc/movie").unwrap();
+        let ods = OdSet::build(&doc, &candidates, &HashMap::new(), &Mapping::new());
+        assert_eq!(ods.len(), 3);
+        assert!(ods.ods.iter().all(|od| od.tuples.is_empty()));
+    }
+}

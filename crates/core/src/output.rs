@@ -1,0 +1,100 @@
+//! Duplicate-cluster output (paper Fig. 3).
+//!
+//! "For every cluster of duplicate objects, a dupcluster element is
+//! generated and identified by a unique object identifier oid. The
+//! duplicate elements within a cluster are identified by their XPaths."
+
+use dogmatix_xml::{Document, NodeId};
+
+/// Renders duplicate clusters as the paper's output document:
+///
+/// ```xml
+/// <duplicates>
+///   <dupcluster oid="1">
+///     <duplicate xpath="/discs[1]/disc[3]"/>
+///     <duplicate xpath="/discs[1]/disc[17]"/>
+///   </dupcluster>
+/// </duplicates>
+/// ```
+pub fn clusters_to_xml(
+    source: &Document,
+    candidates: &[NodeId],
+    clusters: &[Vec<usize>],
+) -> Document {
+    let mut out = Document::with_root("duplicates");
+    let root = out.root_element().expect("with_root always has a root");
+    for (oid, cluster) in clusters.iter().enumerate() {
+        let dc = out.add_element(root, "dupcluster");
+        out.set_attr(dc, "oid", &(oid + 1).to_string());
+        for &member in cluster {
+            let dup = out.add_element(dc, "duplicate");
+            out.set_attr(dup, "xpath", &source.absolute_path(candidates[member]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dogmatix_xml::Document;
+
+    #[test]
+    fn renders_fig3_shape() {
+        let source = Document::parse(
+            "<discs><disc><t>a</t></disc><disc><t>b</t></disc><disc><t>c</t></disc></discs>",
+        )
+        .unwrap();
+        let candidates = source.select("/discs/disc").unwrap();
+        let clusters = vec![vec![0, 2]];
+        let out = clusters_to_xml(&source, &candidates, &clusters);
+        let xml = out.to_xml();
+        assert_eq!(
+            xml,
+            "<duplicates><dupcluster oid=\"1\">\
+             <duplicate xpath=\"/discs[1]/disc[1]\"/>\
+             <duplicate xpath=\"/discs[1]/disc[3]\"/>\
+             </dupcluster></duplicates>"
+        );
+    }
+
+    #[test]
+    fn xpaths_resolve_back_to_the_members() {
+        let source = Document::parse(
+            "<discs><disc><t>a</t></disc><disc><t>b</t></disc></discs>",
+        )
+        .unwrap();
+        let candidates = source.select("/discs/disc").unwrap();
+        let out = clusters_to_xml(&source, &candidates, &[vec![0, 1]]);
+        for dup in out.select("/duplicates/dupcluster/duplicate").unwrap() {
+            let xpath = out.attr(dup, "xpath").unwrap();
+            let resolved = source.select(xpath).unwrap();
+            assert_eq!(resolved.len(), 1);
+            assert!(candidates.contains(&resolved[0]));
+        }
+    }
+
+    #[test]
+    fn empty_clusters_give_empty_document() {
+        let source = Document::parse("<discs/>").unwrap();
+        let out = clusters_to_xml(&source, &[], &[]);
+        assert_eq!(out.to_xml(), "<duplicates/>");
+    }
+
+    #[test]
+    fn oids_are_sequential() {
+        let source = Document::parse(
+            "<d><x><t>1</t></x><x><t>2</t></x><x><t>3</t></x><x><t>4</t></x></d>",
+        )
+        .unwrap();
+        let candidates = source.select("/d/x").unwrap();
+        let out = clusters_to_xml(&source, &candidates, &[vec![0, 1], vec![2, 3]]);
+        let oids: Vec<String> = out
+            .select("/duplicates/dupcluster")
+            .unwrap()
+            .iter()
+            .map(|c| out.attr(*c, "oid").unwrap().to_string())
+            .collect();
+        assert_eq!(oids, vec!["1", "2"]);
+    }
+}

@@ -1,0 +1,415 @@
+//! The DogmatiX pipeline: the six duplicate-detection steps of the
+//! framework (Sections 2.3 and 3.4) wired together.
+//!
+//! 1. candidate query formulation & execution → [`crate::candidate`]
+//! 2. description query execution → heuristic selection per schema element
+//! 3. OD generation → [`crate::od`] (steps 2+3 are fused, as the paper
+//!    suggests: "in practice the queries may be combined")
+//! 4. comparison reduction → [`crate::filter`]
+//! 5. pairwise comparisons → [`crate::sim`] + [`crate::classify`]
+//! 6. duplicate clustering → [`crate::cluster`]
+//!
+//! Pairwise comparison is optionally parallelised over worker threads
+//! (crossbeam scoped threads, one distance cache per worker); results are
+//! deterministic regardless of the thread count.
+
+use crate::candidate::select_candidates;
+use crate::classify::{Class, ThresholdClassifier};
+use crate::cluster::clusters_from_pairs;
+use crate::error::DogmatixError;
+use crate::filter::{object_filter, FilterOutcome};
+use crate::heuristics::HeuristicExpr;
+use crate::mapping::Mapping;
+use crate::od::OdSet;
+use crate::output::clusters_to_xml;
+use crate::sim::{DistCache, SimEngine};
+use dogmatix_xml::{Document, NodeId, Schema};
+use std::collections::HashMap;
+
+/// Configuration of one DogmatiX run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DogmatixConfig {
+    /// Tuple-similarity threshold `θ_tuple` (paper: 0.15).
+    pub theta_tuple: f64,
+    /// Duplicate threshold `θ_cand` (paper: 0.55).
+    pub theta_cand: f64,
+    /// Description-selection heuristic.
+    pub heuristic: HeuristicExpr,
+    /// Whether to run the object filter (Step 4). Disabling it compares
+    /// every pair — the ablation baseline of Section 6.3.
+    pub use_filter: bool,
+    /// Worker threads for pairwise comparison. `1` = sequential,
+    /// `0` = use all available cores.
+    pub threads: usize,
+}
+
+impl Default for DogmatixConfig {
+    fn default() -> Self {
+        DogmatixConfig {
+            theta_tuple: 0.15,
+            theta_cand: 0.55,
+            heuristic: HeuristicExpr::r_distant_descendants(1),
+            use_filter: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Counters describing one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of duplicate candidates (`|Ω_T|`).
+    pub candidates: usize,
+    /// Candidates pruned by the object filter.
+    pub pruned_by_filter: usize,
+    /// Total candidate pairs (`n·(n−1)/2`).
+    pub pairs_total: usize,
+    /// Pairs actually compared after filtering.
+    pub pairs_compared: usize,
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionResult {
+    /// Candidate element nodes in document order.
+    pub candidates: Vec<NodeId>,
+    /// Object descriptions (aligned with `candidates`).
+    pub ods: OdSet,
+    /// Filter values `f(OD_i)` (all 1.0 when the filter is disabled).
+    pub f_values: Vec<f64>,
+    /// Whether candidate `i` was pruned by the filter.
+    pub pruned: Vec<bool>,
+    /// Detected duplicate pairs `(i, j, sim)` with `i < j`, sorted.
+    pub duplicate_pairs: Vec<(usize, usize, f64)>,
+    /// Duplicate clusters (transitive closure of the pairs).
+    pub clusters: Vec<Vec<usize>>,
+    /// Run counters.
+    pub stats: RunStats,
+}
+
+impl DetectionResult {
+    /// Renders the result as the paper's Fig. 3 dup-cluster document.
+    pub fn to_xml(&self, source: &Document) -> Document {
+        clusters_to_xml(source, &self.candidates, &self.clusters)
+    }
+
+    /// Whether the pair `(i, j)` was classified as duplicates.
+    pub fn is_duplicate(&self, i: usize, j: usize) -> bool {
+        let key = if i < j { (i, j) } else { (j, i) };
+        self.duplicate_pairs
+            .binary_search_by(|p| (p.0, p.1).cmp(&key))
+            .is_ok()
+    }
+}
+
+/// The DogmatiX detector: a configuration plus the type mapping `M`.
+#[derive(Debug, Clone)]
+pub struct Dogmatix {
+    config: DogmatixConfig,
+    mapping: Mapping,
+}
+
+impl Dogmatix {
+    /// Creates a detector.
+    pub fn new(config: DogmatixConfig, mapping: Mapping) -> Self {
+        Dogmatix { config, mapping }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DogmatixConfig {
+        &self.config
+    }
+
+    /// The mapping `M`.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Runs duplicate detection for one real-world type.
+    pub fn run(
+        &self,
+        doc: &Document,
+        schema: &Schema,
+        rw_type: &str,
+    ) -> Result<DetectionResult, DogmatixError> {
+        self.validate()?;
+
+        // Step 1: candidates.
+        let candidate_set = select_candidates(doc, schema, &self.mapping, rw_type)?;
+        let candidates = candidate_set.nodes.clone();
+        let n = candidates.len();
+
+        // Steps 2+3: description selection per schema element, then ODs.
+        let mut selections = HashMap::new();
+        for path in &candidate_set.schema_paths {
+            let e0 = schema
+                .find_by_path(path)
+                .ok_or_else(|| DogmatixError::PathNotInSchema { path: path.clone() })?;
+            selections.insert(path.clone(), self.config.heuristic.select_paths(schema, e0));
+        }
+        let ods = OdSet::build(doc, &candidates, &selections, &self.mapping);
+
+        // Step 4: comparison reduction.
+        let (f_values, pruned) = if self.config.use_filter {
+            let FilterOutcome {
+                f_values, pruned, ..
+            } = object_filter(&ods, self.config.theta_tuple, self.config.theta_cand);
+            (f_values, pruned)
+        } else {
+            (vec![1.0; n], vec![false; n])
+        };
+        let pruned_by_filter = pruned.iter().filter(|p| **p).count();
+
+        // Step 5: pairwise comparisons.
+        let active: Vec<usize> = (0..n).filter(|i| !pruned[*i]).collect();
+        let classifier = ThresholdClassifier::new(self.config.theta_cand);
+        let mut duplicate_pairs =
+            compare_pairs(&ods, &active, self.config.theta_tuple, &classifier, self.threads());
+        duplicate_pairs.sort_by_key(|p| (p.0, p.1));
+        let m = active.len();
+        let pairs_compared = m * m.saturating_sub(1) / 2;
+
+        // Step 6: duplicate clustering.
+        let pairs_only: Vec<(usize, usize)> =
+            duplicate_pairs.iter().map(|(i, j, _)| (*i, *j)).collect();
+        let clusters = clusters_from_pairs(n, &pairs_only);
+
+        Ok(DetectionResult {
+            candidates,
+            ods,
+            f_values,
+            pruned,
+            duplicate_pairs,
+            clusters,
+            stats: RunStats {
+                candidates: n,
+                pruned_by_filter,
+                pairs_total: n * n.saturating_sub(1) / 2,
+                pairs_compared,
+            },
+        })
+    }
+
+    fn threads(&self) -> usize {
+        match self.config.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            t => t,
+        }
+    }
+
+    fn validate(&self) -> Result<(), DogmatixError> {
+        for (name, v) in [
+            ("theta_tuple", self.config.theta_tuple),
+            ("theta_cand", self.config.theta_cand),
+        ] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(DogmatixError::Config {
+                    message: format!("{name} must be within [0, 1], got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compares all `active` pairs, returning those classified as duplicates.
+fn compare_pairs(
+    ods: &OdSet,
+    active: &[usize],
+    theta_tuple: f64,
+    classifier: &ThresholdClassifier,
+    threads: usize,
+) -> Vec<(usize, usize, f64)> {
+    let engine = SimEngine::new(ods, theta_tuple);
+    if threads <= 1 || active.len() < 64 {
+        let mut cache = DistCache::new();
+        let mut out = Vec::new();
+        for (a, &i) in active.iter().enumerate() {
+            for &j in &active[a + 1..] {
+                let sim = engine.sim(i, j, &mut cache);
+                if classifier.classify(sim) == Class::Duplicate {
+                    out.push((i, j, sim));
+                }
+            }
+        }
+        return out;
+    }
+
+    // Parallel: round-robin the outer index across workers; each worker
+    // owns a private distance cache. Deterministic after the final sort.
+    let results = parking_lot::Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for t in 0..threads {
+            let results = &results;
+            let engine = &engine;
+            scope.spawn(move |_| {
+                let mut cache = DistCache::new();
+                let mut local = Vec::new();
+                let mut a = t;
+                while a < active.len() {
+                    let i = active[a];
+                    for &j in &active[a + 1..] {
+                        let sim = engine.sim(i, j, &mut cache);
+                        if classifier.classify(sim) == Class::Duplicate {
+                            local.push((i, j, sim));
+                        }
+                    }
+                    a += threads;
+                }
+                results.lock().extend(local);
+            });
+        }
+    })
+    .expect("comparison workers must not panic");
+    results.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_setup() -> (Document, Schema, Mapping) {
+        let doc = Document::parse(
+            "<moviedoc>\
+               <movie><title>The Matrix</title><year>1999</year>\
+                 <actor><name>Keanu Reeves</name><role>Neo</role></actor>\
+                 <actor><name>L. Fishburne</name><role>Morpheus</role></actor></movie>\
+               <movie><title>The Matrrix</title><year>1999</year>\
+                 <actor><name>Keanu Reeves</name><role>The One</role></actor></movie>\
+               <movie><title>Signs</title><year>2002</year>\
+                 <actor><name>Mel Gibson</name><role>Graham Hess</role></actor></movie>\
+               <movie><title>Distant Echo</title><year>1988</year>\
+                 <actor><name>Nobody Atall</name><role>Lead</role></actor></movie>\
+             </moviedoc>",
+        )
+        .unwrap();
+        let schema = Schema::infer(&doc).unwrap();
+        let mut mapping = Mapping::new();
+        mapping.add_type("MOVIE", ["/moviedoc/movie"]);
+        (doc, schema, mapping)
+    }
+
+    #[test]
+    fn end_to_end_finds_the_matrix_pair() {
+        let (doc, schema, mapping) = movie_setup();
+        let dx = Dogmatix::new(DogmatixConfig::default(), mapping);
+        let result = dx.run(&doc, &schema, "MOVIE").unwrap();
+        assert_eq!(result.stats.candidates, 4);
+        assert_eq!(result.duplicate_pairs.len(), 1);
+        assert_eq!(
+            (result.duplicate_pairs[0].0, result.duplicate_pairs[0].1),
+            (0, 1)
+        );
+        assert_eq!(result.clusters, vec![vec![0, 1]]);
+        assert!(result.is_duplicate(0, 1));
+        assert!(result.is_duplicate(1, 0));
+        assert!(!result.is_duplicate(0, 2));
+    }
+
+    #[test]
+    fn filter_prunes_isolated_candidates() {
+        let (doc, schema, mapping) = movie_setup();
+        let dx = Dogmatix::new(DogmatixConfig::default(), mapping);
+        let result = dx.run(&doc, &schema, "MOVIE").unwrap();
+        // Signs and Distant Echo share nothing with anyone.
+        assert!(result.stats.pruned_by_filter >= 1);
+        assert!(result.pruned[3], "f={}", result.f_values[3]);
+        // The true duplicates survive the filter.
+        assert!(!result.pruned[0] && !result.pruned[1]);
+    }
+
+    #[test]
+    fn filter_and_no_filter_agree_on_duplicates() {
+        let (doc, schema, mapping) = movie_setup();
+        let with = Dogmatix::new(DogmatixConfig::default(), mapping.clone())
+            .run(&doc, &schema, "MOVIE")
+            .unwrap();
+        let without = Dogmatix::new(
+            DogmatixConfig {
+                use_filter: false,
+                ..DogmatixConfig::default()
+            },
+            mapping,
+        )
+        .run(&doc, &schema, "MOVIE")
+        .unwrap();
+        assert_eq!(with.duplicate_pairs, without.duplicate_pairs);
+        assert!(without.stats.pairs_compared >= with.stats.pairs_compared);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (doc, schema, mapping) = movie_setup();
+        let seq = Dogmatix::new(DogmatixConfig::default(), mapping.clone())
+            .run(&doc, &schema, "MOVIE")
+            .unwrap();
+        let par = Dogmatix::new(
+            DogmatixConfig {
+                threads: 4,
+                ..DogmatixConfig::default()
+            },
+            mapping,
+        )
+        .run(&doc, &schema, "MOVIE")
+        .unwrap();
+        assert_eq!(seq.duplicate_pairs, par.duplicate_pairs);
+        assert_eq!(seq.clusters, par.clusters);
+    }
+
+    #[test]
+    fn invalid_thresholds_rejected() {
+        let (doc, schema, mapping) = movie_setup();
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let dx = Dogmatix::new(
+                DogmatixConfig {
+                    theta_cand: bad,
+                    ..DogmatixConfig::default()
+                },
+                mapping.clone(),
+            );
+            assert!(dx.run(&doc, &schema, "MOVIE").is_err(), "theta={bad}");
+        }
+    }
+
+    #[test]
+    fn output_document_lists_cluster_members() {
+        let (doc, schema, mapping) = movie_setup();
+        let dx = Dogmatix::new(DogmatixConfig::default(), mapping);
+        let result = dx.run(&doc, &schema, "MOVIE").unwrap();
+        let out = result.to_xml(&doc);
+        let dups = out.select("/duplicates/dupcluster/duplicate").unwrap();
+        assert_eq!(dups.len(), 2);
+        assert_eq!(
+            out.attr(dups[0], "xpath"),
+            Some("/moviedoc[1]/movie[1]")
+        );
+    }
+
+    #[test]
+    fn unknown_type_propagates() {
+        let (doc, schema, mapping) = movie_setup();
+        let dx = Dogmatix::new(DogmatixConfig::default(), mapping);
+        assert!(matches!(
+            dx.run(&doc, &schema, "NOPE"),
+            Err(DogmatixError::UnknownType { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_document_yields_empty_result() {
+        let doc = Document::parse("<moviedoc/>").unwrap();
+        let schema = {
+            let (full, _, _) = movie_setup();
+            Schema::infer(&full).unwrap()
+        };
+        let mut mapping = Mapping::new();
+        mapping.add_type("MOVIE", ["/moviedoc/movie"]);
+        let dx = Dogmatix::new(DogmatixConfig::default(), mapping);
+        let result = dx.run(&doc, &schema, "MOVIE").unwrap();
+        assert_eq!(result.stats.candidates, 0);
+        assert!(result.duplicate_pairs.is_empty());
+        assert!(result.clusters.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Query formulation (framework Step 1/2, paper Section 3.3).
+//!
+//! "The XML query formulation component takes as input the set of XPaths
+//! σ_i and returns an XQuery the result of which is the description of a
+//! candidate duplicate as XML." In the executing pipeline the queries
+//! are fused into OD generation (the paper: "in practice the queries may
+//! be combined"), but the textual XQueries are still useful — to run the
+//! same selection on an external XQuery processor, and as a transparent
+//! record of what a heuristic selected. This module emits them.
+
+use std::collections::BTreeSet;
+
+/// Formulates the candidate query `Q_C`: a FLWOR expression selecting
+/// all instances of the candidate schema elements (Definition 1's
+/// `Ω_T = ⋃ O_i^T`).
+///
+/// ```
+/// use dogmatix_core::query::candidate_query;
+/// let q = candidate_query(&["/db/movie", "/db/film"]);
+/// assert!(q.contains("$doc/db/movie"));
+/// assert!(q.contains("union"));
+/// ```
+pub fn candidate_query(candidate_paths: &[&str]) -> String {
+    let paths: Vec<String> = candidate_paths
+        .iter()
+        .map(|p| format!("$doc{}", normalise(p)))
+        .collect();
+    format!(
+        "for $candidate in ({})\nreturn $candidate",
+        paths.join(" union ")
+    )
+}
+
+/// Formulates the description query `Q_D` for one candidate schema
+/// element: projects the selected description paths (relative to the
+/// candidate) into an `<od>` element — the shape OD generation flattens.
+///
+/// `candidate_path` is the candidate's schema path, `selection` the
+/// heuristic's σ as absolute schema paths (ancestor selections are
+/// emitted with upward steps).
+pub fn description_query(candidate_path: &str, selection: &BTreeSet<String>) -> String {
+    let candidate_path = normalise(candidate_path);
+    let mut projections = Vec::new();
+    for path in selection {
+        let path = normalise(path);
+        if let Some(rel) = path.strip_prefix(&format!("{candidate_path}/")) {
+            projections.push(format!("$c/{rel}"));
+        } else if candidate_path.starts_with(&format!("{path}/")) {
+            // Ancestor selection: one ".." per level difference.
+            let depth = candidate_path[path.len()..]
+                .matches('/')
+                .count();
+            let ups = vec![".."; depth].join("/");
+            projections.push(format!("$c/{ups}"));
+        } else if path == candidate_path {
+            projections.push("$c".to_string());
+        }
+        // Paths unrelated to this candidate element (e.g. the other
+        // source's elements in an integration scenario) are skipped.
+    }
+    format!(
+        "for $c in $doc{candidate_path}\nreturn <od>{{ {} }}</od>",
+        projections.join(", ")
+    )
+}
+
+fn normalise(p: &str) -> String {
+    let p = p.trim();
+    let p = if let Some(i) = p.find('/') {
+        if p.starts_with('$') {
+            &p[i..]
+        } else {
+            p
+        }
+    } else {
+        p
+    };
+    p.trim_end_matches('/').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_query_unions_schema_elements() {
+        let q = candidate_query(&["/db/movie", "/db/film"]);
+        assert_eq!(
+            q,
+            "for $candidate in ($doc/db/movie union $doc/db/film)\nreturn $candidate"
+        );
+    }
+
+    #[test]
+    fn candidate_query_single_path() {
+        let q = candidate_query(&["$doc/discs/disc"]);
+        assert!(q.contains("($doc/discs/disc)"));
+    }
+
+    #[test]
+    fn description_query_projects_descendants() {
+        let sel: BTreeSet<String> = [
+            "/discs/disc/did",
+            "/discs/disc/title",
+            "/discs/disc/tracks/title",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let q = description_query("/discs/disc", &sel);
+        assert!(q.contains("for $c in $doc/discs/disc"));
+        assert!(q.contains("$c/did"));
+        assert!(q.contains("$c/tracks/title"));
+        assert!(q.contains("<od>"));
+    }
+
+    #[test]
+    fn description_query_handles_ancestors() {
+        let sel: BTreeSet<String> = ["/discs"].iter().map(|s| s.to_string()).collect();
+        let q = description_query("/discs/disc", &sel);
+        assert!(q.contains("$c/.."), "{q}");
+    }
+
+    #[test]
+    fn unrelated_paths_are_skipped() {
+        // Integration scenario: the selection contains the other
+        // source's paths, which do not apply to this candidate element.
+        let sel: BTreeSet<String> = ["/integrated/filmdienst/movie/year"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let q = description_query("/integrated/imdb/movie", &sel);
+        assert!(!q.contains("filmdienst"), "{q}");
+    }
+
+    #[test]
+    fn dollar_anchors_normalised() {
+        let sel: BTreeSet<String> = ["$doc/moviedoc/movie/title"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let q = description_query("$doc/moviedoc/movie", &sel);
+        assert!(q.contains("$c/title"));
+    }
+}

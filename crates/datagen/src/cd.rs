@@ -1,0 +1,339 @@
+//! FreeDB-like CD corpus generator (the paper's Datasets 1 and 3).
+//!
+//! The schema matches the paper's Table 5 exactly, including each
+//! element's data type, mandatory (ME) and singleton (SE) flags:
+//!
+//! | k | element        | type    | ME | SE |
+//! |---|----------------|---------|----|----|
+//! | 1 | disc/did       | string  | ✓  | ✓  |
+//! | 2 | disc/artist    | string  | ✓  | —  |
+//! | 3 | disc/title     | string  | ✓  | —  |
+//! | 4 | disc/genre     | string  | —  | ✓  |
+//! | 5 | disc/year      | date    | ✓  | ✓  |
+//! | 6 | disc/cdextra   | string  | —  | —  |
+//! | 7 | disc/tracks    | complex | ✓  | ✓  |
+//! | 8 | disc/tracks/title | string | ✓ | — |
+//!
+//! Value statistics reproduce the effects the paper reports on Figure 5:
+//!
+//! * **disc ids** are sequential and zero-padded, so "most IDs do not
+//!   differ by more than one character" — the source of the low precision
+//!   at `k = 1`,
+//! * **artist/title** are drawn from large product spaces (high IDF),
+//! * **genre/year** come from small domains (low IDF),
+//! * roughly 20% of CDs carry dummy `Track N` titles, which "increases the
+//!   similarity of non-duplicates" once track titles join the description
+//!   at `k = 8`.
+
+use crate::vocab;
+use dogmatix_xml::dom::DOCUMENT_NODE;
+use dogmatix_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// One CD record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdRecord {
+    /// Disc id, e.g. `disc000042`.
+    pub did: String,
+    /// Artist name.
+    pub artist: String,
+    /// Album title.
+    pub title: String,
+    /// Genre (optional — "not ME" in Table 5).
+    pub genre: Option<String>,
+    /// Release year.
+    pub year: u32,
+    /// Optional promotional text ("not ME, not SE").
+    pub cdextra: Option<String>,
+    /// Track titles, nested under `<tracks>`.
+    pub tracks: Vec<String>,
+}
+
+/// Configuration for [`generate_cds`].
+#[derive(Debug, Clone, Copy)]
+pub struct CdCorpusConfig {
+    /// Number of distinct CDs.
+    pub n: usize,
+    /// RNG seed (generation is deterministic).
+    pub seed: u64,
+    /// Fraction of CDs whose track list uses dummy `Track N` titles
+    /// (the paper observes ~20% in FreeDB).
+    pub dummy_track_fraction: f64,
+    /// Probability that the optional `genre` element is present.
+    pub genre_presence: f64,
+    /// Probability that the optional `cdextra` element is present.
+    pub cdextra_presence: f64,
+}
+
+impl Default for CdCorpusConfig {
+    fn default() -> Self {
+        CdCorpusConfig {
+            n: 500,
+            seed: 42,
+            dummy_track_fraction: 0.2,
+            genre_presence: 0.9,
+            cdextra_presence: 0.3,
+        }
+    }
+}
+
+/// Generates `cfg.n` distinct CD records (no two share artist+title).
+pub fn generate_cds(cfg: &CdCorpusConfig) -> Vec<CdRecord> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut seen: HashSet<(String, String)> = HashSet::with_capacity(cfg.n);
+    let mut out = Vec::with_capacity(cfg.n);
+    while out.len() < cfg.n {
+        let artist = random_artist(&mut rng);
+        let title = random_title(&mut rng);
+        if !seen.insert((artist.clone(), title.clone())) {
+            continue;
+        }
+        let idx = out.len();
+        let genre = rng
+            .gen_bool(cfg.genre_presence)
+            .then(|| vocab::GENRES[rng.gen_range(0..vocab::GENRES.len())].0.to_string());
+        let cdextra = rng.gen_bool(cfg.cdextra_presence).then(|| {
+            vocab::CD_EXTRA_PHRASES[rng.gen_range(0..vocab::CD_EXTRA_PHRASES.len())].to_string()
+        });
+        let n_tracks = rng.gen_range(5..=14);
+        // "dummy titles ('Track 1') for non-specified titles in
+        // approximately 20% of all CDs": affected CDs have a mix of real
+        // and dummy track titles.
+        let has_dummies = rng.gen_bool(cfg.dummy_track_fraction);
+        let tracks = (1..=n_tracks)
+            .map(|i| {
+                if has_dummies && rng.gen_bool(0.5) {
+                    format!("Track {i}")
+                } else {
+                    random_title(&mut rng)
+                }
+            })
+            .collect();
+        out.push(CdRecord {
+            did: format!("disc{:06}", idx + 1),
+            artist,
+            title,
+            genre,
+            year: rng.gen_range(1960..=2005),
+            cdextra,
+            tracks,
+        });
+    }
+    out
+}
+
+fn random_artist(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.3) {
+        let noun = vocab::BAND_NOUNS[rng.gen_range(0..vocab::BAND_NOUNS.len())];
+        let noun2 = vocab::TITLE_WORDS[rng.gen_range(0..vocab::TITLE_WORDS.len())];
+        format!("The {noun} {noun2}s")
+    } else {
+        let first = vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())];
+        let last = vocab::LAST_NAMES[rng.gen_range(0..vocab::LAST_NAMES.len())];
+        format!("{first} {last}")
+    }
+}
+
+fn random_title(rng: &mut StdRng) -> String {
+    let words = rng.gen_range(1..=3);
+    let mut parts = Vec::with_capacity(words + 1);
+    if rng.gen_bool(0.25) {
+        parts.push("The");
+    }
+    for _ in 0..words {
+        parts.push(vocab::TITLE_WORDS[rng.gen_range(0..vocab::TITLE_WORDS.len())]);
+    }
+    parts.join(" ")
+}
+
+/// Renders `(entity id, record)` pairs as a `<discs>` document in the
+/// given order, returning the document and the aligned gold standard.
+pub fn cds_to_document(records: &[(u64, CdRecord)]) -> (Document, crate::GoldStandard) {
+    let mut doc = Document::with_root("discs");
+    let root = doc.root_element().unwrap_or(DOCUMENT_NODE);
+    let mut eids = Vec::with_capacity(records.len());
+    for (eid, r) in records {
+        let disc = doc.add_element(root, "disc");
+        doc.add_text_element(disc, "did", &r.did);
+        doc.add_text_element(disc, "artist", &r.artist);
+        doc.add_text_element(disc, "title", &r.title);
+        if let Some(g) = &r.genre {
+            doc.add_text_element(disc, "genre", g);
+        }
+        doc.add_text_element(disc, "year", &r.year.to_string());
+        if let Some(e) = &r.cdextra {
+            doc.add_text_element(disc, "cdextra", e);
+        }
+        let tracks = doc.add_element(disc, "tracks");
+        for t in &r.tracks {
+            doc.add_text_element(tracks, "title", t);
+        }
+        eids.push(*eid);
+    }
+    (doc, crate::GoldStandard::new(eids))
+}
+
+/// XPath of the CD duplicate candidates.
+pub const CD_CANDIDATE_PATH: &str = "/discs/disc";
+
+/// XSD for the CD corpus, matching Table 5's type/ME/SE flags.
+pub const CD_XSD: &str = r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="discs">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="disc" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="did" type="xs:string"/>
+              <xs:element name="artist" type="xs:string" maxOccurs="unbounded"/>
+              <xs:element name="title" type="xs:string" maxOccurs="unbounded"/>
+              <xs:element name="genre" type="xs:string" minOccurs="0"/>
+              <xs:element name="year" type="xs:gYear"/>
+              <xs:element name="cdextra" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+              <xs:element name="tracks">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="title" type="xs:string" maxOccurs="unbounded"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dogmatix_xml::Schema;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = CdCorpusConfig {
+            n: 50,
+            ..Default::default()
+        };
+        assert_eq!(generate_cds(&cfg), generate_cds(&cfg));
+        let other = CdCorpusConfig {
+            seed: 7,
+            ..cfg
+        };
+        assert_ne!(generate_cds(&cfg), generate_cds(&other));
+    }
+
+    #[test]
+    fn no_duplicate_artist_title_combos() {
+        let cds = generate_cds(&CdCorpusConfig {
+            n: 500,
+            ..Default::default()
+        });
+        let mut combos: Vec<_> = cds.iter().map(|c| (&c.artist, &c.title)).collect();
+        combos.sort();
+        combos.dedup();
+        assert_eq!(combos.len(), 500);
+    }
+
+    #[test]
+    fn sequential_ids_differ_by_one_char() {
+        // The Figure 5 k=1 effect: neighbouring ids are within edit
+        // distance 1, i.e. ned = 1/10 < θ_tuple = 0.15.
+        let cds = generate_cds(&CdCorpusConfig {
+            n: 20,
+            ..Default::default()
+        });
+        let d = dogmatix_textsim::ned(&cds[3].did, &cds[4].did);
+        assert!(d < 0.15, "neighbouring disc ids must be ned-similar, got {d}");
+    }
+
+    #[test]
+    fn dummy_track_fraction_respected() {
+        let cds = generate_cds(&CdCorpusConfig {
+            n: 1000,
+            ..Default::default()
+        });
+        let dummy = cds
+            .iter()
+            .filter(|c| c.tracks.iter().any(|t| t.starts_with("Track ")))
+            .count();
+        let frac = dummy as f64 / 1000.0;
+        assert!((0.12..=0.28).contains(&frac), "dummy fraction {frac}");
+    }
+
+    #[test]
+    fn document_rendering_matches_schema() {
+        let cds = generate_cds(&CdCorpusConfig {
+            n: 30,
+            ..Default::default()
+        });
+        let pairs: Vec<(u64, CdRecord)> =
+            cds.into_iter().enumerate().map(|(i, c)| (i as u64, c)).collect();
+        let (doc, gold) = cds_to_document(&pairs);
+        assert_eq!(doc.select(CD_CANDIDATE_PATH).unwrap().len(), 30);
+        assert_eq!(gold.len(), 30);
+        // Every disc satisfies the XSD structure (schema paths exist).
+        let schema = Schema::parse_xsd(CD_XSD).unwrap();
+        for el in doc.select("/discs/disc/*").unwrap() {
+            let path = doc.name_path(el);
+            assert!(
+                schema.find_by_path(&path).is_some(),
+                "instance path {path} missing from schema"
+            );
+        }
+    }
+
+    #[test]
+    fn xsd_flags_match_table5() {
+        let s = Schema::parse_xsd(CD_XSD).unwrap();
+        let f = |p: &str| s.find_by_path(p).unwrap();
+        assert!(s.is_mandatory(f("/discs/disc/did")) && s.is_singleton(f("/discs/disc/did")));
+        assert!(!s.is_singleton(f("/discs/disc/artist")));
+        assert!(!s.is_mandatory(f("/discs/disc/genre")));
+        assert!(!s.is_string_type(f("/discs/disc/year")));
+        assert!(s.is_mandatory(f("/discs/disc/tracks")));
+        assert!(!s.has_text(f("/discs/disc/tracks")), "tracks is complex");
+        assert!(s.is_string_type(f("/discs/disc/tracks/title")));
+    }
+
+    #[test]
+    fn bfs_order_matches_table5_k_order() {
+        let s = Schema::parse_xsd(CD_XSD).unwrap();
+        let disc = s.find_by_path("/discs/disc").unwrap();
+        let order: Vec<_> = s
+            .breadth_first(disc)
+            .iter()
+            .map(|n| s.path(*n))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                "/discs/disc/did",
+                "/discs/disc/artist",
+                "/discs/disc/title",
+                "/discs/disc/genre",
+                "/discs/disc/year",
+                "/discs/disc/cdextra",
+                "/discs/disc/tracks",
+                "/discs/disc/tracks/title",
+            ]
+        );
+    }
+
+    #[test]
+    fn years_within_range_and_low_cardinality() {
+        let cds = generate_cds(&CdCorpusConfig {
+            n: 300,
+            ..Default::default()
+        });
+        assert!(cds.iter().all(|c| (1960..=2005).contains(&c.year)));
+        let mut years: Vec<_> = cds.iter().map(|c| c.year).collect();
+        years.sort_unstable();
+        years.dedup();
+        assert!(years.len() <= 46);
+    }
+}

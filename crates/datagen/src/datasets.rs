@@ -1,0 +1,174 @@
+//! One-call builders for the paper's three datasets plus the Figure 8
+//! filter-evaluation corpus.
+
+use crate::cd::{cds_to_document, generate_cds, CdCorpusConfig, CdRecord};
+use crate::dirty::{dirty_cd_duplicates, DirtyConfig};
+use crate::gold::GoldStandard;
+use crate::movie::{generate_movies, movies_to_integrated_document, MovieCorpusConfig};
+use dogmatix_xml::Document;
+
+/// Dataset 1: 500 distinct CDs plus one dirty duplicate each
+/// (100% duplicates, 20% typos, 10% missing data, 8% synonyms).
+pub fn dataset1(seed: u64) -> (Document, GoldStandard) {
+    dataset1_sized(seed, 500)
+}
+
+/// Dataset 1 at a custom size (used by scaling benches and fast tests).
+pub fn dataset1_sized(seed: u64, n: usize) -> (Document, GoldStandard) {
+    let originals = generate_cds(&CdCorpusConfig {
+        n,
+        seed,
+        ..Default::default()
+    });
+    let dups = dirty_cd_duplicates(&originals, &DirtyConfig::paper_dataset1(seed ^ 0xD1));
+    (interleave(&originals, &dups), gold_for(&originals, &dups))
+}
+
+/// Dataset 2: one movie universe rendered through the IMDB-like and
+/// Film-Dienst-like sources (500 movies each by default).
+pub fn dataset2(seed: u64) -> (Document, GoldStandard) {
+    dataset2_sized(seed, 500)
+}
+
+/// Dataset 2 at a custom size.
+pub fn dataset2_sized(seed: u64, n: usize) -> (Document, GoldStandard) {
+    let cfg = MovieCorpusConfig {
+        n,
+        seed,
+        ..Default::default()
+    };
+    let movies = generate_movies(&cfg);
+    movies_to_integrated_document(&movies, &cfg)
+}
+
+/// Dataset 3: a large CD corpus (10,000 by default) containing a small
+/// number of embedded duplicates — some exact, some dirty — mirroring the
+/// naturally occurring duplicates the paper found in FreeDB.
+pub fn dataset3(seed: u64) -> (Document, GoldStandard) {
+    dataset3_sized(seed, 10_000, 40, 25)
+}
+
+/// Dataset 3 at custom sizes: `n` distinct CDs, `dirty_pairs` dirty
+/// duplicates and `exact_pairs` byte-identical duplicates.
+pub fn dataset3_sized(
+    seed: u64,
+    n: usize,
+    dirty_pairs: usize,
+    exact_pairs: usize,
+) -> (Document, GoldStandard) {
+    let originals = generate_cds(&CdCorpusConfig {
+        n,
+        seed,
+        ..Default::default()
+    });
+    let mut dups = dirty_cd_duplicates(
+        &originals[..dirty_pairs.min(n)],
+        &DirtyConfig {
+            duplicate_pct: 1.0,
+            ..DirtyConfig::paper_dataset1(seed ^ 0xD3)
+        },
+    );
+    // Exact duplicates of the next `exact_pairs` originals.
+    let lo = dirty_pairs.min(n);
+    let hi = (dirty_pairs + exact_pairs).min(n);
+    for (off, orig) in originals[lo..hi].iter().enumerate() {
+        dups.push((lo + off, orig.clone()));
+    }
+    (interleave(&originals, &dups), gold_for(&originals, &dups))
+}
+
+/// Figure 8 corpus: `n` distinct CDs of which a `dup_fraction` receive one
+/// dirty duplicate each (the paper varies the percentage from 0% to 90%).
+pub fn filter_dataset(seed: u64, n: usize, dup_fraction: f64) -> (Document, GoldStandard) {
+    let originals = generate_cds(&CdCorpusConfig {
+        n,
+        seed,
+        ..Default::default()
+    });
+    let dups = dirty_cd_duplicates(
+        &originals,
+        &DirtyConfig {
+            duplicate_pct: dup_fraction,
+            ..DirtyConfig::paper_dataset1(seed ^ 0xF8)
+        },
+    );
+    (interleave(&originals, &dups), gold_for(&originals, &dups))
+}
+
+/// Renders originals followed by duplicates into one document.
+fn interleave(originals: &[CdRecord], dups: &[(usize, CdRecord)]) -> Document {
+    let mut all: Vec<(u64, CdRecord)> = originals
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i as u64, r.clone()))
+        .collect();
+    all.extend(dups.iter().map(|(i, r)| (*i as u64, r.clone())));
+    cds_to_document(&all).0
+}
+
+fn gold_for(originals: &[CdRecord], dups: &[(usize, CdRecord)]) -> GoldStandard {
+    let mut eids: Vec<u64> = (0..originals.len() as u64).collect();
+    eids.extend(dups.iter().map(|(i, _)| *i as u64));
+    GoldStandard::new(eids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cd::CD_CANDIDATE_PATH;
+
+    #[test]
+    fn dataset1_shape() {
+        let (doc, gold) = dataset1_sized(1, 50);
+        assert_eq!(doc.select(CD_CANDIDATE_PATH).unwrap().len(), 100);
+        assert_eq!(gold.len(), 100);
+        assert_eq!(gold.true_pair_count(), 50);
+        assert_eq!(gold.singleton_count(), 0);
+    }
+
+    #[test]
+    fn dataset2_shape() {
+        let (doc, gold) = dataset2_sized(1, 30);
+        let imdb = doc.select("/integrated/imdb/movie").unwrap().len();
+        let fd = doc.select("/integrated/filmdienst/movie").unwrap().len();
+        assert_eq!((imdb, fd), (30, 30));
+        assert_eq!(gold.true_pair_count(), 30);
+    }
+
+    #[test]
+    fn dataset3_shape() {
+        let (doc, gold) = dataset3_sized(1, 200, 10, 5);
+        assert_eq!(doc.select(CD_CANDIDATE_PATH).unwrap().len(), 215);
+        assert_eq!(gold.true_pair_count(), 15);
+        assert_eq!(gold.singleton_count(), 185);
+    }
+
+    #[test]
+    fn filter_dataset_fraction() {
+        let (_, gold0) = filter_dataset(1, 100, 0.0);
+        assert_eq!(gold0.true_pair_count(), 0);
+        assert_eq!(gold0.singleton_count(), 100);
+        let (_, gold50) = filter_dataset(1, 100, 0.5);
+        assert_eq!(gold50.true_pair_count(), 50);
+        assert_eq!(gold50.singleton_count(), 50);
+        let (_, gold90) = filter_dataset(1, 100, 0.9);
+        assert_eq!(gold90.true_pair_count(), 90);
+    }
+
+    #[test]
+    fn gold_aligns_with_document_order() {
+        let (doc, gold) = dataset1_sized(3, 10);
+        let candidates = doc.select(CD_CANDIDATE_PATH).unwrap();
+        assert_eq!(candidates.len(), gold.len());
+        // Duplicate k pairs with original k: eid(k) == eid(10 + k).
+        for k in 0..10 {
+            assert!(gold.is_duplicate_pair(k, 10 + k));
+        }
+        // The duplicate's did matches (or nearly matches) the original's.
+        let did_orig = doc.select_from(candidates[0], "./did").unwrap()[0];
+        let did_dup = doc.select_from(candidates[10], "./did").unwrap()[0];
+        let a = doc.direct_text(did_orig).unwrap();
+        let b = doc.direct_text(did_dup).unwrap();
+        assert!(dogmatix_textsim::levenshtein(&a, &b) <= 2);
+    }
+}

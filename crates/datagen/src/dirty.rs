@@ -1,0 +1,262 @@
+//! The dirty-duplicate generator.
+//!
+//! Reimplements the four knobs of the authors' "XML Dirty Data Generator"
+//! (Section 6.1): percentage of duplicates, of typographical errors, of
+//! missing data, and of synonymous-but-contradictory data. For the paper's
+//! Dataset 1 these are set to 100%, 20%, 10%, and 8% respectively.
+//!
+//! Error classes:
+//!
+//! * **typo** — one or two random character edits (insert / delete /
+//!   substitute / transpose) applied to a field value,
+//! * **missing** — an optional element is dropped, or a suffix of the
+//!   track list is removed,
+//! * **synonym** — a value is replaced by a semantically equal but
+//!   textually different one from the vocabulary's synonym column (the
+//!   paper: "synonyms, although having the same meaning, are recognized
+//!   as contradictory data").
+
+use crate::cd::CdRecord;
+use crate::vocab;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of the dirty-duplicate generator, mirroring the paper's four
+/// parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DirtyConfig {
+    /// Fraction of originals that receive a duplicate (paper: 1.0).
+    pub duplicate_pct: f64,
+    /// Per-field probability of a typographical error (paper: 0.2).
+    pub typo_pct: f64,
+    /// Per-optional-field probability of data going missing (paper: 0.1).
+    pub missing_pct: f64,
+    /// Per-eligible-field probability of a synonym swap (paper: 0.08).
+    pub synonym_pct: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DirtyConfig {
+    /// The paper's Dataset 1 parameterisation: 100% duplicates, 20% typos,
+    /// 10% missing data, 8% synonyms.
+    pub fn paper_dataset1(seed: u64) -> Self {
+        DirtyConfig {
+            duplicate_pct: 1.0,
+            typo_pct: 0.2,
+            missing_pct: 0.1,
+            synonym_pct: 0.08,
+            seed,
+        }
+    }
+}
+
+/// Applies one random character edit to `s` (insert, delete, substitute,
+/// or transpose). Empty strings gain a single random character.
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    let mut chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return (ALPHABET[rng.gen_range(0..ALPHABET.len())] as char).to_string();
+    }
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // insert
+            let pos = rng.gen_range(0..=chars.len());
+            chars.insert(pos, ALPHABET[rng.gen_range(0..ALPHABET.len())] as char);
+        }
+        1 => {
+            // delete
+            if chars.len() > 1 {
+                let pos = rng.gen_range(0..chars.len());
+                chars.remove(pos);
+            }
+        }
+        2 => {
+            // substitute
+            let pos = rng.gen_range(0..chars.len());
+            chars[pos] = ALPHABET[rng.gen_range(0..ALPHABET.len())] as char;
+        }
+        _ => {
+            // transpose
+            if chars.len() > 1 {
+                let pos = rng.gen_range(0..chars.len() - 1);
+                chars.swap(pos, pos + 1);
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Generates dirty duplicates of `originals` according to `cfg`.
+///
+/// Returns `(original index, dirty record)` pairs. The first
+/// `⌈duplicate_pct · n⌉` originals (in order) receive one duplicate each,
+/// matching the paper's setup ("1 for each CD" at 100%).
+pub fn dirty_cd_duplicates(originals: &[CdRecord], cfg: &DirtyConfig) -> Vec<(usize, CdRecord)> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_dups = (cfg.duplicate_pct * originals.len() as f64).round() as usize;
+    let mut out = Vec::with_capacity(n_dups);
+    for (i, orig) in originals.iter().take(n_dups).enumerate() {
+        out.push((i, dirty_one(orig, cfg, &mut rng)));
+    }
+    out
+}
+
+fn dirty_one(orig: &CdRecord, cfg: &DirtyConfig, rng: &mut StdRng) -> CdRecord {
+    let mut dup = orig.clone();
+
+    // Typos on text fields.
+    if rng.gen_bool(cfg.typo_pct) {
+        dup.did = typo(&dup.did, rng);
+    }
+    if rng.gen_bool(cfg.typo_pct) {
+        dup.artist = typo(&dup.artist, rng);
+    }
+    if rng.gen_bool(cfg.typo_pct) {
+        dup.title = typo(&dup.title, rng);
+    }
+    for t in dup.tracks.iter_mut() {
+        if rng.gen_bool(cfg.typo_pct / 2.0) {
+            *t = typo(t, rng);
+        }
+    }
+
+    // Missing data on optional elements.
+    if dup.genre.is_some() && rng.gen_bool(cfg.missing_pct) {
+        dup.genre = None;
+    }
+    if dup.cdextra.is_some() && rng.gen_bool(cfg.missing_pct) {
+        dup.cdextra = None;
+    }
+    if dup.tracks.len() > 2 && rng.gen_bool(cfg.missing_pct) {
+        let keep = rng.gen_range(2..dup.tracks.len());
+        dup.tracks.truncate(keep);
+    }
+
+    // Synonym swaps (semantically equal, textually contradictory).
+    if let Some(genre) = &dup.genre {
+        if rng.gen_bool(cfg.synonym_pct) {
+            if let Some(syn) = vocab::genre_synonym(genre) {
+                dup.genre = Some(syn.to_string());
+            }
+        }
+    }
+    if rng.gen_bool(cfg.synonym_pct) {
+        // Artist alias: "First Last" -> "Last, First".
+        if let Some((first, last)) = dup.artist.rsplit_once(' ') {
+            if !dup.artist.starts_with("The ") {
+                dup.artist = format!("{last}, {first}");
+            }
+        }
+    }
+    dup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cd::{generate_cds, CdCorpusConfig};
+
+    fn originals(n: usize) -> Vec<CdRecord> {
+        generate_cds(&CdCorpusConfig {
+            n,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn duplicate_count_follows_percentage() {
+        let orig = originals(100);
+        for (pct, want) in [(1.0, 100), (0.5, 50), (0.0, 0), (0.25, 25)] {
+            let cfg = DirtyConfig {
+                duplicate_pct: pct,
+                ..DirtyConfig::paper_dataset1(1)
+            };
+            assert_eq!(dirty_cd_duplicates(&orig, &cfg).len(), want);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let orig = originals(50);
+        let cfg = DirtyConfig::paper_dataset1(9);
+        assert_eq!(
+            dirty_cd_duplicates(&orig, &cfg),
+            dirty_cd_duplicates(&orig, &cfg)
+        );
+    }
+
+    #[test]
+    fn typo_changes_string_by_small_edit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for s in ["The Matrix", "disc000001", "a", ""] {
+            for _ in 0..50 {
+                let t = typo(s, &mut rng);
+                let d = dogmatix_textsim::levenshtein(s, &t);
+                assert!(d <= 2, "typo({s:?}) = {t:?} has distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_stay_similar_to_originals() {
+        let orig = originals(200);
+        let dups = dirty_cd_duplicates(&orig, &DirtyConfig::paper_dataset1(5));
+        let mut similar_titles = 0;
+        for (i, d) in &dups {
+            if dogmatix_textsim::ned(&orig[*i].title, &d.title) < 0.15 {
+                similar_titles += 1;
+            }
+        }
+        // With a 20% typo rate, the vast majority of titles remain
+        // ned-similar below θ_tuple.
+        assert!(similar_titles as f64 / dups.len() as f64 > 0.85);
+    }
+
+    #[test]
+    fn error_rates_are_in_expected_ballpark() {
+        let orig = originals(500);
+        let dups = dirty_cd_duplicates(&orig, &DirtyConfig::paper_dataset1(11));
+        let typos = dups
+            .iter()
+            .filter(|(i, d)| d.title != orig[*i].title)
+            .count() as f64
+            / dups.len() as f64;
+        assert!((0.1..=0.3).contains(&typos), "title typo rate {typos}");
+        let missing_genre = dups
+            .iter()
+            .filter(|(i, d)| orig[*i].genre.is_some() && d.genre.is_none())
+            .count() as f64
+            / dups.iter().filter(|(i, _)| orig[*i].genre.is_some()).count() as f64;
+        assert!((0.03..=0.2).contains(&missing_genre), "missing rate {missing_genre}");
+    }
+
+    #[test]
+    fn synonyms_are_contradictory_not_similar() {
+        // A swapped genre must NOT be ned-similar to the original —
+        // that is the whole point of the synonym knob.
+        for (g, syn, _) in crate::vocab::GENRES {
+            let d = dogmatix_textsim::ned(g, syn);
+            assert!(
+                d >= 0.15,
+                "synonym {syn} of {g} is ned-similar ({d}), knob would be a no-op"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rates_produce_exact_copies() {
+        let orig = originals(20);
+        let cfg = DirtyConfig {
+            duplicate_pct: 1.0,
+            typo_pct: 0.0,
+            missing_pct: 0.0,
+            synonym_pct: 0.0,
+            seed: 1,
+        };
+        for (i, d) in dirty_cd_duplicates(&orig, &cfg) {
+            assert_eq!(orig[i], d);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # dogmatix-datagen
+//!
+//! Synthetic corpora and the dirty-duplicate generator for the DogmatiX
+//! reproduction (Weis & Naumann, SIGMOD 2005).
+//!
+//! The paper evaluates on three datasets we cannot redistribute (FreeDB
+//! dumps, IMDB, Film-Dienst) that were dirtied with the authors'
+//! unavailable "XML Dirty Data Generator". This crate builds the closest
+//! synthetic equivalents, reproducing the *statistics the paper's effects
+//! depend on* (see DESIGN.md §5):
+//!
+//! * [`cd`] — a FreeDB-like CD corpus with the exact schema of the paper's
+//!   Table 5, sequential near-identical disc IDs, high-entropy artist and
+//!   title values, low-entropy genre/year, and ~20% of CDs carrying dummy
+//!   "Track N" track titles,
+//! * [`movie`] — one movie universe rendered through two differently
+//!   structured sources (Table 6): an IMDB-like English schema and a
+//!   Film-Dienst-like German schema with synonym genres, divergent date
+//!   formats, and split person names,
+//! * [`dirty`] — the four-knob dirty-duplicate generator (percentage of
+//!   duplicates, typos, missing data, synonyms — the paper sets
+//!   100/20/10/8 for Dataset 1),
+//! * [`gold`] — ground-truth bookkeeping aligned with candidate order,
+//!   used by the evaluation harness to score precision and recall.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod cd;
+pub mod datasets;
+pub mod dirty;
+pub mod gold;
+pub mod movie;
+pub mod vocab;
+
+pub use cd::{generate_cds, CdCorpusConfig, CdRecord};
+pub use dirty::{dirty_cd_duplicates, DirtyConfig};
+pub use gold::GoldStandard;
+pub use movie::{generate_movies, MovieCorpusConfig, MovieRecord};

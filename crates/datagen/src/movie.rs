@@ -1,0 +1,474 @@
+//! Two-source movie corpus (the paper's Dataset 2).
+//!
+//! One movie universe is rendered through two differently structured
+//! sources, mirroring the paper's Table 6:
+//!
+//! * an **IMDB-like** English source:
+//!   `movie/year`, `movie/title`, `movie/genre`*, `movie/release-date/date`,
+//!   `movie/people/actors/actor/name`, `movie/people/actresses/actress/name`,
+//!   `movie/people/producers/producer/name`;
+//! * a **Film-Dienst-like** German source:
+//!   `movie/year`, `movie/movie-title/title` (German title),
+//!   `movie/aka-title/title` (original title, optional),
+//!   `movie/genres/genre`* (German genre vocabulary),
+//!   `movie/premiere` (German date format, different date),
+//!   `movie/people/person/firstname` + `lastname` (split names).
+//!
+//! The discrepancies are exactly the ones the paper attributes to this
+//! scenario: synonyms (genre vocabulary, translated titles), different
+//! date formats and dates, and structural divergence — all of which the
+//! similarity measure sees as contradictory data, which is why the paper
+//! expects "the second scenario to yield poorer results".
+
+use crate::dirty::typo;
+use crate::gold::GoldStandard;
+use crate::vocab;
+use dogmatix_xml::dom::DOCUMENT_NODE;
+use dogmatix_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A person with a split name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Person {
+    /// Given name.
+    pub first: String,
+    /// Family name.
+    pub last: String,
+}
+
+impl Person {
+    /// `"First Last"` as IMDB renders it.
+    pub fn full(&self) -> String {
+        format!("{} {}", self.first, self.last)
+    }
+}
+
+/// One movie in the shared universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MovieRecord {
+    /// Original (English) title — IMDB `title`, Film-Dienst `aka-title`.
+    pub title_en: String,
+    /// German distribution title — Film-Dienst `movie-title`.
+    pub title_de: String,
+    /// Production year (shared by both sources).
+    pub year: u32,
+    /// Canonical English genre names; Film-Dienst renders translations.
+    pub genres: Vec<String>,
+    /// US release date `(year, month, day)`.
+    pub release_us: (u32, u32, u32),
+    /// German premiere date (differs from the US release).
+    pub premiere_de: (u32, u32, u32),
+    /// Male cast.
+    pub actors: Vec<Person>,
+    /// Female cast.
+    pub actresses: Vec<Person>,
+    /// Producers.
+    pub producers: Vec<Person>,
+}
+
+/// Configuration for [`generate_movies`].
+#[derive(Debug, Clone, Copy)]
+pub struct MovieCorpusConfig {
+    /// Number of movies in the universe.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Per-field probability of a typo in the Film-Dienst rendering.
+    pub typo_pct: f64,
+    /// Probability that Film-Dienst omits the `aka-title` (the original
+    /// title), which removes the strongest cross-source match.
+    pub missing_aka_pct: f64,
+    /// Probability that a person from the universe appears in the
+    /// Film-Dienst cast list at all (the source lists partial casts).
+    pub person_coverage: f64,
+    /// Probability that a listed Film-Dienst person uses German index
+    /// ordering ("Lastname, Firstname" split across the two fields),
+    /// which reads as contradictory data against the IMDB rendering.
+    pub name_swap_pct: f64,
+}
+
+impl Default for MovieCorpusConfig {
+    fn default() -> Self {
+        MovieCorpusConfig {
+            n: 500,
+            seed: 42,
+            typo_pct: 0.1,
+            missing_aka_pct: 0.15,
+            person_coverage: 0.55,
+            name_swap_pct: 0.45,
+        }
+    }
+}
+
+/// Generates `cfg.n` distinct movies.
+pub fn generate_movies(cfg: &MovieCorpusConfig) -> Vec<MovieRecord> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut seen: HashSet<String> = HashSet::with_capacity(cfg.n);
+    let mut out = Vec::with_capacity(cfg.n);
+    while out.len() < cfg.n {
+        let title_en = random_movie_title(&mut rng);
+        if !seen.insert(title_en.clone()) {
+            continue;
+        }
+        let title_de = random_german_title(&mut rng);
+        let year = rng.gen_range(1970..=2004);
+        let n_genres = rng.gen_range(1..=3);
+        let mut genres = Vec::with_capacity(n_genres);
+        while genres.len() < n_genres {
+            let g = vocab::MOVIE_GENRES[rng.gen_range(0..vocab::MOVIE_GENRES.len())]
+                .0
+                .to_string();
+            if !genres.contains(&g) {
+                genres.push(g);
+            }
+        }
+        let release_us = (year, rng.gen_range(1..=12), rng.gen_range(1..=28));
+        // German premieres trail the US release by a few months.
+        let premiere_de = {
+            let m = release_us.1 + rng.gen_range(1..=6);
+            if m > 12 {
+                (year + 1, m - 12, rng.gen_range(1..=28))
+            } else {
+                (year, m, rng.gen_range(1..=28))
+            }
+        };
+        out.push(MovieRecord {
+            title_en,
+            title_de,
+            year,
+            genres,
+            release_us,
+            premiere_de,
+            actors: random_people(&mut rng, 1..=3),
+            actresses: random_people(&mut rng, 1..=2),
+            producers: random_people(&mut rng, 1..=2),
+        });
+    }
+    out
+}
+
+fn random_people(rng: &mut StdRng, count: std::ops::RangeInclusive<usize>) -> Vec<Person> {
+    let n = rng.gen_range(count);
+    (0..n)
+        .map(|_| Person {
+            first: vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())].to_string(),
+            last: vocab::LAST_NAMES[rng.gen_range(0..vocab::LAST_NAMES.len())].to_string(),
+        })
+        .collect()
+}
+
+fn random_movie_title(rng: &mut StdRng) -> String {
+    let words = rng.gen_range(1..=3);
+    let mut parts = Vec::with_capacity(words + 1);
+    if rng.gen_bool(0.3) {
+        parts.push("The");
+    }
+    for _ in 0..words {
+        parts.push(vocab::MOVIE_TITLE_WORDS[rng.gen_range(0..vocab::MOVIE_TITLE_WORDS.len())]);
+    }
+    parts.join(" ")
+}
+
+fn random_german_title(rng: &mut StdRng) -> String {
+    let words = rng.gen_range(1..=2);
+    let mut parts = Vec::with_capacity(words + 1);
+    if rng.gen_bool(0.3) {
+        parts.push("Der");
+    }
+    for _ in 0..words {
+        parts.push(vocab::GERMAN_TITLE_WORDS[rng.gen_range(0..vocab::GERMAN_TITLE_WORDS.len())]);
+    }
+    parts.join(" ")
+}
+
+fn iso_date((y, m, d): (u32, u32, u32)) -> String {
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn german_date((y, m, d): (u32, u32, u32)) -> String {
+    format!("{d:02}.{m:02}.{y:04}")
+}
+
+/// Renders the universe as one integrated document containing both
+/// sources, plus the aligned gold standard (IMDB candidates first, then
+/// Film-Dienst candidates — the order [`MOVIE_CANDIDATE_PATHS`] selects).
+pub fn movies_to_integrated_document(
+    movies: &[MovieRecord],
+    cfg: &MovieCorpusConfig,
+) -> (Document, GoldStandard) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15));
+    let mut doc = Document::with_root("integrated");
+    let root = doc.root_element().unwrap_or(DOCUMENT_NODE);
+    let imdb = doc.add_element(root, "imdb");
+    let fd = doc.add_element(root, "filmdienst");
+    let mut eids = Vec::with_capacity(movies.len() * 2);
+
+    for (i, m) in movies.iter().enumerate() {
+        let movie = doc.add_element(imdb, "movie");
+        doc.add_text_element(movie, "year", &m.year.to_string());
+        doc.add_text_element(movie, "title", &m.title_en);
+        for g in &m.genres {
+            doc.add_text_element(movie, "genre", g);
+        }
+        let rd = doc.add_element(movie, "release-date");
+        doc.add_text_element(rd, "date", &iso_date(m.release_us));
+        let people = doc.add_element(movie, "people");
+        let actors = doc.add_element(people, "actors");
+        for p in &m.actors {
+            let a = doc.add_element(actors, "actor");
+            doc.add_text_element(a, "name", &p.full());
+        }
+        let actresses = doc.add_element(people, "actresses");
+        for p in &m.actresses {
+            let a = doc.add_element(actresses, "actress");
+            doc.add_text_element(a, "name", &p.full());
+        }
+        let producers = doc.add_element(people, "producers");
+        for p in &m.producers {
+            let a = doc.add_element(producers, "producer");
+            doc.add_text_element(a, "name", &p.full());
+        }
+        eids.push(i as u64);
+    }
+
+    for (i, m) in movies.iter().enumerate() {
+        let movie = doc.add_element(fd, "movie");
+        doc.add_text_element(movie, "year", &m.year.to_string());
+        let mt = doc.add_element(movie, "movie-title");
+        doc.add_text_element(mt, "title", &maybe_typo(&m.title_de, cfg.typo_pct, &mut rng));
+        if !rng.gen_bool(cfg.missing_aka_pct) {
+            let at = doc.add_element(movie, "aka-title");
+            doc.add_text_element(
+                at,
+                "title",
+                &maybe_typo(&m.title_en, cfg.typo_pct, &mut rng),
+            );
+        }
+        let genres = doc.add_element(movie, "genres");
+        for g in &m.genres {
+            let de = vocab::genre_german(g).unwrap_or(g.as_str());
+            doc.add_text_element(genres, "genre", de);
+        }
+        doc.add_text_element(movie, "premiere", &german_date(m.premiere_de));
+        let people = doc.add_element(movie, "people");
+        for p in m
+            .actors
+            .iter()
+            .chain(m.actresses.iter())
+            .chain(m.producers.iter())
+        {
+            if !rng.gen_bool(cfg.person_coverage) {
+                continue; // partial cast list
+            }
+            let person = doc.add_element(people, "person");
+            let (first, last) = if rng.gen_bool(cfg.name_swap_pct) {
+                // German index ordering: "Reeves," / "Keanu".
+                (format!("{},", p.last), p.first.clone())
+            } else {
+                (p.first.clone(), p.last.clone())
+            };
+            doc.add_text_element(
+                person,
+                "firstname",
+                &maybe_typo(&first, cfg.typo_pct, &mut rng),
+            );
+            doc.add_text_element(
+                person,
+                "lastname",
+                &maybe_typo(&last, cfg.typo_pct, &mut rng),
+            );
+        }
+        eids.push(i as u64);
+    }
+
+    (doc, GoldStandard::new(eids))
+}
+
+fn maybe_typo(s: &str, pct: f64, rng: &mut StdRng) -> String {
+    if rng.gen_bool(pct) {
+        typo(s, rng)
+    } else {
+        s.to_string()
+    }
+}
+
+/// The two schema elements representing the MOVIE real-world type
+/// (framework Definition 1: `S_T` may contain several schema elements).
+pub const MOVIE_CANDIDATE_PATHS: [&str; 2] = [
+    "/integrated/imdb/movie",
+    "/integrated/filmdienst/movie",
+];
+
+/// Comparable description paths per real-world type, mirroring Table 6.
+/// Each row is `(real-world type name, paths across both sources)`.
+pub fn movie_description_types() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        (
+            "YEAR",
+            vec![
+                "/integrated/imdb/movie/year",
+                "/integrated/filmdienst/movie/year",
+            ],
+        ),
+        (
+            "TITLE",
+            vec![
+                "/integrated/imdb/movie/title",
+                "/integrated/filmdienst/movie/movie-title/title",
+                "/integrated/filmdienst/movie/aka-title/title",
+            ],
+        ),
+        (
+            "GENRE",
+            vec![
+                "/integrated/imdb/movie/genre",
+                "/integrated/filmdienst/movie/genres/genre",
+            ],
+        ),
+        (
+            "RELEASE",
+            vec![
+                "/integrated/imdb/movie/release-date/date",
+                "/integrated/filmdienst/movie/premiere",
+            ],
+        ),
+        (
+            "PERSON",
+            vec![
+                "/integrated/imdb/movie/people/actors/actor/name",
+                "/integrated/imdb/movie/people/actresses/actress/name",
+                "/integrated/imdb/movie/people/producers/producer/name",
+                "/integrated/filmdienst/movie/people/person/firstname",
+                "/integrated/filmdienst/movie/people/person/lastname",
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let cfg = MovieCorpusConfig {
+            n: 100,
+            ..Default::default()
+        };
+        let a = generate_movies(&cfg);
+        assert_eq!(a, generate_movies(&cfg));
+        let mut titles: Vec<_> = a.iter().map(|m| m.title_en.clone()).collect();
+        titles.sort();
+        titles.dedup();
+        assert_eq!(titles.len(), 100);
+    }
+
+    #[test]
+    fn integrated_document_has_both_sources() {
+        let cfg = MovieCorpusConfig {
+            n: 40,
+            ..Default::default()
+        };
+        let movies = generate_movies(&cfg);
+        let (doc, gold) = movies_to_integrated_document(&movies, &cfg);
+        assert_eq!(doc.select(MOVIE_CANDIDATE_PATHS[0]).unwrap().len(), 40);
+        assert_eq!(doc.select(MOVIE_CANDIDATE_PATHS[1]).unwrap().len(), 40);
+        assert_eq!(gold.len(), 80);
+        assert_eq!(gold.true_pair_count(), 40);
+        // Candidate i (IMDB) pairs with candidate n+i (Film-Dienst).
+        assert!(gold.is_duplicate_pair(0, 40));
+        assert!(!gold.is_duplicate_pair(0, 41));
+    }
+
+    #[test]
+    fn sources_are_structurally_divergent() {
+        let cfg = MovieCorpusConfig {
+            n: 10,
+            ..Default::default()
+        };
+        let movies = generate_movies(&cfg);
+        let (doc, _) = movies_to_integrated_document(&movies, &cfg);
+        // IMDB nests titles directly, Film-Dienst wraps them.
+        assert!(!doc.select("/integrated/imdb/movie/title").unwrap().is_empty());
+        assert!(doc
+            .select("/integrated/imdb/movie/movie-title")
+            .unwrap()
+            .is_empty());
+        assert!(!doc
+            .select("/integrated/filmdienst/movie/movie-title/title")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn dates_use_divergent_formats() {
+        assert_eq!(iso_date((1999, 3, 31)), "1999-03-31");
+        assert_eq!(german_date((1999, 3, 31)), "31.03.1999");
+    }
+
+    #[test]
+    fn german_genres_are_translations() {
+        let cfg = MovieCorpusConfig {
+            n: 30,
+            ..Default::default()
+        };
+        let movies = generate_movies(&cfg);
+        let (doc, _) = movies_to_integrated_document(&movies, &cfg);
+        let de_genres = doc
+            .select("/integrated/filmdienst/movie/genres/genre")
+            .unwrap();
+        let known: Vec<&str> = vocab::MOVIE_GENRES.iter().map(|(_, _, de)| *de).collect();
+        for g in de_genres {
+            let v = doc.direct_text(g).unwrap();
+            assert!(known.contains(&v.as_str()), "unknown German genre {v}");
+        }
+    }
+
+    #[test]
+    fn aka_title_sometimes_missing() {
+        let cfg = MovieCorpusConfig {
+            n: 200,
+            missing_aka_pct: 0.15,
+            ..Default::default()
+        };
+        let movies = generate_movies(&cfg);
+        let (doc, _) = movies_to_integrated_document(&movies, &cfg);
+        let akas = doc
+            .select("/integrated/filmdienst/movie/aka-title")
+            .unwrap()
+            .len();
+        assert!(akas < 200 && akas > 120, "aka count {akas}");
+    }
+
+    #[test]
+    fn description_types_cover_both_sources() {
+        for (_, paths) in movie_description_types() {
+            let has_imdb = paths.iter().any(|p| p.contains("/imdb/"));
+            let has_fd = paths.iter().any(|p| p.contains("/filmdienst/"));
+            assert!(has_imdb && has_fd, "type must span both sources");
+        }
+    }
+
+    #[test]
+    fn person_names_split_in_fd_full_in_imdb() {
+        let cfg = MovieCorpusConfig {
+            n: 5,
+            typo_pct: 0.0,
+            person_coverage: 1.0,
+            name_swap_pct: 0.0,
+            ..Default::default()
+        };
+        let movies = generate_movies(&cfg);
+        let (doc, _) = movies_to_integrated_document(&movies, &cfg);
+        let full = doc
+            .select("/integrated/imdb/movie/people/actors/actor/name")
+            .unwrap();
+        assert!(doc.direct_text(full[0]).unwrap().contains(' '));
+        let first = doc
+            .select("/integrated/filmdienst/movie/people/person/firstname")
+            .unwrap();
+        assert!(!doc.direct_text(first[0]).unwrap().contains(' '));
+    }
+}

@@ -1,0 +1,174 @@
+//! Word lists used by the synthetic generators.
+//!
+//! Sizes are chosen to reproduce the *identifying power* (IDF) statistics
+//! the paper's Figure 5 discussion relies on: artist and title values are
+//! drawn from large product spaces (high IDF), while genre and year come
+//! from small domains (low IDF). The genre table carries the synonym and
+//! German-translation columns exercised by the dirty generator and the
+//! Film-Dienst-like rendering.
+
+/// Genre rows: `(canonical English, English synonym, German translation)`.
+///
+/// The synonym column feeds the dirty generator's "synonymous (but
+/// contradictory) data" knob; the German column feeds the Film-Dienst-like
+/// movie rendering.
+pub const GENRES: &[(&str, &str, &str)] = &[
+    ("Rock", "Rock Music", "Rockmusik"),
+    ("Pop", "Popular", "Popmusik"),
+    ("Jazz", "Jazz Music", "Jazzmusik"),
+    ("Classical", "Classic", "Klassik"),
+    ("Hip-Hop", "Rap", "Hip-Hop Musik"),
+    ("Electronic", "Techno", "Elektronische Musik"),
+    ("Country", "Country Western", "Countrymusik"),
+    ("Blues", "Blues Music", "Bluesmusik"),
+    ("Folk", "Folk Music", "Volksmusik"),
+    ("Reggae", "Reggae Music", "Reggaemusik"),
+    ("Metal", "Heavy Metal", "Metallmusik"),
+    ("Soul", "Soul Music", "Soulmusik"),
+];
+
+/// Movie genre rows: `(English, English synonym, German)`.
+pub const MOVIE_GENRES: &[(&str, &str, &str)] = &[
+    ("Action", "Action Adventure", "Actionfilm"),
+    ("Comedy", "Comedic", "Komoedie"),
+    ("Drama", "Dramatic", "Drama"),
+    ("Thriller", "Suspense", "Thriller"),
+    ("Horror", "Scary", "Horrorfilm"),
+    ("Romance", "Romantic", "Liebesfilm"),
+    ("Science Fiction", "Sci-Fi", "Science-Fiction"),
+    ("Documentary", "Documentary Film", "Dokumentarfilm"),
+    ("Western", "Cowboy", "Western"),
+    ("Animation", "Animated", "Zeichentrickfilm"),
+    ("Crime", "Crime Story", "Krimi"),
+    ("Fantasy", "Fantastical", "Fantasyfilm"),
+];
+
+/// First names used for artists, actors, and producers.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty",
+    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy", "Kevin", "Carol",
+    "Brian", "Amanda", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie",
+    "Timothy", "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia",
+];
+
+/// Last names used for artists, actors, and producers.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+    "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young",
+    "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell", "Carter",
+    "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker", "Cruz",
+    "Edwards", "Collins", "Reyes",
+];
+
+/// Band-name nouns for "The <X>s" style artist names.
+pub const BAND_NOUNS: &[&str] = &[
+    "Shadow", "Echo", "Velvet", "Crystal", "Thunder", "Midnight", "Electric", "Golden",
+    "Silver", "Crimson", "Wild", "Broken", "Silent", "Burning", "Frozen", "Neon",
+    "Cosmic", "Savage", "Gentle", "Rolling", "Flying", "Dancing", "Falling", "Rising",
+];
+
+/// Words combined into CD and track titles.
+pub const TITLE_WORDS: &[&str] = &[
+    "Love", "Night", "Dream", "Heart", "Fire", "Rain", "Summer", "Winter", "Road", "Home",
+    "Light", "Dark", "Blue", "Red", "Golden", "Silver", "Moon", "Sun", "Star", "Sky",
+    "Ocean", "River", "Mountain", "City", "Street", "Dance", "Song", "Music", "Soul",
+    "Spirit", "Angel", "Devil", "Heaven", "Storm", "Wind", "Shadow", "Mirror", "Glass",
+    "Stone", "Wild", "Free", "Lost", "Found", "Broken", "Whole", "Eternal", "Fading",
+    "Rising", "Falling", "Burning", "Frozen", "Distant", "Secret", "Hidden", "Open",
+    "Closed", "First", "Last", "Only", "Every", "Memory", "Promise", "Journey", "Echo",
+    "Silence", "Thunder", "Lightning", "Horizon", "Twilight", "Dawn", "Dusk", "Midnight",
+    "Morning", "Evening", "Yesterday", "Tomorrow", "Forever", "Never", "Always", "Again",
+];
+
+/// Words combined into movie titles.
+pub const MOVIE_TITLE_WORDS: &[&str] = &[
+    "Return", "Revenge", "Legend", "Curse", "Rise", "Fall", "King", "Queen", "Empire",
+    "Kingdom", "War", "Peace", "Blood", "Honor", "Glory", "Destiny", "Fate", "Fortune",
+    "Escape", "Hunt", "Chase", "Quest", "Voyage", "Mission", "Code", "Cipher", "Enigma",
+    "Phantom", "Ghost", "Specter", "Dragon", "Tiger", "Wolf", "Raven", "Falcon", "Serpent",
+    "Crown", "Throne", "Sword", "Shield", "Arrow", "Bullet", "Knife", "Edge", "Point",
+    "Hour", "Day", "Year", "Century", "Island", "Desert", "Forest", "Valley", "Canyon",
+];
+
+/// German movie-title words used for the Film-Dienst-like translated
+/// titles (rendered distinct from the English originals on purpose — the
+/// paper notes the sources disagree in language).
+pub const GERMAN_TITLE_WORDS: &[&str] = &[
+    "Rueckkehr", "Rache", "Legende", "Fluch", "Aufstieg", "Untergang", "Koenig",
+    "Koenigin", "Reich", "Krieg", "Frieden", "Blut", "Ehre", "Ruhm", "Schicksal",
+    "Flucht", "Jagd", "Suche", "Reise", "Auftrag", "Geheimnis", "Raetsel", "Phantom",
+    "Geist", "Drache", "Tiger", "Wolf", "Rabe", "Falke", "Schlange", "Krone", "Thron",
+    "Schwert", "Schild", "Pfeil", "Stunde", "Tag", "Jahr", "Insel", "Wueste", "Wald",
+];
+
+/// Promotional phrases for the optional `cdextra` element.
+pub const CD_EXTRA_PHRASES: &[&str] = &[
+    "Includes bonus video material",
+    "Remastered special edition",
+    "Limited collector pressing",
+    "Enhanced multimedia content",
+    "Digipak with lyric booklet",
+    "Includes interactive artwork",
+];
+
+/// Looks up the English synonym of a genre, if the genre is known.
+pub fn genre_synonym(genre: &str) -> Option<&'static str> {
+    GENRES
+        .iter()
+        .chain(MOVIE_GENRES.iter())
+        .find(|(g, _, _)| *g == genre)
+        .map(|(_, syn, _)| *syn)
+}
+
+/// Looks up the German translation of a genre, if the genre is known.
+pub fn genre_german(genre: &str) -> Option<&'static str> {
+    GENRES
+        .iter()
+        .chain(MOVIE_GENRES.iter())
+        .find(|(g, _, _)| *g == genre)
+        .map(|(_, _, de)| *de)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genre_tables_have_no_duplicates() {
+        let mut names: Vec<&str> = GENRES.iter().map(|(g, _, _)| *g).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), GENRES.len());
+    }
+
+    #[test]
+    fn synonyms_differ_from_canonical() {
+        for (g, syn, de) in GENRES.iter().chain(MOVIE_GENRES.iter()) {
+            assert_ne!(g, syn, "synonym must be textually different");
+            assert!(!de.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        assert_eq!(genre_synonym("Hip-Hop"), Some("Rap"));
+        assert_eq!(genre_german("Comedy"), Some("Komoedie"));
+        assert_eq!(genre_synonym("NoSuchGenre"), None);
+    }
+
+    #[test]
+    fn vocab_sizes_support_idf_contrast() {
+        // Artist/title product spaces must dwarf the genre domain so that
+        // genre/year stay low-IDF as in the paper's Figure 5 analysis.
+        let artist_space = FIRST_NAMES.len() * LAST_NAMES.len() + BAND_NOUNS.len();
+        let title_space = TITLE_WORDS.len() * TITLE_WORDS.len();
+        assert!(artist_space > 100 * GENRES.len());
+        assert!(title_space > 100 * GENRES.len());
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 5 at the paper's scale (500 CDs + 500 duplicates,
+//! experiments 1–8, k = 1..8).
+//!
+//! Usage: `fig5 [n] [seed]` — `n` originals (default 500).
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let experiments: Vec<usize> = (1..=8).collect();
+    let ks: Vec<usize> = (1..=8).collect();
+    eprintln!("running Figure 5: n={n}, seed={seed}, 8 experiments x 8 k values …");
+    let points = dogmatix_eval::fig5::run(seed, n, &experiments, &ks);
+    println!("{}", dogmatix_eval::fig5::render(&points));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 6 at the paper's scale (500 movies per source,
+//! experiments 1–8, r = 1..4).
+//!
+//! Usage: `fig6 [n] [seed]`.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let experiments: Vec<usize> = (1..=8).collect();
+    let rs: Vec<usize> = (1..=4).collect();
+    eprintln!("running Figure 6: n={n} per source, seed={seed} …");
+    let points = dogmatix_eval::fig6::run(seed, n, &experiments, &rs);
+    println!("{}", dogmatix_eval::fig6::render(&points));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 8 at the paper's scale (500 CDs, duplicate
+//! percentage 0–90%).
+//!
+//! Usage: `fig8 [n] [seed]`.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    eprintln!("running Figure 8: n={n}, seed={seed}, duplicate % swept 0..90 …");
+    let fractions = dogmatix_eval::fig8::paper_fractions();
+    let points = dogmatix_eval::fig8::run(seed, n, &fractions);
+    println!("{}", dogmatix_eval::fig8::render(&points));
+}

@@ -1,0 +1,17 @@
+//! Similarity-measure shoot-out on both scenarios (the paper's Section 8
+//! comparison with other measures).
+//!
+//! Usage: `measures [n] [seed]`.
+
+use dogmatix_eval::measures::{render, run, Scenario};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(150);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    for scenario in [Scenario::Dataset1, Scenario::Dataset2] {
+        eprintln!("running {scenario:?} (n={n}) …");
+        let results = run(scenario, seed, n);
+        println!("{}", render(scenario, &results));
+    }
+}

@@ -1,0 +1,46 @@
+//! Runs the complete evaluation — all tables and figures — and prints
+//! one consolidated report (the source of EXPERIMENTS.md's measured
+//! numbers).
+//!
+//! Usage: `reproduce [scale]` where `scale` shrinks the corpora for quick
+//! runs (e.g. `reproduce 0.1` uses 50 CDs instead of 500). Default 1.0.
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1.0);
+    let seed = 42;
+    let n1 = ((500.0 * scale) as usize).max(20);
+    let n2 = ((500.0 * scale) as usize).max(20);
+    let n3 = ((10_000.0 * scale) as usize).max(100);
+    let n8 = ((500.0 * scale) as usize).max(20);
+
+    println!("=== DogmatiX reproduction report (scale {scale}) ===\n");
+
+    println!("{}", dogmatix_eval::tables::render_table3());
+    println!("{}", dogmatix_eval::tables::render_table4());
+    println!("{}", dogmatix_eval::tables::render_table5());
+    println!("{}", dogmatix_eval::tables::render_table6());
+
+    eprintln!("figure 5 (n={n1}) …");
+    let experiments: Vec<usize> = (1..=8).collect();
+    let ks: Vec<usize> = (1..=8).collect();
+    let p5 = dogmatix_eval::fig5::run(seed, n1, &experiments, &ks);
+    println!("{}", dogmatix_eval::fig5::render(&p5));
+
+    eprintln!("figure 6 (n={n2}) …");
+    let rs: Vec<usize> = (1..=4).collect();
+    let p6 = dogmatix_eval::fig6::run(seed, n2, &experiments, &rs);
+    println!("{}", dogmatix_eval::fig6::render(&p6));
+
+    eprintln!("figure 7 (n={n3}) …");
+    let dirty = (n3 / 250).max(2);
+    let exact = (n3 / 400).max(1);
+    let p7 = dogmatix_eval::fig7::run(seed, n3, dirty, exact, &dogmatix_eval::fig7::paper_thetas());
+    println!("{}", dogmatix_eval::fig7::render(&p7));
+
+    eprintln!("figure 8 (n={n8}) …");
+    let p8 = dogmatix_eval::fig8::run(seed, n8, &dogmatix_eval::fig8::paper_fractions());
+    println!("{}", dogmatix_eval::fig8::render(&p8));
+}

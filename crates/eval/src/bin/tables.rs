@@ -1,0 +1,8 @@
+//! Prints Tables 3–6 of the paper, regenerated from the implementation.
+
+fn main() {
+    println!("{}", dogmatix_eval::tables::render_table3());
+    println!("{}", dogmatix_eval::tables::render_table4());
+    println!("{}", dogmatix_eval::tables::render_table5());
+    println!("{}", dogmatix_eval::tables::render_table6());
+}

@@ -1,0 +1,129 @@
+//! Figure 8: effectiveness of the object filter.
+//!
+//! "We use the original 500 CDs from Dataset 1 and vary the percentage of
+//! artificially generated duplicates from 0% to 90% … recall is measured
+//! as the number of correctly pruned candidates divided by the number of
+//! non-duplicate candidates … precision … divided by the total number of
+//! pruned candidates. Both … are high (above 70%) for any percentage of
+//! duplicates." The heuristic is exp1 with k = 6.
+
+use crate::metrics::{filter_metrics, FilterMetrics};
+use crate::setup;
+use dogmatix_core::filter::object_filter;
+use dogmatix_core::heuristics::HeuristicExpr;
+use dogmatix_core::od::OdSet;
+use dogmatix_datagen::datasets::filter_dataset;
+use std::collections::HashMap;
+
+/// One duplicate-percentage point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Point {
+    /// Fraction of originals that received a duplicate (0.0–0.9).
+    pub dup_fraction: f64,
+    /// Filter metrics per the paper's definitions.
+    pub metrics: FilterMetrics,
+}
+
+/// Runs the sweep at corpus size `n` (paper: 500).
+pub fn run(seed: u64, n: usize, fractions: &[f64]) -> Vec<Fig8Point> {
+    let schema = setup::cd_schema();
+    let mapping = setup::cd_mapping();
+    let heuristic = HeuristicExpr::k_closest_descendants(6);
+    let candidate_schema_node = schema
+        .find_by_path(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
+        .expect("CD schema has the candidate path");
+    let selection = heuristic.select_paths(&schema, candidate_schema_node);
+
+    fractions
+        .iter()
+        .map(|&frac| {
+            let (doc, gold) = filter_dataset(seed, n, frac);
+            let candidates = doc
+                .select(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
+                .expect("candidate path is valid");
+            let mut selections = HashMap::new();
+            selections.insert(
+                dogmatix_datagen::cd::CD_CANDIDATE_PATH.to_string(),
+                selection.clone(),
+            );
+            let ods = OdSet::build(&doc, &candidates, &selections, &mapping);
+            let outcome = object_filter(&ods, setup::THETA_TUPLE, setup::THETA_CAND);
+            Fig8Point {
+                dup_fraction: frac,
+                metrics: filter_metrics(&outcome.pruned, &gold),
+            }
+        })
+        .collect()
+}
+
+/// The paper's x axis: 0% to 90% in steps of 10%.
+pub fn paper_fractions() -> Vec<f64> {
+    (0..=9).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Renders recall and precision per duplicate percentage.
+pub fn render(points: &[Fig8Point]) -> String {
+    let mut out =
+        String::from("Figure 8 (object filter, exp1 k=6) — recall & precision vs %duplicates\n");
+    out.push_str("dup%       pruned  correct     recall  precision\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:<10.0}{:>7}{:>9}{:>10.1}%{:>10.1}%\n",
+            p.dup_fraction * 100.0,
+            p.metrics.total_pruned,
+            p.metrics.correctly_pruned,
+            p.metrics.recall() * 100.0,
+            p.metrics.precision() * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_stays_effective_across_fractions() {
+        let points = run(17, 120, &[0.0, 0.5, 0.9]);
+        for p in &points {
+            assert!(
+                p.metrics.precision() > 0.6,
+                "precision at {}%: {}",
+                p.dup_fraction * 100.0,
+                p.metrics.precision()
+            );
+            if p.metrics.non_duplicates > 0 {
+                assert!(
+                    p.metrics.recall() > 0.5,
+                    "recall at {}%: {}",
+                    p.dup_fraction * 100.0,
+                    p.metrics.recall()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_duplicates_prunes_most_candidates() {
+        let points = run(17, 120, &[0.0]);
+        let m = &points[0].metrics;
+        assert_eq!(m.precision(), 1.0, "with no duplicates every prune is correct");
+        assert!(m.total_pruned > 60, "pruned {}", m.total_pruned);
+    }
+
+    #[test]
+    fn paper_axis() {
+        let f = paper_fractions();
+        assert_eq!(f.len(), 10);
+        assert_eq!(f[0], 0.0);
+        assert!((f[9] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let points = run(3, 60, &[0.0, 0.3]);
+        let text = render(&points);
+        assert!(text.lines().count() >= 4);
+    }
+}

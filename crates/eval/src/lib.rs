@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # dogmatix-eval
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 6):
+//!
+//! * [`tables`] — Tables 3 (mapping example), 4 (experiment suite),
+//!   5 (Dataset 1 OD elements), 6 (Dataset 2 comparable elements),
+//! * [`fig5`] — recall/precision on Dataset 1 under `hkd`, k = 1..8,
+//!   experiments 1–8,
+//! * [`fig6`] — recall/precision on Dataset 2 under `hrd`, r = 1..4,
+//!   experiments 1–8,
+//! * [`fig7`] — precision vs. `θ_cand` on Dataset 3,
+//! * [`fig8`] — object-filter recall/precision vs. duplicate percentage,
+//! * [`metrics`] — pairwise precision/recall and the paper's filter
+//!   metrics,
+//! * [`setup`] — dataset → mapping/schema wiring shared by the runners.
+//!
+//! Each figure module exposes a `run(...)` returning plain data rows plus
+//! a `render(...)` producing the text table the binaries print; the
+//! binaries (`fig5`…`reproduce`) run at the paper's full sizes, while the
+//! unit tests use scaled-down corpora.
+
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod measures;
+pub mod metrics;
+pub mod setup;
+pub mod tables;
+
+pub use metrics::{pair_metrics, PairMetrics};

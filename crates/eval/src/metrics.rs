@@ -1,0 +1,199 @@
+//! Effectiveness metrics.
+//!
+//! The paper evaluates pairwise: recall = detected true pairs / all true
+//! pairs; precision = detected true pairs / all detected pairs. For the
+//! object filter (Figure 8): recall = correctly pruned / candidates
+//! without any duplicate; precision = correctly pruned / all pruned.
+
+use dogmatix_datagen::GoldStandard;
+
+/// Pairwise precision/recall of detected duplicate pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairMetrics {
+    /// Detected pairs that are true duplicates.
+    pub true_positives: usize,
+    /// Detected pairs that are not true duplicates.
+    pub false_positives: usize,
+    /// True pairs that were not detected.
+    pub false_negatives: usize,
+}
+
+impl PairMetrics {
+    /// `tp / (tp + fn)`; 1.0 when there are no true pairs.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fp)`; 1.0 when nothing was detected.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Scores detected pairs `(i, j, sim)` against the gold standard.
+pub fn pair_metrics(detected: &[(usize, usize, f64)], gold: &GoldStandard) -> PairMetrics {
+    let mut tp = 0;
+    let mut fp = 0;
+    for (i, j, _) in detected {
+        if gold.is_duplicate_pair(*i, *j) {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+    }
+    let fn_ = gold.true_pair_count().saturating_sub(tp);
+    PairMetrics {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fn_,
+    }
+}
+
+/// The paper's Figure 8 filter metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterMetrics {
+    /// Pruned candidates that indeed have no duplicate.
+    pub correctly_pruned: usize,
+    /// Total pruned candidates.
+    pub total_pruned: usize,
+    /// Candidates without any duplicate (recall denominator).
+    pub non_duplicates: usize,
+}
+
+impl FilterMetrics {
+    /// Correctly pruned / candidates without a duplicate; 1.0 when every
+    /// candidate has a duplicate (nothing to prune).
+    pub fn recall(&self) -> f64 {
+        if self.non_duplicates == 0 {
+            1.0
+        } else {
+            self.correctly_pruned as f64 / self.non_duplicates as f64
+        }
+    }
+
+    /// Correctly pruned / total pruned; 1.0 when nothing was pruned.
+    pub fn precision(&self) -> f64 {
+        if self.total_pruned == 0 {
+            1.0
+        } else {
+            self.correctly_pruned as f64 / self.total_pruned as f64
+        }
+    }
+}
+
+/// Scores the filter's pruning decisions against the gold standard.
+pub fn filter_metrics(pruned: &[bool], gold: &GoldStandard) -> FilterMetrics {
+    assert_eq!(pruned.len(), gold.len(), "pruned flags must align with gold");
+    let mut correctly = 0;
+    let mut total = 0;
+    for (i, p) in pruned.iter().enumerate() {
+        if *p {
+            total += 1;
+            if !gold.has_duplicate(i) {
+                correctly += 1;
+            }
+        }
+    }
+    FilterMetrics {
+        correctly_pruned: correctly,
+        total_pruned: total,
+        non_duplicates: gold.singleton_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection() {
+        let gold = GoldStandard::new(vec![0, 0, 1, 2]);
+        let detected = vec![(0, 1, 0.9)];
+        let m = pair_metrics(&detected, &gold);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn false_positive_hurts_precision_only() {
+        let gold = GoldStandard::new(vec![0, 0, 1, 2]);
+        let detected = vec![(0, 1, 0.9), (2, 3, 0.8)];
+        let m = pair_metrics(&detected, &gold);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.precision(), 0.5);
+    }
+
+    #[test]
+    fn miss_hurts_recall_only() {
+        let gold = GoldStandard::new(vec![0, 0, 1, 1]);
+        let detected = vec![(0, 1, 0.9)];
+        let m = pair_metrics(&detected, &gold);
+        assert_eq!(m.recall(), 0.5);
+        assert_eq!(m.precision(), 1.0);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_order_does_not_matter() {
+        let gold = GoldStandard::new(vec![0, 0]);
+        assert_eq!(pair_metrics(&[(1, 0, 0.9)], &gold).recall(), 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let gold = GoldStandard::new(vec![0, 1]);
+        let m = pair_metrics(&[], &gold);
+        assert_eq!(m.recall(), 1.0, "no true pairs, nothing to miss");
+        assert_eq!(m.precision(), 1.0);
+    }
+
+    #[test]
+    fn filter_metrics_match_paper_definitions() {
+        // 4 candidates: (0,1) duplicates, 2 and 3 singletons.
+        let gold = GoldStandard::new(vec![7, 7, 8, 9]);
+        // Filter prunes 2 (correct) and 1 (incorrect).
+        let m = filter_metrics(&[false, true, true, false], &gold);
+        assert_eq!(m.correctly_pruned, 1);
+        assert_eq!(m.total_pruned, 2);
+        assert_eq!(m.non_duplicates, 2);
+        assert_eq!(m.recall(), 0.5);
+        assert_eq!(m.precision(), 0.5);
+    }
+
+    #[test]
+    fn filter_nothing_pruned() {
+        let gold = GoldStandard::new(vec![0, 1]);
+        let m = filter_metrics(&[false, false], &gold);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_inputs_panic() {
+        let gold = GoldStandard::new(vec![0, 1]);
+        filter_metrics(&[false], &gold);
+    }
+}

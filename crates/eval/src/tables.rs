@@ -1,0 +1,173 @@
+//! Tables 3–6 of the paper, regenerated from our artifacts (not
+//! hard-coded prose: the element properties are read back from the
+//! schemas and heuristics, so a regression in those layers shows up
+//! here).
+
+use crate::setup;
+use dogmatix_core::mapping::Mapping;
+use dogmatix_xml::{Schema, SchemaNodeId};
+
+/// Table 3: the mapping of the running movie example.
+pub fn table3_mapping() -> Mapping {
+    Mapping::parse(
+        "MOVIE: $doc/moviedoc/movie\n\
+         TITLE: $doc/moviedoc/movie/title\n\
+         YEAR: $doc/moviedoc/movie/year\n\
+         ACTOR: $doc/moviedoc/movie/actor\n\
+         ACTORNAME: $doc/moviedoc/movie/actor/name\n\
+         ACTORROLE: $doc/moviedoc/movie/actor/role\n",
+    )
+    .expect("the Table 3 mapping text is well-formed")
+}
+
+/// Renders Table 3.
+pub fn render_table3() -> String {
+    let mut out = String::from("Table 3: Mapping (real-world type -> element xpaths)\n");
+    let m = table3_mapping();
+    for name in m.type_names() {
+        out.push_str(&format!(
+            "{:<12}{{{}}}\n",
+            name,
+            m.paths_of(name).unwrap().join(", ")
+        ));
+    }
+    out
+}
+
+/// Renders Table 4: the experiment/condition combinations.
+pub fn render_table4() -> String {
+    let rows = [
+        (1, "h"),
+        (2, "h[csdt]"),
+        (3, "h[cme]"),
+        (4, "h[cse]"),
+        (5, "h[csdt ∧ cme]"),
+        (6, "h[csdt ∧ cse]"),
+        (7, "h[cme ∧ cse]"),
+        (8, "h[csdt ∧ cse ∧ cme]"),
+    ];
+    let mut out = String::from("Table 4: Combinations of conditions\n");
+    for (e, h) in rows {
+        out.push_str(&format!("exp{e:<6}{h}\n"));
+    }
+    out
+}
+
+/// One Table 5/6 row: the element with its data type and ME/SE flags as
+/// read back from a schema.
+fn describe(schema: &Schema, node: SchemaNodeId) -> String {
+    let n = schema.node(node);
+    let ty = match n.content() {
+        dogmatix_xml::ContentModel::Simple(t) => t.to_string(),
+        dogmatix_xml::ContentModel::Complex => "complex".to_string(),
+        dogmatix_xml::ContentModel::Mixed => "mixed".to_string(),
+        dogmatix_xml::ContentModel::Empty => "empty".to_string(),
+    };
+    format!(
+        "{} ({}, {}, {})",
+        schema.path(node),
+        ty,
+        if schema.is_mandatory(node) { "ME" } else { "not ME" },
+        if schema.is_singleton(node) { "SE" } else { "not SE" },
+    )
+}
+
+/// Renders Table 5: the Dataset 1 OD elements in k order with their
+/// type/ME/SE flags, read back from the CD schema.
+pub fn render_table5() -> String {
+    let schema = setup::cd_schema();
+    let disc = schema
+        .find_by_path(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
+        .expect("CD schema has the disc element");
+    let mut out = String::from("Table 5: Elements in Dataset 1 (k order of the hk heuristic)\n");
+    for (i, node) in schema.breadth_first(disc).into_iter().enumerate() {
+        let r = schema.depth(node) - schema.depth(disc);
+        out.push_str(&format!("r={r} k={:<3}{}\n", i + 1, describe(&schema, node)));
+    }
+    out
+}
+
+/// Renders Table 6: comparable Dataset 2 elements per radius and source.
+pub fn render_table6() -> String {
+    let cfg = dogmatix_datagen::movie::MovieCorpusConfig {
+        n: 3,
+        ..Default::default()
+    };
+    let movies = dogmatix_datagen::movie::generate_movies(&cfg);
+    let (doc, _) = dogmatix_datagen::movie::movies_to_integrated_document(&movies, &cfg);
+    let schema = setup::movie_schema(&doc);
+    let mapping = setup::movie_mapping();
+
+    let mut out = String::from(
+        "Table 6: Comparable elements in Dataset 2 (real-world type, radius of availability)\n",
+    );
+    for rw_type in mapping.type_names().filter(|t| *t != setup::MOVIE_TYPE) {
+        let paths = mapping.paths_of(rw_type).unwrap();
+        // Radius at which the type is available from BOTH sources: the
+        // max over sources of the min depth of a mapped element.
+        let mut imdb_r = usize::MAX;
+        let mut fd_r = usize::MAX;
+        for p in paths {
+            let Some(node) = schema.find_by_path(p) else { continue };
+            let movie_depth = 2; // /integrated/<source>/movie
+            let r = schema.depth(node) - movie_depth;
+            if p.contains("/imdb/") {
+                imdb_r = imdb_r.min(r);
+            } else {
+                fd_r = fd_r.min(r);
+            }
+        }
+        let avail = imdb_r.max(fd_r);
+        out.push_str(&format!("r={avail}  {rw_type:<9}{}\n", paths.join(" | ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_six_types() {
+        let m = table3_mapping();
+        assert_eq!(m.type_names().count(), 6);
+        assert!(render_table3().contains("ACTORNAME"));
+    }
+
+    #[test]
+    fn table4_lists_eight_experiments() {
+        let t = render_table4();
+        assert_eq!(t.lines().count(), 9);
+        assert!(t.contains("exp8"));
+    }
+
+    #[test]
+    fn table5_flags_match_paper() {
+        let t = render_table5();
+        assert!(t.contains("/discs/disc/did (string, ME, SE)"), "{t}");
+        assert!(t.contains("/discs/disc/artist (string, ME, not SE)"));
+        assert!(t.contains("/discs/disc/genre (string, not ME, SE)"));
+        assert!(t.contains("/discs/disc/year (gYear, ME, SE)"));
+        assert!(t.contains("/discs/disc/tracks (complex, ME, SE)"));
+        assert!(t.contains("k=8"));
+    }
+
+    #[test]
+    fn table6_radii_match_paper() {
+        let t = render_table6();
+        // YEAR comparable at r=1, TITLE/GENRE/RELEASE at r=2, PERSON at 4.
+        assert!(t.contains("r=1  YEAR"), "{t}");
+        assert!(t.contains("r=2  TITLE"), "{t}");
+        assert!(t.contains("r=2  GENRE"), "{t}");
+        assert!(t.contains("r=2  RELEASE"), "{t}");
+        assert!(t.contains("r=4  PERSON"), "{t}");
+    }
+
+    #[test]
+    fn table5_k_order_is_breadth_first() {
+        let t = render_table5();
+        let did_pos = t.find("did").unwrap();
+        let track_title_pos = t.find("/discs/disc/tracks/title").unwrap();
+        assert!(did_pos < track_title_pos);
+    }
+}

@@ -1,0 +1,140 @@
+//! Cheap lower bounds on the Levenshtein distance.
+//!
+//! The paper (Section 5.1) cites \[18\] (Weis & Naumann, IQIS 2004) for "a
+//! simple combination of upper and lower edit distance bounds to
+//! substantially reduce the number of pairwise comparisons". Two classic
+//! lower bounds are implemented here:
+//!
+//! * **length bound** — `| |a| − |b| |`: every edit changes the length by at
+//!   most one;
+//! * **bag distance** — the multiset (bag) difference of characters,
+//!   ⌈max(|A∖B|, |B∖A|)⌉, which ignores character order and is computable in
+//!   linear time.
+//!
+//! Both never exceed the true edit distance, so a pair can be discarded
+//! whenever a bound already exceeds the admissible maximum.
+
+use std::collections::HashMap;
+
+/// Lower bound from the length difference: `| la − lb |`.
+///
+/// Lengths are in Unicode scalar values; callers typically have them cached.
+#[inline]
+pub fn length_lower_bound(la: usize, lb: usize) -> usize {
+    la.abs_diff(lb)
+}
+
+/// Bag-distance lower bound on the Levenshtein distance.
+///
+/// Treats both strings as multisets of characters and returns
+/// `max(|A ∖ B|, |B ∖ A|)` where `∖` is multiset difference. Runs in
+/// `O(|a| + |b|)`.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::{bag_distance_lower_bound, levenshtein};
+/// let (a, b) = ("hello world", "world hello");
+/// let bag = bag_distance_lower_bound(a, b);
+/// assert!(bag <= levenshtein(a, b));
+/// assert_eq!(bag_distance_lower_bound("aab", "ab"), 1);
+/// ```
+pub fn bag_distance_lower_bound(a: &str, b: &str) -> usize {
+    // Fast path: pure-ASCII inputs use a stack-allocated count table —
+    // this function runs tens of millions of times inside the filter's
+    // term-family scan, where a per-call HashMap would dominate.
+    if a.is_ascii() && b.is_ascii() {
+        let mut counts = [0i32; 128];
+        for &c in a.as_bytes() {
+            counts[c as usize] += 1;
+        }
+        for &c in b.as_bytes() {
+            counts[c as usize] -= 1;
+        }
+        let mut a_only = 0usize;
+        let mut b_only = 0usize;
+        for v in counts {
+            if v > 0 {
+                a_only += v as usize;
+            } else {
+                b_only += (-v) as usize;
+            }
+        }
+        return a_only.max(b_only);
+    }
+    let mut counts: HashMap<char, isize> = HashMap::new();
+    for c in a.chars() {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    for c in b.chars() {
+        *counts.entry(c).or_insert(0) -= 1;
+    }
+    let mut a_only = 0usize;
+    let mut b_only = 0usize;
+    for v in counts.values() {
+        if *v > 0 {
+            a_only += *v as usize;
+        } else {
+            b_only += (-*v) as usize;
+        }
+    }
+    a_only.max(b_only)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::levenshtein;
+
+    #[test]
+    fn length_bound_basic() {
+        assert_eq!(length_lower_bound(3, 7), 4);
+        assert_eq!(length_lower_bound(7, 3), 4);
+        assert_eq!(length_lower_bound(5, 5), 0);
+    }
+
+    #[test]
+    fn bag_distance_is_lower_bound() {
+        let words = [
+            "", "a", "ab", "ba", "abc", "cba", "kitten", "sitting", "The Matrix", "Matrix",
+            "disc 01", "disc 10",
+        ];
+        for a in words {
+            for b in words {
+                let bag = bag_distance_lower_bound(a, b);
+                let lev = levenshtein(a, b);
+                assert!(bag <= lev, "bag({a:?},{b:?})={bag} > lev={lev}");
+            }
+        }
+    }
+
+    #[test]
+    fn bag_distance_ignores_order() {
+        assert_eq!(bag_distance_lower_bound("abc", "cab"), 0);
+        assert_eq!(bag_distance_lower_bound("listen", "silent"), 0);
+    }
+
+    #[test]
+    fn bag_distance_counts_multiplicity() {
+        assert_eq!(bag_distance_lower_bound("aaa", "a"), 2);
+        assert_eq!(bag_distance_lower_bound("aabbb", "ab"), 3);
+    }
+
+    #[test]
+    fn bag_distance_symmetric() {
+        assert_eq!(
+            bag_distance_lower_bound("xyz", "xxyy"),
+            bag_distance_lower_bound("xxyy", "xyz")
+        );
+    }
+
+    #[test]
+    fn length_bound_is_lower_bound() {
+        let words = ["", "ab", "abcdef", "x"];
+        for a in words {
+            for b in words {
+                let lb = length_lower_bound(a.chars().count(), b.chars().count());
+                assert!(lb <= levenshtein(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Inverse document frequency helpers (Definition 8 of the paper).
+//!
+//! The paper weighs the relevance of OD tuples with a variant of the
+//! inverse document frequency it calls `softIDF`: if `D` is the complete
+//! set of objects and `n` the number of objects a term occurs in, then
+//! `IDF = log(|D| / n)`. `softIDF` extends this to *pairs* of similar terms
+//! by setting `n = |O_odt1 ∪ O_odt2|`, the number of objects containing
+//! either term.
+//!
+//! The generic arithmetic lives here; the bookkeeping of which objects
+//! contain which OD tuple lives in `dogmatix-core`, which owns the inverted
+//! index.
+
+/// `IDF = ln(total / containing)`.
+///
+/// Returns 0 when `containing >= total` (a term present everywhere has no
+/// identifying power) and 0 when either argument is 0 (no evidence).
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::idf;
+/// assert_eq!(idf(100, 100), 0.0);
+/// assert!(idf(100, 1) > idf(100, 50));
+/// assert_eq!(idf(0, 0), 0.0);
+/// ```
+#[inline]
+pub fn idf(total: usize, containing: usize) -> f64 {
+    if total == 0 || containing == 0 || containing >= total {
+        return 0.0;
+    }
+    (total as f64 / containing as f64).ln()
+}
+
+/// `softIDF` of a pair of similar terms: `ln(|Ω| / |O_1 ∪ O_2|)`.
+///
+/// `union_count` must be the number of distinct objects containing either
+/// term (Definition 8). Semantics otherwise match [`idf`].
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::{idf, soft_idf};
+/// // A pair occurring together in few objects is highly identifying.
+/// assert!(soft_idf(1000, 2) > soft_idf(1000, 200));
+/// // With a single term the union degenerates to plain IDF.
+/// assert_eq!(soft_idf(1000, 5), idf(1000, 5));
+/// ```
+#[inline]
+pub fn soft_idf(total: usize, union_count: usize) -> f64 {
+    idf(total, union_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idf_monotone_decreasing_in_frequency() {
+        let total = 500;
+        let mut prev = f64::INFINITY;
+        for n in 1..total {
+            let v = idf(total, n);
+            assert!(v <= prev, "idf not monotone at n={n}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn idf_never_negative() {
+        for total in [0usize, 1, 10, 500] {
+            for n in 0..=total + 5 {
+                assert!(idf(total, n) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ubiquitous_term_has_zero_idf() {
+        assert_eq!(idf(500, 500), 0.0);
+        assert_eq!(idf(500, 600), 0.0);
+    }
+
+    #[test]
+    fn rare_term_beats_common_term() {
+        assert!(idf(1000, 1) > idf(1000, 999));
+    }
+
+    #[test]
+    fn soft_idf_matches_paper_formula() {
+        // log(|Ω| / |union|) with natural log.
+        let v = soft_idf(1000, 4);
+        assert!((v - (250.0f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Token-set similarities (Jaccard, overlap coefficient).
+//!
+//! Used by the ablation benchmarks as cheap alternatives to the paper's
+//! edit-distance-based `odtDist`, and by the data generator's sanity checks.
+
+use std::collections::HashSet;
+
+/// Jaccard similarity of the word-token sets of `a` and `b`:
+/// `|A ∩ B| / |A ∪ B|`. Two empty strings are identical (1.0).
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::jaccard_tokens;
+/// assert_eq!(jaccard_tokens("the matrix", "matrix the"), 1.0);
+/// assert_eq!(jaccard_tokens("abc", "xyz"), 0.0);
+/// assert!((jaccard_tokens("a b c", "a b d") - 0.5).abs() < 1e-12);
+/// ```
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let sa: HashSet<&str> = a.split_whitespace().collect();
+    let sb: HashSet<&str> = b.split_whitespace().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+/// Overlap coefficient of the word-token sets: `|A ∩ B| / min(|A|, |B|)`.
+///
+/// An asymmetry-tolerant containment measure in the spirit of DELPHI's
+/// containment metric (Related Work, Section 7.2). Two empty strings are
+/// identical (1.0); if exactly one side is empty the overlap is 0.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::overlap_coefficient;
+/// assert_eq!(overlap_coefficient("the matrix", "the matrix reloaded"), 1.0);
+/// assert_eq!(overlap_coefficient("", "x"), 0.0);
+/// ```
+pub fn overlap_coefficient(a: &str, b: &str) -> f64 {
+    let sa: HashSet<&str> = a.split_whitespace().collect();
+    let sb: HashSet<&str> = b.split_whitespace().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len().min(sb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_bounds() {
+        let texts = ["", "a", "a b", "a b c", "x y z"];
+        for a in texts {
+            for b in texts {
+                let v = jaccard_tokens(a, b);
+                assert!((0.0..=1.0).contains(&v));
+                assert_eq!(v, jaccard_tokens(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_order_insensitive() {
+        assert_eq!(jaccard_tokens("new york city", "city new york"), 1.0);
+    }
+
+    #[test]
+    fn overlap_rewards_containment() {
+        assert_eq!(overlap_coefficient("a b", "a b c d"), 1.0);
+        assert!(jaccard_tokens("a b", "a b c d") < 1.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("", "a"), 0.0);
+        assert_eq!(overlap_coefficient("", ""), 1.0);
+        assert_eq!(overlap_coefficient("a", ""), 0.0);
+    }
+}

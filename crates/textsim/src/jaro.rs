@@ -1,0 +1,123 @@
+//! Jaro and Jaro-Winkler similarity.
+//!
+//! Not used by the core DogmatiX measure (which is edit-distance based per
+//! Definition 7), but provided as an alternative value-similarity for the
+//! ablation experiments: the paper's outlook (Section 8) proposes comparing
+//! the measure against other string similarities.
+
+/// Jaro similarity in `[0, 1]`; 1 means identical.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::jaro;
+/// assert_eq!(jaro("abc", "abc"), 1.0);
+/// assert_eq!(jaro("abc", "xyz"), 0.0);
+/// assert!((jaro("MARTHA", "MARHTA") - 0.944444).abs() < 1e-5);
+/// ```
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Count transpositions: compare matched sequences in order.
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter_map(|(&c, &u)| u.then_some(c))
+        .collect();
+    let t = matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale of 0.1 and a
+/// maximum prefix length of 4.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::{jaro, jaro_winkler};
+/// // Shared prefixes are rewarded.
+/// assert!(jaro_winkler("MARTHA", "MARHTA") >= jaro("MARTHA", "MARHTA"));
+/// assert_eq!(jaro_winkler("", ""), 1.0);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    const PREFIX_SCALE: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * PREFIX_SCALE * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(jaro("same", "same"), 1.0);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings() {
+        assert_eq!(jaro("aaa", "bbb"), 0.0);
+        assert_eq!(jaro_winkler("aaa", "bbb"), 0.0);
+    }
+
+    #[test]
+    fn known_reference_values() {
+        assert!((jaro("DIXON", "DICKSONX") - 0.766667).abs() < 1e-5);
+        assert!((jaro_winkler("DIXON", "DICKSONX") - 0.813333).abs() < 1e-5);
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.961111).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let words = ["", "a", "ab", "The Matrix", "Matrix", "xyz"];
+        for a in words {
+            for b in words {
+                for v in [jaro(a, b), jaro_winkler(a, b)] {
+                    assert!((0.0..=1.0 + 1e-12).contains(&v), "{a:?},{b:?} -> {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(jaro("abcd", "abdc"), jaro("abdc", "abcd"));
+        assert_eq!(jaro_winkler("crate", "trace"), jaro_winkler("trace", "crate"));
+    }
+}

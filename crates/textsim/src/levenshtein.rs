@@ -1,0 +1,213 @@
+//! Levenshtein edit distance over Unicode scalar values.
+//!
+//! Two entry points are provided: [`levenshtein`] computes the exact
+//! distance, and [`levenshtein_bounded`] computes the distance only if it
+//! does not exceed a caller-supplied maximum, using Ukkonen's banded dynamic
+//! program so that the cost is `O(max · min(|a|,|b|))` instead of
+//! `O(|a| · |b|)`. The bounded variant is what the DogmatiX pipeline uses:
+//! Definition 7 only needs to know whether the normalised distance is below
+//! `θ_tuple`, which caps the absolute distance at `θ_tuple · max(|a|,|b|)`.
+
+/// Exact Levenshtein distance between `a` and `b`, counted in Unicode
+/// scalar values (not bytes).
+///
+/// Uses the classic two-row dynamic program; `O(|a|·|b|)` time,
+/// `O(min(|a|,|b|))` space.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// assert_eq!(levenshtein("Matrix", "The Matrix"), 4);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let (short, long) = order_by_len(a, b);
+    let short: Vec<char> = short.chars().collect();
+    let long_len = long.chars().count();
+    if short.is_empty() {
+        return long_len;
+    }
+
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+
+    for (i, lc) in long.chars().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein distance if it is `<= max`, otherwise `None`.
+///
+/// Runs the banded dynamic program restricted to a diagonal band of width
+/// `2·max+1` and exits early as soon as every cell in a row exceeds `max`.
+/// For small `max` (the common case when pruning by `θ_tuple`) this is
+/// dramatically cheaper than the full matrix.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::levenshtein_bounded;
+/// assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+/// assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+/// assert_eq!(levenshtein_bounded("same", "same", 0), Some(0));
+/// ```
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    let (short, long) = order_by_len(a, b);
+    let short: Vec<char> = short.chars().collect();
+    let long: Vec<char> = long.chars().collect();
+
+    // Length difference is a lower bound on the distance.
+    if long.len() - short.len() > max {
+        return None;
+    }
+    if short.is_empty() {
+        return Some(long.len());
+    }
+
+    const BIG: usize = usize::MAX / 2;
+    let mut prev: Vec<usize> = (0..=short.len())
+        .map(|j| if j <= max { j } else { BIG })
+        .collect();
+    let mut curr: Vec<usize> = vec![BIG; short.len() + 1];
+
+    for (i, &lc) in long.iter().enumerate() {
+        // Only columns within `max` of the diagonal can end up <= max.
+        let lo = i.saturating_sub(max);
+        let hi = (i + max + 1).min(short.len());
+        if lo > short.len() {
+            return None;
+        }
+        curr[0] = if i < max { i + 1 } else { BIG };
+        if lo > 0 {
+            curr[lo] = BIG;
+        }
+        let mut row_min = curr[0];
+        for j in lo..hi {
+            let cost = usize::from(lc != short[j]);
+            let del = prev[j + 1].saturating_add(1);
+            let ins = curr[j].saturating_add(1);
+            let sub = prev[j].saturating_add(cost);
+            let v = del.min(ins).min(sub);
+            curr[j + 1] = v;
+            row_min = row_min.min(v);
+        }
+        if hi < short.len() {
+            curr[hi + 1] = BIG;
+        }
+        if row_min > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let d = prev[short.len()];
+    (d <= max).then_some(d)
+}
+
+/// Orders the pair so the first element is the shorter string (by bytes as
+/// a cheap proxy validated against char counts downstream — ordering does
+/// not change the distance, only the DP row length).
+fn order_by_len<'a>(a: &'a str, b: &'a str) -> (&'a str, &'a str) {
+    if a.chars().count() <= b.chars().count() {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("", ""), 0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_length() {
+        assert_eq!(levenshtein("", "hello"), 5);
+        assert_eq!(levenshtein("hello", ""), 5);
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        assert_eq!(levenshtein("book", "back"), 2);
+    }
+
+    #[test]
+    fn paper_title_example() {
+        // "The Matrix" vs "Matrix": delete "The " = 4 edits.
+        assert_eq!(levenshtein("The Matrix", "Matrix"), 4);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+    }
+
+    #[test]
+    fn unicode_counted_in_chars_not_bytes() {
+        // ä is 2 bytes but one scalar value.
+        assert_eq!(levenshtein("Bär", "Bar"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact_when_within() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("", "abc"),
+            ("abc", ""),
+            ("The Matrix", "Matrix"),
+            ("same", "same"),
+            ("a", "b"),
+        ];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            assert_eq!(levenshtein_bounded(a, b, d), Some(d), "{a:?} vs {b:?}");
+            assert_eq!(levenshtein_bounded(a, b, d + 3), Some(d));
+            if d > 0 {
+                assert_eq!(levenshtein_bounded(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_rejects_on_length_difference() {
+        assert_eq!(levenshtein_bounded("ab", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn bounded_zero_max() {
+        assert_eq!(levenshtein_bounded("x", "x", 0), Some(0));
+        assert_eq!(levenshtein_bounded("x", "y", 0), None);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let words = ["disc", "disk", "desk", "dusk", "", "d"];
+        for a in words {
+            for b in words {
+                for c in words {
+                    assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # dogmatix-textsim
+//!
+//! String-similarity substrate for the DogmatiX reproduction
+//! (Weis & Naumann, *DogmatiX Tracks down Duplicates in XML*, SIGMOD 2005).
+//!
+//! The paper's OD-tuple distance (Definition 7) is the Levenshtein edit
+//! distance normalised by the longer string's length. Computing it naively
+//! for every pair of OD tuples is "a very expensive operation" (Section 5.1),
+//! so the authors combine it with cheap upper and lower bounds from their
+//! earlier work \[18\]. This crate provides:
+//!
+//! * [`levenshtein`] / [`levenshtein_bounded`] — exact and banded
+//!   (early-exit) edit distance over Unicode scalar values,
+//! * [`ned`] / [`ned_within`] — the normalised edit distance of Definition 7
+//!   with bound-based pruning,
+//! * [`bounds`] — length and bag-distance lower bounds used for pruning,
+//! * [`idf`] — inverse document frequency helpers underlying `softIDF`
+//!   (Definition 8),
+//! * [`jaro`], [`jaccard`], [`tokenize`] — alternative measures used by the
+//!   ablation benchmarks,
+//! * [`normalize`] — value normalisation applied before comparison.
+//!
+//! Everything here is deterministic and allocation-conscious: the hot
+//! [`ned_within`] path allocates at most two DP rows.
+
+pub mod bounds;
+pub mod idf;
+pub mod jaccard;
+pub mod jaro;
+pub mod levenshtein;
+pub mod ned;
+pub mod normalize;
+pub mod tokenize;
+
+pub use bounds::{bag_distance_lower_bound, length_lower_bound};
+pub use idf::{idf, soft_idf};
+pub use jaccard::{jaccard_tokens, overlap_coefficient};
+pub use jaro::{jaro, jaro_winkler};
+pub use levenshtein::{levenshtein, levenshtein_bounded};
+pub use ned::{ned, ned_within};
+pub use normalize::normalize_value;
+pub use tokenize::{char_ngrams, word_tokens};

@@ -1,0 +1,162 @@
+//! Normalised edit distance (Definition 7 of the paper).
+//!
+//! `ned(s_i, s_j)` is "the edit distance between two strings s_i and s_j
+//! normalized by the maximum of the two strings' length". Values lie in
+//! `[0, 1]`, where 0 means identical and 1 means maximally different.
+
+use crate::bounds::{bag_distance_lower_bound, length_lower_bound};
+use crate::levenshtein::{levenshtein, levenshtein_bounded};
+
+/// Normalised edit distance: `levenshtein(a, b) / max(|a|, |b|)`.
+///
+/// By convention two empty strings have distance 0 (they are identical).
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::ned;
+/// assert_eq!(ned("", ""), 0.0);
+/// assert_eq!(ned("abc", "abc"), 0.0);
+/// assert_eq!(ned("abc", ""), 1.0);
+/// // Paper Section 5.1: ned("Boston", "Los Angeles") = 8/11.
+/// assert!((ned("Boston", "Los Angeles") - 8.0 / 11.0).abs() < 1e-12);
+/// // ned("Boston", "New York") = 7/8.
+/// assert!((ned("Boston", "New York") - 7.0 / 8.0).abs() < 1e-12);
+/// ```
+pub fn ned(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Normalised edit distance if it is strictly below `threshold`, else `None`.
+///
+/// This is the pruned comparison the paper's Equation 4 needs: a pair of OD
+/// tuples is *similar* iff `odtDist < θ_tuple`, so the absolute edit
+/// distance must be `< θ_tuple · max(|a|,|b|)`. The implementation applies,
+/// in order of increasing cost:
+///
+/// 1. the length-difference lower bound,
+/// 2. the bag-distance lower bound (multiset difference, from \[18\]),
+/// 3. the banded early-exit Levenshtein.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::ned_within;
+/// assert_eq!(ned_within("abc", "abc", 0.15), Some(0.0));
+/// assert_eq!(ned_within("abc", "xyz", 0.15), None);
+/// // 1 edit over 10 chars = 0.1 < 0.15.
+/// let d = ned_within("The Matrix", "The Motrix", 0.15).unwrap();
+/// assert!((d - 0.1).abs() < 1e-12);
+/// ```
+pub fn ned_within(a: &str, b: &str, threshold: f64) -> Option<f64> {
+    debug_assert!((0.0..=1.0).contains(&threshold));
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max_len = la.max(lb);
+    if max_len == 0 {
+        // Identical empty strings: distance 0, below any positive threshold.
+        return (threshold > 0.0).then_some(0.0);
+    }
+    // Strict inequality: distance must be < threshold * max_len, so the
+    // largest admissible integer distance is ceil(threshold*max_len) - 1.
+    let max_edits = strict_cap(threshold, max_len)?;
+    if length_lower_bound(la, lb) > max_edits {
+        return None;
+    }
+    if bag_distance_lower_bound(a, b) > max_edits {
+        return None;
+    }
+    let d = levenshtein_bounded(a, b, max_edits)?;
+    Some(d as f64 / max_len as f64)
+}
+
+/// Largest integer `d` with `d / max_len < threshold`, or `None` if no
+/// distance (not even 0) satisfies the strict bound.
+fn strict_cap(threshold: f64, max_len: usize) -> Option<usize> {
+    if threshold <= 0.0 {
+        return None;
+    }
+    let bound = threshold * max_len as f64;
+    let cap = if bound.fract() == 0.0 {
+        // d < bound with integer bound means d <= bound - 1.
+        bound as usize - 1
+    } else {
+        bound.floor() as usize
+    };
+    Some(cap.min(max_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ned_is_in_unit_interval() {
+        let words = ["", "a", "abc", "abcdef", "xyz", "The Matrix"];
+        for a in words {
+            for b in words {
+                let d = ned(a, b);
+                assert!((0.0..=1.0).contains(&d), "ned({a:?},{b:?})={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn ned_symmetric() {
+        assert_eq!(ned("abc", "abcd"), ned("abcd", "abc"));
+    }
+
+    #[test]
+    fn ned_identity_of_indiscernibles() {
+        assert_eq!(ned("hello", "hello"), 0.0);
+        assert!(ned("hello", "hellp") > 0.0);
+    }
+
+    #[test]
+    fn ned_within_matches_unpruned_ned() {
+        let words = ["disc01", "disc02", "The Matrix", "Matrix", "Signs", ""];
+        for a in words {
+            for b in words {
+                for theta in [0.05, 0.15, 0.5, 0.99] {
+                    let full = ned(a, b);
+                    let pruned = ned_within(a, b, theta);
+                    if full < theta {
+                        let got = pruned.unwrap_or_else(|| {
+                            panic!("ned_within({a:?},{b:?},{theta}) pruned but ned={full}")
+                        });
+                        assert!((got - full).abs() < 1e-12);
+                    } else {
+                        assert_eq!(pruned, None, "({a:?},{b:?},{theta}) full={full}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strict_threshold_boundary() {
+        // distance exactly equal to threshold is NOT similar (Eq. 4 uses <).
+        // "ab" vs "ax": d=1, max_len=2, ned=0.5.
+        assert_eq!(ned_within("ab", "ax", 0.5), None);
+        assert!(ned_within("ab", "ax", 0.51).is_some());
+    }
+
+    #[test]
+    fn zero_threshold_never_matches() {
+        assert_eq!(ned_within("abc", "abc", 0.0), None);
+    }
+
+    #[test]
+    fn empty_pair_matches_any_positive_threshold() {
+        assert_eq!(ned_within("", "", 0.15), Some(0.0));
+        assert_eq!(ned_within("", "", 0.0), None);
+    }
+
+    #[test]
+    fn paper_city_distances() {
+        // Section 5.1: (Boston, Los Angeles) 8/11 ≈ 0.72 vs (Boston, New York) 7/8.
+        assert!(ned("Boston", "Los Angeles") < ned("Boston", "New York"));
+    }
+}

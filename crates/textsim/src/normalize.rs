@@ -1,0 +1,119 @@
+//! Value normalisation applied before OD-tuple comparison.
+//!
+//! The paper states (Section 6.1) that "we did not apply any data scrubbing
+//! before performing experiments", so normalisation is deliberately light:
+//! whitespace collapsing and Unicode-aware case folding only. Heavier
+//! scrubbing (accent stripping, punctuation removal) is available behind
+//! explicit options so ablations can quantify its effect.
+
+/// Options controlling [`normalize_value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalizeOptions {
+    /// Lowercase the value (default: true).
+    pub case_fold: bool,
+    /// Collapse runs of whitespace to a single space and trim (default: true).
+    pub collapse_whitespace: bool,
+    /// Strip punctuation characters entirely (default: false — the paper
+    /// applies no scrubbing).
+    pub strip_punctuation: bool,
+}
+
+impl Default for NormalizeOptions {
+    fn default() -> Self {
+        NormalizeOptions {
+            case_fold: true,
+            collapse_whitespace: true,
+            strip_punctuation: false,
+        }
+    }
+}
+
+/// Normalises a text value with the default options (case folding and
+/// whitespace collapsing).
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::normalize_value;
+/// assert_eq!(normalize_value("  The   MATRIX "), "the matrix");
+/// ```
+pub fn normalize_value(s: &str) -> String {
+    normalize_value_with(s, NormalizeOptions::default())
+}
+
+/// Normalises a text value according to `opts`.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::normalize::{normalize_value_with, NormalizeOptions};
+/// let opts = NormalizeOptions { strip_punctuation: true, ..Default::default() };
+/// assert_eq!(normalize_value_with("Rock & Roll!", opts), "rock  roll");
+/// ```
+pub fn normalize_value_with(s: &str, opts: NormalizeOptions) -> String {
+    let mut out = String::with_capacity(s.len());
+    if opts.collapse_whitespace {
+        let mut first = true;
+        for token in s.split_whitespace() {
+            if !first {
+                out.push(' ');
+            }
+            out.push_str(token);
+            first = false;
+        }
+    } else {
+        out.push_str(s);
+    }
+    if opts.strip_punctuation {
+        out.retain(|c| !c.is_ascii_punctuation());
+    }
+    if opts.case_fold {
+        out = out.to_lowercase();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_folds_case_and_whitespace() {
+        assert_eq!(normalize_value("A  B\tC"), "a b c");
+        assert_eq!(normalize_value(""), "");
+    }
+
+    #[test]
+    fn idempotent() {
+        let inputs = ["  Mixed   CASE text ", "already normal", "ÜMLAUT"];
+        for s in inputs {
+            let once = normalize_value(s);
+            assert_eq!(normalize_value(&once), once);
+        }
+    }
+
+    #[test]
+    fn unicode_case_folding() {
+        assert_eq!(normalize_value("STRAßE"), "straße");
+        assert_eq!(normalize_value("ÄÖÜ"), "äöü");
+    }
+
+    #[test]
+    fn punctuation_opt_in() {
+        let opts = NormalizeOptions {
+            strip_punctuation: true,
+            ..Default::default()
+        };
+        assert_eq!(normalize_value_with("don't!", opts), "dont");
+        // Default keeps punctuation (paper: no scrubbing).
+        assert_eq!(normalize_value("don't!"), "don't!");
+    }
+
+    #[test]
+    fn no_collapse_option() {
+        let opts = NormalizeOptions {
+            collapse_whitespace: false,
+            case_fold: false,
+            strip_punctuation: false,
+        };
+        assert_eq!(normalize_value_with(" a  b ", opts), " a  b ");
+    }
+}

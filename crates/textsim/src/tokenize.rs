@@ -1,0 +1,75 @@
+//! Tokenisation helpers: word tokens and character n-grams.
+
+/// Splits `s` into lowercase word tokens on non-alphanumeric boundaries.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::word_tokens;
+/// assert_eq!(word_tokens("The Matrix (1999)"), vec!["the", "matrix", "1999"]);
+/// assert!(word_tokens("  ").is_empty());
+/// ```
+pub fn word_tokens(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Character n-grams of `s` (over Unicode scalar values).
+///
+/// Returns the list of all contiguous windows of length `n`; strings shorter
+/// than `n` yield a single gram containing the whole string (or nothing if
+/// `s` is empty). `n` must be at least 1.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::char_ngrams;
+/// assert_eq!(char_ngrams("abcd", 2), vec!["ab", "bc", "cd"]);
+/// assert_eq!(char_ngrams("ab", 3), vec!["ab"]);
+/// assert!(char_ngrams("", 2).is_empty());
+/// ```
+pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
+    assert!(n >= 1, "n-gram size must be at least 1");
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= n {
+        return vec![chars.iter().collect()];
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_tokens_lowercase_and_split() {
+        assert_eq!(word_tokens("Keanu Reeves"), vec!["keanu", "reeves"]);
+        assert_eq!(word_tokens("rock&roll"), vec!["rock", "roll"]);
+    }
+
+    #[test]
+    fn word_tokens_unicode() {
+        assert_eq!(word_tokens("Käse-Brot"), vec!["käse", "brot"]);
+    }
+
+    #[test]
+    fn ngram_count() {
+        assert_eq!(char_ngrams("abcdef", 3).len(), 4);
+        assert_eq!(char_ngrams("abcdef", 1).len(), 6);
+    }
+
+    #[test]
+    fn ngram_short_string() {
+        assert_eq!(char_ngrams("ab", 2), vec!["ab"]);
+        assert_eq!(char_ngrams("a", 5), vec!["a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn ngram_zero_panics() {
+        char_ngrams("abc", 0);
+    }
+}

@@ -1,0 +1,626 @@
+//! Arena-allocated document object model.
+//!
+//! Nodes live in a single `Vec` owned by [`Document`] and are addressed by
+//! copyable [`NodeId`] handles, so tree traversal never fights the borrow
+//! checker and the whole tree frees in one deallocation. The navigation
+//! primitives mirror what the DogmatiX algorithm needs:
+//!
+//! * ancestors (heuristic `hra`, r-distant ancestors),
+//! * depth-bounded descendants (heuristic `hrd`),
+//! * breadth-first descendant order (heuristic `hkd`, k-closest),
+//! * direct text content (OD-tuple values),
+//! * absolute XPaths with positional predicates (duplicate-cluster output).
+
+use crate::error::XmlError;
+use crate::parser;
+use crate::serializer;
+use std::fmt;
+
+/// Handle to a node inside a [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The synthetic document root; its children are the top-level items
+    /// (at most one element, plus comments/PIs).
+    Document {
+        /// Child node ids in document order.
+        children: Vec<NodeId>,
+    },
+    /// An element like `<movie year="1999">…</movie>`.
+    Element {
+        /// Tag name (including any prefix, e.g. `xs:element`).
+        name: String,
+        /// Attributes in document order as `(name, value)` pairs.
+        attributes: Vec<(String, String)>,
+        /// Child node ids in document order.
+        children: Vec<NodeId>,
+    },
+    /// A text run (CDATA sections are folded into text).
+    Text(String),
+    /// A comment (without the `<!--`/`-->` delimiters).
+    Comment(String),
+    /// A processing instruction.
+    ProcessingInstruction {
+        /// PI target, e.g. `xml-stylesheet`.
+        target: String,
+        /// Raw PI data.
+        data: String,
+    },
+}
+
+/// One node of the arena: parent link plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) kind: NodeKind,
+}
+
+impl Node {
+    /// The node's payload.
+    #[inline]
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// The node's parent, if any (the document node has none).
+    #[inline]
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+}
+
+/// An XML document: a node arena rooted at a synthetic document node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    pub(crate) nodes: Vec<Node>,
+}
+
+/// Id of the synthetic document node (always the first arena slot).
+pub const DOCUMENT_NODE: NodeId = NodeId(0);
+
+impl Document {
+    /// Creates an empty document containing only the synthetic root.
+    pub fn empty() -> Self {
+        Document {
+            nodes: vec![Node {
+                parent: None,
+                kind: NodeKind::Document {
+                    children: Vec::new(),
+                },
+            }],
+        }
+    }
+
+    /// Creates a document with a single empty root element named `root`.
+    ///
+    /// ```
+    /// use dogmatix_xml::Document;
+    /// let doc = Document::with_root("moviedoc");
+    /// assert_eq!(doc.name(doc.root_element().unwrap()), Some("moviedoc"));
+    /// ```
+    pub fn with_root(root: &str) -> Self {
+        let mut doc = Document::empty();
+        doc.add_element(DOCUMENT_NODE, root);
+        doc
+    }
+
+    /// Parses an XML document from text. See [`crate::parser`] for the
+    /// supported grammar.
+    pub fn parse(input: &str) -> Result<Self, XmlError> {
+        parser::parse_document(input)
+    }
+
+    /// Number of nodes in the arena (including the document node).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document contains only the synthetic root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Borrow a node by id. Panics if the id is from another document.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The document's root element (the single top-level element), if any.
+    pub fn root_element(&self) -> Option<NodeId> {
+        match &self.nodes[0].kind {
+            NodeKind::Document { children } => children
+                .iter()
+                .copied()
+                .find(|c| matches!(self.node(*c).kind, NodeKind::Element { .. })),
+            _ => unreachable!("node 0 is always the document node"),
+        }
+    }
+
+    /// The element name, or `None` for non-element nodes.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Whether `id` is an element node.
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Element { .. })
+    }
+
+    /// Whether `id` is a text node.
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Text(_))
+    }
+
+    /// The attributes of an element (empty slice for other node kinds).
+    pub fn attributes(&self, id: NodeId) -> &[(String, String)] {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attributes(id)
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The children of a node (empty for leaves).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        match &self.node(id).kind {
+            NodeKind::Document { children } | NodeKind::Element { children, .. } => children,
+            _ => &[],
+        }
+    }
+
+    /// The element children of a node, in document order.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(move |c| self.is_element(*c))
+    }
+
+    /// First child element with the given name.
+    pub fn child_by_name(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        self.child_elements(id).find(|c| self.name(*c) == Some(name))
+    }
+
+    /// The parent node, if any.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Iterator over proper ancestors, nearest first, stopping *before* the
+    /// synthetic document node.
+    pub fn ancestors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut current = self.parent(id);
+        std::iter::from_fn(move || {
+            let next = current?;
+            if next == DOCUMENT_NODE {
+                return None;
+            }
+            current = self.parent(next);
+            Some(next)
+        })
+    }
+
+    /// Depth of a node: the root element has depth 0.
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// All element descendants of `id` in depth-first (document) order,
+    /// excluding `id` itself.
+    pub fn descendant_elements(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self
+            .children(id)
+            .iter()
+            .rev()
+            .copied()
+            .collect();
+        while let Some(n) = stack.pop() {
+            if self.is_element(n) {
+                out.push(n);
+                stack.extend(self.children(n).iter().rev().copied());
+            }
+        }
+        out
+    }
+
+    /// Element descendants of `id` in breadth-first order (the order the
+    /// paper's k-closest heuristic `hkd` enumerates, Heuristic 3), excluding
+    /// `id` itself.
+    pub fn breadth_first_elements(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut queue: std::collections::VecDeque<NodeId> =
+            self.child_elements(id).collect();
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            queue.extend(self.child_elements(n));
+        }
+        out
+    }
+
+    /// Element descendants whose depth relative to `id` is between 1 and
+    /// `radius` inclusive (the paper's r-distant descendants, Heuristic 2).
+    pub fn descendants_within(&self, id: NodeId, radius: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if radius == 0 {
+            return out;
+        }
+        let mut frontier: Vec<NodeId> = self.child_elements(id).collect();
+        let mut dist = 1;
+        while !frontier.is_empty() && dist <= radius {
+            out.extend(frontier.iter().copied());
+            if dist == radius {
+                break;
+            }
+            frontier = frontier
+                .iter()
+                .flat_map(|n| self.child_elements(*n))
+                .collect();
+            dist += 1;
+        }
+        out
+    }
+
+    /// Concatenated text of *direct* text children, whitespace-trimmed.
+    /// Returns `None` when there is no non-whitespace direct text — i.e.
+    /// for elements of complex content model.
+    pub fn direct_text(&self, id: NodeId) -> Option<String> {
+        let mut out = String::new();
+        for c in self.children(id) {
+            if let NodeKind::Text(t) = &self.node(*c).kind {
+                out.push_str(t);
+            }
+        }
+        let trimmed = out.trim();
+        if trimmed.is_empty() {
+            None
+        } else {
+            Some(trimmed.to_string())
+        }
+    }
+
+    /// Concatenated text of all descendant text nodes (untrimmed
+    /// per-segment, trimmed at the ends).
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out.trim().to_string()
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Document { children } | NodeKind::Element { children, .. } => {
+                for c in children {
+                    self.collect_text(*c, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// 1-based position of `id` among same-named element siblings.
+    pub fn sibling_position(&self, id: NodeId) -> usize {
+        let Some(parent) = self.parent(id) else {
+            return 1;
+        };
+        let name = self.name(id);
+        let mut pos = 0;
+        for sib in self.child_elements(parent) {
+            if self.name(sib) == name {
+                pos += 1;
+            }
+            if sib == id {
+                return pos;
+            }
+        }
+        1
+    }
+
+    /// Absolute XPath of an element with positional predicates, e.g.
+    /// `/moviedoc[1]/movie[2]/title[1]` — the identifier format the paper's
+    /// duplicate-cluster output uses (Fig. 3).
+    pub fn absolute_path(&self, id: NodeId) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut current = Some(id);
+        while let Some(n) = current {
+            if n == DOCUMENT_NODE {
+                break;
+            }
+            if let Some(name) = self.name(n) {
+                parts.push(format!("{name}[{}]", self.sibling_position(n)));
+            }
+            current = self.parent(n);
+        }
+        parts.reverse();
+        let mut out = String::new();
+        for p in &parts {
+            out.push('/');
+            out.push_str(p);
+        }
+        out
+    }
+
+    /// Schema-level path of an element (names only, no positions), e.g.
+    /// `/moviedoc/movie/title`. Two elements with equal name paths are
+    /// instances of the same schema element.
+    pub fn name_path(&self, id: NodeId) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let mut current = Some(id);
+        while let Some(n) = current {
+            if n == DOCUMENT_NODE {
+                break;
+            }
+            if let Some(name) = self.name(n) {
+                parts.push(name);
+            }
+            current = self.parent(n);
+        }
+        parts.reverse();
+        let mut out = String::new();
+        for p in &parts {
+            out.push('/');
+            out.push_str(p);
+        }
+        out
+    }
+
+    /// Evaluates an XPath expression (see [`crate::xpath`]) against the
+    /// document root, returning matching nodes in document order.
+    pub fn select(&self, path: &str) -> Result<Vec<NodeId>, XmlError> {
+        let parsed = crate::xpath::Path::parse(path)?;
+        Ok(parsed.select(self, DOCUMENT_NODE))
+    }
+
+    /// Evaluates a (typically relative) XPath from a context node.
+    pub fn select_from(&self, context: NodeId, path: &str) -> Result<Vec<NodeId>, XmlError> {
+        let parsed = crate::xpath::Path::parse(path)?;
+        Ok(parsed.select(self, context))
+    }
+
+    /// Serialises the document compactly.
+    pub fn to_xml(&self) -> String {
+        serializer::to_string(self, false)
+    }
+
+    /// Serialises the document with two-space indentation.
+    pub fn to_xml_pretty(&self) -> String {
+        serializer::to_string(self, true)
+    }
+
+    // ---- construction -------------------------------------------------
+
+    fn push_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            parent: Some(parent),
+            kind,
+        });
+        match &mut self.nodes[parent.index()].kind {
+            NodeKind::Document { children } | NodeKind::Element { children, .. } => {
+                children.push(id)
+            }
+            _ => panic!("cannot append children to a leaf node"),
+        }
+        id
+    }
+
+    /// Appends a new empty element under `parent` and returns its id.
+    pub fn add_element(&mut self, parent: NodeId, name: &str) -> NodeId {
+        self.push_node(
+            parent,
+            NodeKind::Element {
+                name: name.to_string(),
+                attributes: Vec::new(),
+                children: Vec::new(),
+            },
+        )
+    }
+
+    /// Appends a text node under `parent`.
+    pub fn add_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        self.push_node(parent, NodeKind::Text(text.to_string()))
+    }
+
+    /// Appends a comment node under `parent`.
+    pub fn add_comment(&mut self, parent: NodeId, text: &str) -> NodeId {
+        self.push_node(parent, NodeKind::Comment(text.to_string()))
+    }
+
+    /// Convenience: appends `<name>text</name>` under `parent`.
+    pub fn add_text_element(&mut self, parent: NodeId, name: &str, text: &str) -> NodeId {
+        let el = self.add_element(parent, name);
+        self.add_text(el, text);
+        el
+    }
+
+    /// Sets (or replaces) an attribute on an element.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an element.
+    pub fn set_attr(&mut self, id: NodeId, name: &str, value: &str) {
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Element { attributes, .. } => {
+                if let Some(slot) = attributes.iter_mut().find(|(n, _)| n == name) {
+                    slot.1 = value.to_string();
+                } else {
+                    attributes.push((name.to_string(), value.to_string()));
+                }
+            }
+            _ => panic!("set_attr on non-element node"),
+        }
+    }
+
+    /// All element node ids in the document, in document order.
+    pub fn all_elements(&self) -> Vec<NodeId> {
+        self.descendant_elements(DOCUMENT_NODE)
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Document::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_doc() -> Document {
+        Document::parse(
+            "<moviedoc>\
+               <movie><title>The Matrix</title><year>1999</year>\
+                 <actor><name>Keanu Reeves</name><role>Neo</role></actor>\
+                 <actor><name>L. Fishburne</name><role>Morpheus</role></actor>\
+               </movie>\
+               <movie><title>Signs</title><year>2002</year></movie>\
+             </moviedoc>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut doc = Document::with_root("cds");
+        let cd = doc.add_element(doc.root_element().unwrap(), "disc");
+        doc.add_text_element(cd, "title", "Blue Train");
+        doc.set_attr(cd, "id", "42");
+        assert_eq!(doc.attr(cd, "id"), Some("42"));
+        assert_eq!(
+            doc.to_xml(),
+            "<cds><disc id=\"42\"><title>Blue Train</title></disc></cds>"
+        );
+    }
+
+    #[test]
+    fn root_element_and_names() {
+        let doc = movie_doc();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root), Some("moviedoc"));
+        assert_eq!(doc.child_elements(root).count(), 2);
+    }
+
+    #[test]
+    fn ancestors_and_depth() {
+        let doc = movie_doc();
+        let names = doc.select("/moviedoc/movie/actor/name").unwrap();
+        assert_eq!(names.len(), 2);
+        let anc: Vec<_> = doc
+            .ancestors(names[0])
+            .map(|a| doc.name(a).unwrap().to_string())
+            .collect();
+        assert_eq!(anc, vec!["actor", "movie", "moviedoc"]);
+        assert_eq!(doc.depth(names[0]), 3);
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.depth(root), 0);
+    }
+
+    #[test]
+    fn breadth_first_order_matches_hkd() {
+        let doc = movie_doc();
+        let movie = doc.select("/moviedoc/movie").unwrap()[0];
+        let bfs: Vec<_> = doc
+            .breadth_first_elements(movie)
+            .iter()
+            .map(|n| doc.name(*n).unwrap().to_string())
+            .collect();
+        // Level 1 first (title, year, actor, actor), then level 2.
+        assert_eq!(
+            bfs,
+            vec!["title", "year", "actor", "actor", "name", "role", "name", "role"]
+        );
+    }
+
+    #[test]
+    fn descendants_within_radius() {
+        let doc = movie_doc();
+        let movie = doc.select("/moviedoc/movie").unwrap()[0];
+        let r1: Vec<_> = doc
+            .descendants_within(movie, 1)
+            .iter()
+            .map(|n| doc.name(*n).unwrap().to_string())
+            .collect();
+        assert_eq!(r1, vec!["title", "year", "actor", "actor"]);
+        assert_eq!(doc.descendants_within(movie, 2).len(), 8);
+        assert_eq!(doc.descendants_within(movie, 0).len(), 0);
+        // Radius larger than tree depth saturates.
+        assert_eq!(doc.descendants_within(movie, 99).len(), 8);
+    }
+
+    #[test]
+    fn direct_text_vs_text_content() {
+        let doc = movie_doc();
+        let movie = doc.select("/moviedoc/movie").unwrap()[0];
+        assert_eq!(doc.direct_text(movie), None); // complex content
+        let title = doc.child_by_name(movie, "title").unwrap();
+        assert_eq!(doc.direct_text(title).as_deref(), Some("The Matrix"));
+        assert!(doc.text_content(movie).contains("Keanu Reeves"));
+    }
+
+    #[test]
+    fn absolute_paths_have_positions() {
+        let doc = movie_doc();
+        let actors = doc.select("/moviedoc/movie/actor").unwrap();
+        assert_eq!(
+            doc.absolute_path(actors[1]),
+            "/moviedoc[1]/movie[1]/actor[2]"
+        );
+        assert_eq!(doc.name_path(actors[1]), "/moviedoc/movie/actor");
+    }
+
+    #[test]
+    fn empty_document() {
+        let doc = Document::empty();
+        assert!(doc.is_empty());
+        assert_eq!(doc.root_element(), None);
+        assert_eq!(doc.all_elements().len(), 0);
+    }
+
+    #[test]
+    fn sibling_position_counts_same_name_only() {
+        let doc = Document::parse("<r><a/><b/><a/><a/></r>").unwrap();
+        let root = doc.root_element().unwrap();
+        let kids: Vec<_> = doc.child_elements(root).collect();
+        assert_eq!(doc.sibling_position(kids[0]), 1); // first a
+        assert_eq!(doc.sibling_position(kids[1]), 1); // only b
+        assert_eq!(doc.sibling_position(kids[2]), 2); // second a
+        assert_eq!(doc.sibling_position(kids[3]), 3); // third a
+    }
+
+    #[test]
+    #[should_panic(expected = "non-element")]
+    fn set_attr_on_text_panics() {
+        let mut doc = Document::with_root("r");
+        let t = doc.add_text(doc.root_element().unwrap(), "x");
+        doc.set_attr(t, "a", "b");
+    }
+}

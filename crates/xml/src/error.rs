@@ -1,0 +1,90 @@
+//! Error type shared by the parser, XPath evaluator, and schema reader.
+
+use std::fmt;
+
+/// Errors produced anywhere in the XML substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed document text. Carries a human-readable message and the
+    /// 1-based line/column where parsing failed.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number (in characters).
+        column: usize,
+    },
+    /// Malformed XPath expression.
+    XPath {
+        /// What went wrong.
+        message: String,
+    },
+    /// Malformed or unsupported schema construct.
+    Schema {
+        /// What went wrong.
+        message: String,
+    },
+    /// An operation was applied to a [`crate::NodeId`] of the wrong kind
+    /// (e.g. asking for the attributes of a text node).
+    NodeKind {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl XmlError {
+    pub(crate) fn parse(message: impl Into<String>, line: usize, column: usize) -> Self {
+        XmlError::Parse {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    pub(crate) fn xpath(message: impl Into<String>) -> Self {
+        XmlError::XPath {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn schema(message: impl Into<String>) -> Self {
+        XmlError::Schema {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse {
+                message,
+                line,
+                column,
+            } => write!(f, "XML parse error at {line}:{column}: {message}"),
+            XmlError::XPath { message } => write!(f, "XPath error: {message}"),
+            XmlError::Schema { message } => write!(f, "schema error: {message}"),
+            XmlError::NodeKind { message } => write!(f, "node kind error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::parse("unexpected '<'", 3, 14);
+        assert_eq!(e.to_string(), "XML parse error at 3:14: unexpected '<'");
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(XmlError::xpath("bad step").to_string().contains("bad step"));
+        assert!(XmlError::schema("oops").to_string().starts_with("schema"));
+    }
+}

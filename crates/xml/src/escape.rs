@@ -1,0 +1,150 @@
+//! Entity escaping and unescaping.
+//!
+//! Handles the five predefined XML entities plus decimal (`&#65;`) and
+//! hexadecimal (`&#x41;`) character references.
+
+use crate::error::XmlError;
+
+/// Escapes text content: `&`, `<`, `>` are replaced by entities.
+///
+/// # Examples
+/// ```
+/// use dogmatix_xml::escape::escape_text;
+/// assert_eq!(escape_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value (additionally escapes both quote kinds).
+///
+/// # Examples
+/// ```
+/// use dogmatix_xml::escape::escape_attr;
+/// assert_eq!(escape_attr(r#"say "hi" & 'bye'"#),
+///            "say &quot;hi&quot; &amp; &apos;bye&apos;");
+/// ```
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves one entity reference given the text *after* the `&`, returning
+/// the decoded char and the number of input chars consumed (excluding the
+/// `&` itself, including the `;`).
+pub(crate) fn resolve_entity(rest: &str, line: usize, column: usize) -> Result<(char, usize), XmlError> {
+    let semi = rest
+        .char_indices()
+        .take(12)
+        .find(|(_, c)| *c == ';')
+        .map(|(i, _)| i)
+        .ok_or_else(|| XmlError::parse("unterminated entity reference", line, column))?;
+    let name = &rest[..semi];
+    let consumed = semi + 1;
+    let c = match name {
+        "lt" => '<',
+        "gt" => '>',
+        "amp" => '&',
+        "quot" => '"',
+        "apos" => '\'',
+        _ => {
+            if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| {
+                        XmlError::parse(format!("invalid character reference '&{name};'"), line, column)
+                    })?
+            } else if let Some(dec) = name.strip_prefix('#') {
+                dec.parse::<u32>()
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| {
+                        XmlError::parse(format!("invalid character reference '&{name};'"), line, column)
+                    })?
+            } else {
+                return Err(XmlError::parse(
+                    format!("unknown entity '&{name};'"),
+                    line,
+                    column,
+                ));
+            }
+        }
+    };
+    Ok((c, consumed))
+}
+
+/// Unescapes all entity references in `s`.
+///
+/// # Examples
+/// ```
+/// use dogmatix_xml::escape::unescape;
+/// assert_eq!(unescape("a &lt; b &#x41;&#66;").unwrap(), "a < b AB");
+/// assert!(unescape("&bogus;").is_err());
+/// ```
+pub fn unescape(s: &str) -> Result<String, XmlError> {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        let after = &rest[pos + 1..];
+        let (c, consumed) = resolve_entity(after, 0, 0)?;
+        out.push(c);
+        rest = &after[consumed..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_text() {
+        let texts = ["plain", "a<b", "x & y", "1 > 0", "quotes \" '"];
+        for t in texts {
+            assert_eq!(unescape(&escape_text(t)).unwrap(), t);
+            assert_eq!(unescape(&escape_attr(t)).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;").unwrap(), "A");
+        assert_eq!(unescape("&#x41;").unwrap(), "A");
+        assert_eq!(unescape("&#xE4;").unwrap(), "ä");
+    }
+
+    #[test]
+    fn invalid_references_error() {
+        assert!(unescape("&#xFFFFFFFF;").is_err());
+        assert!(unescape("&nosuch;").is_err());
+        assert!(unescape("&unterminated").is_err());
+    }
+
+    #[test]
+    fn empty_and_no_entities() {
+        assert_eq!(unescape("").unwrap(), "");
+        assert_eq!(unescape("no entities").unwrap(), "no entities");
+    }
+}

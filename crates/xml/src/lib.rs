@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # dogmatix-xml
+//!
+//! From-scratch XML substrate for the DogmatiX reproduction
+//! (Weis & Naumann, SIGMOD 2005). The paper's algorithm consumes an XML
+//! document, an XML Schema, and XPath-based mappings; this crate provides
+//! all three layers without external dependencies:
+//!
+//! * [`dom`] — an arena-allocated document tree ([`Document`], [`NodeId`])
+//!   with the navigation primitives DogmatiX needs: ancestors, depth-first
+//!   and breadth-first descendants, text content, and *absolute XPaths with
+//!   positional predicates* (the paper's duplicate clusters identify
+//!   elements by absolute XPath, Fig. 3),
+//! * [`parser`] — a hand-written, position-tracking XML parser (elements,
+//!   attributes, text, CDATA, comments, processing instructions, DOCTYPE
+//!   skipping, predefined and numeric entities),
+//! * [`serializer`] — compact and pretty-printing writers with correct
+//!   escaping (round-trips with the parser),
+//! * [`xpath`] — the XPath subset the paper's generated queries use:
+//!   selection and projection down the tree (`/`, `//`, `*`, `.`, `..`,
+//!   `@attr`, positional and value predicates, `text()`),
+//! * [`schema`] — an XML Schema (XSD) subset: element declarations,
+//!   sequence/choice/all content, `minOccurs`/`maxOccurs`, `nillable`,
+//!   built-in simple types, plus schema *inference* from instance documents
+//!   for the schemaless case.
+//!
+//! ```
+//! use dogmatix_xml::Document;
+//!
+//! let doc = Document::parse("<movies><movie><title>Signs</title></movie></movies>")?;
+//! let titles = doc.select("/movies/movie/title")?;
+//! assert_eq!(doc.text_content(titles[0]), "Signs");
+//! assert_eq!(doc.absolute_path(titles[0]), "/movies[1]/movie[1]/title[1]");
+//! # Ok::<(), dogmatix_xml::XmlError>(())
+//! ```
+
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod parser;
+pub mod schema;
+pub mod serializer;
+pub mod treedist;
+pub mod xpath;
+
+pub use dom::{Document, Node, NodeId, NodeKind};
+pub use error::XmlError;
+pub use schema::{ContentModel, Schema, SchemaNodeId, SimpleType};
+pub use xpath::Path;

@@ -1,0 +1,546 @@
+//! Hand-written, position-tracking XML parser.
+//!
+//! Supported grammar (sufficient for data-centric XML and the XSD subset):
+//! XML declaration, internal-subset-free DOCTYPE (skipped), elements with
+//! attributes (single or double quoted), text with predefined/numeric
+//! entity references, CDATA sections (folded into text), comments, and
+//! processing instructions. Namespace prefixes are kept as part of names
+//! (no URI resolution — the DogmatiX inputs never need it).
+//!
+//! Not supported (rejected with a clear error): internal DTD subsets with
+//! entity declarations, and documents with multiple root elements.
+
+use crate::dom::{Document, NodeId, NodeKind, DOCUMENT_NODE};
+use crate::error::XmlError;
+use crate::escape::resolve_entity;
+
+/// Maximum element nesting depth. The parser (and serializer) recurse per
+/// level; the bound keeps hostile inputs from overflowing the stack and
+/// is far beyond any data-centric document (the paper's corpora nest 3–6
+/// levels).
+pub const MAX_DEPTH: usize = 256;
+
+/// Parses a complete document. Called through [`Document::parse`].
+pub fn parse_document(input: &str) -> Result<Document, XmlError> {
+    let mut p = Parser::new(input);
+    p.parse()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    /// Byte offset into `input`.
+    pos: usize,
+    line: usize,
+    /// 1-based column in characters.
+    column: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError::parse(message, self.line, self.column)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, prefix: &str) -> bool {
+        if self.rest().starts_with(prefix) {
+            for _ in prefix.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, prefix: &str) -> Result<(), XmlError> {
+        if self.eat(prefix) {
+            Ok(())
+        } else {
+            let found: String = self.rest().chars().take(8).collect();
+            Err(self.err(format!("expected '{prefix}', found '{found}'")))
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn parse(&mut self) -> Result<Document, XmlError> {
+        let mut doc = Document::empty();
+        self.skip_bom();
+        self.skip_prolog()?;
+        let mut seen_root = false;
+        loop {
+            self.skip_whitespace();
+            if self.rest().is_empty() {
+                break;
+            }
+            if self.rest().starts_with("<!--") {
+                let text = self.parse_comment()?;
+                doc_append(&mut doc, DOCUMENT_NODE, NodeKind::Comment(text));
+            } else if self.rest().starts_with("<?") {
+                let (target, data) = self.parse_pi()?;
+                doc_append(
+                    &mut doc,
+                    DOCUMENT_NODE,
+                    NodeKind::ProcessingInstruction { target, data },
+                );
+            } else if self.rest().starts_with('<') {
+                if seen_root {
+                    return Err(self.err("multiple root elements"));
+                }
+                self.parse_element(&mut doc, DOCUMENT_NODE, 0)?;
+                seen_root = true;
+            } else {
+                return Err(self.err("unexpected content outside root element"));
+            }
+        }
+        if !seen_root {
+            return Err(self.err("document has no root element"));
+        }
+        Ok(doc)
+    }
+
+    fn skip_bom(&mut self) {
+        self.eat("\u{feff}");
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_whitespace();
+        if self.rest().starts_with("<?xml") {
+            let end = self
+                .rest()
+                .find("?>")
+                .ok_or_else(|| self.err("unterminated XML declaration"))?;
+            for _ in self.rest()[..end + 2].chars().collect::<Vec<_>>() {
+                self.bump();
+            }
+        }
+        self.skip_whitespace();
+        // Skip comments/PIs interleaved before the DOCTYPE or root.
+        while self.rest().starts_with("<!--") || self.rest().starts_with("<?") {
+            if self.rest().starts_with("<!--") {
+                self.parse_comment()?;
+            } else {
+                self.parse_pi()?;
+            }
+            self.skip_whitespace();
+        }
+        if self.rest().starts_with("<!DOCTYPE") {
+            self.skip_doctype()?;
+            self.skip_whitespace();
+        }
+        Ok(())
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        self.expect("<!DOCTYPE")?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('<') => depth += 1,
+                Some('>') => depth -= 1,
+                Some('[') => {
+                    return Err(self.err("internal DTD subsets are not supported"));
+                }
+                Some(_) => {}
+                None => return Err(self.err("unterminated DOCTYPE")),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected a name")),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.bump();
+                q
+            }
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    self.bump();
+                    break;
+                }
+                Some('&') => {
+                    self.bump();
+                    let (line, column) = (self.line, self.column);
+                    let (c, consumed) = resolve_entity(self.rest(), line, column)?;
+                    out.push(c);
+                    for _ in 0..consumed {
+                        self.bump();
+                    }
+                }
+                Some('<') => return Err(self.err("'<' not allowed in attribute value")),
+                Some(c) => {
+                    out.push(c);
+                    self.bump();
+                }
+                None => return Err(self.err("unterminated attribute value")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_element(
+        &mut self,
+        doc: &mut Document,
+        parent: NodeId,
+        depth: usize,
+    ) -> Result<NodeId, XmlError> {
+        if depth >= MAX_DEPTH {
+            return Err(self.err(format!(
+                "maximum element nesting depth ({MAX_DEPTH}) exceeded"
+            )));
+        }
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut attributes: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect(">")?;
+                    return Ok(doc_append(
+                        doc,
+                        parent,
+                        NodeKind::Element {
+                            name,
+                            attributes,
+                            children: Vec::new(),
+                        },
+                    ));
+                }
+                Some(c) if is_name_start(c) => {
+                    let attr_name = self.parse_name()?;
+                    if attributes.iter().any(|(n, _)| *n == attr_name) {
+                        return Err(self.err(format!("duplicate attribute '{attr_name}'")));
+                    }
+                    self.skip_whitespace();
+                    self.expect("=")?;
+                    self.skip_whitespace();
+                    let value = self.parse_attr_value()?;
+                    attributes.push((attr_name, value));
+                }
+                _ => return Err(self.err("malformed start tag")),
+            }
+        }
+        let el = doc_append(
+            doc,
+            parent,
+            NodeKind::Element {
+                name: name.clone(),
+                attributes,
+                children: Vec::new(),
+            },
+        );
+        self.parse_content(doc, el, &name, depth)?;
+        Ok(el)
+    }
+
+    fn parse_content(
+        &mut self,
+        doc: &mut Document,
+        parent: NodeId,
+        parent_name: &str,
+        depth: usize,
+    ) -> Result<(), XmlError> {
+        let mut text = String::new();
+        loop {
+            if self.rest().starts_with("</") {
+                flush_text(doc, parent, &mut text);
+                self.expect("</")?;
+                let name = self.parse_name()?;
+                if name != parent_name {
+                    return Err(self.err(format!(
+                        "mismatched end tag: expected </{parent_name}>, found </{name}>"
+                    )));
+                }
+                self.skip_whitespace();
+                self.expect(">")?;
+                return Ok(());
+            } else if self.rest().starts_with("<!--") {
+                flush_text(doc, parent, &mut text);
+                let comment = self.parse_comment()?;
+                doc_append(doc, parent, NodeKind::Comment(comment));
+            } else if self.rest().starts_with("<![CDATA[") {
+                // CDATA folds into the surrounding text run.
+                let data = self.parse_cdata()?;
+                text.push_str(&data);
+            } else if self.rest().starts_with("<?") {
+                flush_text(doc, parent, &mut text);
+                let (target, data) = self.parse_pi()?;
+                doc_append(doc, parent, NodeKind::ProcessingInstruction { target, data });
+            } else if self.rest().starts_with('<') {
+                flush_text(doc, parent, &mut text);
+                self.parse_element(doc, parent, depth + 1)?;
+            } else {
+                match self.peek() {
+                    Some('&') => {
+                        self.bump();
+                        let (line, column) = (self.line, self.column);
+                        let (c, consumed) = resolve_entity(self.rest(), line, column)?;
+                        text.push(c);
+                        for _ in 0..consumed {
+                            self.bump();
+                        }
+                    }
+                    Some(c) => {
+                        text.push(c);
+                        self.bump();
+                    }
+                    None => {
+                        return Err(self.err(format!("unterminated element <{parent_name}>")))
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_comment(&mut self) -> Result<String, XmlError> {
+        self.expect("<!--")?;
+        let end = self
+            .rest()
+            .find("-->")
+            .ok_or_else(|| self.err("unterminated comment"))?;
+        let text = self.rest()[..end].to_string();
+        for _ in 0..text.chars().count() + 3 {
+            self.bump();
+        }
+        Ok(text)
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, XmlError> {
+        self.expect("<![CDATA[")?;
+        let end = self
+            .rest()
+            .find("]]>")
+            .ok_or_else(|| self.err("unterminated CDATA section"))?;
+        let text = self.rest()[..end].to_string();
+        for _ in 0..text.chars().count() + 3 {
+            self.bump();
+        }
+        Ok(text)
+    }
+
+    fn parse_pi(&mut self) -> Result<(String, String), XmlError> {
+        self.expect("<?")?;
+        let target = self.parse_name()?;
+        let end = self
+            .rest()
+            .find("?>")
+            .ok_or_else(|| self.err("unterminated processing instruction"))?;
+        let data = self.rest()[..end].trim().to_string();
+        let skip_chars = self.rest()[..end + 2].chars().count();
+        for _ in 0..skip_chars {
+            self.bump();
+        }
+        Ok((target, data))
+    }
+}
+
+fn flush_text(doc: &mut Document, parent: NodeId, text: &mut String) {
+    if !text.is_empty() {
+        doc_append(doc, parent, NodeKind::Text(std::mem::take(text)));
+    }
+}
+
+fn doc_append(doc: &mut Document, parent: NodeId, kind: NodeKind) -> NodeId {
+    let id = NodeId(doc.nodes.len() as u32);
+    doc.nodes.push(crate::dom::Node {
+        parent: Some(parent),
+        kind,
+    });
+    match &mut doc.nodes[parent.index()].kind {
+        NodeKind::Document { children } | NodeKind::Element { children, .. } => children.push(id),
+        _ => unreachable!("parents are always containers"),
+    }
+    id
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dom::Document;
+
+    #[test]
+    fn minimal_document() {
+        let doc = Document::parse("<a/>").unwrap();
+        assert_eq!(doc.name(doc.root_element().unwrap()), Some("a"));
+    }
+
+    #[test]
+    fn declaration_and_doctype_skipped() {
+        let doc = Document::parse(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE moviedoc SYSTEM \"m.dtd\">\n<moviedoc/>",
+        )
+        .unwrap();
+        assert_eq!(doc.name(doc.root_element().unwrap()), Some("moviedoc"));
+    }
+
+    #[test]
+    fn attributes_both_quote_kinds() {
+        let doc = Document::parse(r#"<m a="1" b='two' c="with &amp; entity"/>"#).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.attr(root, "a"), Some("1"));
+        assert_eq!(doc.attr(root, "b"), Some("two"));
+        assert_eq!(doc.attr(root, "c"), Some("with & entity"));
+    }
+
+    #[test]
+    fn entities_in_text() {
+        let doc = Document::parse("<t>a &lt; b &amp; c &#65;</t>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.text_content(root), "a < b & c A");
+    }
+
+    #[test]
+    fn cdata_folds_into_text() {
+        let doc = Document::parse("<t>pre <![CDATA[<raw> & stuff]]> post</t>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.text_content(root), "pre <raw> & stuff post");
+    }
+
+    #[test]
+    fn comments_and_pis_preserved() {
+        let doc = Document::parse("<r><!-- note --><?proc data?><x/></r>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.children(root).len(), 3);
+    }
+
+    #[test]
+    fn nested_structure() {
+        let doc =
+            Document::parse("<a><b><c>deep</c></b><b><c>two</c></b></a>").unwrap();
+        assert_eq!(doc.select("/a/b/c").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let e = Document::parse("<a><b></a></b>").unwrap_err();
+        assert!(e.to_string().contains("mismatched end tag"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_rejected() {
+        assert!(Document::parse("<a><b>").is_err());
+        assert!(Document::parse("<a").is_err());
+        assert!(Document::parse("<a attr=>").is_err());
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        assert!(Document::parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn no_root_rejected() {
+        assert!(Document::parse("").is_err());
+        assert!(Document::parse("<!-- only a comment -->").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(Document::parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(Document::parse("stray<a/>").is_err());
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let e = Document::parse("<a>\n  <b attr=oops/>\n</a>").unwrap_err();
+        match e {
+            crate::XmlError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_content_and_names() {
+        let doc = Document::parse("<straße><ü>ä</ü></straße>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root), Some("straße"));
+        assert_eq!(doc.text_content(root), "ä");
+    }
+
+    #[test]
+    fn whitespace_only_text_kept_in_tree_but_direct_text_none() {
+        let doc = Document::parse("<a>\n  <b/>\n</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.direct_text(root), None);
+    }
+
+    #[test]
+    fn internal_dtd_subset_rejected_with_clear_message() {
+        let e = Document::parse("<!DOCTYPE r [<!ENTITY x \"y\">]><r/>").unwrap_err();
+        assert!(e.to_string().contains("internal DTD"), "{e}");
+    }
+
+    #[test]
+    fn bom_is_skipped() {
+        let doc = Document::parse("\u{feff}<a/>").unwrap();
+        assert_eq!(doc.name(doc.root_element().unwrap()), Some("a"));
+    }
+}

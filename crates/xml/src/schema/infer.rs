@@ -1,0 +1,299 @@
+//! Schema inference from instance documents.
+//!
+//! The paper assumes an XML Schema is given, but much real-world XML is
+//! schemaless. This module derives a [`Schema`] from one instance document
+//! so the DogmatiX heuristics still apply:
+//!
+//! * **structure** — one schema node per distinct element name-path,
+//!   children ordered by first appearance,
+//! * **cardinalities** — `minOccurs = 0` if some parent instance lacks the
+//!   child, `maxOccurs = unbounded` if any parent instance repeats it,
+//! * **content model** — simple / complex / mixed / empty from observed
+//!   text and element children,
+//! * **simple types** — guessed from the observed values (integer → gYear
+//!   heuristic → date → decimal → boolean → string).
+
+use super::model::{ContentModel, MaxOccurs, Schema, SchemaNodeId, SimpleType};
+use crate::dom::{Document, NodeId};
+use crate::error::XmlError;
+use std::collections::HashMap;
+
+/// Infers a schema from an instance document. Fails on an empty document.
+pub fn infer(doc: &Document) -> Result<Schema, XmlError> {
+    let root = doc
+        .root_element()
+        .ok_or_else(|| XmlError::schema("cannot infer a schema from an empty document"))?;
+
+    let mut stats: HashMap<String, PathStats> = HashMap::new();
+    collect(doc, root, &mut stats);
+
+    let root_name = doc.name(root).unwrap().to_string();
+    let root_path = format!("/{root_name}");
+    let root_stats = &stats[&root_path];
+    let mut schema = Schema::with_root(&root_name, ContentModel::Empty);
+    schema.nodes[0].content = root_stats.content_model();
+    let root_id = schema.root();
+    build(&mut schema, root_id, &root_path, &stats);
+    Ok(schema)
+}
+
+#[derive(Default)]
+struct PathStats {
+    /// Child element names by first appearance.
+    child_order: Vec<String>,
+    /// Per-instance counts: for each instance of this path, how many of
+    /// each child name it had.
+    instances: usize,
+    child_presence: HashMap<String, ChildStats>,
+    /// Observed direct text values.
+    values: Vec<String>,
+    has_element_children: bool,
+    has_text: bool,
+}
+
+#[derive(Default)]
+struct ChildStats {
+    /// Number of parent instances containing at least one occurrence.
+    present_in: usize,
+    /// Maximum occurrences within a single parent instance.
+    max_per_parent: usize,
+}
+
+impl PathStats {
+    fn content_model(&self) -> ContentModel {
+        match (self.has_text, self.has_element_children) {
+            (true, true) => ContentModel::Mixed,
+            (true, false) => ContentModel::Simple(guess_type(&self.values)),
+            (false, true) => ContentModel::Complex,
+            (false, false) => ContentModel::Empty,
+        }
+    }
+}
+
+fn collect(doc: &Document, el: NodeId, stats: &mut HashMap<String, PathStats>) {
+    let path = doc.name_path(el);
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for child in doc.child_elements(el) {
+        let name = doc.name(child).unwrap().to_string();
+        if !counts.contains_key(&name) {
+            order.push(name.clone());
+        }
+        *counts.entry(name).or_insert(0) += 1;
+        collect(doc, child, stats);
+    }
+    let entry = stats.entry(path).or_default();
+    entry.instances += 1;
+    for name in order {
+        if !entry.child_order.contains(&name) {
+            entry.child_order.push(name.clone());
+        }
+    }
+    for (name, count) in counts {
+        let cs = entry.child_presence.entry(name).or_default();
+        cs.present_in += 1;
+        cs.max_per_parent = cs.max_per_parent.max(count);
+    }
+    if let Some(text) = doc.direct_text(el) {
+        entry.has_text = true;
+        entry.values.push(text);
+    }
+    if doc.child_elements(el).next().is_some() {
+        entry.has_element_children = true;
+    }
+}
+
+fn build(
+    schema: &mut Schema,
+    node: SchemaNodeId,
+    path: &str,
+    stats: &HashMap<String, PathStats>,
+) {
+    let Some(ps) = stats.get(path) else { return };
+    let child_order = ps.child_order.clone();
+    for child_name in child_order {
+        let cs = &stats[path].child_presence[&child_name];
+        let min_occurs = if cs.present_in == stats[path].instances {
+            1
+        } else {
+            0
+        };
+        let max_occurs = if cs.max_per_parent > 1 {
+            MaxOccurs::Unbounded
+        } else {
+            MaxOccurs::Bounded(1)
+        };
+        let child_path = format!("{path}/{child_name}");
+        let content = stats
+            .get(&child_path)
+            .map(|c| c.content_model())
+            .unwrap_or(ContentModel::Empty);
+        let child_node =
+            schema.add_child(node, &child_name, min_occurs, max_occurs, false, content);
+        build(schema, child_node, &child_path, stats);
+    }
+}
+
+/// Guesses a simple type from observed values: every value must fit the
+/// type, otherwise fall through towards string.
+fn guess_type(values: &[String]) -> SimpleType {
+    if values.is_empty() {
+        return SimpleType::String;
+    }
+    if values.iter().all(|v| is_year(v)) {
+        return SimpleType::GYear;
+    }
+    if values.iter().all(|v| v.trim().parse::<i64>().is_ok()) {
+        return SimpleType::Integer;
+    }
+    if values.iter().all(|v| is_date(v)) {
+        return SimpleType::Date;
+    }
+    if values.iter().all(|v| v.trim().parse::<f64>().is_ok()) {
+        return SimpleType::Decimal;
+    }
+    if values
+        .iter()
+        .all(|v| matches!(v.trim(), "true" | "false" | "0" | "1"))
+    {
+        return SimpleType::Boolean;
+    }
+    SimpleType::String
+}
+
+fn is_year(v: &str) -> bool {
+    let v = v.trim();
+    v.len() == 4 && v.chars().all(|c| c.is_ascii_digit()) && &v[..1] >= "1"
+}
+
+fn is_date(v: &str) -> bool {
+    let v = v.trim();
+    // ISO YYYY-MM-DD or German DD.MM.YYYY (the paper notes Film-Dienst
+    // uses different date formats than IMDB).
+    let iso = v.len() == 10
+        && v.as_bytes()[4] == b'-'
+        && v.as_bytes()[7] == b'-'
+        && v.chars().enumerate().all(|(i, c)| {
+            if i == 4 || i == 7 {
+                c == '-'
+            } else {
+                c.is_ascii_digit()
+            }
+        });
+    let german = v.len() == 10
+        && v.as_bytes()[2] == b'.'
+        && v.as_bytes()[5] == b'.'
+        && v.chars().enumerate().all(|(i, c)| {
+            if i == 2 || i == 5 {
+                c == '.'
+            } else {
+                c.is_ascii_digit()
+            }
+        });
+    iso || german
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    fn infer_from(xml: &str) -> Schema {
+        Schema::infer(&Document::parse(xml).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn infers_structure_and_cardinalities() {
+        let s = infer_from(
+            "<discs>\
+               <disc><did>d1</did><artist>A</artist><track>t1</track><track>t2</track></disc>\
+               <disc><did>d2</did><track>t3</track></disc>\
+             </discs>",
+        );
+        let disc = s.find_by_path("/discs/disc").unwrap();
+        assert_eq!(s.node(disc).max_occurs(), MaxOccurs::Unbounded);
+        let did = s.find_by_path("/discs/disc/did").unwrap();
+        assert!(s.is_mandatory(did), "did present in every disc");
+        assert!(s.is_singleton(did));
+        let artist = s.find_by_path("/discs/disc/artist").unwrap();
+        assert!(!s.is_mandatory(artist), "artist missing in one disc");
+        let track = s.find_by_path("/discs/disc/track").unwrap();
+        assert!(!s.is_singleton(track), "track repeats");
+    }
+
+    #[test]
+    fn infers_content_models() {
+        let s = infer_from(
+            "<r><simple>text</simple><complex><x>1</x></complex>\
+             <mixed>text<x>1</x></mixed><empty/></r>",
+        );
+        assert!(matches!(
+            s.node(s.find_by_path("/r/simple").unwrap()).content(),
+            ContentModel::Simple(_)
+        ));
+        assert_eq!(
+            *s.node(s.find_by_path("/r/complex").unwrap()).content(),
+            ContentModel::Complex
+        );
+        assert_eq!(
+            *s.node(s.find_by_path("/r/mixed").unwrap()).content(),
+            ContentModel::Mixed
+        );
+        assert_eq!(
+            *s.node(s.find_by_path("/r/empty").unwrap()).content(),
+            ContentModel::Empty
+        );
+    }
+
+    #[test]
+    fn guesses_types() {
+        let s = infer_from(
+            "<r><m><year>1999</year><n>123456</n><d>2002-08-02</d>\
+                 <g>7.5</g><t>The Matrix</t></m>\
+               <m><year>2002</year><n>42</n><d>13.05.2003</d>\
+                 <g>8</g><t>Signs</t></m></r>",
+        );
+        let get = |p: &str| s.node(s.find_by_path(p).unwrap()).content().clone();
+        assert_eq!(get("/r/m/year"), ContentModel::Simple(SimpleType::GYear));
+        assert_eq!(get("/r/m/n"), ContentModel::Simple(SimpleType::Integer));
+        assert_eq!(get("/r/m/d"), ContentModel::Simple(SimpleType::Date));
+        assert_eq!(get("/r/m/g"), ContentModel::Simple(SimpleType::Decimal));
+        assert_eq!(get("/r/m/t"), ContentModel::Simple(SimpleType::String));
+    }
+
+    #[test]
+    fn mixed_type_columns_degrade_to_string() {
+        let s = infer_from("<r><v>1999</v><v>not a year</v></r>");
+        let v = s.find_by_path("/r/v").unwrap();
+        assert_eq!(*s.node(v).content(), ContentModel::Simple(SimpleType::String));
+    }
+
+    #[test]
+    fn empty_document_errors() {
+        let doc = Document::empty();
+        assert!(Schema::infer(&doc).is_err());
+    }
+
+    #[test]
+    fn child_order_is_first_appearance() {
+        let s = infer_from("<r><m><b>1</b><a>2</a></m><m><a>3</a><c>4</c></m></r>");
+        let m = s.find_by_path("/r/m").unwrap();
+        let names: Vec<_> = s
+            .children(m)
+            .iter()
+            .map(|c| s.node(*c).name().to_string())
+            .collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn inferred_schema_navigates_like_parsed() {
+        let s = infer_from(
+            "<discs><disc><tracks><title>x</title><title>y</title></tracks></disc></discs>",
+        );
+        let disc = s.find_by_path("/discs/disc").unwrap();
+        assert_eq!(s.descendants_within(disc, 1).len(), 1);
+        assert_eq!(s.descendants_within(disc, 2).len(), 2);
+        assert_eq!(s.breadth_first(disc).len(), 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! XML Schema (XSD) subset.
+//!
+//! DogmatiX's description-selection heuristics (Section 4 of the paper)
+//! exploit the schema tree: depth on the ancestor/descendant axes, content
+//! models (simple/complex/mixed — Condition 1), data types (Condition 2),
+//! and cardinalities (`minOccurs`/`maxOccurs`/`nillable` — Conditions 3
+//! and 4). This module provides:
+//!
+//! * [`model`] — the schema tree: [`Schema`], [`SchemaNodeId`],
+//!   [`ContentModel`], [`SimpleType`], with the same navigation primitives
+//!   as the instance DOM (ancestors, r-distant descendants, breadth-first
+//!   order),
+//! * [`parser`] — a reader for the XSD subset used by data-centric schemas
+//!   (element declarations, sequence/choice/all groups, named and inline
+//!   complex types, simple-type restrictions, occurrence attributes),
+//! * [`infer`] — schema inference from instance documents, so DogmatiX can
+//!   run on schemaless XML (observed cardinalities, content models, and
+//!   guessed simple types).
+
+pub mod infer;
+pub mod model;
+pub mod parser;
+
+pub use model::{ContentModel, MaxOccurs, Schema, SchemaNode, SchemaNodeId, SimpleType};

@@ -1,0 +1,487 @@
+//! The schema tree model.
+//!
+//! A [`Schema`] is a tree of element declarations mirroring the document
+//! structure (recursive types are rejected by the parser, matching the
+//! data-centric schemas the paper evaluates on). Node properties carry
+//! exactly the information the paper's conditions consume.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Handle to a node in a [`Schema`] tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SchemaNodeId(pub(crate) u32);
+
+impl SchemaNodeId {
+    /// Arena index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Built-in simple types we distinguish. Everything the paper's conditions
+/// need is whether the type is `xs:string` (Condition 2); the rest are kept
+/// for diagnostics and the inference module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimpleType {
+    /// `xs:string` (and `xs:normalizedString`, `xs:token`).
+    String,
+    /// `xs:date`, `xs:dateTime`.
+    Date,
+    /// `xs:gYear`.
+    GYear,
+    /// `xs:integer`, `xs:int`, `xs:long`, `xs:short`.
+    Integer,
+    /// `xs:decimal`, `xs:float`, `xs:double`.
+    Decimal,
+    /// `xs:boolean`.
+    Boolean,
+    /// Any other named simple type.
+    Other(String),
+}
+
+impl SimpleType {
+    /// Maps an XSD type name (with or without prefix) to a [`SimpleType`].
+    pub fn from_xsd_name(name: &str) -> SimpleType {
+        let local = name.rsplit(':').next().unwrap_or(name);
+        match local {
+            "string" | "normalizedString" | "token" => SimpleType::String,
+            "date" | "dateTime" => SimpleType::Date,
+            "gYear" => SimpleType::GYear,
+            "integer" | "int" | "long" | "short" | "nonNegativeInteger" | "positiveInteger" => {
+                SimpleType::Integer
+            }
+            "decimal" | "float" | "double" => SimpleType::Decimal,
+            "boolean" => SimpleType::Boolean,
+            other => SimpleType::Other(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for SimpleType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimpleType::String => write!(f, "string"),
+            SimpleType::Date => write!(f, "date"),
+            SimpleType::GYear => write!(f, "gYear"),
+            SimpleType::Integer => write!(f, "integer"),
+            SimpleType::Decimal => write!(f, "decimal"),
+            SimpleType::Boolean => write!(f, "boolean"),
+            SimpleType::Other(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Content model of an element (paper Condition 1: only *simple* and
+/// *mixed* elements carry a text node usable as an OD value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// Text only, of the given simple type.
+    Simple(SimpleType),
+    /// Element children only — no text node.
+    Complex,
+    /// Both text and element children (`mixed="true"`).
+    Mixed,
+    /// Declared empty.
+    Empty,
+}
+
+impl ContentModel {
+    /// Whether elements of this model can carry a text node (Condition 1).
+    pub fn has_text(&self) -> bool {
+        matches!(self, ContentModel::Simple(_) | ContentModel::Mixed)
+    }
+
+    /// Whether the element's text is of string type (Condition 2). Mixed
+    /// content is treated as string.
+    pub fn is_string(&self) -> bool {
+        matches!(
+            self,
+            ContentModel::Simple(SimpleType::String) | ContentModel::Mixed
+        )
+    }
+
+    /// The simple type, if any.
+    pub fn simple_type(&self) -> Option<&SimpleType> {
+        match self {
+            ContentModel::Simple(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Upper occurrence bound of an element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxOccurs {
+    /// `maxOccurs="n"`.
+    Bounded(u32),
+    /// `maxOccurs="unbounded"`.
+    Unbounded,
+}
+
+impl MaxOccurs {
+    /// Whether at most one occurrence is allowed (Condition 4's 1:1 test).
+    pub fn is_single(self) -> bool {
+        matches!(self, MaxOccurs::Bounded(n) if n <= 1)
+    }
+}
+
+/// One element declaration in the schema tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaNode {
+    pub(crate) name: String,
+    pub(crate) parent: Option<SchemaNodeId>,
+    pub(crate) children: Vec<SchemaNodeId>,
+    pub(crate) min_occurs: u32,
+    pub(crate) max_occurs: MaxOccurs,
+    pub(crate) nillable: bool,
+    pub(crate) content: ContentModel,
+    /// Declared attributes (names only; DogmatiX descriptions use elements).
+    pub(crate) attributes: Vec<String>,
+}
+
+impl SchemaNode {
+    /// Element name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared `minOccurs`.
+    pub fn min_occurs(&self) -> u32 {
+        self.min_occurs
+    }
+
+    /// Declared `maxOccurs`.
+    pub fn max_occurs(&self) -> MaxOccurs {
+        self.max_occurs
+    }
+
+    /// Declared `nillable`.
+    pub fn nillable(&self) -> bool {
+        self.nillable
+    }
+
+    /// Content model.
+    pub fn content(&self) -> &ContentModel {
+        &self.content
+    }
+
+    /// Declared attribute names.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+}
+
+/// A schema: a tree of element declarations rooted at the document element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    pub(crate) nodes: Vec<SchemaNode>,
+}
+
+impl Schema {
+    /// Creates a schema containing only a root element declaration.
+    pub fn with_root(name: &str, content: ContentModel) -> Self {
+        Schema {
+            nodes: vec![SchemaNode {
+                name: name.to_string(),
+                parent: None,
+                children: Vec::new(),
+                min_occurs: 1,
+                max_occurs: MaxOccurs::Bounded(1),
+                nillable: false,
+                content,
+                attributes: Vec::new(),
+            }],
+        }
+    }
+
+    /// Parses an XSD document (see [`crate::schema::parser`]).
+    pub fn parse_xsd(input: &str) -> Result<Self, crate::XmlError> {
+        super::parser::parse_xsd(input)
+    }
+
+    /// Infers a schema from an instance document
+    /// (see [`crate::schema::infer`]).
+    pub fn infer(doc: &crate::Document) -> Result<Self, crate::XmlError> {
+        super::infer::infer(doc)
+    }
+
+    /// The root element declaration.
+    pub fn root(&self) -> SchemaNodeId {
+        SchemaNodeId(0)
+    }
+
+    /// Number of element declarations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the schema has no declarations (never true for parsed
+    /// schemas — a root always exists).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: SchemaNodeId) -> &SchemaNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Adds a child element declaration; used by builders and inference.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_child(
+        &mut self,
+        parent: SchemaNodeId,
+        name: &str,
+        min_occurs: u32,
+        max_occurs: MaxOccurs,
+        nillable: bool,
+        content: ContentModel,
+    ) -> SchemaNodeId {
+        let id = SchemaNodeId(self.nodes.len() as u32);
+        self.nodes.push(SchemaNode {
+            name: name.to_string(),
+            parent: Some(parent),
+            children: Vec::new(),
+            min_occurs,
+            max_occurs,
+            nillable,
+            content,
+            attributes: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Children of a declaration.
+    pub fn children(&self, id: SchemaNodeId) -> &[SchemaNodeId] {
+        &self.node(id).children
+    }
+
+    /// Parent of a declaration.
+    pub fn parent(&self, id: SchemaNodeId) -> Option<SchemaNodeId> {
+        self.node(id).parent
+    }
+
+    /// Proper ancestors, nearest first.
+    pub fn ancestors(&self, id: SchemaNodeId) -> impl Iterator<Item = SchemaNodeId> + '_ {
+        let mut current = self.parent(id);
+        std::iter::from_fn(move || {
+            let next = current?;
+            current = self.parent(next);
+            Some(next)
+        })
+    }
+
+    /// Depth: the root has depth 0.
+    pub fn depth(&self, id: SchemaNodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// Slash-separated name path from the root, e.g. `/moviedoc/movie/title`.
+    pub fn path(&self, id: SchemaNodeId) -> String {
+        let mut parts = vec![self.node(id).name.as_str()];
+        parts.extend(self.ancestors(id).map(|a| self.node(a).name.as_str()));
+        parts.reverse();
+        let mut out = String::new();
+        for p in parts {
+            out.push('/');
+            out.push_str(p);
+        }
+        out
+    }
+
+    /// Finds a declaration by name path (`/moviedoc/movie`). Variable
+    /// anchors like `$doc/moviedoc/movie` are accepted.
+    pub fn find_by_path(&self, path: &str) -> Option<SchemaNodeId> {
+        let path = path.trim();
+        let path = match path.find("/") {
+            Some(slash) if path.starts_with('$') => &path[slash..],
+            _ => path,
+        };
+        let mut segments = path.split('/').filter(|s| !s.is_empty());
+        let first = segments.next()?;
+        if self.node(self.root()).name != first {
+            return None;
+        }
+        let mut current = self.root();
+        for seg in segments {
+            current = self
+                .children(current)
+                .iter()
+                .copied()
+                .find(|c| self.node(*c).name == seg)?;
+        }
+        Some(current)
+    }
+
+    /// Descendant declarations whose depth relative to `id` is within
+    /// `radius` (paper Heuristic 2, r-distant descendants).
+    pub fn descendants_within(&self, id: SchemaNodeId, radius: usize) -> Vec<SchemaNodeId> {
+        let mut out = Vec::new();
+        if radius == 0 {
+            return out;
+        }
+        let mut frontier: Vec<SchemaNodeId> = self.children(id).to_vec();
+        let mut dist = 1;
+        while !frontier.is_empty() && dist <= radius {
+            out.extend(frontier.iter().copied());
+            if dist == radius {
+                break;
+            }
+            frontier = frontier
+                .iter()
+                .flat_map(|n| self.children(*n).iter().copied())
+                .collect();
+            dist += 1;
+        }
+        out
+    }
+
+    /// Descendant declarations in breadth-first order (paper Heuristic 3,
+    /// k-closest; the caller takes the first `k`).
+    pub fn breadth_first(&self, id: SchemaNodeId) -> Vec<SchemaNodeId> {
+        let mut out = Vec::new();
+        let mut queue: VecDeque<SchemaNodeId> = self.children(id).iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            queue.extend(self.children(n).iter().copied());
+        }
+        out
+    }
+
+    /// All declarations in depth-first order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = SchemaNodeId> {
+        (0..self.nodes.len() as u32).map(SchemaNodeId)
+    }
+
+    /// Paper Condition 3 ("mandatory elements"): `minOccurs >= 1` and not
+    /// nillable.
+    pub fn is_mandatory(&self, id: SchemaNodeId) -> bool {
+        let n = self.node(id);
+        n.min_occurs >= 1 && !n.nillable
+    }
+
+    /// Paper Condition 4 ("singleton elements"): `maxOccurs == 1`, a 1:1
+    /// relationship with the parent.
+    pub fn is_singleton(&self, id: SchemaNodeId) -> bool {
+        self.node(id).max_occurs.is_single()
+    }
+
+    /// Paper Condition 1 ("content model"): the element can carry text.
+    pub fn has_text(&self, id: SchemaNodeId) -> bool {
+        self.node(id).content.has_text()
+    }
+
+    /// Paper Condition 2 ("string data type").
+    pub fn is_string_type(&self, id: SchemaNodeId) -> bool {
+        self.node(id).content.is_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cd_schema() -> Schema {
+        // Mirrors Table 5 of the paper.
+        let mut s = Schema::with_root("discs", ContentModel::Complex);
+        let disc = s.add_child(
+            s.root(),
+            "disc",
+            0,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Complex,
+        );
+        s.add_child(disc, "did", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
+        s.add_child(disc, "artist", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
+        s.add_child(disc, "title", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
+        s.add_child(disc, "genre", 0, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
+        s.add_child(disc, "year", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::Date));
+        s.add_child(disc, "cdextra", 0, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
+        let tracks = s.add_child(disc, "tracks", 1, MaxOccurs::Bounded(1), false, ContentModel::Complex);
+        s.add_child(tracks, "title", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
+        s
+    }
+
+    #[test]
+    fn paths_and_lookup() {
+        let s = cd_schema();
+        let disc = s.find_by_path("/discs/disc").unwrap();
+        assert_eq!(s.path(disc), "/discs/disc");
+        let track_title = s.find_by_path("/discs/disc/tracks/title").unwrap();
+        assert_eq!(s.depth(track_title), 3);
+        assert!(s.find_by_path("/discs/nosuch").is_none());
+        assert!(s.find_by_path("$doc/discs/disc").is_some());
+    }
+
+    #[test]
+    fn conditions_match_table5_flags() {
+        let s = cd_schema();
+        let did = s.find_by_path("/discs/disc/did").unwrap();
+        assert!(s.is_mandatory(did) && s.is_singleton(did) && s.is_string_type(did));
+        let artist = s.find_by_path("/discs/disc/artist").unwrap();
+        assert!(s.is_mandatory(artist) && !s.is_singleton(artist));
+        let genre = s.find_by_path("/discs/disc/genre").unwrap();
+        assert!(!s.is_mandatory(genre) && s.is_singleton(genre));
+        let year = s.find_by_path("/discs/disc/year").unwrap();
+        assert!(!s.is_string_type(year) && s.has_text(year));
+        let tracks = s.find_by_path("/discs/disc/tracks").unwrap();
+        assert!(!s.has_text(tracks)); // complex content: no text node
+    }
+
+    #[test]
+    fn descendants_within_radius() {
+        let s = cd_schema();
+        let disc = s.find_by_path("/discs/disc").unwrap();
+        assert_eq!(s.descendants_within(disc, 1).len(), 7);
+        assert_eq!(s.descendants_within(disc, 2).len(), 8);
+        assert_eq!(s.descendants_within(disc, 0).len(), 0);
+    }
+
+    #[test]
+    fn breadth_first_matches_table5_order() {
+        let s = cd_schema();
+        let disc = s.find_by_path("/discs/disc").unwrap();
+        let names: Vec<_> = s
+            .breadth_first(disc)
+            .iter()
+            .map(|n| s.node(*n).name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["did", "artist", "title", "genre", "year", "cdextra", "tracks", "title"]
+        );
+    }
+
+    #[test]
+    fn simple_type_mapping() {
+        assert_eq!(SimpleType::from_xsd_name("xs:string"), SimpleType::String);
+        assert_eq!(SimpleType::from_xsd_name("xsd:gYear"), SimpleType::GYear);
+        assert_eq!(SimpleType::from_xsd_name("integer"), SimpleType::Integer);
+        assert_eq!(
+            SimpleType::from_xsd_name("xs:anyURI"),
+            SimpleType::Other("anyURI".to_string())
+        );
+    }
+
+    #[test]
+    fn ancestors_root_depth() {
+        let s = cd_schema();
+        assert_eq!(s.depth(s.root()), 0);
+        let tt = s.find_by_path("/discs/disc/tracks/title").unwrap();
+        let anc: Vec<_> = s.ancestors(tt).map(|a| s.node(a).name().to_string()).collect();
+        assert_eq!(anc, vec!["tracks", "disc", "discs"]);
+    }
+
+    #[test]
+    fn mixed_content_is_stringlike_text() {
+        let cm = ContentModel::Mixed;
+        assert!(cm.has_text() && cm.is_string());
+        assert!(!ContentModel::Complex.has_text());
+        assert!(!ContentModel::Empty.has_text());
+    }
+}

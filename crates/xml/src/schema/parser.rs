@@ -1,0 +1,474 @@
+//! Reader for the XSD subset.
+//!
+//! Supported constructs (sufficient for the data-centric schemas the paper
+//! evaluates on, cf. Fig. 2 and Tables 5/6):
+//!
+//! * a single global `xs:element` as the document root,
+//! * inline `xs:complexType` with `xs:sequence`, `xs:choice`, or `xs:all`
+//!   compositors (arbitrarily nested),
+//! * named top-level `xs:complexType`/`xs:simpleType` referenced via
+//!   `type="..."`,
+//! * `xs:simpleType` restrictions (`xs:restriction base="..."`),
+//! * `minOccurs`, `maxOccurs` (number or `unbounded`), `nillable`,
+//!   `mixed`,
+//! * `xs:attribute` declarations (recorded by name),
+//! * any namespace prefix for the schema namespace (matched by local name).
+//!
+//! Recursive type references are rejected with a clear error instead of
+//! looping forever.
+
+use super::model::{ContentModel, MaxOccurs, Schema, SchemaNodeId, SimpleType};
+use crate::dom::{Document, NodeId};
+use crate::error::XmlError;
+use std::collections::HashMap;
+
+/// Parses an XSD document into a [`Schema`] tree.
+pub fn parse_xsd(input: &str) -> Result<Schema, XmlError> {
+    let doc = Document::parse(input)?;
+    let root = doc
+        .root_element()
+        .ok_or_else(|| XmlError::schema("empty schema document"))?;
+    if local_name(doc.name(root).unwrap_or("")) != "schema" {
+        return Err(XmlError::schema(format!(
+            "expected a schema root element, found <{}>",
+            doc.name(root).unwrap_or("?")
+        )));
+    }
+    let ctx = Context::collect(&doc, root)?;
+    let root_decls: Vec<NodeId> = doc
+        .child_elements(root)
+        .filter(|c| local_name(doc.name(*c).unwrap_or("")) == "element")
+        .collect();
+    let root_el = match root_decls.as_slice() {
+        [one] => *one,
+        [] => return Err(XmlError::schema("schema declares no global element")),
+        _ => {
+            return Err(XmlError::schema(
+                "multiple global elements are not supported; declare one document root",
+            ))
+        }
+    };
+    let name = doc
+        .attr(root_el, "name")
+        .ok_or_else(|| XmlError::schema("global element without a name"))?
+        .to_string();
+    let mut schema = Schema::with_root(&name, ContentModel::Empty);
+    let root_id = schema.root();
+    let content = element_content(&doc, &ctx, root_el, &mut schema, root_id, &mut Vec::new())?;
+    schema.nodes[0].content = content;
+    Ok(schema)
+}
+
+/// Named top-level type definitions.
+struct Context {
+    complex_types: HashMap<String, NodeId>,
+    simple_types: HashMap<String, SimpleType>,
+}
+
+impl Context {
+    fn collect(doc: &Document, schema_root: NodeId) -> Result<Self, XmlError> {
+        let mut complex_types = HashMap::new();
+        let mut simple_types = HashMap::new();
+        for child in doc.child_elements(schema_root) {
+            match local_name(doc.name(child).unwrap_or("")) {
+                "complexType" => {
+                    let name = doc
+                        .attr(child, "name")
+                        .ok_or_else(|| XmlError::schema("top-level complexType without name"))?;
+                    complex_types.insert(name.to_string(), child);
+                }
+                "simpleType" => {
+                    let name = doc
+                        .attr(child, "name")
+                        .ok_or_else(|| XmlError::schema("top-level simpleType without name"))?;
+                    simple_types.insert(name.to_string(), resolve_simple_type(doc, child)?);
+                }
+                _ => {}
+            }
+        }
+        Ok(Context {
+            complex_types,
+            simple_types,
+        })
+    }
+}
+
+/// Resolves an `xs:simpleType` definition to its base built-in type.
+fn resolve_simple_type(doc: &Document, simple_type: NodeId) -> Result<SimpleType, XmlError> {
+    for child in doc.child_elements(simple_type) {
+        if local_name(doc.name(child).unwrap_or("")) == "restriction" {
+            let base = doc
+                .attr(child, "base")
+                .ok_or_else(|| XmlError::schema("restriction without base"))?;
+            return Ok(SimpleType::from_xsd_name(base));
+        }
+    }
+    // Unions/lists degrade to string: DogmatiX only needs string-or-not.
+    Ok(SimpleType::String)
+}
+
+/// Determines the content of one `xs:element` declaration and recursively
+/// adds its children to `schema` under `node`.
+fn element_content(
+    doc: &Document,
+    ctx: &Context,
+    element: NodeId,
+    schema: &mut Schema,
+    node: SchemaNodeId,
+    type_stack: &mut Vec<String>,
+) -> Result<ContentModel, XmlError> {
+    // Case 1: `type="..."` attribute.
+    if let Some(type_name) = doc.attr(element, "type") {
+        let local = local_name(type_name).to_string();
+        if is_xsd_builtin(type_name) {
+            return Ok(ContentModel::Simple(SimpleType::from_xsd_name(type_name)));
+        }
+        if let Some(st) = ctx.simple_types.get(&local) {
+            return Ok(ContentModel::Simple(st.clone()));
+        }
+        if let Some(ct) = ctx.complex_types.get(&local) {
+            if type_stack.contains(&local) {
+                return Err(XmlError::schema(format!(
+                    "recursive complex type '{local}' is not supported"
+                )));
+            }
+            type_stack.push(local);
+            let result = complex_type_content(doc, ctx, *ct, schema, node, type_stack);
+            type_stack.pop();
+            return result;
+        }
+        return Err(XmlError::schema(format!("unknown type '{type_name}'")));
+    }
+    // Case 2: inline complexType / simpleType child.
+    for child in doc.child_elements(element) {
+        match local_name(doc.name(child).unwrap_or("")) {
+            "complexType" => {
+                return complex_type_content(doc, ctx, child, schema, node, type_stack)
+            }
+            "simpleType" => {
+                return Ok(ContentModel::Simple(resolve_simple_type(doc, child)?))
+            }
+            _ => {}
+        }
+    }
+    // Case 3: no type information — default to string, the XSD anyType
+    // text-ish reading that data-centric documents rely on.
+    Ok(ContentModel::Simple(SimpleType::String))
+}
+
+/// Walks a complexType definition, appending child element declarations.
+fn complex_type_content(
+    doc: &Document,
+    ctx: &Context,
+    complex_type: NodeId,
+    schema: &mut Schema,
+    node: SchemaNodeId,
+    type_stack: &mut Vec<String>,
+) -> Result<ContentModel, XmlError> {
+    let mixed = doc.attr(complex_type, "mixed") == Some("true");
+    let mut has_children = false;
+    for child in doc.child_elements(complex_type) {
+        match local_name(doc.name(child).unwrap_or("")) {
+            "sequence" | "all" => {
+                has_children |=
+                    walk_compositor(doc, ctx, child, schema, node, false, type_stack)?;
+            }
+            "choice" => {
+                has_children |= walk_compositor(doc, ctx, child, schema, node, true, type_stack)?;
+            }
+            "attribute" => {
+                if let Some(name) = doc.attr(child, "name") {
+                    schema.nodes[node.index()].attributes.push(name.to_string());
+                }
+            }
+            "simpleContent" => {
+                // <xs:simpleContent><xs:extension base="xs:string"> + attrs.
+                for ext in doc.child_elements(child) {
+                    if local_name(doc.name(ext).unwrap_or("")) == "extension" {
+                        for attr in doc.child_elements(ext) {
+                            if local_name(doc.name(attr).unwrap_or("")) == "attribute" {
+                                if let Some(name) = doc.attr(attr, "name") {
+                                    schema.nodes[node.index()]
+                                        .attributes
+                                        .push(name.to_string());
+                                }
+                            }
+                        }
+                        let base = doc.attr(ext, "base").unwrap_or("xs:string");
+                        return Ok(ContentModel::Simple(SimpleType::from_xsd_name(base)));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(if mixed {
+        ContentModel::Mixed
+    } else if has_children {
+        ContentModel::Complex
+    } else {
+        ContentModel::Empty
+    })
+}
+
+/// Walks a compositor (`sequence`/`choice`/`all`), returning whether any
+/// element declaration was found. Inside a `choice`, members are treated as
+/// optional (their effective `minOccurs` is 0) — a choice guarantees no
+/// individual member's presence.
+fn walk_compositor(
+    doc: &Document,
+    ctx: &Context,
+    compositor: NodeId,
+    schema: &mut Schema,
+    node: SchemaNodeId,
+    inside_choice: bool,
+    type_stack: &mut Vec<String>,
+) -> Result<bool, XmlError> {
+    let mut found = false;
+    for child in doc.child_elements(compositor) {
+        match local_name(doc.name(child).unwrap_or("")) {
+            "element" => {
+                found = true;
+                let name = doc
+                    .attr(child, "name")
+                    .ok_or_else(|| {
+                        XmlError::schema("element references (ref=) are not supported")
+                    })?
+                    .to_string();
+                let declared_min = parse_occurs(doc.attr(child, "minOccurs"), 1)?;
+                let min_occurs = if inside_choice { 0 } else { declared_min };
+                let max_occurs = match doc.attr(child, "maxOccurs") {
+                    Some("unbounded") => MaxOccurs::Unbounded,
+                    other => MaxOccurs::Bounded(parse_occurs(other, 1)?),
+                };
+                let nillable = doc.attr(child, "nillable") == Some("true");
+                let child_node = schema.add_child(
+                    node,
+                    &name,
+                    min_occurs,
+                    max_occurs,
+                    nillable,
+                    ContentModel::Empty,
+                );
+                let content =
+                    element_content(doc, ctx, child, schema, child_node, type_stack)?;
+                schema.nodes[child_node.index()].content = content;
+            }
+            "sequence" | "all" => {
+                found |= walk_compositor(doc, ctx, child, schema, node, inside_choice, type_stack)?;
+            }
+            "choice" => {
+                found |= walk_compositor(doc, ctx, child, schema, node, true, type_stack)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(found)
+}
+
+fn parse_occurs(value: Option<&str>, default: u32) -> Result<u32, XmlError> {
+    match value {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| XmlError::schema(format!("invalid occurrence value '{v}'"))),
+    }
+}
+
+fn is_xsd_builtin(type_name: &str) -> bool {
+    // Heuristic: prefixed names whose local part is a known builtin.
+    let local = local_name(type_name);
+    matches!(
+        local,
+        "string"
+            | "normalizedString"
+            | "token"
+            | "date"
+            | "dateTime"
+            | "gYear"
+            | "integer"
+            | "int"
+            | "long"
+            | "short"
+            | "nonNegativeInteger"
+            | "positiveInteger"
+            | "decimal"
+            | "float"
+            | "double"
+            | "boolean"
+            | "anyURI"
+    ) && type_name.contains(':')
+}
+
+fn local_name(name: &str) -> &str {
+    name.rsplit(':').next().unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MOVIE_XSD: &str = r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="moviedoc">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="movie" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="title" type="xs:string"/>
+              <xs:element name="year" type="xs:gYear"/>
+              <xs:element name="actor" minOccurs="0" maxOccurs="unbounded">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="name" type="xs:string"/>
+                    <xs:element name="role" type="xs:string" minOccurs="0"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+            <xs:attribute name="id"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    #[test]
+    fn parses_movie_schema() {
+        let s = Schema::parse_xsd(MOVIE_XSD).unwrap();
+        assert_eq!(s.node(s.root()).name(), "moviedoc");
+        let movie = s.find_by_path("/moviedoc/movie").unwrap();
+        assert!(!s.is_singleton(movie));
+        assert!(!s.is_mandatory(movie));
+        assert_eq!(s.node(movie).attributes(), &["id".to_string()]);
+        let title = s.find_by_path("/moviedoc/movie/title").unwrap();
+        assert!(s.is_mandatory(title) && s.is_singleton(title) && s.is_string_type(title));
+        let year = s.find_by_path("/moviedoc/movie/year").unwrap();
+        assert!(!s.is_string_type(year));
+        assert_eq!(
+            s.node(year).content().simple_type(),
+            Some(&SimpleType::GYear)
+        );
+        let role = s.find_by_path("/moviedoc/movie/actor/role").unwrap();
+        assert!(!s.is_mandatory(role));
+    }
+
+    #[test]
+    fn named_complex_types_resolve() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="lib" type="LibType"/>
+          <xs:complexType name="LibType">
+            <xs:sequence>
+              <xs:element name="book" type="BookType" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+          <xs:complexType name="BookType">
+            <xs:sequence><xs:element name="isbn" type="xs:string"/></xs:sequence>
+          </xs:complexType>
+        </xs:schema>"#;
+        let s = Schema::parse_xsd(xsd).unwrap();
+        assert!(s.find_by_path("/lib/book/isbn").is_some());
+    }
+
+    #[test]
+    fn recursive_type_rejected() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="n" type="NType"/>
+          <xs:complexType name="NType">
+            <xs:sequence><xs:element name="n" type="NType" minOccurs="0"/></xs:sequence>
+          </xs:complexType>
+        </xs:schema>"#;
+        let e = Schema::parse_xsd(xsd).unwrap_err();
+        assert!(e.to_string().contains("recursive"), "{e}");
+    }
+
+    #[test]
+    fn named_simple_types_resolve() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r">
+            <xs:complexType><xs:sequence>
+              <xs:element name="v" type="YearType"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+          <xs:simpleType name="YearType">
+            <xs:restriction base="xs:gYear"/>
+          </xs:simpleType>
+        </xs:schema>"#;
+        let s = Schema::parse_xsd(xsd).unwrap();
+        let v = s.find_by_path("/r/v").unwrap();
+        assert_eq!(s.node(v).content().simple_type(), Some(&SimpleType::GYear));
+    }
+
+    #[test]
+    fn choice_members_become_optional() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r">
+            <xs:complexType><xs:choice>
+              <xs:element name="a" type="xs:string"/>
+              <xs:element name="b" type="xs:string"/>
+            </xs:choice></xs:complexType>
+          </xs:element>
+        </xs:schema>"#;
+        let s = Schema::parse_xsd(xsd).unwrap();
+        let a = s.find_by_path("/r/a").unwrap();
+        assert!(!s.is_mandatory(a), "choice members must not be mandatory");
+    }
+
+    #[test]
+    fn mixed_content_model() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="para">
+            <xs:complexType mixed="true"><xs:sequence>
+              <xs:element name="em" type="xs:string" minOccurs="0"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:schema>"#;
+        let s = Schema::parse_xsd(xsd).unwrap();
+        assert_eq!(*s.node(s.root()).content(), ContentModel::Mixed);
+        assert!(s.has_text(s.root()));
+    }
+
+    #[test]
+    fn nillable_breaks_mandatory() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r">
+            <xs:complexType><xs:sequence>
+              <xs:element name="v" type="xs:string" nillable="true"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:schema>"#;
+        let s = Schema::parse_xsd(xsd).unwrap();
+        let v = s.find_by_path("/r/v").unwrap();
+        assert!(!s.is_mandatory(v));
+    }
+
+    #[test]
+    fn rejects_unsupported_shapes() {
+        assert!(Schema::parse_xsd("<notaschema/>").is_err());
+        assert!(Schema::parse_xsd(
+            r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>"#
+        )
+        .is_err());
+        // ref= not supported
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r"><xs:complexType><xs:sequence>
+            <xs:element ref="other"/>
+          </xs:sequence></xs:complexType></xs:element>
+        </xs:schema>"#;
+        assert!(Schema::parse_xsd(xsd).is_err());
+    }
+
+    #[test]
+    fn default_occurs_are_one_one() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r"><xs:complexType><xs:sequence>
+            <xs:element name="v" type="xs:string"/>
+          </xs:sequence></xs:complexType></xs:element>
+        </xs:schema>"#;
+        let s = Schema::parse_xsd(xsd).unwrap();
+        let v = s.find_by_path("/r/v").unwrap();
+        assert!(s.is_mandatory(v) && s.is_singleton(v));
+    }
+}

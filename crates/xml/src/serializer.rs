@@ -1,0 +1,152 @@
+//! Document serialisation (compact and pretty-printed).
+//!
+//! The writer escapes text and attribute values such that
+//! `Document::parse(doc.to_xml())` reproduces the same tree (modulo
+//! whitespace-only text nodes introduced by pretty printing).
+
+use crate::dom::{Document, NodeId, NodeKind, DOCUMENT_NODE};
+use crate::escape::{escape_attr, escape_text};
+
+/// Serialises `doc` to a string. With `pretty`, elements are indented by
+/// two spaces per level and text-only elements stay on one line.
+pub fn to_string(doc: &Document, pretty: bool) -> String {
+    let mut out = String::new();
+    for child in doc.children(DOCUMENT_NODE) {
+        write_node(doc, *child, &mut out, pretty, 0);
+        if pretty {
+            out.push('\n');
+        }
+    }
+    if pretty && out.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String, pretty: bool, depth: usize) {
+    match &doc.node(id).kind() {
+        NodeKind::Element {
+            name,
+            attributes,
+            children,
+        } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attributes {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(v));
+                out.push('"');
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let text_only = children
+                .iter()
+                .all(|c| matches!(doc.node(*c).kind(), NodeKind::Text(_)));
+            if pretty && !text_only {
+                for child in children {
+                    if is_ignorable_ws(doc, *child) {
+                        continue;
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_node(doc, *child, out, pretty, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+            } else {
+                for child in children {
+                    write_node(doc, *child, out, pretty, depth + 1);
+                }
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Comment(t) => {
+            out.push_str("<!--");
+            out.push_str(t);
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+        NodeKind::Document { .. } => unreachable!("document node is never written"),
+    }
+}
+
+fn is_ignorable_ws(doc: &Document, id: NodeId) -> bool {
+    matches!(doc.node(id).kind(), NodeKind::Text(t) if t.trim().is_empty())
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dom::Document;
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = "<a x=\"1\"><b>text &amp; more</b><c/></a>";
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(doc.to_xml(), src);
+    }
+
+    #[test]
+    fn parse_serialize_parse_is_identity() {
+        let src = "<m a=\"q&quot;q\"><t>x&lt;y</t><e/><t2>ü</t2></m>";
+        let doc1 = Document::parse(src).unwrap();
+        let doc2 = Document::parse(&doc1.to_xml()).unwrap();
+        assert_eq!(doc1, doc2);
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let doc = Document::parse("<a><b><c>x</c></b></a>").unwrap();
+        let pretty = doc.to_xml_pretty();
+        assert_eq!(pretty, "<a>\n  <b>\n    <c>x</c>\n  </b>\n</a>");
+    }
+
+    #[test]
+    fn pretty_roundtrip_equivalent_modulo_whitespace() {
+        let src = "<a><b>keep me</b><c><d>1</d><d>2</d></c></a>";
+        let doc1 = Document::parse(src).unwrap();
+        let doc2 = Document::parse(&doc1.to_xml_pretty()).unwrap();
+        // Same element structure and text values.
+        assert_eq!(
+            doc1.select("//d").unwrap().len(),
+            doc2.select("//d").unwrap().len()
+        );
+        let b1 = doc1.select("/a/b").unwrap()[0];
+        let b2 = doc2.select("/a/b").unwrap()[0];
+        assert_eq!(doc1.text_content(b1), doc2.text_content(b2));
+    }
+
+    #[test]
+    fn comments_and_pis_serialised() {
+        let src = "<r><!--note--><?pi data?></r>";
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(doc.to_xml(), src);
+    }
+
+    #[test]
+    fn empty_element_shorthand() {
+        let doc = Document::parse("<a><b></b></a>").unwrap();
+        assert_eq!(doc.to_xml(), "<a><b/></a>");
+    }
+}

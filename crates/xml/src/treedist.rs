@@ -1,0 +1,318 @@
+//! Tree edit distance (Zhang–Shasha) between document subtrees.
+//!
+//! The paper's outlook (Section 5) proposes adapting tree edit distance
+//! as an alternative XML similarity measure, citing Guha et al.'s
+//! approximate XML joins \[6\]. This module implements the classic
+//! Zhang–Shasha algorithm over the arena DOM so the ablation experiments
+//! can compare a structural measure against DogmatiX's OD-based one.
+//!
+//! Nodes are labelled with the element name, or the normalised text for
+//! text nodes (whitespace-only text is skipped, matching the rest of the
+//! system). Unit costs by default; [`tree_edit_distance_with`] accepts a
+//! custom relabel cost, e.g. a fractional string distance for text nodes.
+
+use crate::dom::{Document, NodeId, NodeKind};
+
+/// A subtree flattened to postorder for Zhang–Shasha.
+struct PostOrder {
+    /// Node labels in postorder (1-based; index 0 unused).
+    labels: Vec<String>,
+    /// `lml[i]`: postorder index of the leftmost leaf of the subtree
+    /// rooted at `i`.
+    lml: Vec<usize>,
+    /// Keyroots in increasing order.
+    keyroots: Vec<usize>,
+}
+
+fn label_of(doc: &Document, id: NodeId) -> Option<String> {
+    match doc.node(id).kind() {
+        NodeKind::Element { name, .. } => Some(name.clone()),
+        NodeKind::Text(t) => {
+            let trimmed = t.trim();
+            if trimmed.is_empty() {
+                None
+            } else {
+                Some(dogmatix_textsim_normalize(trimmed))
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Light local normalisation (lowercase + whitespace collapse) without
+/// depending on the textsim crate (the xml crate stays dependency-free).
+fn dogmatix_textsim_normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut first = true;
+    for token in s.split_whitespace() {
+        if !first {
+            out.push(' ');
+        }
+        out.push_str(&token.to_lowercase());
+        first = false;
+    }
+    out
+}
+
+/// Collects the subtree in postorder, computing leftmost leaves.
+fn postorder(doc: &Document, root: NodeId) -> PostOrder {
+    let mut labels = vec![String::new()]; // 1-based
+    let mut lml = vec![0usize];
+
+    // Returns the postorder index of `id`'s subtree root, or None if the
+    // node is skipped (comments, PIs, whitespace text).
+    fn visit(
+        doc: &Document,
+        id: NodeId,
+        labels: &mut Vec<String>,
+        lml: &mut Vec<usize>,
+    ) -> Option<usize> {
+        let label = label_of(doc, id)?;
+        let mut first_leaf: Option<usize> = None;
+        for child in doc.children(id) {
+            if let Some(child_idx) = visit(doc, *child, labels, lml) {
+                if first_leaf.is_none() {
+                    first_leaf = Some(lml[child_idx]);
+                }
+            }
+        }
+        labels.push(label);
+        let idx = labels.len() - 1;
+        lml.push(first_leaf.unwrap_or(idx));
+        Some(idx)
+    }
+    visit(doc, root, &mut labels, &mut lml);
+
+    // Keyroots: nodes with no ancestor sharing their leftmost leaf —
+    // equivalently, the largest postorder index per distinct lml value.
+    let mut last_for_lml: std::collections::HashMap<usize, usize> = Default::default();
+    for (i, l) in lml.iter().enumerate().skip(1) {
+        last_for_lml.insert(*l, i);
+    }
+    let mut keyroots: Vec<usize> = last_for_lml.into_values().collect();
+    keyroots.sort_unstable();
+
+    PostOrder {
+        labels,
+        lml,
+        keyroots,
+    }
+}
+
+/// Tree edit distance with unit insert/delete costs and the given
+/// relabel cost (must be 0 for identical labels to keep the metric
+/// axioms).
+pub fn tree_edit_distance_with<F>(
+    doc_a: &Document,
+    root_a: NodeId,
+    doc_b: &Document,
+    root_b: NodeId,
+    relabel: F,
+) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
+    let a = postorder(doc_a, root_a);
+    let b = postorder(doc_b, root_b);
+    let (na, nb) = (a.labels.len() - 1, b.labels.len() - 1);
+    if na == 0 || nb == 0 {
+        return (na + nb) as f64;
+    }
+
+    let mut td = vec![vec![0.0f64; nb + 1]; na + 1];
+
+    for &i in &a.keyroots {
+        for &j in &b.keyroots {
+            // Forest distance for subtrees rooted at keyroots i, j.
+            let (li, lj) = (a.lml[i], b.lml[j]);
+            let (m, n) = (i - li + 1, j - lj + 1);
+            let mut fd = vec![vec![0.0f64; n + 1]; m + 1];
+            for x in 1..=m {
+                fd[x][0] = fd[x - 1][0] + 1.0; // delete
+            }
+            for y in 1..=n {
+                fd[0][y] = fd[0][y - 1] + 1.0; // insert
+            }
+            for x in 1..=m {
+                for y in 1..=n {
+                    let (ai, bj) = (li + x - 1, lj + y - 1);
+                    if a.lml[ai] == li && b.lml[bj] == lj {
+                        // Both prefixes are whole trees.
+                        let rel = relabel(&a.labels[ai], &b.labels[bj]);
+                        fd[x][y] = (fd[x - 1][y] + 1.0)
+                            .min(fd[x][y - 1] + 1.0)
+                            .min(fd[x - 1][y - 1] + rel);
+                        td[ai][bj] = fd[x][y];
+                    } else {
+                        let (px, py) = (a.lml[ai] - li, b.lml[bj] - lj);
+                        fd[x][y] = (fd[x - 1][y] + 1.0)
+                            .min(fd[x][y - 1] + 1.0)
+                            .min(fd[px][py] + td[ai][bj]);
+                    }
+                }
+            }
+        }
+    }
+    td[na][nb]
+}
+
+/// Tree edit distance with unit costs (relabel = 1 for differing labels).
+pub fn tree_edit_distance(
+    doc_a: &Document,
+    root_a: NodeId,
+    doc_b: &Document,
+    root_b: NodeId,
+) -> f64 {
+    tree_edit_distance_with(doc_a, root_a, doc_b, root_b, |x, y| {
+        if x == y {
+            0.0
+        } else {
+            1.0
+        }
+    })
+}
+
+/// Number of labelled nodes in a subtree (elements + non-whitespace text).
+pub fn labelled_size(doc: &Document, root: NodeId) -> usize {
+    let po = postorder(doc, root);
+    po.labels.len() - 1
+}
+
+/// Normalised tree similarity in `[0, 1]`:
+/// `1 − ted / (size_a + size_b)`. Two empty trees are identical (1.0).
+pub fn tree_similarity(
+    doc_a: &Document,
+    root_a: NodeId,
+    doc_b: &Document,
+    root_b: NodeId,
+) -> f64 {
+    let sa = labelled_size(doc_a, root_a);
+    let sb = labelled_size(doc_b, root_b);
+    if sa + sb == 0 {
+        return 1.0;
+    }
+    let ted = tree_edit_distance(doc_a, root_a, doc_b, root_b);
+    1.0 - ted / (sa + sb) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    fn root(doc: &Document) -> NodeId {
+        doc.root_element().unwrap()
+    }
+
+    #[test]
+    fn identical_trees_have_zero_distance() {
+        let a = Document::parse("<m><t>X</t><y>1999</y></m>").unwrap();
+        let b = Document::parse("<m><t>X</t><y>1999</y></m>").unwrap();
+        assert_eq!(tree_edit_distance(&a, root(&a), &b, root(&b)), 0.0);
+        assert_eq!(tree_similarity(&a, root(&a), &b, root(&b)), 1.0);
+    }
+
+    #[test]
+    fn single_relabel_costs_one() {
+        let a = Document::parse("<m><t>X</t></m>").unwrap();
+        let b = Document::parse("<m><t>Y</t></m>").unwrap();
+        assert_eq!(tree_edit_distance(&a, root(&a), &b, root(&b)), 1.0);
+    }
+
+    #[test]
+    fn insertion_costs_one() {
+        let a = Document::parse("<m><t>X</t></m>").unwrap();
+        let b = Document::parse("<m><t>X</t><y>1999</y></m>").unwrap();
+        // The <y> element and its text node are both inserted.
+        assert_eq!(tree_edit_distance(&a, root(&a), &b, root(&b)), 2.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Document::parse("<m><a>1</a><b><c>2</c></b></m>").unwrap();
+        let b = Document::parse("<m><b><c>3</c></b><d>4</d></m>").unwrap();
+        let ab = tree_edit_distance(&a, root(&a), &b, root(&b));
+        let ba = tree_edit_distance(&b, root(&b), &a, root(&a));
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let docs: Vec<Document> = [
+            "<m><t>X</t></m>",
+            "<m><t>X</t><y>1</y></m>",
+            "<m><y>1</y></m>",
+            "<m><z><t>X</t></z></m>",
+        ]
+        .iter()
+        .map(|s| Document::parse(s).unwrap())
+        .collect();
+        for a in &docs {
+            for b in &docs {
+                for c in &docs {
+                    let ac = tree_edit_distance(a, root(a), c, root(c));
+                    let ab = tree_edit_distance(a, root(a), b, root(b));
+                    let bc = tree_edit_distance(b, root(b), c, root(c));
+                    assert!(ac <= ab + bc + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structural_difference_detected() {
+        // Same data values, different nesting: TED sees the difference.
+        let flat = Document::parse("<m><title>X</title></m>").unwrap();
+        let nested = Document::parse("<m><movie-title><title>X</title></movie-title></m>").unwrap();
+        let d = tree_edit_distance(&flat, root(&flat), &nested, root(&nested));
+        assert_eq!(d, 1.0, "one inserted wrapper node");
+    }
+
+    #[test]
+    fn text_normalisation_applies() {
+        let a = Document::parse("<m><t>The  MATRIX</t></m>").unwrap();
+        let b = Document::parse("<m><t>the matrix</t></m>").unwrap();
+        assert_eq!(tree_edit_distance(&a, root(&a), &b, root(&b)), 0.0);
+    }
+
+    #[test]
+    fn custom_relabel_cost() {
+        let a = Document::parse("<m><t>abcd</t></m>").unwrap();
+        let b = Document::parse("<m><t>abce</t></m>").unwrap();
+        // Fractional relabel: charge 0.25 for near-identical text.
+        let d = tree_edit_distance_with(&a, root(&a), &b, root(&b), |x, y| {
+            if x == y {
+                0.0
+            } else {
+                0.25
+            }
+        });
+        assert_eq!(d, 0.25);
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let a = Document::parse("<m><!-- note --><t>X</t>\n  </m>").unwrap();
+        let b = Document::parse("<m><t>X</t></m>").unwrap();
+        assert_eq!(tree_edit_distance(&a, root(&a), &b, root(&b)), 0.0);
+        assert_eq!(labelled_size(&a, root(&a)), 3);
+    }
+
+    #[test]
+    fn empty_vs_populated() {
+        let a = Document::parse("<m/>").unwrap();
+        let b = Document::parse("<m><t>X</t><y>1</y></m>").unwrap();
+        // <m> matches, two elements + two text nodes inserted.
+        assert_eq!(tree_edit_distance(&a, root(&a), &b, root(&b)), 4.0);
+        let sim = tree_similarity(&a, root(&a), &b, root(&b));
+        assert!(sim > 0.0 && sim < 1.0);
+    }
+
+    #[test]
+    fn known_zhang_shasha_example() {
+        // The classic f(d(a c(b)) e) vs f(c(d(a b)) e) example: distance 2.
+        let a = Document::parse("<f><d><a/><c><b/></c></d><e/></f>").unwrap();
+        let b = Document::parse("<f><c><d><a/><b/></d></c><e/></f>").unwrap();
+        assert_eq!(tree_edit_distance(&a, root(&a), &b, root(&b)), 2.0);
+    }
+}

@@ -1,0 +1,579 @@
+//! XPath subset: the selection/projection queries DogmatiX generates.
+//!
+//! The paper formulates candidate and description queries as XQueries whose
+//! bodies are pure selections and projections down the schema tree
+//! (Section 3.3). This module implements exactly that fragment:
+//!
+//! * absolute paths `/moviedoc/movie`, optionally anchored at a variable
+//!   like the paper's `$doc/moviedoc/movie` (the variable is treated as the
+//!   document root),
+//! * relative paths `./title`, `../year`, `.`,
+//! * the descendant axis `//actor`,
+//! * wildcard steps `*`,
+//! * positional predicates `[2]`, child-value predicates `[title='x']`,
+//!   and attribute predicates `[@id='42']`,
+//! * terminal `@attr` and `text()` steps (via [`Path::select_values`]).
+//!
+//! Results are returned in document order without duplicates.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::error::XmlError;
+use std::collections::HashSet;
+
+/// A parsed XPath expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    absolute: bool,
+    steps: Vec<Step>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Step {
+    axis: Axis,
+    test: NameTest,
+    predicates: Vec<Predicate>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)]
+enum Axis {
+    Child,
+    Descendant,
+    Parent,
+    SelfAxis,
+    Attribute,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NameTest {
+    Name(String),
+    Wildcard,
+    Text,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Predicate {
+    /// `[3]` — 1-based position within the matched candidates of one
+    /// context node.
+    Position(usize),
+    /// `[child='value']`.
+    ChildEquals(String, String),
+    /// `[@attr='value']`.
+    AttrEquals(String, String),
+}
+
+impl Path {
+    /// Parses an XPath expression.
+    ///
+    /// ```
+    /// use dogmatix_xml::Path;
+    /// assert!(Path::parse("/moviedoc/movie/title").is_ok());
+    /// assert!(Path::parse("$doc/moviedoc/movie").is_ok());
+    /// assert!(Path::parse("./actor/name").is_ok());
+    /// assert!(Path::parse("//disc[@id='3']/title").is_ok());
+    /// assert!(Path::parse("").is_err());
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, XmlError> {
+        let mut rest = input.trim();
+        if rest.is_empty() {
+            return Err(XmlError::xpath("empty XPath expression"));
+        }
+        let mut absolute = false;
+        // The paper anchors absolute paths at a variable: `$doc/...`.
+        if let Some(after) = rest.strip_prefix('$') {
+            let end = after
+                .find('/')
+                .ok_or_else(|| XmlError::xpath("variable anchor without path"))?;
+            rest = &after[end..];
+            absolute = true;
+        }
+        let mut steps = Vec::new();
+        if let Some(r) = rest.strip_prefix('/') {
+            absolute = true;
+            rest = r;
+        }
+        // A leading "//" (now a single leading '/' left in rest).
+        let mut next_axis = if let Some(r) = rest.strip_prefix('/') {
+            rest = r;
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        if rest.is_empty() {
+            return Err(XmlError::xpath("path has no steps"));
+        }
+        for raw_step in split_steps(rest)? {
+            match raw_step {
+                RawStep::Separator => {
+                    next_axis = Axis::Descendant;
+                }
+                RawStep::Token(tok) => {
+                    steps.push(parse_step(&tok, next_axis)?);
+                    next_axis = Axis::Child;
+                }
+            }
+        }
+        if steps.is_empty() {
+            return Err(XmlError::xpath("path has no steps"));
+        }
+        // Attribute/text steps must be terminal.
+        for (i, s) in steps.iter().enumerate() {
+            let terminal = i + 1 == steps.len();
+            if !terminal && (s.axis == Axis::Attribute || s.test == NameTest::Text) {
+                return Err(XmlError::xpath(
+                    "@attr and text() steps are only allowed at the end of a path",
+                ));
+            }
+        }
+        Ok(Path { absolute, steps })
+    }
+
+    /// Whether the path is absolute (starts at the document root).
+    pub fn is_absolute(&self) -> bool {
+        self.absolute
+    }
+
+    /// Whether the final step selects an attribute or `text()` (i.e. the
+    /// path yields values rather than element nodes).
+    pub fn yields_values(&self) -> bool {
+        self.steps
+            .last()
+            .map(|s| s.axis == Axis::Attribute || s.test == NameTest::Text)
+            .unwrap_or(false)
+    }
+
+    /// Selects matching element nodes. Attribute and `text()` finals yield
+    /// their *owner* elements here; use [`Path::select_values`] for values.
+    pub fn select(&self, doc: &Document, context: NodeId) -> Vec<NodeId> {
+        let start = if self.absolute {
+            crate::dom::DOCUMENT_NODE
+        } else {
+            context
+        };
+        let mut current = vec![start];
+        for step in &self.steps {
+            if step.axis == Axis::Attribute || step.test == NameTest::Text {
+                break; // owner elements are the result
+            }
+            current = apply_step(doc, &current, step);
+            if current.is_empty() {
+                break;
+            }
+        }
+        dedup_in_doc_order(current)
+    }
+
+    /// Selects string values: for `…/@attr` the attribute values, for
+    /// `…/text()` the direct text, otherwise each matched element's direct
+    /// text content (elements without text are skipped).
+    pub fn select_values(&self, doc: &Document, context: NodeId) -> Vec<String> {
+        let owners = self.select(doc, context);
+        let mut out = Vec::new();
+        match self.steps.last() {
+            Some(step) if step.axis == Axis::Attribute => {
+                if let NameTest::Name(attr) = &step.test {
+                    for o in owners {
+                        if let Some(v) = doc.attr(o, attr) {
+                            out.push(v.to_string());
+                        }
+                    }
+                }
+            }
+            Some(step) if step.test == NameTest::Text => {
+                for o in owners {
+                    if let Some(t) = doc.direct_text(o) {
+                        out.push(t);
+                    }
+                }
+            }
+            _ => {
+                for o in owners {
+                    if let Some(t) = doc.direct_text(o) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+enum RawStep {
+    Token(String),
+    Separator,
+}
+
+/// Splits `a/b//c[x='1/2']` into tokens, treating `//` as a separator
+/// marker and ignoring `/` inside predicate brackets.
+fn split_steps(input: &str) -> Result<Vec<RawStep>, XmlError> {
+    let mut out = Vec::new();
+    let mut token = String::new();
+    let mut depth = 0usize;
+    let mut in_quote = false;
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' if depth > 0 => {
+                in_quote = !in_quote;
+                token.push(c);
+            }
+            '[' if !in_quote => {
+                depth += 1;
+                token.push(c);
+            }
+            ']' if !in_quote => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| XmlError::xpath("unbalanced ']'"))?;
+                token.push(c);
+            }
+            '/' if depth == 0 && !in_quote => {
+                if token.is_empty() {
+                    return Err(XmlError::xpath("empty path step"));
+                }
+                out.push(RawStep::Token(std::mem::take(&mut token)));
+                if chars.peek() == Some(&'/') {
+                    chars.next();
+                    out.push(RawStep::Separator);
+                }
+            }
+            _ => token.push(c),
+        }
+    }
+    if depth != 0 || in_quote {
+        return Err(XmlError::xpath("unbalanced predicate brackets"));
+    }
+    if token.is_empty() {
+        return Err(XmlError::xpath("path ends with '/'"));
+    }
+    out.push(RawStep::Token(token));
+    Ok(out)
+}
+
+fn parse_step(token: &str, axis: Axis) -> Result<Step, XmlError> {
+    let (name_part, predicates) = split_predicates(token)?;
+    let (axis, test) = match name_part.as_str() {
+        "." => (Axis::SelfAxis, NameTest::Wildcard),
+        ".." => (Axis::Parent, NameTest::Wildcard),
+        "*" => (axis, NameTest::Wildcard),
+        "text()" => (axis, NameTest::Text),
+        other => {
+            if let Some(attr) = other.strip_prefix('@') {
+                if attr.is_empty() {
+                    return Err(XmlError::xpath("'@' without attribute name"));
+                }
+                (Axis::Attribute, NameTest::Name(attr.to_string()))
+            } else {
+                validate_name(other)?;
+                (axis, NameTest::Name(other.to_string()))
+            }
+        }
+    };
+    if (matches!(axis, Axis::SelfAxis | Axis::Parent | Axis::Attribute)) && !predicates.is_empty()
+    {
+        return Err(XmlError::xpath(
+            "predicates are not supported on '.', '..', or attribute steps",
+        ));
+    }
+    Ok(Step {
+        axis,
+        test,
+        predicates,
+    })
+}
+
+fn validate_name(name: &str) -> Result<(), XmlError> {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return Err(XmlError::xpath(format!("invalid step name '{name}'"))),
+    }
+    if chars.any(|c| !(c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))) {
+        return Err(XmlError::xpath(format!("invalid step name '{name}'")));
+    }
+    Ok(())
+}
+
+fn split_predicates(token: &str) -> Result<(String, Vec<Predicate>), XmlError> {
+    let Some(bracket) = token.find('[') else {
+        return Ok((token.to_string(), Vec::new()));
+    };
+    let name = token[..bracket].to_string();
+    let mut predicates = Vec::new();
+    let mut rest = &token[bracket..];
+    while !rest.is_empty() {
+        if !rest.starts_with('[') {
+            return Err(XmlError::xpath(format!("malformed predicates in '{token}'")));
+        }
+        let close = rest
+            .find(']')
+            .ok_or_else(|| XmlError::xpath("unterminated predicate"))?;
+        let body = &rest[1..close];
+        predicates.push(parse_predicate(body)?);
+        rest = &rest[close + 1..];
+    }
+    Ok((name, predicates))
+}
+
+fn parse_predicate(body: &str) -> Result<Predicate, XmlError> {
+    let body = body.trim();
+    if let Ok(n) = body.parse::<usize>() {
+        if n == 0 {
+            return Err(XmlError::xpath("positions are 1-based"));
+        }
+        return Ok(Predicate::Position(n));
+    }
+    let eq = body
+        .find('=')
+        .ok_or_else(|| XmlError::xpath(format!("unsupported predicate '[{body}]'")))?;
+    let lhs = body[..eq].trim();
+    let rhs = body[eq + 1..].trim();
+    let value = rhs
+        .strip_prefix('\'')
+        .and_then(|r| r.strip_suffix('\''))
+        .or_else(|| rhs.strip_prefix('"').and_then(|r| r.strip_suffix('"')))
+        .ok_or_else(|| XmlError::xpath(format!("predicate value must be quoted: '[{body}]'")))?;
+    if let Some(attr) = lhs.strip_prefix('@') {
+        Ok(Predicate::AttrEquals(attr.to_string(), value.to_string()))
+    } else {
+        validate_name(lhs)?;
+        Ok(Predicate::ChildEquals(lhs.to_string(), value.to_string()))
+    }
+}
+
+fn apply_step(doc: &Document, current: &[NodeId], step: &Step) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for &ctx in current {
+        let candidates: Vec<NodeId> = match step.axis {
+            Axis::Child => doc
+                .child_elements(ctx)
+                .filter(|n| name_matches(doc, *n, &step.test))
+                .collect(),
+            Axis::Descendant => doc
+                .descendant_elements(ctx)
+                .into_iter()
+                .filter(|n| name_matches(doc, *n, &step.test))
+                .collect(),
+            Axis::Parent => doc
+                .parent(ctx)
+                .into_iter()
+                .filter(|p| *p != crate::dom::DOCUMENT_NODE)
+                .collect(),
+            Axis::SelfAxis => vec![ctx],
+            Axis::Attribute => vec![ctx],
+        };
+        let mut kept = Vec::new();
+        'candidate: for (i, n) in candidates.iter().enumerate() {
+            for p in &step.predicates {
+                match p {
+                    Predicate::Position(want) => {
+                        if i + 1 != *want {
+                            continue 'candidate;
+                        }
+                    }
+                    Predicate::ChildEquals(name, value) => {
+                        let matched = doc.child_elements(*n).any(|c| {
+                            doc.name(c) == Some(name.as_str())
+                                && doc.direct_text(c).as_deref() == Some(value.as_str())
+                        });
+                        if !matched {
+                            continue 'candidate;
+                        }
+                    }
+                    Predicate::AttrEquals(name, value) => {
+                        if doc.attr(*n, name) != Some(value.as_str()) {
+                            continue 'candidate;
+                        }
+                    }
+                }
+            }
+            kept.push(*n);
+        }
+        out.extend(kept);
+    }
+    out
+}
+
+fn name_matches(doc: &Document, id: NodeId, test: &NameTest) -> bool {
+    match test {
+        NameTest::Name(n) => doc.name(id) == Some(n.as_str()),
+        NameTest::Wildcard => doc.is_element(id),
+        NameTest::Text => matches!(doc.node(id).kind(), NodeKind::Text(_)),
+    }
+}
+
+fn dedup_in_doc_order(mut nodes: Vec<NodeId>) -> Vec<NodeId> {
+    // NodeIds are assigned in document order by both the parser and the
+    // builder, so sorting by id restores document order.
+    nodes.sort_unstable();
+    let mut seen = HashSet::with_capacity(nodes.len());
+    nodes.retain(|n| seen.insert(*n));
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<moviedoc>\
+               <movie id=\"1\"><title>The Matrix</title><year>1999</year>\
+                 <actor><name>Keanu Reeves</name></actor>\
+                 <actor><name>L. Fishburne</name></actor></movie>\
+               <movie id=\"2\"><title>Matrix</title><year>1999</year>\
+                 <actor><name>Keanu Reeves</name></actor></movie>\
+               <movie id=\"3\"><title>Signs</title><year>2002</year></movie>\
+             </moviedoc>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn absolute_path() {
+        let d = doc();
+        assert_eq!(d.select("/moviedoc/movie").unwrap().len(), 3);
+        assert_eq!(d.select("/moviedoc/movie/title").unwrap().len(), 3);
+        assert_eq!(d.select("/nosuch/movie").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn variable_anchor_like_paper() {
+        let d = doc();
+        assert_eq!(d.select("$doc/moviedoc/movie").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn relative_paths() {
+        let d = doc();
+        let movie = d.select("/moviedoc/movie").unwrap()[0];
+        assert_eq!(d.select_from(movie, "./title").unwrap().len(), 1);
+        assert_eq!(d.select_from(movie, "./actor/name").unwrap().len(), 2);
+        assert_eq!(d.select_from(movie, "..").unwrap().len(), 1);
+        assert_eq!(d.select_from(movie, ".").unwrap(), vec![movie]);
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let d = doc();
+        assert_eq!(d.select("//name").unwrap().len(), 3);
+        assert_eq!(d.select("/moviedoc//name").unwrap().len(), 3);
+        let movie = d.select("/moviedoc/movie").unwrap()[0];
+        assert_eq!(d.select_from(movie, ".//name").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wildcard() {
+        let d = doc();
+        assert_eq!(d.select("/moviedoc/*").unwrap().len(), 3);
+        assert_eq!(d.select("/moviedoc/movie/*").unwrap().len(), 9);
+    }
+
+    #[test]
+    fn positional_predicate() {
+        let d = doc();
+        let second = d.select("/moviedoc/movie[2]").unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(d.attr(second[0], "id"), Some("2"));
+    }
+
+    #[test]
+    fn child_value_predicate() {
+        let d = doc();
+        let signs = d.select("/moviedoc/movie[title='Signs']").unwrap();
+        assert_eq!(signs.len(), 1);
+        assert_eq!(d.attr(signs[0], "id"), Some("3"));
+        // Two movies share year 1999.
+        assert_eq!(d.select("/moviedoc/movie[year='1999']").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn attr_predicate() {
+        let d = doc();
+        let m = d.select("/moviedoc/movie[@id='2']/title").unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(d.direct_text(m[0]).as_deref(), Some("Matrix"));
+    }
+
+    #[test]
+    fn chained_predicates() {
+        let d = doc();
+        let m = d
+            .select("/moviedoc/movie[year='1999'][2]")
+            .unwrap();
+        // Predicates filter in sequence over the candidate list — the
+        // second candidate that also has year 1999... order: position
+        // applies to candidate index in this simplified dialect.
+        assert!(m.len() <= 1);
+    }
+
+    #[test]
+    fn attribute_values() {
+        let d = doc();
+        let p = Path::parse("/moviedoc/movie/@id").unwrap();
+        assert!(p.yields_values());
+        assert_eq!(
+            p.select_values(&d, crate::dom::DOCUMENT_NODE),
+            vec!["1", "2", "3"]
+        );
+    }
+
+    #[test]
+    fn text_values() {
+        let d = doc();
+        let p = Path::parse("/moviedoc/movie/title/text()").unwrap();
+        assert_eq!(
+            p.select_values(&d, crate::dom::DOCUMENT_NODE),
+            vec!["The Matrix", "Matrix", "Signs"]
+        );
+    }
+
+    #[test]
+    fn element_values_default_to_direct_text() {
+        let d = doc();
+        let p = Path::parse("/moviedoc/movie/year").unwrap();
+        assert_eq!(
+            p.select_values(&d, crate::dom::DOCUMENT_NODE),
+            vec!["1999", "1999", "2002"]
+        );
+    }
+
+    #[test]
+    fn document_order_no_duplicates() {
+        let d = Document::parse("<r><a><b/></a><a><b/><b/></a></r>").unwrap();
+        let all = d.select("//b").unwrap();
+        assert_eq!(all.len(), 3);
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "/",
+            "a//",
+            "/a/",
+            "/a/[email protected]",
+            "/a/b[",
+            "/a/b[0]",
+            "/a/b[x=unquoted]",
+            "/a/@",
+            "/a/@x/y",
+            "/a/text()/y",
+            "/a/1name",
+        ] {
+            assert!(Path::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn is_absolute_flag() {
+        assert!(Path::parse("/a/b").unwrap().is_absolute());
+        assert!(Path::parse("$doc/a").unwrap().is_absolute());
+        assert!(!Path::parse("./a").unwrap().is_absolute());
+        assert!(!Path::parse("a/b").unwrap().is_absolute());
+    }
+}

@@ -1,0 +1,150 @@
+//! Adversarial inputs: the parser and XPath engine must reject garbage
+//! with errors — never panic, loop, or mis-parse.
+
+use dogmatix_xml::{Document, Path, Schema};
+
+#[test]
+fn parser_survives_malformed_inputs() {
+    let cases = [
+        "",
+        " ",
+        "<",
+        ">",
+        "<>",
+        "</>",
+        "<a",
+        "<a/",
+        "<a><//a>",
+        "<a></b>",
+        "<a b=c/>",
+        "<a b='1' b='2'/>",
+        "<a>&;</a>",
+        "<a>&#xZZ;</a>",
+        "<a>&#99999999999;</a>",
+        "<a><![CDATA[never closed</a>",
+        "<!-- only comment -->",
+        "<?xml version=\"1.0\"?>",
+        "<a/><b/>",
+        "text only",
+        "<a>\u{0}</a>x<",
+        "<a ='v'/>",
+        "<1tag/>",
+        "<a><b></a></b>",
+    ];
+    for case in cases {
+        match Document::parse(case) {
+            Ok(doc) => {
+                // The only acceptable successes are genuinely well-formed.
+                assert!(
+                    doc.root_element().is_some(),
+                    "accepted {case:?} without a root"
+                );
+            }
+            Err(e) => {
+                // Errors must render without panicking.
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+#[test]
+fn parser_handles_deep_nesting_up_to_the_limit() {
+    let build = |depth: usize| {
+        let mut xml = String::new();
+        for i in 0..depth {
+            xml.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..depth).rev() {
+            xml.push_str(&format!("</n{i}>"));
+        }
+        xml
+    };
+    // Within the limit: parses fine.
+    let depth = 200;
+    let doc = Document::parse(&build(depth)).expect("deep but well-formed");
+    assert_eq!(doc.all_elements().len(), depth);
+    let deepest = *doc.all_elements().last().unwrap();
+    assert_eq!(doc.depth(deepest), depth - 1);
+    // Beyond the limit: a clean error instead of a stack overflow.
+    let err = Document::parse(&build(dogmatix_xml::parser::MAX_DEPTH + 10)).unwrap_err();
+    assert!(err.to_string().contains("nesting depth"), "{err}");
+}
+
+#[test]
+fn parser_handles_many_siblings() {
+    let n = 50_000;
+    let mut xml = String::from("<r>");
+    for _ in 0..n {
+        xml.push_str("<x/>");
+    }
+    xml.push_str("</r>");
+    let doc = Document::parse(&xml).expect("wide but well-formed");
+    assert_eq!(doc.select("/r/x").unwrap().len(), n);
+}
+
+#[test]
+fn xpath_rejects_garbage_without_panicking() {
+    let cases = [
+        "", "/", "//", "///", "a//", "[1]", "/a[", "/a]", "/a[']", "/a[=]", "/a[@]",
+        "/a[@x=]", "/a[@x='unclosed]", "/a/b[1'2']", "/@", "$", "$doc", "/a/*[x", "..//",
+    ];
+    for case in cases {
+        assert!(Path::parse(case).is_err(), "accepted {case:?}");
+    }
+}
+
+#[test]
+fn xpath_on_mismatched_document_returns_empty() {
+    let doc = Document::parse("<a><b/></a>").unwrap();
+    for path in ["/x/y", "/a/b/c/d", "//nothere", "/a/b[title='x']"] {
+        assert!(doc.select(path).unwrap().is_empty(), "{path}");
+    }
+}
+
+#[test]
+fn schema_inference_on_degenerate_documents() {
+    // Single empty root.
+    let s = Schema::infer(&Document::parse("<only/>").unwrap()).unwrap();
+    assert_eq!(s.len(), 1);
+    // Root with text only.
+    let s = Schema::infer(&Document::parse("<only>text</only>").unwrap()).unwrap();
+    assert!(s.has_text(s.root()));
+    // Huge flat fanout.
+    let mut xml = String::from("<r>");
+    for i in 0..500 {
+        xml.push_str(&format!("<e{i}>v</e{i}>"));
+    }
+    xml.push_str("</r>");
+    let s = Schema::infer(&Document::parse(&xml).unwrap()).unwrap();
+    assert_eq!(s.children(s.root()).len(), 500);
+}
+
+#[test]
+fn entity_bombs_are_not_possible() {
+    // Internal DTD subsets (the vector for billion-laughs) are rejected.
+    let bomb = r#"<!DOCTYPE lolz [
+      <!ENTITY lol "lol">
+      <!ENTITY lol2 "&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;">
+    ]><lolz>&lol2;</lolz>"#;
+    assert!(Document::parse(bomb).is_err());
+}
+
+#[test]
+fn huge_attribute_values_roundtrip() {
+    let big = "x".repeat(100_000);
+    let xml = format!("<a v=\"{big}\"/>");
+    let doc = Document::parse(&xml).unwrap();
+    assert_eq!(doc.attr(doc.root_element().unwrap(), "v").unwrap().len(), 100_000);
+    let re = Document::parse(&doc.to_xml()).unwrap();
+    assert_eq!(doc, re);
+}
+
+#[test]
+fn mixed_scripts_and_emoji_content() {
+    let xml = "<r><t>日本語 текст العربية 🎵</t></r>";
+    let doc = Document::parse(xml).unwrap();
+    let t = doc.select("/r/t").unwrap()[0];
+    assert_eq!(doc.direct_text(t).unwrap(), "日本語 текст العربية 🎵");
+    assert_eq!(doc.to_xml(), xml);
+}

@@ -1,0 +1,144 @@
+//! Property tests: documents built from arbitrary trees survive
+//! serialise → parse round trips, and navigation invariants hold.
+
+use dogmatix_xml::{Document, NodeId};
+use proptest::prelude::*;
+
+/// A recipe for building a small random tree.
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Element(String),
+    Text(String),
+    Up,
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9]{0,6}").unwrap()
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes characters that must be escaped.
+    proptest::string::string_regex("[ a-zA-Z0-9<>&'\"äß]{1,16}").unwrap()
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<TreeOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => name_strategy().prop_map(TreeOp::Element),
+            2 => text_strategy().prop_map(TreeOp::Text),
+            1 => Just(TreeOp::Up),
+        ],
+        0..40,
+    )
+}
+
+fn build_doc(ops: &[TreeOp]) -> Document {
+    let mut doc = Document::with_root("root");
+    let mut stack: Vec<NodeId> = vec![doc.root_element().unwrap()];
+    for op in ops {
+        match op {
+            TreeOp::Element(name) => {
+                let parent = *stack.last().unwrap();
+                let el = doc.add_element(parent, name);
+                stack.push(el);
+            }
+            TreeOp::Text(t) => {
+                let parent = *stack.last().unwrap();
+                doc.add_text(parent, t);
+            }
+            TreeOp::Up => {
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+            }
+        }
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_parse_roundtrip(ops in ops_strategy()) {
+        let doc = build_doc(&ops);
+        let xml = doc.to_xml();
+        let reparsed = Document::parse(&xml).unwrap_or_else(|e| {
+            panic!("failed to reparse {xml:?}: {e}")
+        });
+        // Adjacent text nodes may merge on reparse, so compare text
+        // content and element structure rather than node-for-node.
+        prop_assert_eq!(doc.all_elements().len(), reparsed.all_elements().len());
+        let e1 = doc.all_elements();
+        let e2 = reparsed.all_elements();
+        for (a, b) in e1.iter().zip(e2.iter()) {
+            prop_assert_eq!(doc.name(*a), reparsed.name(*b));
+            prop_assert_eq!(doc.text_content(*a), reparsed.text_content(*b));
+            prop_assert_eq!(doc.name_path(*a), reparsed.name_path(*b));
+        }
+    }
+
+    #[test]
+    fn absolute_paths_resolve_back(ops in ops_strategy()) {
+        let doc = build_doc(&ops);
+        for el in doc.all_elements() {
+            let path = doc.absolute_path(el);
+            let found = doc.select(&path).unwrap();
+            prop_assert_eq!(found.len(), 1, "path {} not unique", path);
+            prop_assert_eq!(found[0], el);
+        }
+    }
+
+    #[test]
+    fn depth_consistent_with_ancestors(ops in ops_strategy()) {
+        let doc = build_doc(&ops);
+        for el in doc.all_elements() {
+            prop_assert_eq!(doc.depth(el), doc.ancestors(el).count());
+            if let Some(p) = doc.parent(el) {
+                if doc.is_element(p) {
+                    prop_assert_eq!(doc.depth(el), doc.depth(p) + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_and_dfs_agree_on_membership(ops in ops_strategy()) {
+        let doc = build_doc(&ops);
+        let root = doc.root_element().unwrap();
+        let mut dfs = doc.descendant_elements(root);
+        let mut bfs = doc.breadth_first_elements(root);
+        dfs.sort();
+        bfs.sort();
+        prop_assert_eq!(dfs, bfs);
+    }
+
+    #[test]
+    fn descendants_within_saturates(ops in ops_strategy()) {
+        let doc = build_doc(&ops);
+        let root = doc.root_element().unwrap();
+        let all = doc.descendant_elements(root).len();
+        prop_assert_eq!(doc.descendants_within(root, 1000).len(), all);
+        // Monotone in radius.
+        let mut prev = 0;
+        for r in 0..6 {
+            let n = doc.descendants_within(root, r).len();
+            prop_assert!(n >= prev);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn inferred_schema_covers_every_name_path(ops in ops_strategy()) {
+        let doc = build_doc(&ops);
+        let schema = dogmatix_xml::Schema::infer(&doc).unwrap();
+        for el in doc.all_elements() {
+            let path = doc.name_path(el);
+            prop_assert!(
+                schema.find_by_path(&path).is_some(),
+                "schema missing path {}",
+                path
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Building custom description-selection heuristics with the combination
+//! algebra of Section 4.3: AND/OR over heuristics, AND/OR over
+//! conditions, and `h[c]` refinement — including the paper's own example
+//! `hra[cme] ∨ hrd[csdt ∧ ccm]`.
+//!
+//! Run with: `cargo run --example custom_heuristic`
+
+use dogmatix_repro::core::heuristics::{ConditionExpr, HeuristicExpr};
+use dogmatix_repro::datagen::cd::CD_XSD;
+use dogmatix_repro::xml::Schema;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = Schema::parse_xsd(CD_XSD)?;
+    let disc = schema
+        .find_by_path("/discs/disc")
+        .expect("the CD schema declares /discs/disc");
+
+    let show = |name: &str, h: &HeuristicExpr| {
+        println!("{name}:");
+        for path in h.select_paths(&schema, disc) {
+            println!("  {path}");
+        }
+        println!();
+    };
+
+    // The three base heuristics.
+    show("hrd (r = 1)", &HeuristicExpr::r_distant_descendants(1));
+    show("hrd (r = 2)", &HeuristicExpr::r_distant_descendants(2));
+    show("hkd (k = 3)", &HeuristicExpr::k_closest_descendants(3));
+
+    // Conditions refine the selection (Combination 3).
+    show(
+        "hrd(2)[csdt] — string-typed only",
+        &HeuristicExpr::r_distant_descendants(2).refined(ConditionExpr::StringType),
+    );
+    show(
+        "hrd(2)[cme ∧ cse] — mandatory singletons",
+        &HeuristicExpr::r_distant_descendants(2)
+            .refined(ConditionExpr::Mandatory.and(ConditionExpr::Singleton)),
+    );
+
+    // The paper's Section 4.3 example: hra[cme] ∨ hrd[csdt ∧ ccm],
+    // evaluated for the track-title element.
+    let track_title = schema
+        .find_by_path("/discs/disc/tracks/title")
+        .expect("the CD schema declares track titles");
+    let combined = HeuristicExpr::r_distant_ancestors(1)
+        .refined(ConditionExpr::Mandatory)
+        .or(HeuristicExpr::r_distant_descendants(1)
+            .refined(ConditionExpr::StringType.and(ConditionExpr::ContentModel)));
+    println!("paper example hra[cme] ∨ hrd[csdt ∧ ccm] for /discs/disc/tracks/title:");
+    for path in combined.select_paths(&schema, track_title) {
+        println!("  {path}");
+    }
+
+    // AND-combination narrows; OR widens (Combination 1).
+    let narrow = HeuristicExpr::k_closest_descendants(5)
+        .and(HeuristicExpr::r_distant_descendants(1));
+    let wide = HeuristicExpr::k_closest_descendants(5)
+        .or(HeuristicExpr::r_distant_descendants(2));
+    println!(
+        "\n|hkd(5) ∧ hrd(1)| = {}, |hkd(5) ∨ hrd(2)| = {}",
+        narrow.select(&schema, disc).len(),
+        wide.select(&schema, disc).len()
+    );
+    Ok(())
+}

@@ -1,0 +1,226 @@
+//! `dogmatix` — command-line duplicate detection for XML files.
+//!
+//! ```text
+//! dogmatix <input.xml> --type <NAME> [options]
+//!
+//!   --type <NAME>          real-world type to deduplicate (required)
+//!   --mapping <file>       mapping M in the line format `NAME: path, path`
+//!                          (default: the type name mapped to --candidates)
+//!   --candidates <xpath>   candidate path when no mapping file is given
+//!   --schema <file.xsd>    XSD (default: inferred from the instance)
+//!   --heuristic <spec>     rd:<r> | ra:<r> | kc:<k> | auto   (default rd:1)
+//!   --exp <1..8>           Table 4 condition combination     (default 1)
+//!   --theta-tuple <f>      similarity threshold for values   (default 0.15)
+//!   --theta-cand <f>       duplicate threshold               (default 0.55)
+//!   --no-filter            disable comparison reduction
+//!   --fuse                 also write a fused (deduplicated) document
+//!   --output <file>        write the dup-cluster XML here (default stdout)
+//! ```
+
+use dogmatix_repro::core::auto;
+use dogmatix_repro::core::fusion::{fuse_clusters, FusionConfig};
+use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
+use dogmatix_repro::core::pipeline::{Dogmatix, DogmatixConfig};
+use dogmatix_repro::core::Mapping;
+use dogmatix_repro::xml::{Document, Schema};
+use std::process::ExitCode;
+
+struct Options {
+    input: String,
+    rw_type: String,
+    mapping_file: Option<String>,
+    candidates: Option<String>,
+    schema_file: Option<String>,
+    heuristic: String,
+    exp: usize,
+    theta_tuple: f64,
+    theta_cand: f64,
+    use_filter: bool,
+    fuse: bool,
+    output: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        input: String::new(),
+        rw_type: String::new(),
+        mapping_file: None,
+        candidates: None,
+        schema_file: None,
+        heuristic: "rd:1".to_string(),
+        exp: 1,
+        theta_tuple: 0.15,
+        theta_cand: 0.55,
+        use_filter: true,
+        fuse: false,
+        output: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--type" => opts.rw_type = value("--type")?,
+            "--mapping" => opts.mapping_file = Some(value("--mapping")?),
+            "--candidates" => opts.candidates = Some(value("--candidates")?),
+            "--schema" => opts.schema_file = Some(value("--schema")?),
+            "--heuristic" => opts.heuristic = value("--heuristic")?,
+            "--exp" => {
+                opts.exp = value("--exp")?
+                    .parse()
+                    .map_err(|_| "--exp must be 1..8".to_string())?
+            }
+            "--theta-tuple" => {
+                opts.theta_tuple = value("--theta-tuple")?
+                    .parse()
+                    .map_err(|_| "--theta-tuple must be a number".to_string())?
+            }
+            "--theta-cand" => {
+                opts.theta_cand = value("--theta-cand")?
+                    .parse()
+                    .map_err(|_| "--theta-cand must be a number".to_string())?
+            }
+            "--no-filter" => opts.use_filter = false,
+            "--fuse" => opts.fuse = true,
+            "--output" => opts.output = Some(value("--output")?),
+            "--help" | "-h" => return Err(HELP.to_string()),
+            other if opts.input.is_empty() && !other.starts_with('-') => {
+                opts.input = other.to_string()
+            }
+            other => return Err(format!("unknown argument '{other}'\n{HELP}")),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err(format!("missing input file\n{HELP}"));
+    }
+    if opts.rw_type.is_empty() {
+        return Err(format!("--type is required\n{HELP}"));
+    }
+    Ok(opts)
+}
+
+const HELP: &str = "usage: dogmatix <input.xml> --type <NAME> \
+[--mapping m.txt | --candidates /path] [--schema s.xsd] \
+[--heuristic rd:<r>|ra:<r>|kc:<k>|auto] [--exp 1..8] \
+[--theta-tuple f] [--theta-cand f] [--no-filter] [--fuse] [--output out.xml]";
+
+fn run(opts: Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(&opts.input)
+        .map_err(|e| format!("cannot read {}: {e}", opts.input))?;
+    let doc = Document::parse(&text).map_err(|e| e.to_string())?;
+
+    let schema = match &opts.schema_file {
+        Some(path) => {
+            let xsd = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            Schema::parse_xsd(&xsd).map_err(|e| e.to_string())?
+        }
+        None => Schema::infer(&doc).map_err(|e| e.to_string())?,
+    };
+
+    let mapping = match (&opts.mapping_file, &opts.candidates) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            Mapping::parse(&text).map_err(|e| e.to_string())?
+        }
+        (None, Some(candidate_path)) => {
+            let mut m = Mapping::new();
+            m.add_type(&opts.rw_type, [candidate_path.as_str()]);
+            m
+        }
+        (None, None) => {
+            // Last resort: suggest candidates automatically.
+            let suggestions = auto::suggest_candidates(&schema);
+            let best = suggestions
+                .first()
+                .ok_or("no candidate elements found; pass --candidates")?;
+            eprintln!(
+                "note: no mapping given — using suggested candidate path {}",
+                best.path
+            );
+            let mut m = Mapping::new();
+            m.add_type(&opts.rw_type, [best.path.as_str()]);
+            m
+        }
+    };
+
+    let candidate_path = mapping
+        .paths_of(&opts.rw_type)
+        .and_then(|p| p.first().cloned())
+        .ok_or_else(|| format!("type '{}' has no paths in the mapping", opts.rw_type))?;
+
+    let base = match opts.heuristic.split_once(':') {
+        Some(("rd", r)) => HeuristicExpr::r_distant_descendants(
+            r.parse().map_err(|_| "bad radius".to_string())?,
+        ),
+        Some(("ra", r)) => HeuristicExpr::r_distant_ancestors(
+            r.parse().map_err(|_| "bad radius".to_string())?,
+        ),
+        Some(("kc", k)) => HeuristicExpr::k_closest_descendants(
+            k.parse().map_err(|_| "bad k".to_string())?,
+        ),
+        None if opts.heuristic == "auto" => {
+            let (h, stats) =
+                auto::recommend_k(&doc, &schema, &mapping, &candidate_path, 12, 1.0);
+            eprintln!("note: auto heuristic chose {h:?} from {} stats rows", stats.len());
+            h
+        }
+        _ => return Err(format!("unknown heuristic '{}'", opts.heuristic)),
+    };
+    let heuristic = table4_heuristic(base, opts.exp);
+
+    let config = DogmatixConfig {
+        theta_tuple: opts.theta_tuple,
+        theta_cand: opts.theta_cand,
+        heuristic,
+        use_filter: opts.use_filter,
+        threads: 0,
+    };
+    let result = Dogmatix::new(config, mapping)
+        .run(&doc, &schema, &opts.rw_type)
+        .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "candidates: {}, pruned: {}, compared: {} pairs, duplicates: {} pairs in {} clusters",
+        result.stats.candidates,
+        result.stats.pruned_by_filter,
+        result.stats.pairs_compared,
+        result.duplicate_pairs.len(),
+        result.clusters.len()
+    );
+
+    let out_xml = result.to_xml(&doc).to_xml_pretty();
+    match &opts.output {
+        Some(path) => std::fs::write(path, out_xml)
+            .map_err(|e| format!("cannot write {path}: {e}"))?,
+        None => println!("{out_xml}"),
+    }
+
+    if opts.fuse {
+        let fused = fuse_clusters(
+            &doc,
+            &result.candidates,
+            &result.clusters,
+            FusionConfig {
+                theta_tuple: opts.theta_tuple,
+            },
+        );
+        let fused_path = format!("{}.fused.xml", opts.input.trim_end_matches(".xml"));
+        std::fs::write(&fused_path, fused.to_xml_pretty())
+            .map_err(|e| format!("cannot write {fused_path}: {e}"))?;
+        eprintln!("fused document written to {fused_path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the DogmatiX reproduction: re-exports the workspace
+//! crates so examples and integration tests can use a single dependency.
+
+pub use dogmatix_core as core;
+pub use dogmatix_datagen as datagen;
+pub use dogmatix_eval as eval;
+pub use dogmatix_textsim as textsim;
+pub use dogmatix_xml as xml;

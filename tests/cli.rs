@@ -1,0 +1,127 @@
+//! Integration tests for the `dogmatix` command-line binary.
+
+use std::process::Command;
+
+fn write_sample() -> tempdir::TempPaths {
+    tempdir::setup()
+}
+
+/// Minimal self-contained temp-file helpers (no tempfile crate).
+mod tempdir {
+    use std::path::PathBuf;
+
+    pub struct TempPaths {
+        pub dir: PathBuf,
+        pub input: PathBuf,
+        pub mapping: PathBuf,
+        pub output: PathBuf,
+    }
+
+    pub fn setup() -> TempPaths {
+        let dir = std::env::temp_dir().join(format!(
+            "dogmatix-cli-test-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").replace("::", "-"),
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let input = dir.join("movies.xml");
+        std::fs::write(
+            &input,
+            "<moviedoc>\
+               <movie><title>The Matrix</title><year>1999</year></movie>\
+               <movie><title>The Matrrix</title><year>1999</year></movie>\
+               <movie><title>Signs</title><year>2002</year></movie>\
+             </moviedoc>",
+        )
+        .expect("write input");
+        let mapping = dir.join("mapping.txt");
+        std::fs::write(&mapping, "MOVIE: $doc/moviedoc/movie\n").expect("write mapping");
+        TempPaths {
+            output: dir.join("dups.xml"),
+            dir,
+            input,
+            mapping,
+        }
+    }
+}
+
+fn dogmatix() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dogmatix"))
+}
+
+#[test]
+fn detects_duplicates_with_mapping_file() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE", "--no-filter"])
+        .args(["--mapping", paths.mapping.to_str().unwrap()])
+        .args(["--output", paths.output.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let written = std::fs::read_to_string(&paths.output).expect("output written");
+    assert!(written.contains("dupcluster"), "{written}");
+    assert!(written.contains("/moviedoc[1]/movie[1]"));
+    assert!(written.contains("/moviedoc[1]/movie[2]"));
+    assert!(!written.contains("movie[3]"), "Signs is not a duplicate");
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn suggests_candidates_without_mapping() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE", "--no-filter"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("suggested candidate path /moviedoc/movie"),
+        "{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn fuse_writes_deduplicated_document() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE", "--no-filter", "--fuse"])
+        .args(["--output", paths.output.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let fused_path = paths.dir.join("movies.fused.xml");
+    let fused = std::fs::read_to_string(&fused_path).expect("fused written");
+    assert!(fused.contains("fused-from=\"2\""), "{fused}");
+    // 2 movies remain: the fused pair + Signs ("<movie>" and
+    // "<movie fused-from…>"; "<moviedoc>" must not be counted).
+    let count = fused.matches("<movie>").count() + fused.matches("<movie ").count();
+    assert_eq!(count, 2, "{fused}");
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn rejects_missing_arguments() {
+    let out = dogmatix().output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn rejects_unknown_type() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "NOPE"])
+        .args(["--mapping", paths.mapping.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
