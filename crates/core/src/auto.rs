@@ -133,7 +133,11 @@ pub fn element_stats(
             }
             ElementStats {
                 path,
-                mean_idf: if count > 0 { idf_sum / count as f64 } else { 0.0 },
+                mean_idf: if count > 0 {
+                    idf_sum / count as f64
+                } else {
+                    0.0
+                },
                 coverage: covered as f64 / total as f64,
             }
         })

@@ -32,7 +32,11 @@ pub fn overlap_fraction(ods: &OdSet, i: usize, j: usize) -> f64 {
             return 0.0;
         }
         let b_terms: std::collections::HashSet<_> = b.tuples.iter().map(|t| t.term).collect();
-        let matched = a.tuples.iter().filter(|t| b_terms.contains(&t.term)).count();
+        let matched = a
+            .tuples
+            .iter()
+            .filter(|t| b_terms.contains(&t.term))
+            .count();
         matched as f64 / a.tuples.len() as f64
     };
     frac(i, j).min(frac(j, i))
@@ -67,9 +71,9 @@ pub fn delphi_containment(
         let Some(partners) = by_type.get(t_i.rw_type.as_str()) else {
             continue;
         };
-        let found = partners.iter().any(|tj| {
-            cache_distance(ods, cache, t_i.term, od_j.tuples[*tj].term) < theta_tuple
-        });
+        let found = partners
+            .iter()
+            .any(|tj| cache_distance(ods, cache, t_i.term, od_j.tuples[*tj].term) < theta_tuple);
         if found {
             contained += w;
         }
@@ -84,7 +88,13 @@ pub fn delphi_containment(
 /// The paper's measure with softIDF replaced by a constant weight of 1:
 /// `|ODT_≈| / (|ODT_≠| + |ODT_≈|)` over the same similar/contradictory
 /// pair construction.
-pub fn unweighted_sim(ods: &OdSet, i: usize, j: usize, theta_tuple: f64, cache: &mut DistCache) -> f64 {
+pub fn unweighted_sim(
+    ods: &OdSet,
+    i: usize,
+    j: usize,
+    theta_tuple: f64,
+    cache: &mut DistCache,
+) -> f64 {
     let engine = crate::sim::SimEngine::new(ods, theta_tuple);
     let b = engine.breakdown(i, j, cache);
     let s = b.similar.len() as f64;

@@ -110,8 +110,8 @@ mod tests {
         // A path valid in the schema may have zero instances in this doc.
         let doc = Document::parse("<db><movie><t>A</t></movie></db>").unwrap();
         let schema = {
-            let full = Document::parse("<db><movie><t>A</t></movie><film><t>B</t></film></db>")
-                .unwrap();
+            let full =
+                Document::parse("<db><movie><t>A</t></movie><film><t>B</t></film></db>").unwrap();
             Schema::infer(&full).unwrap()
         };
         let mut m = Mapping::new();

@@ -74,10 +74,7 @@ pub fn clusters_from_pairs(n: usize, pairs: &[(usize, usize)]) -> Vec<Vec<usize>
     for i in 0..n {
         groups.entry(uf.find(i)).or_default().push(i);
     }
-    let mut out: Vec<Vec<usize>> = groups
-        .into_values()
-        .filter(|g| g.len() >= 2)
-        .collect();
+    let mut out: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 2).collect();
     out.sort_by_key(|g| g[0]);
     out
 }

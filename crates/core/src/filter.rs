@@ -134,7 +134,10 @@ fn term_families(ods: &OdSet, theta_tuple: f64) -> (Vec<usize>, usize) {
             }
         }
     }
-    (families.into_iter().map(|f| f.len()).collect(), computations)
+    (
+        families.into_iter().map(|f| f.len()).collect(),
+        computations,
+    )
 }
 
 #[cfg(test)]
@@ -152,7 +155,10 @@ mod tests {
         let mut sel = HashMap::new();
         sel.insert(
             candidate.to_string(),
-            selected.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            selected
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
         );
         OdSet::build(&doc, &candidates, &sel, &Mapping::new())
     }

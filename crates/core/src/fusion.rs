@@ -118,11 +118,14 @@ fn fuse_members(
             // Simple children: conflate ned-similar values.
             let mut kept: Vec<String> = Vec::new();
             for inst in &instances {
-                let Some(value) = doc.direct_text(*inst) else { continue };
+                let Some(value) = doc.direct_text(*inst) else {
+                    continue;
+                };
                 let norm = normalize_value(&value);
-                match kept.iter_mut().find(|k| {
-                    ned_within(&normalize_value(k), &norm, config.theta_tuple).is_some()
-                }) {
+                match kept
+                    .iter_mut()
+                    .find(|k| ned_within(&normalize_value(k), &norm, config.theta_tuple).is_some())
+                {
                     Some(existing) => {
                         // Keep the longer spelling (less truncation).
                         if value.len() > existing.len() {
@@ -221,10 +224,7 @@ mod tests {
 
     #[test]
     fn singletons_pass_through() {
-        let out = fuse(
-            "<discs><disc><title>Solo</title></disc></discs>",
-            &[],
-        );
+        let out = fuse("<discs><disc><title>Solo</title></disc></discs>", &[]);
         let discs = out.select("/discs/disc").unwrap();
         assert_eq!(discs.len(), 1);
         assert_eq!(out.attr(discs[0], "fused-from"), None);

@@ -68,9 +68,7 @@ impl ConditionExpr {
             ConditionExpr::Singleton => chain(schema, e0, node)
                 .map(|c| c.iter().all(|n| schema.is_singleton(*n)))
                 .unwrap_or(false),
-            ConditionExpr::And(a, b) => {
-                a.eval(schema, e0, node) && b.eval(schema, e0, node)
-            }
+            ConditionExpr::And(a, b) => a.eval(schema, e0, node) && b.eval(schema, e0, node),
             ConditionExpr::Or(a, b) => a.eval(schema, e0, node) || b.eval(schema, e0, node),
         }
     }
@@ -178,18 +176,13 @@ impl HeuristicExpr {
     /// schema node ids.
     pub fn select(&self, schema: &Schema, e0: SchemaNodeId) -> BTreeSet<SchemaNodeId> {
         match self {
-            HeuristicExpr::RDistantAncestors { r } => schema
-                .ancestors(e0)
-                .take(*r)
-                .collect(),
+            HeuristicExpr::RDistantAncestors { r } => schema.ancestors(e0).take(*r).collect(),
             HeuristicExpr::RDistantDescendants { r } => {
                 schema.descendants_within(e0, *r).into_iter().collect()
             }
-            HeuristicExpr::KClosestDescendants { k } => schema
-                .breadth_first(e0)
-                .into_iter()
-                .take(*k)
-                .collect(),
+            HeuristicExpr::KClosestDescendants { k } => {
+                schema.breadth_first(e0).into_iter().take(*k).collect()
+            }
             HeuristicExpr::And(a, b) => {
                 let sa = a.select(schema, e0);
                 let sb = b.select(schema, e0);
@@ -258,15 +251,78 @@ mod tests {
     /// The Table 5 CD schema.
     fn cd_schema() -> (Schema, SchemaNodeId) {
         let mut s = Schema::with_root("discs", ContentModel::Complex);
-        let disc = s.add_child(s.root(), "disc", 0, MaxOccurs::Unbounded, false, ContentModel::Complex);
-        s.add_child(disc, "did", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
-        s.add_child(disc, "artist", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
-        s.add_child(disc, "title", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
-        s.add_child(disc, "genre", 0, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
-        s.add_child(disc, "year", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::GYear));
-        s.add_child(disc, "cdextra", 0, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
-        let tracks = s.add_child(disc, "tracks", 1, MaxOccurs::Bounded(1), false, ContentModel::Complex);
-        s.add_child(tracks, "title", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
+        let disc = s.add_child(
+            s.root(),
+            "disc",
+            0,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Complex,
+        );
+        s.add_child(
+            disc,
+            "did",
+            1,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
+        s.add_child(
+            disc,
+            "artist",
+            1,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
+        s.add_child(
+            disc,
+            "title",
+            1,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
+        s.add_child(
+            disc,
+            "genre",
+            0,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
+        s.add_child(
+            disc,
+            "year",
+            1,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Simple(SimpleType::GYear),
+        );
+        s.add_child(
+            disc,
+            "cdextra",
+            0,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
+        let tracks = s.add_child(
+            disc,
+            "tracks",
+            1,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Complex,
+        );
+        s.add_child(
+            tracks,
+            "title",
+            1,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
         (s, disc)
     }
 
@@ -329,19 +385,31 @@ mod tests {
         let all = HeuristicExpr::r_distant_descendants(2);
 
         // csdt drops year (gYear) and tracks (complex).
-        let sel = all.clone().refined(ConditionExpr::StringType).select_paths(&s, disc);
+        let sel = all
+            .clone()
+            .refined(ConditionExpr::StringType)
+            .select_paths(&s, disc);
         assert!(!sel.contains("/discs/disc/year"));
         assert!(!sel.contains("/discs/disc/tracks"));
         assert!(sel.contains("/discs/disc/tracks/title"));
 
         // cme drops genre, cdextra (optional).
-        let sel = all.clone().refined(ConditionExpr::Mandatory).select_paths(&s, disc);
+        let sel = all
+            .clone()
+            .refined(ConditionExpr::Mandatory)
+            .select_paths(&s, disc);
         assert!(!sel.contains("/discs/disc/genre"));
         assert!(!sel.contains("/discs/disc/cdextra"));
-        assert!(sel.contains("/discs/disc/tracks/title"), "chain did/tracks both mandatory");
+        assert!(
+            sel.contains("/discs/disc/tracks/title"),
+            "chain did/tracks both mandatory"
+        );
 
         // cse drops artist, title, cdextra, tracks/title (repeatable).
-        let sel = all.clone().refined(ConditionExpr::Singleton).select_paths(&s, disc);
+        let sel = all
+            .clone()
+            .refined(ConditionExpr::Singleton)
+            .select_paths(&s, disc);
         assert_eq!(
             sel.into_iter().collect::<Vec<_>>(),
             vec![
@@ -353,7 +421,10 @@ mod tests {
         );
 
         // ccm drops only tracks (no text node).
-        let sel = all.clone().refined(ConditionExpr::ContentModel).select_paths(&s, disc);
+        let sel = all
+            .clone()
+            .refined(ConditionExpr::ContentModel)
+            .select_paths(&s, disc);
         assert!(!sel.contains("/discs/disc/tracks"));
         assert_eq!(sel.len(), 7);
     }
@@ -407,8 +478,22 @@ mod tests {
     fn mandatory_chain_blocks_optional_intermediate() {
         // grandchild mandatory but its parent optional → not mandatory to e0.
         let mut s = Schema::with_root("r", ContentModel::Complex);
-        let mid = s.add_child(s.root(), "mid", 0, MaxOccurs::Bounded(1), false, ContentModel::Complex);
-        s.add_child(mid, "leaf", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
+        let mid = s.add_child(
+            s.root(),
+            "mid",
+            0,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Complex,
+        );
+        s.add_child(
+            mid,
+            "leaf",
+            1,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
         let root = s.root();
         let sel = HeuristicExpr::r_distant_descendants(2)
             .refined(ConditionExpr::Mandatory)
@@ -419,8 +504,22 @@ mod tests {
     #[test]
     fn singleton_chain_blocks_repeating_intermediate() {
         let mut s = Schema::with_root("r", ContentModel::Complex);
-        let mid = s.add_child(s.root(), "mid", 1, MaxOccurs::Unbounded, false, ContentModel::Complex);
-        s.add_child(mid, "leaf", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
+        let mid = s.add_child(
+            s.root(),
+            "mid",
+            1,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Complex,
+        );
+        s.add_child(
+            mid,
+            "leaf",
+            1,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
         let root = s.root();
         let sel = HeuristicExpr::r_distant_descendants(2)
             .refined(ConditionExpr::Singleton)
@@ -445,8 +544,14 @@ mod tests {
     #[test]
     fn zero_radius_selects_nothing() {
         let (s, disc) = cd_schema();
-        assert!(HeuristicExpr::r_distant_descendants(0).select(&s, disc).is_empty());
-        assert!(HeuristicExpr::r_distant_ancestors(0).select(&s, disc).is_empty());
-        assert!(HeuristicExpr::k_closest_descendants(0).select(&s, disc).is_empty());
+        assert!(HeuristicExpr::r_distant_descendants(0)
+            .select(&s, disc)
+            .is_empty());
+        assert!(HeuristicExpr::r_distant_ancestors(0)
+            .select(&s, disc)
+            .is_empty());
+        assert!(HeuristicExpr::k_closest_descendants(0)
+            .select(&s, disc)
+            .is_empty());
     }
 }

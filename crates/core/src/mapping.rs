@@ -141,18 +141,22 @@ impl Mapping {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (name, paths) = line.split_once(':').ok_or_else(|| {
-                crate::DogmatixError::Config {
-                    message: format!("mapping line {} has no ':': {line:?}", lineno + 1),
-                }
-            })?;
+            let (name, paths) =
+                line.split_once(':')
+                    .ok_or_else(|| crate::DogmatixError::Config {
+                        message: format!("mapping line {} has no ':': {line:?}", lineno + 1),
+                    })?;
             let name = name.trim();
             if name.is_empty() {
                 return Err(crate::DogmatixError::Config {
                     message: format!("mapping line {} has an empty type name", lineno + 1),
                 });
             }
-            let paths: Vec<&str> = paths.split(',').map(str::trim).filter(|p| !p.is_empty()).collect();
+            let paths: Vec<&str> = paths
+                .split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .collect();
             if paths.is_empty() {
                 return Err(crate::DogmatixError::Config {
                     message: format!("mapping line {} lists no paths", lineno + 1),

@@ -95,11 +95,7 @@ pub fn sorted_neighborhood(ods: &OdSet, window: usize) -> ComparisonPlan {
 /// key orderings (here: rotations prioritising the `pass`-th most
 /// identifying value), which recovers pairs a single key ordering
 /// separates.
-pub fn multipass_sorted_neighborhood(
-    ods: &OdSet,
-    window: usize,
-    passes: usize,
-) -> ComparisonPlan {
+pub fn multipass_sorted_neighborhood(ods: &OdSet, window: usize, passes: usize) -> ComparisonPlan {
     assert!(window >= 2, "a window below 2 compares nothing");
     let n = ods.len();
     let total = ods.len();

@@ -242,13 +242,7 @@ fn collect_descendants(
     }
 }
 
-fn push_tuple(
-    doc: &Document,
-    node: NodeId,
-    path: &str,
-    mapping: &Mapping,
-    out: &mut Vec<OdTuple>,
-) {
+fn push_tuple(doc: &Document, node: NodeId, path: &str, mapping: &Mapping, out: &mut Vec<OdTuple>) {
     // Elements without a text node contribute no data (Section 4,
     // content-model discussion).
     if let Some(text) = doc.direct_text(node) {
@@ -309,7 +303,10 @@ mod tests {
         let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
         assert_eq!(ods.len(), 3);
         let values: Vec<_> = ods.ods[0].tuples.iter().map(|t| t.value.as_str()).collect();
-        assert_eq!(values, vec!["The Matrix", "1999", "Keanu Reeves", "L. Fishburne"]);
+        assert_eq!(
+            values,
+            vec!["The Matrix", "1999", "Keanu Reeves", "L. Fishburne"]
+        );
         assert_eq!(ods.ods[1].tuples.len(), 3);
         assert_eq!(ods.ods[2].tuples.len(), 3);
         // Roles were not selected.

@@ -60,10 +60,8 @@ mod tests {
 
     #[test]
     fn xpaths_resolve_back_to_the_members() {
-        let source = Document::parse(
-            "<discs><disc><t>a</t></disc><disc><t>b</t></disc></discs>",
-        )
-        .unwrap();
+        let source =
+            Document::parse("<discs><disc><t>a</t></disc><disc><t>b</t></disc></discs>").unwrap();
         let candidates = source.select("/discs/disc").unwrap();
         let out = clusters_to_xml(&source, &candidates, &[vec![0, 1]]);
         for dup in out.select("/duplicates/dupcluster/duplicate").unwrap() {
@@ -83,10 +81,9 @@ mod tests {
 
     #[test]
     fn oids_are_sequential() {
-        let source = Document::parse(
-            "<d><x><t>1</t></x><x><t>2</t></x><x><t>3</t></x><x><t>4</t></x></d>",
-        )
-        .unwrap();
+        let source =
+            Document::parse("<d><x><t>1</t></x><x><t>2</t></x><x><t>3</t></x><x><t>4</t></x></d>")
+                .unwrap();
         let candidates = source.select("/d/x").unwrap();
         let out = clusters_to_xml(&source, &candidates, &[vec![0, 1], vec![2, 3]]);
         let oids: Vec<String> = out

@@ -10,7 +10,7 @@
 //! 6. duplicate clustering → [`crate::cluster`]
 //!
 //! Pairwise comparison is optionally parallelised over worker threads
-//! (crossbeam scoped threads, one distance cache per worker); results are
+//! (`std::thread::scope`, one distance cache per worker); results are
 //! deterministic regardless of the thread count.
 
 use crate::candidate::select_candidates;
@@ -163,8 +163,13 @@ impl Dogmatix {
         // Step 5: pairwise comparisons.
         let active: Vec<usize> = (0..n).filter(|i| !pruned[*i]).collect();
         let classifier = ThresholdClassifier::new(self.config.theta_cand);
-        let mut duplicate_pairs =
-            compare_pairs(&ods, &active, self.config.theta_tuple, &classifier, self.threads());
+        let mut duplicate_pairs = compare_pairs(
+            &ods,
+            &active,
+            self.config.theta_tuple,
+            &classifier,
+            self.threads(),
+        );
         duplicate_pairs.sort_by_key(|p| (p.0, p.1));
         let m = active.len();
         let pairs_compared = m * m.saturating_sub(1) / 2;
@@ -239,12 +244,12 @@ fn compare_pairs(
 
     // Parallel: round-robin the outer index across workers; each worker
     // owns a private distance cache. Deterministic after the final sort.
-    let results = parking_lot::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
         for t in 0..threads {
             let results = &results;
             let engine = &engine;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut cache = DistCache::new();
                 let mut local = Vec::new();
                 let mut a = t;
@@ -258,12 +263,16 @@ fn compare_pairs(
                     }
                     a += threads;
                 }
-                results.lock().extend(local);
+                results
+                    .lock()
+                    .expect("no worker panicked holding the lock")
+                    .extend(local);
             });
         }
-    })
-    .expect("comparison workers must not panic");
-    results.into_inner()
+    });
+    results
+        .into_inner()
+        .expect("no worker panicked holding the lock")
 }
 
 #[cfg(test)]
@@ -381,10 +390,7 @@ mod tests {
         let out = result.to_xml(&doc);
         let dups = out.select("/duplicates/dupcluster/duplicate").unwrap();
         assert_eq!(dups.len(), 2);
-        assert_eq!(
-            out.attr(dups[0], "xpath"),
-            Some("/moviedoc[1]/movie[1]")
-        );
+        assert_eq!(out.attr(dups[0], "xpath"), Some("/moviedoc[1]/movie[1]"));
     }
 
     #[test]

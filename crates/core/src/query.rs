@@ -47,9 +47,7 @@ pub fn description_query(candidate_path: &str, selection: &BTreeSet<String>) -> 
             projections.push(format!("$c/{rel}"));
         } else if candidate_path.starts_with(&format!("{path}/")) {
             // Ancestor selection: one ".." per level difference.
-            let depth = candidate_path[path.len()..]
-                .matches('/')
-                .count();
+            let depth = candidate_path[path.len()..].matches('/').count();
             let ups = vec![".."; depth].join("/");
             projections.push(format!("$c/{ups}"));
         } else if path == candidate_path {

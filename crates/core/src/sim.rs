@@ -247,12 +247,7 @@ impl<'a> SimEngine<'a> {
                                         used_j[tj as usize] = true;
                                         s_sim += idf(
                                             total,
-                                            union_memo(
-                                                &mut cache.union,
-                                                self.ods,
-                                                term_i,
-                                                term_j,
-                                            ),
+                                            union_memo(&mut cache.union, self.ods, term_i, term_j),
                                         );
                                     } else {
                                         candidates.push((1.0, ti, tj));
@@ -261,12 +256,7 @@ impl<'a> SimEngine<'a> {
                                 }
                                 // Multi-tuple group: the greedy matching
                                 // orders by exact distance.
-                                let d = distance_memo(
-                                    &mut cache.dist,
-                                    self.ods,
-                                    term_i,
-                                    term_j,
-                                );
+                                let d = distance_memo(&mut cache.dist, self.ods, term_i, term_j);
                                 if d < self.theta_tuple {
                                     used_i[ti as usize] = true;
                                     used_j[tj as usize] = true;
@@ -287,9 +277,7 @@ impl<'a> SimEngine<'a> {
 
             // Greedy max-distance contradiction matching over tuples
             // without a similar partner.
-            candidates.retain(|(_, ti, tj)| {
-                !used_i[*ti as usize] && !used_j[*tj as usize]
-            });
+            candidates.retain(|(_, ti, tj)| !used_i[*ti as usize] && !used_j[*tj as usize]);
             candidates.sort_by(|a, b| {
                 b.0.partial_cmp(&a.0)
                     .unwrap_or(std::cmp::Ordering::Equal)
@@ -385,11 +373,7 @@ impl<'a> SimEngine<'a> {
                 tuple_i: ti,
                 tuple_j: tj,
                 distance: d,
-                soft_idf: self.pair_soft_idf(
-                    od_i.tuples[ti].term,
-                    od_j.tuples[tj].term,
-                    total,
-                ),
+                soft_idf: self.pair_soft_idf(od_i.tuples[ti].term, od_j.tuples[tj].term, total),
             });
         }
 
@@ -449,10 +433,11 @@ mod tests {
         let candidates = doc.select(candidate).unwrap();
         let mut sel = HashMap::new();
         sel.insert(
-            candidate
-                .trim_start_matches("$doc")
-                .to_string(),
-            selected.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            candidate.trim_start_matches("$doc").to_string(),
+            selected
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
         );
         OdSet::build(&doc, &candidates, &sel, &Mapping::new())
     }
@@ -488,7 +473,11 @@ mod tests {
         assert!(b01.sim > 0.9, "sim={}", b01.sim);
 
         let b02 = engine.breakdown(0, 2, &mut cache);
-        assert!(b02.sim < 0.3, "Matrix vs Signs should contradict, sim={}", b02.sim);
+        assert!(
+            b02.sim < 0.3,
+            "Matrix vs Signs should contradict, sim={}",
+            b02.sim
+        );
         assert!(b02.similar.is_empty());
         assert!(!b02.contradictory.is_empty());
     }
@@ -505,7 +494,10 @@ mod tests {
                 }
                 let a = engine.sim(i, j, &mut cache);
                 let b = engine.sim(j, i, &mut cache);
-                assert!((a - b).abs() < 1e-12, "sim({i},{j})={a} != sim({j},{i})={b}");
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "sim({i},{j})={a} != sim({j},{i})={b}"
+                );
             }
         }
     }

@@ -18,10 +18,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let n: Option<usize> = args.get(2).and_then(|a| a.parse().ok());
-    let seed: u64 = args
-        .get(3)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(42);
+    let seed: u64 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(42);
 
     let (doc, gold) = match which.as_str() {
         "dataset1" => datasets::dataset1_sized(seed, n.unwrap_or(500)),

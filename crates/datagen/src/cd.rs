@@ -91,9 +91,11 @@ pub fn generate_cds(cfg: &CdCorpusConfig) -> Vec<CdRecord> {
             continue;
         }
         let idx = out.len();
-        let genre = rng
-            .gen_bool(cfg.genre_presence)
-            .then(|| vocab::GENRES[rng.gen_range(0..vocab::GENRES.len())].0.to_string());
+        let genre = rng.gen_bool(cfg.genre_presence).then(|| {
+            vocab::GENRES[rng.gen_range(0..vocab::GENRES.len())]
+                .0
+                .to_string()
+        });
         let cdextra = rng.gen_bool(cfg.cdextra_presence).then(|| {
             vocab::CD_EXTRA_PHRASES[rng.gen_range(0..vocab::CD_EXTRA_PHRASES.len())].to_string()
         });
@@ -137,7 +139,7 @@ fn random_artist(rng: &mut StdRng) -> String {
 }
 
 fn random_title(rng: &mut StdRng) -> String {
-    let words = rng.gen_range(1..=3);
+    let words = rng.gen_range(1usize..=3);
     let mut parts = Vec::with_capacity(words + 1);
     if rng.gen_bool(0.25) {
         parts.push("The");
@@ -220,10 +222,7 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(generate_cds(&cfg), generate_cds(&cfg));
-        let other = CdCorpusConfig {
-            seed: 7,
-            ..cfg
-        };
+        let other = CdCorpusConfig { seed: 7, ..cfg };
         assert_ne!(generate_cds(&cfg), generate_cds(&other));
     }
 
@@ -248,7 +247,10 @@ mod tests {
             ..Default::default()
         });
         let d = dogmatix_textsim::ned(&cds[3].did, &cds[4].did);
-        assert!(d < 0.15, "neighbouring disc ids must be ned-similar, got {d}");
+        assert!(
+            d < 0.15,
+            "neighbouring disc ids must be ned-similar, got {d}"
+        );
     }
 
     #[test]
@@ -271,8 +273,11 @@ mod tests {
             n: 30,
             ..Default::default()
         });
-        let pairs: Vec<(u64, CdRecord)> =
-            cds.into_iter().enumerate().map(|(i, c)| (i as u64, c)).collect();
+        let pairs: Vec<(u64, CdRecord)> = cds
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (i as u64, c))
+            .collect();
         let (doc, gold) = cds_to_document(&pairs);
         assert_eq!(doc.select(CD_CANDIDATE_PATH).unwrap().len(), 30);
         assert_eq!(gold.len(), 30);
@@ -304,11 +309,7 @@ mod tests {
     fn bfs_order_matches_table5_k_order() {
         let s = Schema::parse_xsd(CD_XSD).unwrap();
         let disc = s.find_by_path("/discs/disc").unwrap();
-        let order: Vec<_> = s
-            .breadth_first(disc)
-            .iter()
-            .map(|n| s.path(*n))
-            .collect();
+        let order: Vec<_> = s.breadth_first(disc).iter().map(|n| s.path(*n)).collect();
         assert_eq!(
             order,
             vec![

@@ -228,8 +228,14 @@ mod tests {
             .iter()
             .filter(|(i, d)| orig[*i].genre.is_some() && d.genre.is_none())
             .count() as f64
-            / dups.iter().filter(|(i, _)| orig[*i].genre.is_some()).count() as f64;
-        assert!((0.03..=0.2).contains(&missing_genre), "missing rate {missing_genre}");
+            / dups
+                .iter()
+                .filter(|(i, _)| orig[*i].genre.is_some())
+                .count() as f64;
+        assert!(
+            (0.03..=0.2).contains(&missing_genre),
+            "missing rate {missing_genre}"
+        );
     }
 
     #[test]

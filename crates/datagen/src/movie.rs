@@ -127,7 +127,7 @@ pub fn generate_movies(cfg: &MovieCorpusConfig) -> Vec<MovieRecord> {
         let release_us = (year, rng.gen_range(1..=12), rng.gen_range(1..=28));
         // German premieres trail the US release by a few months.
         let premiere_de = {
-            let m = release_us.1 + rng.gen_range(1..=6);
+            let m = release_us.1 + rng.gen_range(1u32..=6);
             if m > 12 {
                 (year + 1, m - 12, rng.gen_range(1..=28))
             } else {
@@ -160,7 +160,7 @@ fn random_people(rng: &mut StdRng, count: std::ops::RangeInclusive<usize>) -> Ve
 }
 
 fn random_movie_title(rng: &mut StdRng) -> String {
-    let words = rng.gen_range(1..=3);
+    let words = rng.gen_range(1usize..=3);
     let mut parts = Vec::with_capacity(words + 1);
     if rng.gen_bool(0.3) {
         parts.push("The");
@@ -172,7 +172,7 @@ fn random_movie_title(rng: &mut StdRng) -> String {
 }
 
 fn random_german_title(rng: &mut StdRng) -> String {
-    let words = rng.gen_range(1..=2);
+    let words = rng.gen_range(1usize..=2);
     let mut parts = Vec::with_capacity(words + 1);
     if rng.gen_bool(0.3) {
         parts.push("Der");
@@ -237,7 +237,11 @@ pub fn movies_to_integrated_document(
         let movie = doc.add_element(fd, "movie");
         doc.add_text_element(movie, "year", &m.year.to_string());
         let mt = doc.add_element(movie, "movie-title");
-        doc.add_text_element(mt, "title", &maybe_typo(&m.title_de, cfg.typo_pct, &mut rng));
+        doc.add_text_element(
+            mt,
+            "title",
+            &maybe_typo(&m.title_de, cfg.typo_pct, &mut rng),
+        );
         if !rng.gen_bool(cfg.missing_aka_pct) {
             let at = doc.add_element(movie, "aka-title");
             doc.add_text_element(
@@ -296,10 +300,8 @@ fn maybe_typo(s: &str, pct: f64, rng: &mut StdRng) -> String {
 
 /// The two schema elements representing the MOVIE real-world type
 /// (framework Definition 1: `S_T` may contain several schema elements).
-pub const MOVIE_CANDIDATE_PATHS: [&str; 2] = [
-    "/integrated/imdb/movie",
-    "/integrated/filmdienst/movie",
-];
+pub const MOVIE_CANDIDATE_PATHS: [&str; 2] =
+    ["/integrated/imdb/movie", "/integrated/filmdienst/movie"];
 
 /// Comparable description paths per real-world type, mirroring Table 6.
 /// Each row is `(real-world type name, paths across both sources)`.
@@ -391,7 +393,10 @@ mod tests {
         let movies = generate_movies(&cfg);
         let (doc, _) = movies_to_integrated_document(&movies, &cfg);
         // IMDB nests titles directly, Film-Dienst wraps them.
-        assert!(!doc.select("/integrated/imdb/movie/title").unwrap().is_empty());
+        assert!(!doc
+            .select("/integrated/imdb/movie/title")
+            .unwrap()
+            .is_empty());
         assert!(doc
             .select("/integrated/imdb/movie/movie-title")
             .unwrap()

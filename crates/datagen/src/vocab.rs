@@ -45,66 +45,278 @@ pub const MOVIE_GENRES: &[(&str, &str, &str)] = &[
 
 /// First names used for artists, actors, and producers.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty",
-    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
-    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy", "Kevin", "Carol",
-    "Brian", "Amanda", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie",
-    "Timothy", "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia",
+    "James",
+    "Mary",
+    "John",
+    "Patricia",
+    "Robert",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Nancy",
+    "Daniel",
+    "Lisa",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Andrew",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kenneth",
+    "Dorothy",
+    "Kevin",
+    "Carol",
+    "Brian",
+    "Amanda",
+    "George",
+    "Melissa",
+    "Edward",
+    "Deborah",
+    "Ronald",
+    "Stephanie",
+    "Timothy",
+    "Rebecca",
+    "Jason",
+    "Sharon",
+    "Jeffrey",
+    "Laura",
+    "Ryan",
+    "Cynthia",
 ];
 
 /// Last names used for artists, actors, and producers.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
-    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
-    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
-    "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young",
-    "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
-    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell", "Carter",
-    "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker", "Cruz",
-    "Edwards", "Collins", "Reyes",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
+    "Gomez",
+    "Phillips",
+    "Evans",
+    "Turner",
+    "Diaz",
+    "Parker",
+    "Cruz",
+    "Edwards",
+    "Collins",
+    "Reyes",
 ];
 
 /// Band-name nouns for "The <X>s" style artist names.
 pub const BAND_NOUNS: &[&str] = &[
-    "Shadow", "Echo", "Velvet", "Crystal", "Thunder", "Midnight", "Electric", "Golden",
-    "Silver", "Crimson", "Wild", "Broken", "Silent", "Burning", "Frozen", "Neon",
-    "Cosmic", "Savage", "Gentle", "Rolling", "Flying", "Dancing", "Falling", "Rising",
+    "Shadow", "Echo", "Velvet", "Crystal", "Thunder", "Midnight", "Electric", "Golden", "Silver",
+    "Crimson", "Wild", "Broken", "Silent", "Burning", "Frozen", "Neon", "Cosmic", "Savage",
+    "Gentle", "Rolling", "Flying", "Dancing", "Falling", "Rising",
 ];
 
 /// Words combined into CD and track titles.
 pub const TITLE_WORDS: &[&str] = &[
-    "Love", "Night", "Dream", "Heart", "Fire", "Rain", "Summer", "Winter", "Road", "Home",
-    "Light", "Dark", "Blue", "Red", "Golden", "Silver", "Moon", "Sun", "Star", "Sky",
-    "Ocean", "River", "Mountain", "City", "Street", "Dance", "Song", "Music", "Soul",
-    "Spirit", "Angel", "Devil", "Heaven", "Storm", "Wind", "Shadow", "Mirror", "Glass",
-    "Stone", "Wild", "Free", "Lost", "Found", "Broken", "Whole", "Eternal", "Fading",
-    "Rising", "Falling", "Burning", "Frozen", "Distant", "Secret", "Hidden", "Open",
-    "Closed", "First", "Last", "Only", "Every", "Memory", "Promise", "Journey", "Echo",
-    "Silence", "Thunder", "Lightning", "Horizon", "Twilight", "Dawn", "Dusk", "Midnight",
-    "Morning", "Evening", "Yesterday", "Tomorrow", "Forever", "Never", "Always", "Again",
+    "Love",
+    "Night",
+    "Dream",
+    "Heart",
+    "Fire",
+    "Rain",
+    "Summer",
+    "Winter",
+    "Road",
+    "Home",
+    "Light",
+    "Dark",
+    "Blue",
+    "Red",
+    "Golden",
+    "Silver",
+    "Moon",
+    "Sun",
+    "Star",
+    "Sky",
+    "Ocean",
+    "River",
+    "Mountain",
+    "City",
+    "Street",
+    "Dance",
+    "Song",
+    "Music",
+    "Soul",
+    "Spirit",
+    "Angel",
+    "Devil",
+    "Heaven",
+    "Storm",
+    "Wind",
+    "Shadow",
+    "Mirror",
+    "Glass",
+    "Stone",
+    "Wild",
+    "Free",
+    "Lost",
+    "Found",
+    "Broken",
+    "Whole",
+    "Eternal",
+    "Fading",
+    "Rising",
+    "Falling",
+    "Burning",
+    "Frozen",
+    "Distant",
+    "Secret",
+    "Hidden",
+    "Open",
+    "Closed",
+    "First",
+    "Last",
+    "Only",
+    "Every",
+    "Memory",
+    "Promise",
+    "Journey",
+    "Echo",
+    "Silence",
+    "Thunder",
+    "Lightning",
+    "Horizon",
+    "Twilight",
+    "Dawn",
+    "Dusk",
+    "Midnight",
+    "Morning",
+    "Evening",
+    "Yesterday",
+    "Tomorrow",
+    "Forever",
+    "Never",
+    "Always",
+    "Again",
 ];
 
 /// Words combined into movie titles.
 pub const MOVIE_TITLE_WORDS: &[&str] = &[
-    "Return", "Revenge", "Legend", "Curse", "Rise", "Fall", "King", "Queen", "Empire",
-    "Kingdom", "War", "Peace", "Blood", "Honor", "Glory", "Destiny", "Fate", "Fortune",
-    "Escape", "Hunt", "Chase", "Quest", "Voyage", "Mission", "Code", "Cipher", "Enigma",
-    "Phantom", "Ghost", "Specter", "Dragon", "Tiger", "Wolf", "Raven", "Falcon", "Serpent",
-    "Crown", "Throne", "Sword", "Shield", "Arrow", "Bullet", "Knife", "Edge", "Point",
-    "Hour", "Day", "Year", "Century", "Island", "Desert", "Forest", "Valley", "Canyon",
+    "Return", "Revenge", "Legend", "Curse", "Rise", "Fall", "King", "Queen", "Empire", "Kingdom",
+    "War", "Peace", "Blood", "Honor", "Glory", "Destiny", "Fate", "Fortune", "Escape", "Hunt",
+    "Chase", "Quest", "Voyage", "Mission", "Code", "Cipher", "Enigma", "Phantom", "Ghost",
+    "Specter", "Dragon", "Tiger", "Wolf", "Raven", "Falcon", "Serpent", "Crown", "Throne", "Sword",
+    "Shield", "Arrow", "Bullet", "Knife", "Edge", "Point", "Hour", "Day", "Year", "Century",
+    "Island", "Desert", "Forest", "Valley", "Canyon",
 ];
 
 /// German movie-title words used for the Film-Dienst-like translated
 /// titles (rendered distinct from the English originals on purpose — the
 /// paper notes the sources disagree in language).
 pub const GERMAN_TITLE_WORDS: &[&str] = &[
-    "Rueckkehr", "Rache", "Legende", "Fluch", "Aufstieg", "Untergang", "Koenig",
-    "Koenigin", "Reich", "Krieg", "Frieden", "Blut", "Ehre", "Ruhm", "Schicksal",
-    "Flucht", "Jagd", "Suche", "Reise", "Auftrag", "Geheimnis", "Raetsel", "Phantom",
-    "Geist", "Drache", "Tiger", "Wolf", "Rabe", "Falke", "Schlange", "Krone", "Thron",
-    "Schwert", "Schild", "Pfeil", "Stunde", "Tag", "Jahr", "Insel", "Wueste", "Wald",
+    "Rueckkehr",
+    "Rache",
+    "Legende",
+    "Fluch",
+    "Aufstieg",
+    "Untergang",
+    "Koenig",
+    "Koenigin",
+    "Reich",
+    "Krieg",
+    "Frieden",
+    "Blut",
+    "Ehre",
+    "Ruhm",
+    "Schicksal",
+    "Flucht",
+    "Jagd",
+    "Suche",
+    "Reise",
+    "Auftrag",
+    "Geheimnis",
+    "Raetsel",
+    "Phantom",
+    "Geist",
+    "Drache",
+    "Tiger",
+    "Wolf",
+    "Rabe",
+    "Falke",
+    "Schlange",
+    "Krone",
+    "Thron",
+    "Schwert",
+    "Schild",
+    "Pfeil",
+    "Stunde",
+    "Tag",
+    "Jahr",
+    "Insel",
+    "Wueste",
+    "Wald",
 ];
 
 /// Promotional phrases for the optional `cdextra` element.

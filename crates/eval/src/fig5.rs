@@ -99,9 +99,12 @@ mod tests {
     use super::*;
 
     /// Scaled-down smoke run asserting the paper's qualitative shapes.
+    /// 120 originals is the smallest size at which the IDF weights are
+    /// informative enough for the k=3 recall shape to be stable across
+    /// seeds; below that, single unlucky corpora dip under the bound.
     #[test]
     fn shapes_match_paper_at_small_scale() {
-        let points = run(7, 60, &[1, 8], &[1, 3, 8]);
+        let points = run(7, 120, &[1, 8], &[1, 3, 8]);
         let get = |e: usize, k: usize| -> &PairMetrics {
             &points
                 .iter()

@@ -133,7 +133,11 @@ mod tests {
             exp1.f1()
         );
         assert!(exp2.recall() > 0.4, "exp2 recall {}", exp2.recall());
-        assert!(exp2.precision() > 0.4, "exp2 precision {}", exp2.precision());
+        assert!(
+            exp2.precision() > 0.4,
+            "exp2 precision {}",
+            exp2.precision()
+        );
     }
 
     #[test]

@@ -75,9 +75,8 @@ pub fn paper_thetas() -> Vec<f64> {
 
 /// Renders the precision curve (plus bonus recall/pair counts).
 pub fn render(points: &[Fig7Point]) -> String {
-    let mut out = String::from(
-        "Figure 7 (Dataset 3, hk k=6, exp1) — precision vs duplicate threshold\n",
-    );
+    let mut out =
+        String::from("Figure 7 (Dataset 3, hk k=6, exp1) — precision vs duplicate threshold\n");
     out.push_str("theta      pairs   precision      recall\n");
     for p in points {
         out.push_str(&format!(

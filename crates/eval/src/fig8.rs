@@ -108,7 +108,11 @@ mod tests {
     fn zero_duplicates_prunes_most_candidates() {
         let points = run(17, 120, &[0.0]);
         let m = &points[0].metrics;
-        assert_eq!(m.precision(), 1.0, "with no duplicates every prune is correct");
+        assert_eq!(
+            m.precision(),
+            1.0,
+            "with no duplicates every prune is correct"
+        );
         assert!(m.total_pruned > 60, "pruned {}", m.total_pruned);
     }
 

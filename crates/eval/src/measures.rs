@@ -74,11 +74,14 @@ pub fn run(scenario: Scenario, seed: u64, n: usize) -> Vec<MeasureResult> {
     for i in 0..total {
         for j in (i + 1)..total {
             scores[0].1.push((i, j, engine.sim(i, j, &mut cache)));
-            scores[1]
-                .1
-                .push((i, j, unweighted_sim(&ods, i, j, setup::THETA_TUPLE, &mut cache)));
-            let d = delphi_containment(&ods, i, j, setup::THETA_TUPLE, &mut cache)
-                .max(delphi_containment(&ods, j, i, setup::THETA_TUPLE, &mut cache));
+            scores[1].1.push((
+                i,
+                j,
+                unweighted_sim(&ods, i, j, setup::THETA_TUPLE, &mut cache),
+            ));
+            let d = delphi_containment(&ods, i, j, setup::THETA_TUPLE, &mut cache).max(
+                delphi_containment(&ods, j, i, setup::THETA_TUPLE, &mut cache),
+            );
             scores[2].1.push((i, j, d));
             scores[3].1.push((i, j, overlap_fraction(&ods, i, j)));
             scores[4].1.push((i, j, vsm.sim(i, j)));
@@ -96,11 +99,7 @@ pub fn run(scenario: Scenario, seed: u64, n: usize) -> Vec<MeasureResult> {
         .collect()
 }
 
-fn build(
-    scenario: Scenario,
-    seed: u64,
-    n: usize,
-) -> (Document, GoldStandard, OdSet, Vec<NodeId>) {
+fn build(scenario: Scenario, seed: u64, n: usize) -> (Document, GoldStandard, OdSet, Vec<NodeId>) {
     match scenario {
         Scenario::Dataset1 => {
             let (doc, gold) = dataset1_sized(seed, n);
@@ -115,9 +114,7 @@ fn build(
                 dogmatix_datagen::cd::CD_CANDIDATE_PATH.to_string(),
                 heuristic.select_paths(&schema, e0),
             );
-            let candidates = doc
-                .select(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
-                .unwrap();
+            let candidates = doc.select(dogmatix_datagen::cd::CD_CANDIDATE_PATH).unwrap();
             let ods = OdSet::build(&doc, &candidates, &selections, &mapping);
             (doc, gold, ods, candidates)
         }

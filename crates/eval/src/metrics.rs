@@ -104,7 +104,11 @@ impl FilterMetrics {
 
 /// Scores the filter's pruning decisions against the gold standard.
 pub fn filter_metrics(pruned: &[bool], gold: &GoldStandard) -> FilterMetrics {
-    assert_eq!(pruned.len(), gold.len(), "pruned flags must align with gold");
+    assert_eq!(
+        pruned.len(),
+        gold.len(),
+        "pruned flags must align with gold"
+    );
     let mut correctly = 0;
     let mut total = 0;
     for (i, p) in pruned.iter().enumerate() {

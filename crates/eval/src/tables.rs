@@ -67,8 +67,16 @@ fn describe(schema: &Schema, node: SchemaNodeId) -> String {
         "{} ({}, {}, {})",
         schema.path(node),
         ty,
-        if schema.is_mandatory(node) { "ME" } else { "not ME" },
-        if schema.is_singleton(node) { "SE" } else { "not SE" },
+        if schema.is_mandatory(node) {
+            "ME"
+        } else {
+            "not ME"
+        },
+        if schema.is_singleton(node) {
+            "SE"
+        } else {
+            "not SE"
+        },
     )
 }
 
@@ -82,7 +90,11 @@ pub fn render_table5() -> String {
     let mut out = String::from("Table 5: Elements in Dataset 1 (k order of the hk heuristic)\n");
     for (i, node) in schema.breadth_first(disc).into_iter().enumerate() {
         let r = schema.depth(node) - schema.depth(disc);
-        out.push_str(&format!("r={r} k={:<3}{}\n", i + 1, describe(&schema, node)));
+        out.push_str(&format!(
+            "r={r} k={:<3}{}\n",
+            i + 1,
+            describe(&schema, node)
+        ));
     }
     out
 }
@@ -108,7 +120,9 @@ pub fn render_table6() -> String {
         let mut imdb_r = usize::MAX;
         let mut fd_r = usize::MAX;
         for p in paths {
-            let Some(node) = schema.find_by_path(p) else { continue };
+            let Some(node) = schema.find_by_path(p) else {
+                continue;
+            };
             let movie_depth = 2; // /integrated/<source>/movie
             let r = schema.depth(node) - movie_depth;
             if p.contains("/imdb/") {

@@ -95,8 +95,18 @@ mod tests {
     #[test]
     fn bag_distance_is_lower_bound() {
         let words = [
-            "", "a", "ab", "ba", "abc", "cba", "kitten", "sitting", "The Matrix", "Matrix",
-            "disc 01", "disc 10",
+            "",
+            "a",
+            "ab",
+            "ba",
+            "abc",
+            "cba",
+            "kitten",
+            "sitting",
+            "The Matrix",
+            "Matrix",
+            "disc 01",
+            "disc 10",
         ];
         for a in words {
             for b in words {

@@ -118,6 +118,9 @@ mod tests {
     #[test]
     fn symmetric() {
         assert_eq!(jaro("abcd", "abdc"), jaro("abdc", "abcd"));
-        assert_eq!(jaro_winkler("crate", "trace"), jaro_winkler("trace", "crate"));
+        assert_eq!(
+            jaro_winkler("crate", "trace"),
+            jaro_winkler("trace", "crate")
+        );
     }
 }

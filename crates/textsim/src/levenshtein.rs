@@ -158,7 +158,10 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+        assert_eq!(
+            levenshtein("abcdef", "azced"),
+            levenshtein("azced", "abcdef")
+        );
     }
 
     #[test]

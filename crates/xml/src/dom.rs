@@ -206,7 +206,8 @@ impl Document {
 
     /// First child element with the given name.
     pub fn child_by_name(&self, id: NodeId, name: &str) -> Option<NodeId> {
-        self.child_elements(id).find(|c| self.name(*c) == Some(name))
+        self.child_elements(id)
+            .find(|c| self.name(*c) == Some(name))
     }
 
     /// The parent node, if any.
@@ -237,12 +238,7 @@ impl Document {
     /// excluding `id` itself.
     pub fn descendant_elements(&self, id: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
-        let mut stack: Vec<NodeId> = self
-            .children(id)
-            .iter()
-            .rev()
-            .copied()
-            .collect();
+        let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
         while let Some(n) = stack.pop() {
             if self.is_element(n) {
                 out.push(n);
@@ -257,8 +253,7 @@ impl Document {
     /// `id` itself.
     pub fn breadth_first_elements(&self, id: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
-        let mut queue: std::collections::VecDeque<NodeId> =
-            self.child_elements(id).collect();
+        let mut queue: std::collections::VecDeque<NodeId> = self.child_elements(id).collect();
         while let Some(n) = queue.pop_front() {
             out.push(n);
             queue.extend(self.child_elements(n));

@@ -51,7 +51,11 @@ pub fn escape_attr(s: &str) -> String {
 /// Resolves one entity reference given the text *after* the `&`, returning
 /// the decoded char and the number of input chars consumed (excluding the
 /// `&` itself, including the `;`).
-pub(crate) fn resolve_entity(rest: &str, line: usize, column: usize) -> Result<(char, usize), XmlError> {
+pub(crate) fn resolve_entity(
+    rest: &str,
+    line: usize,
+    column: usize,
+) -> Result<(char, usize), XmlError> {
     let semi = rest
         .char_indices()
         .take(12)
@@ -72,14 +76,22 @@ pub(crate) fn resolve_entity(rest: &str, line: usize, column: usize) -> Result<(
                     .ok()
                     .and_then(char::from_u32)
                     .ok_or_else(|| {
-                        XmlError::parse(format!("invalid character reference '&{name};'"), line, column)
+                        XmlError::parse(
+                            format!("invalid character reference '&{name};'"),
+                            line,
+                            column,
+                        )
                     })?
             } else if let Some(dec) = name.strip_prefix('#') {
                 dec.parse::<u32>()
                     .ok()
                     .and_then(char::from_u32)
                     .ok_or_else(|| {
-                        XmlError::parse(format!("invalid character reference '&{name};'"), line, column)
+                        XmlError::parse(
+                            format!("invalid character reference '&{name};'"),
+                            line,
+                            column,
+                        )
                     })?
             } else {
                 return Err(XmlError::parse(

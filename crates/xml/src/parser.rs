@@ -322,7 +322,11 @@ impl<'a> Parser<'a> {
             } else if self.rest().starts_with("<?") {
                 flush_text(doc, parent, &mut text);
                 let (target, data) = self.parse_pi()?;
-                doc_append(doc, parent, NodeKind::ProcessingInstruction { target, data });
+                doc_append(
+                    doc,
+                    parent,
+                    NodeKind::ProcessingInstruction { target, data },
+                );
             } else if self.rest().starts_with('<') {
                 flush_text(doc, parent, &mut text);
                 self.parse_element(doc, parent, depth + 1)?;
@@ -341,9 +345,7 @@ impl<'a> Parser<'a> {
                         text.push(c);
                         self.bump();
                     }
-                    None => {
-                        return Err(self.err(format!("unterminated element <{parent_name}>")))
-                    }
+                    None => return Err(self.err(format!("unterminated element <{parent_name}>"))),
                 }
             }
         }
@@ -469,8 +471,7 @@ mod tests {
 
     #[test]
     fn nested_structure() {
-        let doc =
-            Document::parse("<a><b><c>deep</c></b><b><c>two</c></b></a>").unwrap();
+        let doc = Document::parse("<a><b><c>deep</c></b><b><c>two</c></b></a>").unwrap();
         assert_eq!(doc.select("/a/b/c").unwrap().len(), 2);
     }
 

@@ -103,12 +103,7 @@ fn collect(doc: &Document, el: NodeId, stats: &mut HashMap<String, PathStats>) {
     }
 }
 
-fn build(
-    schema: &mut Schema,
-    node: SchemaNodeId,
-    path: &str,
-    stats: &HashMap<String, PathStats>,
-) {
+fn build(schema: &mut Schema, node: SchemaNodeId, path: &str, stats: &HashMap<String, PathStats>) {
     let Some(ps) = stats.get(path) else { return };
     let child_order = ps.child_order.clone();
     for child_name in child_order {
@@ -265,7 +260,10 @@ mod tests {
     fn mixed_type_columns_degrade_to_string() {
         let s = infer_from("<r><v>1999</v><v>not a year</v></r>");
         let v = s.find_by_path("/r/v").unwrap();
-        assert_eq!(*s.node(v).content(), ContentModel::Simple(SimpleType::String));
+        assert_eq!(
+            *s.node(v).content(),
+            ContentModel::Simple(SimpleType::String)
+        );
     }
 
     #[test]

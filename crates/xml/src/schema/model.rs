@@ -396,14 +396,70 @@ mod tests {
             false,
             ContentModel::Complex,
         );
-        s.add_child(disc, "did", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
-        s.add_child(disc, "artist", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
-        s.add_child(disc, "title", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
-        s.add_child(disc, "genre", 0, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::String));
-        s.add_child(disc, "year", 1, MaxOccurs::Bounded(1), false, ContentModel::Simple(SimpleType::Date));
-        s.add_child(disc, "cdextra", 0, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
-        let tracks = s.add_child(disc, "tracks", 1, MaxOccurs::Bounded(1), false, ContentModel::Complex);
-        s.add_child(tracks, "title", 1, MaxOccurs::Unbounded, false, ContentModel::Simple(SimpleType::String));
+        s.add_child(
+            disc,
+            "did",
+            1,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
+        s.add_child(
+            disc,
+            "artist",
+            1,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
+        s.add_child(
+            disc,
+            "title",
+            1,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
+        s.add_child(
+            disc,
+            "genre",
+            0,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
+        s.add_child(
+            disc,
+            "year",
+            1,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Simple(SimpleType::Date),
+        );
+        s.add_child(
+            disc,
+            "cdextra",
+            0,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
+        let tracks = s.add_child(
+            disc,
+            "tracks",
+            1,
+            MaxOccurs::Bounded(1),
+            false,
+            ContentModel::Complex,
+        );
+        s.add_child(
+            tracks,
+            "title",
+            1,
+            MaxOccurs::Unbounded,
+            false,
+            ContentModel::Simple(SimpleType::String),
+        );
         s
     }
 
@@ -473,7 +529,10 @@ mod tests {
         let s = cd_schema();
         assert_eq!(s.depth(s.root()), 0);
         let tt = s.find_by_path("/discs/disc/tracks/title").unwrap();
-        let anc: Vec<_> = s.ancestors(tt).map(|a| s.node(a).name().to_string()).collect();
+        let anc: Vec<_> = s
+            .ancestors(tt)
+            .map(|a| s.node(a).name().to_string())
+            .collect();
         assert_eq!(anc, vec!["tracks", "disc", "discs"]);
     }
 

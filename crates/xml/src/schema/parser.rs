@@ -145,9 +145,7 @@ fn element_content(
             "complexType" => {
                 return complex_type_content(doc, ctx, child, schema, node, type_stack)
             }
-            "simpleType" => {
-                return Ok(ContentModel::Simple(resolve_simple_type(doc, child)?))
-            }
+            "simpleType" => return Ok(ContentModel::Simple(resolve_simple_type(doc, child)?)),
             _ => {}
         }
     }
@@ -170,8 +168,7 @@ fn complex_type_content(
     for child in doc.child_elements(complex_type) {
         match local_name(doc.name(child).unwrap_or("")) {
             "sequence" | "all" => {
-                has_children |=
-                    walk_compositor(doc, ctx, child, schema, node, false, type_stack)?;
+                has_children |= walk_compositor(doc, ctx, child, schema, node, false, type_stack)?;
             }
             "choice" => {
                 has_children |= walk_compositor(doc, ctx, child, schema, node, true, type_stack)?;
@@ -188,9 +185,7 @@ fn complex_type_content(
                         for attr in doc.child_elements(ext) {
                             if local_name(doc.name(attr).unwrap_or("")) == "attribute" {
                                 if let Some(name) = doc.attr(attr, "name") {
-                                    schema.nodes[node.index()]
-                                        .attributes
-                                        .push(name.to_string());
+                                    schema.nodes[node.index()].attributes.push(name.to_string());
                                 }
                             }
                         }
@@ -231,9 +226,7 @@ fn walk_compositor(
                 found = true;
                 let name = doc
                     .attr(child, "name")
-                    .ok_or_else(|| {
-                        XmlError::schema("element references (ref=) are not supported")
-                    })?
+                    .ok_or_else(|| XmlError::schema("element references (ref=) are not supported"))?
                     .to_string();
                 let declared_min = parse_occurs(doc.attr(child, "minOccurs"), 1)?;
                 let min_occurs = if inside_choice { 0 } else { declared_min };
@@ -250,8 +243,7 @@ fn walk_compositor(
                     nillable,
                     ContentModel::Empty,
                 );
-                let content =
-                    element_content(doc, ctx, child, schema, child_node, type_stack)?;
+                let content = element_content(doc, ctx, child, schema, child_node, type_stack)?;
                 schema.nodes[child_node.index()].content = content;
             }
             "sequence" | "all" => {
@@ -447,10 +439,10 @@ mod tests {
     #[test]
     fn rejects_unsupported_shapes() {
         assert!(Schema::parse_xsd("<notaschema/>").is_err());
-        assert!(Schema::parse_xsd(
-            r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>"#
-        )
-        .is_err());
+        assert!(
+            Schema::parse_xsd(r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>"#)
+                .is_err()
+        );
         // ref= not supported
         let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
           <xs:element name="r"><xs:complexType><xs:sequence>

@@ -163,13 +163,19 @@ pub fn tree_edit_distance(
     doc_b: &Document,
     root_b: NodeId,
 ) -> f64 {
-    tree_edit_distance_with(doc_a, root_a, doc_b, root_b, |x, y| {
-        if x == y {
-            0.0
-        } else {
-            1.0
-        }
-    })
+    tree_edit_distance_with(
+        doc_a,
+        root_a,
+        doc_b,
+        root_b,
+        |x, y| {
+            if x == y {
+                0.0
+            } else {
+                1.0
+            }
+        },
+    )
 }
 
 /// Number of labelled nodes in a subtree (elements + non-whitespace text).
@@ -180,12 +186,7 @@ pub fn labelled_size(doc: &Document, root: NodeId) -> usize {
 
 /// Normalised tree similarity in `[0, 1]`:
 /// `1 − ted / (size_a + size_b)`. Two empty trees are identical (1.0).
-pub fn tree_similarity(
-    doc_a: &Document,
-    root_a: NodeId,
-    doc_b: &Document,
-    root_b: NodeId,
-) -> f64 {
+pub fn tree_similarity(doc_a: &Document, root_a: NodeId, doc_b: &Document, root_b: NodeId) -> f64 {
     let sa = labelled_size(doc_a, root_a);
     let sb = labelled_size(doc_b, root_b);
     if sa + sb == 0 {
@@ -280,13 +281,20 @@ mod tests {
         let a = Document::parse("<m><t>abcd</t></m>").unwrap();
         let b = Document::parse("<m><t>abce</t></m>").unwrap();
         // Fractional relabel: charge 0.25 for near-identical text.
-        let d = tree_edit_distance_with(&a, root(&a), &b, root(&b), |x, y| {
-            if x == y {
-                0.0
-            } else {
-                0.25
-            }
-        });
+        let d =
+            tree_edit_distance_with(
+                &a,
+                root(&a),
+                &b,
+                root(&b),
+                |x, y| {
+                    if x == y {
+                        0.0
+                    } else {
+                        0.25
+                    }
+                },
+            );
         assert_eq!(d, 0.25);
     }
 

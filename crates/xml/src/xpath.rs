@@ -269,8 +269,7 @@ fn parse_step(token: &str, axis: Axis) -> Result<Step, XmlError> {
             }
         }
     };
-    if (matches!(axis, Axis::SelfAxis | Axis::Parent | Axis::Attribute)) && !predicates.is_empty()
-    {
+    if (matches!(axis, Axis::SelfAxis | Axis::Parent | Axis::Attribute)) && !predicates.is_empty() {
         return Err(XmlError::xpath(
             "predicates are not supported on '.', '..', or attribute steps",
         ));
@@ -303,7 +302,9 @@ fn split_predicates(token: &str) -> Result<(String, Vec<Predicate>), XmlError> {
     let mut rest = &token[bracket..];
     while !rest.is_empty() {
         if !rest.starts_with('[') {
-            return Err(XmlError::xpath(format!("malformed predicates in '{token}'")));
+            return Err(XmlError::xpath(format!(
+                "malformed predicates in '{token}'"
+            )));
         }
         let close = rest
             .find(']')
@@ -499,9 +500,7 @@ mod tests {
     #[test]
     fn chained_predicates() {
         let d = doc();
-        let m = d
-            .select("/moviedoc/movie[year='1999'][2]")
-            .unwrap();
+        let m = d.select("/moviedoc/movie[year='1999'][2]").unwrap();
         // Predicates filter in sequence over the candidate list — the
         // second candidate that also has year 1999... order: position
         // applies to candidate index in this simplified dialect.

@@ -86,8 +86,25 @@ fn parser_handles_many_siblings() {
 #[test]
 fn xpath_rejects_garbage_without_panicking() {
     let cases = [
-        "", "/", "//", "///", "a//", "[1]", "/a[", "/a]", "/a[']", "/a[=]", "/a[@]",
-        "/a[@x=]", "/a[@x='unclosed]", "/a/b[1'2']", "/@", "$", "$doc", "/a/*[x", "..//",
+        "",
+        "/",
+        "//",
+        "///",
+        "a//",
+        "[1]",
+        "/a[",
+        "/a]",
+        "/a[']",
+        "/a[=]",
+        "/a[@]",
+        "/a[@x=]",
+        "/a[@x='unclosed]",
+        "/a/b[1'2']",
+        "/@",
+        "$",
+        "$doc",
+        "/a/*[x",
+        "..//",
     ];
     for case in cases {
         assert!(Path::parse(case).is_err(), "accepted {case:?}");
@@ -135,7 +152,10 @@ fn huge_attribute_values_roundtrip() {
     let big = "x".repeat(100_000);
     let xml = format!("<a v=\"{big}\"/>");
     let doc = Document::parse(&xml).unwrap();
-    assert_eq!(doc.attr(doc.root_element().unwrap(), "v").unwrap().len(), 100_000);
+    assert_eq!(
+        doc.attr(doc.root_element().unwrap(), "v").unwrap().len(),
+        100_000
+    );
     let re = Document::parse(&doc.to_xml()).unwrap();
     assert_eq!(doc, re);
 }

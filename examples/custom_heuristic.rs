@@ -54,10 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // AND-combination narrows; OR widens (Combination 1).
-    let narrow = HeuristicExpr::k_closest_descendants(5)
-        .and(HeuristicExpr::r_distant_descendants(1));
-    let wide = HeuristicExpr::k_closest_descendants(5)
-        .or(HeuristicExpr::r_distant_descendants(2));
+    let narrow =
+        HeuristicExpr::k_closest_descendants(5).and(HeuristicExpr::r_distant_descendants(1));
+    let wide = HeuristicExpr::k_closest_descendants(5).or(HeuristicExpr::r_distant_descendants(2));
     println!(
         "\n|hkd(5) ∧ hrd(1)| = {}, |hkd(5) ∨ hrd(2)| = {}",
         narrow.select(&schema, disc).len(),

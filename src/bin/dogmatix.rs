@@ -112,8 +112,8 @@ fn run(opts: Options) -> Result<(), String> {
 
     let schema = match &opts.schema_file {
         Some(path) => {
-            let xsd = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let xsd =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             Schema::parse_xsd(&xsd).map_err(|e| e.to_string())?
         }
         None => Schema::infer(&doc).map_err(|e| e.to_string())?,
@@ -121,8 +121,8 @@ fn run(opts: Options) -> Result<(), String> {
 
     let mapping = match (&opts.mapping_file, &opts.candidates) {
         (Some(path), _) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             Mapping::parse(&text).map_err(|e| e.to_string())?
         }
         (None, Some(candidate_path)) => {
@@ -152,19 +152,21 @@ fn run(opts: Options) -> Result<(), String> {
         .ok_or_else(|| format!("type '{}' has no paths in the mapping", opts.rw_type))?;
 
     let base = match opts.heuristic.split_once(':') {
-        Some(("rd", r)) => HeuristicExpr::r_distant_descendants(
-            r.parse().map_err(|_| "bad radius".to_string())?,
-        ),
-        Some(("ra", r)) => HeuristicExpr::r_distant_ancestors(
-            r.parse().map_err(|_| "bad radius".to_string())?,
-        ),
-        Some(("kc", k)) => HeuristicExpr::k_closest_descendants(
-            k.parse().map_err(|_| "bad k".to_string())?,
-        ),
+        Some(("rd", r)) => {
+            HeuristicExpr::r_distant_descendants(r.parse().map_err(|_| "bad radius".to_string())?)
+        }
+        Some(("ra", r)) => {
+            HeuristicExpr::r_distant_ancestors(r.parse().map_err(|_| "bad radius".to_string())?)
+        }
+        Some(("kc", k)) => {
+            HeuristicExpr::k_closest_descendants(k.parse().map_err(|_| "bad k".to_string())?)
+        }
         None if opts.heuristic == "auto" => {
-            let (h, stats) =
-                auto::recommend_k(&doc, &schema, &mapping, &candidate_path, 12, 1.0);
-            eprintln!("note: auto heuristic chose {h:?} from {} stats rows", stats.len());
+            let (h, stats) = auto::recommend_k(&doc, &schema, &mapping, &candidate_path, 12, 1.0);
+            eprintln!(
+                "note: auto heuristic chose {h:?} from {} stats rows",
+                stats.len()
+            );
             h
         }
         _ => return Err(format!("unknown heuristic '{}'", opts.heuristic)),
@@ -193,8 +195,9 @@ fn run(opts: Options) -> Result<(), String> {
 
     let out_xml = result.to_xml(&doc).to_xml_pretty();
     match &opts.output {
-        Some(path) => std::fs::write(path, out_xml)
-            .map_err(|e| format!("cannot write {path}: {e}"))?,
+        Some(path) => {
+            std::fs::write(path, out_xml).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
         None => println!("{out_xml}"),
     }
 

@@ -21,7 +21,10 @@ mod tempdir {
         let dir = std::env::temp_dir().join(format!(
             "dogmatix-cli-test-{}-{}",
             std::process::id(),
-            std::thread::current().name().unwrap_or("t").replace("::", "-"),
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "-"),
         ));
         std::fs::create_dir_all(&dir).expect("create temp dir");
         let input = dir.join("movies.xml");
@@ -59,7 +62,11 @@ fn detects_duplicates_with_mapping_file() {
         .args(["--output", paths.output.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let written = std::fs::read_to_string(&paths.output).expect("output written");
     assert!(written.contains("dupcluster"), "{written}");
     assert!(written.contains("/moviedoc[1]/movie[1]"));
@@ -94,7 +101,11 @@ fn fuse_writes_deduplicated_document() {
         .args(["--output", paths.output.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let fused_path = paths.dir.join("movies.fused.xml");
     let fused = std::fs::read_to_string(&fused_path).expect("fused written");
     assert!(fused.contains("fused-from=\"2\""), "{fused}");

@@ -24,12 +24,9 @@ fn without_filter_detects_a_superset_of_pairs() {
     let (doc, _) = dataset1_sized(3, 40);
     let schema = setup::cd_schema();
     let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
-    let with = Dogmatix::new(
-        setup::paper_config(heuristic.clone()),
-        setup::cd_mapping(),
-    )
-    .run(&doc, &schema, setup::CD_TYPE)
-    .unwrap();
+    let with = Dogmatix::new(setup::paper_config(heuristic.clone()), setup::cd_mapping())
+        .run(&doc, &schema, setup::CD_TYPE)
+        .unwrap();
     let without = Dogmatix::new(
         DogmatixConfig {
             use_filter: false,
@@ -111,12 +108,7 @@ fn clusters_are_the_transitive_closure_of_pairs() {
         .run(&doc, &schema, setup::CD_TYPE)
         .unwrap();
     // Every detected pair lands in the same cluster.
-    let cluster_of = |x: usize| {
-        result
-            .clusters
-            .iter()
-            .position(|c| c.contains(&x))
-    };
+    let cluster_of = |x: usize| result.clusters.iter().position(|c| c.contains(&x));
     for (i, j, _) in &result.duplicate_pairs {
         assert_eq!(cluster_of(*i), cluster_of(*j));
         assert!(cluster_of(*i).is_some());

@@ -115,8 +115,7 @@ fn incomparable_types_never_mix() {
     // "Neo" (role) must never pair with "Keanu Reeves" (name) — neither
     // as similar nor as contradictory data.
     let (_, result) = run_example();
-    let engine =
-        dogmatix_repro::core::sim::SimEngine::new(&result.ods, 0.45);
+    let engine = dogmatix_repro::core::sim::SimEngine::new(&result.ods, 0.45);
     let mut cache = dogmatix_repro::core::sim::DistCache::new();
     let b = engine.breakdown(0, 1, &mut cache);
     for pair in b.similar.iter().chain(b.contradictory.iter()) {

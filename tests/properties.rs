@@ -47,10 +47,11 @@ fn build_doc(records: &[MiniRecord]) -> Document {
     doc
 }
 
-fn detect(records: &[MiniRecord], theta_tuple: f64, use_filter: bool) -> (
-    Document,
-    dogmatix_repro::core::DetectionResult,
-) {
+fn detect(
+    records: &[MiniRecord],
+    theta_tuple: f64,
+    use_filter: bool,
+) -> (Document, dogmatix_repro::core::DetectionResult) {
     let doc = build_doc(records);
     let schema = Schema::infer(&doc).expect("non-empty docs infer");
     let mut mapping = Mapping::new();

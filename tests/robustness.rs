@@ -135,10 +135,8 @@ fn fusion_of_detected_clusters_shrinks_the_corpus() {
 fn query_formulation_matches_pipeline_selection() {
     // The emitted XQuery must reference exactly the paths the heuristic
     // selected.
-    let doc = Document::parse(
-        "<db><item><a>1</a><b><c>2</c></b></item><item><a>3</a></item></db>",
-    )
-    .unwrap();
+    let doc = Document::parse("<db><item><a>1</a><b><c>2</c></b></item><item><a>3</a></item></db>")
+        .unwrap();
     let schema = Schema::infer(&doc).unwrap();
     let e0 = schema.find_by_path("/db/item").unwrap();
     let heuristic = HeuristicExpr::r_distant_descendants(2);

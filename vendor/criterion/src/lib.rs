@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `black_box`,
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] with `sample_size`/`throughput`/`bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock harness:
+//! each benchmark is warmed up once, then timed over a fixed number of
+//! samples, and the per-iteration median/min/max are printed. No
+//! statistics, plots, or baseline comparisons; swap in the real crate
+//! for serious measurement work.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation; recorded and echoed, not analysed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, printable as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `sample_count` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), self.sample_count, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let sample_count = self.sample_count;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_count,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Records the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.sample_count,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.sample_count,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_count,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<50} (no samples — bencher.iter never called)");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
+    let max = bencher.samples[bencher.samples.len() - 1];
+    let extra = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gib = b as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
+            format!("  {gib:8.3} GiB/s")
+        }
+        Some(Throughput::Elements(e)) => {
+            let meps = e as f64 / median.as_secs_f64() / 1e6;
+            format!("  {meps:8.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!("{name:<50} median {median:>12?}  (min {min:?}, max {max:?}){extra}");
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (for `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test --benches` would
+            // pass `--test` expecting a no-op. Honour the latter.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

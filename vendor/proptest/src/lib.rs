@@ -1,0 +1,541 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest 1.x API the workspace's property
+//! tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, plus strategies for integer
+//!   and float ranges, tuples, [`strategy::Just`], weighted unions
+//!   ([`prop_oneof!`]), vectors ([`collection::vec`]), and a regex-subset
+//!   string generator ([`string::string_regex`]);
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` support;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from real proptest, deliberately accepted: cases are
+//! generated from a fixed per-test seed (fully deterministic run to run),
+//! and failing inputs are *not* shrunk — the panic message carries the
+//! case number so a failure is still reproducible.
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG behind generation.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 generator seeded from the property's name: deterministic
+    /// across runs, different across properties.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary string (FNV-1a of the test name).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// simply produces a value from an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type.
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! needs a positive weight");
+            Union {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total_weight);
+            for (weight, strat) in &self.options {
+                if pick < *weight as u64 {
+                    return strat.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weights sum to total_weight")
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-driven string generation for the subset of regex syntax the
+    //! workspace's tests use: literal chars, `[...]` classes with ranges,
+    //! groups, and the `?`, `*`, `+`, `{m}`, `{m,n}` quantifiers.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error for patterns outside the supported subset.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// An atom with its `(min, max)` repetition bounds.
+    type Rep = (Node, u32, u32);
+
+    /// One parsed regex atom plus its repetition bounds.
+    #[derive(Debug, Clone)]
+    enum Node {
+        /// A set of candidate chars (from a class or a literal).
+        Class(Vec<char>),
+        /// A grouped sub-sequence.
+        Group(Vec<Rep>),
+    }
+
+    /// Compiles `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (seq, consumed) = parse_seq(&chars, 0, pattern)?;
+        if consumed != chars.len() {
+            return Err(Error(format!("trailing input in {pattern:?}")));
+        }
+        Ok(RegexStrategy { seq })
+    }
+
+    /// See [`string_regex`].
+    pub struct RegexStrategy {
+        seq: Vec<Rep>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            gen_seq(&self.seq, rng, &mut out);
+            out
+        }
+    }
+
+    fn gen_seq(seq: &[Rep], rng: &mut TestRng, out: &mut String) {
+        for (node, min, max) in seq {
+            let reps = *min as u64 + rng.below((*max - *min) as u64 + 1);
+            for _ in 0..reps {
+                match node {
+                    Node::Class(chars) => {
+                        out.push(chars[rng.below(chars.len() as u64) as usize]);
+                    }
+                    Node::Group(inner) => gen_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Parses a sequence until end of input or an unmatched `)`.
+    fn parse_seq(chars: &[char], mut i: usize, pattern: &str) -> Result<(Vec<Rep>, usize), Error> {
+        let mut seq = Vec::new();
+        while i < chars.len() && chars[i] != ')' {
+            let node = match chars[i] {
+                '[' => {
+                    let (class, next) = parse_class(chars, i + 1, pattern)?;
+                    i = next;
+                    Node::Class(class)
+                }
+                '(' => {
+                    let (inner, next) = parse_seq(chars, i + 1, pattern)?;
+                    if next >= chars.len() || chars[next] != ')' {
+                        return Err(Error(format!("unclosed group in {pattern:?}")));
+                    }
+                    i = next + 1;
+                    Node::Group(inner)
+                }
+                '\\' => {
+                    if i + 1 >= chars.len() {
+                        return Err(Error(format!("dangling escape in {pattern:?}")));
+                    }
+                    i += 2;
+                    Node::Class(vec![chars[i - 1]])
+                }
+                '|' | '*' | '+' | '?' | '{' | '}' | ']' | '^' | '$' | '.' => {
+                    return Err(Error(format!(
+                        "unsupported metachar {:?} in {pattern:?}",
+                        chars[i]
+                    )));
+                }
+                c => {
+                    i += 1;
+                    Node::Class(vec![c])
+                }
+            };
+            let (min, max, next) = parse_quantifier(chars, i, pattern)?;
+            i = next;
+            seq.push((node, min, max));
+        }
+        Ok((seq, i))
+    }
+
+    /// Parses `[...]` (no negation support); `i` points past the `[`.
+    fn parse_class(
+        chars: &[char],
+        mut i: usize,
+        pattern: &str,
+    ) -> Result<(Vec<char>, usize), Error> {
+        let mut class = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                *chars
+                    .get(i)
+                    .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?
+            } else {
+                chars[i]
+            };
+            // `a-z` range (a literal `-` at the end of the class is a char).
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let end = chars[i + 2];
+                if (c as u32) > (end as u32) {
+                    return Err(Error(format!("inverted class range in {pattern:?}")));
+                }
+                for code in (c as u32)..=(end as u32) {
+                    class.push(char::from_u32(code).unwrap());
+                }
+                i += 3;
+            } else {
+                class.push(c);
+                i += 1;
+            }
+        }
+        if i >= chars.len() {
+            return Err(Error(format!("unclosed class in {pattern:?}")));
+        }
+        if class.is_empty() {
+            return Err(Error(format!("empty class in {pattern:?}")));
+        }
+        Ok((class, i + 1))
+    }
+
+    /// Unbounded quantifiers are capped here: `*` and `+` generate at most 8.
+    const UNBOUNDED_CAP: u32 = 8;
+
+    /// Parses an optional quantifier after an atom ending at `i`.
+    fn parse_quantifier(
+        chars: &[char],
+        i: usize,
+        pattern: &str,
+    ) -> Result<(u32, u32, usize), Error> {
+        match chars.get(i) {
+            Some('?') => Ok((0, 1, i + 1)),
+            Some('*') => Ok((0, UNBOUNDED_CAP, i + 1)),
+            Some('+') => Ok((1, UNBOUNDED_CAP, i + 1)),
+            Some('{') => {
+                let close = (i..chars.len())
+                    .find(|&j| chars[j] == '}')
+                    .ok_or_else(|| Error(format!("unclosed quantifier in {pattern:?}")))?;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().map_err(|_| bad_quant(pattern))?,
+                        hi.trim().parse().map_err(|_| bad_quant(pattern))?,
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().map_err(|_| bad_quant(pattern))?;
+                        (n, n)
+                    }
+                };
+                if min > max {
+                    return Err(bad_quant(pattern));
+                }
+                Ok((min, max, close + 1))
+            }
+            _ => Ok((1, 1, i)),
+        }
+    }
+
+    fn bad_quant(pattern: &str) -> Error {
+        Error(format!("bad quantifier in {pattern:?}"))
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Declares property tests. Supports the
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute
+/// and `name in strategy` bindings; each test runs `cases` deterministic
+/// cases (the panic message of a failing assertion identifies the case
+/// via the values bound in scope — bind and print them as needed).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = (<$crate::test_runner::Config as Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                // Build each strategy once; generate per case.
+                $(let __strategy_of = &($strat);
+                  let $arg = __strategy_of; )+
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate($arg, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}

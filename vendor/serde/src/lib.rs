@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatible annotation — nothing serialises through serde yet
+//! (see `dogmatix_core::classify`). This shim keeps those derives
+//! compiling without network access by providing marker traits and
+//! matching derive macros. Swap in the real crates.io `serde` when the
+//! build environment gains registry access; no call site changes needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

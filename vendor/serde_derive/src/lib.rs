@@ -1,0 +1,52 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored [`serde`](../serde) shim defines `Serialize` and
+//! `Deserialize` as marker traits, so the derives only need to emit the
+//! corresponding empty `impl` blocks. Types with generic parameters are
+//! not supported — no current workspace type needs them.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Extracts the name of the derived `struct`/`enum`, or `None` for shapes
+/// the shim does not handle (e.g. generics), in which case the derive is
+/// a no-op rather than an error.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if matches!(&tt, TokenTree::Ident(i) if i.to_string() == "struct" || i.to_string() == "enum")
+        {
+            let name = match tokens.next()? {
+                TokenTree::Ident(name) => name.to_string(),
+                _ => return None,
+            };
+            // A `<` right after the name means generics: bail out.
+            if let Some(TokenTree::Punct(p)) = tokens.next() {
+                if p.as_char() == '<' {
+                    return None;
+                }
+            }
+            return Some(name);
+        }
+    }
+    None
+}
