@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verify (ROADMAP.md) plus lint and format checks.
+# CI gate: tier-1 verify (ROADMAP.md) plus lint, format, docs, and
+# example checks.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,5 +15,18 @@ cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> build and run all examples"
+cargo build --release --examples
+for example in examples/*.rs; do
+    name="$(basename "$example" .rs)"
+    echo "    --> $name"
+    cargo run --release --quiet --example "$name" >/dev/null
+done
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+    -p dogmatix-repro -p dogmatix_core -p dogmatix_xml -p dogmatix_textsim \
+    -p dogmatix_datagen -p dogmatix_eval -p dogmatix_bench
 
 echo "CI green."

@@ -1,36 +1,31 @@
 //! Ablation benches for the design decisions DESIGN.md calls out:
 //!
 //! * the term-level distance cache (memoised vs. cold per pair),
-//! * the similarity measure vs. the related-work baselines
-//!   (Example 3 overlap, DELPHI containment, unweighted sim),
-//! * parallel pairwise comparison (1 vs. 4 worker threads).
+//! * the similarity measure vs. the related-work baselines — every
+//!   competitor running as the same [`SimilarityMeasure`] stage the
+//!   pipeline uses,
+//! * parallel pairwise comparison (1 vs. 4 worker threads),
+//! * the comparison-reduction stages (object filter vs. blocking).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dogmatix_bench::CdFixture;
-use dogmatix_core::baseline::{delphi_containment, overlap_fraction, unweighted_sim};
+use dogmatix_core::baseline::{DelphiMeasure, OverlapMeasure, UnweightedMeasure};
 use dogmatix_core::heuristics::{table4_heuristic, HeuristicExpr};
 use dogmatix_core::od::OdSet;
-use dogmatix_core::pipeline::DogmatixConfig;
-use dogmatix_core::sim::{DistCache, SimEngine};
-use std::collections::HashMap;
+use dogmatix_core::sim::{DistCache, SimEngine, SoftIdfMeasure};
+use dogmatix_core::stage::{ComparisonFilter, SimContext, SimilarityMeasure};
+use std::sync::Arc;
 
-fn fixture_ods(n: usize) -> (CdFixture, OdSet) {
+fn fixture_ods(n: usize) -> (CdFixture, Arc<OdSet>) {
     let fixture = CdFixture::dataset1(n);
     let heuristic = HeuristicExpr::k_closest_descendants(6);
-    let disc = fixture
-        .schema
-        .find_by_path(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
-        .unwrap();
-    let mut selections = HashMap::new();
-    selections.insert(
-        dogmatix_datagen::cd::CD_CANDIDATE_PATH.to_string(),
-        heuristic.select_paths(&fixture.schema, disc),
-    );
-    let candidates = fixture
-        .doc
-        .select(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
-        .unwrap();
-    let ods = OdSet::build(&fixture.doc, &candidates, &selections, &fixture.mapping);
+    let ods = {
+        let session = fixture.session();
+        let selections = session
+            .selections_for(&heuristic)
+            .expect("the CD schema has the candidate path");
+        session.object_descriptions(&selections)
+    };
     (fixture, ods)
 }
 
@@ -70,83 +65,62 @@ fn bench_distance_cache(c: &mut Criterion) {
 }
 
 fn bench_measures(c: &mut Criterion) {
-    let (_, ods) = fixture_ods(80);
-    let engine = SimEngine::new(&ods, 0.15);
+    let (fixture, ods) = fixture_ods(80);
+    let candidates = fixture
+        .doc
+        .select(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
+        .unwrap();
     let n = ods.len();
     let mut group = c.benchmark_group("similarity_measures");
     group.sample_size(10);
 
-    group.bench_function("dogmatix_sim", |b| {
-        let mut cache = DistCache::new();
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    acc += engine.sim(i, j, &mut cache);
+    // Every competitor is benchmarked through the same stage interface
+    // the pipeline drives.
+    let measures: Vec<(&str, Arc<dyn SimilarityMeasure>)> = vec![
+        ("dogmatix_sim", Arc::new(SoftIdfMeasure::new(0.15))),
+        ("unweighted_sim", Arc::new(UnweightedMeasure::new(0.15))),
+        ("delphi_containment", Arc::new(DelphiMeasure::new(0.15))),
+        ("overlap_fraction", Arc::new(OverlapMeasure)),
+    ];
+    for (name, measure) in measures {
+        let ctx = SimContext {
+            doc: &fixture.doc,
+            candidates: &candidates,
+            ods: &ods,
+        };
+        let prepared = measure.prepare(ctx);
+        group.bench_function(name, |b| {
+            let mut cache = DistCache::new();
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        acc += prepared.sim(i, j, &mut cache);
+                    }
                 }
-            }
-            acc
-        })
-    });
-
-    group.bench_function("unweighted_sim", |b| {
-        let mut cache = DistCache::new();
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    acc += unweighted_sim(&ods, i, j, 0.15, &mut cache);
-                }
-            }
-            acc
-        })
-    });
-
-    group.bench_function("delphi_containment", |b| {
-        let mut cache = DistCache::new();
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    acc += delphi_containment(&ods, i, j, 0.15, &mut cache);
-                }
-            }
-            acc
-        })
-    });
-
-    group.bench_function("overlap_fraction", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    acc += overlap_fraction(&ods, i, j);
-                }
-            }
-            acc
-        })
-    });
+                acc
+            })
+        });
+    }
     group.finish();
 }
 
 fn bench_parallelism(c: &mut Criterion) {
     let fixture = CdFixture::dataset1(150);
+    let session = fixture.session();
     let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
     let mut group = c.benchmark_group("parallel_comparison");
     group.sample_size(10);
     for threads in [1usize, 4] {
-        let dx = dogmatix_core::pipeline::Dogmatix::new(
-            DogmatixConfig {
-                threads,
-                ..dogmatix_eval::setup::paper_config(heuristic.clone())
-            },
-            fixture.mapping.clone(),
-        );
+        let dx = dogmatix_core::pipeline::Dogmatix::builder()
+            .mapping(fixture.mapping.clone())
+            .heuristic(heuristic.clone())
+            .theta_tuple(dogmatix_eval::setup::THETA_TUPLE)
+            .theta_cand(dogmatix_eval::setup::THETA_CAND)
+            .threads(threads)
+            .build();
         group.bench_function(format!("threads_{threads}"), |b| {
-            b.iter(|| {
-                dx.run(&fixture.doc, &fixture.schema, dogmatix_eval::setup::CD_TYPE)
-                    .unwrap()
-            })
+            b.iter(|| dx.detect(&session).unwrap())
         });
     }
     group.finish();
@@ -154,20 +128,33 @@ fn bench_parallelism(c: &mut Criterion) {
 
 fn bench_pruning_methods(c: &mut Criterion) {
     // Framework Definition 4 admits filtering AND clustering/windowing
-    // pruning methods: compare the object filter against single- and
-    // multi-pass sorted neighborhood.
+    // pruning methods: compare the comparison-reduction stages.
     let (_, ods) = fixture_ods(150);
     let mut group = c.benchmark_group("pruning_methods");
     group.sample_size(10);
-    group.bench_function("object_filter", |b| {
-        b.iter(|| dogmatix_core::filter::object_filter(&ods, 0.15, 0.55))
-    });
-    group.bench_function("sorted_neighborhood_w10", |b| {
-        b.iter(|| dogmatix_core::neighborhood::sorted_neighborhood(&ods, 10))
-    });
-    group.bench_function("multipass_neighborhood_w10_p3", |b| {
-        b.iter(|| dogmatix_core::neighborhood::multipass_sorted_neighborhood(&ods, 10, 3))
-    });
+    let stages: Vec<(&str, Box<dyn ComparisonFilter>)> = vec![
+        (
+            "object_filter",
+            Box::new(dogmatix_core::filter::ObjectFilter::new(0.15, 0.55)),
+        ),
+        (
+            "sorted_neighborhood_w10",
+            Box::new(dogmatix_core::neighborhood::SortedNeighborhoodFilter::new(
+                10,
+            )),
+        ),
+        (
+            "multipass_neighborhood_w10_p3",
+            Box::new(dogmatix_core::neighborhood::SortedNeighborhoodFilter::multipass(10, 3)),
+        ),
+        (
+            "topk_blocking_k10",
+            Box::new(dogmatix_core::neighborhood::TopKBlocking::new(10)),
+        ),
+    ];
+    for (name, stage) in stages {
+        group.bench_function(name, |b| b.iter(|| stage.reduce(&ods)));
+    }
     group.finish();
 }
 

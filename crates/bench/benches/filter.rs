@@ -4,37 +4,30 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dogmatix_bench::CdFixture;
-use dogmatix_core::filter::object_filter;
+use dogmatix_core::filter::ObjectFilter;
 use dogmatix_core::heuristics::{table4_heuristic, HeuristicExpr};
 use dogmatix_core::od::OdSet;
-use std::collections::HashMap;
+use dogmatix_core::stage::ComparisonFilter;
+use std::sync::Arc;
 
-fn build_ods(fixture: &CdFixture, k: usize) -> OdSet {
-    let schema = &fixture.schema;
+fn build_ods(fixture: &CdFixture, k: usize) -> Arc<OdSet> {
     let heuristic = HeuristicExpr::k_closest_descendants(k);
-    let disc = schema
-        .find_by_path(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
-        .unwrap();
-    let mut selections = HashMap::new();
-    selections.insert(
-        dogmatix_datagen::cd::CD_CANDIDATE_PATH.to_string(),
-        heuristic.select_paths(schema, disc),
-    );
-    let candidates = fixture
-        .doc
-        .select(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
-        .unwrap();
-    OdSet::build(&fixture.doc, &candidates, &selections, &fixture.mapping)
+    let session = fixture.session();
+    let selections = session
+        .selections_for(&heuristic)
+        .expect("the CD schema has the candidate path");
+    session.object_descriptions(&selections)
 }
 
 fn bench_filter_computation(c: &mut Criterion) {
     let mut group = c.benchmark_group("object_filter_compute");
     group.sample_size(10);
+    let stage = ObjectFilter::new(0.15, 0.55);
     for n in [100usize, 250] {
         let fixture = CdFixture::dataset1(n);
         let ods = build_ods(&fixture, 6);
         group.bench_with_input(BenchmarkId::from_parameter(n), &ods, |b, ods| {
-            b.iter(|| object_filter(ods, 0.15, 0.55))
+            b.iter(|| stage.reduce(ods))
         });
     }
     group.finish();
@@ -44,15 +37,11 @@ fn bench_pipeline_with_without_filter(c: &mut Criterion) {
     let mut group = c.benchmark_group("comparison_reduction");
     group.sample_size(10);
     let fixture = CdFixture::dataset1(150);
+    let session = fixture.session();
     let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
     for (label, use_filter) in [("with_filter", true), ("without_filter", false)] {
         let dx = fixture.detector(heuristic.clone(), use_filter);
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                dx.run(&fixture.doc, &fixture.schema, dogmatix_eval::setup::CD_TYPE)
-                    .unwrap()
-            })
-        });
+        group.bench_function(label, |b| b.iter(|| dx.detect(&session).unwrap()));
     }
     group.finish();
 }

@@ -1,6 +1,11 @@
 //! End-to-end pipeline scaling: detection wall time vs. corpus size
 //! (the paper's outlook names efficiency as future work — this bench
 //! tracks where our implementation stands).
+//!
+//! Each size is measured twice: cold (`run`, re-deriving candidates and
+//! ODs every iteration) and warm (`detect` against a reused
+//! [`dogmatix_core::pipeline::DetectionSession`]), so the session cache's
+//! payoff is itself tracked.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dogmatix_bench::CdFixture;
@@ -13,11 +18,15 @@ fn bench_scaling(c: &mut Criterion) {
     for n in [50usize, 100, 200] {
         let fixture = CdFixture::dataset1(n);
         let dx = fixture.detector(heuristic.clone(), true);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
             b.iter(|| {
                 dx.run(&fixture.doc, &fixture.schema, dogmatix_eval::setup::CD_TYPE)
                     .unwrap()
             })
+        });
+        let session = fixture.session();
+        group.bench_with_input(BenchmarkId::new("warm_session", n), &n, |b, _| {
+            b.iter(|| dx.detect(&session).unwrap())
         });
     }
     group.finish();

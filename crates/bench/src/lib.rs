@@ -4,7 +4,7 @@
 
 use dogmatix_core::heuristics::HeuristicExpr;
 use dogmatix_core::mapping::Mapping;
-use dogmatix_core::pipeline::{Dogmatix, DogmatixConfig};
+use dogmatix_core::pipeline::{DetectionSession, Dogmatix};
 use dogmatix_datagen::datasets::dataset1_sized;
 use dogmatix_datagen::GoldStandard;
 use dogmatix_xml::{Document, Schema};
@@ -33,14 +33,32 @@ impl CdFixture {
         }
     }
 
-    /// A detector with the paper's thresholds and the given heuristic.
+    /// A detector with the paper's thresholds and the given heuristic,
+    /// assembled through the builder API.
     pub fn detector(&self, heuristic: HeuristicExpr, use_filter: bool) -> Dogmatix {
-        Dogmatix::new(
-            DogmatixConfig {
-                use_filter,
-                ..dogmatix_eval::setup::paper_config(heuristic)
-            },
-            self.mapping.clone(),
+        let builder = Dogmatix::builder()
+            .mapping(self.mapping.clone())
+            .heuristic(heuristic)
+            .theta_tuple(dogmatix_eval::setup::THETA_TUPLE)
+            .theta_cand(dogmatix_eval::setup::THETA_CAND)
+            .threads(0);
+        if use_filter {
+            builder.build()
+        } else {
+            builder.no_filter().build()
+        }
+    }
+
+    /// Opens a [`DetectionSession`] over the fixture corpus, so bench
+    /// iterations reuse the resolved candidates and cached object
+    /// descriptions instead of re-deriving them every sample.
+    pub fn session(&self) -> DetectionSession<'_> {
+        DetectionSession::new(
+            &self.doc,
+            &self.schema,
+            &self.mapping,
+            dogmatix_eval::setup::CD_TYPE,
         )
+        .expect("the CD fixture wiring is valid")
     }
 }

@@ -14,10 +14,18 @@
 //!   fixes,
 //! * [`unweighted_sim`] — the paper's measure without softIDF (every pair
 //!   weighs 1), isolating the contribution of relevance weighting.
+//!
+//! Every measure here (and the tree-edit-distance alternative) also
+//! implements the [`SimilarityMeasure`] stage trait, so ablations run
+//! through the *identical* pipeline as DogmatiX — swap the measure with
+//! [`crate::pipeline::DogmatixBuilder::measure`] and nothing else
+//! changes.
 
 use crate::od::OdSet;
-use crate::sim::DistCache;
+use crate::sim::{DistCache, SimEngine};
+use crate::stage::{PreparedMeasure, SimContext, SimilarityMeasure};
 use dogmatix_textsim::{ned, word_tokens};
+use dogmatix_xml::{Document, NodeId};
 use std::collections::HashMap;
 
 /// Example 3 of the paper: the fraction of `OD_i` tuples with an exactly
@@ -173,6 +181,159 @@ impl VectorSpaceModel {
     }
 }
 
+/// The Example 3 overlap fraction as a pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlapMeasure;
+
+struct PreparedOverlap<'a> {
+    ods: &'a OdSet,
+}
+
+impl PreparedMeasure for PreparedOverlap<'_> {
+    fn sim(&self, i: usize, j: usize, _cache: &mut DistCache) -> f64 {
+        overlap_fraction(self.ods, i, j)
+    }
+}
+
+impl SimilarityMeasure for OverlapMeasure {
+    fn prepare<'a>(&self, ctx: SimContext<'a>) -> Box<dyn PreparedMeasure + 'a> {
+        Box::new(PreparedOverlap { ods: ctx.ods })
+    }
+}
+
+/// The paper's measure without softIDF weighting as a pipeline stage
+/// (see [`unweighted_sim`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnweightedMeasure {
+    /// Tuple-similarity threshold `θ_tuple`.
+    pub theta_tuple: f64,
+}
+
+impl UnweightedMeasure {
+    /// Creates the measure with the given `θ_tuple`.
+    pub fn new(theta_tuple: f64) -> Self {
+        UnweightedMeasure { theta_tuple }
+    }
+}
+
+struct PreparedUnweighted<'a> {
+    engine: SimEngine<'a>,
+}
+
+impl PreparedMeasure for PreparedUnweighted<'_> {
+    fn sim(&self, i: usize, j: usize, cache: &mut DistCache) -> f64 {
+        let b = self.engine.breakdown(i, j, cache);
+        let s = b.similar.len() as f64;
+        let c = b.contradictory.len() as f64;
+        if s + c > 0.0 {
+            s / (s + c)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl SimilarityMeasure for UnweightedMeasure {
+    fn prepare<'a>(&self, ctx: SimContext<'a>) -> Box<dyn PreparedMeasure + 'a> {
+        Box::new(PreparedUnweighted {
+            engine: SimEngine::new(ctx.ods, self.theta_tuple),
+        })
+    }
+}
+
+/// DELPHI-style containment as a pipeline stage, symmetrised with `max`
+/// over both directions so it can be thresholded like the other
+/// measures (a classifier on `max(containment)` is exactly the §7.2
+/// behaviour the paper critiques — the small OD's perfect containment
+/// wins no matter how much the large OD differs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelphiMeasure {
+    /// Tuple-similarity threshold `θ_tuple`.
+    pub theta_tuple: f64,
+}
+
+impl DelphiMeasure {
+    /// Creates the measure with the given `θ_tuple`.
+    pub fn new(theta_tuple: f64) -> Self {
+        DelphiMeasure { theta_tuple }
+    }
+}
+
+struct PreparedDelphi<'a> {
+    ods: &'a OdSet,
+    theta_tuple: f64,
+}
+
+impl PreparedMeasure for PreparedDelphi<'_> {
+    fn sim(&self, i: usize, j: usize, cache: &mut DistCache) -> f64 {
+        delphi_containment(self.ods, i, j, self.theta_tuple, cache).max(delphi_containment(
+            self.ods,
+            j,
+            i,
+            self.theta_tuple,
+            cache,
+        ))
+    }
+}
+
+impl SimilarityMeasure for DelphiMeasure {
+    fn prepare<'a>(&self, ctx: SimContext<'a>) -> Box<dyn PreparedMeasure + 'a> {
+        Box::new(PreparedDelphi {
+            ods: ctx.ods,
+            theta_tuple: self.theta_tuple,
+        })
+    }
+}
+
+/// TF-IDF cosine over flattened token bags as a pipeline stage; the
+/// [`VectorSpaceModel`] vectors are built once per run in `prepare`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VectorSpaceMeasure;
+
+impl PreparedMeasure for VectorSpaceModel {
+    fn sim(&self, i: usize, j: usize, _cache: &mut DistCache) -> f64 {
+        VectorSpaceModel::sim(self, i, j)
+    }
+}
+
+impl SimilarityMeasure for VectorSpaceMeasure {
+    fn prepare<'a>(&self, ctx: SimContext<'a>) -> Box<dyn PreparedMeasure + 'a> {
+        Box::new(VectorSpaceModel::new(ctx.ods))
+    }
+}
+
+/// Normalised Zhang–Shasha tree similarity on the candidate subtrees
+/// \[6\] as a pipeline stage — the structural alternative of the
+/// paper's Related Work. Ignores the object descriptions entirely and
+/// compares the XML subtrees themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeEditMeasure;
+
+struct PreparedTreeEdit<'a> {
+    doc: &'a Document,
+    candidates: &'a [NodeId],
+}
+
+impl PreparedMeasure for PreparedTreeEdit<'_> {
+    fn sim(&self, i: usize, j: usize, _cache: &mut DistCache) -> f64 {
+        dogmatix_xml::treedist::tree_similarity(
+            self.doc,
+            self.candidates[i],
+            self.doc,
+            self.candidates[j],
+        )
+    }
+}
+
+impl SimilarityMeasure for TreeEditMeasure {
+    fn prepare<'a>(&self, ctx: SimContext<'a>) -> Box<dyn PreparedMeasure + 'a> {
+        Box::new(PreparedTreeEdit {
+            doc: ctx.doc,
+            candidates: ctx.candidates,
+        })
+    }
+}
+
 fn cache_distance(
     ods: &OdSet,
     _cache: &mut DistCache,
@@ -297,6 +458,70 @@ mod tests {
         assert_eq!(delphi_containment(&ods, 0, 1, 0.15, &mut cache), 0.0);
         assert_eq!(unweighted_sim(&ods, 0, 1, 0.15, &mut cache), 0.0);
         assert_eq!(VectorSpaceModel::new(&ods).sim(0, 1), 0.0);
+    }
+
+    #[test]
+    fn measure_stages_match_their_free_functions() {
+        let ods = build(
+            "<r><m><t>The Matrix</t><y>1999</y><a>Keanu Reeves</a></m>\
+                <m><t>Matrix</t><y>1999</y><a>Keanu Reeves</a></m>\
+                <m><t>Signs</t><y>2002</y><a>Mel Gibson</a></m>\
+                <m><t>Other Pad</t><y>1901</y><a>Nobody</a></m></r>",
+        );
+        let doc = Document::parse("<x/>").unwrap();
+        let ctx = SimContext {
+            doc: &doc,
+            candidates: &[],
+            ods: &ods,
+        };
+        let overlap = OverlapMeasure.prepare(ctx);
+        let unweighted = UnweightedMeasure::new(0.15).prepare(ctx);
+        let delphi = DelphiMeasure::new(0.15).prepare(ctx);
+        let vsm_stage = VectorSpaceMeasure.prepare(ctx);
+        let vsm = VectorSpaceModel::new(&ods);
+        let mut cache = DistCache::new();
+        let mut reference = DistCache::new();
+        for i in 0..ods.len() {
+            for j in (i + 1)..ods.len() {
+                assert_eq!(overlap.sim(i, j, &mut cache), overlap_fraction(&ods, i, j));
+                assert_eq!(
+                    unweighted.sim(i, j, &mut cache),
+                    unweighted_sim(&ods, i, j, 0.15, &mut reference)
+                );
+                let d = delphi_containment(&ods, i, j, 0.15, &mut reference)
+                    .max(delphi_containment(&ods, j, i, 0.15, &mut reference));
+                assert_eq!(delphi.sim(i, j, &mut cache), d);
+                // Two independently built VSMs sum their dot products in
+                // different hash orders — equal up to float rounding.
+                assert!((vsm_stage.sim(i, j, &mut cache) - vsm.sim(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_edit_measure_reads_the_document() {
+        let doc = Document::parse(
+            "<r><m><t>Alpha</t><y>1999</y></m><m><t>Alpha</t><y>1999</y></m>\
+                <m><x>totally</x><z>different</z><w>shape</w></m></r>",
+        )
+        .unwrap();
+        let candidates = doc.select("/r/m").unwrap();
+        let ods = build("<r><m/><m/><m/></r>");
+        let ctx = SimContext {
+            doc: &doc,
+            candidates: &candidates,
+            ods: &ods,
+        };
+        let ted = TreeEditMeasure.prepare(ctx);
+        let mut cache = DistCache::new();
+        assert_eq!(ted.sim(0, 1, &mut cache), 1.0, "identical subtrees");
+        let different = ted.sim(0, 2, &mut cache);
+        assert!(different < 1.0, "different shapes score below identity");
+        assert_eq!(
+            different,
+            dogmatix_xml::treedist::tree_similarity(&doc, candidates[0], &doc, candidates[2]),
+            "stage delegates to tree_similarity"
+        );
     }
 
     #[test]

@@ -5,7 +5,13 @@
 //! thresholded classifier of Definition 6 (`sim > θ_cand → C1`); a
 //! three-class variant with a "possible duplicates" band (`C2`, reviewed
 //! by a domain expert per the paper's Step 5 discussion) is provided too.
+//!
+//! Both classifiers plug into the pipeline as
+//! [`crate::stage::PairClassifier`] stages; pairs landing
+//! in `C2` surface in
+//! [`DetectionResult::possible_pairs`](crate::pipeline::DetectionResult::possible_pairs).
 
+use crate::stage::PairClassifier;
 use serde::{Deserialize, Serialize};
 
 /// Classification outcome for a candidate pair.
@@ -60,6 +66,52 @@ impl ThresholdClassifier {
     }
 }
 
+impl PairClassifier for ThresholdClassifier {
+    fn classify(&self, sim: f64) -> Class {
+        ThresholdClassifier::classify(self, sim)
+    }
+}
+
+/// A dual-threshold classifier with an explicit *unknown zone*: pairs
+/// above `theta_dup` are duplicates (`C1`), pairs in
+/// `(theta_unknown, theta_dup]` are possible duplicates (`C2`, to be
+/// reviewed by a domain expert), pairs at or below `theta_unknown` are
+/// non-duplicates (`C0`).
+///
+/// Unlike [`ThresholdClassifier::with_possible_band`]'s optional band,
+/// the unknown zone is mandatory here and both bounds are strict on the
+/// low side, so the three classes partition `[0, 1]` without overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DualThreshold {
+    /// Upper threshold: `sim > theta_dup` is a duplicate.
+    pub theta_dup: f64,
+    /// Lower threshold: `theta_unknown < sim ≤ theta_dup` is unknown.
+    pub theta_unknown: f64,
+}
+
+impl DualThreshold {
+    /// Creates the classifier; `theta_unknown` is clamped to
+    /// `theta_dup` so the unknown zone can never invert.
+    pub fn new(theta_dup: f64, theta_unknown: f64) -> Self {
+        DualThreshold {
+            theta_dup,
+            theta_unknown: theta_unknown.min(theta_dup),
+        }
+    }
+}
+
+impl PairClassifier for DualThreshold {
+    fn classify(&self, sim: f64) -> Class {
+        if sim > self.theta_dup {
+            Class::Duplicate
+        } else if sim > self.theta_unknown {
+            Class::Possible
+        } else {
+            Class::NonDuplicate
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +132,33 @@ mod tests {
         assert_eq!(c.classify(0.55), Class::Possible);
         assert_eq!(c.classify(0.4), Class::Possible);
         assert_eq!(c.classify(0.39), Class::NonDuplicate);
+    }
+
+    #[test]
+    fn dual_threshold_partitions_the_unit_interval() {
+        let c = DualThreshold::new(0.55, 0.3);
+        assert_eq!(PairClassifier::classify(&c, 0.56), Class::Duplicate);
+        assert_eq!(PairClassifier::classify(&c, 0.55), Class::Possible);
+        assert_eq!(PairClassifier::classify(&c, 0.31), Class::Possible);
+        assert_eq!(PairClassifier::classify(&c, 0.3), Class::NonDuplicate);
+        assert_eq!(PairClassifier::classify(&c, 0.0), Class::NonDuplicate);
+    }
+
+    #[test]
+    fn dual_threshold_never_inverts() {
+        let c = DualThreshold::new(0.4, 0.9);
+        assert_eq!(c.theta_unknown, 0.4, "lower bound clamps to the upper");
+    }
+
+    #[test]
+    fn trait_and_inherent_classify_agree() {
+        let c = ThresholdClassifier::with_possible_band(0.7, 0.4);
+        for sim in [0.0, 0.39, 0.4, 0.55, 0.7, 0.71, 1.0] {
+            assert_eq!(
+                PairClassifier::classify(&c, sim),
+                ThresholdClassifier::classify(&c, sim)
+            );
+        }
     }
 
     #[test]

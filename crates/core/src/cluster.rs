@@ -79,9 +79,30 @@ pub fn clusters_from_pairs(n: usize, pairs: &[(usize, usize)]) -> Vec<Vec<usize>
     out
 }
 
+/// The paper's Step 6 as a [`Clusterer`](crate::stage::Clusterer) stage:
+/// transitive closure over the detected pairs via [`clusters_from_pairs`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransitiveClosure;
+
+impl crate::stage::Clusterer for TransitiveClosure {
+    fn cluster(&self, n: usize, pairs: &[(usize, usize)]) -> Vec<Vec<usize>> {
+        clusters_from_pairs(n, pairs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stage_matches_free_function() {
+        use crate::stage::Clusterer;
+        let pairs = [(0, 1), (1, 2), (4, 5)];
+        assert_eq!(
+            TransitiveClosure.cluster(6, &pairs),
+            clusters_from_pairs(6, &pairs)
+        );
+    }
 
     #[test]
     fn transitivity_merges_chains() {

@@ -34,6 +34,7 @@
 //! *pair*.
 
 use crate::od::OdSet;
+use crate::stage::{ComparisonFilter, FilterDecision};
 use dogmatix_textsim::{idf, ned_within};
 
 /// Result of the filter pass.
@@ -140,6 +141,51 @@ fn term_families(ods: &OdSet, theta_tuple: f64) -> (Vec<usize>, usize) {
     )
 }
 
+/// The §5.2 object filter as a
+/// [`crate::stage::ComparisonFilter`] stage — the
+/// paper's default comparison reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectFilter {
+    /// Tuple-similarity threshold shared with the similarity measure.
+    pub theta_tuple: f64,
+    /// Duplicate threshold the filter prunes against.
+    pub theta_cand: f64,
+}
+
+impl ObjectFilter {
+    /// Creates the filter with the given thresholds (paper: 0.15, 0.55).
+    pub fn new(theta_tuple: f64, theta_cand: f64) -> Self {
+        ObjectFilter {
+            theta_tuple,
+            theta_cand,
+        }
+    }
+}
+
+impl ComparisonFilter for ObjectFilter {
+    fn reduce(&self, ods: &OdSet) -> FilterDecision {
+        let FilterOutcome {
+            f_values, pruned, ..
+        } = object_filter(ods, self.theta_tuple, self.theta_cand);
+        FilterDecision {
+            f_values,
+            pruned,
+            pairs: None,
+        }
+    }
+}
+
+/// The no-op filter: every pair is compared — the ablation baseline of
+/// Section 6.3 (`use_filter: false` in the legacy configuration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFilter;
+
+impl ComparisonFilter for NoFilter {
+    fn reduce(&self, ods: &OdSet) -> FilterDecision {
+        FilterDecision::keep_all(ods.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +207,32 @@ mod tests {
                 .collect::<BTreeSet<_>>(),
         );
         OdSet::build(&doc, &candidates, &sel, &Mapping::new())
+    }
+
+    #[test]
+    fn object_filter_stage_matches_free_function() {
+        let ods = build(
+            "<r>\
+               <m><t>Alpha Song</t><a>Alice</a></m>\
+               <m><t>Alpha Song</t><a>Alice</a></m>\
+               <m><t>Zz Qq Xx</t><a>Nobody Known</a></m>\
+             </r>",
+            "/r/m",
+            &["/r/m/t", "/r/m/a"],
+        );
+        let stage = ObjectFilter::new(0.15, 0.55);
+        let decision = stage.reduce(&ods);
+        let direct = object_filter(&ods, 0.15, 0.55);
+        assert_eq!(decision.f_values, direct.f_values);
+        assert_eq!(decision.pruned, direct.pruned);
+        assert!(decision.pairs.is_none());
+    }
+
+    #[test]
+    fn no_filter_keeps_everything() {
+        let ods = build("<r><m><t>A</t></m><m><t>B</t></m></r>", "/r/m", &["/r/m/t"]);
+        let decision = NoFilter.reduce(&ods);
+        assert_eq!(decision, FilterDecision::keep_all(2));
     }
 
     #[test]

@@ -214,6 +214,12 @@ impl HeuristicExpr {
     }
 }
 
+impl crate::stage::DescriptionSelector for HeuristicExpr {
+    fn select(&self, schema: &Schema, _candidate_path: &str, e0: SchemaNodeId) -> BTreeSet<String> {
+        self.select_paths(schema, e0)
+    }
+}
+
 /// The experiment suite of the paper's Table 4: `exp1 = h`,
 /// `exp2 = h[csdt]`, `exp3 = h[cme]`, `exp4 = h[cse]`,
 /// `exp5 = h[csdt ∧ cme]`, `exp6 = h[csdt ∧ cse]`, `exp7 = h[cme ∧ cse]`,

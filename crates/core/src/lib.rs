@@ -18,13 +18,17 @@
 //! | step 6 duplicate clustering | [`cluster`] |
 //! | Fig. 3 dup-cluster output | [`output`] |
 //! | §7 related-work measures for ablations | [`baseline`] |
+//! | §2 framework: pluggable stage traits | [`stage`] |
 //!
 //! ## Quick start
 //!
+//! Detectors are assembled with [`Dogmatix::builder`]: pick a mapping, a
+//! heuristic, thresholds — and optionally swap any pipeline stage
+//! (filter, measure, classifier, clusterer) for another implementation.
+//!
 //! ```
 //! use dogmatix_core::heuristics::HeuristicExpr;
-//! use dogmatix_core::mapping::Mapping;
-//! use dogmatix_core::pipeline::{Dogmatix, DogmatixConfig};
+//! use dogmatix_core::pipeline::Dogmatix;
 //! use dogmatix_xml::{Document, Schema};
 //!
 //! let doc = Document::parse(
@@ -34,20 +38,42 @@
 //!        <movie><title>Signs</title><year>2002</year></movie>\
 //!      </moviedoc>")?;
 //! let schema = Schema::infer(&doc)?;
-//! let mut mapping = Mapping::new();
-//! mapping.add_type("MOVIE", ["/moviedoc/movie"]);
 //!
 //! // θ_tuple = 0.45 admits "Matrix" ≈ "The Matrix" (ned 0.4); the paper's
 //! // default 0.15 targets typo-level differences.
-//! let config = DogmatixConfig {
-//!     heuristic: HeuristicExpr::r_distant_descendants(1),
-//!     theta_tuple: 0.45,
-//!     ..DogmatixConfig::default()
-//! };
-//! let result = Dogmatix::new(config, mapping).run(&doc, &schema, "MOVIE")?;
+//! let dx = Dogmatix::builder()
+//!     .add_type("MOVIE", ["/moviedoc/movie"])
+//!     .heuristic(HeuristicExpr::r_distant_descendants(1))
+//!     .theta_tuple(0.45)
+//!     .build();
+//! let result = dx.run(&doc, &schema, "MOVIE")?;
 //! assert_eq!(result.clusters.len(), 1);          // {Matrix, The Matrix}
 //! assert_eq!(result.duplicate_pairs.len(), 1);
+//!
+//! // Repeated runs (sweeps, benches) reuse a session: candidates and
+//! // object descriptions are derived once and cached.
+//! let session = dx.session(&doc, &schema, "MOVIE")?;
+//! assert_eq!(dx.detect(&session)?, result);
+//! assert_eq!(dx.detect(&session)?, result);
+//! assert_eq!(session.cached_od_sets(), 1);
 //! # Ok::<(), dogmatix_core::DogmatixError>(())
+//! ```
+//!
+//! Swapping stages — e.g. an ablation with the unweighted measure and a
+//! dual-threshold classifier with an expert-review band:
+//!
+//! ```
+//! use dogmatix_core::baseline::UnweightedMeasure;
+//! use dogmatix_core::classify::DualThreshold;
+//! use dogmatix_core::pipeline::Dogmatix;
+//!
+//! let dx = Dogmatix::builder()
+//!     .add_type("MOVIE", ["/moviedoc/movie"])
+//!     .measure(UnweightedMeasure::new(0.15))
+//!     .classifier(DualThreshold::new(0.55, 0.3))
+//!     .no_filter()
+//!     .build();
+//! # let _ = dx;
 //! ```
 
 pub mod auto;
@@ -66,7 +92,8 @@ pub mod output;
 pub mod pipeline;
 pub mod query;
 pub mod sim;
+pub mod stage;
 
 pub use error::DogmatixError;
 pub use mapping::Mapping;
-pub use pipeline::{DetectionResult, Dogmatix, DogmatixConfig};
+pub use pipeline::{DetectionResult, DetectionSession, Dogmatix, DogmatixBuilder, DogmatixConfig};

@@ -17,7 +17,9 @@
 //! quality against the object filter.
 
 use crate::od::OdSet;
+use crate::stage::{ComparisonFilter, FilterDecision};
 use dogmatix_textsim::idf;
+use std::collections::HashMap;
 
 /// A comparison plan: the pairs (by candidate index) that survive
 /// pruning.
@@ -144,6 +146,123 @@ pub fn multipass_sorted_neighborhood(ods: &OdSet, window: usize, passes: usize) 
     }
 }
 
+/// Sorted-neighborhood windowing as a
+/// [`crate::stage::ComparisonFilter`] stage: only pairs
+/// within a sliding window over the key-sorted candidates are compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortedNeighborhoodFilter {
+    /// Window size (`≥ 2`); `n` degenerates to all pairs.
+    pub window: usize,
+    /// Number of key-rotation passes; `1` is the classic single pass.
+    pub passes: usize,
+}
+
+impl SortedNeighborhoodFilter {
+    /// Single-pass sorted neighborhood with the given window.
+    pub fn new(window: usize) -> Self {
+        SortedNeighborhoodFilter { window, passes: 1 }
+    }
+
+    /// Multi-pass variant (union of windows over rotated keys).
+    pub fn multipass(window: usize, passes: usize) -> Self {
+        SortedNeighborhoodFilter { window, passes }
+    }
+}
+
+impl ComparisonFilter for SortedNeighborhoodFilter {
+    fn reduce(&self, ods: &OdSet) -> FilterDecision {
+        let plan = if self.passes <= 1 {
+            sorted_neighborhood(ods, self.window)
+        } else {
+            multipass_sorted_neighborhood(ods, self.window, self.passes)
+        };
+        FilterDecision {
+            pairs: Some(plan.pairs),
+            ..FilterDecision::keep_all(ods.len())
+        }
+    }
+}
+
+/// Top-k blocking: each candidate is compared only with the `k`
+/// candidates sharing the most identifying data with it.
+///
+/// Sharing is scored on the interned term table — every term occurring
+/// in both objects contributes its IDF, so one shared rare title
+/// outweighs many shared ubiquitous years. Terms in more than half the
+/// objects (but at least three) are skipped entirely: their IDF is near
+/// zero and their posting lists would cost a quadratic scan; the floor
+/// keeps tiny corpora, where every shared term spans "more than half"
+/// the objects, from producing an empty plan. Unlike the
+/// sorted-neighborhood window, the neighbor set is per candidate, so a
+/// hub object with many near-duplicates keeps all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKBlocking {
+    /// Neighbors kept per candidate.
+    pub k: usize,
+}
+
+impl TopKBlocking {
+    /// Creates the filter keeping `k` neighbors per candidate.
+    pub fn new(k: usize) -> Self {
+        TopKBlocking { k }
+    }
+
+    /// The comparison plan for an OD set (exposed for diagnostics and
+    /// benches, like [`sorted_neighborhood`]).
+    pub fn plan(&self, ods: &OdSet) -> ComparisonPlan {
+        let n = ods.len();
+        // Idf-weighted co-occurrence per candidate pair, accumulated over
+        // the term postings (skipping ubiquitous terms).
+        let mut scores: HashMap<(u32, u32), f64> = HashMap::new();
+        for term in &ods.terms {
+            let postings = &term.postings;
+            if postings.len() < 2 || postings.len() > (n / 2).max(2) {
+                continue;
+            }
+            let w = idf(n, postings.len());
+            for (pos, &a) in postings.iter().enumerate() {
+                for &b in &postings[pos + 1..] {
+                    *scores.entry((a, b)).or_insert(0.0) += w;
+                }
+            }
+        }
+        let mut neighbors: Vec<Vec<(f64, u32)>> = vec![Vec::new(); n];
+        for ((a, b), w) in scores {
+            neighbors[a as usize].push((w, b));
+            neighbors[b as usize].push((w, a));
+        }
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (i, mut ns) in neighbors.into_iter().enumerate() {
+            // Highest shared weight first; index-ascending tie-break keeps
+            // the plan deterministic.
+            ns.sort_by(|x, y| {
+                y.0.partial_cmp(&x.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| x.1.cmp(&y.1))
+            });
+            for &(_, j) in ns.iter().take(self.k) {
+                let j = j as usize;
+                pairs.push(if i < j { (i, j) } else { (j, i) });
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        ComparisonPlan {
+            pairs,
+            total_pairs: n * n.saturating_sub(1) / 2,
+        }
+    }
+}
+
+impl ComparisonFilter for TopKBlocking {
+    fn reduce(&self, ods: &OdSet) -> FilterDecision {
+        FilterDecision {
+            pairs: Some(self.plan(ods).pairs),
+            ..FilterDecision::keep_all(ods.len())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +296,75 @@ mod tests {
                <m><t>Epsilon Beat</t><y>2001</y></m>\
              </r>",
         )
+    }
+
+    #[test]
+    fn topk_blocking_keeps_true_sharers() {
+        let ods = dup_corpus();
+        let plan = TopKBlocking::new(1).plan(&ods);
+        // The exact-duplicate pairs share the rarest data: each must be
+        // its twin's top neighbor.
+        assert!(plan.pairs.contains(&(0, 2)), "{:?}", plan.pairs);
+        assert!(plan.pairs.contains(&(1, 4)), "{:?}", plan.pairs);
+        assert!(plan.reduction() > 0.5, "reduction {}", plan.reduction());
+    }
+
+    #[test]
+    fn topk_blocking_works_on_tiny_corpora() {
+        // On n <= 3 every shared term spans "more than half" the
+        // objects; the skip floor must keep them so the plan is not
+        // silently empty.
+        let ods = build(
+            "<r><m><t>Alpha Song</t><y>1999</y></m>\
+                <m><t>Alpha Song</t><y>1999</y></m>\
+                <m><t>Other Tune</t><y>1950</y></m></r>",
+        );
+        let plan = TopKBlocking::new(1).plan(&ods);
+        assert!(
+            plan.pairs.contains(&(0, 1)),
+            "the duplicate pair must survive on a 3-candidate corpus: {:?}",
+            plan.pairs
+        );
+    }
+
+    #[test]
+    fn topk_blocking_larger_k_is_superset() {
+        let ods = dup_corpus();
+        let small = TopKBlocking::new(1).plan(&ods);
+        let large = TopKBlocking::new(3).plan(&ods);
+        for p in &small.pairs {
+            assert!(large.pairs.contains(p), "missing {p:?}");
+        }
+    }
+
+    #[test]
+    fn topk_blocking_is_deterministic() {
+        let ods = dup_corpus();
+        let a = TopKBlocking::new(2).plan(&ods);
+        let b = TopKBlocking::new(2).plan(&ods);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn filter_stages_return_pair_plans() {
+        use crate::stage::ComparisonFilter;
+        let ods = dup_corpus();
+        let snm = SortedNeighborhoodFilter::new(2).reduce(&ods);
+        assert_eq!(
+            snm.pairs.as_deref(),
+            Some(&sorted_neighborhood(&ods, 2).pairs[..])
+        );
+        assert!(snm.pruned.iter().all(|p| !p));
+        let multi = SortedNeighborhoodFilter::multipass(2, 2).reduce(&ods);
+        assert_eq!(
+            multi.pairs.as_deref(),
+            Some(&multipass_sorted_neighborhood(&ods, 2, 2).pairs[..])
+        );
+        let topk = TopKBlocking::new(2).reduce(&ods);
+        assert_eq!(
+            topk.pairs.as_deref(),
+            Some(&TopKBlocking::new(2).plan(&ods).pairs[..])
+        );
     }
 
     #[test]

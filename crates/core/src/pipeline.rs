@@ -1,32 +1,49 @@
 //! The DogmatiX pipeline: the six duplicate-detection steps of the
-//! framework (Sections 2.3 and 3.4) wired together.
+//! framework (Sections 2.3 and 3.4) wired together over the pluggable
+//! stage traits of [`crate::stage`].
 //!
 //! 1. candidate query formulation & execution → [`crate::candidate`]
-//! 2. description query execution → heuristic selection per schema element
+//! 2. description query execution → a [`DescriptionSelector`] per schema
+//!    element
 //! 3. OD generation → [`crate::od`] (steps 2+3 are fused, as the paper
 //!    suggests: "in practice the queries may be combined")
-//! 4. comparison reduction → [`crate::filter`]
-//! 5. pairwise comparisons → [`crate::sim`] + [`crate::classify`]
-//! 6. duplicate clustering → [`crate::cluster`]
+//! 4. comparison reduction → a [`ComparisonFilter`]
+//! 5. pairwise comparisons → a [`SimilarityMeasure`] scored by a
+//!    [`PairClassifier`]
+//! 6. duplicate clustering → a [`Clusterer`]
+//!
+//! Detectors are assembled with [`Dogmatix::builder`]; the legacy
+//! [`Dogmatix::new`] constructor wires the paper's default stages from a
+//! [`DogmatixConfig`] and produces identical results. Repeated runs over
+//! the same document reuse a [`DetectionSession`], which holds the
+//! resolved candidates and caches object descriptions per selection, so
+//! parameter sweeps and benches stop re-deriving state.
 //!
 //! Pairwise comparison is optionally parallelised over worker threads
-//! (`std::thread::scope`, one distance cache per worker); results are
-//! deterministic regardless of the thread count.
+//! (`std::thread::scope`, one pre-sized distance cache per worker);
+//! results are deterministic regardless of the thread count.
 
-use crate::candidate::select_candidates;
+use crate::candidate::{select_candidates, CandidateSet};
 use crate::classify::{Class, ThresholdClassifier};
-use crate::cluster::clusters_from_pairs;
+use crate::cluster::TransitiveClosure;
 use crate::error::DogmatixError;
-use crate::filter::{object_filter, FilterOutcome};
+use crate::filter::{NoFilter, ObjectFilter};
 use crate::heuristics::HeuristicExpr;
 use crate::mapping::Mapping;
 use crate::od::OdSet;
 use crate::output::clusters_to_xml;
-use crate::sim::{DistCache, SimEngine};
+use crate::sim::{DistCache, SoftIdfMeasure};
+use crate::stage::{
+    Clusterer, ComparisonFilter, DescriptionSelector, FilterDecision, PairClassifier,
+    PreparedMeasure, SimContext, SimilarityMeasure,
+};
 use dogmatix_xml::{Document, NodeId, Schema};
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
-/// Configuration of one DogmatiX run.
+/// Configuration of one DogmatiX run (the legacy, paper-default view;
+/// [`Dogmatix::builder`] is the general API).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DogmatixConfig {
     /// Tuple-similarity threshold `θ_tuple` (paper: 0.15).
@@ -73,14 +90,19 @@ pub struct RunStats {
 pub struct DetectionResult {
     /// Candidate element nodes in document order.
     pub candidates: Vec<NodeId>,
-    /// Object descriptions (aligned with `candidates`).
-    pub ods: OdSet,
+    /// Object descriptions (aligned with `candidates`). Shared with the
+    /// session's OD cache; dereferences like a plain [`OdSet`].
+    pub ods: Arc<OdSet>,
     /// Filter values `f(OD_i)` (all 1.0 when the filter is disabled).
     pub f_values: Vec<f64>,
     /// Whether candidate `i` was pruned by the filter.
     pub pruned: Vec<bool>,
     /// Detected duplicate pairs `(i, j, sim)` with `i < j`, sorted.
     pub duplicate_pairs: Vec<(usize, usize, f64)>,
+    /// Pairs the classifier marked as *possible* duplicates (`C2`, e.g.
+    /// the unknown zone of [`crate::classify::DualThreshold`]); empty
+    /// under the default two-class classifier.
+    pub possible_pairs: Vec<(usize, usize, f64)>,
     /// Duplicate clusters (transitive closure of the pairs).
     pub clusters: Vec<Vec<usize>>,
     /// Run counters.
@@ -102,20 +124,167 @@ impl DetectionResult {
     }
 }
 
-/// The DogmatiX detector: a configuration plus the type mapping `M`.
+/// Reusable per-document state: the parsed document and schema, the
+/// resolved candidate set of one real-world type, and a cache of object
+/// descriptions keyed by description selection.
+///
+/// Repeated [`Dogmatix::detect`] runs against the same session — a
+/// threshold sweep, a measure shoot-out, a criterion bench loop — skip
+/// candidate resolution entirely and rebuild ODs only when the selection
+/// actually changes.
+pub struct DetectionSession<'a> {
+    doc: &'a Document,
+    schema: &'a Schema,
+    mapping: Mapping,
+    candidates: CandidateSet,
+    od_cache: RefCell<HashMap<SelectionKey, Arc<OdSet>>>,
+}
+
+/// Canonical (sorted) form of a per-candidate-path selection, used as
+/// the session's OD-cache key.
+type SelectionKey = Vec<(String, Vec<String>)>;
+
+impl<'a> DetectionSession<'a> {
+    /// Resolves the candidates of `rw_type` and opens a session.
+    pub fn new(
+        doc: &'a Document,
+        schema: &'a Schema,
+        mapping: &Mapping,
+        rw_type: &str,
+    ) -> Result<Self, DogmatixError> {
+        let candidates = select_candidates(doc, schema, mapping, rw_type)?;
+        Ok(DetectionSession {
+            doc,
+            schema,
+            mapping: mapping.clone(),
+            candidates,
+            od_cache: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// The session's document.
+    pub fn doc(&self) -> &'a Document {
+        self.doc
+    }
+
+    /// The session's schema.
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+
+    /// The mapping `M` the session resolves types against.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The real-world type this session detects duplicates of.
+    pub fn rw_type(&self) -> &str {
+        &self.candidates.rw_type
+    }
+
+    /// The resolved candidate set (`Ω_T`).
+    pub fn candidates(&self) -> &CandidateSet {
+        &self.candidates
+    }
+
+    /// Number of distinct OD sets currently cached.
+    pub fn cached_od_sets(&self) -> usize {
+        self.od_cache.borrow().len()
+    }
+
+    /// Runs a [`DescriptionSelector`] over every candidate schema
+    /// element, returning the per-path selections the OD builder needs.
+    pub fn selections_for(
+        &self,
+        selector: &dyn DescriptionSelector,
+    ) -> Result<HashMap<String, BTreeSet<String>>, DogmatixError> {
+        let mut selections = HashMap::new();
+        for path in &self.candidates.schema_paths {
+            let e0 = self
+                .schema
+                .find_by_path(path)
+                .ok_or_else(|| DogmatixError::PathNotInSchema { path: path.clone() })?;
+            selections.insert(path.clone(), selector.select(self.schema, path, e0));
+        }
+        Ok(selections)
+    }
+
+    /// The object descriptions for a selection, built on first use and
+    /// cached for every later run with the same selection.
+    pub fn object_descriptions(
+        &self,
+        selections: &HashMap<String, BTreeSet<String>>,
+    ) -> Arc<OdSet> {
+        let mut key: SelectionKey = selections
+            .iter()
+            .map(|(path, sel)| (path.clone(), sel.iter().cloned().collect()))
+            .collect();
+        key.sort();
+        if let Some(hit) = self.od_cache.borrow().get(&key) {
+            return Arc::clone(hit);
+        }
+        let ods = Arc::new(OdSet::build(
+            self.doc,
+            &self.candidates.nodes,
+            selections,
+            &self.mapping,
+        ));
+        self.od_cache.borrow_mut().insert(key, Arc::clone(&ods));
+        ods
+    }
+}
+
+impl std::fmt::Debug for DetectionSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionSession")
+            .field("rw_type", &self.candidates.rw_type)
+            .field("candidates", &self.candidates.nodes.len())
+            .field("cached_od_sets", &self.cached_od_sets())
+            .finish()
+    }
+}
+
+/// The DogmatiX detector: the type mapping `M` plus one stage object per
+/// exchangeable pipeline step.
 #[derive(Debug, Clone)]
 pub struct Dogmatix {
     config: DogmatixConfig,
     mapping: Mapping,
+    selector: Arc<dyn DescriptionSelector>,
+    filter: Arc<dyn ComparisonFilter>,
+    measure: Arc<dyn SimilarityMeasure>,
+    classifier: Arc<dyn PairClassifier>,
+    clusterer: Arc<dyn Clusterer>,
 }
 
 impl Dogmatix {
-    /// Creates a detector.
+    /// Creates a detector with the paper's default stages wired from the
+    /// configuration (the legacy API; equivalent to the builder).
     pub fn new(config: DogmatixConfig, mapping: Mapping) -> Self {
-        Dogmatix { config, mapping }
+        let mut builder = Dogmatix::builder().mapping(mapping);
+        builder.config = config;
+        builder.build()
     }
 
-    /// The configuration.
+    /// Starts assembling a detector stage by stage.
+    ///
+    /// Unset stages fall back to the paper's defaults derived from the
+    /// configuration values (`theta_tuple`, `theta_cand`, `heuristic`,
+    /// `use_filter`).
+    pub fn builder() -> DogmatixBuilder {
+        DogmatixBuilder {
+            config: DogmatixConfig::default(),
+            mapping: Mapping::new(),
+            selector: None,
+            filter: None,
+            measure: None,
+            classifier: None,
+            clusterer: None,
+        }
+    }
+
+    /// The configuration (legacy view; stages set explicitly on the
+    /// builder are not reflected here).
     pub fn config(&self) -> &DogmatixConfig {
         &self.config
     }
@@ -125,59 +294,91 @@ impl Dogmatix {
         &self.mapping
     }
 
-    /// Runs duplicate detection for one real-world type.
+    /// Opens a reusable [`DetectionSession`] for this detector's mapping.
+    pub fn session<'a>(
+        &self,
+        doc: &'a Document,
+        schema: &'a Schema,
+        rw_type: &str,
+    ) -> Result<DetectionSession<'a>, DogmatixError> {
+        DetectionSession::new(doc, schema, &self.mapping, rw_type)
+    }
+
+    /// Runs duplicate detection for one real-world type (one-shot
+    /// convenience over [`Dogmatix::detect`]).
     pub fn run(
         &self,
         doc: &Document,
         schema: &Schema,
         rw_type: &str,
     ) -> Result<DetectionResult, DogmatixError> {
+        let session = self.session(doc, schema, rw_type)?;
+        self.detect(&session)
+    }
+
+    /// Runs duplicate detection against a prepared session, reusing its
+    /// candidate set and OD cache.
+    ///
+    /// Data concerns (candidate resolution, OD building, real-world-type
+    /// comparability) follow the **session's** mapping; the detector's
+    /// stages only drive the algorithm. Open sessions through
+    /// [`Dogmatix::session`] unless you deliberately want to run several
+    /// detectors — which must then share the session's mapping — over one
+    /// corpus; a session opened with a different mapping than
+    /// [`Dogmatix::mapping`] would silently resolve types differently.
+    pub fn detect(&self, session: &DetectionSession<'_>) -> Result<DetectionResult, DogmatixError> {
         self.validate()?;
 
-        // Step 1: candidates.
-        let candidate_set = select_candidates(doc, schema, &self.mapping, rw_type)?;
-        let candidates = candidate_set.nodes.clone();
+        // Step 1 was resolved when the session was opened.
+        let candidates = session.candidates().nodes.clone();
         let n = candidates.len();
 
-        // Steps 2+3: description selection per schema element, then ODs.
-        let mut selections = HashMap::new();
-        for path in &candidate_set.schema_paths {
-            let e0 = schema
-                .find_by_path(path)
-                .ok_or_else(|| DogmatixError::PathNotInSchema { path: path.clone() })?;
-            selections.insert(path.clone(), self.config.heuristic.select_paths(schema, e0));
-        }
-        let ods = OdSet::build(doc, &candidates, &selections, &self.mapping);
+        // Steps 2+3: description selection per schema element, then ODs
+        // (cached in the session per distinct selection).
+        let selections = session.selections_for(self.selector.as_ref())?;
+        let ods = session.object_descriptions(&selections);
 
         // Step 4: comparison reduction.
-        let (f_values, pruned) = if self.config.use_filter {
-            let FilterOutcome {
-                f_values, pruned, ..
-            } = object_filter(&ods, self.config.theta_tuple, self.config.theta_cand);
-            (f_values, pruned)
-        } else {
-            (vec![1.0; n], vec![false; n])
-        };
+        let FilterDecision {
+            f_values,
+            pruned,
+            pairs,
+        } = self.filter.reduce(&ods);
         let pruned_by_filter = pruned.iter().filter(|p| **p).count();
+        let active: Vec<usize> = (0..n).filter(|i| !pruned[*i]).collect();
 
         // Step 5: pairwise comparisons.
-        let active: Vec<usize> = (0..n).filter(|i| !pruned[*i]).collect();
-        let classifier = ThresholdClassifier::new(self.config.theta_cand);
-        let mut duplicate_pairs = compare_pairs(
-            &ods,
-            &active,
-            self.config.theta_tuple,
-            &classifier,
-            self.threads(),
-        );
+        let prepared = self.measure.prepare(SimContext {
+            doc: session.doc(),
+            candidates: &candidates,
+            ods: &ods,
+        });
+        let threads = self.threads();
+        let classifier = self.classifier.as_ref();
+        let (mut duplicate_pairs, mut possible_pairs, pairs_compared) = match pairs {
+            None => {
+                let m = active.len();
+                let found = compare_all(prepared.as_ref(), &active, classifier, threads);
+                (found.0, found.1, m * m.saturating_sub(1) / 2)
+            }
+            Some(plan) => {
+                let plan: Vec<(usize, usize)> = plan
+                    .into_iter()
+                    .filter(|(i, j)| !pruned[*i] && !pruned[*j])
+                    .collect();
+                let compared = plan.len();
+                let found = compare_plan(prepared.as_ref(), &plan, classifier, threads);
+                (found.0, found.1, compared)
+            }
+        };
+        drop(prepared);
         duplicate_pairs.sort_by_key(|p| (p.0, p.1));
-        let m = active.len();
-        let pairs_compared = m * m.saturating_sub(1) / 2;
+        possible_pairs.sort_by_key(|p| (p.0, p.1));
 
         // Step 6: duplicate clustering.
         let pairs_only: Vec<(usize, usize)> =
             duplicate_pairs.iter().map(|(i, j, _)| (*i, *j)).collect();
-        let clusters = clusters_from_pairs(n, &pairs_only);
+        let clusters = self.clusterer.cluster(n, &pairs_only);
 
         Ok(DetectionResult {
             candidates,
@@ -185,6 +386,7 @@ impl Dogmatix {
             f_values,
             pruned,
             duplicate_pairs,
+            possible_pairs,
             clusters,
             stats: RunStats {
                 candidates: n,
@@ -219,54 +421,257 @@ impl Dogmatix {
     }
 }
 
-/// Compares all `active` pairs, returning those classified as duplicates.
-fn compare_pairs(
-    ods: &OdSet,
-    active: &[usize],
-    theta_tuple: f64,
-    classifier: &ThresholdClassifier,
-    threads: usize,
-) -> Vec<(usize, usize, f64)> {
-    let engine = SimEngine::new(ods, theta_tuple);
-    if threads <= 1 || active.len() < 64 {
-        let mut cache = DistCache::new();
-        let mut out = Vec::new();
-        for (a, &i) in active.iter().enumerate() {
-            for &j in &active[a + 1..] {
-                let sim = engine.sim(i, j, &mut cache);
-                if classifier.classify(sim) == Class::Duplicate {
-                    out.push((i, j, sim));
-                }
-            }
-        }
-        return out;
+/// Fluent assembly of a [`Dogmatix`] detector; obtained from
+/// [`Dogmatix::builder`].
+///
+/// ```
+/// use dogmatix_core::pipeline::Dogmatix;
+/// use dogmatix_core::heuristics::HeuristicExpr;
+///
+/// let dx = Dogmatix::builder()
+///     .add_type("MOVIE", ["/moviedoc/movie"])
+///     .heuristic(HeuristicExpr::r_distant_descendants(1))
+///     .theta_tuple(0.15)
+///     .theta_cand(0.55)
+///     .threads(4)
+///     .build();
+/// assert_eq!(dx.config().threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DogmatixBuilder {
+    config: DogmatixConfig,
+    mapping: Mapping,
+    selector: Option<Arc<dyn DescriptionSelector>>,
+    filter: Option<Arc<dyn ComparisonFilter>>,
+    measure: Option<Arc<dyn SimilarityMeasure>>,
+    classifier: Option<Arc<dyn PairClassifier>>,
+    clusterer: Option<Arc<dyn Clusterer>>,
+}
+
+impl DogmatixBuilder {
+    /// Sets the type mapping `M`.
+    pub fn mapping(mut self, mapping: Mapping) -> Self {
+        self.mapping = mapping;
+        self
     }
 
-    // Parallel: round-robin the outer index across workers; each worker
-    // owns a private distance cache. Deterministic after the final sort.
-    let results = std::sync::Mutex::new(Vec::new());
+    /// Registers one real-world type on the mapping (convenience for
+    /// simple single-type setups; see [`Mapping::add_type`]).
+    pub fn add_type<'a>(mut self, name: &str, paths: impl IntoIterator<Item = &'a str>) -> Self {
+        self.mapping.add_type(name, paths);
+        self
+    }
+
+    /// Sets the tuple-similarity threshold `θ_tuple` used by the default
+    /// measure and filter.
+    pub fn theta_tuple(mut self, theta: f64) -> Self {
+        self.config.theta_tuple = theta;
+        self
+    }
+
+    /// Sets the duplicate threshold `θ_cand` used by the default
+    /// classifier and filter.
+    pub fn theta_cand(mut self, theta: f64) -> Self {
+        self.config.theta_cand = theta;
+        self
+    }
+
+    /// Sets the description-selection heuristic (the default
+    /// [`DescriptionSelector`]).
+    pub fn heuristic(mut self, heuristic: HeuristicExpr) -> Self {
+        self.config.heuristic = heuristic;
+        self
+    }
+
+    /// Sets a custom description-selection stage (overrides
+    /// [`DogmatixBuilder::heuristic`]).
+    pub fn selector(mut self, selector: impl DescriptionSelector + 'static) -> Self {
+        self.selector = Some(Arc::new(selector));
+        self
+    }
+
+    /// Sets a custom comparison-reduction stage.
+    pub fn filter(mut self, filter: impl ComparisonFilter + 'static) -> Self {
+        self.filter = Some(Arc::new(filter));
+        self
+    }
+
+    /// Disables comparison reduction (the Section 6.3 ablation): every
+    /// pair is compared.
+    pub fn no_filter(mut self) -> Self {
+        self.config.use_filter = false;
+        self.filter = Some(Arc::new(NoFilter));
+        self
+    }
+
+    /// Sets a custom similarity measure.
+    pub fn measure(mut self, measure: impl SimilarityMeasure + 'static) -> Self {
+        self.measure = Some(Arc::new(measure));
+        self
+    }
+
+    /// Sets a custom similarity measure from a shared handle (useful
+    /// when the same stage object drives several detectors).
+    pub fn measure_arc(mut self, measure: Arc<dyn SimilarityMeasure>) -> Self {
+        self.measure = Some(measure);
+        self
+    }
+
+    /// Sets a custom pair classifier.
+    pub fn classifier(mut self, classifier: impl PairClassifier + 'static) -> Self {
+        self.classifier = Some(Arc::new(classifier));
+        self
+    }
+
+    /// Sets a custom clusterer.
+    pub fn clusterer(mut self, clusterer: impl Clusterer + 'static) -> Self {
+        self.clusterer = Some(Arc::new(clusterer));
+        self
+    }
+
+    /// Sets the worker-thread count for pairwise comparison (`0` = all
+    /// available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Assembles the detector, deriving any unset stage from the
+    /// configuration defaults.
+    pub fn build(self) -> Dogmatix {
+        let DogmatixBuilder {
+            config,
+            mapping,
+            selector,
+            filter,
+            measure,
+            classifier,
+            clusterer,
+        } = self;
+        let selector = selector.unwrap_or_else(|| Arc::new(config.heuristic.clone()) as Arc<_>);
+        let filter = filter.unwrap_or_else(|| {
+            if config.use_filter {
+                Arc::new(ObjectFilter::new(config.theta_tuple, config.theta_cand)) as Arc<_>
+            } else {
+                Arc::new(NoFilter) as Arc<_>
+            }
+        });
+        let measure =
+            measure.unwrap_or_else(|| Arc::new(SoftIdfMeasure::new(config.theta_tuple)) as Arc<_>);
+        let classifier = classifier
+            .unwrap_or_else(|| Arc::new(ThresholdClassifier::new(config.theta_cand)) as Arc<_>);
+        let clusterer = clusterer.unwrap_or_else(|| Arc::new(TransitiveClosure) as Arc<_>);
+        Dogmatix {
+            config,
+            mapping,
+            selector,
+            filter,
+            measure,
+            classifier,
+            clusterer,
+        }
+    }
+}
+
+/// Compares all pairs of `active` candidates, returning the detected
+/// duplicate and possible-duplicate pairs.
+fn compare_all(
+    measure: &dyn PreparedMeasure,
+    active: &[usize],
+    classifier: &dyn PairClassifier,
+    threads: usize,
+) -> FoundPairs {
+    let sequential = threads <= 1 || active.len() < 64;
+    compare_sharded(
+        threads,
+        sequential,
+        active.len(),
+        |start, stride, cache, found| {
+            let mut a = start;
+            while a < active.len() {
+                let i = active[a];
+                for &j in &active[a + 1..] {
+                    score_pair(measure, classifier, i, j, cache, found);
+                }
+                a += stride;
+            }
+        },
+    )
+}
+
+/// Compares an explicit pair plan (blocking filters), same contract as
+/// [`compare_all`].
+fn compare_plan(
+    measure: &dyn PreparedMeasure,
+    plan: &[(usize, usize)],
+    classifier: &dyn PairClassifier,
+    threads: usize,
+) -> FoundPairs {
+    let sequential = threads <= 1 || plan.len() < 2048;
+    compare_sharded(
+        threads,
+        sequential,
+        plan.len(),
+        |start, stride, cache, found| {
+            let mut p = start;
+            while p < plan.len() {
+                let (i, j) = plan[p];
+                score_pair(measure, classifier, i, j, cache, found);
+                p += stride;
+            }
+        },
+    )
+}
+
+/// Duplicate and possible-duplicate pairs found by one comparison pass.
+type FoundPairs = (Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>);
+
+/// Scores one pair and files it into the matching bucket.
+#[inline]
+fn score_pair(
+    measure: &dyn PreparedMeasure,
+    classifier: &dyn PairClassifier,
+    i: usize,
+    j: usize,
+    cache: &mut DistCache,
+    found: &mut FoundPairs,
+) {
+    let sim = measure.sim(i, j, cache);
+    match classifier.classify(sim) {
+        Class::Duplicate => found.0.push((i, j, sim)),
+        Class::Possible => found.1.push((i, j, sim)),
+        Class::NonDuplicate => {}
+    }
+}
+
+/// Drives a comparison pass: sequentially (`shard(0, 1, …)` covers all
+/// work with a fresh cache), or round-robin across `threads` scoped
+/// workers, each owning a private pre-sized distance cache. Worker
+/// outputs are concatenated in arrival order; callers sort, so results
+/// are deterministic regardless of the thread count.
+fn compare_sharded<F>(threads: usize, sequential: bool, work_items: usize, shard: F) -> FoundPairs
+where
+    F: Fn(usize, usize, &mut DistCache, &mut FoundPairs) + Sync,
+{
+    if sequential {
+        let mut found = (Vec::new(), Vec::new());
+        shard(0, 1, &mut DistCache::new(), &mut found);
+        return found;
+    }
+
+    let cache_entries = worker_cache_capacity(work_items, threads);
+    let results = std::sync::Mutex::new((Vec::new(), Vec::new()));
     std::thread::scope(|scope| {
         for t in 0..threads {
             let results = &results;
-            let engine = &engine;
+            let shard = &shard;
             scope.spawn(move || {
-                let mut cache = DistCache::new();
-                let mut local = Vec::new();
-                let mut a = t;
-                while a < active.len() {
-                    let i = active[a];
-                    for &j in &active[a + 1..] {
-                        let sim = engine.sim(i, j, &mut cache);
-                        if classifier.classify(sim) == Class::Duplicate {
-                            local.push((i, j, sim));
-                        }
-                    }
-                    a += threads;
-                }
-                results
-                    .lock()
-                    .expect("no worker panicked holding the lock")
-                    .extend(local);
+                let mut cache = DistCache::with_capacity(cache_entries);
+                let mut local = (Vec::new(), Vec::new());
+                shard(t, threads, &mut cache, &mut local);
+                let mut out = results.lock().expect("no worker panicked holding the lock");
+                out.0.extend(local.0);
+                out.1.extend(local.1);
             });
         }
     });
@@ -275,9 +680,19 @@ fn compare_pairs(
         .expect("no worker panicked holding the lock")
 }
 
+/// A worker cache sized for its share of the comparison work, capped so
+/// huge corpora do not pre-allocate unbounded maps.
+fn worker_cache_capacity(work_items: usize, threads: usize) -> usize {
+    (work_items * 8 / threads.max(1)).clamp(16, 1 << 16)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baseline::OverlapMeasure;
+    use crate::classify::DualThreshold;
+    use crate::neighborhood::TopKBlocking;
+    use crate::stage::ManualSelection;
 
     fn movie_setup() -> (Document, Schema, Mapping) {
         let doc = Document::parse(
@@ -315,6 +730,138 @@ mod tests {
         assert!(result.is_duplicate(0, 1));
         assert!(result.is_duplicate(1, 0));
         assert!(!result.is_duplicate(0, 2));
+        assert!(result.possible_pairs.is_empty());
+    }
+
+    #[test]
+    fn builder_defaults_match_legacy_constructor() {
+        let (doc, schema, mapping) = movie_setup();
+        let legacy = Dogmatix::new(DogmatixConfig::default(), mapping.clone())
+            .run(&doc, &schema, "MOVIE")
+            .unwrap();
+        let built = Dogmatix::builder()
+            .mapping(mapping)
+            .build()
+            .run(&doc, &schema, "MOVIE")
+            .unwrap();
+        assert_eq!(legacy, built);
+    }
+
+    #[test]
+    fn session_caches_od_sets_across_runs() {
+        let (doc, schema, mapping) = movie_setup();
+        let dx = Dogmatix::new(DogmatixConfig::default(), mapping);
+        let session = dx.session(&doc, &schema, "MOVIE").unwrap();
+        let first = dx.detect(&session).unwrap();
+        assert_eq!(session.cached_od_sets(), 1);
+        let second = dx.detect(&session).unwrap();
+        assert_eq!(session.cached_od_sets(), 1, "second run hits the cache");
+        assert_eq!(first, second);
+        // A different selection builds (and caches) a new OD set.
+        let wider = Dogmatix::builder()
+            .mapping(session.mapping().clone())
+            .heuristic(HeuristicExpr::r_distant_descendants(2))
+            .build();
+        wider.detect(&session).unwrap();
+        assert_eq!(session.cached_od_sets(), 2);
+    }
+
+    #[test]
+    fn manual_selection_stage_controls_the_ods() {
+        let (doc, schema, mapping) = movie_setup();
+        // Only the year is selected: all four movies become comparable
+        // on year alone.
+        let dx = Dogmatix::builder()
+            .mapping(mapping)
+            .selector(ManualSelection::new().with("/moviedoc/movie", ["/moviedoc/movie/year"]))
+            .no_filter()
+            .build();
+        let result = dx.run(&doc, &schema, "MOVIE").unwrap();
+        assert!(result
+            .ods
+            .ods
+            .iter()
+            .all(|od| od.tuples.len() == 1 && od.tuples[0].path == "/moviedoc/movie/year"));
+        // The 1999 movies agree on their whole (single-tuple) OD.
+        assert!(result.is_duplicate(0, 1));
+    }
+
+    #[test]
+    fn dual_threshold_classifier_surfaces_possible_pairs() {
+        let (doc, schema, mapping) = movie_setup();
+        let dx = Dogmatix::builder()
+            .mapping(mapping)
+            .no_filter()
+            .classifier(DualThreshold::new(1.0, 0.5))
+            .build();
+        let result = dx.run(&doc, &schema, "MOVIE").unwrap();
+        // Nothing exceeds sim > 1.0, so the Matrix pair (sim 1.0 at r=1:
+        // similar title + year, no contradictions) lands in the unknown
+        // zone instead of the duplicate class.
+        assert!(result.duplicate_pairs.is_empty());
+        assert!(result
+            .possible_pairs
+            .iter()
+            .any(|&(i, j, _)| (i, j) == (0, 1)));
+        for (_, _, sim) in &result.possible_pairs {
+            assert!(*sim <= 1.0 && *sim > 0.5);
+        }
+    }
+
+    #[test]
+    fn topk_blocking_filter_restricts_the_plan() {
+        let (doc, schema, mapping) = movie_setup();
+        let all = Dogmatix::builder()
+            .mapping(mapping.clone())
+            .no_filter()
+            .build()
+            .run(&doc, &schema, "MOVIE")
+            .unwrap();
+        let blocked = Dogmatix::builder()
+            .mapping(mapping)
+            .filter(TopKBlocking::new(1))
+            .build()
+            .run(&doc, &schema, "MOVIE")
+            .unwrap();
+        assert!(blocked.stats.pairs_compared < all.stats.pairs_compared);
+        // The true duplicates share the most data, so blocking keeps them.
+        assert_eq!(blocked.duplicate_pairs, all.duplicate_pairs);
+    }
+
+    #[test]
+    fn swapped_measure_runs_through_the_same_pipeline() {
+        let (doc, schema, mapping) = movie_setup();
+        let dx = Dogmatix::builder()
+            .mapping(mapping)
+            .measure(OverlapMeasure)
+            .theta_cand(0.3)
+            .no_filter()
+            .build();
+        let result = dx.run(&doc, &schema, "MOVIE").unwrap();
+        // Movies 0 and 1 share year + Keanu (2 of 4 resp. 2 of 3 tuples):
+        // overlap = 0.5 > 0.3.
+        assert!(result.is_duplicate(0, 1));
+        assert!(!result.is_duplicate(0, 2));
+    }
+
+    #[test]
+    fn custom_clusterer_is_used() {
+        // A clusterer that lumps every candidate into one cluster, to
+        // prove Step 6 is pluggable.
+        #[derive(Debug)]
+        struct OneBigCluster;
+        impl Clusterer for OneBigCluster {
+            fn cluster(&self, n: usize, _pairs: &[(usize, usize)]) -> Vec<Vec<usize>> {
+                vec![(0..n).collect()]
+            }
+        }
+        let (doc, schema, mapping) = movie_setup();
+        let dx = Dogmatix::builder()
+            .mapping(mapping)
+            .clusterer(OneBigCluster)
+            .build();
+        let result = dx.run(&doc, &schema, "MOVIE").unwrap();
+        assert_eq!(result.clusters, vec![vec![0, 1, 2, 3]]);
     }
 
     #[test]

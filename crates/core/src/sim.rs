@@ -57,6 +57,27 @@ impl DistCache {
         DistCache::default()
     }
 
+    /// Creates an empty cache whose maps are pre-sized for roughly
+    /// `entries` memoised term pairs, so a worker that is about to score
+    /// a known share of the comparison work does not rehash its way up
+    /// from an empty table. Used by the parallel pairwise path (one
+    /// pre-sized cache per worker thread).
+    pub fn with_capacity(entries: usize) -> Self {
+        DistCache {
+            dist: HashMap::with_capacity(entries),
+            similar: HashMap::with_capacity(entries),
+            union: HashMap::with_capacity(entries),
+            scratch_candidates: Vec::new(),
+            scratch_used_i: Vec::new(),
+            scratch_used_j: Vec::new(),
+        }
+    }
+
+    /// Number of memoised entries the maps can hold before rehashing.
+    pub fn capacity(&self) -> usize {
+        self.dist.capacity().min(self.similar.capacity())
+    }
+
     /// Number of memoised distance entries (diagnostics and benches).
     pub fn len(&self) -> usize {
         self.dist.len() + self.similar.len()
@@ -401,6 +422,37 @@ impl<'a> SimEngine<'a> {
     }
 }
 
+/// The paper's softIDF similarity (Equation 8) as a
+/// [`SimilarityMeasure`](crate::stage::SimilarityMeasure) stage — the
+/// canonical DogmatiX measure, preparing a [`SimEngine`] per run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftIdfMeasure {
+    /// Tuple-similarity threshold `θ_tuple` (paper: 0.15).
+    pub theta_tuple: f64,
+}
+
+impl SoftIdfMeasure {
+    /// Creates the measure with the given `θ_tuple`.
+    pub fn new(theta_tuple: f64) -> Self {
+        SoftIdfMeasure { theta_tuple }
+    }
+}
+
+impl crate::stage::SimilarityMeasure for SoftIdfMeasure {
+    fn prepare<'a>(
+        &self,
+        ctx: crate::stage::SimContext<'a>,
+    ) -> Box<dyn crate::stage::PreparedMeasure + 'a> {
+        Box::new(SimEngine::new(ctx.ods, self.theta_tuple))
+    }
+}
+
+impl crate::stage::PreparedMeasure for SimEngine<'_> {
+    fn sim(&self, i: usize, j: usize, cache: &mut DistCache) -> f64 {
+        SimEngine::sim(self, i, j, cache)
+    }
+}
+
 /// Size of the union of two sorted posting lists.
 pub(crate) fn merged_count(a: &[u32], b: &[u32]) -> usize {
     let mut i = 0;
@@ -672,6 +724,50 @@ mod tests {
                         "sim({i},{j})@{theta}: fast={fast} breakdown={slow}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn with_capacity_presizes_and_agrees_with_new() {
+        let ods = movie_odset();
+        let engine = SimEngine::new(&ods, 0.45);
+        let mut cold = DistCache::new();
+        let mut warm = DistCache::with_capacity(64);
+        assert!(warm.capacity() >= 64);
+        assert!(warm.is_empty());
+        for i in 0..ods.len() {
+            for j in (i + 1)..ods.len() {
+                assert_eq!(
+                    engine.sim(i, j, &mut cold),
+                    engine.sim(i, j, &mut warm),
+                    "capacity must not change results"
+                );
+            }
+        }
+        assert_eq!(cold.len(), warm.len());
+    }
+
+    #[test]
+    fn soft_idf_measure_stage_matches_engine() {
+        use crate::stage::SimilarityMeasure;
+        let ods = movie_odset();
+        let doc = Document::parse("<x/>").unwrap();
+        let measure = SoftIdfMeasure::new(0.45);
+        let prepared = measure.prepare(crate::stage::SimContext {
+            doc: &doc,
+            candidates: &[],
+            ods: &ods,
+        });
+        let engine = SimEngine::new(&ods, 0.45);
+        let mut a = DistCache::new();
+        let mut b = DistCache::new();
+        for i in 0..ods.len() {
+            for j in 0..ods.len() {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(prepared.sim(i, j, &mut a), engine.sim(i, j, &mut b));
             }
         }
     }

@@ -171,7 +171,7 @@ pub const LAST_NAMES: &[&str] = &[
     "Reyes",
 ];
 
-/// Band-name nouns for "The <X>s" style artist names.
+/// Band-name nouns for "The \<X\>s" style artist names.
 pub const BAND_NOUNS: &[&str] = &[
     "Shadow", "Echo", "Velvet", "Crystal", "Thunder", "Midnight", "Electric", "Golden", "Silver",
     "Crimson", "Wild", "Broken", "Silent", "Burning", "Frozen", "Neon", "Cosmic", "Savage",

@@ -8,7 +8,7 @@
 use crate::metrics::{pair_metrics, PairMetrics};
 use crate::setup;
 use dogmatix_core::heuristics::{table4_heuristic, HeuristicExpr};
-use dogmatix_core::pipeline::Dogmatix;
+use dogmatix_core::pipeline::DetectionSession;
 use dogmatix_datagen::datasets::dataset1_sized;
 
 /// One measurement point.
@@ -24,18 +24,22 @@ pub struct Fig5Point {
 
 /// Runs the full sweep at the given corpus size (the paper uses `n = 500`
 /// originals) and seed. Returns points for every (experiment, k) combo.
+///
+/// One [`DetectionSession`] serves the whole sweep: candidates are
+/// resolved once, and experiments whose condition reduces to the same
+/// selection share their cached object descriptions.
 pub fn run(seed: u64, n: usize, experiments: &[usize], ks: &[usize]) -> Vec<Fig5Point> {
     let (doc, gold) = dataset1_sized(seed, n);
     let schema = setup::cd_schema();
     let mapping = setup::cd_mapping();
+    let session = DetectionSession::new(&doc, &schema, &mapping, setup::CD_TYPE)
+        .expect("dataset 1 wiring is valid");
     let mut out = Vec::with_capacity(experiments.len() * ks.len());
     for &exp in experiments {
         for &k in ks {
             let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(k), exp);
-            let dx = Dogmatix::new(setup::paper_config(heuristic), mapping.clone());
-            let result = dx
-                .run(&doc, &schema, setup::CD_TYPE)
-                .expect("dataset 1 wiring is valid");
+            let dx = setup::paper_detector(heuristic, mapping.clone());
+            let result = dx.detect(&session).expect("dataset 1 wiring is valid");
             out.push(Fig5Point {
                 experiment: exp,
                 k,

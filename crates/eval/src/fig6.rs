@@ -10,7 +10,7 @@
 use crate::metrics::{pair_metrics, PairMetrics};
 use crate::setup;
 use dogmatix_core::heuristics::{table4_heuristic, HeuristicExpr};
-use dogmatix_core::pipeline::Dogmatix;
+use dogmatix_core::pipeline::DetectionSession;
 use dogmatix_datagen::datasets::dataset2_sized;
 
 /// One measurement point.
@@ -25,19 +25,19 @@ pub struct Fig6Point {
 }
 
 /// Runs the sweep at the given universe size (paper: 500 movies per
-/// source).
+/// source). One [`DetectionSession`] serves every (experiment, r) point.
 pub fn run(seed: u64, n: usize, experiments: &[usize], rs: &[usize]) -> Vec<Fig6Point> {
     let (doc, gold) = dataset2_sized(seed, n);
     let schema = setup::movie_schema(&doc);
     let mapping = setup::movie_mapping();
+    let session = DetectionSession::new(&doc, &schema, &mapping, setup::MOVIE_TYPE)
+        .expect("dataset 2 wiring is valid");
     let mut out = Vec::with_capacity(experiments.len() * rs.len());
     for &exp in experiments {
         for &r in rs {
             let heuristic = table4_heuristic(HeuristicExpr::r_distant_descendants(r), exp);
-            let dx = Dogmatix::new(setup::paper_config(heuristic), mapping.clone());
-            let result = dx
-                .run(&doc, &schema, setup::MOVIE_TYPE)
-                .expect("dataset 2 wiring is valid");
+            let dx = setup::paper_detector(heuristic, mapping.clone());
+            let result = dx.detect(&session).expect("dataset 2 wiring is valid");
             out.push(Fig6Point {
                 experiment: exp,
                 r,

@@ -11,7 +11,7 @@
 use crate::metrics::{pair_metrics, PairMetrics};
 use crate::setup;
 use dogmatix_core::heuristics::HeuristicExpr;
-use dogmatix_core::pipeline::{Dogmatix, DogmatixConfig};
+use dogmatix_core::pipeline::Dogmatix;
 use dogmatix_datagen::datasets::dataset3_sized;
 
 /// One threshold point.
@@ -42,11 +42,14 @@ pub fn run(
     let schema = setup::cd_schema();
     let mapping = setup::cd_mapping();
     let min_theta = thetas.iter().copied().fold(f64::INFINITY, f64::min);
-    let config = DogmatixConfig {
-        theta_cand: min_theta,
-        ..setup::paper_config(HeuristicExpr::k_closest_descendants(6))
-    };
-    let result = Dogmatix::new(config, mapping)
+    let dx = Dogmatix::builder()
+        .mapping(mapping)
+        .heuristic(HeuristicExpr::k_closest_descendants(6))
+        .theta_tuple(setup::THETA_TUPLE)
+        .theta_cand(min_theta)
+        .threads(0)
+        .build();
+    let result = dx
         .run(&doc, &schema, setup::CD_TYPE)
         .expect("dataset 3 wiring is valid");
 

@@ -9,11 +9,11 @@
 
 use crate::metrics::{filter_metrics, FilterMetrics};
 use crate::setup;
-use dogmatix_core::filter::object_filter;
+use dogmatix_core::filter::ObjectFilter;
 use dogmatix_core::heuristics::HeuristicExpr;
-use dogmatix_core::od::OdSet;
+use dogmatix_core::pipeline::DetectionSession;
+use dogmatix_core::stage::ComparisonFilter;
 use dogmatix_datagen::datasets::filter_dataset;
-use std::collections::HashMap;
 
 /// One duplicate-percentage point.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,33 +24,28 @@ pub struct Fig8Point {
     pub metrics: FilterMetrics,
 }
 
-/// Runs the sweep at corpus size `n` (paper: 500).
+/// Runs the sweep at corpus size `n` (paper: 500). The filter runs as
+/// the [`ObjectFilter`] pipeline stage over each fraction's session.
 pub fn run(seed: u64, n: usize, fractions: &[f64]) -> Vec<Fig8Point> {
     let schema = setup::cd_schema();
     let mapping = setup::cd_mapping();
     let heuristic = HeuristicExpr::k_closest_descendants(6);
-    let candidate_schema_node = schema
-        .find_by_path(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
-        .expect("CD schema has the candidate path");
-    let selection = heuristic.select_paths(&schema, candidate_schema_node);
+    let stage = ObjectFilter::new(setup::THETA_TUPLE, setup::THETA_CAND);
 
     fractions
         .iter()
         .map(|&frac| {
             let (doc, gold) = filter_dataset(seed, n, frac);
-            let candidates = doc
-                .select(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
-                .expect("candidate path is valid");
-            let mut selections = HashMap::new();
-            selections.insert(
-                dogmatix_datagen::cd::CD_CANDIDATE_PATH.to_string(),
-                selection.clone(),
-            );
-            let ods = OdSet::build(&doc, &candidates, &selections, &mapping);
-            let outcome = object_filter(&ods, setup::THETA_TUPLE, setup::THETA_CAND);
+            let session = DetectionSession::new(&doc, &schema, &mapping, setup::CD_TYPE)
+                .expect("the CD candidate path is valid");
+            let selections = session
+                .selections_for(&heuristic)
+                .expect("the heuristic selects within the CD schema");
+            let ods = session.object_descriptions(&selections);
+            let decision = stage.reduce(&ods);
             Fig8Point {
                 dup_fraction: frac,
-                metrics: filter_metrics(&outcome.pruned, &gold),
+                metrics: filter_metrics(&decision.pruned, &gold),
             }
         })
         .collect()

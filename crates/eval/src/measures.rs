@@ -5,8 +5,13 @@
 //! performs better than other approaches for data from heterogeneous
 //! data sources").
 //!
-//! Competitors, all scored at their own best threshold (fairest-possible
-//! comparison — each measure gets its optimal operating point):
+//! Every competitor is a [`SimilarityMeasure`] stage and runs through the
+//! *identical* detection pipeline as DogmatiX — the only thing swapped
+//! per run is the measure object handed to the builder; one
+//! [`DetectionSession`] shares the parsed corpus and cached object
+//! descriptions across all six runs. All measures are scored at their own
+//! best threshold (fairest-possible comparison — each measure gets its
+//! optimal operating point):
 //!
 //! * **dogmatix** — the paper's softIDF measure (Equation 8),
 //! * **unweighted** — same construction without softIDF,
@@ -20,16 +25,15 @@
 use crate::metrics::{pair_metrics, PairMetrics};
 use crate::setup;
 use dogmatix_core::baseline::{
-    delphi_containment, overlap_fraction, unweighted_sim, VectorSpaceModel,
+    DelphiMeasure, OverlapMeasure, TreeEditMeasure, UnweightedMeasure, VectorSpaceMeasure,
 };
 use dogmatix_core::heuristics::{table4_heuristic, HeuristicExpr};
-use dogmatix_core::od::OdSet;
-use dogmatix_core::sim::{DistCache, SimEngine};
+use dogmatix_core::pipeline::{DetectionSession, Dogmatix};
+use dogmatix_core::sim::SoftIdfMeasure;
+use dogmatix_core::stage::SimilarityMeasure;
 use dogmatix_datagen::datasets::{dataset1_sized, dataset2_sized};
 use dogmatix_datagen::GoldStandard;
-use dogmatix_xml::treedist::tree_similarity;
-use dogmatix_xml::{Document, NodeId};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One competitor's best-threshold result.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,90 +55,69 @@ pub enum Scenario {
     Dataset2,
 }
 
+/// The six competitors, in report order.
+pub fn competitors() -> Vec<(&'static str, Arc<dyn SimilarityMeasure>)> {
+    vec![
+        (
+            "dogmatix",
+            Arc::new(SoftIdfMeasure::new(setup::THETA_TUPLE)),
+        ),
+        (
+            "unweighted",
+            Arc::new(UnweightedMeasure::new(setup::THETA_TUPLE)),
+        ),
+        ("delphi", Arc::new(DelphiMeasure::new(setup::THETA_TUPLE))),
+        ("overlap", Arc::new(OverlapMeasure)),
+        ("vsm", Arc::new(VectorSpaceMeasure)),
+        ("ted", Arc::new(TreeEditMeasure)),
+    ]
+}
+
 /// Runs the shoot-out. `n` is the corpus size per the scenario's
 /// convention (originals for Dataset 1, movies per source for
 /// Dataset 2).
+///
+/// Every measure runs through the full pipeline with the comparison
+/// filter disabled and `θ_cand = 0`, so the detector scores every pair
+/// once; a threshold sweep then picks each measure's operating point
+/// offline.
 pub fn run(scenario: Scenario, seed: u64, n: usize) -> Vec<MeasureResult> {
-    let (doc, gold, ods, candidates) = build(scenario, seed, n);
-    let total = ods.len();
-    let engine = SimEngine::new(&ods, setup::THETA_TUPLE);
-    let mut cache = DistCache::new();
-    let vsm = VectorSpaceModel::new(&ods);
-
-    // Score every pair once per measure.
-    type ScoredPairs = Vec<(usize, usize, f64)>;
-    let mut scores: Vec<(&'static str, ScoredPairs)> = vec![
-        ("dogmatix", Vec::new()),
-        ("unweighted", Vec::new()),
-        ("delphi", Vec::new()),
-        ("overlap", Vec::new()),
-        ("vsm", Vec::new()),
-        ("ted", Vec::new()),
-    ];
-    for i in 0..total {
-        for j in (i + 1)..total {
-            scores[0].1.push((i, j, engine.sim(i, j, &mut cache)));
-            scores[1].1.push((
-                i,
-                j,
-                unweighted_sim(&ods, i, j, setup::THETA_TUPLE, &mut cache),
-            ));
-            let d = delphi_containment(&ods, i, j, setup::THETA_TUPLE, &mut cache).max(
-                delphi_containment(&ods, j, i, setup::THETA_TUPLE, &mut cache),
-            );
-            scores[2].1.push((i, j, d));
-            scores[3].1.push((i, j, overlap_fraction(&ods, i, j)));
-            scores[4].1.push((i, j, vsm.sim(i, j)));
-            scores[5].1.push((
-                i,
-                j,
-                tree_similarity(&doc, candidates[i], &doc, candidates[j]),
-            ));
-        }
-    }
-
-    scores
-        .into_iter()
-        .map(|(name, pairs)| best_threshold(name, &pairs, &gold))
-        .collect()
-}
-
-fn build(scenario: Scenario, seed: u64, n: usize) -> (Document, GoldStandard, OdSet, Vec<NodeId>) {
-    match scenario {
+    let (doc, gold, schema, heuristic, rw_type) = match scenario {
         Scenario::Dataset1 => {
             let (doc, gold) = dataset1_sized(seed, n);
-            let schema = setup::cd_schema();
-            let mapping = setup::cd_mapping();
             let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
-            let e0 = schema
-                .find_by_path(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
-                .unwrap();
-            let mut selections = HashMap::new();
-            selections.insert(
-                dogmatix_datagen::cd::CD_CANDIDATE_PATH.to_string(),
-                heuristic.select_paths(&schema, e0),
-            );
-            let candidates = doc.select(dogmatix_datagen::cd::CD_CANDIDATE_PATH).unwrap();
-            let ods = OdSet::build(&doc, &candidates, &selections, &mapping);
-            (doc, gold, ods, candidates)
+            (doc, gold, setup::cd_schema(), heuristic, setup::CD_TYPE)
         }
         Scenario::Dataset2 => {
             let (doc, gold) = dataset2_sized(seed, n);
             let schema = setup::movie_schema(&doc);
-            let mapping = setup::movie_mapping();
             let heuristic = table4_heuristic(HeuristicExpr::r_distant_descendants(2), 2);
-            let mut selections = HashMap::new();
-            let mut candidates = Vec::new();
-            for path in dogmatix_datagen::movie::MOVIE_CANDIDATE_PATHS {
-                let e0 = schema.find_by_path(path).unwrap();
-                selections.insert(path.to_string(), heuristic.select_paths(&schema, e0));
-                candidates.extend(doc.select(path).unwrap());
-            }
-            candidates.sort_unstable();
-            let ods = OdSet::build(&doc, &candidates, &selections, &mapping);
-            (doc, gold, ods, candidates)
+            (doc, gold, schema, heuristic, setup::MOVIE_TYPE)
         }
-    }
+    };
+    let mapping = match scenario {
+        Scenario::Dataset1 => setup::cd_mapping(),
+        Scenario::Dataset2 => setup::movie_mapping(),
+    };
+    let session = DetectionSession::new(&doc, &schema, &mapping, rw_type)
+        .expect("the shoot-out wiring is valid");
+
+    competitors()
+        .into_iter()
+        .map(|(name, measure)| {
+            let dx = Dogmatix::builder()
+                .mapping(mapping.clone())
+                .heuristic(heuristic.clone())
+                .theta_tuple(setup::THETA_TUPLE)
+                .theta_cand(0.0)
+                .no_filter()
+                .measure_arc(measure)
+                .threads(0)
+                .build();
+            let result = dx.detect(&session).expect("the measure pipeline runs");
+            best_threshold(name, &result.duplicate_pairs, &gold)
+        })
+        .collect()
 }
 
 /// Sweeps thresholds and keeps the best-F1 operating point.

@@ -2,7 +2,7 @@
 
 use dogmatix_core::heuristics::HeuristicExpr;
 use dogmatix_core::mapping::Mapping;
-use dogmatix_core::pipeline::DogmatixConfig;
+use dogmatix_core::pipeline::{Dogmatix, DogmatixConfig};
 use dogmatix_datagen::cd::{CD_CANDIDATE_PATH, CD_XSD};
 use dogmatix_datagen::movie::{movie_description_types, MOVIE_CANDIDATE_PATHS};
 use dogmatix_xml::{Document, Schema};
@@ -68,6 +68,20 @@ pub fn paper_config(heuristic: HeuristicExpr) -> DogmatixConfig {
         use_filter: true,
         threads: 0,
     }
+}
+
+/// A ready detector with the paper's thresholds, assembled through the
+/// builder API — the figure sweeps construct one of these per
+/// measurement point and reuse a
+/// [`dogmatix_core::pipeline::DetectionSession`] across all points.
+pub fn paper_detector(heuristic: HeuristicExpr, mapping: Mapping) -> Dogmatix {
+    Dogmatix::builder()
+        .mapping(mapping)
+        .heuristic(heuristic)
+        .theta_tuple(THETA_TUPLE)
+        .theta_cand(THETA_CAND)
+        .threads(0)
+        .build()
 }
 
 /// Renders a two-metric sweep as a fixed-width text table; `xs` labels

@@ -11,14 +11,14 @@
 //! so the authors combine it with cheap upper and lower bounds from their
 //! earlier work \[18\]. This crate provides:
 //!
-//! * [`levenshtein`] / [`levenshtein_bounded`] — exact and banded
+//! * [`levenshtein()`] / [`levenshtein_bounded`] — exact and banded
 //!   (early-exit) edit distance over Unicode scalar values,
-//! * [`ned`] / [`ned_within`] — the normalised edit distance of Definition 7
+//! * [`ned()`] / [`ned_within`] — the normalised edit distance of Definition 7
 //!   with bound-based pruning,
 //! * [`bounds`] — length and bag-distance lower bounds used for pruning,
-//! * [`idf`] — inverse document frequency helpers underlying `softIDF`
+//! * [`idf()`] — inverse document frequency helpers underlying `softIDF`
 //!   (Definition 8),
-//! * [`jaro`], [`jaccard`], [`tokenize`] — alternative measures used by the
+//! * [`jaro()`], [`jaccard`], [`tokenize`] — alternative measures used by the
 //!   ablation benchmarks,
 //! * [`normalize`] — value normalisation applied before comparison.
 //!

@@ -20,12 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 20% typos, 10% missing data, 8% synonyms).
     let (doc, gold) = dataset1_sized(42, n);
     let schema = setup::cd_schema();
-    let mapping = setup::cd_mapping();
 
     // exp1 with the k-closest heuristic at k = 6 — the paper's sweet spot
     // before track titles poison precision.
-    let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
-    let dx = Dogmatix::new(setup::paper_config(heuristic), mapping);
+    let dx = Dogmatix::builder()
+        .mapping(setup::cd_mapping())
+        .heuristic(table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1))
+        .theta_tuple(setup::THETA_TUPLE)
+        .theta_cand(setup::THETA_CAND)
+        .threads(0)
+        .build();
     let result = dx.run(&doc, &schema, setup::CD_TYPE)?;
 
     let m = pair_metrics(&result.duplicate_pairs, &gold);

@@ -1,12 +1,16 @@
 //! Building custom description-selection heuristics with the combination
 //! algebra of Section 4.3: AND/OR over heuristics, AND/OR over
 //! conditions, and `h[c]` refinement — including the paper's own example
-//! `hra[cme] ∨ hrd[csdt ∧ ccm]`.
+//! `hra[cme] ∨ hrd[csdt ∧ ccm]` — and plugging the result (or a fully
+//! manual selection) into the pipeline through `Dogmatix::builder()`.
 //!
 //! Run with: `cargo run --example custom_heuristic`
 
 use dogmatix_repro::core::heuristics::{ConditionExpr, HeuristicExpr};
-use dogmatix_repro::datagen::cd::CD_XSD;
+use dogmatix_repro::core::pipeline::Dogmatix;
+use dogmatix_repro::core::stage::ManualSelection;
+use dogmatix_repro::datagen::cd::{CD_CANDIDATE_PATH, CD_XSD};
+use dogmatix_repro::datagen::datasets::dataset1_sized;
 use dogmatix_repro::xml::Schema;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -61,6 +65,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n|hkd(5) ∧ hrd(1)| = {}, |hkd(5) ∨ hrd(2)| = {}",
         narrow.select(&schema, disc).len(),
         wide.select(&schema, disc).len()
+    );
+
+    // Any heuristic expression is itself a DescriptionSelector stage, so
+    // it plugs straight into the pipeline through the builder.
+    let (doc, _) = dataset1_sized(42, 40);
+    let dx = Dogmatix::builder()
+        .add_type("DISC", [CD_CANDIDATE_PATH])
+        .heuristic(HeuristicExpr::k_closest_descendants(6).refined(ConditionExpr::StringType))
+        .build();
+    let result = dx.run(&doc, &schema, "DISC")?;
+    println!(
+        "\nhkd(6)[csdt] end to end: {} candidates -> {} duplicate pairs in {} clusters",
+        result.stats.candidates,
+        result.duplicate_pairs.len(),
+        result.clusters.len()
+    );
+
+    // Or skip the heuristics entirely: a ManualSelection pins the OD
+    // elements by hand (here: artist + title only).
+    let manual = ManualSelection::new().with(
+        CD_CANDIDATE_PATH,
+        ["/discs/disc/artist", "/discs/disc/title"],
+    );
+    let dx = Dogmatix::builder()
+        .add_type("DISC", [CD_CANDIDATE_PATH])
+        .selector(manual)
+        .build();
+    let result = dx.run(&doc, &schema, "DISC")?;
+    println!(
+        "manual {{artist, title}} OD spec: {} duplicate pairs in {} clusters",
+        result.duplicate_pairs.len(),
+        result.clusters.len()
     );
     Ok(())
 }

@@ -1,14 +1,13 @@
 //! Quickstart: the paper's running example (Section 3.1).
 //!
 //! Three movies, one of which ("Matrix") duplicates "The Matrix".
-//! We infer the schema, declare the MOVIE type, run DogmatiX, and print
-//! the dup-cluster document of Fig. 3.
+//! We infer the schema, assemble a detector with `Dogmatix::builder()`,
+//! run DogmatiX, and print the dup-cluster document of Fig. 3.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use dogmatix_repro::core::heuristics::HeuristicExpr;
-use dogmatix_repro::core::pipeline::{Dogmatix, DogmatixConfig};
-use dogmatix_repro::core::Mapping;
+use dogmatix_repro::core::pipeline::Dogmatix;
 use dogmatix_repro::xml::{Document, Schema};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,23 +27,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // No XSD at hand: infer one from the instance.
     let schema = Schema::infer(&doc)?;
 
-    // The mapping M (Table 3): we only need the candidate type here; the
-    // description elements default to identity types.
-    let mut mapping = Mapping::new();
-    mapping.add_type("MOVIE", ["$doc/moviedoc/movie"]);
-
+    // Assemble the detector. The builder registers the MOVIE candidate
+    // type (Table 3; description elements default to identity types) and
+    // configures the pipeline stage by stage.
+    //
     // "Matrix" vs "The Matrix" differ by ned 0.4, so raise θ_tuple above
     // the typo-level default of 0.15 for this tiny demo. The object
     // filter's IDF statistics are degenerate on a 3-element corpus, so
     // comparison reduction is switched off (it exists to tame large Ω).
-    let config = DogmatixConfig {
-        heuristic: HeuristicExpr::r_distant_descendants(2),
-        theta_tuple: 0.45,
-        use_filter: false,
-        ..DogmatixConfig::default()
-    };
+    let dx = Dogmatix::builder()
+        .add_type("MOVIE", ["$doc/moviedoc/movie"])
+        .heuristic(HeuristicExpr::r_distant_descendants(2))
+        .theta_tuple(0.45)
+        .no_filter()
+        .build();
 
-    let result = Dogmatix::new(config, mapping).run(&doc, &schema, "MOVIE")?;
+    let result = dx.run(&doc, &schema, "MOVIE")?;
 
     println!("candidates : {}", result.stats.candidates);
     println!("compared   : {} pairs", result.stats.pairs_compared);

@@ -12,6 +12,8 @@
 //!   --exp <1..8>           Table 4 condition combination     (default 1)
 //!   --theta-tuple <f>      similarity threshold for values   (default 0.15)
 //!   --theta-cand <f>       duplicate threshold               (default 0.55)
+//!   --threads <N>          comparison worker threads; 0 = all cores
+//!                          (default 0)
 //!   --no-filter            disable comparison reduction
 //!   --fuse                 also write a fused (deduplicated) document
 //!   --output <file>        write the dup-cluster XML here (default stdout)
@@ -20,7 +22,7 @@
 use dogmatix_repro::core::auto;
 use dogmatix_repro::core::fusion::{fuse_clusters, FusionConfig};
 use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
-use dogmatix_repro::core::pipeline::{Dogmatix, DogmatixConfig};
+use dogmatix_repro::core::pipeline::Dogmatix;
 use dogmatix_repro::core::Mapping;
 use dogmatix_repro::xml::{Document, Schema};
 use std::process::ExitCode;
@@ -35,9 +37,43 @@ struct Options {
     exp: usize,
     theta_tuple: f64,
     theta_cand: f64,
+    threads: usize,
     use_filter: bool,
     fuse: bool,
     output: Option<String>,
+}
+
+/// Every flag the CLI understands, for error suggestions.
+const KNOWN_FLAGS: &[&str] = &[
+    "--type",
+    "--mapping",
+    "--candidates",
+    "--schema",
+    "--heuristic",
+    "--exp",
+    "--theta-tuple",
+    "--theta-cand",
+    "--threads",
+    "--no-filter",
+    "--fuse",
+    "--output",
+    "--help",
+];
+
+/// An actionable message for an unrecognised flag: names the flag and
+/// suggests the closest known one when the edit distance is plausible.
+fn unknown_flag_error(flag: &str) -> String {
+    let closest = KNOWN_FLAGS
+        .iter()
+        .map(|known| (dogmatix_repro::textsim::levenshtein(flag, known), *known))
+        .min()
+        .filter(|(dist, _)| *dist <= 3);
+    match closest {
+        Some((_, suggestion)) => {
+            format!("unknown flag '{flag}' (did you mean '{suggestion}'?)\n{HELP}")
+        }
+        None => format!("unknown flag '{flag}'\n{HELP}"),
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -51,6 +87,7 @@ fn parse_args() -> Result<Options, String> {
         exp: 1,
         theta_tuple: 0.15,
         theta_cand: 0.55,
+        threads: 0,
         use_filter: true,
         fuse: false,
         output: None,
@@ -81,14 +118,24 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--theta-cand must be a number".to_string())?
             }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a non-negative integer".to_string())?
+            }
             "--no-filter" => opts.use_filter = false,
             "--fuse" => opts.fuse = true,
             "--output" => opts.output = Some(value("--output")?),
             "--help" | "-h" => return Err(HELP.to_string()),
-            other if opts.input.is_empty() && !other.starts_with('-') => {
-                opts.input = other.to_string()
+            other if other.starts_with('-') => return Err(unknown_flag_error(other)),
+            other if opts.input.is_empty() => opts.input = other.to_string(),
+            other => {
+                return Err(format!(
+                    "unexpected positional argument '{other}' \
+                     (the input file is already '{}')\n{HELP}",
+                    opts.input
+                ))
             }
-            other => return Err(format!("unknown argument '{other}'\n{HELP}")),
         }
     }
     if opts.input.is_empty() {
@@ -103,7 +150,8 @@ fn parse_args() -> Result<Options, String> {
 const HELP: &str = "usage: dogmatix <input.xml> --type <NAME> \
 [--mapping m.txt | --candidates /path] [--schema s.xsd] \
 [--heuristic rd:<r>|ra:<r>|kc:<k>|auto] [--exp 1..8] \
-[--theta-tuple f] [--theta-cand f] [--no-filter] [--fuse] [--output out.xml]";
+[--theta-tuple f] [--theta-cand f] [--threads N] [--no-filter] [--fuse] \
+[--output out.xml]";
 
 fn run(opts: Options) -> Result<(), String> {
     let text = std::fs::read_to_string(&opts.input)
@@ -173,14 +221,17 @@ fn run(opts: Options) -> Result<(), String> {
     };
     let heuristic = table4_heuristic(base, opts.exp);
 
-    let config = DogmatixConfig {
-        theta_tuple: opts.theta_tuple,
-        theta_cand: opts.theta_cand,
-        heuristic,
-        use_filter: opts.use_filter,
-        threads: 0,
-    };
-    let result = Dogmatix::new(config, mapping)
+    let mut builder = Dogmatix::builder()
+        .mapping(mapping)
+        .heuristic(heuristic)
+        .theta_tuple(opts.theta_tuple)
+        .theta_cand(opts.theta_cand)
+        .threads(opts.threads);
+    if !opts.use_filter {
+        builder = builder.no_filter();
+    }
+    let result = builder
+        .build()
         .run(&doc, &schema, &opts.rw_type)
         .map_err(|e| e.to_string())?;
 

@@ -136,3 +136,73 @@ fn rejects_unknown_type() {
     assert!(!out.status.success());
     let _ = std::fs::remove_dir_all(&paths.dir);
 }
+
+#[test]
+fn threads_flag_is_accepted() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE", "--no-filter", "--threads", "2"])
+        .args(["--mapping", paths.mapping.to_str().unwrap()])
+        .args(["--output", paths.output.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let written = std::fs::read_to_string(&paths.output).expect("output written");
+    assert!(written.contains("dupcluster"), "{written}");
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn threads_flag_rejects_non_numbers() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE", "--threads", "many"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--threads must be a non-negative integer"),
+        "{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn unknown_flag_is_named_and_corrected() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE", "--thread", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag '--thread'"), "{stderr}");
+    assert!(stderr.contains("did you mean '--threads'?"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn stray_positional_argument_is_reported() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE"])
+        .arg("second-file.xml")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unexpected positional argument 'second-file.xml'"),
+        "{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}

@@ -1,0 +1,197 @@
+//! Equivalence suite: the builder API must reproduce the exact
+//! `DetectionResult` of the legacy `DogmatixConfig` path — same pairs,
+//! same similarities, same filter values, same clusters, same stats —
+//! on both evaluation corpora and at every thread count, with and
+//! without the object filter, through `run` and through a reused
+//! `DetectionSession`.
+
+use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
+use dogmatix_repro::core::pipeline::{DetectionResult, DetectionSession, Dogmatix, DogmatixConfig};
+use dogmatix_repro::core::Mapping;
+use dogmatix_repro::datagen::datasets::{dataset1_sized, dataset2_sized};
+use dogmatix_repro::eval::setup;
+use dogmatix_repro::xml::{Document, Schema};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 0];
+
+/// Runs the legacy constructor and the builder (via `run`, via a fresh
+/// session, and via a reused session) and asserts all four results are
+/// identical.
+fn assert_equivalent(
+    doc: &Document,
+    schema: &Schema,
+    mapping: &Mapping,
+    heuristic: &HeuristicExpr,
+    rw_type: &str,
+    use_filter: bool,
+    threads: usize,
+) -> DetectionResult {
+    let config = DogmatixConfig {
+        theta_tuple: setup::THETA_TUPLE,
+        theta_cand: setup::THETA_CAND,
+        heuristic: heuristic.clone(),
+        use_filter,
+        threads,
+    };
+    let legacy = Dogmatix::new(config, mapping.clone())
+        .run(doc, schema, rw_type)
+        .expect("legacy path runs");
+
+    let mut builder = Dogmatix::builder()
+        .mapping(mapping.clone())
+        .heuristic(heuristic.clone())
+        .theta_tuple(setup::THETA_TUPLE)
+        .theta_cand(setup::THETA_CAND)
+        .threads(threads);
+    if !use_filter {
+        builder = builder.no_filter();
+    }
+    let built = builder.build();
+
+    let via_run = built.run(doc, schema, rw_type).expect("builder run");
+    assert_eq!(legacy, via_run, "builder.run diverges (threads={threads})");
+
+    let session = DetectionSession::new(doc, schema, mapping, rw_type).expect("session opens");
+    let via_session = built.detect(&session).expect("session detect");
+    assert_eq!(
+        legacy, via_session,
+        "session detect diverges (threads={threads})"
+    );
+    let via_cached_session = built.detect(&session).expect("cached session detect");
+    assert_eq!(
+        legacy, via_cached_session,
+        "cached-OD rerun diverges (threads={threads})"
+    );
+    assert_eq!(session.cached_od_sets(), 1, "one selection, one OD set");
+
+    legacy
+}
+
+#[test]
+fn cd_dataset_equivalence_all_thread_counts() {
+    let (doc, _) = dataset1_sized(21, 60);
+    let schema = setup::cd_schema();
+    let mapping = setup::cd_mapping();
+    let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
+    let mut results = Vec::new();
+    for threads in THREAD_COUNTS {
+        results.push(assert_equivalent(
+            &doc,
+            &schema,
+            &mapping,
+            &heuristic,
+            setup::CD_TYPE,
+            true,
+            threads,
+        ));
+    }
+    // Thread count must not change the outcome either.
+    for r in &results[1..] {
+        assert_eq!(results[0], *r, "thread count changed the result");
+    }
+    assert!(
+        !results[0].duplicate_pairs.is_empty(),
+        "the corpus contains detectable duplicates"
+    );
+}
+
+#[test]
+fn cd_dataset_equivalence_without_filter() {
+    let (doc, _) = dataset1_sized(3, 40);
+    let schema = setup::cd_schema();
+    let mapping = setup::cd_mapping();
+    let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
+    for threads in [1, 4] {
+        assert_equivalent(
+            &doc,
+            &schema,
+            &mapping,
+            &heuristic,
+            setup::CD_TYPE,
+            false,
+            threads,
+        );
+    }
+}
+
+#[test]
+fn movie_dataset_equivalence_all_thread_counts() {
+    let (doc, _) = dataset2_sized(7, 40);
+    let schema = setup::movie_schema(&doc);
+    let mapping = setup::movie_mapping();
+    let heuristic = table4_heuristic(HeuristicExpr::r_distant_descendants(2), 2);
+    let mut results = Vec::new();
+    for threads in THREAD_COUNTS {
+        results.push(assert_equivalent(
+            &doc,
+            &schema,
+            &mapping,
+            &heuristic,
+            setup::MOVIE_TYPE,
+            true,
+            threads,
+        ));
+    }
+    for r in &results[1..] {
+        assert_eq!(results[0], *r, "thread count changed the result");
+    }
+    assert!(!results[0].duplicate_pairs.is_empty());
+}
+
+#[test]
+fn explicit_default_stages_equal_derived_defaults() {
+    // Spelling out the paper's default stages explicitly must be the
+    // same as letting the builder derive them from the thresholds.
+    use dogmatix_repro::core::classify::ThresholdClassifier;
+    use dogmatix_repro::core::cluster::TransitiveClosure;
+    use dogmatix_repro::core::filter::ObjectFilter;
+    use dogmatix_repro::core::sim::SoftIdfMeasure;
+
+    let (doc, _) = dataset1_sized(11, 40);
+    let schema = setup::cd_schema();
+    let mapping = setup::cd_mapping();
+    let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
+
+    let derived = Dogmatix::builder()
+        .mapping(mapping.clone())
+        .heuristic(heuristic.clone())
+        .theta_tuple(setup::THETA_TUPLE)
+        .theta_cand(setup::THETA_CAND)
+        .build()
+        .run(&doc, &schema, setup::CD_TYPE)
+        .unwrap();
+    let explicit = Dogmatix::builder()
+        .mapping(mapping)
+        .selector(heuristic)
+        .filter(ObjectFilter::new(setup::THETA_TUPLE, setup::THETA_CAND))
+        .measure(SoftIdfMeasure::new(setup::THETA_TUPLE))
+        .classifier(ThresholdClassifier::new(setup::THETA_CAND))
+        .clusterer(TransitiveClosure)
+        .build()
+        .run(&doc, &schema, setup::CD_TYPE)
+        .unwrap();
+    assert_eq!(derived, explicit);
+}
+
+#[test]
+fn sweep_over_one_session_matches_independent_runs() {
+    // The OD cache must be purely an optimisation: a sweep over one
+    // session equals fresh runs point by point.
+    let (doc, _) = dataset1_sized(5, 40);
+    let schema = setup::cd_schema();
+    let mapping = setup::cd_mapping();
+    let session = DetectionSession::new(&doc, &schema, &mapping, setup::CD_TYPE).unwrap();
+    for exp in [1, 2, 8] {
+        for k in [3, 6] {
+            let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(k), exp);
+            let dx = setup::paper_detector(heuristic, mapping.clone());
+            let swept = dx.detect(&session).unwrap();
+            let fresh = dx.run(&doc, &schema, setup::CD_TYPE).unwrap();
+            assert_eq!(swept, fresh, "exp={exp} k={k}");
+        }
+    }
+    assert!(
+        session.cached_od_sets() <= 6,
+        "at most one OD set per distinct selection"
+    );
+}
