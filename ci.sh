@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> streaming differential suite at CI depth (PROPTEST_CASES=128)"
+PROPTEST_CASES=128 cargo test -q --test incremental
+
+echo "==> streaming bench sanity (delta replay must beat full re-detection)"
+cargo bench -q -p dogmatix_bench --bench streaming >/dev/null
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -1,0 +1,144 @@
+//! Streaming-ingest benches: delta replay through an
+//! `IncrementalSession` against full re-detection after every change,
+//! on the CD corpus (Dataset 1, fixed XSD schema) and the integrated
+//! movie corpus (Dataset 2, inferred schema).
+//!
+//! Besides wall-clock timings, the bench verifies and reports the work
+//! reduction the acceptance criterion asks for: over a scripted update
+//! stream, delta replay must perform strictly fewer pair comparisons
+//! than re-running batch detection from scratch after each delta.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dogmatix_bench::{CdFixture, MovieFixture};
+use dogmatix_core::heuristics::HeuristicExpr;
+use dogmatix_core::incremental::DocumentDelta;
+use dogmatix_core::pipeline::{DetectionSession, Dogmatix};
+use dogmatix_xml::{Document, Schema};
+
+/// A stream of title updates cycling through the candidates.
+fn update_stream(len: usize) -> Vec<DocumentDelta> {
+    (0..len)
+        .map(|k| DocumentDelta::UpdateText {
+            index: k * 7,
+            path: "title".into(),
+            occurrence: 0,
+            value: format!("Retitled Edition Vol {k}"),
+        })
+        .collect()
+}
+
+/// Applies the stream incrementally, returning total pairs compared.
+fn replay_incremental(
+    dx: &Dogmatix,
+    doc: &Document,
+    schema: &Schema,
+    rw_type: &str,
+    stream: &[DocumentDelta],
+) -> usize {
+    let mut session = dx
+        .incremental_session(doc.clone(), schema.clone(), rw_type)
+        .expect("session opens");
+    let mut compared = dx
+        .detect_delta(&mut session, &[])
+        .expect("initial run")
+        .stats
+        .pairs_compared;
+    for delta in stream {
+        compared += dx
+            .detect_delta(&mut session, std::slice::from_ref(delta))
+            .expect("delta applies")
+            .stats
+            .pairs_compared;
+    }
+    compared
+}
+
+/// Applies the stream by mutating a throwaway session but re-detecting
+/// from scratch after every delta, returning total pairs compared.
+fn replay_full(
+    dx: &Dogmatix,
+    doc: &Document,
+    schema: &Schema,
+    rw_type: &str,
+    stream: &[DocumentDelta],
+) -> usize {
+    // Reuse the incremental machinery only to *apply* deltas; detection
+    // is a fresh batch session per step, like a naive service would do.
+    let mut carrier = dx
+        .incremental_session(doc.clone(), schema.clone(), rw_type)
+        .expect("session opens");
+    let initial = DetectionSession::new(doc, schema, dx.mapping(), rw_type).expect("session");
+    let mut compared = dx.detect(&initial).expect("batch").stats.pairs_compared;
+    for delta in stream {
+        carrier.apply(delta).expect("delta applies");
+        let state = carrier.doc().clone();
+        let session =
+            DetectionSession::new(&state, schema, dx.mapping(), rw_type).expect("session");
+        compared += dx.detect(&session).expect("batch").stats.pairs_compared;
+    }
+    compared
+}
+
+fn bench_cd_streaming(c: &mut Criterion) {
+    let fixture = CdFixture::dataset1(100);
+    let dx = fixture.detector(HeuristicExpr::k_closest_descendants(6), true);
+    let stream = update_stream(8);
+    let rw = dogmatix_eval::setup::CD_TYPE;
+
+    // The acceptance check: strictly fewer comparisons via delta replay.
+    let inc = replay_incremental(&dx, &fixture.doc, &fixture.schema, rw, &stream);
+    let full = replay_full(&dx, &fixture.doc, &fixture.schema, rw, &stream);
+    assert!(
+        inc < full,
+        "delta replay must compare strictly fewer pairs ({inc} vs {full})"
+    );
+    println!(
+        "cd corpus, {} deltas: {inc} pairs compared incrementally vs {full} from scratch \
+         ({:.1}% of the work)",
+        stream.len(),
+        100.0 * inc as f64 / full as f64
+    );
+
+    let mut group = c.benchmark_group("streaming_cd");
+    group.sample_size(10);
+    group.bench_function("delta_replay", |b| {
+        b.iter(|| replay_incremental(&dx, &fixture.doc, &fixture.schema, rw, &stream))
+    });
+    group.bench_function("full_redetect", |b| {
+        b.iter(|| replay_full(&dx, &fixture.doc, &fixture.schema, rw, &stream))
+    });
+    group.finish();
+}
+
+fn bench_movie_streaming(c: &mut Criterion) {
+    let fixture = MovieFixture::dataset2(60);
+    let dx = fixture.detector(HeuristicExpr::r_distant_descendants(2), true);
+    let stream = update_stream(6);
+    let rw = dogmatix_eval::setup::MOVIE_TYPE;
+
+    let inc = replay_incremental(&dx, &fixture.doc, &fixture.schema, rw, &stream);
+    let full = replay_full(&dx, &fixture.doc, &fixture.schema, rw, &stream);
+    assert!(
+        inc < full,
+        "delta replay must compare strictly fewer pairs ({inc} vs {full})"
+    );
+    println!(
+        "movie corpus, {} deltas: {inc} pairs compared incrementally vs {full} from scratch \
+         ({:.1}% of the work)",
+        stream.len(),
+        100.0 * inc as f64 / full as f64
+    );
+
+    let mut group = c.benchmark_group("streaming_movie");
+    group.sample_size(10);
+    group.bench_function("delta_replay", |b| {
+        b.iter(|| replay_incremental(&dx, &fixture.doc, &fixture.schema, rw, &stream))
+    });
+    group.bench_function("full_redetect", |b| {
+        b.iter(|| replay_full(&dx, &fixture.doc, &fixture.schema, rw, &stream))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cd_streaming, bench_movie_streaming);
+criterion_main!(benches);

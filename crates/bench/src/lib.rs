@@ -5,7 +5,7 @@
 use dogmatix_core::heuristics::HeuristicExpr;
 use dogmatix_core::mapping::Mapping;
 use dogmatix_core::pipeline::{DetectionSession, Dogmatix};
-use dogmatix_datagen::datasets::dataset1_sized;
+use dogmatix_datagen::datasets::{dataset1_sized, dataset2_sized};
 use dogmatix_datagen::GoldStandard;
 use dogmatix_xml::{Document, Schema};
 
@@ -60,5 +60,48 @@ impl CdFixture {
             dogmatix_eval::setup::CD_TYPE,
         )
         .expect("the CD fixture wiring is valid")
+    }
+}
+
+/// A ready-to-run Dataset 2 (integrated movie corpus) fixture.
+pub struct MovieFixture {
+    /// The corpus document.
+    pub doc: Document,
+    /// Ground truth.
+    pub gold: GoldStandard,
+    /// The inferred movie schema.
+    pub schema: Schema,
+    /// The movie mapping (candidates across both sources + Table 6
+    /// description types + the PERSON composite rule).
+    pub mapping: Mapping,
+}
+
+impl MovieFixture {
+    /// Builds Dataset 2 at `n` movies per source.
+    pub fn dataset2(n: usize) -> Self {
+        let (doc, gold) = dataset2_sized(42, n);
+        let schema = dogmatix_eval::setup::movie_schema(&doc);
+        MovieFixture {
+            doc,
+            gold,
+            schema,
+            mapping: dogmatix_eval::setup::movie_mapping(),
+        }
+    }
+
+    /// A detector with the paper's thresholds, assembled through the
+    /// builder API.
+    pub fn detector(&self, heuristic: HeuristicExpr, use_filter: bool) -> Dogmatix {
+        let builder = Dogmatix::builder()
+            .mapping(self.mapping.clone())
+            .heuristic(heuristic)
+            .theta_tuple(dogmatix_eval::setup::THETA_TUPLE)
+            .theta_cand(dogmatix_eval::setup::THETA_CAND)
+            .threads(0);
+        if use_filter {
+            builder.build()
+        } else {
+            builder.no_filter().build()
+        }
     }
 }

@@ -21,6 +21,59 @@ pub struct CandidateSet {
     pub nodes: Vec<NodeId>,
 }
 
+impl CandidateSet {
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current index of a candidate node, if present.
+    pub fn position_of(&self, node: NodeId) -> Option<usize> {
+        self.nodes.binary_search(&node).ok()
+    }
+
+    /// Whether an element's schema name path makes it a candidate of this
+    /// set's real-world type.
+    pub fn matches_path(&self, name_path: &str) -> bool {
+        self.schema_paths.iter().any(|p| p == name_path)
+    }
+
+    /// Inserts a candidate node, keeping the set sorted (the order
+    /// [`select_candidates`] produces). Returns the index the node landed
+    /// at, or its existing index if it was already present — the
+    /// targeted-maintenance API used by
+    /// [`crate::incremental::IncrementalSession`] instead of re-running
+    /// the candidate query after every delta.
+    pub fn insert_node(&mut self, node: NodeId) -> usize {
+        match self.nodes.binary_search(&node) {
+            Ok(at) => at,
+            Err(at) => {
+                self.nodes.insert(at, node);
+                at
+            }
+        }
+    }
+
+    /// Removes a candidate node, returning the index it occupied
+    /// (`None` if it was not a member). Later candidates shift down by
+    /// one, exactly as if the candidate query had been re-run on the
+    /// mutated document.
+    pub fn remove_node(&mut self, node: NodeId) -> Option<usize> {
+        match self.nodes.binary_search(&node) {
+            Ok(at) => {
+                self.nodes.remove(at);
+                Some(at)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
 /// Step 1 — candidate query formulation and execution: selects all
 /// instances of each schema element mapped to `rw_type`.
 ///
@@ -103,6 +156,39 @@ mod tests {
         m.add_type("BROKEN", ["/db/nosuchelement"]);
         let e = select_candidates(&doc, &schema, &m, "BROKEN").unwrap_err();
         assert!(matches!(e, DogmatixError::PathNotInSchema { .. }));
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_reselect() {
+        // insert_node / remove_node must land candidates exactly where a
+        // fresh candidate query would put them.
+        let (mut doc, schema, m) = setup();
+        let mut set = select_candidates(&doc, &schema, &m, "motion-pic").unwrap();
+        let root = doc.root_element().unwrap();
+        let new = doc.append_xml(root, "<movie><t>D</t></movie>").unwrap();
+        assert_eq!(set.position_of(new), None);
+        let at = set.insert_node(new);
+        assert_eq!(at, 3, "fresh arena ids sort last");
+        assert_eq!(set.len(), 4);
+        assert_eq!(
+            set,
+            select_candidates(&doc, &schema, &m, "motion-pic").unwrap()
+        );
+        // Idempotent insert.
+        assert_eq!(set.insert_node(new), 3);
+        assert_eq!(set.len(), 4);
+        // Removal shifts later candidates down.
+        let victim = set.nodes[1];
+        doc.detach(victim);
+        assert_eq!(set.remove_node(victim), Some(1));
+        assert_eq!(set.remove_node(victim), None);
+        assert_eq!(
+            set,
+            select_candidates(&doc, &schema, &m, "motion-pic").unwrap()
+        );
+        assert!(set.matches_path("/db/movie"));
+        assert!(!set.matches_path("/db/actor"));
+        assert!(!set.is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! in `C2` surface in
 //! [`DetectionResult::possible_pairs`](crate::pipeline::DetectionResult::possible_pairs).
 
+use crate::error::DogmatixError;
 use crate::stage::PairClassifier;
 use serde::{Deserialize, Serialize};
 
@@ -90,13 +91,31 @@ pub struct DualThreshold {
 }
 
 impl DualThreshold {
-    /// Creates the classifier; `theta_unknown` is clamped to
-    /// `theta_dup` so the unknown zone can never invert.
-    pub fn new(theta_dup: f64, theta_unknown: f64) -> Self {
-        DualThreshold {
-            theta_dup,
-            theta_unknown: theta_unknown.min(theta_dup),
+    /// Creates the classifier, validating the construction: both
+    /// thresholds must lie in `[0, 1]` and `theta_unknown` must not
+    /// exceed `theta_dup` — an inverted pair used to be silently clamped
+    /// into an empty unknown zone, which masked swapped-argument bugs.
+    pub fn new(theta_dup: f64, theta_unknown: f64) -> Result<Self, DogmatixError> {
+        for (name, v) in [("theta_dup", theta_dup), ("theta_unknown", theta_unknown)] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(DogmatixError::Config {
+                    message: format!("{name} must be within [0, 1], got {v}"),
+                });
+            }
         }
+        if theta_unknown > theta_dup {
+            return Err(DogmatixError::Config {
+                message: format!(
+                    "theta_unknown ({theta_unknown}) must not exceed theta_dup \
+                     ({theta_dup}): the unknown zone would be empty \
+                     (arguments swapped?)"
+                ),
+            });
+        }
+        Ok(DualThreshold {
+            theta_dup,
+            theta_unknown,
+        })
     }
 }
 
@@ -136,7 +155,7 @@ mod tests {
 
     #[test]
     fn dual_threshold_partitions_the_unit_interval() {
-        let c = DualThreshold::new(0.55, 0.3);
+        let c = DualThreshold::new(0.55, 0.3).unwrap();
         assert_eq!(PairClassifier::classify(&c, 0.56), Class::Duplicate);
         assert_eq!(PairClassifier::classify(&c, 0.55), Class::Possible);
         assert_eq!(PairClassifier::classify(&c, 0.31), Class::Possible);
@@ -145,9 +164,21 @@ mod tests {
     }
 
     #[test]
-    fn dual_threshold_never_inverts() {
-        let c = DualThreshold::new(0.4, 0.9);
-        assert_eq!(c.theta_unknown, 0.4, "lower bound clamps to the upper");
+    fn dual_threshold_rejects_inverted_and_out_of_range_thresholds() {
+        // Regression: an inverted pair used to be clamped silently; it
+        // must now fail loudly with a configuration error.
+        let err = DualThreshold::new(0.4, 0.9).unwrap_err();
+        assert!(matches!(err, DogmatixError::Config { .. }));
+        assert!(err.to_string().contains("swapped"), "{err}");
+        for (dup, unknown) in [(-0.1, 0.0), (1.5, 0.2), (0.5, f64::NAN), (f64::NAN, 0.1)] {
+            assert!(
+                DualThreshold::new(dup, unknown).is_err(),
+                "({dup}, {unknown}) must be rejected"
+            );
+        }
+        // The boundary cases stay constructible.
+        assert!(DualThreshold::new(0.5, 0.5).is_ok());
+        assert!(DualThreshold::new(1.0, 0.0).is_ok());
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub enum DogmatixError {
         /// What is wrong.
         message: String,
     },
+    /// A streaming [`DocumentDelta`](crate::incremental::DocumentDelta)
+    /// could not be applied (bad index, unresolvable path, …).
+    Delta {
+        /// What is wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for DogmatixError {
@@ -35,6 +41,9 @@ impl fmt::Display for DogmatixError {
                 write!(f, "mapped path '{path}' does not exist in the schema")
             }
             DogmatixError::Config { message } => write!(f, "invalid configuration: {message}"),
+            DogmatixError::Delta { message } => {
+                write!(f, "cannot apply document delta: {message}")
+            }
         }
     }
 }

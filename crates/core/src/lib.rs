@@ -19,6 +19,7 @@
 //! | Fig. 3 dup-cluster output | [`output`] |
 //! | §7 related-work measures for ablations | [`baseline`] |
 //! | §2 framework: pluggable stage traits | [`stage`] |
+//! | beyond the paper: streaming ingest | [`incremental`] |
 //!
 //! ## Quick start
 //!
@@ -70,10 +71,11 @@
 //! let dx = Dogmatix::builder()
 //!     .add_type("MOVIE", ["/moviedoc/movie"])
 //!     .measure(UnweightedMeasure::new(0.15))
-//!     .classifier(DualThreshold::new(0.55, 0.3))
+//!     .classifier(DualThreshold::new(0.55, 0.3)?)
 //!     .no_filter()
 //!     .build();
 //! # let _ = dx;
+//! # Ok::<(), dogmatix_core::DogmatixError>(())
 //! ```
 
 pub mod auto;
@@ -85,6 +87,7 @@ pub mod error;
 pub mod filter;
 pub mod fusion;
 pub mod heuristics;
+pub mod incremental;
 pub mod mapping;
 pub mod neighborhood;
 pub mod od;
@@ -95,5 +98,6 @@ pub mod sim;
 pub mod stage;
 
 pub use error::DogmatixError;
+pub use incremental::{DocumentDelta, IncrementalSession};
 pub use mapping::Mapping;
 pub use pipeline::{DetectionResult, DetectionSession, Dogmatix, DogmatixBuilder, DogmatixConfig};

@@ -149,9 +149,14 @@ pub fn multipass_sorted_neighborhood(ods: &OdSet, window: usize, passes: usize) 
 /// Sorted-neighborhood windowing as a
 /// [`crate::stage::ComparisonFilter`] stage: only pairs
 /// within a sliding window over the key-sorted candidates are compared.
+///
+/// Unlike the free functions (which assert), the stage gives every
+/// window a defined meaning: a window below 2 covers no pair at all and
+/// yields an empty plan, a window of `n` or more degenerates to all
+/// pairs — so sweeping the window from 0 upward never panics mid-run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SortedNeighborhoodFilter {
-    /// Window size (`≥ 2`); `n` degenerates to all pairs.
+    /// Window size (`≥ 2` to compare anything; `≥ n` = all pairs).
     pub window: usize,
     /// Number of key-rotation passes; `1` is the classic single pass.
     pub passes: usize,
@@ -171,6 +176,13 @@ impl SortedNeighborhoodFilter {
 
 impl ComparisonFilter for SortedNeighborhoodFilter {
     fn reduce(&self, ods: &OdSet) -> FilterDecision {
+        if self.window < 2 {
+            // A window of 0 or 1 contains no pair: nothing is compared.
+            return FilterDecision {
+                pairs: Some(Vec::new()),
+                ..FilterDecision::keep_all(ods.len())
+            };
+        }
         let plan = if self.passes <= 1 {
             sorted_neighborhood(ods, self.window)
         } else {
@@ -418,6 +430,73 @@ mod tests {
     #[should_panic(expected = "window below 2")]
     fn window_one_rejected() {
         sorted_neighborhood(&dup_corpus(), 1);
+    }
+
+    #[test]
+    fn snm_stage_window_below_two_compares_nothing() {
+        use crate::stage::ComparisonFilter;
+        let ods = dup_corpus();
+        for window in [0, 1] {
+            let decision = SortedNeighborhoodFilter::new(window).reduce(&ods);
+            assert_eq!(decision.pairs.as_deref(), Some(&[][..]), "window={window}");
+            assert!(decision.pruned.iter().all(|p| !p));
+            // Multi-pass obeys the same boundary.
+            let multi = SortedNeighborhoodFilter::multipass(window, 3).reduce(&ods);
+            assert_eq!(multi.pairs.as_deref(), Some(&[][..]));
+        }
+    }
+
+    #[test]
+    fn snm_stage_window_beyond_n_degenerates_to_all_pairs() {
+        use crate::stage::ComparisonFilter;
+        let ods = dup_corpus();
+        let n = ods.len();
+        for window in [n, n + 1, n * 10] {
+            let decision = SortedNeighborhoodFilter::new(window).reduce(&ods);
+            assert_eq!(
+                decision.pairs.map(|p| p.len()),
+                Some(n * (n - 1) / 2),
+                "window={window} must cover every pair"
+            );
+        }
+    }
+
+    #[test]
+    fn topk_blocking_k_zero_compares_nothing() {
+        use crate::stage::ComparisonFilter;
+        let ods = dup_corpus();
+        let plan = TopKBlocking::new(0).plan(&ods);
+        assert!(plan.pairs.is_empty());
+        assert_eq!(plan.reduction(), 1.0);
+        let decision = TopKBlocking::new(0).reduce(&ods);
+        assert_eq!(decision.pairs.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn topk_blocking_k_at_least_n_keeps_every_scored_pair() {
+        let ods = dup_corpus();
+        let n = ods.len();
+        // k = n-1 already admits every neighbor a candidate can have;
+        // larger k must change nothing (and must not panic or dup pairs).
+        let saturated = TopKBlocking::new(n - 1).plan(&ods);
+        for k in [n, n + 1, n * 10] {
+            let plan = TopKBlocking::new(k).plan(&ods);
+            assert_eq!(plan, saturated, "k={k}");
+            // Only pairs that share scored terms appear, each once.
+            let mut dedup = plan.pairs.clone();
+            dedup.dedup();
+            assert_eq!(dedup, plan.pairs);
+            assert!(plan.pairs.iter().all(|(i, j)| i < j && *j < n));
+        }
+    }
+
+    #[test]
+    fn topk_blocking_on_empty_and_singleton_corpora() {
+        for xml in ["<r/>", "<r><m><t>Only One</t><y>1999</y></m></r>"] {
+            let ods = build(xml);
+            let plan = TopKBlocking::new(3).plan(&ods);
+            assert!(plan.pairs.is_empty(), "{xml}");
+        }
     }
 
     #[test]

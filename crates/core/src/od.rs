@@ -18,7 +18,7 @@
 
 use crate::mapping::Mapping;
 use dogmatix_xml::{Document, NodeId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Interned id of a distinct `(rw_type, normalised value)` pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -111,80 +111,165 @@ impl OdSet {
     /// `σ` (a set of schema name paths); candidates originating from
     /// different schema elements (integration scenarios) get their own
     /// selection.
+    ///
+    /// Internally this is [`extract_raw_tuples`] per candidate followed by
+    /// [`OdSet::build_from_raw`]; incremental callers
+    /// ([`crate::incremental`]) cache the extraction per candidate and
+    /// re-run only the interning step after a document delta.
     pub fn build(
         doc: &Document,
         candidates: &[NodeId],
-        selections: &HashMap<String, std::collections::BTreeSet<String>>,
+        selections: &HashMap<String, BTreeSet<String>>,
         mapping: &Mapping,
     ) -> OdSet {
-        let mut terms: Vec<TermInfo> = Vec::new();
-        let mut lookup: HashMap<(u32, String), TermId> = HashMap::new();
-        let mut type_names: Vec<String> = Vec::new();
-        let mut type_lookup: HashMap<String, u32> = HashMap::new();
-        let mut ods = Vec::with_capacity(candidates.len());
-
-        for (od_index, &cand) in candidates.iter().enumerate() {
+        let mut interner = Interner::default();
+        for &cand in candidates {
             let cand_path = doc.name_path(cand);
-            let selection = selections.get(&cand_path);
-            let mut tuples = Vec::new();
-            if let Some(sel) = selection {
-                // Descendant instances.
-                collect_descendants(doc, cand, sel, mapping, &mut tuples);
-                // Ancestor instances.
-                for anc in doc.ancestors(cand) {
-                    let path = doc.name_path(anc);
-                    if sel.contains(&path) {
-                        push_tuple(doc, anc, &path, mapping, &mut tuples);
-                    }
-                }
-            }
-            // Intern types and terms.
-            for t in tuples.iter_mut() {
-                let type_id = *type_lookup.entry(t.rw_type.clone()).or_insert_with(|| {
-                    type_names.push(t.rw_type.clone());
-                    (type_names.len() - 1) as u32
+            let raw = extract_raw_tuples(doc, cand, selections.get(&cand_path), mapping);
+            // The tuples are owned here, so interning moves the strings.
+            interner.push(cand, raw.into_iter());
+        }
+        interner.finish()
+    }
+
+    /// OD generation from pre-extracted raw tuples: interns real-world
+    /// types and terms, builds posting lists, and groups tuples by type
+    /// for the pairwise hot path.
+    ///
+    /// Term and type ids are assigned in order of first occurrence across
+    /// the candidate iteration order, so building from the same raw
+    /// tuples always yields an `OdSet` identical to [`OdSet::build`] —
+    /// the property the incremental differential tests rely on.
+    pub fn build_from_raw<'a, I>(parts: I) -> OdSet
+    where
+        I: IntoIterator<Item = (NodeId, &'a [RawTuple])>,
+    {
+        let mut interner = Interner::default();
+        for (cand, raw) in parts {
+            interner.push(cand, raw.iter().cloned());
+        }
+        interner.finish()
+    }
+}
+
+/// Shared interning pass behind [`OdSet::build`] (owned tuples, no
+/// clones) and [`OdSet::build_from_raw`] (borrowed cache entries).
+#[derive(Default)]
+struct Interner {
+    terms: Vec<TermInfo>,
+    lookup: HashMap<(u32, String), TermId>,
+    type_names: Vec<String>,
+    type_lookup: HashMap<String, u32>,
+    ods: Vec<ObjectDescription>,
+}
+
+impl Interner {
+    /// Interns one candidate's tuples (in candidate order).
+    fn push(&mut self, cand: NodeId, raw: impl Iterator<Item = RawTuple>) {
+        let od_index = self.ods.len();
+        let mut tuples = Vec::with_capacity(raw.size_hint().0);
+        for r in raw {
+            let type_id = *self
+                .type_lookup
+                .entry(r.rw_type.clone())
+                .or_insert_with(|| {
+                    self.type_names.push(r.rw_type.clone());
+                    (self.type_names.len() - 1) as u32
                 });
-                t.type_id = type_id;
-                let norm = dogmatix_textsim::normalize_value(&t.value);
-                let key = (type_id, norm.clone());
-                let id = *lookup.entry(key).or_insert_with(|| {
-                    let id = TermId(terms.len() as u32);
-                    terms.push(TermInfo {
-                        rw_type: t.rw_type.clone(),
+            let id = match self.lookup.get(&(type_id, r.norm.clone())) {
+                Some(id) => *id,
+                None => {
+                    let id = TermId(self.terms.len() as u32);
+                    self.terms.push(TermInfo {
+                        rw_type: r.rw_type.clone(),
                         type_id,
-                        char_len: norm.chars().count(),
-                        norm,
+                        char_len: r.norm.chars().count(),
+                        norm: r.norm.clone(),
                         postings: Vec::new(),
                     });
+                    self.lookup.insert((type_id, r.norm), id);
                     id
-                });
-                t.term = id;
-                let postings = &mut terms[id.index()].postings;
-                if postings.last() != Some(&(od_index as u32)) {
-                    postings.push(od_index as u32);
                 }
+            };
+            let postings = &mut self.terms[id.index()].postings;
+            if postings.last() != Some(&(od_index as u32)) {
+                postings.push(od_index as u32);
             }
-            // Group tuple indices by type id for the pairwise hot path.
-            let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
-            for (i, t) in tuples.iter().enumerate() {
-                match groups.iter_mut().find(|(ty, _)| *ty == t.type_id) {
-                    Some((_, idxs)) => idxs.push(i as u32),
-                    None => groups.push((t.type_id, vec![i as u32])),
-                }
-            }
-            groups.sort_by_key(|(ty, _)| *ty);
-            ods.push(ObjectDescription {
-                node: cand,
-                tuples,
-                groups,
+            tuples.push(OdTuple {
+                value: r.value,
+                path: r.path,
+                rw_type: r.rw_type,
+                type_id,
+                term: id,
             });
         }
+        // Group tuple indices by type id for the pairwise hot path.
+        let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (i, t) in tuples.iter().enumerate() {
+            match groups.iter_mut().find(|(ty, _)| *ty == t.type_id) {
+                Some((_, idxs)) => idxs.push(i as u32),
+                None => groups.push((t.type_id, vec![i as u32])),
+            }
+        }
+        groups.sort_by_key(|(ty, _)| *ty);
+        self.ods.push(ObjectDescription {
+            node: cand,
+            tuples,
+            groups,
+        });
+    }
+
+    fn finish(self) -> OdSet {
         OdSet {
-            ods,
-            terms,
-            type_names,
+            ods: self.ods,
+            terms: self.terms,
+            type_names: self.type_names,
         }
     }
+}
+
+/// One extracted description tuple before term interning: the raw value,
+/// its schema path, its resolved real-world type, and the normalised form
+/// (computed once here, so incremental re-interning skips normalisation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawTuple {
+    /// Raw text value as found in the document.
+    pub value: String,
+    /// Schema name path of the source element.
+    pub path: String,
+    /// Real-world type per the mapping `M`.
+    pub rw_type: String,
+    /// Normalised value (the term key within the type).
+    pub norm: String,
+}
+
+/// Extracts the description tuples of one candidate: descendant and
+/// ancestor instances of the selected paths, composite rules applied,
+/// values normalised. `selection = None` yields an empty description
+/// (candidates whose schema path has no selection).
+///
+/// This is the per-candidate half of [`OdSet::build`]; the incremental
+/// session caches its output per candidate and re-extracts only
+/// candidates touched by a delta.
+pub fn extract_raw_tuples(
+    doc: &Document,
+    cand: NodeId,
+    selection: Option<&BTreeSet<String>>,
+    mapping: &Mapping,
+) -> Vec<RawTuple> {
+    let mut tuples = Vec::new();
+    if let Some(sel) = selection {
+        // Descendant instances.
+        collect_descendants(doc, cand, sel, mapping, &mut tuples);
+        // Ancestor instances.
+        for anc in doc.ancestors(cand) {
+            let path = doc.name_path(anc);
+            if sel.contains(&path) {
+                push_tuple(doc, anc, &path, mapping, &mut tuples);
+            }
+        }
+    }
+    tuples
 }
 
 /// Walks descendants of `cand`, emitting tuples for selected paths and
@@ -192,9 +277,9 @@ impl OdSet {
 fn collect_descendants(
     doc: &Document,
     cand: NodeId,
-    selection: &std::collections::BTreeSet<String>,
+    selection: &BTreeSet<String>,
     mapping: &Mapping,
-    out: &mut Vec<OdTuple>,
+    out: &mut Vec<RawTuple>,
 ) {
     let mut stack: Vec<NodeId> = doc.child_elements(cand).collect();
     stack.reverse();
@@ -221,12 +306,12 @@ fn collect_descendants(
                     }
                 }
                 if !parts.is_empty() {
-                    out.push(OdTuple {
-                        value: parts.join(" "),
+                    let value = parts.join(" ");
+                    out.push(RawTuple {
+                        norm: dogmatix_textsim::normalize_value(&value),
+                        value,
                         path: path.clone(),
                         rw_type: rule.rw_type.clone(),
-                        type_id: 0,
-                        term: TermId(0),
                     });
                 }
                 // Parts are consumed; do not descend further.
@@ -242,16 +327,21 @@ fn collect_descendants(
     }
 }
 
-fn push_tuple(doc: &Document, node: NodeId, path: &str, mapping: &Mapping, out: &mut Vec<OdTuple>) {
+fn push_tuple(
+    doc: &Document,
+    node: NodeId,
+    path: &str,
+    mapping: &Mapping,
+    out: &mut Vec<RawTuple>,
+) {
     // Elements without a text node contribute no data (Section 4,
     // content-model discussion).
     if let Some(text) = doc.direct_text(node) {
-        out.push(OdTuple {
+        out.push(RawTuple {
+            norm: dogmatix_textsim::normalize_value(&text),
             value: text,
             path: path.to_string(),
             rw_type: mapping.type_of(path).to_string(),
-            type_id: 0,
-            term: TermId(0),
         });
     }
 }
@@ -412,6 +502,35 @@ mod tests {
         let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
         assert_eq!(ods.ods[0].tuples[0].value, "The   MATRIX");
         assert_eq!(ods.term(ods.ods[0].tuples[0].term).norm, "the matrix");
+    }
+
+    #[test]
+    fn build_from_raw_matches_build() {
+        let doc = movie_doc();
+        let candidates = doc.select("/moviedoc/movie").unwrap();
+        let sel = selection(&[
+            "/moviedoc/movie/title",
+            "/moviedoc/movie/year",
+            "/moviedoc/movie/actor/name",
+        ]);
+        let mapping = Mapping::new();
+        let full = OdSet::build(&doc, &candidates, &sel, &mapping);
+        let raw: Vec<Vec<RawTuple>> = candidates
+            .iter()
+            .map(|&c| extract_raw_tuples(&doc, c, sel.get(&doc.name_path(c)), &mapping))
+            .collect();
+        let from_raw = OdSet::build_from_raw(
+            candidates
+                .iter()
+                .copied()
+                .zip(raw.iter().map(|v| v.as_slice())),
+        );
+        assert_eq!(full, from_raw, "interning order must be identical");
+        // Extraction computes the normalised form once.
+        assert!(raw
+            .iter()
+            .flatten()
+            .all(|t| t.norm == dogmatix_textsim::normalize_value(&t.value)));
     }
 
     #[test]

@@ -198,15 +198,7 @@ impl<'a> DetectionSession<'a> {
         &self,
         selector: &dyn DescriptionSelector,
     ) -> Result<HashMap<String, BTreeSet<String>>, DogmatixError> {
-        let mut selections = HashMap::new();
-        for path in &self.candidates.schema_paths {
-            let e0 = self
-                .schema
-                .find_by_path(path)
-                .ok_or_else(|| DogmatixError::PathNotInSchema { path: path.clone() })?;
-            selections.insert(path.clone(), selector.select(self.schema, path, e0));
-        }
-        Ok(selections)
+        selections_for_paths(self.schema, &self.candidates.schema_paths, selector)
     }
 
     /// The object descriptions for a selection, built on first use and
@@ -232,6 +224,23 @@ impl<'a> DetectionSession<'a> {
         self.od_cache.borrow_mut().insert(key, Arc::clone(&ods));
         ods
     }
+}
+
+/// Runs a [`DescriptionSelector`] over each candidate schema path of a
+/// schema — shared by [`DetectionSession`] and the incremental session.
+pub(crate) fn selections_for_paths(
+    schema: &Schema,
+    schema_paths: &[String],
+    selector: &dyn DescriptionSelector,
+) -> Result<HashMap<String, BTreeSet<String>>, DogmatixError> {
+    let mut selections = HashMap::new();
+    for path in schema_paths {
+        let e0 = schema
+            .find_by_path(path)
+            .ok_or_else(|| DogmatixError::PathNotInSchema { path: path.clone() })?;
+        selections.insert(path.clone(), selector.select(schema, path, e0));
+    }
+    Ok(selections)
 }
 
 impl std::fmt::Debug for DetectionSession<'_> {
@@ -397,7 +406,50 @@ impl Dogmatix {
         })
     }
 
-    fn threads(&self) -> usize {
+    /// Opens an [`IncrementalSession`](crate::incremental::IncrementalSession)
+    /// over an owned document with a fixed schema: streaming deltas are
+    /// applied against `schema` as given (the usual choice when an XSD is
+    /// at hand — the CD corpus, say).
+    pub fn incremental_session(
+        &self,
+        doc: Document,
+        schema: Schema,
+        rw_type: &str,
+    ) -> Result<crate::incremental::IncrementalSession, DogmatixError> {
+        crate::incremental::IncrementalSession::new(doc, schema, &self.mapping, rw_type)
+    }
+
+    /// Opens an [`IncrementalSession`](crate::incremental::IncrementalSession)
+    /// that infers its schema from the document and re-infers it after
+    /// structural deltas — for schemaless corpora, mirroring what a batch
+    /// rebuild with [`Schema::infer`] would see.
+    pub fn incremental_session_inferred(
+        &self,
+        doc: Document,
+        rw_type: &str,
+    ) -> Result<crate::incremental::IncrementalSession, DogmatixError> {
+        crate::incremental::IncrementalSession::with_inferred_schema(doc, &self.mapping, rw_type)
+    }
+
+    /// Applies a batch of [`DocumentDelta`](crate::incremental::DocumentDelta)s
+    /// to the session's document and re-runs detection incrementally:
+    /// only candidates touched by the deltas are re-described, and only
+    /// pairs whose similarity could have changed are re-compared — the
+    /// rest is replayed from the previous run. The result is identical to
+    /// a from-scratch [`Dogmatix::detect`] over the final document state
+    /// (`stats.pairs_compared` counts only the freshly scored pairs).
+    ///
+    /// An empty `deltas` slice re-runs detection over the current state —
+    /// use it for the initial run after opening the session.
+    pub fn detect_delta(
+        &self,
+        session: &mut crate::incremental::IncrementalSession,
+        deltas: &[crate::incremental::DocumentDelta],
+    ) -> Result<DetectionResult, DogmatixError> {
+        crate::incremental::detect_incremental(self, session, deltas)
+    }
+
+    pub(crate) fn threads(&self) -> usize {
         match self.config.threads {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -406,7 +458,32 @@ impl Dogmatix {
         }
     }
 
-    fn validate(&self) -> Result<(), DogmatixError> {
+    /// The description-selection stage.
+    pub(crate) fn selector_stage(&self) -> &Arc<dyn DescriptionSelector> {
+        &self.selector
+    }
+
+    /// The comparison-reduction stage.
+    pub(crate) fn filter_stage(&self) -> &Arc<dyn ComparisonFilter> {
+        &self.filter
+    }
+
+    /// The similarity-measure stage.
+    pub(crate) fn measure_stage(&self) -> &Arc<dyn SimilarityMeasure> {
+        &self.measure
+    }
+
+    /// The pair-classifier stage.
+    pub(crate) fn classifier_stage(&self) -> &Arc<dyn PairClassifier> {
+        &self.classifier
+    }
+
+    /// The clustering stage.
+    pub(crate) fn clusterer_stage(&self) -> &Arc<dyn Clusterer> {
+        &self.clusterer
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), DogmatixError> {
         for (name, v) in [
             ("theta_tuple", self.config.theta_tuple),
             ("theta_cand", self.config.theta_cand),
@@ -596,6 +673,7 @@ fn compare_all(
                 a += stride;
             }
         },
+        merge_found,
     )
 }
 
@@ -620,6 +698,7 @@ fn compare_plan(
                 p += stride;
             }
         },
+        merge_found,
     )
 }
 
@@ -644,40 +723,57 @@ fn score_pair(
     }
 }
 
-/// Drives a comparison pass: sequentially (`shard(0, 1, …)` covers all
-/// work with a fresh cache), or round-robin across `threads` scoped
-/// workers, each owning a private pre-sized distance cache. Worker
-/// outputs are concatenated in arrival order; callers sort, so results
-/// are deterministic regardless of the thread count.
-fn compare_sharded<F>(threads: usize, sequential: bool, work_items: usize, shard: F) -> FoundPairs
+/// Drives a comparison pass over an arbitrary accumulator `R`:
+/// sequentially (`shard(0, 1, …)` covers all work with a fresh cache),
+/// or round-robin across `threads` scoped workers, each owning a private
+/// pre-sized distance cache; `merge` folds each worker's local
+/// accumulator into the shared one under a mutex. Worker outputs are
+/// concatenated in arrival order; callers sort, so results are
+/// deterministic regardless of the thread count. Shared with the
+/// incremental path ([`crate::incremental`]), whose accumulator also
+/// keeps non-duplicate verdicts.
+pub(crate) fn compare_sharded<R, F>(
+    threads: usize,
+    sequential: bool,
+    work_items: usize,
+    shard: F,
+    merge: impl Fn(&mut R, R) + Sync,
+) -> R
 where
-    F: Fn(usize, usize, &mut DistCache, &mut FoundPairs) + Sync,
+    R: Default + Send,
+    F: Fn(usize, usize, &mut DistCache, &mut R) + Sync,
 {
     if sequential {
-        let mut found = (Vec::new(), Vec::new());
+        let mut found = R::default();
         shard(0, 1, &mut DistCache::new(), &mut found);
         return found;
     }
 
     let cache_entries = worker_cache_capacity(work_items, threads);
-    let results = std::sync::Mutex::new((Vec::new(), Vec::new()));
+    let results = std::sync::Mutex::new(R::default());
     std::thread::scope(|scope| {
         for t in 0..threads {
             let results = &results;
             let shard = &shard;
+            let merge = &merge;
             scope.spawn(move || {
                 let mut cache = DistCache::with_capacity(cache_entries);
-                let mut local = (Vec::new(), Vec::new());
+                let mut local = R::default();
                 shard(t, threads, &mut cache, &mut local);
                 let mut out = results.lock().expect("no worker panicked holding the lock");
-                out.0.extend(local.0);
-                out.1.extend(local.1);
+                merge(&mut out, local);
             });
         }
     });
     results
         .into_inner()
         .expect("no worker panicked holding the lock")
+}
+
+/// Folds one worker's [`FoundPairs`] into the shared accumulator.
+fn merge_found(out: &mut FoundPairs, local: FoundPairs) {
+    out.0.extend(local.0);
+    out.1.extend(local.1);
 }
 
 /// A worker cache sized for its share of the comparison work, capped so
@@ -792,7 +888,7 @@ mod tests {
         let dx = Dogmatix::builder()
             .mapping(mapping)
             .no_filter()
-            .classifier(DualThreshold::new(1.0, 0.5))
+            .classifier(DualThreshold::new(1.0, 0.5).unwrap())
             .build();
         let result = dx.run(&doc, &schema, "MOVIE").unwrap();
         // Nothing exceeds sim > 1.0, so the Matrix pair (sim 1.0 at r=1:

@@ -478,6 +478,94 @@ impl Document {
     pub fn all_elements(&self) -> Vec<NodeId> {
         self.descendant_elements(DOCUMENT_NODE)
     }
+
+    // ---- mutation -----------------------------------------------------
+
+    /// Detaches a node from its parent: the node (and its whole subtree)
+    /// disappears from traversal, selection, and serialisation. The arena
+    /// slot is retained — node ids are never recycled — so ids held by
+    /// callers stay unambiguous across mutations. Detaching an already
+    /// detached node is a no-op.
+    ///
+    /// # Panics
+    /// Panics when asked to detach the synthetic document node.
+    pub fn detach(&mut self, id: NodeId) {
+        assert!(id != DOCUMENT_NODE, "cannot detach the document node");
+        let Some(parent) = self.nodes[id.index()].parent else {
+            return;
+        };
+        match &mut self.nodes[parent.index()].kind {
+            NodeKind::Document { children } | NodeKind::Element { children, .. } => {
+                children.retain(|c| *c != id);
+            }
+            _ => {}
+        }
+        self.nodes[id.index()].parent = None;
+    }
+
+    /// Replaces the direct text content of an element: all existing text
+    /// children are removed and, when `text` is non-empty, a single new
+    /// text node is appended. Element children are untouched.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an element.
+    pub fn set_text(&mut self, id: NodeId, text: &str) {
+        let old_text: Vec<NodeId> = self
+            .children(id)
+            .iter()
+            .copied()
+            .filter(|c| self.is_text(*c))
+            .collect();
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Element { children, .. } => {
+                children.retain(|c| !old_text.contains(c));
+            }
+            _ => panic!("set_text on non-element node"),
+        }
+        for t in old_text {
+            self.nodes[t.index()].parent = None;
+        }
+        if !text.is_empty() {
+            self.add_text(id, text);
+        }
+    }
+
+    /// Parses an XML fragment (one element with arbitrary content) and
+    /// appends a deep copy of it under `parent`, returning the id of the
+    /// new element. The fragment must be a well-formed document on its
+    /// own, e.g. `<movie><title>Signs</title></movie>`.
+    pub fn append_xml(&mut self, parent: NodeId, xml: &str) -> Result<NodeId, XmlError> {
+        let fragment = Document::parse(xml)?;
+        let root = fragment
+            .root_element()
+            .ok_or_else(|| XmlError::schema("fragment has no root element"))?;
+        Ok(self.graft(parent, &fragment, root))
+    }
+
+    /// Deep-copies `node` (from `source`) under `parent` of `self`.
+    fn graft(&mut self, parent: NodeId, source: &Document, node: NodeId) -> NodeId {
+        let kind = match &source.node(node).kind {
+            NodeKind::Element {
+                name, attributes, ..
+            } => NodeKind::Element {
+                name: name.clone(),
+                attributes: attributes.clone(),
+                children: Vec::new(),
+            },
+            NodeKind::Text(t) => NodeKind::Text(t.clone()),
+            NodeKind::Comment(t) => NodeKind::Comment(t.clone()),
+            NodeKind::ProcessingInstruction { target, data } => NodeKind::ProcessingInstruction {
+                target: target.clone(),
+                data: data.clone(),
+            },
+            NodeKind::Document { .. } => unreachable!("graft starts below the document node"),
+        };
+        let copied = self.push_node(parent, kind);
+        for child in source.children(node).to_vec() {
+            self.graft(copied, source, child);
+        }
+        copied
+    }
 }
 
 impl Default for Document {
@@ -617,5 +705,59 @@ mod tests {
         let mut doc = Document::with_root("r");
         let t = doc.add_text(doc.root_element().unwrap(), "x");
         doc.set_attr(t, "a", "b");
+    }
+
+    #[test]
+    fn detach_removes_subtree_from_traversal_and_serialisation() {
+        let mut doc = movie_doc();
+        let movies = doc.select("/moviedoc/movie").unwrap();
+        doc.detach(movies[0]);
+        assert_eq!(doc.select("/moviedoc/movie").unwrap().len(), 1);
+        assert!(!doc.to_xml().contains("The Matrix"));
+        // The surviving movie now has sibling position 1.
+        let left = doc.select("/moviedoc/movie").unwrap()[0];
+        assert_eq!(doc.absolute_path(left), "/moviedoc[1]/movie[1]");
+        // Detaching again is a no-op.
+        doc.detach(movies[0]);
+        assert_eq!(doc.select("/moviedoc/movie").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn set_text_replaces_direct_text_only() {
+        let mut doc = Document::parse("<r><m>old<t>keep</t>tail</m></r>").unwrap();
+        let m = doc.select("/r/m").unwrap()[0];
+        doc.set_text(m, "new");
+        assert_eq!(doc.direct_text(m).as_deref(), Some("new"));
+        let t = doc.child_by_name(m, "t").unwrap();
+        assert_eq!(doc.direct_text(t).as_deref(), Some("keep"));
+        // Clearing text yields a text-less element.
+        doc.set_text(m, "");
+        assert_eq!(doc.direct_text(m), None);
+        assert_eq!(doc.to_xml(), "<r><m><t>keep</t></m></r>");
+    }
+
+    #[test]
+    fn append_xml_grafts_a_fragment() {
+        let mut doc = movie_doc();
+        let root = doc.root_element().unwrap();
+        let new = doc
+            .append_xml(
+                root,
+                "<movie year=\"1988\"><title>Distant Echo</title>\
+                 <actor><name>Nobody Atall</name></actor></movie>",
+            )
+            .unwrap();
+        assert_eq!(doc.name(new), Some("movie"));
+        assert_eq!(doc.attr(new, "year"), Some("1988"));
+        assert_eq!(doc.select("/moviedoc/movie").unwrap().len(), 3);
+        assert_eq!(
+            doc.select("/moviedoc/movie/actor/name").unwrap().len(),
+            3,
+            "nested elements graft too"
+        );
+        // A mutated document serialises and reparses to the same tree.
+        let reparsed = Document::parse(&doc.to_xml()).unwrap();
+        assert_eq!(reparsed.select("/moviedoc/movie/title").unwrap().len(), 3);
+        assert!(doc.append_xml(root, "<broken").is_err());
     }
 }

@@ -17,12 +17,34 @@
 //!   --no-filter            disable comparison reduction
 //!   --fuse                 also write a fused (deduplicated) document
 //!   --output <file>        write the dup-cluster XML here (default stdout)
+//!   --deltas <file>        replay a streaming-delta script against an
+//!                          incremental session instead of one batch run
 //! ```
+//!
+//! ## Delta-script format (`--deltas`)
+//!
+//! One command per line; blank lines and `#` comments are ignored.
+//! Candidate indices refer to the current candidate order; relative
+//! paths are resolved from the candidate element (`.` = the candidate):
+//!
+//! ```text
+//! insert <parent_path> <xml fragment>
+//! remove <index>
+//! update <index> <rel_path> <occurrence> <new text value>
+//! insert-under <index> <rel_path> <occurrence> <xml fragment>
+//! remove-element <index> <rel_path> <occurrence>
+//! detect
+//! ```
+//!
+//! Each `detect` applies the accumulated deltas incrementally and prints
+//! run statistics; trailing deltas are flushed by a final implicit
+//! `detect`. The dup-cluster output reflects the final state.
 
 use dogmatix_repro::core::auto;
 use dogmatix_repro::core::fusion::{fuse_clusters, FusionConfig};
 use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
-use dogmatix_repro::core::pipeline::Dogmatix;
+use dogmatix_repro::core::incremental::DocumentDelta;
+use dogmatix_repro::core::pipeline::{DetectionResult, Dogmatix};
 use dogmatix_repro::core::Mapping;
 use dogmatix_repro::xml::{Document, Schema};
 use std::process::ExitCode;
@@ -41,6 +63,7 @@ struct Options {
     use_filter: bool,
     fuse: bool,
     output: Option<String>,
+    deltas: Option<String>,
 }
 
 /// Every flag the CLI understands, for error suggestions.
@@ -57,6 +80,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--no-filter",
     "--fuse",
     "--output",
+    "--deltas",
     "--help",
 ];
 
@@ -91,6 +115,7 @@ fn parse_args() -> Result<Options, String> {
         use_filter: true,
         fuse: false,
         output: None,
+        deltas: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -126,6 +151,7 @@ fn parse_args() -> Result<Options, String> {
             "--no-filter" => opts.use_filter = false,
             "--fuse" => opts.fuse = true,
             "--output" => opts.output = Some(value("--output")?),
+            "--deltas" => opts.deltas = Some(value("--deltas")?),
             "--help" | "-h" => return Err(HELP.to_string()),
             other if other.starts_with('-') => return Err(unknown_flag_error(other)),
             other if opts.input.is_empty() => opts.input = other.to_string(),
@@ -151,7 +177,7 @@ const HELP: &str = "usage: dogmatix <input.xml> --type <NAME> \
 [--mapping m.txt | --candidates /path] [--schema s.xsd] \
 [--heuristic rd:<r>|ra:<r>|kc:<k>|auto] [--exp 1..8] \
 [--theta-tuple f] [--theta-cand f] [--threads N] [--no-filter] [--fuse] \
-[--output out.xml]";
+[--output out.xml] [--deltas script.txt]";
 
 fn run(opts: Options) -> Result<(), String> {
     let text = std::fs::read_to_string(&opts.input)
@@ -230,19 +256,22 @@ fn run(opts: Options) -> Result<(), String> {
     if !opts.use_filter {
         builder = builder.no_filter();
     }
-    let result = builder
-        .build()
-        .run(&doc, &schema, &opts.rw_type)
-        .map_err(|e| e.to_string())?;
+    let dx = builder.build();
 
-    eprintln!(
-        "candidates: {}, pruned: {}, compared: {} pairs, duplicates: {} pairs in {} clusters",
-        result.stats.candidates,
-        result.stats.pruned_by_filter,
-        result.stats.pairs_compared,
-        result.duplicate_pairs.len(),
-        result.clusters.len()
-    );
+    let (result, doc) = match &opts.deltas {
+        None => {
+            let result = dx
+                .run(&doc, &schema, &opts.rw_type)
+                .map_err(|e| e.to_string())?;
+            report_stats("batch", &result);
+            (result, doc)
+        }
+        Some(path) => {
+            let script =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            replay_deltas(&dx, doc, &schema, &opts, &script)?
+        }
+    };
 
     let out_xml = result.to_xml(&doc).to_xml_pretty();
     match &opts.output {
@@ -267,6 +296,162 @@ fn run(opts: Options) -> Result<(), String> {
         eprintln!("fused document written to {fused_path}");
     }
     Ok(())
+}
+
+fn report_stats(label: &str, result: &DetectionResult) {
+    eprintln!(
+        "{label}: candidates: {}, pruned: {}, compared: {} pairs, \
+         duplicates: {} pairs in {} clusters",
+        result.stats.candidates,
+        result.stats.pruned_by_filter,
+        result.stats.pairs_compared,
+        result.duplicate_pairs.len(),
+        result.clusters.len()
+    );
+}
+
+/// One parsed line of a `--deltas` script.
+enum ScriptLine {
+    Delta(DocumentDelta),
+    Detect,
+}
+
+/// Parses one non-empty, non-comment script line.
+fn parse_delta_line(line: &str) -> Result<ScriptLine, String> {
+    let mut words = line.splitn(2, char::is_whitespace);
+    let cmd = words.next().unwrap_or_default();
+    let rest = words.next().unwrap_or("").trim();
+    let index = |s: &str| -> Result<usize, String> {
+        s.parse()
+            .map_err(|_| format!("'{s}' is not a candidate index in '{line}'"))
+    };
+    let occurrence = index;
+    match cmd {
+        "detect" => Ok(ScriptLine::Detect),
+        "insert" => {
+            let (parent, xml) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("insert needs '<parent_path> <xml>' in '{line}'"))?;
+            Ok(ScriptLine::Delta(DocumentDelta::InsertXml {
+                parent_path: parent.to_string(),
+                xml: xml.trim().to_string(),
+            }))
+        }
+        "remove" => Ok(ScriptLine::Delta(DocumentDelta::RemoveObject {
+            index: index(rest)?,
+        })),
+        "update" => {
+            let parts: Vec<&str> = rest.splitn(3, char::is_whitespace).collect();
+            let [idx, path, tail] = parts[..] else {
+                return Err(format!(
+                    "update needs '<index> <rel_path> <occurrence> <value>' in '{line}'"
+                ));
+            };
+            let (occ, value) = tail
+                .trim()
+                .split_once(char::is_whitespace)
+                .map(|(o, v)| (o, v.trim()))
+                .unwrap_or((tail.trim(), ""));
+            Ok(ScriptLine::Delta(DocumentDelta::UpdateText {
+                index: index(idx)?,
+                path: path.to_string(),
+                occurrence: occurrence(occ)?,
+                value: value.to_string(),
+            }))
+        }
+        "insert-under" => {
+            let parts: Vec<&str> = rest.splitn(4, char::is_whitespace).collect();
+            let [idx, path, occ, xml] = parts[..] else {
+                return Err(format!(
+                    "insert-under needs '<index> <rel_path> <occurrence> <xml>' in '{line}'"
+                ));
+            };
+            Ok(ScriptLine::Delta(DocumentDelta::InsertUnder {
+                index: index(idx)?,
+                path: path.to_string(),
+                occurrence: occurrence(occ)?,
+                xml: xml.trim().to_string(),
+            }))
+        }
+        "remove-element" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let [idx, path, occ] = parts[..] else {
+                return Err(format!(
+                    "remove-element needs '<index> <rel_path> <occurrence>' in '{line}'"
+                ));
+            };
+            Ok(ScriptLine::Delta(DocumentDelta::RemoveElement {
+                index: index(idx)?,
+                path: path.to_string(),
+                occurrence: occurrence(occ)?,
+            }))
+        }
+        other => Err(format!("unknown delta command '{other}' in '{line}'")),
+    }
+}
+
+/// Replays a delta script against an incremental session, returning the
+/// final detection result and final document state.
+fn replay_deltas(
+    dx: &Dogmatix,
+    doc: Document,
+    schema: &Schema,
+    opts: &Options,
+    script: &str,
+) -> Result<(DetectionResult, Document), String> {
+    // With an explicit XSD the schema is fixed; otherwise it tracks the
+    // mutating document, exactly as batch re-inference would.
+    let mut session = if opts.schema_file.is_some() {
+        dx.incremental_session(doc, schema.clone(), &opts.rw_type)
+    } else {
+        dx.incremental_session_inferred(doc, &opts.rw_type)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let mut result = dx
+        .detect_delta(&mut session, &[])
+        .map_err(|e| e.to_string())?;
+    report_stats("initial", &result);
+
+    let script_path = opts.deltas.as_deref().unwrap_or("deltas");
+    let mut batch: Vec<DocumentDelta> = Vec::new();
+    let mut detections = 0usize;
+    for (lineno, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_delta_line(line).map_err(|e| format!("{script_path}:{}: {e}", lineno + 1))? {
+            ScriptLine::Delta(d) => batch.push(d),
+            ScriptLine::Detect => {
+                result = dx
+                    .detect_delta(&mut session, &batch)
+                    .map_err(|e| format!("{script_path}:{}: {e}", lineno + 1))?;
+                detections += 1;
+                report_stats(
+                    &format!("detect #{detections} ({} deltas)", batch.len()),
+                    &result,
+                );
+                batch.clear();
+            }
+        }
+    }
+    if !batch.is_empty() {
+        result = dx
+            .detect_delta(&mut session, &batch)
+            .map_err(|e| e.to_string())?;
+        detections += 1;
+        report_stats(
+            &format!("detect #{detections} ({} deltas)", batch.len()),
+            &result,
+        );
+    }
+    let c = session.counters();
+    eprintln!(
+        "replay totals: {} deltas, {} detections, {} pairs scored, {} pairs replayed",
+        c.deltas_applied, c.detect_runs, c.pairs_scored, c.pairs_reused
+    );
+    Ok((result, session.into_doc()))
 }
 
 fn main() -> ExitCode {

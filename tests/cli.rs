@@ -206,3 +206,66 @@ fn stray_positional_argument_is_reported() {
     );
     let _ = std::fs::remove_dir_all(&paths.dir);
 }
+
+#[test]
+fn deltas_script_replays_incrementally() {
+    let paths = write_sample();
+    let script = paths.dir.join("deltas.txt");
+    std::fs::write(
+        &script,
+        "# fix the typo, then watch a new duplicate of Signs arrive\n\
+         update 1 title 0 The Matrix\n\
+         detect\n\
+         insert /moviedoc <movie><title>Signs</title><year>2002</year></movie>\n\
+         remove-element 0 title 0\n\
+         insert-under 0 . 0 <title>The Matrix</title>\n",
+    )
+    .expect("write script");
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE", "--no-filter"])
+        .args(["--mapping", paths.mapping.to_str().unwrap()])
+        .args(["--deltas", script.to_str().unwrap()])
+        .args(["--output", paths.output.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("initial: candidates: 3"), "{stderr}");
+    assert!(stderr.contains("detect #1 (1 deltas)"), "{stderr}");
+    assert!(
+        stderr.contains("detect #2 (3 deltas)"),
+        "trailing deltas flush implicitly: {stderr}"
+    );
+    assert!(stderr.contains("replay totals: 4 deltas"), "{stderr}");
+    // Final state: 4 movies, two duplicate pairs (Matrix pair + Signs pair).
+    let written = std::fs::read_to_string(&paths.output).expect("output written");
+    assert_eq!(written.matches("<dupcluster").count(), 2, "{written}");
+    assert!(written.contains("movie[4]"), "{written}");
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn bad_delta_script_reports_the_line() {
+    let paths = write_sample();
+    let script = paths.dir.join("deltas.txt");
+    std::fs::write(&script, "frobnicate 1 2 3\n").expect("write script");
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE", "--no-filter"])
+        .args(["--mapping", paths.mapping.to_str().unwrap()])
+        .args(["--deltas", script.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown delta command 'frobnicate'"),
+        "{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}

@@ -1,0 +1,514 @@
+//! Differential test suite for streaming ingest: for ANY corpus and ANY
+//! delta sequence, `Dogmatix::detect_delta` over an `IncrementalSession`
+//! must produce exactly the result of rebuilding a fresh session over
+//! the final document state and running batch detection — same
+//! candidates, same ODs, same filter values, same pairs (bit-identical
+//! similarities), same clusters — at every thread count.
+//!
+//! The number of property cases honours the `PROPTEST_CASES` environment
+//! override (ci.sh sets it to 128; local runs default lower).
+
+use dogmatix_repro::core::incremental::{DocumentDelta, IncrementalSession};
+use dogmatix_repro::core::pipeline::{DetectionResult, DetectionSession, Dogmatix};
+use dogmatix_repro::datagen::datasets::{dataset1_sized, dataset2_sized};
+use dogmatix_repro::eval::setup;
+use dogmatix_repro::xml::{Document, Schema};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 0];
+
+/// Property-case count: `PROPTEST_CASES` env override, else `default`.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---- corpus ----------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct MiniRecord {
+    title: String,
+    year: u16,
+    names: Vec<String>,
+}
+
+fn record_strategy() -> impl Strategy<Value = MiniRecord> {
+    (
+        proptest::string::string_regex("[a-z]{2,10}( [a-z]{2,8})?").unwrap(),
+        1960u16..2005,
+        proptest::collection::vec(
+            proptest::string::string_regex("[A-Z][a-z]{2,7}").unwrap(),
+            0..3,
+        ),
+    )
+        .prop_map(|(title, year, names)| MiniRecord { title, year, names })
+}
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<MiniRecord>> {
+    proptest::collection::vec(record_strategy(), 3..9)
+}
+
+fn build_doc(records: &[MiniRecord]) -> Document {
+    let mut doc = Document::with_root("db");
+    let root = doc.root_element().unwrap();
+    for r in records {
+        let item = doc.add_element(root, "item");
+        doc.add_text_element(item, "title", &r.title);
+        doc.add_text_element(item, "year", &r.year.to_string());
+        for n in &r.names {
+            let person = doc.add_element(item, "person");
+            doc.add_text_element(person, "name", n);
+        }
+    }
+    doc
+}
+
+fn record_xml(r: &MiniRecord) -> String {
+    let mut xml = format!("<item><title>{}</title><year>{}</year>", r.title, r.year);
+    for n in &r.names {
+        xml.push_str(&format!("<person><name>{n}</name></person>"));
+    }
+    xml.push_str("</item>");
+    xml
+}
+
+// ---- delta specifications --------------------------------------------
+
+/// Abstract delta op: slots are resolved modulo the live candidate count
+/// at application time, so any generated sequence stays applicable.
+#[derive(Debug, Clone)]
+enum OpSpec {
+    UpdateTitle {
+        slot: usize,
+        value: String,
+    },
+    /// Duplicate-creating: copy another candidate's title (and year).
+    CopyFrom {
+        from: usize,
+        to: usize,
+    },
+    /// No-op: rewrite the title with its current value.
+    NoOpTitle {
+        slot: usize,
+    },
+    UpdateYear {
+        slot: usize,
+        year: u16,
+    },
+    ClearYear {
+        slot: usize,
+    },
+    InsertFresh {
+        record: MiniRecord,
+    },
+    /// Duplicate-creating: insert a clone of an existing candidate.
+    InsertClone {
+        slot: usize,
+    },
+    Remove {
+        slot: usize,
+    },
+    AddPerson {
+        slot: usize,
+        name: String,
+    },
+    RemovePerson {
+        slot: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    let title = proptest::string::string_regex("[a-z]{2,10}( [a-z]{2,8})?").unwrap();
+    let name = proptest::string::string_regex("[A-Z][a-z]{2,7}").unwrap();
+    prop_oneof![
+        (0usize..16, title).prop_map(|(slot, value)| OpSpec::UpdateTitle { slot, value }),
+        (0usize..16, 0usize..16).prop_map(|(from, to)| OpSpec::CopyFrom { from, to }),
+        (0usize..16).prop_map(|slot| OpSpec::NoOpTitle { slot }),
+        (0usize..16, 1960u16..2005).prop_map(|(slot, year)| OpSpec::UpdateYear { slot, year }),
+        (0usize..16).prop_map(|slot| OpSpec::ClearYear { slot }),
+        record_strategy().prop_map(|record| OpSpec::InsertFresh { record }),
+        (0usize..16).prop_map(|slot| OpSpec::InsertClone { slot }),
+        (0usize..16).prop_map(|slot| OpSpec::Remove { slot }),
+        (0usize..16, name).prop_map(|(slot, name)| OpSpec::AddPerson { slot, name }),
+        (0usize..16).prop_map(|slot| OpSpec::RemovePerson { slot }),
+    ]
+}
+
+/// Resolves an abstract op against the session's current state. `None`
+/// skips ops that would leave the corpus degenerate (fewer than three
+/// candidates) or address data that does not exist.
+fn concretize(op: &OpSpec, s: &IncrementalSession) -> Option<DocumentDelta> {
+    let n = s.candidates().len();
+    if n == 0 {
+        return None;
+    }
+    let doc = s.doc();
+    let title_of = |idx: usize| {
+        let cand = s.candidates().nodes[idx];
+        let t = doc.select_from(cand, "title").ok()?.first().copied()?;
+        doc.direct_text(t)
+    };
+    match op {
+        OpSpec::UpdateTitle { slot, value } => Some(DocumentDelta::UpdateText {
+            index: slot % n,
+            path: "title".into(),
+            occurrence: 0,
+            value: value.clone(),
+        }),
+        OpSpec::CopyFrom { from, to } => {
+            let (from, to) = (from % n, to % n);
+            if from == to {
+                return None;
+            }
+            Some(DocumentDelta::UpdateText {
+                index: to,
+                path: "title".into(),
+                occurrence: 0,
+                value: title_of(from)?,
+            })
+        }
+        OpSpec::NoOpTitle { slot } => Some(DocumentDelta::UpdateText {
+            index: slot % n,
+            path: "title".into(),
+            occurrence: 0,
+            value: title_of(slot % n)?,
+        }),
+        OpSpec::UpdateYear { slot, year } => Some(DocumentDelta::UpdateText {
+            index: slot % n,
+            path: "year".into(),
+            occurrence: 0,
+            value: year.to_string(),
+        }),
+        OpSpec::ClearYear { slot } => Some(DocumentDelta::UpdateText {
+            index: slot % n,
+            path: "year".into(),
+            occurrence: 0,
+            value: String::new(),
+        }),
+        OpSpec::InsertFresh { record } => Some(DocumentDelta::InsertXml {
+            parent_path: "/db".into(),
+            xml: record_xml(record),
+        }),
+        OpSpec::InsertClone { slot } => {
+            let cand = s.candidates().nodes[slot % n];
+            // Re-render the candidate's subtree as a fragment.
+            let title = title_of(slot % n)?;
+            let year = doc
+                .select_from(cand, "year")
+                .ok()?
+                .first()
+                .and_then(|y| doc.direct_text(*y))
+                .unwrap_or_default();
+            let names: Vec<String> = doc
+                .select_from(cand, "person/name")
+                .ok()?
+                .iter()
+                .filter_map(|nm| doc.direct_text(*nm))
+                .collect();
+            Some(DocumentDelta::InsertXml {
+                parent_path: "/db".into(),
+                xml: record_xml(&MiniRecord {
+                    title,
+                    year: year.parse().unwrap_or(2000),
+                    names,
+                }),
+            })
+        }
+        OpSpec::Remove { slot } => {
+            if n <= 3 {
+                return None; // keep the corpus non-degenerate
+            }
+            Some(DocumentDelta::RemoveObject { index: slot % n })
+        }
+        OpSpec::AddPerson { slot, name } => Some(DocumentDelta::InsertUnder {
+            index: slot % n,
+            path: ".".into(),
+            occurrence: 0,
+            xml: format!("<person><name>{name}</name></person>"),
+        }),
+        OpSpec::RemovePerson { slot } => {
+            let idx = slot % n;
+            let cand = s.candidates().nodes[idx];
+            if doc.select_from(cand, "person").ok()?.is_empty() {
+                return None;
+            }
+            Some(DocumentDelta::RemoveElement {
+                index: idx,
+                path: "person".into(),
+                occurrence: 0,
+            })
+        }
+    }
+}
+
+// ---- the differential check ------------------------------------------
+
+fn detector(theta_tuple: f64, use_filter: bool, threads: usize) -> Dogmatix {
+    let builder = Dogmatix::builder()
+        .add_type("ITEM", ["/db/item"])
+        .theta_tuple(theta_tuple)
+        .threads(threads);
+    if use_filter {
+        builder.build()
+    } else {
+        builder.no_filter().build()
+    }
+}
+
+/// Batch detection rebuilt from scratch over the session's final state.
+fn batch_rebuild(dx: &Dogmatix, s: &IncrementalSession) -> DetectionResult {
+    let doc = s.doc().clone();
+    let schema = Schema::infer(&doc).expect("corpus stays non-empty");
+    let session =
+        DetectionSession::new(&doc, &schema, dx.mapping(), s.rw_type()).expect("session opens");
+    dx.detect(&session).expect("batch detect runs")
+}
+
+/// Full outcome equality; `stats.pairs_compared` is exempt (the whole
+/// point of the incremental path is to compare fewer pairs).
+fn assert_outcome_eq(inc: &DetectionResult, full: &DetectionResult, context: &str) {
+    assert_eq!(inc.candidates, full.candidates, "candidates: {context}");
+    assert_eq!(*inc.ods, *full.ods, "object descriptions: {context}");
+    assert_eq!(inc.f_values, full.f_values, "filter values: {context}");
+    assert_eq!(inc.pruned, full.pruned, "pruned flags: {context}");
+    assert_eq!(
+        inc.duplicate_pairs, full.duplicate_pairs,
+        "duplicate pairs: {context}"
+    );
+    assert_eq!(
+        inc.possible_pairs, full.possible_pairs,
+        "possible pairs: {context}"
+    );
+    assert_eq!(inc.clusters, full.clusters, "clusters: {context}");
+    assert_eq!(inc.stats.candidates, full.stats.candidates, "{context}");
+    assert_eq!(
+        inc.stats.pruned_by_filter, full.stats.pruned_by_filter,
+        "{context}"
+    );
+}
+
+/// Clusters as sets of absolute element paths — the index-free view that
+/// must also survive a serialise-and-reparse round trip.
+fn cluster_paths(doc: &Document, result: &DetectionResult) -> BTreeSet<BTreeSet<String>> {
+    result
+        .clusters
+        .iter()
+        .map(|c| {
+            c.iter()
+                .map(|&i| doc.absolute_path(result.candidates[i]))
+                .collect()
+        })
+        .collect()
+}
+
+/// Replays `ops` over the corpus at one thread count, checking the
+/// differential property after every delta. Returns the final clusters
+/// (as path sets) for cross-thread comparison.
+fn run_scenario(
+    records: &[MiniRecord],
+    ops: &[OpSpec],
+    theta_tuple: f64,
+    use_filter: bool,
+    threads: usize,
+) -> BTreeSet<BTreeSet<String>> {
+    let dx = detector(theta_tuple, use_filter, threads);
+    let mut s = dx
+        .incremental_session_inferred(build_doc(records), "ITEM")
+        .expect("session opens");
+    let initial = dx.detect_delta(&mut s, &[]).expect("initial run");
+    assert_outcome_eq(&initial, &batch_rebuild(&dx, &s), "initial run");
+
+    let mut last = initial;
+    for (step, op) in ops.iter().enumerate() {
+        let Some(delta) = concretize(op, &s) else {
+            continue;
+        };
+        let context = format!("step {step} {op:?} (threads={threads})");
+        last = dx
+            .detect_delta(&mut s, std::slice::from_ref(&delta))
+            .unwrap_or_else(|e| panic!("delta failed at {context}: {e}"));
+        let full = batch_rebuild(&dx, &s);
+        assert_outcome_eq(&last, &full, &context);
+    }
+
+    // The final state must also survive serialise → reparse → batch
+    // (index-free cluster comparison, since arena ids differ).
+    let reparsed = Document::parse(&s.doc().to_xml()).expect("serialised state reparses");
+    let schema = Schema::infer(&reparsed).expect("non-empty");
+    let session = DetectionSession::new(&reparsed, &schema, dx.mapping(), "ITEM").unwrap();
+    let re = dx.detect(&session).expect("reparsed batch runs");
+    assert_eq!(
+        cluster_paths(s.doc(), &last),
+        cluster_paths(&reparsed, &re),
+        "clusters diverge after reparse (threads={threads})"
+    );
+    cluster_paths(s.doc(), &last)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+
+    /// The centrepiece: random corpus, random delta sequence, incremental
+    /// == batch after every single delta, across thread counts 1/2/0.
+    #[test]
+    fn incremental_equals_batch_for_any_delta_sequence(
+        records in corpus_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..6),
+        theta in 0.10f64..0.6,
+        use_filter in (0usize..2).prop_map(|v| v == 1),
+    ) {
+        let mut final_clusters = Vec::new();
+        for threads in THREAD_COUNTS {
+            final_clusters.push(run_scenario(&records, &ops, theta, use_filter, threads));
+        }
+        prop_assert_eq!(&final_clusters[0], &final_clusters[1], "threads 1 vs 2");
+        prop_assert_eq!(&final_clusters[0], &final_clusters[2], "threads 1 vs 0");
+    }
+}
+
+// ---- directed cases ---------------------------------------------------
+
+/// The acceptance criterion on the CD corpus: replaying deltas must cost
+/// strictly fewer pair comparisons than re-detecting from scratch, while
+/// producing identical results (fixed XSD-backed schema here).
+#[test]
+fn cd_delta_replay_compares_fewer_pairs_than_full_redetection() {
+    let (doc, _) = dataset1_sized(11, 40);
+    let dx = Dogmatix::builder()
+        .mapping(setup::cd_mapping())
+        .theta_tuple(setup::THETA_TUPLE)
+        .theta_cand(setup::THETA_CAND)
+        .build();
+    let schema = setup::cd_schema();
+    let mut s = dx
+        .incremental_session(doc.clone(), schema.clone(), setup::CD_TYPE)
+        .expect("session opens");
+    dx.detect_delta(&mut s, &[]).expect("initial run");
+
+    let mut incremental_compared = 0usize;
+    let mut full_compared = 0usize;
+    for k in 0..6 {
+        let delta = DocumentDelta::UpdateText {
+            index: k * 5,
+            path: "title".into(),
+            occurrence: 0,
+            value: format!("Retitled Album Vol {k}"),
+        };
+        let inc = dx
+            .detect_delta(&mut s, std::slice::from_ref(&delta))
+            .expect("delta applies");
+        incremental_compared += inc.stats.pairs_compared;
+
+        let final_doc = s.doc().clone();
+        let session =
+            DetectionSession::new(&final_doc, &schema, dx.mapping(), setup::CD_TYPE).unwrap();
+        let full = dx.detect(&session).expect("batch runs");
+        full_compared += full.stats.pairs_compared;
+
+        assert_eq!(inc.duplicate_pairs, full.duplicate_pairs, "step {k}");
+        assert_eq!(inc.clusters, full.clusters, "step {k}");
+        assert_eq!(*inc.ods, *full.ods, "step {k}");
+    }
+    assert!(
+        incremental_compared < full_compared,
+        "delta replay must do strictly fewer comparisons \
+         ({incremental_compared} vs {full_compared})"
+    );
+    assert!(s.counters().pairs_reused > 0);
+}
+
+/// Same differential on the integrated movie corpus (two candidate
+/// schema paths, composite PERSON rules, inferred-free fixed mapping).
+#[test]
+fn movie_corpus_deltas_match_batch() {
+    let (doc, _) = dataset2_sized(5, 25);
+    let schema = setup::movie_schema(&doc);
+    let dx = Dogmatix::builder()
+        .mapping(setup::movie_mapping())
+        .theta_tuple(setup::THETA_TUPLE)
+        .theta_cand(setup::THETA_CAND)
+        .build();
+    let mut s = dx
+        .incremental_session(doc, schema.clone(), setup::MOVIE_TYPE)
+        .expect("session opens");
+    dx.detect_delta(&mut s, &[]).expect("initial run");
+
+    let deltas = [
+        DocumentDelta::UpdateText {
+            index: 0,
+            path: "title".into(),
+            occurrence: 0,
+            value: "A Completely New Title".into(),
+        },
+        DocumentDelta::InsertXml {
+            parent_path: "/integrated/imdb".into(),
+            xml: "<movie><title>A Completely New Title</title>\
+                  <year>1994</year></movie>"
+                .into(),
+        },
+        DocumentDelta::RemoveObject { index: 3 },
+    ];
+    for (k, delta) in deltas.iter().enumerate() {
+        let inc = dx
+            .detect_delta(&mut s, std::slice::from_ref(delta))
+            .expect("delta applies");
+        let final_doc = s.doc().clone();
+        let session =
+            DetectionSession::new(&final_doc, &schema, dx.mapping(), setup::MOVIE_TYPE).unwrap();
+        let full = dx.detect(&session).expect("batch runs");
+        assert_eq!(inc.candidates, full.candidates, "step {k}");
+        assert_eq!(inc.duplicate_pairs, full.duplicate_pairs, "step {k}");
+        assert_eq!(inc.possible_pairs, full.possible_pairs, "step {k}");
+        assert_eq!(inc.clusters, full.clusters, "step {k}");
+        assert_eq!(*inc.ods, *full.ods, "step {k}");
+    }
+}
+
+/// Applying a whole batch of deltas in one `detect_delta` call is the
+/// same as applying them one by one (same final state, same clusters).
+#[test]
+fn batched_and_stepwise_delta_application_agree() {
+    let records: Vec<MiniRecord> = (0..6)
+        .map(|i| MiniRecord {
+            title: format!("title number {i}"),
+            year: 1990 + i,
+            names: vec![format!("Person{i}")],
+        })
+        .collect();
+    let ops = [
+        DocumentDelta::UpdateText {
+            index: 1,
+            path: "title".into(),
+            occurrence: 0,
+            value: "title number 0".into(),
+        },
+        DocumentDelta::RemoveObject { index: 4 },
+        DocumentDelta::InsertXml {
+            parent_path: "/db".into(),
+            xml: "<item><title>title number 0</title><year>1990</year></item>".into(),
+        },
+    ];
+    let dx = detector(0.15, true, 1);
+    let mut stepwise = dx
+        .incremental_session_inferred(build_doc(&records), "ITEM")
+        .unwrap();
+    dx.detect_delta(&mut stepwise, &[]).unwrap();
+    let mut last = None;
+    for d in &ops {
+        last = Some(
+            dx.detect_delta(&mut stepwise, std::slice::from_ref(d))
+                .unwrap(),
+        );
+    }
+    let mut batched = dx
+        .incremental_session_inferred(build_doc(&records), "ITEM")
+        .unwrap();
+    let all_at_once = dx.detect_delta(&mut batched, &ops).unwrap();
+    let last = last.unwrap();
+    assert_eq!(last.duplicate_pairs, all_at_once.duplicate_pairs);
+    assert_eq!(last.clusters, all_at_once.clusters);
+    assert_eq!(stepwise.doc().to_xml(), batched.doc().to_xml());
+}
