@@ -33,9 +33,14 @@
 //! about as much as one `sim` evaluation per object, while `sim` runs per
 //! *pair*.
 
+use crate::neighborhood::ComparisonPlan;
 use crate::od::OdSet;
 use crate::stage::{ComparisonFilter, FilterDecision};
-use dogmatix_textsim::{idf, ned_within};
+use dogmatix_textsim::{
+    band_keys, idf, minhash_signature, mix64, ned_within, positional_qgrams, token_hash,
+    word_tokens,
+};
+use std::collections::{BTreeSet, HashMap};
 
 /// Result of the filter pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -186,6 +191,337 @@ impl ComparisonFilter for NoFilter {
     }
 }
 
+/// Blocking by a positional q-gram inverted index over the object
+/// descriptions, pruned with the classic count filter — a *provable*
+/// superset of edit-distance blocking.
+///
+/// Two strings within Levenshtein distance `k` share at least
+/// `max(|a|,|b|) − q + 1 − k·q` positional q-grams whose positions differ
+/// by at most `k` (each edit destroys at most `q` windows and shifts the
+/// survivors by at most `k`). The filter inverts that bound: a pair of
+/// candidates is kept iff some comparable term pair either
+///
+/// * is the identical term (`odtDist = 0`),
+/// * is too short for the bound to bite (`max_len − q + 1 − k·q ≤ 0`), or
+/// * shares at least the bound's worth of position-compatible q-grams,
+///
+/// so **every** pair of objects holding a tuple pair with
+/// `odtDist < theta` survives — the guarantee the property suite checks.
+/// Pairs sharing no similar tuple have `sim = 0` and can never classify
+/// as duplicates, hence pruning them is lossless.
+///
+/// ```
+/// use dogmatix_core::filter::QGramBlocking;
+/// use dogmatix_core::pipeline::Dogmatix;
+/// use dogmatix_xml::{Document, Schema};
+///
+/// let doc = Document::parse(
+///     "<db><m><t>Midnight Journey</t></m>\
+///          <m><t>Midnigth Journey</t></m>\
+///          <m><t>Something Else</t></m></db>")?;
+/// let schema = Schema::infer(&doc)?;
+/// let dx = Dogmatix::builder()
+///     .add_type("M", ["/db/m"])
+///     .filter(QGramBlocking::new(2, 0.15))
+///     .build();
+/// let result = dx.run(&doc, &schema, "M")?;
+/// // The typo pair survives blocking and is detected…
+/// assert!(result.is_duplicate(0, 1));
+/// // …while unrelated pairs were never compared.
+/// assert!(result.stats.pairs_compared < result.stats.pairs_total);
+/// # Ok::<(), dogmatix_core::DogmatixError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QGramBlocking {
+    /// Gram length `q` (2 or 3 are the usual choices).
+    pub q: usize,
+    /// Tuple-similarity threshold the superset guarantee is proven
+    /// against (share it with the similarity measure's `θ_tuple`).
+    pub theta: f64,
+}
+
+impl QGramBlocking {
+    /// Creates the filter for gram length `q` and tuple threshold
+    /// `theta`. Panics if `q` is zero.
+    pub fn new(q: usize, theta: f64) -> Self {
+        assert!(q >= 1, "q-gram size must be at least 1");
+        QGramBlocking { q, theta }
+    }
+
+    /// Largest edit distance a pair with the given longer length may
+    /// have while `odtDist < theta` can still hold. `floor` rounds the
+    /// strict cap *up* on integer boundaries — conservative, so the
+    /// superset guarantee survives float representation.
+    fn max_edits(&self, max_len: usize) -> usize {
+        (self.theta * max_len as f64).floor() as usize
+    }
+
+    /// The count-filter lower bound on shared positional grams for a
+    /// pair whose longer side has `max_len` chars. Non-positive means
+    /// the bound is vacuous: the pair cannot be pruned.
+    fn count_bound(&self, max_len: usize) -> i64 {
+        let k = self.max_edits(max_len);
+        max_len as i64 - self.q as i64 + 1 - (k * self.q) as i64
+    }
+
+    /// The comparison plan for an OD set (exposed for diagnostics, the
+    /// eval table, and the property suite).
+    pub fn plan(&self, ods: &OdSet) -> ComparisonPlan {
+        let n = ods.len();
+        let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+        if self.theta > 0.0 {
+            // Identical terms are always similar (odtDist = 0): every
+            // pair of objects sharing a term survives.
+            for term in &ods.terms {
+                cross_postings(&term.postings, &term.postings, &mut pairs);
+            }
+        }
+
+        // Candidate *term* pairs that could still be within the
+        // threshold: (a) pairs the count bound cannot prune, found by a
+        // length-sorted scan per type; (b) pairs sharing at least one
+        // q-gram, found through the inverted index.
+        let mut term_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+        let mut by_type: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (idx, term) in ods.terms.iter().enumerate() {
+            by_type.entry(term.type_id).or_default().push(idx);
+        }
+        for group in by_type.values_mut() {
+            group.sort_by_key(|&i| (ods.terms[i].char_len, i));
+            for (pos, &b) in group.iter().enumerate() {
+                // `b` is the longer side of every pair with an earlier
+                // term, so the pair's count bound depends only on `b`.
+                if self.theta > 0.0 && self.count_bound(ods.terms[b].char_len) <= 0 {
+                    for &a in &group[..pos] {
+                        term_pairs.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+
+        // Positional q-gram inverted index: (type, gram hash) → terms.
+        // Each term's grams are sorted by (hash, position) once here, so
+        // the per-pair count verification below is an allocation-free
+        // merge scan (the index build is order-insensitive).
+        let grams: Vec<Vec<(u64, u32)>> = ods
+            .terms
+            .iter()
+            .map(|t| {
+                let mut g: Vec<(u64, u32)> = positional_qgrams(&t.norm, self.q)
+                    .into_iter()
+                    .map(|(g, p)| (token_hash(&g), p as u32))
+                    .collect();
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        let mut index: HashMap<(u32, u64), Vec<usize>> = HashMap::new();
+        for (idx, term_grams) in grams.iter().enumerate() {
+            let mut seen = BTreeSet::new();
+            for &(g, _) in term_grams {
+                if seen.insert(g) {
+                    index
+                        .entry((ods.terms[idx].type_id, g))
+                        .or_default()
+                        .push(idx);
+                }
+            }
+        }
+        for bucket in index.values() {
+            for (pos, &a) in bucket.iter().enumerate() {
+                for &b in &bucket[pos + 1..] {
+                    term_pairs.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+
+        // Verify each candidate term pair against the provable bounds.
+        for &(a, b) in &term_pairs {
+            let (la, lb) = (ods.terms[a].char_len, ods.terms[b].char_len);
+            let max_len = la.max(lb);
+            let k = self.max_edits(max_len);
+            if la.abs_diff(lb) > k {
+                continue; // length bound: distance ≥ |la − lb| > k
+            }
+            let bound = self.count_bound(max_len);
+            if bound > 0 && positional_matches(&grams[a], &grams[b], k) < bound {
+                continue; // count filter: provably above the threshold
+            }
+            cross_postings(&ods.terms[a].postings, &ods.terms[b].postings, &mut pairs);
+        }
+
+        ComparisonPlan {
+            pairs: pairs.into_iter().collect(),
+            total_pairs: n * n.saturating_sub(1) / 2,
+        }
+    }
+}
+
+impl ComparisonFilter for QGramBlocking {
+    fn reduce(&self, ods: &OdSet) -> FilterDecision {
+        FilterDecision {
+            pairs: Some(self.plan(ods).pairs),
+            ..FilterDecision::keep_all(ods.len())
+        }
+    }
+}
+
+/// Inserts every cross pair of two posting lists (distinct objects,
+/// normalised to `i < j`).
+fn cross_postings(a: &[u32], b: &[u32], out: &mut BTreeSet<(usize, usize)>) {
+    for &i in a {
+        for &j in b {
+            if i != j {
+                out.insert((i.min(j) as usize, i.max(j) as usize));
+            }
+        }
+    }
+}
+
+/// Maximum number of q-grams of `a` matchable to equal grams of `b` at a
+/// position offset of at most `k`. Both inputs must be sorted by
+/// (hash, position) — [`QGramBlocking::plan`] sorts each term's grams
+/// once at construction. The per-hash two-pointer greedy is optimal for
+/// threshold matching on a line, so the count never under-estimates
+/// (pruning stays provable).
+fn positional_matches(a: &[(u64, u32)], b: &[(u64, u32)], k: usize) -> i64 {
+    debug_assert!(a.is_sorted() && b.is_sorted());
+    let mut matched = 0i64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (pa, pb) = (a[i].1 as usize, b[j].1 as usize);
+                if pa.abs_diff(pb) <= k {
+                    matched += 1;
+                    i += 1;
+                    j += 1;
+                } else if pa < pb {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+    matched
+}
+
+/// Blocking by banded MinHash (locality-sensitive hashing) over each
+/// object description's token set.
+///
+/// Every OD is tokenised into `(real-world type, word token)` elements;
+/// a MinHash signature of `bands · rows` slots estimates Jaccard
+/// similarity, and objects colliding in at least one band become
+/// candidates. Collision probability for token-Jaccard `J` is
+/// `1 − (1 − J^r)^b`, so `bands`/`rows` tune the S-curve: more rows prune
+/// harder, more bands recall more. Unlike [`QGramBlocking`] this is
+/// probabilistic — recall is high but not guaranteed; the eval table
+/// (`cargo run -p dogmatix_eval --bin blocking`) reports measured recall
+/// and comparisons saved per corpus.
+///
+/// ```
+/// use dogmatix_core::filter::MinHashLshBlocking;
+/// use dogmatix_core::pipeline::Dogmatix;
+/// use dogmatix_xml::{Document, Schema};
+///
+/// let doc = Document::parse(
+///     "<db><m><t>Midnight Journey</t><y>1999</y></m>\
+///          <m><t>Midnight Journey</t><y>1999</y></m>\
+///          <m><t>Blue Sky Ahead</t><y>1971</y></m></db>")?;
+/// let schema = Schema::infer(&doc)?;
+/// let dx = Dogmatix::builder()
+///     .add_type("M", ["/db/m"])
+///     .filter(MinHashLshBlocking::new(16, 2))
+///     .build();
+/// let result = dx.run(&doc, &schema, "M")?;
+/// assert!(result.is_duplicate(0, 1));
+/// # Ok::<(), dogmatix_core::DogmatixError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinHashLshBlocking {
+    /// Number of bands (`b`).
+    pub bands: usize,
+    /// Rows per band (`r`); the signature holds `b · r` slots.
+    pub rows: usize,
+    /// Seed deriving the hash family (fixed default: results are
+    /// deterministic across runs and thread counts).
+    pub seed: u64,
+}
+
+impl MinHashLshBlocking {
+    /// Creates the filter with `bands` bands of `rows` rows and the
+    /// default seed. Panics if either is zero.
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands >= 1 && rows >= 1, "bands and rows must be positive");
+        MinHashLshBlocking {
+            bands,
+            rows,
+            seed: 0xD06_A71,
+        }
+    }
+
+    /// Same filter under a caller-chosen hash-family seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The comparison plan for an OD set (exposed for diagnostics and
+    /// the eval table).
+    pub fn plan(&self, ods: &OdSet) -> ComparisonPlan {
+        let n = ods.len();
+        let hashes = self.bands * self.rows;
+        let mut buckets: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+        for (i, od) in ods.ods.iter().enumerate() {
+            let mut tokens: BTreeSet<u64> = BTreeSet::new();
+            for t in &od.tuples {
+                let info = ods.term(t.term);
+                let salt = mix64(u64::from(info.type_id) ^ self.seed);
+                for word in word_tokens(&info.norm) {
+                    tokens.insert(token_hash(&word) ^ salt);
+                }
+            }
+            if tokens.is_empty() {
+                continue; // empty descriptions block with nothing
+            }
+            let token_hashes: Vec<u64> = tokens.into_iter().collect();
+            let sig = minhash_signature(&token_hashes, hashes, self.seed);
+            for (band, key) in band_keys(&sig, self.bands, self.rows)
+                .into_iter()
+                .enumerate()
+            {
+                buckets.entry((band, key)).or_default().push(i);
+            }
+        }
+        let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for bucket in buckets.values() {
+            for (pos, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[pos + 1..] {
+                    pairs.insert((i.min(j), i.max(j)));
+                }
+            }
+        }
+        ComparisonPlan {
+            pairs: pairs.into_iter().collect(),
+            total_pairs: n * n.saturating_sub(1) / 2,
+        }
+    }
+}
+
+impl ComparisonFilter for MinHashLshBlocking {
+    fn reduce(&self, ods: &OdSet) -> FilterDecision {
+        FilterDecision {
+            pairs: Some(self.plan(ods).pairs),
+            ..FilterDecision::keep_all(ods.len())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,7 +529,6 @@ mod tests {
     use crate::od::OdSet;
     use crate::sim::{DistCache, SimEngine};
     use dogmatix_xml::Document;
-    use std::collections::{BTreeSet, HashMap};
 
     fn build(xml: &str, candidate: &str, selected: &[&str]) -> OdSet {
         let doc = Document::parse(xml).unwrap();
@@ -344,6 +679,125 @@ mod tests {
         // Candidates 0/1 share one term → f > 0 → kept at θ=0.
         assert!(!out.pruned[0] && !out.pruned[1]);
         assert!(out.pruned[2], "f={}", out.f_values[2]);
+    }
+
+    #[test]
+    fn qgram_blocking_is_a_superset_of_similar_tuple_pairs() {
+        // Brute force: every object pair holding a same-type tuple pair
+        // with ned < θ must be in the q-gram plan.
+        let ods = build(
+            "<r>\
+               <m><t>Midnight Journey</t><a>Alice</a></m>\
+               <m><t>Midnigth Journey</t><a>Alicia</a></m>\
+               <m><t>Something Else</t><a>Bob</a></m>\
+               <m><t>Fourth Record</t><a>Alice</a></m>\
+             </r>",
+            "/r/m",
+            &["/r/m/t", "/r/m/a"],
+        );
+        for theta in [0.05, 0.15, 0.3, 0.6] {
+            for q in [2usize, 3] {
+                let plan = QGramBlocking::new(q, theta).plan(&ods);
+                for i in 0..ods.len() {
+                    for j in (i + 1)..ods.len() {
+                        let similar = ods.ods[i].tuples.iter().any(|ti| {
+                            ods.ods[j].tuples.iter().any(|tj| {
+                                ti.type_id == tj.type_id
+                                    && dogmatix_textsim::ned(
+                                        &ods.term(ti.term).norm,
+                                        &ods.term(tj.term).norm,
+                                    ) < theta
+                            })
+                        });
+                        if similar {
+                            assert!(
+                                plan.pairs.contains(&(i, j)),
+                                "q={q} theta={theta}: similar pair ({i},{j}) missing"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qgram_blocking_prunes_unrelated_pairs() {
+        let ods = build(
+            "<r>\
+               <m><t>Alpha Song Unique</t><a>Alice Wonder</a></m>\
+               <m><t>Alpha Song Unique</t><a>Alice Wonder</a></m>\
+               <m><t>Zz Qq Xx Totally</t><a>Nobody Known</a></m>\
+             </r>",
+            "/r/m",
+            &["/r/m/t", "/r/m/a"],
+        );
+        let plan = QGramBlocking::new(2, 0.15).plan(&ods);
+        assert!(plan.pairs.contains(&(0, 1)));
+        assert!(!plan.pairs.contains(&(0, 2)), "{:?}", plan.pairs);
+        assert!(!plan.pairs.contains(&(1, 2)));
+        assert!(plan.reduction() > 0.0);
+    }
+
+    #[test]
+    fn qgram_blocking_zero_theta_yields_empty_plan() {
+        let ods = build(
+            "<r><m><t>Alpha</t></m><m><t>Alpha</t></m></r>",
+            "/r/m",
+            &["/r/m/t"],
+        );
+        // θ = 0: no tuple pair can be strictly similar, so no pair can
+        // classify as a duplicate — the empty plan is a valid superset.
+        let plan = QGramBlocking::new(2, 0.0).plan(&ods);
+        assert!(plan.pairs.is_empty());
+    }
+
+    #[test]
+    fn qgram_blocking_stage_matches_plan_and_is_deterministic() {
+        let ods = build(
+            "<r><m><t>Alpha Song</t></m><m><t>Alpha Sonk</t></m>\
+                <m><t>Unrelated</t></m></r>",
+            "/r/m",
+            &["/r/m/t"],
+        );
+        let stage = QGramBlocking::new(2, 0.2);
+        let decision = stage.reduce(&ods);
+        assert_eq!(decision.pairs.as_deref(), Some(&stage.plan(&ods).pairs[..]));
+        assert!(decision.pruned.iter().all(|p| !p));
+        assert_eq!(stage.plan(&ods), stage.plan(&ods));
+    }
+
+    #[test]
+    fn minhash_lsh_blocking_keeps_near_duplicates_and_prunes() {
+        let ods = build(
+            "<r>\
+               <m><t>Midnight Journey Deluxe</t><a>Alice Wonder</a></m>\
+               <m><t>Midnight Journey Deluxe</t><a>Alice Wonder</a></m>\
+               <m><t>Blue Sky Ahead</t><a>Carol Smith</a></m>\
+               <m><t>Red Rock Canyon</t><a>Dave Jones</a></m>\
+             </r>",
+            "/r/m",
+            &["/r/m/t", "/r/m/a"],
+        );
+        let stage = MinHashLshBlocking::new(16, 2);
+        let plan = stage.plan(&ods);
+        assert!(
+            plan.pairs.contains(&(0, 1)),
+            "token-identical pair must collide in every band: {:?}",
+            plan.pairs
+        );
+        assert!(plan.pairs.len() < plan.total_pairs, "{:?}", plan.pairs);
+        // Deterministic across invocations; a different seed may differ.
+        assert_eq!(plan, stage.plan(&ods));
+        let decision = stage.reduce(&ods);
+        assert_eq!(decision.pairs.as_deref(), Some(&plan.pairs[..]));
+    }
+
+    #[test]
+    fn minhash_lsh_blocking_empty_descriptions_block_nothing() {
+        let ods = build("<r><m><t>A</t></m><m><t>B</t></m></r>", "/r/m", &[]);
+        let plan = MinHashLshBlocking::new(4, 2).plan(&ods);
+        assert!(plan.pairs.is_empty());
     }
 
     #[test]

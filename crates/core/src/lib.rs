@@ -20,6 +20,8 @@
 //! | §7 related-work measures for ablations | [`baseline`] |
 //! | §2 framework: pluggable stage traits | [`stage`] |
 //! | beyond the paper: streaming ingest | [`incremental`] |
+//! | beyond the paper: q-gram / MinHash-LSH blocking | [`filter`], [`neighborhood`] |
+//! | beyond the paper: sharded pair-plan execution | [`shard`] |
 //!
 //! ## Quick start
 //!
@@ -94,6 +96,7 @@ pub mod od;
 pub mod output;
 pub mod pipeline;
 pub mod query;
+pub mod shard;
 pub mod sim;
 pub mod stage;
 

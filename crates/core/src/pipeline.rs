@@ -32,6 +32,7 @@ use crate::heuristics::HeuristicExpr;
 use crate::mapping::Mapping;
 use crate::od::OdSet;
 use crate::output::clusters_to_xml;
+use crate::shard::ShardedDriver;
 use crate::sim::{DistCache, SoftIdfMeasure};
 use crate::stage::{
     Clusterer, ComparisonFilter, DescriptionSelector, FilterDecision, PairClassifier,
@@ -264,6 +265,7 @@ pub struct Dogmatix {
     measure: Arc<dyn SimilarityMeasure>,
     classifier: Arc<dyn PairClassifier>,
     clusterer: Arc<dyn Clusterer>,
+    driver: Option<ShardedDriver>,
 }
 
 impl Dogmatix {
@@ -289,6 +291,7 @@ impl Dogmatix {
             measure: None,
             classifier: None,
             clusterer: None,
+            driver: None,
         }
     }
 
@@ -364,13 +367,32 @@ impl Dogmatix {
         });
         let threads = self.threads();
         let classifier = self.classifier.as_ref();
-        let (mut duplicate_pairs, mut possible_pairs, pairs_compared) = match pairs {
-            None => {
+        let (mut duplicate_pairs, mut possible_pairs, pairs_compared) = match (self.driver, pairs) {
+            (Some(driver), pairs) => {
+                // Sharded execution: materialise the plan (implicit
+                // all-pairs included), hash-partition it, and score the
+                // shards on scoped workers with per-shard caches.
+                let plan: Vec<(usize, usize)> = match pairs {
+                    None => active
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(a, &i)| active[a + 1..].iter().map(move |&j| (i, j)))
+                        .collect(),
+                    Some(plan) => plan
+                        .into_iter()
+                        .filter(|(i, j)| !pruned[*i] && !pruned[*j])
+                        .collect(),
+                };
+                let compared = plan.len();
+                let found = driver.execute(prepared.as_ref(), classifier, &plan);
+                (found.0, found.1, compared)
+            }
+            (None, None) => {
                 let m = active.len();
                 let found = compare_all(prepared.as_ref(), &active, classifier, threads);
                 (found.0, found.1, m * m.saturating_sub(1) / 2)
             }
-            Some(plan) => {
+            (None, Some(plan)) => {
                 let plan: Vec<(usize, usize)> = plan
                     .into_iter()
                     .filter(|(i, j)| !pruned[*i] && !pruned[*j])
@@ -523,6 +545,7 @@ pub struct DogmatixBuilder {
     measure: Option<Arc<dyn SimilarityMeasure>>,
     classifier: Option<Arc<dyn PairClassifier>>,
     clusterer: Option<Arc<dyn Clusterer>>,
+    driver: Option<ShardedDriver>,
 }
 
 impl DogmatixBuilder {
@@ -613,6 +636,18 @@ impl DogmatixBuilder {
         self
     }
 
+    /// Executes pairwise comparison through a
+    /// [`ShardedDriver`]: the pair plan is
+    /// hash-partitioned by candidate id into `shards` per-shard plans
+    /// (plus a cross-shard residual), each scored by its own scoped
+    /// worker with a plan-sized distance cache. `0` = one shard per
+    /// available core. Results are bit-identical to the unsharded
+    /// pipeline at every shard count.
+    pub fn sharded(mut self, shards: usize) -> Self {
+        self.driver = Some(ShardedDriver::new(shards));
+        self
+    }
+
     /// Assembles the detector, deriving any unset stage from the
     /// configuration defaults.
     pub fn build(self) -> Dogmatix {
@@ -624,6 +659,7 @@ impl DogmatixBuilder {
             measure,
             classifier,
             clusterer,
+            driver,
         } = self;
         let selector = selector.unwrap_or_else(|| Arc::new(config.heuristic.clone()) as Arc<_>);
         let filter = filter.unwrap_or_else(|| {
@@ -646,6 +682,7 @@ impl DogmatixBuilder {
             measure,
             classifier,
             clusterer,
+            driver,
         }
     }
 }
@@ -703,11 +740,11 @@ fn compare_plan(
 }
 
 /// Duplicate and possible-duplicate pairs found by one comparison pass.
-type FoundPairs = (Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>);
+pub(crate) type FoundPairs = (Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>);
 
 /// Scores one pair and files it into the matching bucket.
 #[inline]
-fn score_pair(
+pub(crate) fn score_pair(
     measure: &dyn PreparedMeasure,
     classifier: &dyn PairClassifier,
     i: usize,
@@ -776,10 +813,11 @@ fn merge_found(out: &mut FoundPairs, local: FoundPairs) {
     out.1.extend(local.1);
 }
 
-/// A worker cache sized for its share of the comparison work, capped so
-/// huge corpora do not pre-allocate unbounded maps.
+/// A worker cache sized for its share of the comparison work: each
+/// round-robin worker executes `work_items / threads` pairs, and the
+/// shared plan-based sizing ([`crate::sim`]) clamps tiny and huge plans.
 fn worker_cache_capacity(work_items: usize, threads: usize) -> usize {
-    (work_items * 8 / threads.max(1)).clamp(16, 1 << 16)
+    crate::sim::cache_capacity_for_plan(work_items / threads.max(1))
 }
 
 #[cfg(test)]

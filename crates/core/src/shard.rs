@@ -1,0 +1,329 @@
+//! Sharded execution of comparison pair plans.
+//!
+//! The pipeline's Step 5 scores whatever pair plan Step 4 produced. This
+//! module partitions that plan into per-shard plans — hash-partitioned
+//! by candidate id — plus one cross-shard *residual* plan, and executes
+//! the shards (and residual chunks) as work units over a bounded pool of
+//! `std::thread::scope` workers, each unit scored with a private
+//! [`DistCache`] sized from **that unit's** plan length. Verdicts are
+//! merged and sorted, so the output is bit-identical for any shard
+//! count: each pair is scored exactly once and `sim` is a pure function
+//! of the pair.
+//!
+//! Sharding is an *execution* concern, deliberately orthogonal to the
+//! `ComparisonFilter` stage that decides *which* pairs exist: any filter
+//! (object filter, sorted neighborhood, top-k, q-gram, MinHash-LSH) can
+//! run sharded. The differential suite (`tests/sharding.rs`) proves the
+//! bit-identity for shard counts 1/2/8/0 under every bundled filter.
+
+use crate::sim::DistCache;
+use crate::stage::{PairClassifier, PreparedMeasure};
+
+/// Partitions a comparison pair plan into per-shard plans and drives
+/// their parallel execution.
+///
+/// A pair `(i, j)` lands in shard `s` when both candidates hash-partition
+/// to `s`; pairs whose candidates straddle shards form the residual plan.
+/// A shard count of `0` resolves to the machine's available parallelism;
+/// a count of `1` degenerates to one sequential shard (the unsharded
+/// baseline the scaling bench compares against).
+///
+/// ```
+/// use dogmatix_core::pipeline::Dogmatix;
+/// use dogmatix_xml::{Document, Schema};
+///
+/// let doc = Document::parse(
+///     "<db><m><t>Same Song</t></m><m><t>Same Song</t></m>\
+///          <m><t>Other Tune</t></m></db>")?;
+/// let schema = Schema::infer(&doc)?;
+/// let build = |shards| Dogmatix::builder()
+///     .add_type("M", ["/db/m"])
+///     .sharded(shards)
+///     .build()
+///     .run(&doc, &schema, "M");
+/// let unsharded = build(1)?;
+/// // Bit-identical result at any shard count, including auto (0).
+/// for shards in [2, 8, 0] {
+///     assert_eq!(build(shards)?, unsharded);
+/// }
+/// # Ok::<(), dogmatix_core::DogmatixError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedDriver {
+    /// Requested shard count; `0` = one shard per available core.
+    pub shards: usize,
+}
+
+/// A partitioned comparison plan: one pair list per shard plus the
+/// cross-shard residual.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Per-shard plans: `shards[s]` holds the pairs both of whose
+    /// candidates partition to shard `s`.
+    pub shards: Vec<Vec<(usize, usize)>>,
+    /// Pairs whose candidates live in different shards.
+    pub residual: Vec<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// Total number of pairs across all shards and the residual.
+    pub fn total_pairs(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum::<usize>() + self.residual.len()
+    }
+}
+
+impl ShardedDriver {
+    /// Creates a driver with the given shard count (`0` = auto).
+    pub fn new(shards: usize) -> Self {
+        ShardedDriver { shards }
+    }
+
+    /// The effective shard count: `0` resolves to available parallelism.
+    pub fn resolved_shards(&self) -> usize {
+        match self.shards {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            s => s,
+        }
+    }
+
+    /// The shard a candidate id partitions to.
+    pub fn shard_of(&self, candidate: usize, shards: usize) -> usize {
+        (dogmatix_textsim::mix64(candidate as u64) % shards.max(1) as u64) as usize
+    }
+
+    /// Splits a pair plan into per-shard plans plus the residual,
+    /// preserving the input order within every part.
+    pub fn partition(&self, plan: &[(usize, usize)]) -> ShardPlan {
+        let shards = self.resolved_shards();
+        let mut per_shard: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shards];
+        let mut residual = Vec::new();
+        for &(i, j) in plan {
+            let (si, sj) = (self.shard_of(i, shards), self.shard_of(j, shards));
+            if si == sj {
+                per_shard[si].push((i, j));
+            } else {
+                residual.push((i, j));
+            }
+        }
+        ShardPlan {
+            shards: per_shard,
+            residual,
+        }
+    }
+
+    /// Scores a pair plan shard by shard: every non-empty shard is one
+    /// work unit, the cross-shard residual is split into worker-count
+    /// chunks (it holds `1 − 1/s` of a uniform plan, so it must
+    /// parallelise too), and each unit is scored with a [`DistCache`]
+    /// pre-sized from **that unit's** plan length. Units are drained by
+    /// at most `available_parallelism` scoped workers — a shard count of
+    /// 50 000 queues units, it does not spawn 50 000 threads. Verdict
+    /// order is normalised by the caller's sort, so results do not
+    /// depend on the shard count or worker scheduling.
+    pub(crate) fn execute(
+        &self,
+        measure: &dyn PreparedMeasure,
+        classifier: &dyn PairClassifier,
+        plan: &[(usize, usize)],
+    ) -> crate::pipeline::FoundPairs {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.execute_with_workers(measure, classifier, plan, workers)
+    }
+
+    /// [`ShardedDriver::execute`] with an explicit worker cap (separated
+    /// so the pool branch is testable on single-core machines).
+    fn execute_with_workers(
+        &self,
+        measure: &dyn PreparedMeasure,
+        classifier: &dyn PairClassifier,
+        plan: &[(usize, usize)],
+        workers: usize,
+    ) -> crate::pipeline::FoundPairs {
+        let parts = self.partition(plan);
+        let mut units: Vec<&[(usize, usize)]> = parts
+            .shards
+            .iter()
+            .map(Vec::as_slice)
+            .filter(|u| !u.is_empty())
+            .collect();
+        if !parts.residual.is_empty() {
+            let chunk = parts.residual.len().div_ceil(workers);
+            units.extend(parts.residual.chunks(chunk));
+        }
+
+        let score_unit = |unit: &[(usize, usize)]| {
+            let mut cache = DistCache::for_plan(unit.len());
+            let mut found = crate::pipeline::FoundPairs::default();
+            for &(i, j) in unit {
+                crate::pipeline::score_pair(measure, classifier, i, j, &mut cache, &mut found);
+            }
+            found
+        };
+
+        if units.len() <= 1 || workers == 1 {
+            // Nothing to parallelise: score the units in place.
+            let mut found = crate::pipeline::FoundPairs::default();
+            for unit in units {
+                let local = score_unit(unit);
+                found.0.extend(local.0);
+                found.1.extend(local.1);
+            }
+            return found;
+        }
+
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results = std::sync::Mutex::new(crate::pipeline::FoundPairs::default());
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(units.len()) {
+                let (units, next, results) = (&units, &next, &results);
+                let score_unit = &score_unit;
+                scope.spawn(move || {
+                    let mut local = crate::pipeline::FoundPairs::default();
+                    loop {
+                        let u = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(unit) = units.get(u) else { break };
+                        let found = score_unit(unit);
+                        local.0.extend(found.0);
+                        local.1.extend(found.1);
+                    }
+                    let mut out = results.lock().expect("no worker panicked holding the lock");
+                    out.0.extend(local.0);
+                    out.1.extend(local.1);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("no worker panicked holding the lock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::DistCache;
+
+    fn driver(shards: usize) -> ShardedDriver {
+        ShardedDriver::new(shards)
+    }
+
+    #[test]
+    fn partition_covers_every_pair_exactly_once() {
+        let plan: Vec<(usize, usize)> = (0..20)
+            .flat_map(|i| ((i + 1)..20).map(move |j| (i, j)))
+            .collect();
+        for shards in [1, 2, 3, 8] {
+            let parts = driver(shards).partition(&plan);
+            assert_eq!(parts.shards.len(), shards);
+            assert_eq!(parts.total_pairs(), plan.len(), "shards={shards}");
+            let mut all: Vec<(usize, usize)> = parts.shards.iter().flatten().copied().collect();
+            all.extend(&parts.residual);
+            all.sort_unstable();
+            let mut want = plan.clone();
+            want.sort_unstable();
+            assert_eq!(all, want, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn single_shard_has_empty_residual() {
+        let plan = vec![(0, 1), (1, 2), (0, 5)];
+        let parts = driver(1).partition(&plan);
+        assert!(parts.residual.is_empty());
+        assert_eq!(parts.shards[0], plan);
+    }
+
+    #[test]
+    fn in_shard_pairs_agree_on_their_shard() {
+        let plan: Vec<(usize, usize)> = (0..30).map(|i| (i, i + 30)).collect();
+        let d = driver(4);
+        let parts = d.partition(&plan);
+        for (s, shard) in parts.shards.iter().enumerate() {
+            for &(i, j) in shard {
+                assert_eq!(d.shard_of(i, 4), s);
+                assert_eq!(d.shard_of(j, 4), s);
+            }
+        }
+        for &(i, j) in &parts.residual {
+            assert_ne!(d.shard_of(i, 4), d.shard_of(j, 4));
+        }
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one_shard() {
+        assert!(driver(0).resolved_shards() >= 1);
+        assert_eq!(driver(7).resolved_shards(), 7);
+    }
+
+    #[test]
+    fn worker_pool_matches_inline_execution() {
+        // Exercise the scoped worker-pool branch explicitly (a 1-core
+        // machine never reaches it through `execute`): any worker cap
+        // must yield the same verdicts as inline execution.
+        use crate::classify::ThresholdClassifier;
+        use crate::mapping::Mapping;
+        use crate::od::OdSet;
+        use crate::sim::SimEngine;
+        use std::collections::{BTreeSet, HashMap};
+
+        let doc = dogmatix_xml::Document::parse(
+            "<r><m><t>Alpha Song</t></m><m><t>Alpha Song</t></m>\
+                <m><t>Beta Tune</t></m><m><t>Beta Tune</t></m>\
+                <m><t>Gamma Roll</t></m><m><t>Delta Beat</t></m></r>",
+        )
+        .unwrap();
+        let candidates = doc.select("/r/m").unwrap();
+        let mut sel = HashMap::new();
+        sel.insert(
+            "/r/m".to_string(),
+            ["/r/m/t".to_string()].into_iter().collect::<BTreeSet<_>>(),
+        );
+        let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+        let engine = SimEngine::new(&ods, 0.15);
+        let classifier = ThresholdClassifier::new(0.5);
+        let n = ods.len();
+        let plan: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+
+        let d = driver(8);
+        let sort = |mut f: crate::pipeline::FoundPairs| {
+            f.0.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            f.1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            f
+        };
+        let inline = sort(d.execute_with_workers(&engine, &classifier, &plan, 1));
+        assert_eq!(inline.0.len(), 2, "both duplicate pairs score above θ");
+        for workers in [2, 4, 16] {
+            let pooled = sort(d.execute_with_workers(&engine, &classifier, &plan, workers));
+            assert_eq!(pooled, inline, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn one_pair_shard_gets_the_minimum_cache() {
+        // Regression for the pre-sizing fix: per-shard caches are sized
+        // from the shard's own plan, so a skewed partition with a 1-pair
+        // shard must not pre-allocate a pool-share-sized table.
+        let d = driver(8);
+        // Find two candidate ids that share a shard under 8-way
+        // partitioning (deterministic hash, so scan a few ids).
+        let (a, b) = (0..64)
+            .flat_map(|a| ((a + 1)..64).map(move |b| (a, b)))
+            .find(|&(a, b)| d.shard_of(a, 8) == d.shard_of(b, 8))
+            .expect("some pair shares a shard");
+        let parts = d.partition(&[(a, b)]);
+        let lone: Vec<&Vec<(usize, usize)>> =
+            parts.shards.iter().filter(|s| !s.is_empty()).collect();
+        assert_eq!(lone.len(), 1);
+        assert_eq!(lone[0].len(), 1, "the whole plan is one 1-pair shard");
+        assert!(
+            DistCache::for_plan(lone[0].len()).capacity() <= 64,
+            "a 1-pair shard must get the minimum table"
+        );
+    }
+}

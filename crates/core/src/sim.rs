@@ -73,6 +73,18 @@ impl DistCache {
         }
     }
 
+    /// Creates a cache pre-sized for a comparison plan of `plan_len`
+    /// pairs — the per-worker sizing used by both the round-robin
+    /// pipeline workers and the sharded driver.
+    ///
+    /// Sizing from the *plan the worker actually executes* (rather than
+    /// a global pool estimate) matters for skewed shards: a shard whose
+    /// plan holds a single pair gets the minimum table instead of a
+    /// share of the whole run's pair count.
+    pub fn for_plan(plan_len: usize) -> Self {
+        DistCache::with_capacity(cache_capacity_for_plan(plan_len))
+    }
+
     /// Number of memoised entries the maps can hold before rehashing.
     pub fn capacity(&self) -> usize {
         self.dist.capacity().min(self.similar.capacity())
@@ -91,6 +103,16 @@ impl DistCache {
     fn distance(&mut self, ods: &OdSet, a: TermId, b: TermId) -> f64 {
         distance_memo(&mut self.dist, ods, a, b)
     }
+}
+
+/// Memoised-entry budget for a worker about to score `plan_len` pairs.
+/// Only *frequent* term pairs are memoised, and their count is far below
+/// the OD-pair count, so roughly two entries per planned pair is ample;
+/// the clamp keeps tiny shards at the minimum table and huge corpora
+/// bounded. (Over-sizing is not free: allocating multi-megabyte tables
+/// per shard costs more than the rehashes they would avoid.)
+pub(crate) fn cache_capacity_for_plan(plan_len: usize) -> usize {
+    plan_len.saturating_mul(2).clamp(16, 1 << 16)
 }
 
 /// Whether a term pair is worth memoising: both sides recur.
@@ -746,6 +768,22 @@ mod tests {
             }
         }
         assert_eq!(cold.len(), warm.len());
+    }
+
+    #[test]
+    fn plan_sized_cache_scales_with_the_plan_not_the_pool() {
+        // Regression: a 1-pair shard used to inherit a share of the
+        // global pool estimate; it must get the minimum table instead.
+        assert_eq!(cache_capacity_for_plan(0), 16);
+        assert_eq!(cache_capacity_for_plan(1), 16);
+        let one_pair = DistCache::for_plan(1);
+        assert!(
+            one_pair.capacity() <= 64,
+            "a 1-pair shard must not pre-allocate a pool-sized table, got {}",
+            one_pair.capacity()
+        );
+        assert!(DistCache::for_plan(10_000).capacity() >= 16 * 1024);
+        assert_eq!(cache_capacity_for_plan(usize::MAX), 1 << 16);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! | Step | Trait | Bundled implementations |
 //! |---|---|---|
 //! | 2+3 description selection | [`DescriptionSelector`] | [`crate::heuristics::HeuristicExpr`], [`ManualSelection`] |
-//! | 4 comparison reduction | [`ComparisonFilter`] | [`crate::filter::ObjectFilter`], [`crate::filter::NoFilter`], [`crate::neighborhood::TopKBlocking`], [`crate::neighborhood::SortedNeighborhoodFilter`] |
+//! | 4 comparison reduction | [`ComparisonFilter`] | [`crate::filter::ObjectFilter`], [`crate::filter::NoFilter`], [`crate::filter::QGramBlocking`], [`crate::filter::MinHashLshBlocking`], [`crate::neighborhood::TopKBlocking`], [`crate::neighborhood::SortedNeighborhoodFilter`] |
 //! | 5 pairwise comparison | [`SimilarityMeasure`] | [`crate::sim::SoftIdfMeasure`] and every measure in [`crate::baseline`] |
 //! | 5 classification | [`PairClassifier`] | [`crate::classify::ThresholdClassifier`], [`crate::classify::DualThreshold`] |
 //! | 6 clustering | [`Clusterer`] | [`crate::cluster::TransitiveClosure`] |
@@ -111,6 +111,11 @@ impl FilterDecision {
 /// Step 4 — comparison reduction: prunes candidates (filtering) or
 /// restricts the pair plan (blocking/windowing) before the quadratic
 /// comparison step.
+///
+/// The resulting pair plan is an *input* to execution, not a
+/// prescription of it: the pipeline scores it sequentially, round-robin
+/// across worker threads, or hash-partitioned into per-shard plans via
+/// [`crate::shard::ShardedDriver`] — all with bit-identical results.
 pub trait ComparisonFilter: fmt::Debug + Send + Sync {
     /// Decides which candidates and pairs survive.
     fn reduce(&self, ods: &OdSet) -> FilterDecision;

@@ -1,0 +1,7 @@
+//! Prints the blocking shoot-out table (recall vs. comparisons saved)
+//! at evaluation size: 250 CD originals, 120 movies per source.
+
+fn main() {
+    let rows = dogmatix_eval::blocking::run(250, 120);
+    print!("{}", dogmatix_eval::blocking::render(&rows));
+}

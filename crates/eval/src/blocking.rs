@@ -1,0 +1,248 @@
+//! Blocking shoot-out: pairwise recall vs. comparisons saved, per
+//! comparison-reduction strategy, on the seeded CD and movie corpora.
+//!
+//! Every strategy runs through the identical pipeline (same selector,
+//! measure, classifier) against a shared [`DetectionSession`], so the
+//! table isolates exactly one variable: which pairs Step 4 lets through.
+//! *Recall* is measured against the exhaustive (no-filter) run's
+//! duplicate pairs; *saved* is the fraction of the exhaustive comparison
+//! count avoided. The q-gram filter's recall is provably 1.0 (count
+//! filter superset guarantee); MinHash-LSH trades a bounded sliver of
+//! recall for a larger cut — the acceptance bounds (recall ≥ 0.95,
+//! saved ≥ 60%) are enforced by this module's tests.
+
+use crate::setup;
+use dogmatix_core::filter::{MinHashLshBlocking, QGramBlocking};
+use dogmatix_core::heuristics::HeuristicExpr;
+use dogmatix_core::mapping::Mapping;
+use dogmatix_core::neighborhood::{SortedNeighborhoodFilter, TopKBlocking};
+use dogmatix_core::pipeline::{DetectionSession, Dogmatix, DogmatixBuilder};
+use dogmatix_datagen::datasets::{dataset1_sized, dataset2_sized};
+use dogmatix_xml::{Document, Schema};
+use std::collections::BTreeSet;
+
+/// One measured (corpus, strategy) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockingRow {
+    /// Corpus label (`cd`, `movie`).
+    pub corpus: String,
+    /// Strategy label.
+    pub strategy: String,
+    /// Pairs the strategy actually compared.
+    pub pairs_compared: usize,
+    /// Fraction of the exhaustive comparisons avoided.
+    pub comparisons_saved: f64,
+    /// Duplicate pairs detected.
+    pub duplicates_found: usize,
+    /// Fraction of the exhaustive run's duplicate pairs retained.
+    pub recall_vs_exhaustive: f64,
+}
+
+/// The LSH parameterisation the acceptance bounds are proven for.
+pub fn acceptance_lsh() -> MinHashLshBlocking {
+    MinHashLshBlocking::new(48, 2)
+}
+
+/// The q-gram parameterisation used by the table and the CLI.
+pub fn acceptance_qgram() -> QGramBlocking {
+    QGramBlocking::new(2, setup::THETA_TUPLE)
+}
+
+/// Runs every strategy over one corpus, returning a row per strategy
+/// (the first row is the exhaustive baseline).
+pub fn run_corpus(
+    label: &str,
+    doc: &Document,
+    schema: &Schema,
+    mapping: &Mapping,
+    rw_type: &str,
+    heuristic: HeuristicExpr,
+) -> Vec<BlockingRow> {
+    let base = || -> DogmatixBuilder {
+        Dogmatix::builder()
+            .mapping(mapping.clone())
+            .heuristic(heuristic.clone())
+            .theta_tuple(setup::THETA_TUPLE)
+            .theta_cand(setup::THETA_CAND)
+    };
+    let strategies: Vec<(&str, Dogmatix)> = vec![
+        ("exhaustive", base().no_filter().build()),
+        ("object-filter", base().build()),
+        (
+            "snm w=10",
+            base().filter(SortedNeighborhoodFilter::new(10)).build(),
+        ),
+        ("topk k=5", base().filter(TopKBlocking::new(5)).build()),
+        ("qgram q=2", base().filter(acceptance_qgram()).build()),
+        ("lsh 48x2", base().filter(acceptance_lsh()).build()),
+    ];
+
+    let session =
+        DetectionSession::new(doc, schema, mapping, rw_type).expect("the corpus wiring is valid");
+    let exhaustive = strategies[0]
+        .1
+        .detect(&session)
+        .expect("exhaustive run succeeds");
+    let truth: BTreeSet<(usize, usize)> = exhaustive
+        .duplicate_pairs
+        .iter()
+        .map(|&(i, j, _)| (i, j))
+        .collect();
+    let baseline_compared = exhaustive.stats.pairs_compared.max(1);
+
+    strategies
+        .iter()
+        .map(|(name, dx)| {
+            let result = dx.detect(&session).expect("strategy run succeeds");
+            let found: BTreeSet<(usize, usize)> = result
+                .duplicate_pairs
+                .iter()
+                .map(|&(i, j, _)| (i, j))
+                .collect();
+            let hit = found.intersection(&truth).count();
+            BlockingRow {
+                corpus: label.to_string(),
+                strategy: name.to_string(),
+                pairs_compared: result.stats.pairs_compared,
+                comparisons_saved: 1.0
+                    - result.stats.pairs_compared as f64 / baseline_compared as f64,
+                duplicates_found: found.len(),
+                recall_vs_exhaustive: if truth.is_empty() {
+                    1.0
+                } else {
+                    hit as f64 / truth.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// The full table: seeded CD corpus (Dataset 1) and integrated movie
+/// corpus (Dataset 2) at the given original counts.
+pub fn run(cd_n: usize, movie_n: usize) -> Vec<BlockingRow> {
+    let mut rows = Vec::new();
+
+    let (cd_doc, _) = dataset1_sized(42, cd_n);
+    rows.extend(run_corpus(
+        "cd",
+        &cd_doc,
+        &setup::cd_schema(),
+        &setup::cd_mapping(),
+        setup::CD_TYPE,
+        HeuristicExpr::k_closest_descendants(6),
+    ));
+
+    let (movie_doc, _) = dataset2_sized(42, movie_n);
+    let movie_schema = setup::movie_schema(&movie_doc);
+    rows.extend(run_corpus(
+        "movie",
+        &movie_doc,
+        &movie_schema,
+        &setup::movie_mapping(),
+        setup::MOVIE_TYPE,
+        HeuristicExpr::r_distant_descendants(2),
+    ));
+
+    rows
+}
+
+/// Renders the rows as a fixed-width text table.
+pub fn render(rows: &[BlockingRow]) -> String {
+    let mut out = String::from(
+        "Blocking strategies: pairwise recall vs. comparisons saved\n\
+         (recall measured against the exhaustive run of the same corpus)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<8}{:<16}{:>10}{:>9}{:>8}{:>9}\n",
+        "corpus", "strategy", "compared", "saved", "dups", "recall"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8}{:<16}{:>10}{:>8.1}%{:>8}{:>8.1}%\n",
+            r.corpus,
+            r.strategy,
+            r.pairs_compared,
+            r.comparisons_saved * 100.0,
+            r.duplicates_found,
+            r.recall_vs_exhaustive * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The table is the most expensive computation in this suite (12
+    /// full detections); compute it once for all three tests.
+    fn rows() -> &'static [BlockingRow] {
+        static ROWS: std::sync::OnceLock<Vec<BlockingRow>> = std::sync::OnceLock::new();
+        ROWS.get_or_init(|| run(60, 40))
+    }
+
+    fn row<'a>(rows: &'a [BlockingRow], corpus: &str, strategy: &str) -> &'a BlockingRow {
+        rows.iter()
+            .find(|r| r.corpus == corpus && r.strategy == strategy)
+            .unwrap_or_else(|| panic!("row {corpus}/{strategy} missing"))
+    }
+
+    /// The acceptance criterion: on both seeded corpora, MinHash-LSH
+    /// keeps ≥ 95% of the exhaustive run's duplicate pairs while cutting
+    /// ≥ 60% of the comparisons.
+    #[test]
+    fn lsh_recall_and_savings_meet_the_acceptance_bounds() {
+        let rows = rows();
+        for corpus in ["cd", "movie"] {
+            let lsh = row(rows, corpus, "lsh 48x2");
+            assert!(
+                lsh.recall_vs_exhaustive >= 0.95,
+                "{corpus}: LSH recall {} < 0.95",
+                lsh.recall_vs_exhaustive
+            );
+            assert!(
+                lsh.comparisons_saved >= 0.60,
+                "{corpus}: LSH saved only {:.1}% of comparisons",
+                lsh.comparisons_saved * 100.0
+            );
+        }
+    }
+
+    /// The q-gram count filter is lossless by construction: recall must
+    /// be exactly 1.0 while still saving work.
+    #[test]
+    fn qgram_recall_is_exactly_one() {
+        let rows = rows();
+        for corpus in ["cd", "movie"] {
+            let qgram = row(rows, corpus, "qgram q=2");
+            assert_eq!(
+                qgram.recall_vs_exhaustive, 1.0,
+                "{corpus}: the superset guarantee was violated"
+            );
+            assert!(
+                qgram.comparisons_saved > 0.0,
+                "{corpus}: q-gram blocking saved nothing"
+            );
+        }
+    }
+
+    /// Table shape and baseline sanity: the exhaustive row saves nothing
+    /// and recalls everything; every strategy compares no more than it.
+    #[test]
+    fn table_is_well_formed() {
+        let rows = rows();
+        assert_eq!(rows.len(), 12, "6 strategies x 2 corpora");
+        for corpus in ["cd", "movie"] {
+            let exhaustive = row(rows, corpus, "exhaustive");
+            assert_eq!(exhaustive.comparisons_saved, 0.0);
+            assert_eq!(exhaustive.recall_vs_exhaustive, 1.0);
+            assert!(exhaustive.duplicates_found > 0, "{corpus} has duplicates");
+            for r in rows.iter().filter(|r| r.corpus == corpus) {
+                assert!(r.pairs_compared <= exhaustive.pairs_compared);
+                assert!((0.0..=1.0).contains(&r.recall_vs_exhaustive));
+            }
+        }
+        let text = render(rows);
+        assert!(text.contains("lsh 48x2") && text.contains("qgram q=2"));
+    }
+}

@@ -13,6 +13,9 @@
 //!   experiments 1–8,
 //! * [`fig7`] — precision vs. `θ_cand` on Dataset 3,
 //! * [`fig8`] — object-filter recall/precision vs. duplicate percentage,
+//! * [`blocking`] — blocking shoot-out beyond the paper: pairwise recall
+//!   vs. comparisons saved for the object filter, sorted neighborhood,
+//!   top-k, q-gram, and MinHash-LSH strategies,
 //! * [`metrics`] — pairwise precision/recall and the paper's filter
 //!   metrics,
 //! * [`setup`] — dataset → mapping/schema wiring shared by the runners.
@@ -22,6 +25,7 @@
 //! binaries (`fig5`…`reproduce`) run at the paper's full sizes, while the
 //! unit tests use scaled-down corpora.
 
+pub mod blocking;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

@@ -20,6 +20,8 @@
 //!   (Definition 8),
 //! * [`jaro()`], [`jaccard`], [`tokenize`] — alternative measures used by the
 //!   ablation benchmarks,
+//! * [`minhash`] — deterministic MinHash signatures and banded LSH keys
+//!   backing the blocking filters,
 //! * [`normalize`] — value normalisation applied before comparison.
 //!
 //! Everything here is deterministic and allocation-conscious: the hot
@@ -30,6 +32,7 @@ pub mod idf;
 pub mod jaccard;
 pub mod jaro;
 pub mod levenshtein;
+pub mod minhash;
 pub mod ned;
 pub mod normalize;
 pub mod tokenize;
@@ -39,6 +42,7 @@ pub use idf::{idf, soft_idf};
 pub use jaccard::{jaccard_tokens, overlap_coefficient};
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{levenshtein, levenshtein_bounded};
+pub use minhash::{band_keys, minhash_signature, mix64, token_hash};
 pub use ned::{ned, ned_within};
 pub use normalize::normalize_value;
-pub use tokenize::{char_ngrams, word_tokens};
+pub use tokenize::{char_ngrams, positional_qgrams, word_tokens};

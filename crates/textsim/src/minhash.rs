@@ -1,0 +1,157 @@
+//! MinHash signatures and banded locality-sensitive hashing over token
+//! sets.
+//!
+//! A MinHash signature approximates the Jaccard similarity of two sets:
+//! for each of `h` independent hash functions the signature keeps the
+//! minimum hash over the set's elements, and the fraction of agreeing
+//! signature slots is an unbiased estimator of the Jaccard coefficient.
+//! Banding the signature into `b` bands of `r` rows turns the estimator
+//! into a candidate filter: two sets collide in at least one band with
+//! probability `1 − (1 − J^r)^b` — the classic S-curve whose steepness is
+//! tuned via `b` and `r`.
+//!
+//! Everything here is deterministic: the `i`-th hash function is derived
+//! from `i` (and an optional caller seed) by the splitmix64 finalizer, so
+//! signatures are stable across runs, platforms, and thread counts.
+
+/// The splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+///
+/// Used both to hash tokens and to derive the per-slot hash functions of
+/// a MinHash signature.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Stable 64-bit hash of a token (FNV-1a over the bytes, then mixed).
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::token_hash;
+/// assert_eq!(token_hash("matrix"), token_hash("matrix"));
+/// assert_ne!(token_hash("matrix"), token_hash("matrix "));
+/// ```
+pub fn token_hash(token: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in token.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
+
+/// MinHash signature of a token set given as pre-hashed elements.
+///
+/// Slot `i` holds the minimum of `mix64(t ^ seed_i)` over all tokens `t`,
+/// where `seed_i` is derived from `i` and `seed`. An empty token set
+/// yields a signature of all `u64::MAX` — callers that want "no
+/// candidates for empty descriptions" should skip empty sets instead of
+/// hashing the sentinel.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::{minhash_signature, token_hash};
+/// let a: Vec<u64> = ["the", "matrix", "1999"].iter().map(|t| token_hash(t)).collect();
+/// let b: Vec<u64> = ["1999", "matrix", "the"].iter().map(|t| token_hash(t)).collect();
+/// // Signatures are order-independent (they hash the *set*).
+/// assert_eq!(minhash_signature(&a, 8, 0), minhash_signature(&b, 8, 0));
+/// assert_eq!(minhash_signature(&[], 4, 0), vec![u64::MAX; 4]);
+/// ```
+pub fn minhash_signature(token_hashes: &[u64], hashes: usize, seed: u64) -> Vec<u64> {
+    let mut sig = vec![u64::MAX; hashes];
+    for (i, slot) in sig.iter_mut().enumerate() {
+        let fn_seed = mix64(seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        for &t in token_hashes {
+            let h = mix64(t ^ fn_seed);
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    }
+    sig
+}
+
+/// Collapses a signature into `bands` bucket keys of `rows` slots each.
+///
+/// Two sets are LSH candidates iff they agree on at least one band key.
+/// The signature must hold exactly `bands · rows` slots.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::{band_keys, minhash_signature, token_hash};
+/// let toks: Vec<u64> = ["alpha", "beta"].iter().map(|t| token_hash(t)).collect();
+/// let sig = minhash_signature(&toks, 8, 0);
+/// let keys = band_keys(&sig, 4, 2);
+/// assert_eq!(keys.len(), 4);
+/// // Identical sets share every band.
+/// assert_eq!(keys, band_keys(&minhash_signature(&toks, 8, 0), 4, 2));
+/// ```
+pub fn band_keys(signature: &[u64], bands: usize, rows: usize) -> Vec<u64> {
+    assert_eq!(
+        signature.len(),
+        bands * rows,
+        "signature length must equal bands * rows"
+    );
+    signature
+        .chunks(rows)
+        .enumerate()
+        .map(|(b, chunk)| {
+            let mut key = mix64(b as u64 ^ 0x5851_F42D_4C95_7F2D);
+            for &slot in chunk {
+                key = mix64(key ^ slot);
+            }
+            key
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hashes(tokens: &[&str]) -> Vec<u64> {
+        tokens.iter().map(|t| token_hash(t)).collect()
+    }
+
+    #[test]
+    fn signatures_are_deterministic_and_set_like() {
+        let a = minhash_signature(&hashes(&["x", "y", "z"]), 16, 7);
+        let b = minhash_signature(&hashes(&["z", "x", "y", "x"]), 16, 7);
+        assert_eq!(a, b, "order and multiplicity must not matter");
+    }
+
+    #[test]
+    fn similar_sets_agree_on_more_slots() {
+        let base = hashes(&["alpha", "beta", "gamma", "delta", "epsilon"]);
+        let near = hashes(&["alpha", "beta", "gamma", "delta", "zeta"]);
+        let far = hashes(&["one", "two", "three", "four", "five"]);
+        let s0 = minhash_signature(&base, 64, 0);
+        let s1 = minhash_signature(&near, 64, 0);
+        let s2 = minhash_signature(&far, 64, 0);
+        let agree = |a: &[u64], b: &[u64]| a.iter().zip(b).filter(|(x, y)| x == y).count();
+        assert!(agree(&s0, &s1) > agree(&s0, &s2));
+    }
+
+    #[test]
+    fn different_seeds_give_different_signatures() {
+        let toks = hashes(&["alpha", "beta"]);
+        assert_ne!(
+            minhash_signature(&toks, 8, 1),
+            minhash_signature(&toks, 8, 2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bands * rows")]
+    fn band_keys_checks_shape() {
+        band_keys(&[1, 2, 3], 2, 2);
+    }
+
+    #[test]
+    fn empty_set_is_all_max() {
+        assert_eq!(minhash_signature(&[], 3, 9), vec![u64::MAX; 3]);
+    }
+}

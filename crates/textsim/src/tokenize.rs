@@ -40,6 +40,38 @@ pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
     chars.windows(n).map(|w| w.iter().collect()).collect()
 }
 
+/// Positional q-grams of `s`: every contiguous window of exactly `q`
+/// Unicode scalar values, paired with its start offset.
+///
+/// Unlike [`char_ngrams`], strings shorter than `q` yield **nothing** —
+/// the exact semantics the q-gram count filter needs: a string of length
+/// `m ≥ q` has exactly `m − q + 1` positional grams, each of which an
+/// edit operation can destroy at most `q` of, so two strings within edit
+/// distance `k` share at least `max(|a|,|b|) − q + 1 − k·q` grams whose
+/// positions differ by at most `k`.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::positional_qgrams;
+/// assert_eq!(
+///     positional_qgrams("abcd", 2),
+///     vec![("ab".to_string(), 0), ("bc".to_string(), 1), ("cd".to_string(), 2)]
+/// );
+/// assert!(positional_qgrams("ab", 3).is_empty());
+/// ```
+pub fn positional_qgrams(s: &str, q: usize) -> Vec<(String, usize)> {
+    assert!(q >= 1, "q-gram size must be at least 1");
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < q {
+        return Vec::new();
+    }
+    chars
+        .windows(q)
+        .enumerate()
+        .map(|(pos, w)| (w.iter().collect(), pos))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +103,20 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn ngram_zero_panics() {
         char_ngrams("abc", 0);
+    }
+
+    #[test]
+    fn positional_qgram_count_and_positions() {
+        let grams = positional_qgrams("abcdef", 3);
+        assert_eq!(grams.len(), 4, "m - q + 1 grams");
+        assert_eq!(grams[0], ("abc".to_string(), 0));
+        assert_eq!(grams[3], ("def".to_string(), 3));
+    }
+
+    #[test]
+    fn positional_qgrams_short_strings_yield_nothing() {
+        assert!(positional_qgrams("", 2).is_empty());
+        assert!(positional_qgrams("a", 2).is_empty());
+        assert_eq!(positional_qgrams("ab", 2).len(), 1);
     }
 }

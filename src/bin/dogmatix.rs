@@ -14,6 +14,12 @@
 //!   --theta-cand <f>       duplicate threshold               (default 0.55)
 //!   --threads <N>          comparison worker threads; 0 = all cores
 //!                          (default 0)
+//!   --blocking <qgram|lsh> replace the object filter with a blocking
+//!                          stage: a positional q-gram index (q = 2,
+//!                          provable superset at θ_tuple) or banded
+//!                          MinHash LSH (48 bands × 2 rows)
+//!   --shards <N>           execute the pair plan through the sharded
+//!                          driver with N shards; 0 = one per core
 //!   --no-filter            disable comparison reduction
 //!   --fuse                 also write a fused (deduplicated) document
 //!   --output <file>        write the dup-cluster XML here (default stdout)
@@ -41,6 +47,7 @@
 //! `detect`. The dup-cluster output reflects the final state.
 
 use dogmatix_repro::core::auto;
+use dogmatix_repro::core::filter::{MinHashLshBlocking, QGramBlocking};
 use dogmatix_repro::core::fusion::{fuse_clusters, FusionConfig};
 use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
 use dogmatix_repro::core::incremental::DocumentDelta;
@@ -60,10 +67,34 @@ struct Options {
     theta_tuple: f64,
     theta_cand: f64,
     threads: usize,
+    blocking: Option<Blocking>,
+    shards: Option<usize>,
     use_filter: bool,
     fuse: bool,
     output: Option<String>,
     deltas: Option<String>,
+}
+
+/// The `--blocking` strategies, parsed once so the detector wiring
+/// cannot drift from the flag validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocking {
+    QGram,
+    Lsh,
+}
+
+impl std::str::FromStr for Blocking {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "qgram" => Ok(Blocking::QGram),
+            "lsh" => Ok(Blocking::Lsh),
+            other => Err(format!(
+                "--blocking must be 'qgram' or 'lsh', got '{other}'"
+            )),
+        }
+    }
 }
 
 /// Every flag the CLI understands, for error suggestions.
@@ -77,6 +108,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "--theta-tuple",
     "--theta-cand",
     "--threads",
+    "--blocking",
+    "--shards",
     "--no-filter",
     "--fuse",
     "--output",
@@ -112,6 +145,8 @@ fn parse_args() -> Result<Options, String> {
         theta_tuple: 0.15,
         theta_cand: 0.55,
         threads: 0,
+        blocking: None,
+        shards: None,
         use_filter: true,
         fuse: false,
         output: None,
@@ -148,6 +183,14 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--threads must be a non-negative integer".to_string())?
             }
+            "--blocking" => opts.blocking = Some(value("--blocking")?.parse()?),
+            "--shards" => {
+                opts.shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|_| "--shards must be a non-negative integer".to_string())?,
+                )
+            }
             "--no-filter" => opts.use_filter = false,
             "--fuse" => opts.fuse = true,
             "--output" => opts.output = Some(value("--output")?),
@@ -176,7 +219,8 @@ fn parse_args() -> Result<Options, String> {
 const HELP: &str = "usage: dogmatix <input.xml> --type <NAME> \
 [--mapping m.txt | --candidates /path] [--schema s.xsd] \
 [--heuristic rd:<r>|ra:<r>|kc:<k>|auto] [--exp 1..8] \
-[--theta-tuple f] [--theta-cand f] [--threads N] [--no-filter] [--fuse] \
+[--theta-tuple f] [--theta-cand f] [--threads N] \
+[--blocking qgram|lsh] [--shards N] [--no-filter] [--fuse] \
 [--output out.xml] [--deltas script.txt]";
 
 fn run(opts: Options) -> Result<(), String> {
@@ -255,6 +299,14 @@ fn run(opts: Options) -> Result<(), String> {
         .threads(opts.threads);
     if !opts.use_filter {
         builder = builder.no_filter();
+    }
+    match opts.blocking {
+        Some(Blocking::QGram) => builder = builder.filter(QGramBlocking::new(2, opts.theta_tuple)),
+        Some(Blocking::Lsh) => builder = builder.filter(MinHashLshBlocking::new(48, 2)),
+        None => {}
+    }
+    if let Some(shards) = opts.shards {
+        builder = builder.sharded(shards);
     }
     let dx = builder.build();
 

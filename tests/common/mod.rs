@@ -1,0 +1,57 @@
+//! Helpers shared by the integration suites (`properties.rs`,
+//! `incremental.rs`, `sharding.rs`): the `PROPTEST_CASES` override and
+//! the miniature record corpus the differential properties run on.
+//!
+//! Each test binary compiles its own copy, so not every binary uses
+//! every item.
+#![allow(dead_code)]
+
+use dogmatix_repro::xml::Document;
+use proptest::prelude::*;
+
+/// Property-case count: `PROPTEST_CASES` env override, else `default`
+/// (ci.sh sets 128 for the differential suites; local runs default
+/// lower).
+pub fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A miniature record: (title, year, names).
+#[derive(Debug, Clone)]
+pub struct MiniRecord {
+    pub title: String,
+    pub year: u16,
+    pub names: Vec<String>,
+}
+
+/// Strategy for one random [`MiniRecord`].
+pub fn record_strategy() -> impl Strategy<Value = MiniRecord> {
+    (
+        proptest::string::string_regex("[a-z]{2,10}( [a-z]{2,8})?").unwrap(),
+        1960u16..2005,
+        proptest::collection::vec(
+            proptest::string::string_regex("[A-Z][a-z]{2,7}").unwrap(),
+            0..3,
+        ),
+    )
+        .prop_map(|(title, year, names)| MiniRecord { title, year, names })
+}
+
+/// Renders records as the `/db/item` corpus the suites detect over.
+pub fn build_doc(records: &[MiniRecord]) -> Document {
+    let mut doc = Document::with_root("db");
+    let root = doc.root_element().unwrap();
+    for r in records {
+        let item = doc.add_element(root, "item");
+        doc.add_text_element(item, "title", &r.title);
+        doc.add_text_element(item, "year", &r.year.to_string());
+        for n in &r.names {
+            let person = doc.add_element(item, "person");
+            doc.add_text_element(person, "name", n);
+        }
+    }
+    doc
+}

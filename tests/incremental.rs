@@ -8,6 +8,9 @@
 //! The number of property cases honours the `PROPTEST_CASES` environment
 //! override (ci.sh sets it to 128; local runs default lower).
 
+mod common;
+
+use common::{build_doc, cases, record_strategy, MiniRecord};
 use dogmatix_repro::core::incremental::{DocumentDelta, IncrementalSession};
 use dogmatix_repro::core::pipeline::{DetectionResult, DetectionSession, Dogmatix};
 use dogmatix_repro::datagen::datasets::{dataset1_sized, dataset2_sized};
@@ -18,52 +21,10 @@ use std::collections::BTreeSet;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 0];
 
-/// Property-case count: `PROPTEST_CASES` env override, else `default`.
-fn cases(default: u32) -> u32 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 // ---- corpus ----------------------------------------------------------
-
-#[derive(Debug, Clone)]
-struct MiniRecord {
-    title: String,
-    year: u16,
-    names: Vec<String>,
-}
-
-fn record_strategy() -> impl Strategy<Value = MiniRecord> {
-    (
-        proptest::string::string_regex("[a-z]{2,10}( [a-z]{2,8})?").unwrap(),
-        1960u16..2005,
-        proptest::collection::vec(
-            proptest::string::string_regex("[A-Z][a-z]{2,7}").unwrap(),
-            0..3,
-        ),
-    )
-        .prop_map(|(title, year, names)| MiniRecord { title, year, names })
-}
 
 fn corpus_strategy() -> impl Strategy<Value = Vec<MiniRecord>> {
     proptest::collection::vec(record_strategy(), 3..9)
-}
-
-fn build_doc(records: &[MiniRecord]) -> Document {
-    let mut doc = Document::with_root("db");
-    let root = doc.root_element().unwrap();
-    for r in records {
-        let item = doc.add_element(root, "item");
-        doc.add_text_element(item, "title", &r.title);
-        doc.add_text_element(item, "year", &r.year.to_string());
-        for n in &r.names {
-            let person = doc.add_element(item, "person");
-            doc.add_text_element(person, "name", n);
-        }
-    }
-    doc
 }
 
 fn record_xml(r: &MiniRecord) -> String {

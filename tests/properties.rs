@@ -1,6 +1,10 @@
 //! Cross-crate property tests: random miniature corpora through the
 //! whole pipeline, checking invariants that must hold for any input.
 
+mod common;
+
+use common::{build_doc, record_strategy, MiniRecord};
+use dogmatix_repro::core::filter::QGramBlocking;
 use dogmatix_repro::core::heuristics::HeuristicExpr;
 use dogmatix_repro::core::pipeline::{Dogmatix, DogmatixConfig};
 use dogmatix_repro::core::sim::{DistCache, SimEngine};
@@ -8,43 +12,8 @@ use dogmatix_repro::core::Mapping;
 use dogmatix_repro::xml::{Document, Schema};
 use proptest::prelude::*;
 
-/// A miniature record: (title, year, names).
-#[derive(Debug, Clone)]
-struct MiniRecord {
-    title: String,
-    year: u16,
-    names: Vec<String>,
-}
-
-fn record_strategy() -> impl Strategy<Value = MiniRecord> {
-    (
-        proptest::string::string_regex("[a-z]{2,10}( [a-z]{2,8})?").unwrap(),
-        1960u16..2005,
-        proptest::collection::vec(
-            proptest::string::string_regex("[A-Z][a-z]{2,7}").unwrap(),
-            0..3,
-        ),
-    )
-        .prop_map(|(title, year, names)| MiniRecord { title, year, names })
-}
-
 fn corpus_strategy() -> impl Strategy<Value = Vec<MiniRecord>> {
     proptest::collection::vec(record_strategy(), 2..14)
-}
-
-fn build_doc(records: &[MiniRecord]) -> Document {
-    let mut doc = Document::with_root("db");
-    let root = doc.root_element().unwrap();
-    for r in records {
-        let item = doc.add_element(root, "item");
-        doc.add_text_element(item, "title", &r.title);
-        doc.add_text_element(item, "year", &r.year.to_string());
-        for n in &r.names {
-            let person = doc.add_element(item, "person");
-            doc.add_text_element(person, "name", n);
-        }
-    }
-    doc
 }
 
 fn detect(
@@ -68,8 +37,122 @@ fn detect(
     (doc, result)
 }
 
+/// One typographical edit applied to a string at proptest-chosen
+/// coordinates (the dirty-duplicate generator's error classes, made
+/// deterministic for shrinking).
+#[derive(Debug, Clone)]
+enum Typo {
+    Delete { pos: usize },
+    Substitute { pos: usize, with: char },
+    Insert { pos: usize, what: char },
+}
+
+impl Typo {
+    fn apply(&self, s: &str) -> String {
+        let mut chars: Vec<char> = s.chars().collect();
+        if chars.is_empty() {
+            return s.to_string();
+        }
+        match *self {
+            Typo::Delete { pos } => {
+                chars.remove(pos % chars.len());
+            }
+            Typo::Substitute { pos, with } => {
+                let p = pos % chars.len();
+                chars[p] = with;
+            }
+            Typo::Insert { pos, what } => {
+                let p = pos % (chars.len() + 1);
+                chars.insert(p, what);
+            }
+        }
+        chars.into_iter().collect()
+    }
+}
+
+fn typo_strategy() -> impl Strategy<Value = Typo> {
+    let letter = |offset: u8| (b'a' + offset % 26) as char;
+    prop_oneof![
+        (0usize..32).prop_map(|pos| Typo::Delete { pos }),
+        (0usize..32, 0u8..26).prop_map(move |(pos, c)| Typo::Substitute {
+            pos,
+            with: letter(c)
+        }),
+        (0usize..32, 0u8..26).prop_map(move |(pos, c)| Typo::Insert {
+            pos,
+            what: letter(c)
+        }),
+    ]
+}
+
+/// A dirty corpus: originals plus duplicates derived by 1–2 typos on the
+/// title — the shape the q-gram count filter must never lose.
+fn dirty_corpus_strategy() -> impl Strategy<Value = Vec<MiniRecord>> {
+    (
+        proptest::collection::vec(record_strategy(), 2..8),
+        proptest::collection::vec(
+            (0usize..16, proptest::collection::vec(typo_strategy(), 1..3)),
+            1..4,
+        ),
+    )
+        .prop_map(|(mut records, dirt)| {
+            for (slot, typos) in dirt {
+                let mut dup = records[slot % records.len()].clone();
+                for t in &typos {
+                    dup.title = t.apply(&dup.title);
+                }
+                records.push(dup);
+            }
+            records
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The count-filter guarantee: `QGramBlocking`'s candidate pair set
+    /// is a superset of every pair brute-force edit distance finds a
+    /// similar tuple pair for — and hence of every pair the exhaustive
+    /// pipeline classifies as duplicates — on generated dirty corpora.
+    #[test]
+    fn qgram_blocking_is_superset_of_brute_force(
+        records in dirty_corpus_strategy(),
+        theta in 0.05f64..0.7,
+        q in 2usize..4,
+    ) {
+        let (_, exhaustive) = detect(&records, theta, false);
+        let ods = &exhaustive.ods;
+        let plan = QGramBlocking::new(q, theta).plan(ods);
+
+        // Tuple-level brute force: any pair of objects holding a
+        // comparable tuple pair within the threshold must survive.
+        for i in 0..ods.len() {
+            for j in (i + 1)..ods.len() {
+                let similar = ods.ods[i].tuples.iter().any(|ti| {
+                    ods.ods[j].tuples.iter().any(|tj| {
+                        ti.type_id == tj.type_id
+                            && dogmatix_repro::textsim::ned(
+                                &ods.term(ti.term).norm,
+                                &ods.term(tj.term).norm,
+                            ) < theta
+                    })
+                });
+                if similar {
+                    prop_assert!(
+                        plan.pairs.contains(&(i, j)),
+                        "q={} theta={}: pair ({i},{j}) with a similar tuple \
+                         pair missing from the q-gram plan", q, theta
+                    );
+                }
+            }
+        }
+
+        // Pipeline-level corollary: every exhaustively detected
+        // duplicate pair is in the plan.
+        for &(i, j, _) in &exhaustive.duplicate_pairs {
+            prop_assert!(plan.pairs.contains(&(i, j)), "duplicate ({i},{j}) lost");
+        }
+    }
 
     #[test]
     fn sim_is_symmetric_and_bounded(records in corpus_strategy(),
