@@ -16,10 +16,14 @@ PROPTEST_CASES=128 cargo test -q --test incremental
 echo "==> sharding differential suite at CI depth (PROPTEST_CASES=128)"
 PROPTEST_CASES=128 cargo test -q --test sharding
 
+echo "==> snapshot round-trip + corruption suite at CI depth (PROPTEST_CASES=128)"
+PROPTEST_CASES=128 cargo test -q --test snapshot
+
 echo "==> streaming bench sanity (delta replay must beat full re-detection)"
 cargo bench -q -p dogmatix_bench --bench streaming >/dev/null
 
-echo "==> scaling bench sanity (sharded wall-clock must not exceed unsharded)"
+echo "==> scaling bench sanity (sharded wall-clock must not exceed unsharded;"
+echo "    columnar comparison phase must not regress past the recorded baseline)"
 cargo bench -q -p dogmatix_bench --bench scaling >/dev/null
 
 echo "==> cargo clippy --all-targets -- -D warnings"

@@ -1,0 +1,57 @@
+//! Records the comparison-phase baseline the scaling bench gates
+//! against: best-of-N warm `detect` wall-clock (sequential, so the
+//! number is scheduler-stable) plus the OD-set heap footprint, on the
+//! seeded CD corpus.
+//!
+//! Run `cargo run --release -p dogmatix_bench --bin record_baseline`
+//! and commit `crates/bench/baselines/cd_comparison.txt` to move the
+//! recorded bar. The checked-in file holds the PRE-refactor (PR 4,
+//! String-per-tuple) numbers; `benches/scaling.rs` asserts the columnar
+//! store never regresses past them.
+
+use dogmatix_bench::CdFixture;
+use dogmatix_core::heuristics::{table4_heuristic, HeuristicExpr};
+use std::time::Instant;
+
+fn main() {
+    let fixture = CdFixture::dataset1(200);
+    let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
+    let dx = dogmatix_core::pipeline::Dogmatix::builder()
+        .mapping(fixture.mapping.clone())
+        .heuristic(heuristic)
+        .theta_tuple(dogmatix_eval::setup::THETA_TUPLE)
+        .theta_cand(dogmatix_eval::setup::THETA_CAND)
+        .threads(1)
+        .build();
+    let session = fixture.session();
+
+    // Warm the OD cache so the timed loop measures the comparison phase
+    // (filter + pairwise scoring), not extraction and interning.
+    let result = dx.detect(&session).expect("the CD fixture runs");
+    assert!(!result.duplicate_pairs.is_empty(), "corpus has duplicates");
+
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..9 {
+        let t = Instant::now();
+        let _ = dx.detect(&session).expect("the CD fixture runs");
+        best = best.min(t.elapsed());
+    }
+
+    let store_bytes = dogmatix_bench::od_set_heap_bytes(&result.ods);
+    let body = format!(
+        "# Comparison-phase baseline on the seeded CD corpus (dataset1, n=200,\n\
+         # kc:6 exp1, threads=1, warm session, best of 9). Recorded by\n\
+         # `cargo run --release -p dogmatix_bench --bin record_baseline`.\n\
+         comparison_micros: {}\n\
+         store_bytes: {}\n\
+         pairs_compared: {}\n",
+        best.as_micros(),
+        store_bytes,
+        result.stats.pairs_compared,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/cd_comparison.txt");
+    std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+    std::fs::write(path, &body).unwrap();
+    print!("{body}");
+    println!("written to {path}");
+}

@@ -105,3 +105,13 @@ impl MovieFixture {
         }
     }
 }
+
+/// Heap footprint of an [`dogmatix_core::od::OdSet`] — the number the
+/// scaling bench's memory gate tracks. The checked-in baseline
+/// (`baselines/cd_comparison.txt`) was recorded against the
+/// pre-refactor String-per-tuple layout (sum of every owned string, map
+/// and posting vector); the columnar store reports its arena + column
+/// footprint through [`dogmatix_core::od::OdSet::heap_bytes`].
+pub fn od_set_heap_bytes(ods: &dogmatix_core::od::OdSet) -> usize {
+    ods.heap_bytes()
+}

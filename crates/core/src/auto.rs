@@ -18,7 +18,6 @@
 use crate::heuristics::HeuristicExpr;
 use crate::mapping::Mapping;
 use crate::od::OdSet;
-use dogmatix_textsim::idf;
 use dogmatix_xml::{Document, Schema, SchemaNodeId};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
@@ -115,15 +114,16 @@ pub fn element_stats(
         .iter()
         .map(|node| {
             let path = schema.path(*node);
+            let path_id = ods.store().find_path(&path);
             let mut idf_sum = 0.0;
             let mut count = 0usize;
             let mut covered = 0usize;
-            for od in &ods.ods {
+            for od in ods.iter() {
                 let mut has = false;
-                for t in &od.tuples {
-                    if t.path == path {
+                for t in od.tuples() {
+                    if Some(t.path_id()) == path_id {
                         has = true;
-                        idf_sum += idf(total, ods.term(t.term).postings.len());
+                        idf_sum += ods.term(t.term()).idf();
                         count += 1;
                     }
                 }

@@ -1,0 +1,792 @@
+//! Pluggable term-index backends: where a run's columnar [`OdSet`]
+//! comes from.
+//!
+//! The ROADMAP's "alternative backends (persistent term index) → a
+//! `SimilarityMeasure` whose `prepare` builds the backend state" lands
+//! here: the [`TermIndexBackend`] trait decides how the term-index state
+//! every [`crate::stage::SimilarityMeasure::prepare`] call reads (the
+//! store inside [`crate::stage::SimContext::ods`]) is produced —
+//!
+//! * [`InMemoryBackend`] (the default) extracts and interns the corpus
+//!   into a fresh in-memory arena, exactly what
+//!   [`OdSet::build`] always did;
+//! * [`SnapshotBackend`] persists the columnar store to a **versioned,
+//!   checksummed binary file** and warm-starts later runs from it,
+//!   skipping extraction and interning entirely. The columnar layout
+//!   makes this nearly free: a store *is* a handful of flat arrays.
+//!
+//! Backends are wired with
+//! [`crate::pipeline::DogmatixBuilder::index_backend`]; the CLI exposes
+//! them as `--index-save` / `--index-load`.
+//!
+//! ## Snapshot format (version 1)
+//!
+//! ```text
+//! magic   b"DXTS"           4 bytes
+//! version u32 LE            currently 1
+//! checksum u64 LE           FNV-1a + splitmix64 over the payload
+//! payload_len u64 LE
+//! payload:
+//!   object_count, selection fingerprint, then every store column
+//!   (arena bytes, term spans/types/char-lens/IDF bits, CSR postings,
+//!   type/path names, per-type stats) and every OdSet tuple/group
+//!   column as length-prefixed LE arrays
+//! ```
+//!
+//! Loading validates magic, version, checksum, UTF-8 of the arena, and
+//! the structural invariants of every column (span bounds, CSR
+//! monotonicity, id ranges), so corrupted, truncated, or
+//! wrong-version files are rejected with a
+//! [`DogmatixError::Snapshot`] — never a panic. A fingerprint of the
+//! candidate count and description selection is stored and re-checked,
+//! so a snapshot cannot silently warm-start a run whose selection no
+//! longer matches. Equality is the contract: a snapshot-loaded run is
+//! bit-identical to a cold build over the same corpus
+//! (`tests/snapshot.rs`, `tests/equivalence.rs`).
+//!
+//! ```no_run
+//! use dogmatix_core::backend::SnapshotBackend;
+//! use dogmatix_core::pipeline::Dogmatix;
+//! use dogmatix_xml::{Document, Schema};
+//!
+//! let doc = Document::parse("<db><m><t>A</t></m><m><t>A</t></m></db>")?;
+//! let schema = Schema::infer(&doc)?;
+//! // First run: build in memory and persist the term index.
+//! let cold = Dogmatix::builder()
+//!     .add_type("M", ["/db/m"])
+//!     .index_backend(SnapshotBackend::save("/tmp/dx.index"))
+//!     .build()
+//!     .run(&doc, &schema, "M")?;
+//! // Warm start: load the index instead of re-interning the corpus.
+//! let warm = Dogmatix::builder()
+//!     .add_type("M", ["/db/m"])
+//!     .index_backend(SnapshotBackend::load("/tmp/dx.index"))
+//!     .build()
+//!     .run(&doc, &schema, "M")?;
+//! assert_eq!(cold, warm);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::error::DogmatixError;
+use crate::mapping::Mapping;
+use crate::od::{OdSet, TermId};
+use crate::store::{PathId, Span, TermStore, TypeStats};
+use dogmatix_xml::{Document, NodeId};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Everything a backend may read when producing the run's OD set.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexContext<'a> {
+    /// The source document.
+    pub doc: &'a Document,
+    /// Candidate element nodes, aligned with OD indices.
+    pub candidates: &'a [NodeId],
+    /// Description selection per candidate schema path.
+    pub selections: &'a HashMap<String, BTreeSet<String>>,
+    /// The type mapping `M`.
+    pub mapping: &'a Mapping,
+}
+
+/// Where the columnar term-index state of a run comes from.
+///
+/// Implementations must uphold the pipeline's equality contract: the
+/// returned set must be identical to `OdSet::build` over the context —
+/// either by building it (in memory) or by loading a snapshot of that
+/// exact build.
+pub trait TermIndexBackend: fmt::Debug + Send + Sync {
+    /// Builds or loads the OD set for this run.
+    fn acquire(&self, ctx: IndexContext<'_>) -> Result<Arc<OdSet>, DogmatixError>;
+}
+
+/// The default backend: build the columnar store in memory.
+///
+/// ```
+/// use dogmatix_core::backend::InMemoryBackend;
+/// // `Default` and unit-struct construction are equivalent.
+/// let _ = InMemoryBackend;
+/// let _ = InMemoryBackend::default();
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InMemoryBackend;
+
+impl TermIndexBackend for InMemoryBackend {
+    fn acquire(&self, ctx: IndexContext<'_>) -> Result<Arc<OdSet>, DogmatixError> {
+        Ok(Arc::new(OdSet::build(
+            ctx.doc,
+            ctx.candidates,
+            ctx.selections,
+            ctx.mapping,
+        )))
+    }
+}
+
+/// Whether a [`SnapshotBackend`] writes or reads its file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Build in memory, then persist the store to the file.
+    Save,
+    /// Load the store from the file (no extraction, no interning).
+    Load,
+}
+
+/// The persistent term-index backend: serialises the columnar store to
+/// a versioned binary snapshot ([`SnapshotMode::Save`]) or warm-starts
+/// from one ([`SnapshotMode::Load`]). See the [module docs](self) for
+/// the format and an end-to-end example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotBackend {
+    path: PathBuf,
+    mode: SnapshotMode,
+}
+
+impl SnapshotBackend {
+    /// A backend that builds in memory and saves the snapshot to `path`.
+    pub fn save(path: impl Into<PathBuf>) -> Self {
+        SnapshotBackend {
+            path: path.into(),
+            mode: SnapshotMode::Save,
+        }
+    }
+
+    /// A backend that warm-starts from the snapshot at `path`.
+    pub fn load(path: impl Into<PathBuf>) -> Self {
+        SnapshotBackend {
+            path: path.into(),
+            mode: SnapshotMode::Load,
+        }
+    }
+
+    /// The snapshot file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The backend's mode.
+    pub fn mode(&self) -> SnapshotMode {
+        self.mode
+    }
+}
+
+impl TermIndexBackend for SnapshotBackend {
+    fn acquire(&self, ctx: IndexContext<'_>) -> Result<Arc<OdSet>, DogmatixError> {
+        match self.mode {
+            SnapshotMode::Save => {
+                let ods = OdSet::build(ctx.doc, ctx.candidates, ctx.selections, ctx.mapping);
+                save_snapshot(&ods, ctx.selections, doc_fingerprint(ctx.doc), &self.path)?;
+                Ok(Arc::new(ods))
+            }
+            SnapshotMode::Load => {
+                let mut ods = load_snapshot(&self.path, ctx.selections, doc_fingerprint(ctx.doc))?;
+                let stored = ods.store().object_count();
+                if stored != ctx.candidates.len() {
+                    return Err(snap_err(format!(
+                        "snapshot holds {stored} objects but the corpus resolves {} candidates \
+                         — it was built against a different document state",
+                        ctx.candidates.len()
+                    )));
+                }
+                ods.set_nodes(ctx.candidates.to_vec());
+                Ok(Arc::new(ods))
+            }
+        }
+    }
+}
+
+fn snap_err(message: impl Into<String>) -> DogmatixError {
+    DogmatixError::Snapshot {
+        message: message.into(),
+    }
+}
+
+const MAGIC: &[u8; 4] = b"DXTS";
+/// Current snapshot format version. Bump on any layout change; loaders
+/// reject every other version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Hard cap on any single array length in a snapshot (guards corrupted
+/// length prefixes from driving allocations before the checksum/bounds
+/// validation can reject them).
+const MAX_ARRAY_LEN: u64 = 1 << 31;
+
+/// FNV-1a over the payload, finished with splitmix64 — cheap, stable,
+/// and plenty to catch corruption (integrity, not authentication).
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = dogmatix_textsim::Fnv1a::new();
+    h.update(payload);
+    dogmatix_textsim::mix64(h.finish())
+}
+
+/// Fingerprint of the document content a snapshot was built from:
+/// the checksum of its canonical serialisation. Serialising is O(doc)
+/// but far cheaper than the extraction + normalisation + interning a
+/// warm start skips, and it catches the silent-staleness case the
+/// candidate count cannot: an in-place value edit that leaves the
+/// corpus shape untouched.
+fn doc_fingerprint(doc: &Document) -> u64 {
+    checksum(doc.to_xml().as_bytes())
+}
+
+/// Order-independent fingerprint of the candidate count and the
+/// description selection the store was built under.
+fn selection_fingerprint(
+    object_count: usize,
+    selections: &HashMap<String, BTreeSet<String>>,
+) -> u64 {
+    let mut keys: Vec<String> = selections
+        .iter()
+        .map(|(path, sel)| {
+            let mut s = path.clone();
+            for p in sel {
+                s.push('\u{1f}');
+                s.push_str(p);
+            }
+            s
+        })
+        .collect();
+    keys.sort();
+    let mut h: u64 = dogmatix_textsim::mix64(object_count as u64);
+    for k in keys {
+        h = dogmatix_textsim::mix64(h ^ checksum(k.as_bytes()));
+    }
+    h
+}
+
+// ---- writer -----------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32s(&mut self, vs: &[u32]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+    fn spans(&mut self, vs: &[Span]) {
+        self.u64(vs.len() as u64);
+        for &s in vs {
+            self.u32(s.start_raw());
+            self.u32(s.len() as u32);
+        }
+    }
+    fn f64s(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u64(v.to_bits());
+        }
+    }
+    fn bytes(&mut self, vs: &[u8]) {
+        self.u64(vs.len() as u64);
+        self.buf.extend_from_slice(vs);
+    }
+}
+
+/// Serialises an [`OdSet`] (minus its document-state node ids) to the
+/// snapshot file. Exposed for tests and tools; detectors go through
+/// [`SnapshotBackend`].
+pub fn save_snapshot(
+    ods: &OdSet,
+    selections: &HashMap<String, BTreeSet<String>>,
+    doc_fingerprint: u64,
+    path: &Path,
+) -> Result<(), DogmatixError> {
+    let (
+        store,
+        od_starts,
+        tuple_term,
+        tuple_value,
+        tuple_path,
+        od_group_starts,
+        group_types,
+        group_starts,
+        group_tuples,
+    ) = ods.columns();
+
+    let mut w = Writer { buf: Vec::new() };
+    w.u32(ods.len() as u32);
+    w.u64(selection_fingerprint(ods.len(), selections));
+    w.u64(doc_fingerprint);
+    // Store columns.
+    w.bytes(store.arena_bytes());
+    w.spans(store.term_norm_spans());
+    w.u32s(store.term_types());
+    w.u32s(store.term_char_lens());
+    w.f64s(store.term_idfs());
+    w.u32s(store.posting_starts());
+    w.u32s(store.postings_raw());
+    w.spans(store.type_name_spans());
+    w.spans(store.path_name_spans());
+    {
+        let stats = store.type_stats();
+        w.u64(stats.len() as u64);
+        for s in stats {
+            w.u32(s.terms);
+            w.u32(s.tuples);
+            w.u32(s.postings);
+        }
+    }
+    // OdSet columns.
+    w.u32s(od_starts);
+    let term_ids: Vec<u32> = tuple_term.iter().map(|t| t.0).collect();
+    w.u32s(&term_ids);
+    w.spans(tuple_value);
+    let path_ids: Vec<u32> = tuple_path.iter().map(|p| p.0).collect();
+    w.u32s(&path_ids);
+    w.u32s(od_group_starts);
+    w.u32s(group_types);
+    w.u32s(group_starts);
+    w.u32s(group_tuples);
+
+    let payload = w.buf;
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    std::fs::write(path, out)
+        .map_err(|e| snap_err(format!("cannot write snapshot {}: {e}", path.display())))
+}
+
+// ---- reader -----------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DogmatixError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| snap_err("snapshot truncated mid-field"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, DogmatixError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self) -> Result<u64, DogmatixError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn len_prefix(&mut self) -> Result<usize, DogmatixError> {
+        let n = self.u64()?;
+        if n > MAX_ARRAY_LEN || (n as usize) > self.buf.len() {
+            return Err(snap_err(format!("implausible array length {n}")));
+        }
+        Ok(n as usize)
+    }
+    fn u32s(&mut self) -> Result<Vec<u32>, DogmatixError> {
+        let n = self.len_prefix()?;
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+    fn spans(&mut self) -> Result<Vec<Span>, DogmatixError> {
+        let n = self.len_prefix()?;
+        let raw = self.take(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| {
+                Span::new(
+                    u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+                    u32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+                )
+            })
+            .collect())
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>, DogmatixError> {
+        let n = self.len_prefix()?;
+        let raw = self.take(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, DogmatixError> {
+        let n = self.len_prefix()?;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+/// Validates that every span lies on UTF-8 boundaries of the arena.
+fn check_spans(arena: &str, spans: &[Span], what: &str) -> Result<(), DogmatixError> {
+    for s in spans {
+        let (start, end) = (s.start_raw() as usize, s.end());
+        if end > arena.len() || !arena.is_char_boundary(start) || !arena.is_char_boundary(end) {
+            return Err(snap_err(format!(
+                "{what} span {start}..{end} out of bounds"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a CSR offset array: `expected_len + 1` monotone entries
+/// ending exactly at `data_len`.
+fn check_csr(
+    starts: &[u32],
+    expected_len: usize,
+    data_len: usize,
+    what: &str,
+) -> Result<(), DogmatixError> {
+    if starts.len() != expected_len + 1 {
+        return Err(snap_err(format!(
+            "{what}: offset table holds {} entries, expected {}",
+            starts.len(),
+            expected_len + 1
+        )));
+    }
+    if starts[0] != 0 || starts.windows(2).any(|w| w[0] > w[1]) {
+        return Err(snap_err(format!("{what}: offsets are not monotone")));
+    }
+    if starts[expected_len] as usize != data_len {
+        return Err(snap_err(format!(
+            "{what}: offsets end at {} but the data holds {data_len} entries",
+            starts[expected_len]
+        )));
+    }
+    Ok(())
+}
+
+/// Validates every id in `ids` is below `bound`.
+fn check_ids(ids: &[u32], bound: usize, what: &str) -> Result<(), DogmatixError> {
+    if let Some(bad) = ids.iter().find(|&&v| (v as usize) >= bound) {
+        return Err(snap_err(format!(
+            "{what}: id {bad} out of range (< {bound})"
+        )));
+    }
+    Ok(())
+}
+
+/// Reads, verifies, and reassembles a snapshot. The returned set carries
+/// **no candidate nodes** — the caller re-attaches the current run's
+/// candidates ([`SnapshotBackend`] does this, after checking the count).
+/// Exposed for tests and tools.
+pub fn load_snapshot(
+    path: &Path,
+    selections: &HashMap<String, BTreeSet<String>>,
+    doc_fingerprint: u64,
+) -> Result<OdSet, DogmatixError> {
+    let data = std::fs::read(path)
+        .map_err(|e| snap_err(format!("cannot read snapshot {}: {e}", path.display())))?;
+    if data.len() < 24 {
+        return Err(snap_err("snapshot truncated: missing header"));
+    }
+    if &data[0..4] != MAGIC {
+        return Err(snap_err("not a DogmatiX term-index snapshot (bad magic)"));
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(snap_err(format!(
+            "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+        )));
+    }
+    let stored_checksum = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes")) as usize;
+    let payload = data
+        .get(24..)
+        .filter(|p| p.len() == payload_len)
+        .ok_or_else(|| snap_err("snapshot truncated: payload shorter than header claims"))?;
+    if checksum(payload) != stored_checksum {
+        return Err(snap_err("snapshot corrupted: checksum mismatch"));
+    }
+
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let object_count = r.u32()? as usize;
+    let fingerprint = r.u64()?;
+    let stored_doc_fingerprint = r.u64()?;
+    let arena = String::from_utf8(r.bytes()?)
+        .map_err(|_| snap_err("snapshot corrupted: arena is not valid UTF-8"))?;
+    let term_norm = r.spans()?;
+    let term_type = r.u32s()?;
+    let term_char_len = r.u32s()?;
+    let term_idf = r.f64s()?;
+    let posting_starts = r.u32s()?;
+    let postings = r.u32s()?;
+    let type_names = r.spans()?;
+    let path_names = r.spans()?;
+    let n_stats = r.len_prefix()?;
+    let mut type_stats = Vec::with_capacity(n_stats);
+    for _ in 0..n_stats {
+        type_stats.push(TypeStats {
+            terms: r.u32()?,
+            tuples: r.u32()?,
+            postings: r.u32()?,
+        });
+    }
+    let od_starts = r.u32s()?;
+    let tuple_term: Vec<TermId> = r.u32s()?.into_iter().map(TermId).collect();
+    let tuple_value = r.spans()?;
+    let tuple_path: Vec<PathId> = r.u32s()?.into_iter().map(PathId).collect();
+    let od_group_starts = r.u32s()?;
+    let group_types = r.u32s()?;
+    let group_starts = r.u32s()?;
+    let group_tuples = r.u32s()?;
+    if r.pos != payload.len() {
+        return Err(snap_err("snapshot corrupted: trailing bytes after payload"));
+    }
+
+    // Structural validation: everything detection will index must be in
+    // range, so a malformed file can never panic the pipeline later.
+    let terms = term_norm.len();
+    if term_type.len() != terms || term_char_len.len() != terms || term_idf.len() != terms {
+        return Err(snap_err("term columns disagree on the term count"));
+    }
+    check_spans(&arena, &term_norm, "term norm")?;
+    check_spans(&arena, &type_names, "type name")?;
+    check_spans(&arena, &path_names, "path name")?;
+    check_spans(&arena, &tuple_value, "tuple value")?;
+    check_csr(&posting_starts, terms, postings.len(), "postings")?;
+    check_ids(&postings, object_count, "posting")?;
+    // The hot paths (merge joins, merged_count) rely on posting lists
+    // being sorted and deduplicated — i.e. strictly ascending.
+    for t in 0..terms {
+        let list = &postings[posting_starts[t] as usize..posting_starts[t + 1] as usize];
+        if list.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(snap_err(format!(
+                "postings of term {t} are not strictly ascending"
+            )));
+        }
+    }
+    check_ids(&term_type, type_names.len(), "term type")?;
+    if type_stats.len() != type_names.len() {
+        return Err(snap_err("per-type stats disagree with the type table"));
+    }
+    let tuples = tuple_term.len();
+    if tuple_value.len() != tuples || tuple_path.len() != tuples {
+        return Err(snap_err("tuple columns disagree on the tuple count"));
+    }
+    check_csr(&od_starts, object_count, tuples, "od tuples")?;
+    let raw_terms: Vec<u32> = tuple_term.iter().map(|t| t.0).collect();
+    check_ids(&raw_terms, terms, "tuple term")?;
+    let raw_paths: Vec<u32> = tuple_path.iter().map(|p| p.0).collect();
+    check_ids(&raw_paths, path_names.len(), "tuple path")?;
+    check_csr(
+        &od_group_starts,
+        object_count,
+        group_types.len(),
+        "od groups",
+    )?;
+    check_csr(
+        &group_starts,
+        group_types.len(),
+        group_tuples.len(),
+        "group tuples",
+    )?;
+    check_ids(&group_types, type_names.len(), "group type")?;
+    for i in 0..object_count {
+        let od_len = (od_starts[i + 1] - od_starts[i]) as usize;
+        for g in od_group_starts[i] as usize..od_group_starts[i + 1] as usize {
+            for &local in &group_tuples[group_starts[g] as usize..group_starts[g + 1] as usize] {
+                if local as usize >= od_len {
+                    return Err(snap_err(format!(
+                        "group tuple index {local} out of range for OD {i} ({od_len} tuples)"
+                    )));
+                }
+            }
+        }
+    }
+
+    let expected = selection_fingerprint(object_count, selections);
+    if fingerprint != expected {
+        return Err(snap_err(
+            "snapshot was built under a different description selection \
+             (or candidate count) — rebuild it with --index-save",
+        ));
+    }
+    if stored_doc_fingerprint != doc_fingerprint {
+        return Err(snap_err(
+            "snapshot was built from different document content — \
+             rebuild it with --index-save",
+        ));
+    }
+
+    let store = TermStore::from_parts(
+        arena,
+        term_norm,
+        term_type,
+        term_char_len,
+        term_idf,
+        posting_starts,
+        postings,
+        type_names,
+        path_names,
+        type_stats,
+        object_count as u32,
+    );
+    Ok(OdSet::from_columns(
+        Vec::new(),
+        store,
+        od_starts,
+        tuple_term,
+        tuple_value,
+        tuple_path,
+        od_group_starts,
+        group_types,
+        group_starts,
+        group_tuples,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Dogmatix;
+    use dogmatix_xml::Schema;
+
+    fn corpus() -> (Document, Schema) {
+        let doc = Document::parse(
+            "<db><m><t>Alpha Song</t><y>1999</y></m>\
+                 <m><t>Alpha Song</t><y>1999</y></m>\
+                 <m><t>Beta Tune</t><y>2002</y></m></db>",
+        )
+        .unwrap();
+        let schema = Schema::infer(&doc).unwrap();
+        (doc, schema)
+    }
+
+    fn detector(backend: impl TermIndexBackend + 'static) -> Dogmatix {
+        Dogmatix::builder()
+            .add_type("M", ["/db/m"])
+            .index_backend(backend)
+            .build()
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let dir = std::env::temp_dir().join("dx_backend_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.index");
+        let (doc, schema) = corpus();
+        let cold = detector(SnapshotBackend::save(&path))
+            .run(&doc, &schema, "M")
+            .unwrap();
+        let warm = detector(SnapshotBackend::load(&path))
+            .run(&doc, &schema, "M")
+            .unwrap();
+        assert_eq!(cold, warm);
+        let in_memory = Dogmatix::builder()
+            .add_type("M", ["/db/m"])
+            .build()
+            .run(&doc, &schema, "M")
+            .unwrap();
+        assert_eq!(cold, in_memory, "backends must not change results");
+    }
+
+    #[test]
+    fn load_rejects_missing_wrong_magic_and_wrong_version() {
+        let dir = std::env::temp_dir().join("dx_backend_reject");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (doc, schema) = corpus();
+        let missing = detector(SnapshotBackend::load(dir.join("nope.index")))
+            .run(&doc, &schema, "M")
+            .unwrap_err();
+        assert!(matches!(missing, DogmatixError::Snapshot { .. }));
+
+        let bad_magic = dir.join("bad_magic.index");
+        std::fs::write(&bad_magic, b"NOPE????????????????????????").unwrap();
+        let err = detector(SnapshotBackend::load(&bad_magic))
+            .run(&doc, &schema, "M")
+            .unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // A valid file with a bumped version must be rejected.
+        let path = dir.join("versioned.index");
+        detector(SnapshotBackend::save(&path))
+            .run(&doc, &schema, "M")
+            .unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[4] = 0xFE;
+        std::fs::write(&path, data).unwrap();
+        let err = detector(SnapshotBackend::load(&path))
+            .run(&doc, &schema, "M")
+            .unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_a_selection_mismatch() {
+        let dir = std::env::temp_dir().join("dx_backend_selection");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.index");
+        let (doc, schema) = corpus();
+        detector(SnapshotBackend::save(&path))
+            .run(&doc, &schema, "M")
+            .unwrap();
+        // A different selection describes the corpus differently: the
+        // snapshot must refuse to warm-start under it.
+        let err = Dogmatix::builder()
+            .add_type("M", ["/db/m"])
+            .selector(crate::stage::ManualSelection::new().with("/db/m", ["/db/m/t"]))
+            .index_backend(SnapshotBackend::load(&path))
+            .build()
+            .run(&doc, &schema, "M")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("different description selection"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn overflowing_spans_are_rejected_not_wrapped() {
+        // A span whose start + len wraps u32 must fail validation (the
+        // widened end comparison), never slip through to a later panic
+        // in `Span::resolve`.
+        let arena = "0123456789";
+        let bad = Span::new(4, u32::MAX - 2);
+        assert!(check_spans(arena, &[bad], "test").is_err());
+        let fine = Span::new(4, 3);
+        assert!(check_spans(arena, &[fine], "test").is_ok());
+    }
+
+    #[test]
+    fn zero_object_snapshots_reject_dangling_postings() {
+        // check_ids with the honest bound: a store claiming 0 objects
+        // cannot carry any posting id.
+        assert!(check_ids(&[0], 0, "posting").is_err());
+        assert!(check_ids(&[], 0, "posting").is_ok());
+    }
+
+    #[test]
+    fn selection_fingerprint_is_order_independent() {
+        let mut a = HashMap::new();
+        a.insert(
+            "/db/m".to_string(),
+            ["/db/m/t".to_string(), "/db/m/y".to_string()]
+                .into_iter()
+                .collect::<BTreeSet<_>>(),
+        );
+        a.insert("/db/x".to_string(), BTreeSet::new());
+        let b: HashMap<_, _> = a.clone().into_iter().collect();
+        assert_eq!(selection_fingerprint(3, &a), selection_fingerprint(3, &b));
+        assert_ne!(
+            selection_fingerprint(3, &a),
+            selection_fingerprint(4, &a),
+            "candidate count is part of the fingerprint"
+        );
+    }
+}

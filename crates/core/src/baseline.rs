@@ -34,18 +34,14 @@ use std::collections::HashMap;
 /// the smaller fraction so it can be thresholded like a similarity.
 pub fn overlap_fraction(ods: &OdSet, i: usize, j: usize) -> f64 {
     let frac = |from: usize, to: usize| -> f64 {
-        let a = &ods.ods[from];
-        let b = &ods.ods[to];
-        if a.tuples.is_empty() {
+        let a = ods.tuple_terms(from);
+        let b = ods.tuple_terms(to);
+        if a.is_empty() {
             return 0.0;
         }
-        let b_terms: std::collections::HashSet<_> = b.tuples.iter().map(|t| t.term).collect();
-        let matched = a
-            .tuples
-            .iter()
-            .filter(|t| b_terms.contains(&t.term))
-            .count();
-        matched as f64 / a.tuples.len() as f64
+        let b_terms: std::collections::HashSet<_> = b.iter().copied().collect();
+        let matched = a.iter().filter(|t| b_terms.contains(t)).count();
+        matched as f64 / a.len() as f64
     };
     frac(i, j).min(frac(j, i))
 }
@@ -61,27 +57,26 @@ pub fn delphi_containment(
     theta_tuple: f64,
     cache: &mut DistCache,
 ) -> f64 {
-    let od_i = &ods.ods[i];
-    let od_j = &ods.ods[j];
-    if od_i.tuples.is_empty() {
+    let od_i = ods.od(i);
+    let od_j = ods.od(j);
+    if od_i.is_empty() {
         return 0.0;
     }
-    let total = ods.len();
-    let mut by_type: HashMap<&str, Vec<usize>> = HashMap::new();
-    for (tj, t) in od_j.tuples.iter().enumerate() {
-        by_type.entry(t.rw_type.as_str()).or_default().push(tj);
+    let mut by_type: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (tj, t) in od_j.tuples().enumerate() {
+        by_type.entry(t.type_id()).or_default().push(tj);
     }
     let mut contained = 0.0;
     let mut weight_sum = 0.0;
-    for t_i in &od_i.tuples {
-        let w = dogmatix_textsim::idf(total, ods.term(t_i.term).postings.len());
+    for t_i in od_i.tuples() {
+        let w = ods.term(t_i.term()).idf();
         weight_sum += w;
-        let Some(partners) = by_type.get(t_i.rw_type.as_str()) else {
+        let Some(partners) = by_type.get(&t_i.type_id()) else {
             continue;
         };
         let found = partners
             .iter()
-            .any(|tj| cache_distance(ods, cache, t_i.term, od_j.tuples[*tj].term) < theta_tuple);
+            .any(|tj| cache_distance(ods, cache, t_i.term(), od_j.tuple(*tj).term()) < theta_tuple);
         if found {
             contained += w;
         }
@@ -134,10 +129,10 @@ impl VectorSpaceModel {
         let total = ods.len();
         let mut df: HashMap<String, usize> = HashMap::new();
         let mut vectors = Vec::with_capacity(total);
-        for od in &ods.ods {
+        for od in ods.iter() {
             let mut tf: HashMap<String, f64> = HashMap::new();
-            for t in &od.tuples {
-                for token in word_tokens(&t.value) {
+            for t in od.tuples() {
+                for token in word_tokens(t.value()) {
                     *tf.entry(token).or_insert(0.0) += 1.0;
                 }
             }
@@ -346,7 +341,7 @@ fn cache_distance(
     if a == b {
         return 0.0;
     }
-    ned(&ods.term(a).norm, &ods.term(b).norm)
+    ned(ods.term(a).norm(), ods.term(b).norm())
 }
 
 #[cfg(test)]

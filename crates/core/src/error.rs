@@ -28,6 +28,13 @@ pub enum DogmatixError {
         /// What is wrong.
         message: String,
     },
+    /// A persistent term-index snapshot could not be written, read, or
+    /// validated (missing file, corruption, version or selection
+    /// mismatch — see [`crate::backend`]).
+    Snapshot {
+        /// What is wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for DogmatixError {
@@ -43,6 +50,9 @@ impl fmt::Display for DogmatixError {
             DogmatixError::Config { message } => write!(f, "invalid configuration: {message}"),
             DogmatixError::Delta { message } => {
                 write!(f, "cannot apply document delta: {message}")
+            }
+            DogmatixError::Snapshot { message } => {
+                write!(f, "term-index snapshot error: {message}")
             }
         }
     }

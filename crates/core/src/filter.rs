@@ -37,8 +37,8 @@ use crate::neighborhood::ComparisonPlan;
 use crate::od::OdSet;
 use crate::stage::{ComparisonFilter, FilterDecision};
 use dogmatix_textsim::{
-    band_keys, idf, minhash_signature, mix64, ned_within, positional_qgrams, token_hash,
-    word_tokens,
+    band_keys, idf, minhash_signature, mix64, ned_within, positional_qgram_hashes_into,
+    word_token_hashes_into,
 };
 use std::collections::{BTreeSet, HashMap};
 
@@ -72,15 +72,15 @@ pub fn object_filter(ods: &OdSet, theta_tuple: f64, theta_cand: f64) -> FilterOu
 
     let mut f_values = Vec::with_capacity(total);
     let mut pruned = Vec::with_capacity(total);
-    for od in &ods.ods {
+    for i in 0..total {
         let mut shared = 0.0f64;
         let mut unique = 0.0f64;
-        for t in &od.tuples {
-            let fam = family_union[t.term.index()];
+        for &term in ods.tuple_terms(i) {
+            let fam = family_union[term.index()];
             if fam >= 2 {
                 shared += idf(total, fam);
             } else {
-                unique += idf(total, ods.term(t.term).postings.len().max(1));
+                unique += idf(total, ods.store().posting_len(term.index()).max(1));
             }
         }
         let denom = shared + unique;
@@ -103,16 +103,15 @@ pub fn object_filter(ods: &OdSet, theta_tuple: f64, theta_cand: f64) -> FilterOu
 fn term_families(ods: &OdSet, theta_tuple: f64) -> (Vec<usize>, usize) {
     use std::collections::{BTreeMap, BTreeSet};
 
-    // Group term indices by real-world type.
-    let mut by_type: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    for (i, t) in ods.terms.iter().enumerate() {
-        by_type.entry(t.rw_type.as_str()).or_default().push(i);
+    let store = ods.store();
+    // Group term indices by interned real-world type id.
+    let mut by_type: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for i in 0..store.term_count() {
+        by_type.entry(store.type_id(i)).or_default().push(i);
     }
 
-    let mut families: Vec<BTreeSet<u32>> = ods
-        .terms
-        .iter()
-        .map(|t| t.postings.iter().copied().collect())
+    let mut families: Vec<BTreeSet<u32>> = (0..store.term_count())
+        .map(|i| store.postings(i).iter().copied().collect())
         .collect();
     let mut computations = 0usize;
 
@@ -120,22 +119,20 @@ fn term_families(ods: &OdSet, theta_tuple: f64) -> (Vec<usize>, usize) {
         // Sort by length so only a bounded window of terms can be within
         // the ned threshold (length difference bound).
         let mut sorted: Vec<usize> = group.clone();
-        sorted.sort_by_key(|i| ods.terms[*i].char_len);
+        sorted.sort_by_key(|i| store.char_len(*i));
         for (pos, &a) in sorted.iter().enumerate() {
-            let la = ods.terms[a].char_len;
+            let la = store.char_len(a);
             for &b in sorted[pos + 1..].iter() {
-                let lb = ods.terms[b].char_len;
+                let lb = store.char_len(b);
                 debug_assert!(lb >= la);
                 // ned < θ needs (lb - la) < θ · lb, i.e. lb < la / (1 - θ).
                 if (lb - la) as f64 >= theta_tuple * lb.max(1) as f64 {
                     break;
                 }
                 computations += 1;
-                if ned_within(&ods.terms[a].norm, &ods.terms[b].norm, theta_tuple).is_some() {
-                    let pa: Vec<u32> = ods.terms[a].postings.clone();
-                    let pb: Vec<u32> = ods.terms[b].postings.clone();
-                    families[a].extend(pb);
-                    families[b].extend(pa);
+                if ned_within(store.norm(a), store.norm(b), theta_tuple).is_some() {
+                    families[a].extend(store.postings(b).iter().copied());
+                    families[b].extend(store.postings(a).iter().copied());
                 }
             }
         }
@@ -268,13 +265,15 @@ impl QGramBlocking {
     /// eval table, and the property suite).
     pub fn plan(&self, ods: &OdSet) -> ComparisonPlan {
         let n = ods.len();
+        let store = ods.store();
+        let terms = store.term_count();
         let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
 
         if self.theta > 0.0 {
             // Identical terms are always similar (odtDist = 0): every
             // pair of objects sharing a term survives.
-            for term in &ods.terms {
-                cross_postings(&term.postings, &term.postings, &mut pairs);
+            for t in 0..terms {
+                cross_postings(store.postings(t), store.postings(t), &mut pairs);
             }
         }
 
@@ -285,15 +284,15 @@ impl QGramBlocking {
         let mut term_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
 
         let mut by_type: HashMap<u32, Vec<usize>> = HashMap::new();
-        for (idx, term) in ods.terms.iter().enumerate() {
-            by_type.entry(term.type_id).or_default().push(idx);
+        for idx in 0..terms {
+            by_type.entry(store.type_id(idx)).or_default().push(idx);
         }
         for group in by_type.values_mut() {
-            group.sort_by_key(|&i| (ods.terms[i].char_len, i));
+            group.sort_by_key(|&i| (store.char_len(i), i));
             for (pos, &b) in group.iter().enumerate() {
                 // `b` is the longer side of every pair with an earlier
                 // term, so the pair's count bound depends only on `b`.
-                if self.theta > 0.0 && self.count_bound(ods.terms[b].char_len) <= 0 {
+                if self.theta > 0.0 && self.count_bound(store.char_len(b)) <= 0 {
                     for &a in &group[..pos] {
                         term_pairs.insert((a.min(b), a.max(b)));
                     }
@@ -302,17 +301,14 @@ impl QGramBlocking {
         }
 
         // Positional q-gram inverted index: (type, gram hash) → terms.
-        // Each term's grams are sorted by (hash, position) once here, so
-        // the per-pair count verification below is an allocation-free
-        // merge scan (the index build is order-insensitive).
-        let grams: Vec<Vec<(u64, u32)>> = ods
-            .terms
-            .iter()
+        // Gram hashes are emitted straight off the arena into a reused
+        // buffer (`positional_qgram_hashes_into` — no per-gram `String`),
+        // then sorted by (hash, position) once, so the per-pair count
+        // verification below is an allocation-free merge scan.
+        let grams: Vec<Vec<(u64, u32)>> = (0..terms)
             .map(|t| {
-                let mut g: Vec<(u64, u32)> = positional_qgrams(&t.norm, self.q)
-                    .into_iter()
-                    .map(|(g, p)| (token_hash(&g), p as u32))
-                    .collect();
+                let mut g = Vec::new();
+                positional_qgram_hashes_into(store.norm(t), self.q, &mut g);
                 g.sort_unstable();
                 g
             })
@@ -322,10 +318,7 @@ impl QGramBlocking {
             let mut seen = BTreeSet::new();
             for &(g, _) in term_grams {
                 if seen.insert(g) {
-                    index
-                        .entry((ods.terms[idx].type_id, g))
-                        .or_default()
-                        .push(idx);
+                    index.entry((store.type_id(idx), g)).or_default().push(idx);
                 }
             }
         }
@@ -339,7 +332,7 @@ impl QGramBlocking {
 
         // Verify each candidate term pair against the provable bounds.
         for &(a, b) in &term_pairs {
-            let (la, lb) = (ods.terms[a].char_len, ods.terms[b].char_len);
+            let (la, lb) = (store.char_len(a), store.char_len(b));
             let max_len = la.max(lb);
             let k = self.max_edits(max_len);
             if la.abs_diff(lb) > k {
@@ -349,7 +342,7 @@ impl QGramBlocking {
             if bound > 0 && positional_matches(&grams[a], &grams[b], k) < bound {
                 continue; // count filter: provably above the threshold
             }
-            cross_postings(&ods.terms[a].postings, &ods.terms[b].postings, &mut pairs);
+            cross_postings(store.postings(a), store.postings(b), &mut pairs);
         }
 
         ComparisonPlan {
@@ -475,15 +468,17 @@ impl MinHashLshBlocking {
     /// the eval table).
     pub fn plan(&self, ods: &OdSet) -> ComparisonPlan {
         let n = ods.len();
+        let store = ods.store();
         let hashes = self.bands * self.rows;
         let mut buckets: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
-        for (i, od) in ods.ods.iter().enumerate() {
+        let mut scratch: Vec<u64> = Vec::new();
+        for i in 0..n {
             let mut tokens: BTreeSet<u64> = BTreeSet::new();
-            for t in &od.tuples {
-                let info = ods.term(t.term);
-                let salt = mix64(u64::from(info.type_id) ^ self.seed);
-                for word in word_tokens(&info.norm) {
-                    tokens.insert(token_hash(&word) ^ salt);
+            for &term in ods.tuple_terms(i) {
+                let salt = mix64(u64::from(store.type_id(term.index())) ^ self.seed);
+                word_token_hashes_into(store.norm(term.index()), &mut scratch);
+                for &h in &scratch {
+                    tokens.insert(h ^ salt);
                 }
             }
             if tokens.is_empty() {
@@ -700,12 +695,12 @@ mod tests {
                 let plan = QGramBlocking::new(q, theta).plan(&ods);
                 for i in 0..ods.len() {
                     for j in (i + 1)..ods.len() {
-                        let similar = ods.ods[i].tuples.iter().any(|ti| {
-                            ods.ods[j].tuples.iter().any(|tj| {
-                                ti.type_id == tj.type_id
+                        let similar = ods.od(i).tuples().any(|ti| {
+                            ods.od(j).tuples().any(|tj| {
+                                ti.type_id() == tj.type_id()
                                     && dogmatix_textsim::ned(
-                                        &ods.term(ti.term).norm,
-                                        &ods.term(tj.term).norm,
+                                        ods.term(ti.term()).norm(),
+                                        ods.term(tj.term()).norm(),
                                     ) < theta
                             })
                         });

@@ -705,26 +705,25 @@ fn affected_candidates(n: usize, s: &IncrementalSession, prev: &PrevRun, ods: &O
     };
     let prev_terms: HashMap<(&str, &str), &[u32]> = prev
         .ods
-        .terms
-        .iter()
-        .map(|t| ((t.rw_type.as_str(), t.norm.as_str()), t.postings.as_slice()))
+        .terms()
+        .map(|t| ((t.rw_type(), t.norm()), t.postings()))
         .collect();
-    let mut new_keys: HashSet<(&str, &str)> = HashSet::with_capacity(ods.terms.len());
-    for t in &ods.terms {
-        let key = (t.rw_type.as_str(), t.norm.as_str());
+    let mut new_keys: HashSet<(&str, &str)> = HashSet::with_capacity(ods.term_count());
+    for t in ods.terms() {
+        let key = (t.rw_type(), t.norm());
         new_keys.insert(key);
         match prev_terms.get(&key) {
-            Some(old) if *old == t.postings.as_slice() => {}
+            Some(old) if *old == t.postings() => {}
             Some(old) => {
                 mark(old, &mut affected);
-                mark(&t.postings, &mut affected);
+                mark(t.postings(), &mut affected);
             }
-            None => mark(&t.postings, &mut affected),
+            None => mark(t.postings(), &mut affected),
         }
     }
-    for t in &prev.ods.terms {
-        if !new_keys.contains(&(t.rw_type.as_str(), t.norm.as_str())) {
-            mark(&t.postings, &mut affected);
+    for t in prev.ods.terms() {
+        if !new_keys.contains(&(t.rw_type(), t.norm())) {
+            mark(t.postings(), &mut affected);
         }
     }
     affected
@@ -1005,9 +1004,8 @@ mod tests {
         // The nested candidate's OD really carries the new ancestor text.
         assert!(inc
             .ods
-            .ods
             .iter()
-            .any(|od| od.tuples.iter().any(|t| t.value == "changed block")));
+            .any(|od| od.tuples().any(|t| t.value() == "changed block")));
     }
 
     #[test]
@@ -1105,9 +1103,10 @@ mod tests {
             )
             .unwrap();
         assert_same_outcome(&inc, &batch(&dx, &s));
-        assert!(inc.ods.ods[1]
-            .tuples
-            .iter()
-            .all(|t| t.path != "/moviedoc/movie/year"));
+        assert!(inc
+            .ods
+            .od(1)
+            .tuples()
+            .all(|t| t.path() != "/moviedoc/movie/year"));
     }
 }

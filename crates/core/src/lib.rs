@@ -22,6 +22,7 @@
 //! | beyond the paper: streaming ingest | [`incremental`] |
 //! | beyond the paper: q-gram / MinHash-LSH blocking | [`filter`], [`neighborhood`] |
 //! | beyond the paper: sharded pair-plan execution | [`shard`] |
+//! | beyond the paper: columnar term store + persistent index backends | [`store`], [`backend`] |
 //!
 //! ## Quick start
 //!
@@ -81,6 +82,7 @@
 //! ```
 
 pub mod auto;
+pub mod backend;
 pub mod baseline;
 pub mod candidate;
 pub mod classify;
@@ -99,6 +101,7 @@ pub mod query;
 pub mod shard;
 pub mod sim;
 pub mod stage;
+pub mod store;
 
 pub use error::DogmatixError;
 pub use incremental::{DocumentDelta, IncrementalSession};

@@ -18,7 +18,6 @@
 
 use crate::od::OdSet;
 use crate::stage::{ComparisonFilter, FilterDecision};
-use dogmatix_textsim::idf;
 use std::collections::HashMap;
 
 /// A comparison plan: the pairs (by candidate index) that survive
@@ -45,14 +44,12 @@ impl ComparisonPlan {
 /// ordered by descending IDF (most identifying first), normalised and
 /// concatenated.
 pub fn sort_key(ods: &OdSet, candidate: usize) -> String {
-    let total = ods.len();
-    let od = &ods.ods[candidate];
-    let mut weighted: Vec<(f64, &str)> = od
-        .tuples
+    let mut weighted: Vec<(f64, &str)> = ods
+        .tuple_terms(candidate)
         .iter()
-        .map(|t| {
-            let info = ods.term(t.term);
-            (idf(total, info.postings.len()), info.norm.as_str())
+        .map(|&term| {
+            let info = ods.term(term);
+            (info.idf(), info.norm())
         })
         .collect();
     weighted.sort_by(|a, b| {
@@ -100,18 +97,16 @@ pub fn sorted_neighborhood(ods: &OdSet, window: usize) -> ComparisonPlan {
 pub fn multipass_sorted_neighborhood(ods: &OdSet, window: usize, passes: usize) -> ComparisonPlan {
     assert!(window >= 2, "a window below 2 compares nothing");
     let n = ods.len();
-    let total = ods.len();
     let mut pairs = Vec::new();
     for pass in 0..passes.max(1) {
         let keys: Vec<String> = (0..n)
             .map(|i| {
-                let od = &ods.ods[i];
-                let mut weighted: Vec<(f64, &str)> = od
-                    .tuples
+                let mut weighted: Vec<(f64, &str)> = ods
+                    .tuple_terms(i)
                     .iter()
-                    .map(|t| {
-                        let info = ods.term(t.term);
-                        (idf(total, info.postings.len()), info.norm.as_str())
+                    .map(|&term| {
+                        let info = ods.term(term);
+                        (info.idf(), info.norm())
                     })
                     .collect();
                 weighted.sort_by(|a, b| {
@@ -226,12 +221,12 @@ impl TopKBlocking {
         // Idf-weighted co-occurrence per candidate pair, accumulated over
         // the term postings (skipping ubiquitous terms).
         let mut scores: HashMap<(u32, u32), f64> = HashMap::new();
-        for term in &ods.terms {
-            let postings = &term.postings;
+        for term in ods.terms() {
+            let postings = term.postings();
             if postings.len() < 2 || postings.len() > (n / 2).max(2) {
                 continue;
             }
-            let w = idf(n, postings.len());
+            let w = term.idf();
             for (pos, &a) in postings.iter().enumerate() {
                 for &b in &postings[pos + 1..] {
                     *scores.entry((a, b)).or_insert(0.0) += w;

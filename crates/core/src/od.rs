@@ -15,8 +15,19 @@
 //! (Definition 8) and the object filter (Section 5.2) are computed on the
 //! term level — the paper's "graph representation to associate ODs and
 //! their contained OD tuples".
+//!
+//! Since the columnar-store refactor, an [`OdSet`] is **structure of
+//! arrays end to end**: every string lives in the shared byte arena of a
+//! [`TermStore`] ([`crate::store`]), tuples are four parallel columns
+//! (term id, value span, path id — type id lives on the term) addressed
+//! per object through CSR offsets, and the type groups the pairwise hot
+//! path merge-joins are flattened index ranges. Borrowing views —
+//! [`OdRef`], [`TupleRef`], [`TermRef`] — give the ergonomic access the
+//! old owned structs had, at the cost of two integer loads instead of a
+//! pointer chase.
 
 use crate::mapping::Mapping;
+use crate::store::{PathId, Span, StoreBuilder, TermStore};
 use dogmatix_xml::{Document, NodeId};
 use std::collections::{BTreeSet, HashMap};
 
@@ -25,83 +36,210 @@ use std::collections::{BTreeSet, HashMap};
 pub struct TermId(pub(crate) u32);
 
 impl TermId {
-    /// Arena index.
+    /// Column index of the term within its [`OdSet`]'s store.
+    ///
+    /// ```
+    /// use dogmatix_core::od::TermId;
+    /// assert_eq!(TermId::from_index(3).index(), 3);
+    /// ```
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The id addressing column index `index` (for tests and tools that
+    /// enumerate a store; detection code receives ids from the builder).
+    pub fn from_index(index: usize) -> TermId {
+        TermId(index as u32)
+    }
 }
 
-/// One OD tuple: `(value, name)` where name is the schema path, enriched
-/// with the resolved real-world type and interned term id.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct OdTuple {
-    /// Raw text value as found in the document.
-    pub value: String,
-    /// Schema name path of the source element (the paper's `xpath`).
-    pub path: String,
-    /// Real-world type per the mapping `M`.
-    pub rw_type: String,
-    /// Interned real-world type id (index into [`OdSet::type_names`]).
-    pub type_id: u32,
-    /// Interned term id (set by [`OdSet::build`]).
-    pub term: TermId,
-}
-
-/// The description of one candidate object.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ObjectDescription {
-    /// The candidate element this OD describes.
-    pub node: NodeId,
-    /// OD tuples in document order.
-    pub tuples: Vec<OdTuple>,
-    /// Tuple indices grouped by interned type id, sorted by type id —
-    /// the pairwise hot path merge-joins these instead of rebuilding a
-    /// hash map per comparison.
-    pub groups: Vec<(u32, Vec<u32>)>,
-}
-
-/// Interned term metadata.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TermInfo {
-    /// Real-world type.
-    pub rw_type: String,
-    /// Interned real-world type id.
-    pub type_id: u32,
-    /// Normalised value.
-    pub norm: String,
-    /// Length of `norm` in chars (cached for distance bounds).
-    pub char_len: usize,
-    /// Sorted, deduplicated indices of ODs containing this term.
-    pub postings: Vec<u32>,
-}
-
-/// All ODs of a candidate set plus the term table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// All ODs of a candidate set plus the columnar term store.
+///
+/// Tuple data is stored as parallel columns addressed per object via CSR
+/// offsets; every string is a [`Span`] into the store's byte arena.
+/// Cloning an `OdSet` is a handful of `memcpy`s, and equality is a flat
+/// column comparison — both were deep per-tuple walks before.
+///
+/// ```
+/// use dogmatix_core::od::OdSet;
+/// use dogmatix_core::mapping::Mapping;
+/// use dogmatix_xml::Document;
+/// use std::collections::{BTreeSet, HashMap};
+///
+/// let doc = Document::parse(
+///     "<r><m><t>The Matrix</t><y>1999</y></m><m><y>1999</y></m></r>")?;
+/// let candidates = doc.select("/r/m")?;
+/// let mut sel = HashMap::new();
+/// sel.insert("/r/m".to_string(),
+///            ["/r/m/t".to_string(), "/r/m/y".to_string()]
+///                .into_iter().collect::<BTreeSet<_>>());
+/// let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+/// assert_eq!(ods.len(), 2);
+/// let first = ods.od(0);
+/// let values: Vec<&str> = first.tuples().map(|t| t.value()).collect();
+/// assert_eq!(values, ["The Matrix", "1999"]);
+/// // The shared year interned to one term with postings [0, 1].
+/// let year = ods.terms().find(|t| t.norm() == "1999").unwrap();
+/// assert_eq!(year.postings(), &[0, 1]);
+/// # Ok::<(), dogmatix_xml::XmlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct OdSet {
-    /// One OD per candidate, aligned with candidate order.
-    pub ods: Vec<ObjectDescription>,
-    /// Interned terms.
-    pub terms: Vec<TermInfo>,
-    /// Interned real-world type names (indexed by type id).
-    pub type_names: Vec<String>,
+    /// Candidate element per OD, aligned with OD indices.
+    nodes: Vec<NodeId>,
+    /// The columnar term store (terms, postings, IDF, names, arena).
+    store: TermStore,
+    /// CSR offsets into the tuple columns (`len + 1` entries).
+    od_starts: Vec<u32>,
+    /// Tuple column: interned term id.
+    tuple_term: Vec<TermId>,
+    /// Tuple column: raw value span into the store arena.
+    tuple_value: Vec<Span>,
+    /// Tuple column: interned schema path id.
+    tuple_path: Vec<PathId>,
+    /// CSR offsets into the group columns (`len + 1` entries).
+    od_group_starts: Vec<u32>,
+    /// Group column: real-world type id (sorted ascending within an OD).
+    group_types: Vec<u32>,
+    /// CSR offsets into `group_tuples` (`group_types.len() + 1`).
+    group_starts: Vec<u32>,
+    /// Flattened OD-local tuple indices per group.
+    group_tuples: Vec<u32>,
 }
 
 impl OdSet {
     /// Number of objects (`|Ω_T|`, the softIDF denominator base).
+    ///
+    /// ```
+    /// use dogmatix_core::od::OdSet;
+    /// assert_eq!(OdSet::default().len(), 0);
+    /// ```
     pub fn len(&self) -> usize {
-        self.ods.len()
+        self.nodes.len()
     }
 
     /// Whether the set is empty.
+    ///
+    /// ```
+    /// use dogmatix_core::od::OdSet;
+    /// assert!(OdSet::default().is_empty());
+    /// ```
     pub fn is_empty(&self) -> bool {
-        self.ods.is_empty()
+        self.nodes.is_empty()
+    }
+
+    /// The columnar term store backing this set.
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// Number of interned terms.
+    pub fn term_count(&self) -> usize {
+        self.store.term_count()
+    }
+
+    /// The candidate element of OD `i`.
+    #[inline]
+    pub fn node(&self, i: usize) -> NodeId {
+        self.nodes[i]
+    }
+
+    /// Candidate elements, aligned with OD indices.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
     }
 
     /// Term metadata for a term id.
+    ///
+    /// # Invariant
+    ///
+    /// `id` must have been produced by **this** set's build (or carry
+    /// over from a snapshot of it). Passing an id from a different
+    /// `OdSet` is a logic error: an out-of-range id panics (debug builds
+    /// name the id), an in-range foreign id silently reads the wrong
+    /// term. Use [`OdSet::try_term`] when the provenance of an id is
+    /// uncertain — e.g. ids deserialised from external input.
     #[inline]
-    pub fn term(&self, id: TermId) -> &TermInfo {
-        &self.terms[id.index()]
+    pub fn term(&self, id: TermId) -> TermRef<'_> {
+        debug_assert!(
+            id.index() < self.store.term_count(),
+            "stale TermId {}: this store holds {} terms",
+            id.0,
+            self.store.term_count()
+        );
+        TermRef {
+            store: &self.store,
+            index: id.index(),
+        }
+    }
+
+    /// Checked [`OdSet::term`]: `None` when the id does not address a
+    /// term of this store.
+    ///
+    /// ```
+    /// use dogmatix_core::od::{OdSet, TermId};
+    /// let empty = OdSet::default();
+    /// assert!(empty.try_term(TermId::from_index(0)).is_none());
+    /// ```
+    pub fn try_term(&self, id: TermId) -> Option<TermRef<'_>> {
+        (id.index() < self.store.term_count()).then(|| TermRef {
+            store: &self.store,
+            index: id.index(),
+        })
+    }
+
+    /// Iterates the interned terms in id order.
+    pub fn terms(&self) -> impl Iterator<Item = TermRef<'_>> {
+        (0..self.store.term_count()).map(move |index| TermRef {
+            store: &self.store,
+            index,
+        })
+    }
+
+    /// Borrowing view of OD `i`.
+    ///
+    /// # Invariant
+    ///
+    /// Like [`OdSet::term`], `i` must be an OD index of this set
+    /// (`i < len()`); out-of-range indices panic. Use [`OdSet::try_od`]
+    /// for indices of uncertain provenance.
+    #[inline]
+    pub fn od(&self, i: usize) -> OdRef<'_> {
+        debug_assert!(
+            i < self.len(),
+            "stale OD index {i}: this set holds {} ODs",
+            self.len()
+        );
+        OdRef {
+            set: self,
+            index: i,
+        }
+    }
+
+    /// Checked [`OdSet::od`].
+    pub fn try_od(&self, i: usize) -> Option<OdRef<'_>> {
+        (i < self.len()).then_some(OdRef {
+            set: self,
+            index: i,
+        })
+    }
+
+    /// Iterates the ODs in candidate order.
+    ///
+    /// ```
+    /// use dogmatix_core::od::OdSet;
+    /// assert_eq!(OdSet::default().iter().count(), 0);
+    /// ```
+    pub fn iter(&self) -> impl Iterator<Item = OdRef<'_>> {
+        (0..self.len()).map(move |index| OdRef { set: self, index })
+    }
+
+    /// The term-id column of OD `i` — the allocation-free view the
+    /// pairwise hot path and the blocking indexes iterate.
+    #[inline]
+    pub fn tuple_terms(&self, i: usize) -> &[TermId] {
+        &self.tuple_term[self.od_starts[i] as usize..self.od_starts[i + 1] as usize]
     }
 
     /// Steps 2+3 — description query execution and OD generation, fused
@@ -116,6 +254,21 @@ impl OdSet {
     /// [`OdSet::build_from_raw`]; incremental callers
     /// ([`crate::incremental`]) cache the extraction per candidate and
     /// re-run only the interning step after a document delta.
+    ///
+    /// ```
+    /// use dogmatix_core::od::OdSet;
+    /// use dogmatix_core::mapping::Mapping;
+    /// use dogmatix_xml::Document;
+    /// use std::collections::HashMap;
+    ///
+    /// let doc = Document::parse("<r><m><t>x</t></m></r>")?;
+    /// let candidates = doc.select("/r/m")?;
+    /// // No selection: every OD is empty but the set is aligned.
+    /// let ods = OdSet::build(&doc, &candidates, &HashMap::new(), &Mapping::new());
+    /// assert_eq!(ods.len(), 1);
+    /// assert!(ods.od(0).is_empty());
+    /// # Ok::<(), dogmatix_xml::XmlError>(())
+    /// ```
     pub fn build(
         doc: &Document,
         candidates: &[NodeId],
@@ -126,104 +279,450 @@ impl OdSet {
         for &cand in candidates {
             let cand_path = doc.name_path(cand);
             let raw = extract_raw_tuples(doc, cand, selections.get(&cand_path), mapping);
-            // The tuples are owned here, so interning moves the strings.
-            interner.push(cand, raw.into_iter());
+            interner.push(cand, &raw);
         }
         interner.finish()
     }
 
     /// OD generation from pre-extracted raw tuples: interns real-world
-    /// types and terms, builds posting lists, and groups tuples by type
-    /// for the pairwise hot path.
+    /// types and terms into the columnar store, builds posting lists,
+    /// and groups tuples by type for the pairwise hot path.
     ///
     /// Term and type ids are assigned in order of first occurrence across
     /// the candidate iteration order, so building from the same raw
     /// tuples always yields an `OdSet` identical to [`OdSet::build`] —
     /// the property the incremental differential tests rely on.
+    ///
+    /// ```
+    /// use dogmatix_core::od::{OdSet, RawTuple};
+    /// let raw = vec![RawTuple {
+    ///     value: "The Matrix".into(),
+    ///     path: "/r/m/t".into(),
+    ///     rw_type: "/r/m/t".into(),
+    ///     norm: "the matrix".into(),
+    /// }];
+    /// let doc = dogmatix_xml::Document::parse("<r/>")?;
+    /// let node = doc.root_element().unwrap();
+    /// let ods = OdSet::build_from_raw([(node, raw.as_slice())]);
+    /// assert_eq!(ods.term_count(), 1);
+    /// # Ok::<(), dogmatix_xml::XmlError>(())
+    /// ```
     pub fn build_from_raw<'a, I>(parts: I) -> OdSet
     where
         I: IntoIterator<Item = (NodeId, &'a [RawTuple])>,
     {
         let mut interner = Interner::default();
         for (cand, raw) in parts {
-            interner.push(cand, raw.iter().cloned());
+            interner.push(cand, raw);
         }
         interner.finish()
     }
+
+    // ---- raw column accessors for the hot paths -----------------------
+
+    /// Global tuple range of OD `i` within the tuple columns.
+    #[inline]
+    pub(crate) fn od_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.od_starts[i] as usize..self.od_starts[i + 1] as usize
+    }
+
+    /// Term id of the `local`-th tuple of OD `i`.
+    #[inline]
+    pub(crate) fn tuple_term_at(&self, i: usize, local: usize) -> TermId {
+        self.tuple_term[self.od_starts[i] as usize + local]
+    }
+
+    /// Type groups of OD `i`: `(type_id, OD-local tuple indices)` pairs,
+    /// sorted ascending by type id.
+    #[inline]
+    pub(crate) fn od_groups(&self, i: usize) -> impl ExactSizeIterator<Item = (u32, &[u32])> {
+        self.od_group_range(i)
+            .map(move |g| (self.group_type(g), self.group_tuple_slice(g)))
+    }
+
+    /// Global group-index range of OD `i` (for the merge-join's random
+    /// access into the group columns).
+    #[inline]
+    pub(crate) fn od_group_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.od_group_starts[i] as usize..self.od_group_starts[i + 1] as usize
+    }
+
+    /// Type id of global group `g`.
+    #[inline]
+    pub(crate) fn group_type(&self, g: usize) -> u32 {
+        self.group_types[g]
+    }
+
+    /// OD-local tuple indices of global group `g`.
+    #[inline]
+    pub(crate) fn group_tuple_slice(&self, g: usize) -> &[u32] {
+        &self.group_tuples[self.group_starts[g] as usize..self.group_starts[g + 1] as usize]
+    }
+
+    /// Total heap footprint of the set (store arena + columns) in bytes.
+    ///
+    /// ```
+    /// use dogmatix_core::od::OdSet;
+    /// assert_eq!(OdSet::default().heap_bytes(), 0);
+    /// ```
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.store.heap_bytes()
+            + self.nodes.capacity() * size_of::<NodeId>()
+            + self.od_starts.capacity() * size_of::<u32>()
+            + self.tuple_term.capacity() * size_of::<TermId>()
+            + self.tuple_value.capacity() * size_of::<Span>()
+            + self.tuple_path.capacity() * size_of::<PathId>()
+            + self.od_group_starts.capacity() * size_of::<u32>()
+            + self.group_types.capacity() * size_of::<u32>()
+            + self.group_starts.capacity() * size_of::<u32>()
+            + self.group_tuples.capacity() * size_of::<u32>()
+    }
+
+    // ---- snapshot support (crate-internal) ----------------------------
+
+    /// Decomposes the set into its raw columns for serialisation.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn columns(
+        &self,
+    ) -> (
+        &TermStore,
+        &[u32],
+        &[TermId],
+        &[Span],
+        &[PathId],
+        &[u32],
+        &[u32],
+        &[u32],
+        &[u32],
+    ) {
+        (
+            &self.store,
+            &self.od_starts,
+            &self.tuple_term,
+            &self.tuple_value,
+            &self.tuple_path,
+            &self.od_group_starts,
+            &self.group_types,
+            &self.group_starts,
+            &self.group_tuples,
+        )
+    }
+
+    /// Reassembles a set from deserialised columns plus the current
+    /// run's candidate nodes (node ids are document state, deliberately
+    /// not part of a snapshot).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_columns(
+        nodes: Vec<NodeId>,
+        store: TermStore,
+        od_starts: Vec<u32>,
+        tuple_term: Vec<TermId>,
+        tuple_value: Vec<Span>,
+        tuple_path: Vec<PathId>,
+        od_group_starts: Vec<u32>,
+        group_types: Vec<u32>,
+        group_starts: Vec<u32>,
+        group_tuples: Vec<u32>,
+    ) -> OdSet {
+        OdSet {
+            nodes,
+            store,
+            od_starts,
+            tuple_term,
+            tuple_value,
+            tuple_path,
+            od_group_starts,
+            group_types,
+            group_starts,
+            group_tuples,
+        }
+    }
+
+    /// Replaces the candidate nodes (snapshot warm start re-attaches the
+    /// freshly resolved candidates to the loaded columns).
+    pub(crate) fn set_nodes(&mut self, nodes: Vec<NodeId>) {
+        self.nodes = nodes;
+    }
 }
 
-/// Shared interning pass behind [`OdSet::build`] (owned tuples, no
-/// clones) and [`OdSet::build_from_raw`] (borrowed cache entries).
+/// Borrowing view of one object description.
+///
+/// ```
+/// # use dogmatix_core::od::OdSet;
+/// # use dogmatix_core::mapping::Mapping;
+/// # use dogmatix_xml::Document;
+/// # use std::collections::{BTreeSet, HashMap};
+/// # let doc = Document::parse("<r><m><t>A</t><y>1</y></m></r>")?;
+/// # let candidates = doc.select("/r/m")?;
+/// # let mut sel = HashMap::new();
+/// # sel.insert("/r/m".to_string(),
+/// #            ["/r/m/t".to_string(), "/r/m/y".to_string()]
+/// #                .into_iter().collect::<BTreeSet<_>>());
+/// let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+/// let od = ods.od(0);
+/// assert_eq!(od.tuple_count(), 2);
+/// assert_eq!(od.tuple(0).value(), "A");
+/// // Tuples grouped by real-world type for the merge-join.
+/// assert_eq!(od.groups().count(), 2);
+/// # Ok::<(), dogmatix_xml::XmlError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct OdRef<'a> {
+    set: &'a OdSet,
+    index: usize,
+}
+
+impl<'a> OdRef<'a> {
+    /// The OD's index within its set (candidate order).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The candidate element this OD describes.
+    pub fn node(&self) -> NodeId {
+        self.set.nodes[self.index]
+    }
+
+    /// Number of OD tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.set.od_range(self.index).len()
+    }
+
+    /// Whether the description holds no tuple.
+    pub fn is_empty(&self) -> bool {
+        self.tuple_count() == 0
+    }
+
+    /// The `local`-th tuple (document order).
+    #[inline]
+    pub fn tuple(&self, local: usize) -> TupleRef<'a> {
+        let range = self.set.od_range(self.index);
+        debug_assert!(local < range.len());
+        TupleRef {
+            set: self.set,
+            global: range.start + local,
+        }
+    }
+
+    /// Iterates the OD's tuples in document order.
+    pub fn tuples(&self) -> impl ExactSizeIterator<Item = TupleRef<'a>> {
+        let set = self.set;
+        self.set
+            .od_range(self.index)
+            .map(move |global| TupleRef { set, global })
+    }
+
+    /// The OD's term-id column.
+    pub fn terms(&self) -> &'a [TermId] {
+        self.set.tuple_terms(self.index)
+    }
+
+    /// Tuple indices grouped by interned type id, sorted by type id —
+    /// the pairwise hot path merge-joins these instead of rebuilding a
+    /// hash map per comparison.
+    pub fn groups(&self) -> impl ExactSizeIterator<Item = (u32, &'a [u32])> {
+        self.set.od_groups(self.index)
+    }
+}
+
+/// Borrowing view of one OD tuple: `(value, name)` plus the resolved
+/// real-world type and interned term id, all read out of the columnar
+/// store.
+#[derive(Debug, Clone, Copy)]
+pub struct TupleRef<'a> {
+    set: &'a OdSet,
+    global: usize,
+}
+
+impl<'a> TupleRef<'a> {
+    /// Raw text value as found in the document.
+    #[inline]
+    pub fn value(&self) -> &'a str {
+        self.set.tuple_value[self.global].resolve(&self.set.store.arena)
+    }
+
+    /// Schema name path of the source element (the paper's `xpath`).
+    pub fn path(&self) -> &'a str {
+        self.set.store.path_name(self.set.tuple_path[self.global])
+    }
+
+    /// Interned schema path id.
+    pub fn path_id(&self) -> PathId {
+        self.set.tuple_path[self.global]
+    }
+
+    /// Real-world type per the mapping `M`.
+    pub fn rw_type(&self) -> &'a str {
+        self.set.store.type_name(self.type_id())
+    }
+
+    /// Interned real-world type id.
+    #[inline]
+    pub fn type_id(&self) -> u32 {
+        self.set.store.type_id(self.term().index())
+    }
+
+    /// Interned term id.
+    #[inline]
+    pub fn term(&self) -> TermId {
+        self.set.tuple_term[self.global]
+    }
+}
+
+/// Borrowing view of one interned term's metadata columns.
+///
+/// ```
+/// # use dogmatix_core::od::OdSet;
+/// # use dogmatix_core::mapping::Mapping;
+/// # use dogmatix_xml::Document;
+/// # use std::collections::{BTreeSet, HashMap};
+/// # let doc = Document::parse("<r><m><t>Aa</t></m><m><t>Aa</t></m></r>")?;
+/// # let candidates = doc.select("/r/m")?;
+/// # let mut sel = HashMap::new();
+/// # sel.insert("/r/m".to_string(),
+/// #            ["/r/m/t".to_string()].into_iter().collect::<BTreeSet<_>>());
+/// let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+/// let term = ods.term(ods.od(0).tuple(0).term());
+/// assert_eq!(term.norm(), "aa");
+/// assert_eq!(term.char_len(), 2);
+/// assert_eq!(term.postings(), &[0, 1]);
+/// assert_eq!(term.idf(), dogmatix_textsim::idf(2, 2));
+/// # Ok::<(), dogmatix_xml::XmlError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TermRef<'a> {
+    store: &'a TermStore,
+    index: usize,
+}
+
+impl<'a> TermRef<'a> {
+    /// The term's id.
+    pub fn id(&self) -> TermId {
+        TermId(self.index as u32)
+    }
+
+    /// Normalised value.
+    #[inline]
+    pub fn norm(&self) -> &'a str {
+        self.store.norm(self.index)
+    }
+
+    /// Real-world type name.
+    pub fn rw_type(&self) -> &'a str {
+        self.store.type_name(self.store.type_id(self.index))
+    }
+
+    /// Interned real-world type id.
+    #[inline]
+    pub fn type_id(&self) -> u32 {
+        self.store.type_id(self.index)
+    }
+
+    /// Length of the normalised value in chars (cached for distance
+    /// bounds).
+    #[inline]
+    pub fn char_len(&self) -> usize {
+        self.store.char_len(self.index)
+    }
+
+    /// Sorted, deduplicated indices of ODs containing this term.
+    #[inline]
+    pub fn postings(&self) -> &'a [u32] {
+        self.store.postings(self.index)
+    }
+
+    /// Pre-computed `idf(|Ω|, |postings|)` weight.
+    #[inline]
+    pub fn idf(&self) -> f64 {
+        self.store.idf(self.index)
+    }
+}
+
+/// Shared interning pass behind [`OdSet::build`] and
+/// [`OdSet::build_from_raw`]: drives a [`StoreBuilder`] and lays the
+/// tuple/group columns.
 #[derive(Default)]
 struct Interner {
-    terms: Vec<TermInfo>,
-    lookup: HashMap<(u32, String), TermId>,
-    type_names: Vec<String>,
-    type_lookup: HashMap<String, u32>,
-    ods: Vec<ObjectDescription>,
+    builder: StoreBuilder,
+    nodes: Vec<NodeId>,
+    od_starts: Vec<u32>,
+    tuple_term: Vec<TermId>,
+    tuple_value: Vec<Span>,
+    tuple_path: Vec<PathId>,
+    od_group_starts: Vec<u32>,
+    group_types: Vec<u32>,
+    group_starts: Vec<u32>,
+    group_tuples: Vec<u32>,
+    /// Scratch: type id per tuple of the OD being pushed.
+    scratch_types: Vec<u32>,
+    /// All tuple type ids (for the store's per-type stats).
+    tuple_types: Vec<u32>,
 }
 
 impl Interner {
     /// Interns one candidate's tuples (in candidate order).
-    fn push(&mut self, cand: NodeId, raw: impl Iterator<Item = RawTuple>) {
-        let od_index = self.ods.len();
-        let mut tuples = Vec::with_capacity(raw.size_hint().0);
-        for r in raw {
-            let type_id = *self
-                .type_lookup
-                .entry(r.rw_type.clone())
-                .or_insert_with(|| {
-                    self.type_names.push(r.rw_type.clone());
-                    (self.type_names.len() - 1) as u32
-                });
-            let id = match self.lookup.get(&(type_id, r.norm.clone())) {
-                Some(id) => *id,
-                None => {
-                    let id = TermId(self.terms.len() as u32);
-                    self.terms.push(TermInfo {
-                        rw_type: r.rw_type.clone(),
-                        type_id,
-                        char_len: r.norm.chars().count(),
-                        norm: r.norm.clone(),
-                        postings: Vec::new(),
-                    });
-                    self.lookup.insert((type_id, r.norm), id);
-                    id
-                }
-            };
-            let postings = &mut self.terms[id.index()].postings;
-            if postings.last() != Some(&(od_index as u32)) {
-                postings.push(od_index as u32);
-            }
-            tuples.push(OdTuple {
-                value: r.value,
-                path: r.path,
-                rw_type: r.rw_type,
-                type_id,
-                term: id,
-            });
+    fn push(&mut self, cand: NodeId, raw: &[RawTuple]) {
+        if self.od_starts.is_empty() {
+            self.od_starts.push(0);
+            self.group_starts.push(0);
+            self.od_group_starts.push(0);
         }
-        // Group tuple indices by type id for the pairwise hot path.
+        let od_index = self.nodes.len() as u32;
+        self.scratch_types.clear();
+        for r in raw {
+            let type_id = self.builder.intern_type(&r.rw_type);
+            let term = self.builder.intern_term(type_id, &r.norm);
+            self.builder.add_posting(term, od_index);
+            self.tuple_term.push(TermId(term));
+            self.tuple_value.push(self.builder.intern_value(&r.value));
+            self.tuple_path.push(self.builder.intern_path(&r.path));
+            self.scratch_types.push(type_id);
+            self.tuple_types.push(type_id);
+        }
+        // Group OD-local tuple indices by type id for the pairwise hot
+        // path (first-occurrence grouping, then sorted by type id —
+        // exactly the pre-columnar grouping).
         let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
-        for (i, t) in tuples.iter().enumerate() {
-            match groups.iter_mut().find(|(ty, _)| *ty == t.type_id) {
+        for (i, &ty) in self.scratch_types.iter().enumerate() {
+            match groups.iter_mut().find(|(t, _)| *t == ty) {
                 Some((_, idxs)) => idxs.push(i as u32),
-                None => groups.push((t.type_id, vec![i as u32])),
+                None => groups.push((ty, vec![i as u32])),
             }
         }
         groups.sort_by_key(|(ty, _)| *ty);
-        self.ods.push(ObjectDescription {
-            node: cand,
-            tuples,
-            groups,
-        });
+        for (ty, idxs) in groups {
+            self.group_types.push(ty);
+            self.group_tuples.extend_from_slice(&idxs);
+            self.group_starts.push(self.group_tuples.len() as u32);
+        }
+        self.nodes.push(cand);
+        self.od_starts.push(self.tuple_term.len() as u32);
+        self.od_group_starts.push(self.group_types.len() as u32);
     }
 
     fn finish(self) -> OdSet {
+        let object_count = self.nodes.len();
+        let store = self.builder.finish(object_count, &self.tuple_types);
+        let mut od_starts = self.od_starts;
+        let mut group_starts = self.group_starts;
+        let mut od_group_starts = self.od_group_starts;
+        if od_starts.is_empty() {
+            od_starts.push(0);
+            group_starts.push(0);
+            od_group_starts.push(0);
+        }
         OdSet {
-            ods: self.ods,
-            terms: self.terms,
-            type_names: self.type_names,
+            nodes: self.nodes,
+            store,
+            od_starts,
+            tuple_term: self.tuple_term,
+            tuple_value: self.tuple_value,
+            tuple_path: self.tuple_path,
+            od_group_starts,
+            group_types: self.group_types,
+            group_starts,
+            group_tuples: self.group_tuples,
         }
     }
 }
@@ -231,6 +730,17 @@ impl Interner {
 /// One extracted description tuple before term interning: the raw value,
 /// its schema path, its resolved real-world type, and the normalised form
 /// (computed once here, so incremental re-interning skips normalisation).
+///
+/// ```
+/// use dogmatix_core::od::RawTuple;
+/// let t = RawTuple {
+///     value: "The  MATRIX".into(),
+///     path: "/r/m/t".into(),
+///     rw_type: "TITLE".into(),
+///     norm: dogmatix_textsim::normalize_value("The  MATRIX"),
+/// };
+/// assert_eq!(t.norm, "the matrix");
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawTuple {
     /// Raw text value as found in the document.
@@ -251,6 +761,21 @@ pub struct RawTuple {
 /// This is the per-candidate half of [`OdSet::build`]; the incremental
 /// session caches its output per candidate and re-extracts only
 /// candidates touched by a delta.
+///
+/// ```
+/// use dogmatix_core::od::extract_raw_tuples;
+/// use dogmatix_core::mapping::Mapping;
+/// use dogmatix_xml::Document;
+/// use std::collections::BTreeSet;
+///
+/// let doc = Document::parse("<r><m><t>X</t></m></r>")?;
+/// let cand = doc.select("/r/m")?[0];
+/// let sel: BTreeSet<String> = ["/r/m/t".to_string()].into_iter().collect();
+/// let raw = extract_raw_tuples(&doc, cand, Some(&sel), &Mapping::new());
+/// assert_eq!(raw.len(), 1);
+/// assert_eq!(raw[0].value, "X");
+/// # Ok::<(), dogmatix_xml::XmlError>(())
+/// ```
 pub fn extract_raw_tuples(
     doc: &Document,
     cand: NodeId,
@@ -392,15 +917,15 @@ mod tests {
         ]);
         let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
         assert_eq!(ods.len(), 3);
-        let values: Vec<_> = ods.ods[0].tuples.iter().map(|t| t.value.as_str()).collect();
+        let values: Vec<_> = ods.od(0).tuples().map(|t| t.value()).collect();
         assert_eq!(
             values,
             vec!["The Matrix", "1999", "Keanu Reeves", "L. Fishburne"]
         );
-        assert_eq!(ods.ods[1].tuples.len(), 3);
-        assert_eq!(ods.ods[2].tuples.len(), 3);
+        assert_eq!(ods.od(1).tuple_count(), 3);
+        assert_eq!(ods.od(2).tuple_count(), 3);
         // Roles were not selected.
-        assert!(ods.ods[0].tuples.iter().all(|t| !t.value.contains("Neo")));
+        assert!(ods.od(0).tuples().all(|t| !t.value().contains("Neo")));
     }
 
     #[test]
@@ -411,14 +936,13 @@ mod tests {
         let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
         // "1999" appears in movies 0 and 1 → one term, postings [0, 1].
         let year_term = ods
-            .terms
-            .iter()
-            .find(|t| t.norm == "1999")
+            .terms()
+            .find(|t| t.norm() == "1999")
             .expect("term for 1999");
-        assert_eq!(year_term.postings, vec![0, 1]);
+        assert_eq!(year_term.postings(), &[0, 1]);
         // "keanu reeves" also in movies 0 and 1.
-        let keanu = ods.terms.iter().find(|t| t.norm == "keanu reeves").unwrap();
-        assert_eq!(keanu.postings, vec![0, 1]);
+        let keanu = ods.terms().find(|t| t.norm() == "keanu reeves").unwrap();
+        assert_eq!(keanu.postings(), &[0, 1]);
     }
 
     #[test]
@@ -429,7 +953,7 @@ mod tests {
         // data (no direct text).
         let sel = selection(&["/moviedoc/movie/actor"]);
         let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
-        assert!(ods.ods.iter().all(|od| od.tuples.is_empty()));
+        assert!(ods.iter().all(|od| od.is_empty()));
     }
 
     #[test]
@@ -445,11 +969,11 @@ mod tests {
             ["/lib".to_string()].into_iter().collect::<BTreeSet<_>>(),
         );
         let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
-        assert_eq!(ods.ods[0].tuples.len(), 1);
-        assert_eq!(ods.ods[0].tuples[0].value, "shared text");
+        assert_eq!(ods.od(0).tuple_count(), 1);
+        assert_eq!(ods.od(0).tuple(0).value(), "shared text");
         // Both books share the ancestor term.
-        assert_eq!(ods.terms.len(), 1);
-        assert_eq!(ods.terms[0].postings, vec![0, 1]);
+        assert_eq!(ods.term_count(), 1);
+        assert_eq!(ods.term(TermId(0)).postings(), &[0, 1]);
     }
 
     #[test]
@@ -460,7 +984,7 @@ mod tests {
         let mut mapping = Mapping::new();
         mapping.add_type("TITLE", ["/moviedoc/movie/title"]);
         let ods = OdSet::build(&doc, &candidates, &sel, &mapping);
-        assert!(ods.ods[0].tuples.iter().all(|t| t.rw_type == "TITLE"));
+        assert!(ods.od(0).tuples().all(|t| t.rw_type() == "TITLE"));
     }
 
     #[test]
@@ -485,9 +1009,9 @@ mod tests {
             rw_type: "PERSON".into(),
         });
         let ods = OdSet::build(&doc, &candidates, &sel, &mapping);
-        assert_eq!(ods.ods[0].tuples.len(), 1);
-        assert_eq!(ods.ods[0].tuples[0].value, "Keanu Reeves");
-        assert_eq!(ods.ods[0].tuples[0].rw_type, "PERSON");
+        assert_eq!(ods.od(0).tuple_count(), 1);
+        assert_eq!(ods.od(0).tuple(0).value(), "Keanu Reeves");
+        assert_eq!(ods.od(0).tuple(0).rw_type(), "PERSON");
     }
 
     #[test]
@@ -500,8 +1024,8 @@ mod tests {
             ["/r/m/t".to_string()].into_iter().collect::<BTreeSet<_>>(),
         );
         let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
-        assert_eq!(ods.ods[0].tuples[0].value, "The   MATRIX");
-        assert_eq!(ods.term(ods.ods[0].tuples[0].term).norm, "the matrix");
+        assert_eq!(ods.od(0).tuple(0).value(), "The   MATRIX");
+        assert_eq!(ods.term(ods.od(0).tuple(0).term()).norm(), "the matrix");
     }
 
     #[test]
@@ -539,6 +1063,137 @@ mod tests {
         let candidates = doc.select("/moviedoc/movie").unwrap();
         let ods = OdSet::build(&doc, &candidates, &HashMap::new(), &Mapping::new());
         assert_eq!(ods.len(), 3);
-        assert!(ods.ods.iter().all(|od| od.tuples.is_empty()));
+        assert!(ods.iter().all(|od| od.is_empty()));
+    }
+
+    /// Pins the extraction behaviour on pathological documents, so the
+    /// columnar-store refactor cannot silently move normalisation: empty
+    /// elements and whitespace-only text contribute no tuple, deep
+    /// single-child chains emit exactly the selected leaf, and
+    /// mixed-content nodes emit their trimmed *direct* text only.
+    #[test]
+    fn pathological_documents_pin_extraction() {
+        let doc = Document::parse(
+            "<db>\
+               <rec><empty/><blank>   \t\n </blank>\
+                 <a><b><c><d>deep value</d></c></b></a>\
+                 <mixed>  lead text <i>ignored child</i> tail  </mixed></rec>\
+             </db>",
+        )
+        .unwrap();
+        let cand = doc.select("/db/rec").unwrap()[0];
+        let sel: BTreeSet<String> = [
+            "/db/rec/empty",
+            "/db/rec/blank",
+            "/db/rec/a/b/c/d",
+            "/db/rec/mixed",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let raw = extract_raw_tuples(&doc, cand, Some(&sel), &Mapping::new());
+        // Empty and whitespace-only elements carry no data (paper §4).
+        assert!(raw.iter().all(|t| t.path != "/db/rec/empty"));
+        assert!(raw.iter().all(|t| t.path != "/db/rec/blank"));
+        // The deep chain yields exactly its selected leaf.
+        let deep: Vec<_> = raw.iter().filter(|t| t.path == "/db/rec/a/b/c/d").collect();
+        assert_eq!(deep.len(), 1);
+        assert_eq!(deep[0].value, "deep value");
+        assert_eq!(deep[0].norm, "deep value");
+        // Mixed content: direct text segments concatenated and trimmed;
+        // child-element text is NOT pulled in.
+        let mixed: Vec<_> = raw.iter().filter(|t| t.path == "/db/rec/mixed").collect();
+        assert_eq!(mixed.len(), 1);
+        assert_eq!(mixed[0].value, "lead text  tail");
+        assert_eq!(mixed[0].norm, "lead text tail");
+        assert!(!mixed[0].value.contains("ignored"));
+        assert_eq!(raw.len(), 2, "exactly the deep leaf and the mixed node");
+    }
+
+    /// Selecting intermediate elements of a single-child chain yields no
+    /// tuples for the chain links (complex content, no direct text) while
+    /// the leaf still contributes — and the chain is walked, not skipped.
+    #[test]
+    fn deep_single_child_chain_intermediates_contribute_nothing() {
+        let mut xml = String::from("<db><rec>");
+        for i in 0..24 {
+            xml.push_str(&format!("<n{i}>"));
+        }
+        xml.push_str("leaf");
+        for i in (0..24).rev() {
+            xml.push_str(&format!("</n{i}>"));
+        }
+        xml.push_str("</rec></db>");
+        let doc = Document::parse(&xml).unwrap();
+        let cand = doc.select("/db/rec").unwrap()[0];
+        // Select every path in the chain.
+        let mut path = String::from("/db/rec");
+        let mut sel = BTreeSet::new();
+        for i in 0..24 {
+            path.push_str(&format!("/n{i}"));
+            sel.insert(path.clone());
+        }
+        let raw = extract_raw_tuples(&doc, cand, Some(&sel), &Mapping::new());
+        assert_eq!(raw.len(), 1, "only the leaf holds text");
+        assert_eq!(raw[0].value, "leaf");
+        assert!(raw[0].path.ends_with("/n23"));
+    }
+
+    #[test]
+    fn checked_term_accessor_rejects_stale_ids() {
+        let doc = movie_doc();
+        let candidates = doc.select("/moviedoc/movie").unwrap();
+        let sel = selection(&["/moviedoc/movie/year"]);
+        let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+        let valid = ods.od(0).tuple(0).term();
+        assert!(ods.try_term(valid).is_some());
+        let stale = TermId::from_index(ods.term_count() + 7);
+        assert!(ods.try_term(stale).is_none(), "stale id must be rejected");
+        assert!(ods.try_od(ods.len()).is_none());
+        assert!(ods.try_od(0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "terms")]
+    fn unchecked_term_accessor_panics_on_stale_id() {
+        let doc = movie_doc();
+        let candidates = doc.select("/moviedoc/movie").unwrap();
+        let sel = selection(&["/moviedoc/movie/year"]);
+        let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+        // Out-of-range ids panic (with a named message in debug builds;
+        // a column bounds panic in release) instead of reading garbage.
+        let _ = ods.term(TermId::from_index(ods.term_count() + 1)).norm();
+    }
+
+    #[test]
+    fn columnar_layout_dedups_strings_into_the_arena() {
+        let doc = movie_doc();
+        let candidates = doc.select("/moviedoc/movie").unwrap();
+        let sel = selection(&[
+            "/moviedoc/movie/title",
+            "/moviedoc/movie/year",
+            "/moviedoc/movie/actor/name",
+        ]);
+        let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+        // "1999" appears twice but is one arena span for values and one
+        // term; the arena never holds it more than twice (raw + norm
+        // happen to be equal strings here but are interned separately).
+        let arena_len = ods.store().arena_len();
+        let naive: usize = ods
+            .iter()
+            .flat_map(|od| od.tuples().collect::<Vec<_>>())
+            .map(|t| t.value().len() + t.path().len() + t.rw_type().len())
+            .sum();
+        assert!(
+            arena_len < naive,
+            "arena {arena_len} must undercut per-tuple strings {naive}"
+        );
+        // Per-type stats line up with the tuple columns.
+        let stats = ods.store().type_stats();
+        let total_tuples: u32 = stats.iter().map(|s| s.tuples).sum();
+        assert_eq!(
+            total_tuples as usize,
+            ods.iter().map(|od| od.tuple_count()).sum::<usize>()
+        );
     }
 }

@@ -23,6 +23,7 @@
 //! (`std::thread::scope`, one pre-sized distance cache per worker);
 //! results are deterministic regardless of the thread count.
 
+use crate::backend::{IndexContext, TermIndexBackend};
 use crate::candidate::{select_candidates, CandidateSet};
 use crate::classify::{Class, ThresholdClassifier};
 use crate::cluster::TransitiveClosure;
@@ -266,6 +267,7 @@ pub struct Dogmatix {
     classifier: Arc<dyn PairClassifier>,
     clusterer: Arc<dyn Clusterer>,
     driver: Option<ShardedDriver>,
+    index_backend: Option<Arc<dyn TermIndexBackend>>,
 }
 
 impl Dogmatix {
@@ -292,6 +294,7 @@ impl Dogmatix {
             classifier: None,
             clusterer: None,
             driver: None,
+            index_backend: None,
         }
     }
 
@@ -345,10 +348,20 @@ impl Dogmatix {
         let candidates = session.candidates().nodes.clone();
         let n = candidates.len();
 
-        // Steps 2+3: description selection per schema element, then ODs
-        // (cached in the session per distinct selection).
+        // Steps 2+3: description selection per schema element, then ODs.
+        // The default path builds them in memory, cached in the session
+        // per distinct selection; a configured term-index backend takes
+        // over instead (e.g. saving or warm-loading a snapshot).
         let selections = session.selections_for(self.selector.as_ref())?;
-        let ods = session.object_descriptions(&selections);
+        let ods = match &self.index_backend {
+            None => session.object_descriptions(&selections),
+            Some(backend) => backend.acquire(IndexContext {
+                doc: session.doc(),
+                candidates: &candidates,
+                selections: &selections,
+                mapping: session.mapping(),
+            })?,
+        };
 
         // Step 4: comparison reduction.
         let FilterDecision {
@@ -546,6 +559,7 @@ pub struct DogmatixBuilder {
     classifier: Option<Arc<dyn PairClassifier>>,
     clusterer: Option<Arc<dyn Clusterer>>,
     driver: Option<ShardedDriver>,
+    index_backend: Option<Arc<dyn TermIndexBackend>>,
 }
 
 impl DogmatixBuilder {
@@ -648,6 +662,30 @@ impl DogmatixBuilder {
         self
     }
 
+    /// Sets the term-index backend the detector acquires its columnar
+    /// [`OdSet`] through — [`crate::backend::InMemoryBackend`] semantics
+    /// are the default; a [`crate::backend::SnapshotBackend`] persists
+    /// the store to a versioned binary file or warm-starts from one
+    /// (CLI: `--index-save` / `--index-load`).
+    ///
+    /// A configured backend bypasses the session's OD cache (the backend
+    /// owns the state now); the incremental path keeps building in
+    /// memory — its per-delta re-interning is already the cheap step.
+    ///
+    /// ```
+    /// use dogmatix_core::backend::InMemoryBackend;
+    /// use dogmatix_core::pipeline::Dogmatix;
+    /// let dx = Dogmatix::builder()
+    ///     .add_type("M", ["/db/m"])
+    ///     .index_backend(InMemoryBackend)
+    ///     .build();
+    /// # let _ = dx;
+    /// ```
+    pub fn index_backend(mut self, backend: impl TermIndexBackend + 'static) -> Self {
+        self.index_backend = Some(Arc::new(backend));
+        self
+    }
+
     /// Assembles the detector, deriving any unset stage from the
     /// configuration defaults.
     pub fn build(self) -> Dogmatix {
@@ -660,6 +698,7 @@ impl DogmatixBuilder {
             classifier,
             clusterer,
             driver,
+            index_backend,
         } = self;
         let selector = selector.unwrap_or_else(|| Arc::new(config.heuristic.clone()) as Arc<_>);
         let filter = filter.unwrap_or_else(|| {
@@ -683,6 +722,7 @@ impl DogmatixBuilder {
             classifier,
             clusterer,
             driver,
+            index_backend,
         }
     }
 }
@@ -913,9 +953,8 @@ mod tests {
         let result = dx.run(&doc, &schema, "MOVIE").unwrap();
         assert!(result
             .ods
-            .ods
             .iter()
-            .all(|od| od.tuples.len() == 1 && od.tuples[0].path == "/moviedoc/movie/year"));
+            .all(|od| od.tuple_count() == 1 && od.tuple(0).path() == "/moviedoc/movie/year"));
         // The 1999 movies agree on their whole (single-tuple) OD.
         assert!(result.is_duplicate(0, 1));
     }

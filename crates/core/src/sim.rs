@@ -36,6 +36,15 @@ use std::collections::HashMap;
 /// given term at most once across the entire run, so caching those pairs
 /// would only balloon memory (quadratically in corpus size) without a
 /// single cache hit.
+///
+/// ```
+/// use dogmatix_core::sim::DistCache;
+/// let mut cache = DistCache::new();
+/// assert!(cache.is_empty());
+/// let sized = DistCache::for_plan(10_000);
+/// assert!(sized.capacity() >= 16 * 1024);
+/// # let _ = &mut cache;
+/// ```
 #[derive(Debug, Default)]
 pub struct DistCache {
     /// Exact `odtDist` per frequent term pair.
@@ -115,10 +124,11 @@ pub(crate) fn cache_capacity_for_plan(plan_len: usize) -> usize {
     plan_len.saturating_mul(2).clamp(16, 1 << 16)
 }
 
-/// Whether a term pair is worth memoising: both sides recur.
+/// Whether a term pair is worth memoising: both sides recur. Reads the
+/// CSR offsets directly — two subtractions, no slice materialisation.
 #[inline]
 fn is_frequent(ods: &OdSet, a: TermId, b: TermId) -> bool {
-    ods.term(a).postings.len() >= 2 && ods.term(b).postings.len() >= 2
+    ods.store().posting_len(a.index()) >= 2 && ods.store().posting_len(b.index()) >= 2
 }
 
 /// Memoised exact `odtDist` (free function so the fast path can borrow
@@ -136,7 +146,7 @@ fn distance_memo(
     if let Some(d) = map.get(&key) {
         return *d;
     }
-    let d = ned(&ods.term(a).norm, &ods.term(b).norm);
+    let d = ned(ods.term(a).norm(), ods.term(b).norm());
     if is_frequent(ods, a, b) {
         map.insert(key, d);
     }
@@ -160,7 +170,7 @@ fn similar_memo(
     if let Some(v) = map.get(&key) {
         return *v;
     }
-    let v = dogmatix_textsim::ned_within(&ods.term(a).norm, &ods.term(b).norm, theta).is_some();
+    let v = dogmatix_textsim::ned_within(ods.term(a).norm(), ods.term(b).norm(), theta).is_some();
     if is_frequent(ods, a, b) {
         map.insert(key, v);
     }
@@ -175,13 +185,13 @@ fn union_memo(
     b: TermId,
 ) -> usize {
     if a == b {
-        return ods.term(a).postings.len();
+        return ods.store().posting_len(a.index());
     }
     let key = if a < b { (a, b) } else { (b, a) };
     if let Some(v) = map.get(&key) {
         return *v as usize;
     }
-    let v = merged_count(&ods.term(a).postings, &ods.term(b).postings);
+    let v = merged_count(ods.term(a).postings(), ods.term(b).postings());
     if is_frequent(ods, a, b) {
         map.insert(key, v as u32);
     }
@@ -189,6 +199,12 @@ fn union_memo(
 }
 
 /// One similar or contradictory tuple pair with its weight.
+///
+/// ```
+/// use dogmatix_core::sim::WeighedPair;
+/// let pair = WeighedPair { tuple_i: 0, tuple_j: 1, distance: 0.0, soft_idf: 0.69 };
+/// assert_eq!((pair.tuple_i, pair.tuple_j), (0, 1));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeighedPair {
     /// Tuple index within `OD_i`.
@@ -202,7 +218,8 @@ pub struct WeighedPair {
 }
 
 /// Full breakdown of one pair comparison (used by tests, examples, and
-/// the explain output).
+/// the explain output). Obtained from [`SimEngine::breakdown`]; see the
+/// example there.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimBreakdown {
     /// Similar pairs (`ODT_≈`, Equation 4 — all pairs below `θ_tuple`).
@@ -219,6 +236,29 @@ pub struct SimBreakdown {
 }
 
 /// The similarity engine for one OD set.
+///
+/// ```
+/// use dogmatix_core::mapping::Mapping;
+/// use dogmatix_core::od::OdSet;
+/// use dogmatix_core::sim::{DistCache, SimEngine};
+/// use dogmatix_xml::Document;
+/// use std::collections::{BTreeSet, HashMap};
+///
+/// let doc = Document::parse(
+///     "<r><m><t>Same Song</t></m><m><t>Same Song</t></m>\
+///         <m><t>Other One</t></m></r>")?;
+/// let candidates = doc.select("/r/m")?;
+/// let mut sel = HashMap::new();
+/// sel.insert("/r/m".to_string(),
+///            ["/r/m/t".to_string()].into_iter().collect::<BTreeSet<_>>());
+/// let ods = OdSet::build(&doc, &candidates, &sel, &Mapping::new());
+/// let engine = SimEngine::new(&ods, 0.15);
+/// let mut cache = DistCache::new();
+/// assert_eq!(engine.sim(0, 1, &mut cache), 1.0);    // identical ODs
+/// let b = engine.breakdown(0, 2, &mut cache);       // full explain form
+/// assert!(b.similar.is_empty() && b.sim < 1.0);
+/// # Ok::<(), dogmatix_xml::XmlError>(())
+/// ```
 #[derive(Debug)]
 pub struct SimEngine<'a> {
     ods: &'a OdSet,
@@ -243,12 +283,15 @@ impl<'a> SimEngine<'a> {
     /// buffers live in the [`DistCache`]); agrees exactly with
     /// [`SimEngine::breakdown`]'s `sim` field.
     pub fn sim(&self, i: usize, j: usize, cache: &mut DistCache) -> f64 {
-        let od_i = &self.ods.ods[i];
-        let od_j = &self.ods.ods[j];
-        let total = self.ods.len();
+        let ods = self.ods;
+        let total = ods.len();
+        let tuples_i = ods.od_range(i).len();
+        let tuples_j = ods.od_range(j).len();
 
         let (s_sim, s_con) = {
-            // Merge-join the type groups of both ODs.
+            // Merge-join the type groups of both ODs (flattened group
+            // columns; the loop reads only integer columns until an
+            // actual distance computation is needed).
             let mut s_sim = 0.0f64;
             // Reset scratch.
             let candidates = &mut cache.scratch_candidates;
@@ -256,23 +299,27 @@ impl<'a> SimEngine<'a> {
             let used_i = &mut cache.scratch_used_i;
             let used_j = &mut cache.scratch_used_j;
             used_i.clear();
-            used_i.resize(od_i.tuples.len(), false);
+            used_i.resize(tuples_i, false);
             used_j.clear();
-            used_j.resize(od_j.tuples.len(), false);
+            used_j.resize(tuples_j, false);
 
-            let (mut gi, mut gj) = (0usize, 0usize);
-            while gi < od_i.groups.len() && gj < od_j.groups.len() {
-                let (ty_i, idx_i) = &od_i.groups[gi];
-                let (ty_j, idx_j) = &od_j.groups[gj];
-                match ty_i.cmp(ty_j) {
+            let groups_i = ods.od_group_range(i);
+            let groups_j = ods.od_group_range(j);
+            let (mut gi, mut gj) = (groups_i.start, groups_j.start);
+            while gi < groups_i.end && gj < groups_j.end {
+                let ty_i = ods.group_type(gi);
+                let ty_j = ods.group_type(gj);
+                match ty_i.cmp(&ty_j) {
                     std::cmp::Ordering::Less => gi += 1,
                     std::cmp::Ordering::Greater => gj += 1,
                     std::cmp::Ordering::Equal => {
+                        let idx_i = ods.group_tuple_slice(gi);
+                        let idx_j = ods.group_tuple_slice(gj);
                         let singleton_group = idx_i.len() == 1 && idx_j.len() == 1;
                         for &ti in idx_i {
-                            let term_i = od_i.tuples[ti as usize].term;
+                            let term_i = ods.tuple_term_at(i, ti as usize);
                             for &tj in idx_j {
-                                let term_j = od_j.tuples[tj as usize].term;
+                                let term_j = ods.tuple_term_at(j, tj as usize);
                                 if singleton_group {
                                     // 1×1 group: the greedy matching has a
                                     // single candidate, so only the verdict
@@ -281,7 +328,7 @@ impl<'a> SimEngine<'a> {
                                     // "clearly different" case).
                                     if similar_memo(
                                         &mut cache.similar,
-                                        self.ods,
+                                        ods,
                                         term_i,
                                         term_j,
                                         self.theta_tuple,
@@ -290,7 +337,7 @@ impl<'a> SimEngine<'a> {
                                         used_j[tj as usize] = true;
                                         s_sim += idf(
                                             total,
-                                            union_memo(&mut cache.union, self.ods, term_i, term_j),
+                                            union_memo(&mut cache.union, ods, term_i, term_j),
                                         );
                                     } else {
                                         candidates.push((1.0, ti, tj));
@@ -299,13 +346,13 @@ impl<'a> SimEngine<'a> {
                                 }
                                 // Multi-tuple group: the greedy matching
                                 // orders by exact distance.
-                                let d = distance_memo(&mut cache.dist, self.ods, term_i, term_j);
+                                let d = distance_memo(&mut cache.dist, ods, term_i, term_j);
                                 if d < self.theta_tuple {
                                     used_i[ti as usize] = true;
                                     used_j[tj as usize] = true;
                                     s_sim += idf(
                                         total,
-                                        union_memo(&mut cache.union, self.ods, term_i, term_j),
+                                        union_memo(&mut cache.union, ods, term_i, term_j),
                                     );
                                 } else {
                                     candidates.push((d, ti, tj));
@@ -337,9 +384,9 @@ impl<'a> SimEngine<'a> {
                     total,
                     union_memo(
                         &mut cache.union,
-                        self.ods,
-                        od_i.tuples[ti as usize].term,
-                        od_j.tuples[tj as usize].term,
+                        ods,
+                        ods.tuple_term_at(i, ti as usize),
+                        ods.tuple_term_at(j, tj as usize),
                     ),
                 );
             }
@@ -356,29 +403,32 @@ impl<'a> SimEngine<'a> {
 
     /// Full comparison breakdown for a pair.
     pub fn breakdown(&self, i: usize, j: usize, cache: &mut DistCache) -> SimBreakdown {
-        let od_i = &self.ods.ods[i];
-        let od_j = &self.ods.ods[j];
-        let total = self.ods.len();
+        let ods = self.ods;
+        let od_i = ods.od(i);
+        let od_j = ods.od(j);
+        let total = ods.len();
 
-        // Group tuple indices by real-world type on both sides.
-        let mut by_type_j: HashMap<&str, Vec<usize>> = HashMap::new();
-        for (tj, t) in od_j.tuples.iter().enumerate() {
-            by_type_j.entry(t.rw_type.as_str()).or_default().push(tj);
+        // Group tuple indices by interned real-world type on side j
+        // (type ids intern 1:1 with names, so comparability is an
+        // integer key now).
+        let mut by_type_j: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (tj, t) in od_j.tuples().enumerate() {
+            by_type_j.entry(t.type_id()).or_default().push(tj);
         }
 
         let mut similar: Vec<WeighedPair> = Vec::new();
         // Candidate contradictory pairs: comparable, not similar.
         let mut candidates: Vec<(usize, usize, f64)> = Vec::new();
-        let mut in_similar_i: Vec<bool> = vec![false; od_i.tuples.len()];
-        let mut in_similar_j: Vec<bool> = vec![false; od_j.tuples.len()];
+        let mut in_similar_i: Vec<bool> = vec![false; od_i.tuple_count()];
+        let mut in_similar_j: Vec<bool> = vec![false; od_j.tuple_count()];
 
-        for (ti, t_i) in od_i.tuples.iter().enumerate() {
-            let Some(partners) = by_type_j.get(t_i.rw_type.as_str()) else {
+        for (ti, t_i) in od_i.tuples().enumerate() {
+            let Some(partners) = by_type_j.get(&t_i.type_id()) else {
                 continue; // no comparable data on the other side
             };
             for &tj in partners {
-                let t_j = &od_j.tuples[tj];
-                let d = cache.distance(self.ods, t_i.term, t_j.term);
+                let t_j = od_j.tuple(tj);
+                let d = cache.distance(ods, t_i.term(), t_j.term());
                 if d < self.theta_tuple {
                     in_similar_i[ti] = true;
                     in_similar_j[tj] = true;
@@ -386,7 +436,7 @@ impl<'a> SimEngine<'a> {
                         tuple_i: ti,
                         tuple_j: tj,
                         distance: d,
-                        soft_idf: self.pair_soft_idf(t_i.term, t_j.term, total),
+                        soft_idf: self.pair_soft_idf(t_i.term(), t_j.term(), total),
                     });
                 } else {
                     candidates.push((ti, tj, d));
@@ -403,8 +453,8 @@ impl<'a> SimEngine<'a> {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
         });
-        let mut used_i = vec![false; od_i.tuples.len()];
-        let mut used_j = vec![false; od_j.tuples.len()];
+        let mut used_i = vec![false; od_i.tuple_count()];
+        let mut used_j = vec![false; od_j.tuple_count()];
         let mut contradictory: Vec<WeighedPair> = Vec::new();
         for (ti, tj, d) in candidates {
             if used_i[ti] || used_j[tj] {
@@ -416,7 +466,7 @@ impl<'a> SimEngine<'a> {
                 tuple_i: ti,
                 tuple_j: tj,
                 distance: d,
-                soft_idf: self.pair_soft_idf(od_i.tuples[ti].term, od_j.tuples[tj].term, total),
+                soft_idf: self.pair_soft_idf(od_i.tuple(ti).term(), od_j.tuple(tj).term(), total),
             });
         }
 
@@ -436,9 +486,9 @@ impl<'a> SimEngine<'a> {
     /// `softIDF((odt_i, odt_j)) = ln(|Ω| / |O_i ∪ O_j|)` (Definition 8).
     fn pair_soft_idf(&self, a: TermId, b: TermId, total: usize) -> f64 {
         let union = if a == b {
-            self.ods.term(a).postings.len()
+            self.ods.store().posting_len(a.index())
         } else {
-            merged_count(&self.ods.term(a).postings, &self.ods.term(b).postings)
+            merged_count(self.ods.term(a).postings(), self.ods.term(b).postings())
         };
         idf(total, union)
     }
@@ -446,7 +496,19 @@ impl<'a> SimEngine<'a> {
 
 /// The paper's softIDF similarity (Equation 8) as a
 /// [`SimilarityMeasure`](crate::stage::SimilarityMeasure) stage — the
-/// canonical DogmatiX measure, preparing a [`SimEngine`] per run.
+/// canonical DogmatiX measure, preparing a [`SimEngine`] per run over
+/// whatever columnar store the configured
+/// [`TermIndexBackend`](crate::backend::TermIndexBackend) supplied.
+///
+/// ```
+/// use dogmatix_core::pipeline::Dogmatix;
+/// use dogmatix_core::sim::SoftIdfMeasure;
+/// let dx = Dogmatix::builder()
+///     .add_type("M", ["/db/m"])
+///     .measure(SoftIdfMeasure::new(0.15))
+///     .build();
+/// # let _ = dx;
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SoftIdfMeasure {
     /// Tuple-similarity threshold `θ_tuple` (paper: 0.15).
@@ -636,7 +698,7 @@ mod tests {
         assert_eq!(b.similar.len(), 1);
         assert_eq!(b.contradictory.len(), 1, "exactly one contradictory pair");
         let pair = &b.contradictory[0];
-        let odi_value = &ods.ods[0].tuples[pair.tuple_i].value;
+        let odi_value = ods.od(0).tuple(pair.tuple_i).value();
         assert_eq!(odi_value, "New York", "greedy picks the highest distance");
         assert!((pair.distance - 7.0 / 8.0).abs() < 1e-9);
     }

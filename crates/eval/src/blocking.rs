@@ -36,6 +36,9 @@ pub struct BlockingRow {
     pub duplicates_found: usize,
     /// Fraction of the exhaustive run's duplicate pairs retained.
     pub recall_vs_exhaustive: f64,
+    /// Heap footprint of the columnar term store the strategies share
+    /// (same session → same store), in bytes.
+    pub term_store_bytes: usize,
 }
 
 /// The LSH parameterisation the acceptance bounds are proven for.
@@ -112,6 +115,7 @@ pub fn run_corpus(
                 } else {
                     hit as f64 / truth.len() as f64
                 },
+                term_store_bytes: result.ods.heap_bytes(),
             }
         })
         .collect()
@@ -153,18 +157,19 @@ pub fn render(rows: &[BlockingRow]) -> String {
          (recall measured against the exhaustive run of the same corpus)\n\n",
     );
     out.push_str(&format!(
-        "{:<8}{:<16}{:>10}{:>9}{:>8}{:>9}\n",
-        "corpus", "strategy", "compared", "saved", "dups", "recall"
+        "{:<8}{:<16}{:>10}{:>9}{:>8}{:>9}{:>11}\n",
+        "corpus", "strategy", "compared", "saved", "dups", "recall", "store"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<8}{:<16}{:>10}{:>8.1}%{:>8}{:>8.1}%\n",
+            "{:<8}{:<16}{:>10}{:>8.1}%{:>8}{:>8.1}%{:>10.1}K\n",
             r.corpus,
             r.strategy,
             r.pairs_compared,
             r.comparisons_saved * 100.0,
             r.duplicates_found,
-            r.recall_vs_exhaustive * 100.0
+            r.recall_vs_exhaustive * 100.0,
+            r.term_store_bytes as f64 / 1024.0
         ));
     }
     out
@@ -244,5 +249,26 @@ mod tests {
         }
         let text = render(rows);
         assert!(text.contains("lsh 48x2") && text.contains("qgram q=2"));
+    }
+
+    /// The term-store memory column: every strategy of one corpus shares
+    /// the session's columnar store, so the footprint is positive and
+    /// identical across the corpus's rows.
+    #[test]
+    fn term_store_memory_column_is_shared_per_corpus() {
+        let rows = rows();
+        for corpus in ["cd", "movie"] {
+            let sizes: Vec<usize> = rows
+                .iter()
+                .filter(|r| r.corpus == corpus)
+                .map(|r| r.term_store_bytes)
+                .collect();
+            assert!(sizes[0] > 0, "{corpus}: store footprint must be measured");
+            assert!(
+                sizes.iter().all(|s| *s == sizes[0]),
+                "{corpus}: strategies share one session store: {sizes:?}"
+            );
+        }
+        assert!(render(rows).contains("store"));
     }
 }

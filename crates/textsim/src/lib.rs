@@ -42,7 +42,10 @@ pub use idf::{idf, soft_idf};
 pub use jaccard::{jaccard_tokens, overlap_coefficient};
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{levenshtein, levenshtein_bounded};
-pub use minhash::{band_keys, minhash_signature, mix64, token_hash};
+pub use minhash::{band_keys, minhash_signature, mix64, token_hash, Fnv1a};
 pub use ned::{ned, ned_within};
-pub use normalize::normalize_value;
-pub use tokenize::{char_ngrams, positional_qgrams, word_tokens};
+pub use normalize::{normalize_value, normalize_value_into};
+pub use tokenize::{
+    char_ngrams, positional_qgram_hashes_into, positional_qgrams, word_token_hashes_into,
+    word_tokens,
+};

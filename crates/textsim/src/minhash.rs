@@ -26,6 +26,46 @@ pub fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Incremental FNV-1a hasher — the single definition of the byte hash
+/// behind [`token_hash`], the q-gram hash emitters, the term-store
+/// interner buckets, and the snapshot checksum. Keeping one copy
+/// matters: the buffer-emitting q-gram path is documented as
+/// byte-for-byte interchangeable with `token_hash`, which only holds
+/// while both feed the same state machine.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::{mix64, token_hash, Fnv1a};
+/// let mut h = Fnv1a::new();
+/// h.update(b"mat");
+/// h.update(b"rix");
+/// assert_eq!(mix64(h.finish()), token_hash("matrix"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a hash at the FNV-1a offset basis.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+
+    /// Feeds bytes into the hash.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// The raw (unmixed) FNV-1a state.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
 /// Stable 64-bit hash of a token (FNV-1a over the bytes, then mixed).
 ///
 /// # Examples
@@ -35,12 +75,9 @@ pub fn mix64(mut x: u64) -> u64 {
 /// assert_ne!(token_hash("matrix"), token_hash("matrix "));
 /// ```
 pub fn token_hash(token: &str) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for byte in token.as_bytes() {
-        h ^= u64::from(*byte);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    mix64(h)
+    let mut h = Fnv1a::new();
+    h.update(token.as_bytes());
+    mix64(h.finish())
 }
 
 /// MinHash signature of a token set given as pre-hashed elements.

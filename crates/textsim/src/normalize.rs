@@ -37,7 +37,50 @@ impl Default for NormalizeOptions {
 /// assert_eq!(normalize_value("  The   MATRIX "), "the matrix");
 /// ```
 pub fn normalize_value(s: &str) -> String {
-    normalize_value_with(s, NormalizeOptions::default())
+    let mut out = String::new();
+    normalize_value_into(s, &mut out);
+    out
+}
+
+/// Normalises a text value into a caller-provided buffer (cleared
+/// first), avoiding a fresh allocation per call — the form the columnar
+/// term-store builder uses on its hot interning path. Produces exactly
+/// the same bytes as [`normalize_value`].
+///
+/// ASCII inputs (the overwhelmingly common case) are collapsed and
+/// case-folded in a single pass with no intermediate allocation;
+/// non-ASCII inputs fall back to the full Unicode-aware
+/// [`str::to_lowercase`] so context-sensitive foldings (e.g. final
+/// sigma) stay identical to [`normalize_value_with`].
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::normalize::normalize_value_into;
+/// let mut buf = String::new();
+/// normalize_value_into("  The   MATRIX ", &mut buf);
+/// assert_eq!(buf, "the matrix");
+/// normalize_value_into("Next Value", &mut buf); // buffer is reused
+/// assert_eq!(buf, "next value");
+/// ```
+pub fn normalize_value_into(s: &str, out: &mut String) {
+    out.clear();
+    // The fast path splits on ASCII whitespace, which excludes the
+    // vertical tab that Unicode `split_whitespace` collapses — route
+    // those rare inputs through the slow path so the contract holds.
+    if s.is_ascii() && !s.bytes().any(|b| b == 0x0B) {
+        let mut first = true;
+        for token in s.split_ascii_whitespace() {
+            if !first {
+                out.push(' ');
+            }
+            for c in token.bytes() {
+                out.push(c.to_ascii_lowercase() as char);
+            }
+            first = false;
+        }
+    } else {
+        out.push_str(&normalize_value_with(s, NormalizeOptions::default()));
+    }
 }
 
 /// Normalises a text value according to `opts`.
@@ -88,6 +131,19 @@ mod tests {
             let once = normalize_value(s);
             assert_eq!(normalize_value(&once), once);
         }
+    }
+
+    #[test]
+    fn vertical_tab_collapses_like_unicode_whitespace() {
+        // \x0B is ASCII but not ASCII-whitespace: the fast path must
+        // defer to the Unicode splitter so both entry points agree.
+        assert_eq!(normalize_value("a\x0Bb"), "a b");
+        let mut buf = String::new();
+        normalize_value_into("a\x0Bb", &mut buf);
+        assert_eq!(
+            buf,
+            normalize_value_with("a\x0Bb", NormalizeOptions::default())
+        );
     }
 
     #[test]

@@ -72,9 +72,117 @@ pub fn positional_qgrams(s: &str, q: usize) -> Vec<(String, usize)> {
         .collect()
 }
 
+/// Emits the positional q-grams of `s` as `(hash, position)` pairs into
+/// a caller-provided buffer (cleared first), without materialising any
+/// gram string. `hash` equals [`crate::token_hash`] of the gram, so the
+/// output is interchangeable with hashing [`positional_qgrams`] — minus
+/// one `String` allocation per gram, which is what the q-gram blocking
+/// index builder cares about.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::{positional_qgrams, token_hash};
+/// use dogmatix_textsim::tokenize::positional_qgram_hashes_into;
+/// let mut buf = Vec::new();
+/// positional_qgram_hashes_into("abcd", 2, &mut buf);
+/// let direct: Vec<(u64, u32)> = positional_qgrams("abcd", 2)
+///     .into_iter()
+///     .map(|(g, p)| (token_hash(&g), p as u32))
+///     .collect();
+/// assert_eq!(buf, direct);
+/// ```
+pub fn positional_qgram_hashes_into(s: &str, q: usize, out: &mut Vec<(u64, u32)>) {
+    assert!(q >= 1, "q-gram size must be at least 1");
+    out.clear();
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < q {
+        return;
+    }
+    let mut utf8 = [0u8; 4];
+    for (pos, w) in chars.windows(q).enumerate() {
+        // The shared FNV-1a over the gram's UTF-8 bytes, then mixed —
+        // byte-for-byte what `token_hash` computes over the
+        // materialised gram string.
+        let mut h = crate::Fnv1a::new();
+        for &c in w {
+            h.update(c.encode_utf8(&mut utf8).as_bytes());
+        }
+        out.push((crate::mix64(h.finish()), pos as u32));
+    }
+}
+
+/// Emits the hashes of `s`'s word tokens into a caller-provided buffer
+/// (cleared first). Each hash equals [`crate::token_hash`] of the
+/// corresponding [`word_tokens`] element; already-lowercase ASCII input
+/// (e.g. a normalised term value) is hashed without allocating a single
+/// token string.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::{token_hash, word_tokens};
+/// use dogmatix_textsim::tokenize::word_token_hashes_into;
+/// let mut buf = Vec::new();
+/// word_token_hashes_into("the matrix (1999)", &mut buf);
+/// let direct: Vec<u64> = word_tokens("the matrix (1999)")
+///     .iter()
+///     .map(|t| token_hash(t))
+///     .collect();
+/// assert_eq!(buf, direct);
+/// ```
+pub fn word_token_hashes_into(s: &str, out: &mut Vec<u64>) {
+    out.clear();
+    for token in s
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+    {
+        if token.is_ascii() && !token.bytes().any(|b| b.is_ascii_uppercase()) {
+            out.push(crate::token_hash(token));
+        } else {
+            // Mixed-case or non-ASCII tokens go through the same
+            // allocation path as `word_tokens`, so context-sensitive
+            // lowercasing stays identical.
+            out.push(crate::token_hash(&token.to_lowercase()));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn buffer_emitting_qgram_hashes_match_materialised_grams() {
+        let mut buf = Vec::new();
+        for s in ["", "a", "ab", "midnight journey", "straße", "ÄÖÜ abc"] {
+            for q in [1usize, 2, 3] {
+                positional_qgram_hashes_into(s, q, &mut buf);
+                let direct: Vec<(u64, u32)> = positional_qgrams(s, q)
+                    .into_iter()
+                    .map(|(g, p)| (crate::token_hash(&g), p as u32))
+                    .collect();
+                assert_eq!(buf, direct, "s={s:?} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_emitting_word_token_hashes_match_word_tokens() {
+        let mut buf = Vec::new();
+        for s in [
+            "",
+            "The Matrix (1999)",
+            "straße TEST",
+            "a-b_c 42",
+            "ΣΊΣΥΦΟΣ",
+        ] {
+            word_token_hashes_into(s, &mut buf);
+            let direct: Vec<u64> = word_tokens(s)
+                .iter()
+                .map(|t| crate::token_hash(t))
+                .collect();
+            assert_eq!(buf, direct, "s={s:?}");
+        }
+    }
 
     #[test]
     fn word_tokens_lowercase_and_split() {

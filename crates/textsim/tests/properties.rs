@@ -87,3 +87,45 @@ proptest! {
         prop_assert!(jw <= 1.0 + 1e-12);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The buffer-emitting normaliser must produce byte-identical output
+    /// to the allocating options-based path — the equality the columnar
+    /// term store's bit-identity to the String-per-tuple build rests on.
+    #[test]
+    fn normalize_into_matches_options_path(
+        s in proptest::string::string_regex("[a-zA-Z0-9 \\t äöüßΣσς]{0,32}").unwrap()
+    ) {
+        use dogmatix_textsim::normalize::{normalize_value_with, NormalizeOptions};
+        let mut buf = String::from("stale contents");
+        dogmatix_textsim::normalize_value_into(&s, &mut buf);
+        prop_assert_eq!(&buf, &normalize_value_with(&s, NormalizeOptions::default()));
+        prop_assert_eq!(&buf, &dogmatix_textsim::normalize_value(&s));
+    }
+
+    /// Buffer-emitting q-gram / word-token hashing agrees with hashing
+    /// the materialised grams and tokens.
+    #[test]
+    fn buffer_hashers_match_materialised(
+        s in proptest::string::string_regex("[a-zA-Z0-9 äöüß()\\-]{0,24}").unwrap(),
+        q in 1usize..4,
+    ) {
+        let mut grams = Vec::new();
+        dogmatix_textsim::positional_qgram_hashes_into(&s, q, &mut grams);
+        let direct: Vec<(u64, u32)> = dogmatix_textsim::positional_qgrams(&s, q)
+            .into_iter()
+            .map(|(g, p)| (dogmatix_textsim::token_hash(&g), p as u32))
+            .collect();
+        prop_assert_eq!(grams, direct);
+
+        let mut tokens = Vec::new();
+        dogmatix_textsim::word_token_hashes_into(&s, &mut tokens);
+        let direct: Vec<u64> = dogmatix_textsim::word_tokens(&s)
+            .iter()
+            .map(|t| dogmatix_textsim::token_hash(t))
+            .collect();
+        prop_assert_eq!(tokens, direct);
+    }
+}

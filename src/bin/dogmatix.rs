@@ -18,6 +18,11 @@
 //!                          stage: a positional q-gram index (q = 2,
 //!                          provable superset at θ_tuple) or banded
 //!                          MinHash LSH (48 bands × 2 rows)
+//!   --index-save <file>    persist the columnar term index to a
+//!                          versioned binary snapshot after building it
+//!   --index-load <file>    warm-start from a snapshot written by
+//!                          --index-save (skips extraction + interning;
+//!                          the corpus and selection must match)
 //!   --shards <N>           execute the pair plan through the sharded
 //!                          driver with N shards; 0 = one per core
 //!   --no-filter            disable comparison reduction
@@ -47,6 +52,7 @@
 //! `detect`. The dup-cluster output reflects the final state.
 
 use dogmatix_repro::core::auto;
+use dogmatix_repro::core::backend::SnapshotBackend;
 use dogmatix_repro::core::filter::{MinHashLshBlocking, QGramBlocking};
 use dogmatix_repro::core::fusion::{fuse_clusters, FusionConfig};
 use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
@@ -69,6 +75,8 @@ struct Options {
     threads: usize,
     blocking: Option<Blocking>,
     shards: Option<usize>,
+    index_save: Option<String>,
+    index_load: Option<String>,
     use_filter: bool,
     fuse: bool,
     output: Option<String>,
@@ -110,6 +118,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "--threads",
     "--blocking",
     "--shards",
+    "--index-save",
+    "--index-load",
     "--no-filter",
     "--fuse",
     "--output",
@@ -147,6 +157,8 @@ fn parse_args() -> Result<Options, String> {
         threads: 0,
         blocking: None,
         shards: None,
+        index_save: None,
+        index_load: None,
         use_filter: true,
         fuse: false,
         output: None,
@@ -191,6 +203,8 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| "--shards must be a non-negative integer".to_string())?,
                 )
             }
+            "--index-save" => opts.index_save = Some(value("--index-save")?),
+            "--index-load" => opts.index_load = Some(value("--index-load")?),
             "--no-filter" => opts.use_filter = false,
             "--fuse" => opts.fuse = true,
             "--output" => opts.output = Some(value("--output")?),
@@ -213,6 +227,14 @@ fn parse_args() -> Result<Options, String> {
     if opts.rw_type.is_empty() {
         return Err(format!("--type is required\n{HELP}"));
     }
+    if opts.index_save.is_some() && opts.index_load.is_some() {
+        return Err("--index-save and --index-load are mutually exclusive".to_string());
+    }
+    if (opts.index_save.is_some() || opts.index_load.is_some()) && opts.deltas.is_some() {
+        return Err(
+            "--index-save/--index-load apply to batch runs, not --deltas replay".to_string(),
+        );
+    }
     Ok(opts)
 }
 
@@ -221,7 +243,7 @@ const HELP: &str = "usage: dogmatix <input.xml> --type <NAME> \
 [--heuristic rd:<r>|ra:<r>|kc:<k>|auto] [--exp 1..8] \
 [--theta-tuple f] [--theta-cand f] [--threads N] \
 [--blocking qgram|lsh] [--shards N] [--no-filter] [--fuse] \
-[--output out.xml] [--deltas script.txt]";
+[--index-save f | --index-load f] [--output out.xml] [--deltas script.txt]";
 
 fn run(opts: Options) -> Result<(), String> {
     let text = std::fs::read_to_string(&opts.input)
@@ -307,6 +329,14 @@ fn run(opts: Options) -> Result<(), String> {
     }
     if let Some(shards) = opts.shards {
         builder = builder.sharded(shards);
+    }
+    if let Some(path) = &opts.index_save {
+        builder = builder.index_backend(SnapshotBackend::save(path));
+        eprintln!("note: term-index snapshot will be written to {path}");
+    }
+    if let Some(path) = &opts.index_load {
+        builder = builder.index_backend(SnapshotBackend::load(path));
+        eprintln!("note: warm-starting from term-index snapshot {path}");
     }
     let dx = builder.build();
 

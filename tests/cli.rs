@@ -328,3 +328,87 @@ fn bad_delta_script_reports_the_line() {
     );
     let _ = std::fs::remove_dir_all(&paths.dir);
 }
+
+#[test]
+fn index_save_then_load_produces_identical_output() {
+    let paths = write_sample();
+    let index = paths.dir.join("movies.index");
+    let save_out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE"])
+        .args(["--mapping", paths.mapping.to_str().unwrap()])
+        .args(["--index-save", index.to_str().unwrap()])
+        .args(["--output", paths.output.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        save_out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save_out.stderr)
+    );
+    assert!(index.exists(), "snapshot file written");
+    let cold = std::fs::read_to_string(&paths.output).expect("output written");
+
+    let warm_path = paths.dir.join("warm.xml");
+    let load_out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE"])
+        .args(["--mapping", paths.mapping.to_str().unwrap()])
+        .args(["--index-load", index.to_str().unwrap()])
+        .args(["--output", warm_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        load_out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&load_out.stderr)
+    );
+    let warm = std::fs::read_to_string(&warm_path).expect("warm output written");
+    assert_eq!(cold, warm, "snapshot warm start must be bit-identical");
+    assert!(String::from_utf8_lossy(&load_out.stderr).contains("warm-starting"));
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn index_load_rejects_corrupted_snapshots_cleanly() {
+    let paths = write_sample();
+    let index = paths.dir.join("garbage.index");
+    std::fs::write(&index, b"this is not a snapshot at all").unwrap();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE"])
+        .args(["--mapping", paths.mapping.to_str().unwrap()])
+        .args(["--index-load", index.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "corrupted snapshot must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("term-index snapshot error"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn index_flags_are_mutually_exclusive_and_batch_only() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE"])
+        .args(["--index-save", "a.index", "--index-load", "b.index"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+
+    let deltas = paths.dir.join("script.txt");
+    std::fs::write(&deltas, "detect\n").unwrap();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE"])
+        .args(["--index-save", "a.index"])
+        .args(["--deltas", deltas.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("batch runs"));
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}

@@ -195,3 +195,70 @@ fn sweep_over_one_session_matches_independent_runs() {
         "at most one OD set per distinct selection"
     );
 }
+
+/// The snapshot-backend path: a run that persists its term index and a
+/// run warm-started from that snapshot must both equal the legacy
+/// in-memory result exactly — on both corpora, sequential and sharded.
+#[test]
+fn snapshot_warm_start_equivalence_on_both_corpora() {
+    use dogmatix_repro::core::backend::SnapshotBackend;
+
+    let cd = {
+        let (doc, _) = dataset1_sized(21, 60);
+        (
+            doc,
+            setup::cd_schema(),
+            setup::cd_mapping(),
+            table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1),
+            setup::CD_TYPE,
+        )
+    };
+    let movie = {
+        let (doc, _) = dataset2_sized(7, 40);
+        let schema = setup::movie_schema(&doc);
+        (
+            doc,
+            schema,
+            setup::movie_mapping(),
+            table4_heuristic(HeuristicExpr::r_distant_descendants(2), 2),
+            setup::MOVIE_TYPE,
+        )
+    };
+    for (tag, (doc, schema, mapping, heuristic, rw_type)) in [("cd", cd), ("movie", movie)] {
+        let path = std::env::temp_dir().join(format!(
+            "dogmatix-equivalence-{}-{tag}.index",
+            std::process::id()
+        ));
+        let build = |backend: Option<SnapshotBackend>, shards: Option<usize>| {
+            let mut b = Dogmatix::builder()
+                .mapping(mapping.clone())
+                .heuristic(heuristic.clone())
+                .theta_tuple(setup::THETA_TUPLE)
+                .theta_cand(setup::THETA_CAND);
+            if let Some(backend) = backend {
+                b = b.index_backend(backend);
+            }
+            if let Some(shards) = shards {
+                b = b.sharded(shards);
+            }
+            b.build().run(&doc, &schema, rw_type).expect("run succeeds")
+        };
+        let reference = build(None, None);
+        assert!(
+            !reference.duplicate_pairs.is_empty(),
+            "{tag} has duplicates"
+        );
+        let saved = build(Some(SnapshotBackend::save(&path)), None);
+        assert_eq!(reference, saved, "{tag}: save path diverged");
+        let warm = build(Some(SnapshotBackend::load(&path)), None);
+        assert_eq!(reference, warm, "{tag}: warm start diverged");
+        for shards in [2usize, 0] {
+            let sharded_warm = build(Some(SnapshotBackend::load(&path)), Some(shards));
+            assert_eq!(
+                reference, sharded_warm,
+                "{tag}: sharded ({shards}) warm start diverged"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -68,21 +68,18 @@ fn object_descriptions_match_table2_contents() {
     let (_, result) = run_example();
     // Movie 1's OD per Table 2 (plus the roles, which r=2 includes):
     // must contain title, year, and both actor names.
-    let values: Vec<&str> = result.ods.ods[0]
-        .tuples
-        .iter()
-        .map(|t| t.value.as_str())
-        .collect();
+    let values: Vec<&str> = result.ods.od(0).tuples().map(|t| t.value()).collect();
     for expected in ["The Matrix", "1999", "Keanu Reeves", "L. Fishburne"] {
         assert!(values.contains(&expected), "missing {expected}: {values:?}");
     }
     // Tuple types follow the mapping M.
-    let title_tuple = result.ods.ods[0]
-        .tuples
-        .iter()
-        .find(|t| t.value == "The Matrix")
+    let title_tuple = result
+        .ods
+        .od(0)
+        .tuples()
+        .find(|t| t.value() == "The Matrix")
         .unwrap();
-    assert_eq!(title_tuple.rw_type, "TITLE");
+    assert_eq!(title_tuple.rw_type(), "TITLE");
 }
 
 #[test]
@@ -119,8 +116,14 @@ fn incomparable_types_never_mix() {
     let mut cache = dogmatix_repro::core::sim::DistCache::new();
     let b = engine.breakdown(0, 1, &mut cache);
     for pair in b.similar.iter().chain(b.contradictory.iter()) {
-        let ti = &result.ods.ods[0].tuples[pair.tuple_i];
-        let tj = &result.ods.ods[1].tuples[pair.tuple_j];
-        assert_eq!(ti.rw_type, tj.rw_type, "{} vs {}", ti.value, tj.value);
+        let ti = result.ods.od(0).tuple(pair.tuple_i);
+        let tj = result.ods.od(1).tuple(pair.tuple_j);
+        assert_eq!(
+            ti.rw_type(),
+            tj.rw_type(),
+            "{} vs {}",
+            ti.value(),
+            tj.value()
+        );
     }
 }

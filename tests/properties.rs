@@ -128,12 +128,12 @@ proptest! {
         // comparable tuple pair within the threshold must survive.
         for i in 0..ods.len() {
             for j in (i + 1)..ods.len() {
-                let similar = ods.ods[i].tuples.iter().any(|ti| {
-                    ods.ods[j].tuples.iter().any(|tj| {
-                        ti.type_id == tj.type_id
+                let similar = ods.od(i).tuples().any(|ti| {
+                    ods.od(j).tuples().any(|tj| {
+                        ti.type_id() == tj.type_id()
                             && dogmatix_repro::textsim::ned(
-                                &ods.term(ti.term).norm,
-                                &ods.term(tj.term).norm,
+                                ods.term(ti.term()).norm(),
+                                ods.term(tj.term()).norm(),
                             ) < theta
                     })
                 });

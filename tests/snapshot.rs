@@ -1,0 +1,292 @@
+//! Differential + robustness suite for the persistent term-index
+//! snapshot backend (`dogmatix_core::backend`):
+//!
+//! * **round trip** — build store → save → load → detection output
+//!   bit-identical to the in-memory build, on the seeded CD and movie
+//!   corpora, sequential and sharded;
+//! * **robustness** — corrupted, truncated, and wrong-version snapshot
+//!   files are rejected with a `DogmatixError::Snapshot` and never
+//!   panic, for *every* byte position (flip) and prefix length
+//!   (truncation) the property cases sample.
+//!
+//! The number of property cases honours the `PROPTEST_CASES` override
+//! (ci.sh raises it to 128).
+
+use dogmatix_repro::core::backend::SnapshotBackend;
+use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
+use dogmatix_repro::core::pipeline::{DetectionResult, Dogmatix};
+use dogmatix_repro::core::DogmatixError;
+use dogmatix_repro::datagen::datasets::{dataset1_sized, dataset2_sized};
+use dogmatix_repro::eval::setup;
+use dogmatix_repro::xml::{Document, Schema};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dogmatix-snapshot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.index"))
+}
+
+struct Corpus {
+    doc: Document,
+    schema: Schema,
+    mapping: dogmatix_repro::core::Mapping,
+    rw_type: &'static str,
+    heuristic: HeuristicExpr,
+}
+
+fn cd_corpus() -> Corpus {
+    let (doc, _) = dataset1_sized(42, 50);
+    Corpus {
+        doc,
+        schema: setup::cd_schema(),
+        mapping: setup::cd_mapping(),
+        rw_type: setup::CD_TYPE,
+        heuristic: table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1),
+    }
+}
+
+fn movie_corpus() -> Corpus {
+    let (doc, _) = dataset2_sized(42, 30);
+    let schema = setup::movie_schema(&doc);
+    Corpus {
+        doc,
+        schema,
+        mapping: setup::movie_mapping(),
+        rw_type: setup::MOVIE_TYPE,
+        heuristic: table4_heuristic(HeuristicExpr::r_distant_descendants(2), 1),
+    }
+}
+
+fn detector(c: &Corpus, backend: Option<SnapshotBackend>, shards: Option<usize>) -> Dogmatix {
+    let mut b = Dogmatix::builder()
+        .mapping(c.mapping.clone())
+        .heuristic(c.heuristic.clone())
+        .theta_tuple(setup::THETA_TUPLE)
+        .theta_cand(setup::THETA_CAND);
+    if let Some(backend) = backend {
+        b = b.index_backend(backend);
+    }
+    if let Some(shards) = shards {
+        b = b.sharded(shards);
+    }
+    b.build()
+}
+
+fn run(c: &Corpus, backend: Option<SnapshotBackend>, shards: Option<usize>) -> DetectionResult {
+    detector(c, backend, shards)
+        .run(&c.doc, &c.schema, c.rw_type)
+        .expect("detection runs")
+}
+
+#[test]
+fn cd_and_movie_snapshot_roundtrips_are_bit_identical() {
+    for (tag, corpus) in [("cd", cd_corpus()), ("movie", movie_corpus())] {
+        let path = temp_path(tag);
+        let in_memory = run(&corpus, None, None);
+        let saved = run(&corpus, Some(SnapshotBackend::save(&path)), None);
+        assert_eq!(in_memory, saved, "{tag}: save run must not change results");
+        let loaded = run(&corpus, Some(SnapshotBackend::load(&path)), None);
+        assert_eq!(in_memory, loaded, "{tag}: warm start must be bit-identical");
+        assert!(
+            !in_memory.duplicate_pairs.is_empty(),
+            "{tag}: corpus contains duplicates"
+        );
+        // The snapshot path composes with sharded execution.
+        for shards in [1usize, 2, 8, 0] {
+            let sharded = run(&corpus, Some(SnapshotBackend::load(&path)), Some(shards));
+            assert_eq!(
+                in_memory, sharded,
+                "{tag}: snapshot + {shards} shards diverged"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn snapshot_reload_across_detector_instances_matches() {
+    // A fresh process would re-resolve candidates; simulate by loading
+    // through a brand-new detector + session over a re-parsed document.
+    let corpus = cd_corpus();
+    let path = temp_path("reparse");
+    let cold = run(&corpus, Some(SnapshotBackend::save(&path)), None);
+    let reparsed = Corpus {
+        doc: Document::parse(&corpus.doc.to_xml()).expect("roundtrip parse"),
+        ..cd_corpus()
+    };
+    let warm = run(&reparsed, Some(SnapshotBackend::load(&path)), None);
+    assert_eq!(cold.duplicate_pairs, warm.duplicate_pairs);
+    assert_eq!(cold.clusters, warm.clusters);
+    assert_eq!(cold.f_values, warm.f_values);
+    assert_eq!(*cold.ods, *warm.ods);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A reference snapshot built once for the corruption properties.
+fn reference_snapshot() -> (Corpus, Vec<u8>) {
+    let corpus = cd_corpus();
+    let path = temp_path(&format!(
+        "reference-{}",
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-")
+    ));
+    let _ = run(&corpus, Some(SnapshotBackend::save(&path)), None);
+    let bytes = std::fs::read(&path).expect("snapshot written");
+    let _ = std::fs::remove_file(&path);
+    (corpus, bytes)
+}
+
+/// Loading an arbitrary mutation of a valid snapshot must either fail
+/// with a `DogmatixError` or succeed with the untouched result — never
+/// panic, never return garbage.
+fn assert_mutation_handled(
+    corpus: &Corpus,
+    original: &DetectionResult,
+    mutated: &[u8],
+    what: &str,
+) {
+    let path = temp_path(&format!(
+        "mutated-{}",
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-")
+    ));
+    std::fs::write(&path, mutated).expect("write mutated snapshot");
+    let outcome = detector(corpus, Some(SnapshotBackend::load(&path)), None).run(
+        &corpus.doc,
+        &corpus.schema,
+        corpus.rw_type,
+    );
+    let _ = std::fs::remove_file(&path);
+    match outcome {
+        Err(DogmatixError::Snapshot { .. }) => {}
+        Err(other) => panic!("{what}: unexpected error kind {other}"),
+        Ok(result) => assert_eq!(
+            &result, original,
+            "{what}: a mutation that loads must be a no-op mutation"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(24)
+    ))]
+
+    #[test]
+    fn corrupted_snapshots_never_panic(position in 0usize..100_000, byte in 0u8..=255) {
+        let (corpus, bytes) = reference_snapshot();
+        let original = run(&corpus, None, None);
+        let mut mutated = bytes.clone();
+        let pos = position % mutated.len();
+        mutated[pos] = byte;
+        assert_mutation_handled(&corpus, &original, &mutated, "byte flip");
+    }
+
+    #[test]
+    fn truncated_snapshots_never_panic(cut in 0usize..100_000) {
+        let (corpus, bytes) = reference_snapshot();
+        let cut = cut % bytes.len();
+        let truncated = &bytes[..cut];
+        let path = temp_path(&format!(
+            "truncated-{}",
+            std::thread::current().name().unwrap_or("t").replace("::", "-")
+        ));
+        std::fs::write(&path, truncated).expect("write truncated snapshot");
+        let outcome = detector(&corpus, Some(SnapshotBackend::load(&path)), None).run(
+            &corpus.doc,
+            &corpus.schema,
+            corpus.rw_type,
+        );
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(
+            matches!(outcome, Err(DogmatixError::Snapshot { .. })),
+            "truncation to {cut} bytes must be rejected"
+        );
+    }
+}
+
+#[test]
+fn wrong_version_snapshots_are_rejected() {
+    let (corpus, bytes) = reference_snapshot();
+    for version in [0u32, 2, 7, u32::MAX] {
+        let mut mutated = bytes.clone();
+        mutated[4..8].copy_from_slice(&version.to_le_bytes());
+        let path = temp_path("wrong-version");
+        std::fs::write(&path, &mutated).expect("write");
+        let err = detector(&corpus, Some(SnapshotBackend::load(&path)), None)
+            .run(&corpus.doc, &corpus.schema, corpus.rw_type)
+            .unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            err.to_string().contains("version"),
+            "version {version}: {err}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_against_a_mutated_corpus_is_rejected() {
+    // Save against the 50-original corpus, load against a larger one:
+    // the candidate count no longer matches.
+    let corpus = cd_corpus();
+    let path = temp_path("stale-corpus");
+    let _ = run(&corpus, Some(SnapshotBackend::save(&path)), None);
+    let (bigger_doc, _) = dataset1_sized(42, 60);
+    let bigger = Corpus {
+        doc: bigger_doc,
+        ..cd_corpus()
+    };
+    let err = detector(&bigger, Some(SnapshotBackend::load(&path)), None)
+        .run(&bigger.doc, &bigger.schema, bigger.rw_type)
+        .unwrap_err();
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        matches!(err, DogmatixError::Snapshot { .. }),
+        "stale snapshot must be rejected: {err}"
+    );
+}
+
+#[test]
+fn snapshot_against_edited_content_same_shape_is_rejected() {
+    // An in-place value edit leaves the candidate count and selection
+    // untouched — only the document-content fingerprint catches it.
+    let corpus = cd_corpus();
+    let path = temp_path("edited-content");
+    let _ = run(&corpus, Some(SnapshotBackend::save(&path)), None);
+    let xml = corpus.doc.to_xml();
+    let needle = xml
+        .match_indices("<artist>")
+        .next()
+        .map(|(i, _)| i)
+        .expect("corpus has artists");
+    let edited = format!(
+        "{}<artist>Totally Edited Artist</artist>{}",
+        &xml[..needle],
+        &xml[needle..]
+            .split_once("</artist>")
+            .expect("closing tag")
+            .1
+    );
+    let edited_corpus = Corpus {
+        doc: Document::parse(&edited).expect("edited corpus parses"),
+        ..cd_corpus()
+    };
+    let err = detector(&edited_corpus, Some(SnapshotBackend::load(&path)), None)
+        .run(
+            &edited_corpus.doc,
+            &edited_corpus.schema,
+            edited_corpus.rw_type,
+        )
+        .unwrap_err();
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        err.to_string().contains("different document content"),
+        "same-shape content edit must be rejected: {err}"
+    );
+}
