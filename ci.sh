@@ -10,6 +10,15 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> dxlint self-test (fixture corpus must produce the pinned findings)"
+cargo run -q -p dogmatix_lint -- --self-test
+
+echo "==> dxlint (workspace must be free of findings)"
+cargo run -q -p dogmatix_lint
+
+echo "==> store audit mutation suite (cargo test --features audit)"
+cargo test -q --features audit --test audit
+
 echo "==> streaming differential suite at CI depth (PROPTEST_CASES=128)"
 PROPTEST_CASES=128 cargo test -q --test incremental
 

@@ -59,6 +59,7 @@ impl CdFixture {
             &self.mapping,
             dogmatix_eval::setup::CD_TYPE,
         )
+        // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
         .expect("the CD fixture wiring is valid")
     }
 }

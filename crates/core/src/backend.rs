@@ -70,6 +70,7 @@
 use crate::error::DogmatixError;
 use crate::mapping::Mapping;
 use crate::od::{OdSet, TermId};
+use crate::store::audit::StoreAuditor;
 use crate::store::{PathId, Span, TermStore, TypeStats};
 use dogmatix_xml::{Document, NodeId};
 use std::collections::{BTreeSet, HashMap};
@@ -377,14 +378,14 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
     fn u32(&mut self) -> Result<u32, DogmatixError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
     fn u64(&mut self) -> Result<u64, DogmatixError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
     fn len_prefix(&mut self) -> Result<usize, DogmatixError> {
         let n = self.u64()?;
@@ -398,7 +399,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(n * 4)?;
         Ok(raw
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect())
     }
     fn spans(&mut self) -> Result<Vec<Span>, DogmatixError> {
@@ -408,8 +409,8 @@ impl<'a> Reader<'a> {
             .chunks_exact(8)
             .map(|c| {
                 Span::new(
-                    u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
-                    u32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+                    u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                    u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
                 )
             })
             .collect())
@@ -419,63 +420,17 @@ impl<'a> Reader<'a> {
         let raw = self.take(n * 8)?;
         Ok(raw
             .chunks_exact(8)
-            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .map(|c| {
+                f64::from_bits(u64::from_le_bytes([
+                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                ]))
+            })
             .collect())
     }
     fn bytes(&mut self) -> Result<Vec<u8>, DogmatixError> {
         let n = self.len_prefix()?;
         Ok(self.take(n)?.to_vec())
     }
-}
-
-/// Validates that every span lies on UTF-8 boundaries of the arena.
-fn check_spans(arena: &str, spans: &[Span], what: &str) -> Result<(), DogmatixError> {
-    for s in spans {
-        let (start, end) = (s.start_raw() as usize, s.end());
-        if end > arena.len() || !arena.is_char_boundary(start) || !arena.is_char_boundary(end) {
-            return Err(snap_err(format!(
-                "{what} span {start}..{end} out of bounds"
-            )));
-        }
-    }
-    Ok(())
-}
-
-/// Validates a CSR offset array: `expected_len + 1` monotone entries
-/// ending exactly at `data_len`.
-fn check_csr(
-    starts: &[u32],
-    expected_len: usize,
-    data_len: usize,
-    what: &str,
-) -> Result<(), DogmatixError> {
-    if starts.len() != expected_len + 1 {
-        return Err(snap_err(format!(
-            "{what}: offset table holds {} entries, expected {}",
-            starts.len(),
-            expected_len + 1
-        )));
-    }
-    if starts[0] != 0 || starts.windows(2).any(|w| w[0] > w[1]) {
-        return Err(snap_err(format!("{what}: offsets are not monotone")));
-    }
-    if starts[expected_len] as usize != data_len {
-        return Err(snap_err(format!(
-            "{what}: offsets end at {} but the data holds {data_len} entries",
-            starts[expected_len]
-        )));
-    }
-    Ok(())
-}
-
-/// Validates every id in `ids` is below `bound`.
-fn check_ids(ids: &[u32], bound: usize, what: &str) -> Result<(), DogmatixError> {
-    if let Some(bad) = ids.iter().find(|&&v| (v as usize) >= bound) {
-        return Err(snap_err(format!(
-            "{what}: id {bad} out of range (< {bound})"
-        )));
-    }
-    Ok(())
 }
 
 /// Reads, verifies, and reassembles a snapshot. The returned set carries
@@ -495,14 +450,18 @@ pub fn load_snapshot(
     if &data[0..4] != MAGIC {
         return Err(snap_err("not a DogmatiX term-index snapshot (bad magic)"));
     }
-    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
     if version != SNAPSHOT_VERSION {
         return Err(snap_err(format!(
             "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
         )));
     }
-    let stored_checksum = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
-    let payload_len = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes")) as usize;
+    let stored_checksum = u64::from_le_bytes([
+        data[8], data[9], data[10], data[11], data[12], data[13], data[14], data[15],
+    ]);
+    let payload_len = u64::from_le_bytes([
+        data[16], data[17], data[18], data[19], data[20], data[21], data[22], data[23],
+    ]) as usize;
     let payload = data
         .get(24..)
         .filter(|p| p.len() == payload_len)
@@ -549,67 +508,6 @@ pub fn load_snapshot(
         return Err(snap_err("snapshot corrupted: trailing bytes after payload"));
     }
 
-    // Structural validation: everything detection will index must be in
-    // range, so a malformed file can never panic the pipeline later.
-    let terms = term_norm.len();
-    if term_type.len() != terms || term_char_len.len() != terms || term_idf.len() != terms {
-        return Err(snap_err("term columns disagree on the term count"));
-    }
-    check_spans(&arena, &term_norm, "term norm")?;
-    check_spans(&arena, &type_names, "type name")?;
-    check_spans(&arena, &path_names, "path name")?;
-    check_spans(&arena, &tuple_value, "tuple value")?;
-    check_csr(&posting_starts, terms, postings.len(), "postings")?;
-    check_ids(&postings, object_count, "posting")?;
-    // The hot paths (merge joins, merged_count) rely on posting lists
-    // being sorted and deduplicated — i.e. strictly ascending.
-    for t in 0..terms {
-        let list = &postings[posting_starts[t] as usize..posting_starts[t + 1] as usize];
-        if list.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(snap_err(format!(
-                "postings of term {t} are not strictly ascending"
-            )));
-        }
-    }
-    check_ids(&term_type, type_names.len(), "term type")?;
-    if type_stats.len() != type_names.len() {
-        return Err(snap_err("per-type stats disagree with the type table"));
-    }
-    let tuples = tuple_term.len();
-    if tuple_value.len() != tuples || tuple_path.len() != tuples {
-        return Err(snap_err("tuple columns disagree on the tuple count"));
-    }
-    check_csr(&od_starts, object_count, tuples, "od tuples")?;
-    let raw_terms: Vec<u32> = tuple_term.iter().map(|t| t.0).collect();
-    check_ids(&raw_terms, terms, "tuple term")?;
-    let raw_paths: Vec<u32> = tuple_path.iter().map(|p| p.0).collect();
-    check_ids(&raw_paths, path_names.len(), "tuple path")?;
-    check_csr(
-        &od_group_starts,
-        object_count,
-        group_types.len(),
-        "od groups",
-    )?;
-    check_csr(
-        &group_starts,
-        group_types.len(),
-        group_tuples.len(),
-        "group tuples",
-    )?;
-    check_ids(&group_types, type_names.len(), "group type")?;
-    for i in 0..object_count {
-        let od_len = (od_starts[i + 1] - od_starts[i]) as usize;
-        for g in od_group_starts[i] as usize..od_group_starts[i + 1] as usize {
-            for &local in &group_tuples[group_starts[g] as usize..group_starts[g + 1] as usize] {
-                if local as usize >= od_len {
-                    return Err(snap_err(format!(
-                        "group tuple index {local} out of range for OD {i} ({od_len} tuples)"
-                    )));
-                }
-            }
-        }
-    }
-
     let expected = selection_fingerprint(object_count, selections);
     if fingerprint != expected {
         return Err(snap_err(
@@ -637,7 +535,7 @@ pub fn load_snapshot(
         type_stats,
         object_count as u32,
     );
-    Ok(OdSet::from_columns(
+    let ods = OdSet::from_columns(
         Vec::new(),
         store,
         od_starts,
@@ -648,7 +546,21 @@ pub fn load_snapshot(
         group_types,
         group_starts,
         group_tuples,
-    ))
+    );
+
+    // Structural + semantic validation: the live-store auditor checks
+    // everything detection will index (span bounds, CSR monotonicity,
+    // id ranges, posting order) plus the invariants only a full audit
+    // sees (interner consistency, IDF↔posting agreement, group/tuple
+    // cross-consistency) — one shared implementation with the
+    // stage-boundary gates, so a malformed file can never panic the
+    // pipeline later. Construction above is pure moves; nothing indexes
+    // the columns before the audit accepts them.
+    let report = StoreAuditor::audit(&ods);
+    if let Some(v) = report.violations().first() {
+        return Err(snap_err(format!("snapshot fails the store audit: {v}")));
+    }
+    Ok(ods)
 }
 
 #[cfg(test)]
@@ -756,19 +668,30 @@ mod tests {
         // A span whose start + len wraps u32 must fail validation (the
         // widened end comparison), never slip through to a later panic
         // in `Span::resolve`.
+        use crate::store::audit::{check_spans, AuditKind};
         let arena = "0123456789";
         let bad = Span::new(4, u32::MAX - 2);
-        assert!(check_spans(arena, &[bad], "test").is_err());
+        let mut out = Vec::new();
+        check_spans(arena, &[bad], "test", &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, AuditKind::SpanOutOfBounds);
+        out.clear();
         let fine = Span::new(4, 3);
-        assert!(check_spans(arena, &[fine], "test").is_ok());
+        check_spans(arena, &[fine], "test", &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
     fn zero_object_snapshots_reject_dangling_postings() {
         // check_ids with the honest bound: a store claiming 0 objects
         // cannot carry any posting id.
-        assert!(check_ids(&[0], 0, "posting").is_err());
-        assert!(check_ids(&[], 0, "posting").is_ok());
+        use crate::store::audit::{check_ids, AuditKind};
+        let mut out = Vec::new();
+        check_ids(&[0], 0, "posting", AuditKind::PostingOutOfRange, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        check_ids(&[], 0, "posting", AuditKind::PostingOutOfRange, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

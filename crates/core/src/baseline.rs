@@ -205,8 +205,13 @@ pub struct UnweightedMeasure {
 }
 
 impl UnweightedMeasure {
-    /// Creates the measure with the given `θ_tuple`.
+    /// Creates the measure with the given `θ_tuple`. Debug builds
+    /// assert the threshold is a similarity in `[0, 1]`.
     pub fn new(theta_tuple: f64) -> Self {
+        debug_assert!(
+            (0.0..=1.0).contains(&theta_tuple),
+            "θ_tuple must be a similarity in [0, 1], got {theta_tuple}"
+        );
         UnweightedMeasure { theta_tuple }
     }
 }
@@ -248,8 +253,13 @@ pub struct DelphiMeasure {
 }
 
 impl DelphiMeasure {
-    /// Creates the measure with the given `θ_tuple`.
+    /// Creates the measure with the given `θ_tuple`. Debug builds
+    /// assert the threshold is a similarity in `[0, 1]`.
     pub fn new(theta_tuple: f64) -> Self {
+        debug_assert!(
+            (0.0..=1.0).contains(&theta_tuple),
+            "θ_tuple must be a similarity in [0, 1], got {theta_tuple}"
+        );
         DelphiMeasure { theta_tuple }
     }
 }
@@ -351,6 +361,20 @@ mod tests {
     use crate::od::OdSet;
     use dogmatix_xml::Document;
     use std::collections::{BTreeSet, HashMap};
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "similarity in [0, 1]")]
+    fn unweighted_rejects_out_of_range_theta_in_debug() {
+        let _ = UnweightedMeasure::new(-0.1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "similarity in [0, 1]")]
+    fn delphi_rejects_out_of_range_theta_in_debug() {
+        let _ = DelphiMeasure::new(2.0);
+    }
 
     fn build(xml: &str) -> OdSet {
         let doc = Document::parse(xml).unwrap();

@@ -39,7 +39,22 @@ pub struct ThresholdClassifier {
 
 impl ThresholdClassifier {
     /// Two-class classifier with the given `θ_cand`.
+    ///
+    /// Debug builds assert the audited invariant that the threshold is
+    /// a similarity in `[0, 1]`; release builds accept any value
+    /// unchanged (use [`DualThreshold::new`] for checked construction).
     pub fn new(theta_cand: f64) -> Self {
+        debug_assert!(
+            (0.0..=1.0).contains(&theta_cand),
+            "θ_cand must be a similarity in [0, 1], got {theta_cand}"
+        );
+        ThresholdClassifier::new_unchecked(theta_cand)
+    }
+
+    /// Config-derived construction: the pipeline validates thresholds
+    /// itself and reports a graceful `Config` error, so the debug
+    /// audit must not fire first.
+    pub(crate) fn new_unchecked(theta_cand: f64) -> Self {
         ThresholdClassifier {
             theta_cand,
             possible_band: None,
@@ -134,6 +149,20 @@ impl PairClassifier for DualThreshold {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "similarity in [0, 1]")]
+    fn out_of_range_threshold_trips_the_audit_in_debug() {
+        let _ = ThresholdClassifier::new(1.5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "similarity in [0, 1]")]
+    fn nan_threshold_trips_the_audit_in_debug() {
+        let _ = ThresholdClassifier::new(f64::NAN);
+    }
 
     #[test]
     fn two_class_threshold_is_strict() {

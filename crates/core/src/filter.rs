@@ -156,7 +156,19 @@ pub struct ObjectFilter {
 
 impl ObjectFilter {
     /// Creates the filter with the given thresholds (paper: 0.15, 0.55).
+    /// Debug builds assert both are similarities in `[0, 1]`.
     pub fn new(theta_tuple: f64, theta_cand: f64) -> Self {
+        debug_assert!(
+            (0.0..=1.0).contains(&theta_tuple) && (0.0..=1.0).contains(&theta_cand),
+            "filter thresholds must be similarities in [0, 1], got ({theta_tuple}, {theta_cand})"
+        );
+        ObjectFilter::new_unchecked(theta_tuple, theta_cand)
+    }
+
+    /// Config-derived construction: the pipeline validates thresholds
+    /// itself and reports a graceful `Config` error, so the debug
+    /// audit must not fire first.
+    pub(crate) fn new_unchecked(theta_tuple: f64, theta_cand: f64) -> Self {
         ObjectFilter {
             theta_tuple,
             theta_cand,
@@ -242,6 +254,10 @@ impl QGramBlocking {
     /// `theta`. Panics if `q` is zero.
     pub fn new(q: usize, theta: f64) -> Self {
         assert!(q >= 1, "q-gram size must be at least 1");
+        debug_assert!(
+            (0.0..=1.0).contains(&theta),
+            "q-gram tuple threshold must be a similarity in [0, 1], got {theta}"
+        );
         QGramBlocking { q, theta }
     }
 
@@ -524,6 +540,20 @@ mod tests {
     use crate::od::OdSet;
     use crate::sim::{DistCache, SimEngine};
     use dogmatix_xml::Document;
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "similarities in [0, 1]")]
+    fn object_filter_rejects_out_of_range_theta_in_debug() {
+        let _ = ObjectFilter::new(0.15, 1.5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "similarity in [0, 1]")]
+    fn qgram_rejects_out_of_range_theta_in_debug() {
+        let _ = QGramBlocking::new(2, -0.5);
+    }
 
     fn build(xml: &str, candidate: &str, selected: &[&str]) -> OdSet {
         let doc = Document::parse(xml).unwrap();

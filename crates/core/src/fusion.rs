@@ -49,6 +49,7 @@ pub fn fuse_clusters(
         .unwrap_or("fused")
         .to_string();
     let mut out = Document::with_root(&root_name);
+    // dxlint: allow(no-panic) — with_root just created that root element
     let out_root = out.root_element().expect("with_root creates a root");
 
     // Union-find over candidates to know each one's cluster (if any).
@@ -93,7 +94,11 @@ fn fuse_members(
     let mut child_names: Vec<String> = Vec::new();
     for &m in members {
         for c in doc.child_elements(m) {
-            let n = doc.name(c).unwrap().to_string();
+            // Child elements always carry a name; skip rather than
+            // panic if the DOM invariant is ever broken.
+            let Some(n) = doc.name(c).map(str::to_string) else {
+                continue;
+            };
             if !child_names.contains(&n) {
                 child_names.push(n);
             }

@@ -573,6 +573,10 @@ pub(crate) fn detect_incremental(
             .copied()
             .zip(parts.iter().map(|p| p.as_slice())),
     ));
+    // The delta-maintained extraction cache must re-intern to exactly
+    // the structure a batch build would produce; audit it before the
+    // filter and comparison stages index into it.
+    crate::store::audit::audit_gate(&ods, "incremental OD re-interning");
 
     // Step 4 is global and cheap (≈ one sim evaluation per object):
     // always re-run it so pruning and pair plans track the new state.

@@ -22,6 +22,7 @@ pub fn clusters_to_xml(
     clusters: &[Vec<usize>],
 ) -> Document {
     let mut out = Document::with_root("duplicates");
+    // dxlint: allow(no-panic) — with_root just created that root element
     let root = out.root_element().expect("with_root always has a root");
     for (oid, cluster) in clusters.iter().enumerate() {
         let dc = out.add_element(root, "dupcluster");

@@ -362,6 +362,10 @@ impl Dogmatix {
                 mapping: session.mapping(),
             })?,
         };
+        // Whatever produced the set — fresh build, session cache, or
+        // snapshot warm start — it must satisfy the store invariants
+        // before the comparison stages index into it.
+        crate::store::audit::audit_gate(&ods, "pipeline OD generation");
 
         // Step 4: comparison reduction.
         let FilterDecision {
@@ -397,7 +401,7 @@ impl Dogmatix {
                         .collect(),
                 };
                 let compared = plan.len();
-                let found = driver.execute(prepared.as_ref(), classifier, &plan);
+                let found = driver.execute(&ods, prepared.as_ref(), classifier, &plan);
                 (found.0, found.1, compared)
             }
             (None, None) => {
@@ -703,15 +707,20 @@ impl DogmatixBuilder {
         let selector = selector.unwrap_or_else(|| Arc::new(config.heuristic.clone()) as Arc<_>);
         let filter = filter.unwrap_or_else(|| {
             if config.use_filter {
-                Arc::new(ObjectFilter::new(config.theta_tuple, config.theta_cand)) as Arc<_>
+                Arc::new(ObjectFilter::new_unchecked(
+                    config.theta_tuple,
+                    config.theta_cand,
+                )) as Arc<_>
             } else {
                 Arc::new(NoFilter) as Arc<_>
             }
         });
-        let measure =
-            measure.unwrap_or_else(|| Arc::new(SoftIdfMeasure::new(config.theta_tuple)) as Arc<_>);
-        let classifier = classifier
-            .unwrap_or_else(|| Arc::new(ThresholdClassifier::new(config.theta_cand)) as Arc<_>);
+        let measure = measure.unwrap_or_else(|| {
+            Arc::new(SoftIdfMeasure::new_unchecked(config.theta_tuple)) as Arc<_>
+        });
+        let classifier = classifier.unwrap_or_else(|| {
+            Arc::new(ThresholdClassifier::new_unchecked(config.theta_cand)) as Arc<_>
+        });
         let clusterer = clusterer.unwrap_or_else(|| Arc::new(TransitiveClosure) as Arc<_>);
         Dogmatix {
             config,
@@ -837,6 +846,7 @@ where
                 let mut cache = DistCache::with_capacity(cache_entries);
                 let mut local = R::default();
                 shard(t, threads, &mut cache, &mut local);
+                // dxlint: allow(no-panic) — poisoning means a worker already panicked; propagate the abort
                 let mut out = results.lock().expect("no worker panicked holding the lock");
                 merge(&mut out, local);
             });
@@ -844,6 +854,7 @@ where
     });
     results
         .into_inner()
+        // dxlint: allow(no-panic) — poisoning means a worker already panicked; propagate the abort
         .expect("no worker panicked holding the lock")
 }
 

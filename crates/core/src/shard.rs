@@ -124,10 +124,14 @@ impl ShardedDriver {
     /// depend on the shard count or worker scheduling.
     pub(crate) fn execute(
         &self,
+        ods: &crate::od::OdSet,
         measure: &dyn PreparedMeasure,
         classifier: &dyn PairClassifier,
         plan: &[(usize, usize)],
     ) -> crate::pipeline::FoundPairs {
+        // The workers are about to index the set from many threads with
+        // no bounds slack; audit it at the execution boundary.
+        crate::store::audit::audit_gate(ods, "sharded pair-plan execution");
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -190,6 +194,7 @@ impl ShardedDriver {
                         local.0.extend(found.0);
                         local.1.extend(found.1);
                     }
+                    // dxlint: allow(no-panic) — poisoning means a worker already panicked; propagate the abort
                     let mut out = results.lock().expect("no worker panicked holding the lock");
                     out.0.extend(local.0);
                     out.1.extend(local.1);
@@ -198,6 +203,7 @@ impl ShardedDriver {
         });
         results
             .into_inner()
+            // dxlint: allow(no-panic) — poisoning means a worker already panicked; propagate the abort
             .expect("no worker panicked holding the lock")
     }
 }

@@ -516,8 +516,20 @@ pub struct SoftIdfMeasure {
 }
 
 impl SoftIdfMeasure {
-    /// Creates the measure with the given `θ_tuple`.
+    /// Creates the measure with the given `θ_tuple`. Debug builds
+    /// assert the threshold is a similarity in `[0, 1]`.
     pub fn new(theta_tuple: f64) -> Self {
+        debug_assert!(
+            (0.0..=1.0).contains(&theta_tuple),
+            "θ_tuple must be a similarity in [0, 1], got {theta_tuple}"
+        );
+        SoftIdfMeasure { theta_tuple }
+    }
+
+    /// Config-derived construction: the pipeline validates thresholds
+    /// itself and reports a graceful `Config` error, so the debug
+    /// audit must not fire first.
+    pub(crate) fn new_unchecked(theta_tuple: f64) -> Self {
         SoftIdfMeasure { theta_tuple }
     }
 }
@@ -563,6 +575,13 @@ mod tests {
     use crate::od::OdSet;
     use dogmatix_xml::Document;
     use std::collections::{BTreeSet, HashMap};
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "similarity in [0, 1]")]
+    fn soft_idf_rejects_out_of_range_theta_in_debug() {
+        let _ = SoftIdfMeasure::new(1.01);
+    }
 
     fn build_odset(xml: &str, candidate: &str, selected: &[&str]) -> OdSet {
         let doc = Document::parse(xml).unwrap();

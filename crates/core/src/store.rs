@@ -47,6 +47,8 @@
 
 use dogmatix_textsim::idf;
 
+pub mod audit;
+
 /// A byte range into a store's shared arena.
 ///
 /// Spans replace owned `String` fields everywhere downstream of the OD

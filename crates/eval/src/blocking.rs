@@ -81,10 +81,12 @@ pub fn run_corpus(
     ];
 
     let session =
+        // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
         DetectionSession::new(doc, schema, mapping, rw_type).expect("the corpus wiring is valid");
     let exhaustive = strategies[0]
         .1
         .detect(&session)
+        // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
         .expect("exhaustive run succeeds");
     let truth: BTreeSet<(usize, usize)> = exhaustive
         .duplicate_pairs
@@ -96,6 +98,7 @@ pub fn run_corpus(
     strategies
         .iter()
         .map(|(name, dx)| {
+            // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
             let result = dx.detect(&session).expect("strategy run succeeds");
             let found: BTreeSet<(usize, usize)> = result
                 .duplicate_pairs

@@ -33,12 +33,14 @@ pub fn run(seed: u64, n: usize, experiments: &[usize], ks: &[usize]) -> Vec<Fig5
     let schema = setup::cd_schema();
     let mapping = setup::cd_mapping();
     let session = DetectionSession::new(&doc, &schema, &mapping, setup::CD_TYPE)
+        // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
         .expect("dataset 1 wiring is valid");
     let mut out = Vec::with_capacity(experiments.len() * ks.len());
     for &exp in experiments {
         for &k in ks {
             let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(k), exp);
             let dx = setup::paper_detector(heuristic, mapping.clone());
+            // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
             let result = dx.detect(&session).expect("dataset 1 wiring is valid");
             out.push(Fig5Point {
                 experiment: exp,

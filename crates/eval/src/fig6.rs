@@ -31,12 +31,14 @@ pub fn run(seed: u64, n: usize, experiments: &[usize], rs: &[usize]) -> Vec<Fig6
     let schema = setup::movie_schema(&doc);
     let mapping = setup::movie_mapping();
     let session = DetectionSession::new(&doc, &schema, &mapping, setup::MOVIE_TYPE)
+        // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
         .expect("dataset 2 wiring is valid");
     let mut out = Vec::with_capacity(experiments.len() * rs.len());
     for &exp in experiments {
         for &r in rs {
             let heuristic = table4_heuristic(HeuristicExpr::r_distant_descendants(r), exp);
             let dx = setup::paper_detector(heuristic, mapping.clone());
+            // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
             let result = dx.detect(&session).expect("dataset 2 wiring is valid");
             out.push(Fig6Point {
                 experiment: exp,

@@ -51,6 +51,7 @@ pub fn run(
         .build();
     let result = dx
         .run(&doc, &schema, setup::CD_TYPE)
+        // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
         .expect("dataset 3 wiring is valid");
 
     thetas

@@ -37,9 +37,11 @@ pub fn run(seed: u64, n: usize, fractions: &[f64]) -> Vec<Fig8Point> {
         .map(|&frac| {
             let (doc, gold) = filter_dataset(seed, n, frac);
             let session = DetectionSession::new(&doc, &schema, &mapping, setup::CD_TYPE)
+                // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
                 .expect("the CD candidate path is valid");
             let selections = session
                 .selections_for(&heuristic)
+                // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
                 .expect("the heuristic selects within the CD schema");
             let ods = session.object_descriptions(&selections);
             let decision = stage.reduce(&ods);

@@ -100,6 +100,7 @@ pub fn run(scenario: Scenario, seed: u64, n: usize) -> Vec<MeasureResult> {
         Scenario::Dataset2 => setup::movie_mapping(),
     };
     let session = DetectionSession::new(&doc, &schema, &mapping, rw_type)
+        // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
         .expect("the shoot-out wiring is valid");
 
     competitors()
@@ -114,6 +115,7 @@ pub fn run(scenario: Scenario, seed: u64, n: usize) -> Vec<MeasureResult> {
                 .measure_arc(measure)
                 .threads(0)
                 .build();
+            // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
             let result = dx.detect(&session).expect("the measure pipeline runs");
             best_threshold(name, &result.duplicate_pairs, &gold)
         })
@@ -150,6 +152,7 @@ fn best_threshold(
             best = Some(candidate);
         }
     }
+    // dxlint: allow(no-panic) — the threshold grid is a non-empty constant, so one candidate always wins
     best.expect("at least one threshold evaluated")
 }
 

@@ -17,6 +17,7 @@ pub fn table3_mapping() -> Mapping {
          ACTORNAME: $doc/moviedoc/movie/actor/name\n\
          ACTORROLE: $doc/moviedoc/movie/actor/role\n",
     )
+    // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
     .expect("the Table 3 mapping text is well-formed")
 }
 
@@ -28,7 +29,7 @@ pub fn render_table3() -> String {
         out.push_str(&format!(
             "{:<12}{{{}}}\n",
             name,
-            m.paths_of(name).unwrap().join(", ")
+            m.paths_of(name).map(|p| p.join(", ")).unwrap_or_default()
         ));
     }
     out
@@ -86,6 +87,7 @@ pub fn render_table5() -> String {
     let schema = setup::cd_schema();
     let disc = schema
         .find_by_path(dogmatix_datagen::cd::CD_CANDIDATE_PATH)
+        // dxlint: allow(no-panic) — experiment driver over the bundled corpus; abort on bad wiring is intended
         .expect("CD schema has the disc element");
     let mut out = String::from("Table 5: Elements in Dataset 1 (k order of the hk heuristic)\n");
     for (i, node) in schema.breadth_first(disc).into_iter().enumerate() {
@@ -114,7 +116,10 @@ pub fn render_table6() -> String {
         "Table 6: Comparable elements in Dataset 2 (real-world type, radius of availability)\n",
     );
     for rw_type in mapping.type_names().filter(|t| *t != setup::MOVIE_TYPE) {
-        let paths = mapping.paths_of(rw_type).unwrap();
+        // type_names() only yields mapped types, so paths_of is Some.
+        let Some(paths) = mapping.paths_of(rw_type) else {
+            continue;
+        };
         // Radius at which the type is available from BOTH sources: the
         // max over sources of the min depth of a mapped element.
         let mut imdb_r = usize::MAX;

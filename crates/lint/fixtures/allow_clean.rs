@@ -1,0 +1,11 @@
+// dxlint self-test fixture: justified allows suppress everything —
+// zero findings expected. Linted under crates/core/src/sim.rs so both
+// no-panic and no-hot-alloc are in scope.
+
+fn scored(values: &[f64]) -> f64 {
+    // dxlint: allow(no-panic) — fixture input is always non-empty
+    let first = values.first().unwrap();
+    // dxlint: allow(no-hot-alloc) — formats once per run, not per pair
+    let label = format!("{first:.2}");
+    label.len() as f64 + first
+}

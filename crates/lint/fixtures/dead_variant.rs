@@ -1,0 +1,24 @@
+// dxlint self-test fixture: fires dead-variant exactly once (Ghost).
+// Linted under the virtual path crates/core/src/error.rs.
+
+pub enum DogmatixError {
+    Io { message: String },
+    Ghost { message: String },
+}
+
+fn build() -> DogmatixError {
+    DogmatixError::Io {
+        message: describe(),
+    }
+}
+
+fn describe() -> String {
+    String::from("io failure")
+}
+
+fn render(err: &DogmatixError) -> u32 {
+    match err {
+        DogmatixError::Io { .. } => 1,
+        DogmatixError::Ghost { .. } => 2,
+    }
+}

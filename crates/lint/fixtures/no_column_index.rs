@@ -1,0 +1,19 @@
+// dxlint self-test fixture: fires no-column-index exactly twice.
+// Linted under the virtual path crates/core/src/fixture.rs.
+
+fn read_raw(store: &Store, term: usize) -> u32 {
+    store.postings[term]
+}
+
+fn read_span(ods: &OdSet, tuple: usize) -> Span {
+    ods.tuple_value[tuple]
+}
+
+fn justified(store: &Store, term: usize) -> u32 {
+    // dxlint: allow(no-column-index) — fixture demonstrates a justified allow
+    store.term_type[term]
+}
+
+fn through_accessor(store: &Store, term: u32) -> u32 {
+    store.term_type(term)
+}

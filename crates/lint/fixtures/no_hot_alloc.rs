@@ -1,0 +1,26 @@
+// dxlint self-test fixture: fires no-hot-alloc exactly three times.
+// Linted under the virtual path crates/core/src/sim.rs (a hot path).
+
+fn label(score: f64) -> String {
+    format!("{score:.3}")
+}
+
+fn copy_name(name: &str) -> String {
+    name.to_string()
+}
+
+fn fresh() -> String {
+    String::new()
+}
+
+fn borrow_only(name: &str) -> usize {
+    name.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        let _ = format!("test-only {}", 1);
+    }
+}

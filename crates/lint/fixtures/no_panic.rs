@@ -1,0 +1,29 @@
+// dxlint self-test fixture: fires no-panic exactly three times.
+// Linted under the virtual path crates/xml/src/fixture.rs.
+
+fn first_two(values: &[u32]) -> u32 {
+    let a = values.first().unwrap();
+    let b = values.get(1).expect("second element");
+    if *a > *b {
+        panic!("unsorted fixture input");
+    }
+    *a + *b
+}
+
+fn justified(values: &[u32]) -> u32 {
+    // dxlint: allow(no-panic) — fixture demonstrates a justified allow
+    *values.first().unwrap()
+}
+
+fn harmless(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        let values = vec![1u32, 2];
+        let _ = values.first().unwrap();
+    }
+}

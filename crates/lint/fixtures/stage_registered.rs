@@ -1,0 +1,21 @@
+// dxlint self-test fixture: fires stage-registered exactly once.
+// Linted under crates/core/src/fixture.rs with a synthetic equivalence
+// corpus that names RegisteredMeasure but not GhostMeasure.
+
+impl crate::stage::SimilarityMeasure for RegisteredMeasure {
+    fn compare(&self) -> f64 {
+        0.0
+    }
+}
+
+impl SimilarityMeasure for GhostMeasure {
+    fn compare(&self) -> f64 {
+        1.0
+    }
+}
+
+impl<T> Clone for NotAStage<T> {
+    fn clone(&self) -> Self {
+        NotAStage { inner: self.inner }
+    }
+}

@@ -1,0 +1,557 @@
+//! A small hand-rolled Rust lexer — just enough token structure for
+//! source-level lint rules, with no external parser dependencies.
+//!
+//! The lexer understands comments (line, nested block, doc), string
+//! literals (plain, raw, byte, raw-byte), char literals vs lifetimes,
+//! raw identifiers, and numbers, and tracks the line of every token.
+//! Doc comments are comments, so doctest code never reaches the rules.
+//! A post-pass marks every token that belongs to a `#[cfg(test)]` /
+//! `#[test]`-gated item, letting rules lint only non-test library code.
+
+/// What a token is; everything a rule matches on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (raw identifiers lose their `r#`).
+    Ident(String),
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct(char),
+    /// Any literal — string, char, byte, number. Content never matters
+    /// to a rule, so it is not kept.
+    Literal,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// The token itself.
+    pub kind: TokenKind,
+}
+
+/// One comment with its 1-based starting line and full text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// The comment text including its delimiters.
+    pub text: String,
+}
+
+/// A lexed source file: tokens, comments, and a parallel mask flagging
+/// tokens inside test-gated items.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments (line, block, doc) in source order.
+    pub comments: Vec<Comment>,
+    /// `test_mask[i]` — token `i` belongs to a `#[cfg(test)]` module,
+    /// a `#[test]` function, or another test-gated item.
+    pub test_mask: Vec<bool>,
+}
+
+impl Lexed {
+    /// The identifier text of token `i`, if it is an identifier.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i) {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether token `i` is the punctuation character `c`.
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        matches!(
+            self.tokens.get(i),
+            Some(Token { kind: TokenKind::Punct(p), .. }) if *p == c
+        )
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    /// Consumes an identifier starting at the current position.
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Consumes a `"…"` string body (opening quote already consumed).
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body: `"` then content until `"` followed
+    /// by `hashes` `#` characters (the opening `r#*"` is consumed).
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Lexes a Rust source file. Unterminated constructs run to the end of
+/// the input rather than failing — a linter should keep going.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                comments.push(Comment { line, text });
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                let mut text = String::new();
+                let mut depth = 0usize;
+                while let Some(c) = cur.peek(0) {
+                    if c == '/' && cur.peek(1) == Some('*') {
+                        depth += 1;
+                        text.push_str("/*");
+                        cur.bump();
+                        cur.bump();
+                    } else if c == '*' && cur.peek(1) == Some('/') {
+                        depth -= 1;
+                        text.push_str("*/");
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        text.push(c);
+                        cur.bump();
+                    }
+                }
+                comments.push(Comment { line, text });
+            }
+            '"' => {
+                cur.bump();
+                cur.string_body();
+                tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'a'`, `'\n'`).
+                let next = cur.peek(1);
+                let is_lifetime = match next {
+                    Some(n) if is_ident_start(n) => {
+                        // Find the first char after the ident run; a
+                        // closing quote makes it a char literal.
+                        let mut k = 2;
+                        while cur.peek(k).is_some_and(is_ident_continue) {
+                            k += 1;
+                        }
+                        cur.peek(k) != Some('\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    cur.bump(); // '
+                    cur.ident();
+                    // Lifetimes carry no lint signal; drop them.
+                } else {
+                    cur.bump(); // '
+                    while let Some(c) = cur.bump() {
+                        match c {
+                            '\\' => {
+                                cur.bump();
+                            }
+                            '\'' => break,
+                            _ => {}
+                        }
+                    }
+                    tokens.push(Token {
+                        line,
+                        kind: TokenKind::Literal,
+                    });
+                }
+            }
+            'r' | 'b' => {
+                // Raw strings (r"…", r#"…"#), byte strings (b"…",
+                // br#"…"#), byte chars (b'…'), raw idents (r#ident) —
+                // or just an identifier starting with r/b.
+                let mut k = 1;
+                if c == 'b' && cur.peek(1) == Some('r') {
+                    k = 2;
+                }
+                let mut hashes = 0usize;
+                while cur.peek(k) == Some('#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                if cur.peek(k) == Some('"') {
+                    for _ in 0..=k {
+                        cur.bump(); // prefix, hashes, opening quote
+                    }
+                    cur.raw_string_body(hashes);
+                    tokens.push(Token {
+                        line,
+                        kind: TokenKind::Literal,
+                    });
+                } else if c == 'b' && cur.peek(1) == Some('\'') {
+                    cur.bump(); // b
+                    cur.bump(); // '
+                    while let Some(c) = cur.bump() {
+                        match c {
+                            '\\' => {
+                                cur.bump();
+                            }
+                            '\'' => break,
+                            _ => {}
+                        }
+                    }
+                    tokens.push(Token {
+                        line,
+                        kind: TokenKind::Literal,
+                    });
+                } else if c == 'r' && hashes == 1 && cur.peek(2).is_some_and(is_ident_start) {
+                    cur.bump(); // r
+                    cur.bump(); // #
+                    let ident = cur.ident();
+                    tokens.push(Token {
+                        line,
+                        kind: TokenKind::Ident(ident),
+                    });
+                } else {
+                    let ident = cur.ident();
+                    tokens.push(Token {
+                        line,
+                        kind: TokenKind::Ident(ident),
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                let ident = cur.ident();
+                tokens.push(Token {
+                    line,
+                    kind: TokenKind::Ident(ident),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                cur.bump();
+                while let Some(n) = cur.peek(0) {
+                    if is_ident_continue(n)
+                        || (n == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                    {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+            }
+            c => {
+                cur.bump();
+                tokens.push(Token {
+                    line,
+                    kind: TokenKind::Punct(c),
+                });
+            }
+        }
+    }
+
+    let test_mask = mark_test_items(&tokens);
+    Lexed {
+        tokens,
+        comments,
+        test_mask,
+    }
+}
+
+/// Marks every token belonging to a test-gated item: an item annotated
+/// `#[test]`, `#[cfg(test)]`, or any `#[cfg(…)]` mentioning `test`
+/// (e.g. `#[cfg(all(test, feature = "x"))]`). A file-level
+/// `#![cfg(test)]` marks the whole file.
+fn mark_test_items(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !matches!(&tokens[i].kind, TokenKind::Punct('#')) {
+            i += 1;
+            continue;
+        }
+        let inner = matches!(
+            tokens.get(i + 1).map(|t| &t.kind),
+            Some(TokenKind::Punct('!'))
+        );
+        let open = i + if inner { 2 } else { 1 };
+        if !matches!(
+            tokens.get(open).map(|t| &t.kind),
+            Some(TokenKind::Punct('['))
+        ) {
+            i += 1;
+            continue;
+        }
+        let close = match matching_bracket(tokens, open) {
+            Some(c) => c,
+            None => break,
+        };
+        if !attr_is_test(&tokens[open + 1..close]) {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole file is test code.
+            mask.fill(true);
+            return mask;
+        }
+        // Skip any further attributes, then mark through the item.
+        let start = i;
+        let mut j = close + 1;
+        while matches!(tokens.get(j).map(|t| &t.kind), Some(TokenKind::Punct('#')))
+            && matches!(
+                tokens.get(j + 1).map(|t| &t.kind),
+                Some(TokenKind::Punct('['))
+            )
+        {
+            match matching_bracket(tokens, j + 1) {
+                Some(c) => j = c + 1,
+                None => return mask,
+            }
+        }
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take(j).skip(start) {
+            *m = true;
+        }
+        i = j;
+    }
+    mask
+}
+
+/// The index of the `]` matching the `[` at `open`, tracking nesting.
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether an attribute body (tokens between `[` and `]`) gates a test
+/// item: `test`, or `cfg(…)` containing the ident `test`.
+fn attr_is_test(body: &[Token]) -> bool {
+    let first = match body.first().map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => s.as_str(),
+        _ => return false,
+    };
+    match first {
+        "test" => true,
+        "cfg" => body
+            .iter()
+            .skip(1)
+            .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "test")),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes_hide_their_content() {
+        let src = r##"
+            // unwrap in a comment
+            /* panic! in a /* nested */ block */
+            /// doc unwrap
+            fn f<'unwrap>(s: &'unwrap str) -> usize {
+                let x = "unwrap .expect panic!";
+                let y = r#"raw "unwrap" here"#;
+                let c = 'u';
+                let b = b"unwrap";
+                s.len() + x.len() + y.len() + (c as usize) + b.len()
+            }
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn raw_idents_and_char_literals_disambiguate() {
+        let ids = idents("let r#match = 'a'; let lt: &'static str = \"x\";");
+        assert!(ids.contains(&"match".to_string()));
+        assert!(ids.contains(&"static".to_string()) || !ids.contains(&"'static".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_mods_are_masked() {
+        let src = r#"
+            fn live() { item.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { item.unwrap(); }
+            }
+        "#;
+        let lexed = lex(src);
+        let unwraps: Vec<(usize, bool)> = lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(&t.kind, TokenKind::Ident(s) if s == "unwrap"))
+            .map(|(i, _)| (i, lexed.test_mask[i]))
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].1, "library unwrap is live code");
+        assert!(unwraps[1].1, "test-mod unwrap is masked");
+    }
+
+    #[test]
+    fn test_attribute_masks_only_its_item() {
+        let src = r#"
+            #[test]
+            fn t() { x.unwrap(); }
+            fn live() { y.unwrap(); }
+        "#;
+        let lexed = lex(src);
+        let unwraps: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(&t.kind, TokenKind::Ident(s) if s == "unwrap"))
+            .map(|(i, _)| lexed.test_mask[i])
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn inner_cfg_test_masks_the_whole_file() {
+        let lexed = lex("#![cfg(feature = \"audit\")]\nfn f() {}\n");
+        assert!(lexed.test_mask.iter().all(|m| !m), "feature gate is live");
+        let lexed = lex("#![cfg(test)]\nfn f() { x.unwrap(); }\n");
+        assert!(lexed.test_mask.iter().all(|m| *m));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let src = "let a = \"line\nbreak\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b_line = lexed
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "b"))
+            .map(|t| t.line);
+        assert_eq!(b_line, Some(3));
+    }
+}

@@ -1,0 +1,240 @@
+//! dxlint — source-level static analysis for the DogmatiX workspace.
+//!
+//! Scans every crate's library sources with a small hand-rolled lexer
+//! (no external dependencies) and enforces the project's structural
+//! conventions: no panics in library code, no direct column indexing
+//! outside the store layer, no String allocation in pairwise hot
+//! paths, every stage impl exercised by the equivalence suite, and no
+//! dead `DogmatixError` variants.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p dogmatix_lint            # lint the workspace; exit 1 on findings
+//! cargo run -p dogmatix_lint -- --self-test   # run the fixture suite
+//! ```
+//!
+//! Suppress a finding with a justified directive on the line or the
+//! line above: `// dxlint: allow(no-panic) — <why this is safe>`.
+//! The linter is itself lint-clean: it never panics on malformed
+//! input, reporting I/O problems as errors instead.
+
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rules::{lint_project, Finding, Project, SourceFile};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    let result = match args.first().map(String::as_str) {
+        Some("--self-test") => self_test(&root),
+        Some("--help") | Some("-h") => {
+            println!("dxlint: lint the workspace (default) or run --self-test");
+            println!("rules: {}", rules::RULE_NAMES.join(", "));
+            Ok(0)
+        }
+        Some(other) => Err(format!("unknown argument `{other}` (try --self-test)")),
+        None => scan_workspace(&root),
+    };
+    match result {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(findings) => {
+            eprintln!("dxlint: {findings} finding(s)");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("dxlint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root, resolved from the lint crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest.join("..").join("..");
+    root.canonicalize().unwrap_or(root)
+}
+
+/// Lints every library source in the workspace; returns the finding count.
+fn scan_workspace(root: &Path) -> Result<usize, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+    let mut src_roots: Vec<PathBuf> = Vec::new();
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            src_roots.push(src);
+        }
+    }
+    src_roots.sort();
+    src_roots.push(root.join("src"));
+    for src_root in &src_roots {
+        collect_sources(root, src_root, &mut files)?;
+    }
+
+    let equivalence_path = root.join("tests").join("equivalence.rs");
+    let equivalence = match std::fs::read_to_string(&equivalence_path) {
+        Ok(src) => Some(lexer::lex(&src)),
+        Err(_) => None,
+    };
+
+    let findings = lint_project(&Project { files, equivalence });
+    for finding in &findings {
+        println!("{finding}");
+    }
+    Ok(findings.len())
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `vendor` and
+/// `target` trees and the lint fixtures.
+fn collect_sources(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "vendor" | "target" | "fixtures") {
+                continue;
+            }
+            collect_sources(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            out.push(SourceFile {
+                rel_path: rel_path(root, &path),
+                lexed: lexer::lex(&source),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative, `/`-separated path for reports and rule scoping.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// One self-test fixture: a source file linted under a virtual path,
+/// expected to fire `expect_rule` exactly `expect_count` times and no
+/// other rule at all.
+struct Fixture {
+    file: &'static str,
+    virtual_path: &'static str,
+    equivalence: Option<&'static str>,
+    expect_rule: Option<&'static str>,
+    expect_count: usize,
+}
+
+const FIXTURES: [Fixture; 6] = [
+    Fixture {
+        file: "no_panic.rs",
+        virtual_path: "crates/xml/src/fixture.rs",
+        equivalence: None,
+        expect_rule: Some("no-panic"),
+        expect_count: 3,
+    },
+    Fixture {
+        file: "no_column_index.rs",
+        virtual_path: "crates/core/src/fixture.rs",
+        equivalence: None,
+        expect_rule: Some("no-column-index"),
+        expect_count: 2,
+    },
+    Fixture {
+        file: "no_hot_alloc.rs",
+        virtual_path: "crates/core/src/sim.rs",
+        equivalence: None,
+        expect_rule: Some("no-hot-alloc"),
+        expect_count: 3,
+    },
+    Fixture {
+        file: "stage_registered.rs",
+        virtual_path: "crates/core/src/fixture.rs",
+        equivalence: Some("fn covered() { let _ = RegisteredMeasure::new(); }"),
+        expect_rule: Some("stage-registered"),
+        expect_count: 1,
+    },
+    Fixture {
+        file: "dead_variant.rs",
+        virtual_path: "crates/core/src/error.rs",
+        equivalence: None,
+        expect_rule: Some("dead-variant"),
+        expect_count: 1,
+    },
+    Fixture {
+        file: "allow_clean.rs",
+        virtual_path: "crates/core/src/sim.rs",
+        equivalence: None,
+        expect_rule: None,
+        expect_count: 0,
+    },
+];
+
+/// Lints each fixture in isolation and checks it fires exactly its own
+/// rule. Returns the number of failed fixtures.
+fn self_test(root: &Path) -> Result<usize, String> {
+    let fixtures_dir = root.join("crates").join("lint").join("fixtures");
+    let mut failures = 0usize;
+    for fixture in &FIXTURES {
+        let path = fixtures_dir.join(fixture.file);
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading fixture {}: {e}", path.display()))?;
+        let project = Project {
+            files: vec![SourceFile {
+                rel_path: fixture.virtual_path.to_string(),
+                lexed: lexer::lex(&source),
+            }],
+            equivalence: fixture.equivalence.map(lexer::lex),
+        };
+        let findings = lint_project(&project);
+        let verdict = check_fixture(fixture, &findings);
+        match verdict {
+            Ok(()) => println!("self-test {}: PASS", fixture.file),
+            Err(why) => {
+                failures += 1;
+                println!("self-test {}: FAIL — {why}", fixture.file);
+                for finding in &findings {
+                    println!("    {finding}");
+                }
+            }
+        }
+    }
+    Ok(failures)
+}
+
+fn check_fixture(fixture: &Fixture, findings: &[Finding]) -> Result<(), String> {
+    match fixture.expect_rule {
+        None => {
+            if findings.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("expected no findings, got {}", findings.len()))
+            }
+        }
+        Some(rule) => {
+            let on_rule = findings.iter().filter(|f| f.rule == rule).count();
+            let off_rule = findings.len() - on_rule;
+            if off_rule > 0 {
+                Err(format!("fired rules other than {rule}"))
+            } else if on_rule != fixture.expect_count {
+                Err(format!(
+                    "expected {} {rule} finding(s), got {on_rule}",
+                    fixture.expect_count
+                ))
+            } else {
+                Ok(())
+            }
+        }
+    }
+}

@@ -423,6 +423,7 @@ impl Document {
             NodeKind::Document { children } | NodeKind::Element { children, .. } => {
                 children.push(id)
             }
+            // dxlint: allow(no-panic) — node-kind misuse is a caller bug; the builder API is infallible by contract
             _ => panic!("cannot append children to a leaf node"),
         }
         id
@@ -470,6 +471,7 @@ impl Document {
                     attributes.push((name.to_string(), value.to_string()));
                 }
             }
+            // dxlint: allow(no-panic) — node-kind misuse is a caller bug; the builder API is infallible by contract
             _ => panic!("set_attr on non-element node"),
         }
     }
@@ -520,6 +522,7 @@ impl Document {
             NodeKind::Element { children, .. } => {
                 children.retain(|c| !old_text.contains(c));
             }
+            // dxlint: allow(no-panic) — node-kind misuse is a caller bug; the builder API is infallible by contract
             _ => panic!("set_text on non-element node"),
         }
         for t in old_text {

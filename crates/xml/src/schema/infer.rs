@@ -27,7 +27,10 @@ pub fn infer(doc: &Document) -> Result<Schema, XmlError> {
     let mut stats: HashMap<String, PathStats> = HashMap::new();
     collect(doc, root, &mut stats);
 
-    let root_name = doc.name(root).unwrap().to_string();
+    let root_name = doc
+        .name(root)
+        .ok_or_else(|| XmlError::schema("document root element has no name"))?
+        .to_string();
     let root_path = format!("/{root_name}");
     let root_stats = &stats[&root_path];
     let mut schema = Schema::with_root(&root_name, ContentModel::Empty);
@@ -75,7 +78,11 @@ fn collect(doc: &Document, el: NodeId, stats: &mut HashMap<String, PathStats>) {
     let mut counts: HashMap<String, usize> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
     for child in doc.child_elements(el) {
-        let name = doc.name(child).unwrap().to_string();
+        // Child elements always carry a name; skip rather than panic
+        // if the DOM invariant is ever broken.
+        let Some(name) = doc.name(child).map(str::to_string) else {
+            continue;
+        };
         if !counts.contains_key(&name) {
             order.push(name.clone());
         }

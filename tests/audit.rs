@@ -1,0 +1,185 @@
+//! Mutation suite for the store auditor: decompose a healthy `OdSet`
+//! into raw columns, seed exactly one corruption, rebuild, and assert
+//! the auditor reports exactly that invariant — no cascade of
+//! secondary violations, no misattribution. A clean rebuild must stay
+//! clean. Runs only with `--features audit`, which compiles the
+//! raw-column corruption hooks.
+#![cfg(feature = "audit")]
+
+use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
+use dogmatix_repro::core::pipeline::Dogmatix;
+use dogmatix_repro::core::store::audit::mutate::{decompose, rebuild, RawColumns};
+use dogmatix_repro::core::store::audit::{AuditKind, StoreAuditor};
+use dogmatix_repro::core::store::Span;
+use dogmatix_repro::datagen::datasets::dataset1_sized;
+use dogmatix_repro::eval::setup;
+
+/// Raw columns of a real OD set: the seeded CD corpus run through the
+/// full pipeline (which itself passes the stage-boundary audit gates).
+fn healthy_columns() -> RawColumns {
+    let (doc, _) = dataset1_sized(9, 30);
+    let schema = setup::cd_schema();
+    let mapping = setup::cd_mapping();
+    let dx = Dogmatix::builder()
+        .mapping(mapping)
+        .heuristic(table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1))
+        .theta_tuple(setup::THETA_TUPLE)
+        .theta_cand(setup::THETA_CAND)
+        .build();
+    let result = dx.run(&doc, &schema, setup::CD_TYPE).expect("corpus runs");
+    decompose(&result.ods)
+}
+
+/// Seeds one corruption and asserts the auditor reports exactly `kind`.
+fn expect_exactly(kind: AuditKind, corrupt: impl FnOnce(&mut RawColumns)) {
+    let mut cols = healthy_columns();
+    corrupt(&mut cols);
+    let ods = rebuild(cols);
+    let report = StoreAuditor::audit(&ods);
+    assert!(!report.is_clean(), "corruption went undetected");
+    assert_eq!(report.kinds(), vec![kind], "wrong attribution:\n{report}");
+}
+
+#[test]
+fn decompose_rebuild_roundtrip_stays_clean() {
+    let ods = rebuild(healthy_columns());
+    let report = StoreAuditor::audit(&ods);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn unsorted_posting_list_is_posting_unsorted() {
+    expect_exactly(AuditKind::PostingUnsorted, |cols| {
+        // Find a term with at least two postings and swap the first
+        // pair; strictly-ascending lists become descending there.
+        let t = (0..cols.posting_starts.len() - 1)
+            .find(|&t| cols.posting_starts[t + 1] - cols.posting_starts[t] >= 2)
+            .expect("some term occurs in two objects");
+        let s = cols.posting_starts[t] as usize;
+        cols.postings.swap(s, s + 1);
+    });
+}
+
+#[test]
+fn dangling_tuple_span_is_span_out_of_bounds() {
+    expect_exactly(AuditKind::SpanOutOfBounds, |cols| {
+        let past_end = cols.arena.len() as u32;
+        cols.tuple_value[0] = Span::new(past_end, 4);
+    });
+}
+
+#[test]
+fn non_monotone_posting_csr_is_csr_not_monotone() {
+    expect_exactly(AuditKind::CsrNotMonotone, |cols| {
+        // Keep the shape (first = 0, last = data len) but break the
+        // interior ordering.
+        assert!(cols.posting_starts.len() >= 3, "need at least two terms");
+        cols.posting_starts[1] = cols.posting_starts[2] + 1;
+    });
+}
+
+#[test]
+fn duplicate_interned_term_is_duplicate_term() {
+    expect_exactly(AuditKind::DuplicateTerm, |cols| {
+        // Make term 1 a byte-for-byte twin of term 0 under the same
+        // type. char_len is copied too so only the interner-bucket
+        // invariant breaks, not the derived columns.
+        cols.term_norm[1] = cols.term_norm[0];
+        cols.term_type[1] = cols.term_type[0];
+        cols.term_char_len[1] = cols.term_char_len[0];
+    });
+}
+
+#[test]
+fn stale_object_id_in_postings_is_posting_out_of_range() {
+    expect_exactly(AuditKind::PostingOutOfRange, |cols| {
+        // An object index >= |Ω| — the signature of a posting that
+        // survived from a previous, larger candidate set.
+        cols.postings[0] = cols.object_count;
+    });
+}
+
+#[test]
+fn idf_disagreeing_with_postings_is_idf_mismatch() {
+    expect_exactly(AuditKind::IdfMismatch, |cols| {
+        cols.term_idf[0] += 0.5;
+    });
+}
+
+#[test]
+fn out_of_range_type_id_is_type_id_out_of_range() {
+    expect_exactly(AuditKind::TypeIdOutOfRange, |cols| {
+        cols.term_type[0] = cols.type_names.len() as u32;
+    });
+}
+
+#[test]
+fn group_member_outside_od_is_group_offsets_broken() {
+    expect_exactly(AuditKind::GroupOffsetsBroken, |cols| {
+        // A group member index far past any OD's tuple count.
+        cols.group_tuples[0] = 1_000_000;
+    });
+}
+
+#[test]
+fn unsorted_group_types_are_group_type_mismatch() {
+    expect_exactly(AuditKind::GroupTypeMismatch, |cols| {
+        // Swap the first OD's first two group types: both ids stay
+        // valid, but the strictly-ascending group order breaks.
+        let (g_lo, g_hi) = (
+            cols.od_group_starts[0] as usize,
+            cols.od_group_starts[1] as usize,
+        );
+        assert!(g_hi - g_lo >= 2, "OD 0 has at least two groups");
+        cols.group_types.swap(g_lo, g_lo + 1);
+    });
+}
+
+#[test]
+fn stale_char_len_is_char_len_mismatch() {
+    expect_exactly(AuditKind::CharLenMismatch, |cols| {
+        cols.term_char_len[0] += 1;
+    });
+}
+
+#[test]
+fn stale_type_stats_are_stats_mismatch() {
+    expect_exactly(AuditKind::StatsMismatch, |cols| {
+        cols.type_stats[0].terms += 1;
+    });
+}
+
+#[test]
+fn dropped_candidate_node_is_node_count_mismatch() {
+    expect_exactly(AuditKind::NodeCountMismatch, |cols| {
+        // Empty node lists are legal (snapshot loads), but a partial
+        // list can no longer be the candidate set that produced Ω.
+        cols.nodes.pop();
+    });
+}
+
+#[test]
+fn out_of_range_tuple_term_is_tuple_term_out_of_range() {
+    expect_exactly(AuditKind::TupleTermOutOfRange, |cols| {
+        cols.tuple_term[0] = cols.term_norm.len() as u32;
+    });
+}
+
+#[test]
+fn rewritten_posting_is_posting_mismatch() {
+    expect_exactly(AuditKind::PostingMismatch, |cols| {
+        // Replace one single-entry posting list's object with its
+        // predecessor: still sorted, still in range, same length (so
+        // stats and IDF agree) — but no longer the list the tuple
+        // columns imply.
+        let t = (0..cols.posting_starts.len() - 1)
+            .find(|&t| {
+                let s = cols.posting_starts[t] as usize;
+                let e = cols.posting_starts[t + 1] as usize;
+                e - s == 1 && cols.postings[s] > 0
+            })
+            .expect("some term occurs only in a later object");
+        let s = cols.posting_starts[t] as usize;
+        cols.postings[s] -= 1;
+    });
+}

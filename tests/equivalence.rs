@@ -262,3 +262,122 @@ fn snapshot_warm_start_equivalence_on_both_corpora() {
         let _ = std::fs::remove_file(&path);
     }
 }
+
+/// Stage registry: every public stage implementation must run through
+/// the pipeline in this file at least once — dxlint's stage-registered
+/// rule cross-checks each `impl <StageTrait> for <Type>` in the crates
+/// against the type names appearing here. Beyond mere construction,
+/// each stage is held to a semantic contract: `NoFilter` reproduces the
+/// exhaustive result, every blocking filter finds a subset of the
+/// exhaustive duplicates, and `DualThreshold`'s duplicates equal a
+/// plain `ThresholdClassifier` at the same upper threshold.
+#[test]
+fn every_public_stage_impl_is_exercised() {
+    use dogmatix_repro::core::baseline::{
+        DelphiMeasure, OverlapMeasure, TreeEditMeasure, UnweightedMeasure, VectorSpaceMeasure,
+    };
+    use dogmatix_repro::core::classify::{DualThreshold, ThresholdClassifier};
+    use dogmatix_repro::core::filter::{MinHashLshBlocking, NoFilter, QGramBlocking};
+    use dogmatix_repro::core::neighborhood::{SortedNeighborhoodFilter, TopKBlocking};
+    use dogmatix_repro::core::stage::{ManualSelection, SimilarityMeasure};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    let (doc, _) = dataset1_sized(13, 40);
+    let schema = setup::cd_schema();
+    let mapping = setup::cd_mapping();
+    let heuristic = table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1);
+    let base = || {
+        Dogmatix::builder()
+            .mapping(mapping.clone())
+            .heuristic(heuristic.clone())
+            .theta_tuple(setup::THETA_TUPLE)
+            .theta_cand(setup::THETA_CAND)
+    };
+    let pairs = |r: &DetectionResult| -> BTreeSet<(usize, usize)> {
+        r.duplicate_pairs.iter().map(|&(i, j, _)| (i, j)).collect()
+    };
+
+    let exhaustive = base()
+        .no_filter()
+        .build()
+        .run(&doc, &schema, setup::CD_TYPE)
+        .unwrap();
+    let truth = pairs(&exhaustive);
+    assert!(!truth.is_empty(), "the corpus contains duplicates");
+
+    // Comparison filters.
+    let no_filter = base()
+        .filter(NoFilter)
+        .build()
+        .run(&doc, &schema, setup::CD_TYPE)
+        .unwrap();
+    assert_eq!(exhaustive, no_filter, "NoFilter must equal no_filter()");
+    let blockers: [(&str, Dogmatix); 4] = [
+        (
+            "sorted-neighborhood",
+            base().filter(SortedNeighborhoodFilter::new(10)).build(),
+        ),
+        ("top-k", base().filter(TopKBlocking::new(8)).build()),
+        ("q-gram", base().filter(QGramBlocking::new(3, 0.2)).build()),
+        (
+            "minhash-lsh",
+            base().filter(MinHashLshBlocking::new(24, 2)).build(),
+        ),
+    ];
+    for (name, dx) in blockers {
+        let result = dx.run(&doc, &schema, setup::CD_TYPE).unwrap();
+        assert!(
+            pairs(&result).is_subset(&truth),
+            "{name} reported a pair the exhaustive run rejected"
+        );
+    }
+
+    // Baseline similarity measures (the paper's shoot-out competitors).
+    let measures: [(&str, Arc<dyn SimilarityMeasure>); 5] = [
+        ("overlap", Arc::new(OverlapMeasure)),
+        (
+            "unweighted",
+            Arc::new(UnweightedMeasure::new(setup::THETA_TUPLE)),
+        ),
+        ("delphi", Arc::new(DelphiMeasure::new(setup::THETA_TUPLE))),
+        ("vector-space", Arc::new(VectorSpaceMeasure)),
+        ("tree-edit", Arc::new(TreeEditMeasure)),
+    ];
+    for (name, measure) in measures {
+        let result = base()
+            .no_filter()
+            .measure_arc(measure)
+            .build()
+            .run(&doc, &schema, setup::CD_TYPE)
+            .unwrap();
+        assert!(result.stats.pairs_compared > 0, "{name} compared no pairs");
+    }
+
+    // Classifiers: DualThreshold's definite duplicates coincide with a
+    // plain threshold at theta_dup.
+    let dual = base()
+        .no_filter()
+        .classifier(DualThreshold::new(setup::THETA_CAND, 0.2).unwrap())
+        .build()
+        .run(&doc, &schema, setup::CD_TYPE)
+        .unwrap();
+    let plain = base()
+        .no_filter()
+        .classifier(ThresholdClassifier::new(setup::THETA_CAND))
+        .build()
+        .run(&doc, &schema, setup::CD_TYPE)
+        .unwrap();
+    assert_eq!(pairs(&dual), pairs(&plain));
+
+    // Manual description selection bypasses the heuristic algebra.
+    let manual = base()
+        .selector(ManualSelection::new().with(
+            dogmatix_repro::datagen::cd::CD_CANDIDATE_PATH,
+            ["/discs/disc/artist", "/discs/disc/tracks/title"],
+        ))
+        .build()
+        .run(&doc, &schema, setup::CD_TYPE)
+        .unwrap();
+    assert!(manual.stats.pairs_compared > 0);
+}
