@@ -35,6 +35,45 @@ echo "==> scaling bench sanity (sharded wall-clock must not exceed unsharded;"
 echo "    columnar comparison phase must not regress past the recorded baseline)"
 cargo bench -q -p dogmatix_bench --bench scaling >/dev/null
 
+echo "==> probe bench sanity (mixed probe+ingest load; p99 gated against the"
+echo "    recorded baseline, candidate sets must stay sublinear in |Omega|)"
+cargo bench -q -p dogmatix_bench --bench probe >/dev/null
+test -s BENCH_probe.json || { echo "BENCH_probe.json was not written"; exit 1; }
+
+echo "==> dogmatixd smoke (boot on an ephemeral port, probe + ingest, shutdown)"
+smoke_dir="$(mktemp -d)"
+printf '<moviedoc><movie><title>The Matrix</title><year>1999</year></movie>%s%s</moviedoc>' \
+    '<movie><title>The Matrrix</title><year>1999</year></movie>' \
+    '<movie><title>Signs</title><year>2002</year></movie>' > "$smoke_dir/movies.xml"
+printf 'MOVIE: $doc/moviedoc/movie\n' > "$smoke_dir/mapping.txt"
+./target/release/dogmatixd "$smoke_dir/movies.xml" "$smoke_dir/mapping.txt" MOVIE \
+    --addr 127.0.0.1:0 > "$smoke_dir/boot.log" &
+server_pid=$!
+for _ in $(seq 100); do
+    grep -q "listening on" "$smoke_dir/boot.log" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^dogmatixd listening on //p' "$smoke_dir/boot.log")"
+[ -n "$addr" ] || { echo "dogmatixd never reported its address"; kill "$server_pid"; exit 1; }
+exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+smoke_expect() { # <request> <expected-prefix>
+    printf '%s\n' "$1" >&3
+    IFS= read -r -t 30 reply <&3 || { echo "no response to: $1"; exit 1; }
+    case "$reply" in
+        "$2"*) echo "    --> $1  =>  $reply" ;;
+        *) echo "smoke failed: '$1' answered '$reply' (wanted '$2…')"; exit 1 ;;
+    esac
+}
+smoke_expect 'PROBE 5 <movie><title>The Matrix</title><year>1999</year></movie>' 'OK n='
+smoke_expect 'INGEST insert /moviedoc <movie><title>The Mutrix</title><year>1999</year></movie>' 'OK ingested seq=2'
+smoke_expect 'PROBE 5 <movie><title>The Matrix</title><year>1999</year></movie>' 'OK n='
+smoke_expect 'FROBNICATE' 'ERR protocol:'
+smoke_expect 'STATS' 'OK seq=2'
+smoke_expect 'SHUTDOWN' 'OK bye'
+exec 3<&- 3>&-
+wait "$server_pid"
+rm -rf "$smoke_dir"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -52,6 +91,6 @@ done
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
     -p dogmatix-repro -p dogmatix_core -p dogmatix_xml -p dogmatix_textsim \
-    -p dogmatix_datagen -p dogmatix_eval -p dogmatix_bench
+    -p dogmatix_datagen -p dogmatix_eval -p dogmatix_bench -p dogmatix_server
 
 echo "CI green."

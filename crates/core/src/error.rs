@@ -35,6 +35,39 @@ pub enum DogmatixError {
         /// What is wrong.
         message: String,
     },
+    /// A serving-protocol request could not be parsed or executed
+    /// (unknown command, malformed arguments, oversized line). The
+    /// server answers these as structured `ERR` responses — a bad
+    /// request never drops the connection.
+    Protocol {
+        /// What is wrong.
+        message: String,
+    },
+    /// The server is saturated (ingest queue or worker pool full) and
+    /// sheds this request instead of queueing unboundedly. Clients
+    /// should back off and retry.
+    Overloaded {
+        /// Which resource is saturated.
+        message: String,
+    },
+}
+
+impl DogmatixError {
+    /// A short, stable, lowercase kind tag (`protocol`, `overloaded`,
+    /// `delta`, …) used by the wire protocol's `ERR <kind>: <message>`
+    /// responses so clients can dispatch without parsing prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DogmatixError::Xml(_) => "xml",
+            DogmatixError::UnknownType { .. } => "unknown-type",
+            DogmatixError::PathNotInSchema { .. } => "path-not-in-schema",
+            DogmatixError::Config { .. } => "config",
+            DogmatixError::Delta { .. } => "delta",
+            DogmatixError::Snapshot { .. } => "snapshot",
+            DogmatixError::Protocol { .. } => "protocol",
+            DogmatixError::Overloaded { .. } => "overloaded",
+        }
+    }
 }
 
 impl fmt::Display for DogmatixError {
@@ -53,6 +86,12 @@ impl fmt::Display for DogmatixError {
             }
             DogmatixError::Snapshot { message } => {
                 write!(f, "term-index snapshot error: {message}")
+            }
+            DogmatixError::Protocol { message } => {
+                write!(f, "protocol error: {message}")
+            }
+            DogmatixError::Overloaded { message } => {
+                write!(f, "server overloaded: {message}")
             }
         }
     }
@@ -87,6 +126,20 @@ mod tests {
             message: "theta out of range".into(),
         };
         assert!(e.to_string().contains("theta"));
+    }
+
+    #[test]
+    fn serving_errors_have_stable_kinds_and_messages() {
+        let e = DogmatixError::Protocol {
+            message: "unknown command 'FROBNICATE'".into(),
+        };
+        assert_eq!(e.kind(), "protocol");
+        assert!(e.to_string().contains("FROBNICATE"));
+        let e = DogmatixError::Overloaded {
+            message: "ingest queue full".into(),
+        };
+        assert_eq!(e.kind(), "overloaded");
+        assert!(e.to_string().contains("queue"));
     }
 
     #[test]

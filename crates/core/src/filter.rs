@@ -37,10 +37,11 @@ use crate::neighborhood::ComparisonPlan;
 use crate::od::OdSet;
 use crate::stage::{ComparisonFilter, FilterDecision};
 use dogmatix_textsim::{
-    band_keys, idf, minhash_signature, mix64, ned_within, positional_qgram_hashes_into,
-    word_token_hashes_into,
+    band_keys, band_keys_into, idf, minhash_signature, minhash_signature_into, mix64, ned_within,
+    positional_qgram_hashes_into, word_token_hashes_into,
 };
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Result of the filter pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -277,45 +278,12 @@ impl QGramBlocking {
         max_len as i64 - self.q as i64 + 1 - (k * self.q) as i64
     }
 
-    /// The comparison plan for an OD set (exposed for diagnostics, the
-    /// eval table, and the property suite).
-    pub fn plan(&self, ods: &OdSet) -> ComparisonPlan {
-        let n = ods.len();
+    /// The per-store q-gram columns the plan *and* the one-sided probe
+    /// lookup share — one construction path, so probe candidate
+    /// generation cannot drift from the batch plan's.
+    fn columns(&self, ods: &OdSet) -> QGramColumns {
         let store = ods.store();
         let terms = store.term_count();
-        let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
-
-        if self.theta > 0.0 {
-            // Identical terms are always similar (odtDist = 0): every
-            // pair of objects sharing a term survives.
-            for t in 0..terms {
-                cross_postings(store.postings(t), store.postings(t), &mut pairs);
-            }
-        }
-
-        // Candidate *term* pairs that could still be within the
-        // threshold: (a) pairs the count bound cannot prune, found by a
-        // length-sorted scan per type; (b) pairs sharing at least one
-        // q-gram, found through the inverted index.
-        let mut term_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
-
-        let mut by_type: HashMap<u32, Vec<usize>> = HashMap::new();
-        for idx in 0..terms {
-            by_type.entry(store.type_id(idx)).or_default().push(idx);
-        }
-        for group in by_type.values_mut() {
-            group.sort_by_key(|&i| (store.char_len(i), i));
-            for (pos, &b) in group.iter().enumerate() {
-                // `b` is the longer side of every pair with an earlier
-                // term, so the pair's count bound depends only on `b`.
-                if self.theta > 0.0 && self.count_bound(store.char_len(b)) <= 0 {
-                    for &a in &group[..pos] {
-                        term_pairs.insert((a.min(b), a.max(b)));
-                    }
-                }
-            }
-        }
-
         // Positional q-gram inverted index: (type, gram hash) → terms.
         // Gram hashes are emitted straight off the arena into a reused
         // buffer (`positional_qgram_hashes_into` — no per-gram `String`),
@@ -338,7 +306,56 @@ impl QGramBlocking {
                 }
             }
         }
-        for bucket in index.values() {
+        let mut by_type: HashMap<u32, Vec<usize>> = HashMap::new();
+        for idx in 0..terms {
+            by_type.entry(store.type_id(idx)).or_default().push(idx);
+        }
+        for group in by_type.values_mut() {
+            group.sort_by_key(|&i| (store.char_len(i), i));
+        }
+        QGramColumns {
+            grams,
+            index,
+            by_type,
+        }
+    }
+
+    /// The comparison plan for an OD set (exposed for diagnostics, the
+    /// eval table, and the property suite).
+    pub fn plan(&self, ods: &OdSet) -> ComparisonPlan {
+        let n = ods.len();
+        let store = ods.store();
+        let terms = store.term_count();
+        let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+        if self.theta > 0.0 {
+            // Identical terms are always similar (odtDist = 0): every
+            // pair of objects sharing a term survives.
+            for t in 0..terms {
+                cross_postings(store.postings(t), store.postings(t), &mut pairs);
+            }
+        }
+
+        // Candidate *term* pairs that could still be within the
+        // threshold: (a) pairs the count bound cannot prune, found by a
+        // length-sorted scan per type; (b) pairs sharing at least one
+        // q-gram, found through the inverted index.
+        let cols = self.columns(ods);
+        let mut term_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+        for group in cols.by_type.values() {
+            for (pos, &b) in group.iter().enumerate() {
+                // `b` is the longer side of every pair with an earlier
+                // term, so the pair's count bound depends only on `b`.
+                if self.theta > 0.0 && self.count_bound(store.char_len(b)) <= 0 {
+                    for &a in &group[..pos] {
+                        term_pairs.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+
+        for bucket in cols.index.values() {
             for (pos, &a) in bucket.iter().enumerate() {
                 for &b in &bucket[pos + 1..] {
                     term_pairs.insert((a.min(b), a.max(b)));
@@ -355,7 +372,7 @@ impl QGramBlocking {
                 continue; // length bound: distance ≥ |la − lb| > k
             }
             let bound = self.count_bound(max_len);
-            if bound > 0 && positional_matches(&grams[a], &grams[b], k) < bound {
+            if bound > 0 && positional_matches(&cols.grams[a], &cols.grams[b], k) < bound {
                 continue; // count filter: provably above the threshold
             }
             cross_postings(store.postings(a), store.postings(b), &mut pairs);
@@ -366,6 +383,17 @@ impl QGramBlocking {
             total_pairs: n * n.saturating_sub(1) / 2,
         }
     }
+}
+
+/// The shared q-gram lookup columns (see [`QGramBlocking::columns`]).
+#[derive(Debug)]
+struct QGramColumns {
+    /// Per-term (gram hash, position) pairs, sorted.
+    grams: Vec<Vec<(u64, u32)>>,
+    /// (type id, gram hash) → term indices holding the gram.
+    index: HashMap<(u32, u64), Vec<usize>>,
+    /// Term indices per type id, sorted by (char length, index).
+    by_type: HashMap<u32, Vec<usize>>,
 }
 
 impl ComparisonFilter for QGramBlocking {
@@ -481,36 +509,14 @@ impl MinHashLshBlocking {
     }
 
     /// The comparison plan for an OD set (exposed for diagnostics and
-    /// the eval table).
+    /// the eval table). The band buckets are built by
+    /// [`LshBucketIndex::new`] — the same structure the probe lookup
+    /// queries, so the two paths cannot drift.
     pub fn plan(&self, ods: &OdSet) -> ComparisonPlan {
         let n = ods.len();
-        let store = ods.store();
-        let hashes = self.bands * self.rows;
-        let mut buckets: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
-        let mut scratch: Vec<u64> = Vec::new();
-        for i in 0..n {
-            let mut tokens: BTreeSet<u64> = BTreeSet::new();
-            for &term in ods.tuple_terms(i) {
-                let salt = mix64(u64::from(store.type_id(term.index())) ^ self.seed);
-                word_token_hashes_into(store.norm(term.index()), &mut scratch);
-                for &h in &scratch {
-                    tokens.insert(h ^ salt);
-                }
-            }
-            if tokens.is_empty() {
-                continue; // empty descriptions block with nothing
-            }
-            let token_hashes: Vec<u64> = tokens.into_iter().collect();
-            let sig = minhash_signature(&token_hashes, hashes, self.seed);
-            for (band, key) in band_keys(&sig, self.bands, self.rows)
-                .into_iter()
-                .enumerate()
-            {
-                buckets.entry((band, key)).or_default().push(i);
-            }
-        }
+        let index = LshBucketIndex::new(*self, ods);
         let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
-        for bucket in buckets.values() {
+        for bucket in index.buckets.values() {
             for (pos, &i) in bucket.iter().enumerate() {
                 for &j in &bucket[pos + 1..] {
                     pairs.insert((i.min(j), i.max(j)));
@@ -529,6 +535,249 @@ impl ComparisonFilter for MinHashLshBlocking {
         FilterDecision {
             pairs: Some(self.plan(ods).pairs),
             ..FilterDecision::keep_all(ods.len())
+        }
+    }
+}
+
+/// Reusable scratch buffers for the one-sided probe lookups
+/// ([`QGramTermIndex::lookup_into`], [`LshBucketIndex::lookup_into`]).
+/// A server connection holds one of these across requests so
+/// steady-state probe serving performs no per-request `String` (or,
+/// after warm-up, buffer) allocation.
+#[derive(Debug, Default)]
+pub struct LookupScratch {
+    /// Probe-term (gram hash, position) pairs, sorted.
+    grams: Vec<(u64, u32)>,
+    /// Candidate term indices awaiting bound verification.
+    term_hits: BTreeSet<usize>,
+    /// MinHash signature slots.
+    signature: Vec<u64>,
+    /// LSH band bucket keys.
+    keys: Vec<u64>,
+}
+
+impl LookupScratch {
+    /// Fresh scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        LookupScratch::default()
+    }
+}
+
+/// One-sided q-gram candidate lookup for single-record probes
+/// ([`crate::probe`]): the same inverted index and provable bounds as
+/// [`QGramBlocking::plan`], queried with an un-interned probe term
+/// instead of a second stored term.
+///
+/// [`lookup_into`](QGramTermIndex::lookup_into) returns the postings of
+/// every stored term that survives the identical length/count-filter
+/// verification the batch plan applies, so for a probe record appended
+/// to the store the candidate set equals exactly the batch plan's pairs
+/// involving that record — the guarantee `tests/server.rs` pins
+/// differentially. Construction shares `QGramBlocking::columns` with
+/// the batch plan, so the two paths cannot drift.
+#[derive(Debug)]
+pub struct QGramTermIndex {
+    blocking: QGramBlocking,
+    ods: Arc<OdSet>,
+    cols: QGramColumns,
+    /// Per type: terms whose own count bound is vacuous
+    /// (`count_bound(len) ≤ 0`), i.e. the length-sorted-scan clause of
+    /// the batch plan. Empty when `theta == 0` (clause is gated).
+    vacuous: HashMap<u32, Vec<usize>>,
+}
+
+impl QGramTermIndex {
+    /// Builds the probe index over a pinned snapshot store.
+    pub fn new(blocking: QGramBlocking, ods: &Arc<OdSet>) -> Self {
+        let cols = blocking.columns(ods);
+        let mut vacuous: HashMap<u32, Vec<usize>> = HashMap::new();
+        if blocking.theta > 0.0 {
+            let store = ods.store();
+            for (ty, group) in &cols.by_type {
+                let shorts: Vec<usize> = group
+                    .iter()
+                    .copied()
+                    .filter(|&t| blocking.count_bound(store.char_len(t)) <= 0)
+                    .collect();
+                if !shorts.is_empty() {
+                    vacuous.insert(*ty, shorts);
+                }
+            }
+        }
+        QGramTermIndex {
+            blocking,
+            ods: Arc::clone(ods),
+            cols,
+            vacuous,
+        }
+    }
+
+    /// The snapshot store this index was built over.
+    pub fn ods(&self) -> &Arc<OdSet> {
+        &self.ods
+    }
+
+    /// Candidate objects for one probe tuple, accumulated into `out`:
+    /// the postings of every stored term of `type_id` that survives the
+    /// batch plan's bounds against the probe term `norm`.
+    ///
+    /// `type_id` must be resolved against the snapshot store; types the
+    /// store has never seen can share no term and contribute no
+    /// candidates (callers skip them). With `theta == 0` the lookup
+    /// returns nothing — mirroring the provably empty batch plan.
+    pub fn lookup_into(
+        &self,
+        type_id: u32,
+        norm: &str,
+        scratch: &mut LookupScratch,
+        out: &mut BTreeSet<usize>,
+    ) {
+        if self.blocking.theta <= 0.0 {
+            return;
+        }
+        let store = self.ods.store();
+        let Some(group) = self.cols.by_type.get(&type_id) else {
+            return;
+        };
+        let len = norm.chars().count();
+        positional_qgram_hashes_into(norm, self.blocking.q, &mut scratch.grams);
+        scratch.grams.sort_unstable();
+        scratch.term_hits.clear();
+
+        // Clause (a): pairs the count bound cannot prune. Interned
+        // last, the probe term sorts after every stored term of equal
+        // length, so it is the longer side of each pair with a term of
+        // length ≤ `len` (admitted when its own bound is vacuous) and
+        // the shorter side of pairs with the stored vacuous-bound terms
+        // of length ≥ `len`.
+        if self.blocking.count_bound(len) <= 0 {
+            let end = group.partition_point(|&t| store.char_len(t) <= len);
+            scratch.term_hits.extend(group[..end].iter().copied());
+        }
+        if let Some(vacuous) = self.vacuous.get(&type_id) {
+            scratch.term_hits.extend(
+                vacuous
+                    .iter()
+                    .copied()
+                    .filter(|&t| store.char_len(t) >= len),
+            );
+        }
+
+        // Clause (b): terms sharing at least one q-gram. The grams are
+        // sorted, so consecutive-duplicate skipping dedups bucket hits.
+        let mut last = None;
+        for &(g, _) in scratch.grams.iter() {
+            if last == Some(g) {
+                continue;
+            }
+            last = Some(g);
+            if let Some(bucket) = self.cols.index.get(&(type_id, g)) {
+                scratch.term_hits.extend(bucket.iter().copied());
+            }
+        }
+
+        // Verification: bit-identical bounds to the batch plan. A
+        // stored term equal to the probe term shares all grams (or a
+        // vacuous bound) and always survives — covering the plan's
+        // identical-term clause, where the appended record would join
+        // that term's postings.
+        for &t in &scratch.term_hits {
+            let lt = store.char_len(t);
+            let max_len = len.max(lt);
+            let k = self.blocking.max_edits(max_len);
+            if len.abs_diff(lt) > k {
+                continue;
+            }
+            let bound = self.blocking.count_bound(max_len);
+            if bound > 0 && positional_matches(&scratch.grams, &self.cols.grams[t], k) < bound {
+                continue;
+            }
+            out.extend(store.postings(t).iter().map(|&o| o as usize));
+        }
+    }
+}
+
+/// One-sided MinHash-LSH candidate lookup for single-record probes: the
+/// band buckets behind [`MinHashLshBlocking::plan`], queryable with a
+/// probe token set.
+///
+/// Signatures are per-object and stored type/term ids are stable under
+/// append-last interning, so the objects colliding with the probe's
+/// band keys are exactly the plan's pairs involving the appended record.
+#[derive(Debug)]
+pub struct LshBucketIndex {
+    blocking: MinHashLshBlocking,
+    buckets: HashMap<(usize, u64), Vec<usize>>,
+}
+
+impl LshBucketIndex {
+    /// Builds the band buckets over a snapshot store — the identical
+    /// per-object signature loop the batch plan runs.
+    pub fn new(blocking: MinHashLshBlocking, ods: &OdSet) -> Self {
+        let store = ods.store();
+        let hashes = blocking.bands * blocking.rows;
+        let mut buckets: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+        let mut scratch: Vec<u64> = Vec::new();
+        for i in 0..ods.len() {
+            let mut tokens: BTreeSet<u64> = BTreeSet::new();
+            for &term in ods.tuple_terms(i) {
+                let salt = mix64(u64::from(store.type_id(term.index())) ^ blocking.seed);
+                word_token_hashes_into(store.norm(term.index()), &mut scratch);
+                for &h in &scratch {
+                    tokens.insert(h ^ salt);
+                }
+            }
+            if tokens.is_empty() {
+                continue; // empty descriptions block with nothing
+            }
+            let token_hashes: Vec<u64> = tokens.into_iter().collect();
+            let sig = minhash_signature(&token_hashes, hashes, blocking.seed);
+            for (band, key) in band_keys(&sig, blocking.bands, blocking.rows)
+                .into_iter()
+                .enumerate()
+            {
+                buckets.entry((band, key)).or_default().push(i);
+            }
+        }
+        LshBucketIndex { blocking, buckets }
+    }
+
+    /// The blocking parameters the buckets were built under.
+    pub fn blocking(&self) -> MinHashLshBlocking {
+        self.blocking
+    }
+
+    /// Objects colliding with the probe's token set in at least one
+    /// band, accumulated into `out`. `token_hashes` must already carry
+    /// the per-type salts (`mix64(type_id ^ seed)` XORed in — see
+    /// [`crate::probe`], which resolves type ids the way append-last
+    /// interning would). An empty token set blocks with nothing.
+    pub fn lookup_into(
+        &self,
+        token_hashes: &[u64],
+        scratch: &mut LookupScratch,
+        out: &mut BTreeSet<usize>,
+    ) {
+        if token_hashes.is_empty() {
+            return;
+        }
+        let hashes = self.blocking.bands * self.blocking.rows;
+        minhash_signature_into(
+            token_hashes,
+            hashes,
+            self.blocking.seed,
+            &mut scratch.signature,
+        );
+        band_keys_into(
+            &scratch.signature,
+            self.blocking.bands,
+            self.blocking.rows,
+            &mut scratch.keys,
+        );
+        for (band, &key) in scratch.keys.iter().enumerate() {
+            if let Some(bucket) = self.buckets.get(&(band, key)) {
+                out.extend(bucket.iter().copied());
+            }
         }
     }
 }
@@ -823,6 +1072,119 @@ mod tests {
         let ods = build("<r><m><t>A</t></m><m><t>B</t></m></r>", "/r/m", &[]);
         let plan = MinHashLshBlocking::new(4, 2).plan(&ods);
         assert!(plan.pairs.is_empty());
+    }
+
+    /// Resolves a type name against a (snapshot) store, as append-last
+    /// interning would for types the store has already seen.
+    fn resolve_type(store: &crate::store::TermStore, name: &str) -> Option<u32> {
+        (0..store.type_count() as u32).find(|&t| store.type_name(t) == name)
+    }
+
+    const LOOKUP_BASE: &str = "<r>\
+           <m><t>Midnight Journey</t><a>Alice</a></m>\
+           <m><t>Something Else</t><a>Bob</a></m>\
+           <m><t>Fourth Record</t><a>Al</a></m>\
+           <m><t>Zz</t><a>X</a></m>\
+         </r>";
+    // The same corpus with the probe record appended *last*, so ids of
+    // the base terms/types are unchanged (first-occurrence interning).
+    const LOOKUP_EXT: &str = "<r>\
+           <m><t>Midnight Journey</t><a>Alice</a></m>\
+           <m><t>Something Else</t><a>Bob</a></m>\
+           <m><t>Fourth Record</t><a>Al</a></m>\
+           <m><t>Zz</t><a>X</a></m>\
+           <m><t>Midnigth Journey</t><a>Zz</a></m>\
+         </r>";
+
+    #[test]
+    fn one_sided_qgram_lookup_matches_extended_plan() {
+        let sel = &["/r/m/t", "/r/m/a"];
+        let base = std::sync::Arc::new(build(LOOKUP_BASE, "/r/m", sel));
+        let ext = build(LOOKUP_EXT, "/r/m", sel);
+        let n = base.len();
+        for theta in [0.0, 0.05, 0.15, 0.3, 0.6] {
+            for q in [2usize, 3] {
+                let blocking = QGramBlocking::new(q, theta);
+                let expected: BTreeSet<usize> = blocking
+                    .plan(&ext)
+                    .pairs
+                    .iter()
+                    .filter(|&&(_, j)| j == n)
+                    .map(|&(i, _)| i)
+                    .collect();
+                let index = QGramTermIndex::new(blocking, &base);
+                let mut scratch = LookupScratch::new();
+                let mut got: BTreeSet<usize> = BTreeSet::new();
+                let ext_store = ext.store();
+                for tuple in ext.od(n).tuples() {
+                    let name = ext_store.type_name(tuple.type_id());
+                    let norm = ext.term(tuple.term()).norm();
+                    if let Some(ty) = resolve_type(base.store(), name) {
+                        index.lookup_into(ty, norm, &mut scratch, &mut got);
+                    }
+                }
+                assert_eq!(
+                    got, expected,
+                    "q={q} theta={theta}: one-sided lookup diverged from the extended plan"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_sided_lsh_lookup_matches_extended_plan() {
+        let sel = &["/r/m/t", "/r/m/a"];
+        let base = std::sync::Arc::new(build(LOOKUP_BASE, "/r/m", sel));
+        let ext = build(LOOKUP_EXT, "/r/m", sel);
+        let n = base.len();
+        for (bands, rows) in [(16usize, 2usize), (4, 4), (48, 2)] {
+            let blocking = MinHashLshBlocking::new(bands, rows);
+            let expected: BTreeSet<usize> = blocking
+                .plan(&ext)
+                .pairs
+                .iter()
+                .filter(|&&(_, j)| j == n)
+                .map(|&(i, _)| i)
+                .collect();
+            let index = LshBucketIndex::new(blocking, &base);
+            // Probe tokens: the extended set's own salted token set for
+            // record n (every type already exists in the base store, so
+            // resolved ids equal extended ids).
+            let ext_store = ext.store();
+            let mut tokens: BTreeSet<u64> = BTreeSet::new();
+            let mut word_scratch: Vec<u64> = Vec::new();
+            for &term in ext.tuple_terms(n) {
+                let salt = mix64(u64::from(ext_store.type_id(term.index())) ^ blocking.seed);
+                word_token_hashes_into(ext_store.norm(term.index()), &mut word_scratch);
+                for &h in &word_scratch {
+                    tokens.insert(h ^ salt);
+                }
+            }
+            let token_list: Vec<u64> = tokens.into_iter().collect();
+            let mut scratch = LookupScratch::new();
+            let mut got: BTreeSet<usize> = BTreeSet::new();
+            index.lookup_into(&token_list, &mut scratch, &mut got);
+            assert_eq!(
+                got, expected,
+                "bands={bands} rows={rows}: one-sided LSH lookup diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn qgram_lookup_is_empty_at_zero_theta_and_for_unseen_types() {
+        let base = std::sync::Arc::new(build(LOOKUP_BASE, "/r/m", &["/r/m/t"]));
+        let mut scratch = LookupScratch::new();
+        let mut out = BTreeSet::new();
+        let zero = QGramTermIndex::new(QGramBlocking::new(2, 0.0), &base);
+        zero.lookup_into(0, "midnight journey", &mut scratch, &mut out);
+        assert!(out.is_empty(), "θ=0 must mirror the empty batch plan");
+        let index = QGramTermIndex::new(QGramBlocking::new(2, 0.15), &base);
+        let fresh_type = base.store().type_count() as u32;
+        index.lookup_into(fresh_type, "midnight journey", &mut scratch, &mut out);
+        assert!(out.is_empty(), "unseen types share no stored term");
+        index.lookup_into(0, "midnight journey", &mut scratch, &mut out);
+        assert!(out.contains(&0), "the near-identical record must hit");
     }
 
     #[test]

@@ -164,6 +164,104 @@ fn delta_err(message: String) -> DogmatixError {
     DogmatixError::Delta { message }
 }
 
+impl DocumentDelta {
+    /// Parses the one-line delta grammar shared by the CLI `--deltas`
+    /// scripts and the `dogmatixd` `INGEST` command:
+    ///
+    /// ```text
+    /// insert <parent_path> <xml>
+    /// remove <index>
+    /// update <index> <rel_path> <occurrence> [<value>]
+    /// insert-under <index> <rel_path> <occurrence> <xml>
+    /// remove-element <index> <rel_path> <occurrence>
+    /// ```
+    ///
+    /// Unparseable lines are a [`DogmatixError::Protocol`] — the server
+    /// answers them as structured `ERR` responses.
+    ///
+    /// ```
+    /// use dogmatix_core::incremental::DocumentDelta;
+    /// let d = DocumentDelta::parse("insert /db <m><t>X</t></m>")?;
+    /// assert!(matches!(d, DocumentDelta::InsertXml { .. }));
+    /// assert!(DocumentDelta::parse("frobnicate 3").is_err());
+    /// # Ok::<(), dogmatix_core::DogmatixError>(())
+    /// ```
+    pub fn parse(line: &str) -> Result<DocumentDelta, DogmatixError> {
+        let proto = |message: String| DogmatixError::Protocol { message };
+        let mut words = line.splitn(2, char::is_whitespace);
+        let cmd = words.next().unwrap_or_default();
+        let rest = words.next().unwrap_or("").trim();
+        let index = |s: &str| -> Result<usize, DogmatixError> {
+            s.parse()
+                .map_err(|_| proto(format!("'{s}' is not a candidate index in '{line}'")))
+        };
+        let occurrence = index;
+        match cmd {
+            "insert" => {
+                let (parent, xml) = rest.split_once(char::is_whitespace).ok_or_else(|| {
+                    proto(format!("insert needs '<parent_path> <xml>' in '{line}'"))
+                })?;
+                Ok(DocumentDelta::InsertXml {
+                    parent_path: parent.to_string(),
+                    xml: xml.trim().to_string(),
+                })
+            }
+            "remove" => Ok(DocumentDelta::RemoveObject {
+                index: index(rest)?,
+            }),
+            "update" => {
+                let parts: Vec<&str> = rest.splitn(3, char::is_whitespace).collect();
+                let [idx, path, tail] = parts[..] else {
+                    return Err(proto(format!(
+                        "update needs '<index> <rel_path> <occurrence> <value>' in '{line}'"
+                    )));
+                };
+                let (occ, value) = tail
+                    .trim()
+                    .split_once(char::is_whitespace)
+                    .map(|(o, v)| (o, v.trim()))
+                    .unwrap_or((tail.trim(), ""));
+                Ok(DocumentDelta::UpdateText {
+                    index: index(idx)?,
+                    path: path.to_string(),
+                    occurrence: occurrence(occ)?,
+                    value: value.to_string(),
+                })
+            }
+            "insert-under" => {
+                let parts: Vec<&str> = rest.splitn(4, char::is_whitespace).collect();
+                let [idx, path, occ, xml] = parts[..] else {
+                    return Err(proto(format!(
+                        "insert-under needs '<index> <rel_path> <occurrence> <xml>' in '{line}'"
+                    )));
+                };
+                Ok(DocumentDelta::InsertUnder {
+                    index: index(idx)?,
+                    path: path.to_string(),
+                    occurrence: occurrence(occ)?,
+                    xml: xml.trim().to_string(),
+                })
+            }
+            "remove-element" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                let [idx, path, occ] = parts[..] else {
+                    return Err(proto(format!(
+                        "remove-element needs '<index> <rel_path> <occurrence>' in '{line}'"
+                    )));
+                };
+                Ok(DocumentDelta::RemoveElement {
+                    index: index(idx)?,
+                    path: path.to_string(),
+                    occurrence: occurrence(occ)?,
+                })
+            }
+            other => Err(proto(format!(
+                "unknown delta command '{other}' in '{line}'"
+            ))),
+        }
+    }
+}
+
 /// Cumulative counters over the lifetime of an [`IncrementalSession`] —
 /// the evidence that delta replay does less work than re-detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -326,6 +424,79 @@ impl IncrementalSession {
     /// Number of candidates marked dirty since the last detection run.
     pub fn pending_dirty(&self) -> usize {
         self.dirty.len()
+    }
+
+    /// Publishes an immutable [`ProbeSnapshot`](crate::probe::ProbeSnapshot)
+    /// of the session's current detection state — the consistency unit
+    /// `dogmatixd` swaps at delta-batch boundaries. Requires a clean
+    /// session: a detection run must have happened ([`Dogmatix::detect_delta`])
+    /// with the same stages and no deltas applied since, so the cached
+    /// extractions, the interned store, and the candidate set all agree.
+    pub fn publish_snapshot(
+        &self,
+        dx: &Dogmatix,
+        blocking: crate::probe::ProbeBlocking,
+    ) -> Result<crate::probe::ProbeSnapshot, DogmatixError> {
+        dx.validate()?;
+        if !dx.measure_stage().store_based() {
+            return Err(DogmatixError::Config {
+                message: format!(
+                    "measure {:?} walks the document and cannot score probe records; \
+                     use a store-based measure",
+                    dx.measure_stage()
+                ),
+            });
+        }
+        let prev = self.prev.as_ref().ok_or_else(|| DogmatixError::Snapshot {
+            message: "no detection state to publish — run detect_delta first".into(),
+        })?;
+        if !self.dirty.is_empty() || self.structure_changed || self.schema_stale {
+            return Err(DogmatixError::Snapshot {
+                message: "pending deltas not yet detected — run detect_delta before publishing"
+                    .into(),
+            });
+        }
+        if !prev.same_stages(dx) {
+            return Err(DogmatixError::Snapshot {
+                message: "detector stages changed since the last run — re-run detect_delta".into(),
+            });
+        }
+        let selections = selections_for_paths(
+            &self.schema,
+            &self.candidates.schema_paths,
+            dx.selector_stage().as_ref(),
+        )?;
+        let mut selection_key: SelectionKey = selections
+            .iter()
+            .map(|(path, sel)| (path.clone(), sel.iter().cloned().collect()))
+            .collect();
+        selection_key.sort();
+        if selection_key != prev.selection_key {
+            return Err(DogmatixError::Snapshot {
+                message: "description selection changed since the last run — re-run detect_delta"
+                    .into(),
+            });
+        }
+        let mut parts: Vec<Arc<Vec<RawTuple>>> = Vec::with_capacity(self.candidates.len());
+        for &node in &self.candidates.nodes {
+            parts.push(Arc::clone(self.extraction.get(&node).ok_or_else(|| {
+                DogmatixError::Snapshot {
+                    message: format!("extraction cache misses candidate node {node}"),
+                }
+            })?));
+        }
+        Ok(crate::probe::ProbeSnapshot::from_parts(
+            Arc::new(self.doc.clone()),
+            self.candidates.nodes.clone(),
+            self.candidates.schema_paths.clone(),
+            selections,
+            self.mapping.clone(),
+            parts,
+            Arc::clone(&prev.ods),
+            Arc::clone(&prev.measure),
+            Arc::clone(&prev.classifier),
+            blocking,
+        ))
     }
 
     /// Applies one delta to the document and to the maintained candidate
@@ -1112,5 +1283,120 @@ mod tests {
             .od(1)
             .tuples()
             .all(|t| t.path() != "/moviedoc/movie/year"));
+    }
+
+    #[test]
+    fn delta_lines_parse_and_reject() {
+        assert!(matches!(
+            DocumentDelta::parse("insert /moviedoc <movie><title>X</title></movie>").unwrap(),
+            DocumentDelta::InsertXml { .. }
+        ));
+        assert_eq!(
+            DocumentDelta::parse("remove 2").unwrap(),
+            DocumentDelta::RemoveObject { index: 2 }
+        );
+        assert!(matches!(
+            DocumentDelta::parse("update 1 title 0 The Matrix").unwrap(),
+            DocumentDelta::UpdateText { index: 1, .. }
+        ));
+        assert!(matches!(
+            DocumentDelta::parse("insert-under 0 . 0 <tag>x</tag>").unwrap(),
+            DocumentDelta::InsertUnder { .. }
+        ));
+        assert!(matches!(
+            DocumentDelta::parse("remove-element 0 actor 1").unwrap(),
+            DocumentDelta::RemoveElement { occurrence: 1, .. }
+        ));
+        for bad in ["frobnicate 3", "remove x", "update 1 title", "insert solo"] {
+            let err = DocumentDelta::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, DogmatixError::Protocol { .. }),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn published_snapshot_probes_match_batch_over_live_state() {
+        use crate::probe::{ProbeBlocking, ProbeScratch};
+
+        let dx = movie_detector();
+        let doc = Document::parse(movie_xml()).unwrap();
+        let mut s = dx.incremental_session_inferred(doc, "MOVIE").unwrap();
+        dx.detect_delta(&mut s, &[]).unwrap();
+
+        // Ingest a new movie, detect, publish, probe for its typo twin.
+        dx.detect_delta(
+            &mut s,
+            &[DocumentDelta::parse(
+                "insert /moviedoc <movie><title>Signs</title><year>2002</year>\
+                 <actor><name>Mel Gibson</name><role>Graham Hess</role></actor></movie>",
+            )
+            .unwrap()],
+        )
+        .unwrap();
+        let snapshot = s.publish_snapshot(&dx, ProbeBlocking::default()).unwrap();
+        assert_eq!(snapshot.len(), 5);
+
+        let probe_xml = "<movie><title>Signs</title><year>2002</year>\
+                         <actor><name>Mel Gibson</name><role>Graham Hess</role></actor></movie>";
+        let record = snapshot.record_from_xml(probe_xml).unwrap();
+        let mut scratch = ProbeScratch::new();
+        let answer = snapshot.probe(&record, 10, &mut scratch).unwrap();
+
+        // Ground truth: batch over the live doc + the probe record.
+        let mut ext = s.doc().clone();
+        let root = ext.root_element().unwrap();
+        ext.append_xml(root, probe_xml).unwrap();
+        let schema = Schema::infer(&ext).unwrap();
+        let batch = dx.run(&ext, &schema, "MOVIE").unwrap();
+        let n = 5usize;
+        let mut want: Vec<(usize, f64)> = batch
+            .duplicate_pairs
+            .iter()
+            .filter(|&&(_, j, _)| j == n)
+            .map(|&(i, _, sim)| (i, sim))
+            .collect();
+        want.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let got: Vec<(usize, f64)> = answer.matches.iter().map(|m| (m.index, m.sim)).collect();
+        assert_eq!(got, want);
+        assert!(
+            got.iter().any(|&(i, _)| i == 2 || i == 4),
+            "the Signs twins"
+        );
+    }
+
+    #[test]
+    fn publishing_requires_a_clean_detected_session() {
+        use crate::probe::ProbeBlocking;
+
+        let dx = movie_detector();
+        let doc = Document::parse(movie_xml()).unwrap();
+        let mut s = dx.incremental_session_inferred(doc, "MOVIE").unwrap();
+        // No run yet.
+        let err = s
+            .publish_snapshot(&dx, ProbeBlocking::default())
+            .unwrap_err();
+        assert!(matches!(err, DogmatixError::Snapshot { .. }), "{err}");
+
+        dx.detect_delta(&mut s, &[]).unwrap();
+        s.apply(&DocumentDelta::parse("update 0 title 0 Something").unwrap())
+            .unwrap();
+        // Applied but undetected delta.
+        let err = s
+            .publish_snapshot(&dx, ProbeBlocking::default())
+            .unwrap_err();
+        assert!(matches!(err, DogmatixError::Snapshot { .. }), "{err}");
+
+        dx.detect_delta(&mut s, &[]).unwrap();
+        assert!(s.publish_snapshot(&dx, ProbeBlocking::default()).is_ok());
+
+        // A different detector (fresh stage Arcs) must not publish
+        // against this session's cached verdicts.
+        let other = movie_detector();
+        let err = s
+            .publish_snapshot(&other, ProbeBlocking::default())
+            .unwrap_err();
+        assert!(matches!(err, DogmatixError::Snapshot { .. }), "{err}");
     }
 }

@@ -97,6 +97,7 @@ pub mod neighborhood;
 pub mod od;
 pub mod output;
 pub mod pipeline;
+pub mod probe;
 pub mod query;
 pub mod shard;
 pub mod sim;
@@ -107,3 +108,4 @@ pub use error::DogmatixError;
 pub use incremental::{DocumentDelta, IncrementalSession};
 pub use mapping::Mapping;
 pub use pipeline::{DetectionResult, DetectionSession, Dogmatix, DogmatixBuilder, DogmatixConfig};
+pub use probe::{ProbeAnswer, ProbeBlocking, ProbeMatch, ProbeScratch, ProbeSnapshot, ProbeStats};

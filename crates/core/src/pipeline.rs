@@ -445,6 +445,46 @@ impl Dogmatix {
         })
     }
 
+    /// Formulates the textual XQueries of framework Step 1/2 for this
+    /// detector's active heuristic selection over `schema`: `Q_C` over
+    /// the type's candidate paths and one `Q_D` per path, each paired
+    /// with the exact selection σ the executing pipeline would use
+    /// (both flow through `selections_for_paths`, so the printed
+    /// queries cannot drift from the run).
+    pub fn formulated_queries(
+        &self,
+        schema: &Schema,
+        rw_type: &str,
+    ) -> Result<crate::query::FormulatedQueries, DogmatixError> {
+        let paths = self
+            .mapping
+            .paths_of(rw_type)
+            .ok_or_else(|| DogmatixError::UnknownType {
+                name: rw_type.to_string(),
+            })?;
+        let schema_paths: Vec<String> = paths.to_vec();
+        for path in &schema_paths {
+            if schema.find_by_path(path).is_none() {
+                return Err(DogmatixError::PathNotInSchema { path: path.clone() });
+            }
+        }
+        let selections = selections_for_paths(schema, &schema_paths, self.selector.as_ref())?;
+        let refs: Vec<&str> = schema_paths.iter().map(String::as_str).collect();
+        let candidate_query = crate::query::candidate_query(&refs);
+        let description_queries = schema_paths
+            .iter()
+            .map(|path| {
+                let sel = selections.get(path).cloned().unwrap_or_default();
+                let qd = crate::query::description_query(path, &sel);
+                (path.clone(), sel, qd)
+            })
+            .collect();
+        Ok(crate::query::FormulatedQueries {
+            candidate_query,
+            description_queries,
+        })
+    }
+
     /// Opens an [`IncrementalSession`](crate::incremental::IncrementalSession)
     /// over an owned document with a fixed schema: streaming deltas are
     /// applied against `schema` as given (the usual choice when an XSD is
@@ -1148,5 +1188,68 @@ mod tests {
         assert_eq!(result.stats.candidates, 0);
         assert!(result.duplicate_pairs.is_empty());
         assert!(result.clusters.is_empty());
+    }
+
+    /// Round-trip of `--emit-queries` against the selection the run
+    /// uses: every OD tuple path the executing pipeline extracts must
+    /// appear both in the emitted selection σ and as a projection in
+    /// the corresponding `Q_D`, and `Q_C` must select every candidate
+    /// path of the type.
+    #[test]
+    fn formulated_queries_round_trip_the_run_selection() {
+        let (doc, schema, mapping) = movie_setup();
+        let dx = Dogmatix::builder().mapping(mapping).build();
+        let queries = dx.formulated_queries(&schema, "MOVIE").unwrap();
+        assert!(queries.candidate_query.contains("$doc/moviedoc/movie"));
+        assert_eq!(queries.description_queries.len(), 1);
+        let (cand_path, selection, qd) = &queries.description_queries[0];
+        assert_eq!(cand_path, "/moviedoc/movie");
+
+        let result = dx.run(&doc, &schema, "MOVIE").unwrap();
+        assert!(result.stats.candidates > 0);
+        let mut saw_paths = false;
+        for i in 0..result.stats.candidates {
+            for tuple in result.ods.od(i).tuples() {
+                saw_paths = true;
+                let path = tuple.path();
+                assert!(
+                    selection.contains(path),
+                    "run extracted {path}, not in emitted selection {selection:?}"
+                );
+                let rel = path
+                    .strip_prefix("/moviedoc/movie/")
+                    .map(|r| format!("$c/{r}"))
+                    .unwrap_or_else(|| "$c".to_string());
+                assert!(qd.contains(&rel), "Q_D misses projection {rel}:\n{qd}");
+            }
+        }
+        assert!(saw_paths, "the run must extract some description tuples");
+
+        // And the emitted selection contains nothing the selector would
+        // not have chosen for this schema (exact equality, not subset).
+        let expected = selections_for_paths(
+            &schema,
+            std::slice::from_ref(cand_path),
+            dx.selector_stage().as_ref(),
+        )
+        .unwrap();
+        assert_eq!(selection, &expected["/moviedoc/movie"]);
+    }
+
+    #[test]
+    fn formulated_queries_reject_unknown_types_and_paths() {
+        let (_, schema, mapping) = movie_setup();
+        let dx = Dogmatix::builder().mapping(mapping).build();
+        assert!(matches!(
+            dx.formulated_queries(&schema, "NOPE"),
+            Err(DogmatixError::UnknownType { .. })
+        ));
+        let mut mapping = Mapping::new();
+        mapping.add_type("MOVIE", ["/not/in/schema"]);
+        let dx = Dogmatix::builder().mapping(mapping).build();
+        assert!(matches!(
+            dx.formulated_queries(&schema, "MOVIE"),
+            Err(DogmatixError::PathNotInSchema { .. })
+        ));
     }
 }

@@ -10,6 +10,19 @@
 
 use std::collections::BTreeSet;
 
+/// The textual XQueries formulated for one detector + corpus: the
+/// candidate query `Q_C` and one description query `Q_D` per candidate
+/// schema path, each paired with the selection σ it projects. Produced
+/// by [`Dogmatix::formulated_queries`](crate::pipeline::Dogmatix::formulated_queries)
+/// (the CLI prints them under `--emit-queries`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormulatedQueries {
+    /// `Q_C` over all candidate schema paths of the type.
+    pub candidate_query: String,
+    /// Per candidate path: `(path, selection σ, Q_D)`.
+    pub description_queries: Vec<(String, BTreeSet<String>, String)>,
+}
+
 /// Formulates the candidate query `Q_C`: a FLWOR expression selecting
 /// all instances of the candidate schema elements (Definition 1's
 /// `Ω_T = ⋃ O_i^T`).

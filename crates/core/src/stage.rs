@@ -143,6 +143,17 @@ pub trait SimilarityMeasure: fmt::Debug + Send + Sync {
     /// from the context but not from the measure itself (copy any
     /// parameters in).
     fn prepare<'a>(&self, ctx: SimContext<'a>) -> Box<dyn PreparedMeasure + 'a>;
+
+    /// Whether the prepared form scores pairs from the interned
+    /// [`OdSet`] alone (`ctx.ods`), never touching
+    /// `ctx.doc` / `ctx.candidates`. Probe serving
+    /// ([`crate::probe`]) extends the snapshot's store with the probe
+    /// record but has no document holding that record, so only
+    /// store-based measures can answer probes; doc-walking measures
+    /// override this to `false` and probes reject them gracefully.
+    fn store_based(&self) -> bool {
+        true
+    }
 }
 
 /// The per-run form of a [`SimilarityMeasure`]: scores candidate pairs.

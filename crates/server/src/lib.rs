@@ -1,0 +1,583 @@
+//! `dogmatixd`: a resident dedup server answering point-queries over
+//! live ingest.
+//!
+//! The server holds an [`IncrementalSession`] behind a read/write
+//! split: one **writer thread** owns the session and applies
+//! [`DocumentDelta`]s, while **probe workers** answer `PROBE` requests
+//! against an `Arc`-pinned [`ProbeSnapshot`] — an immutable, consistent
+//! view swapped atomically at delta-batch boundaries. A probe never
+//! blocks on ingest and never observes a half-applied batch: it reads
+//! whatever snapshot was last published, and the response carries that
+//! snapshot's sequence number.
+//!
+//! ## Wire protocol (newline-delimited, std-only)
+//!
+//! ```text
+//! PROBE <k> <xml-fragment>   → OK n=<m> <idx>:<sim> … seq=<s> examined=<e>/<t>
+//! INGEST <delta-line>        → OK ingested seq=<s> objects=<n> duplicates=<d>
+//! STATS                      → OK seq=<s> objects=<n> probes=<p> ingests=<i> shed=<x>
+//! SHUTDOWN                   → OK bye            (stops the server)
+//! anything else              → ERR <kind>: <message>
+//! ```
+//!
+//! `<delta-line>` uses the [`DocumentDelta::parse`] grammar shared with
+//! the CLI's `--deltas` scripts. Errors are always answered as a
+//! structured `ERR <kind>: <message>` line ([`DogmatixError::kind`]) —
+//! a malformed or oversized request never drops the connection, and a
+//! saturated ingest queue or worker pool sheds the request with
+//! `ERR overloaded: …` instead of queueing unboundedly.
+
+use dogmatix_core::probe::{ProbeBlocking, ProbeScratch, ProbeSnapshot};
+use dogmatix_core::{DocumentDelta, Dogmatix, DogmatixError, IncrementalSession};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables of one [`serve`] call.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port (read it
+    /// back from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Probe worker threads — the bound on concurrently served
+    /// connections; excess connections are shed with `ERR overloaded`.
+    pub workers: usize,
+    /// Bounded depth of the ingest queue feeding the writer thread.
+    pub ingest_queue: usize,
+    /// Requests longer than this many bytes are answered with
+    /// `ERR protocol` and the oversized line is discarded.
+    pub max_line_bytes: usize,
+    /// Per-read socket timeout: an idle connection is closed after
+    /// this long, which also bounds shutdown latency.
+    pub read_timeout: Duration,
+    /// Blocking index built into every published snapshot.
+    pub blocking: ProbeBlocking,
+    /// Default `k` is not configurable — clients pass it per `PROBE`.
+    pub max_ingest_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            ingest_queue: 64,
+            max_line_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(30),
+            blocking: ProbeBlocking::default(),
+            max_ingest_batch: 64,
+        }
+    }
+}
+
+/// The writer thread's acknowledgement of one applied ingest.
+struct IngestAck {
+    seq: u64,
+    objects: usize,
+    duplicates: usize,
+}
+
+type IngestReply = Sender<Result<IngestAck, DogmatixError>>;
+
+struct IngestJob {
+    line: String,
+    reply: IngestReply,
+}
+
+/// State shared between the acceptor, the probe workers, and the
+/// writer thread.
+struct Shared {
+    /// The last published snapshot and its sequence number, swapped
+    /// together so a probe's answer always names the state it saw.
+    snapshot: Mutex<(Arc<ProbeSnapshot>, u64)>,
+    addr: Mutex<Option<SocketAddr>>,
+    shutdown: AtomicBool,
+    probes: AtomicU64,
+    ingests: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Shared {
+    fn current(&self) -> (Arc<ProbeSnapshot>, u64) {
+        let slot = self.snapshot.lock().unwrap_or_else(PoisonError::into_inner);
+        (Arc::clone(&slot.0), slot.1)
+    }
+
+    fn publish(&self, snap: ProbeSnapshot) -> u64 {
+        let mut slot = self.snapshot.lock().unwrap_or_else(PoisonError::into_inner);
+        slot.1 += 1;
+        slot.0 = Arc::new(snap);
+        slot.1
+    }
+
+    fn local_addr(&self) -> Option<SocketAddr> {
+        *self.addr.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Sets the shutdown flag and nudges the acceptor out of `accept`.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.local_addr() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// A running `dogmatixd`: its bound address and the thread handles.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and joins every server thread.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server stops (a client sent `SHUTDOWN`).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Signal without joining so a dropped handle doesn't hang; an
+        // orderly exit goes through `shutdown()` / `join()`.
+        if !self.threads.is_empty() {
+            self.shared.begin_shutdown();
+        }
+    }
+}
+
+/// Boots the server: runs an initial detection over the session (so
+/// every cache is warm), publishes snapshot 1, binds the listener, and
+/// spawns the acceptor, the probe worker pool, and the writer thread.
+pub fn serve(
+    dx: Dogmatix,
+    mut session: IncrementalSession,
+    config: ServerConfig,
+) -> Result<ServerHandle, DogmatixError> {
+    let spawn_err = |e: std::io::Error| DogmatixError::Config {
+        message: format!("cannot spawn server thread: {e}"),
+    };
+    dx.detect_delta(&mut session, &[])?;
+    let initial = session.publish_snapshot(&dx, config.blocking)?;
+    let listener = TcpListener::bind(config.addr.as_str()).map_err(|e| DogmatixError::Config {
+        message: format!("cannot bind {}: {e}", config.addr),
+    })?;
+    let addr = listener.local_addr().map_err(|e| DogmatixError::Config {
+        message: format!("cannot resolve bound address: {e}"),
+    })?;
+
+    let shared = Arc::new(Shared {
+        snapshot: Mutex::new((Arc::new(initial), 1)),
+        addr: Mutex::new(Some(addr)),
+        shutdown: AtomicBool::new(false),
+        probes: AtomicU64::new(0),
+        ingests: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+    });
+
+    let mut threads = Vec::new();
+
+    let (ingest_tx, ingest_rx) = sync_channel::<IngestJob>(config.ingest_queue.max(1));
+    {
+        let shared = Arc::clone(&shared);
+        let blocking = config.blocking;
+        let max_batch = config.max_ingest_batch.max(1);
+        threads.push(
+            std::thread::Builder::new()
+                .name("dogmatixd-writer".to_string())
+                .spawn(move || writer_loop(dx, session, blocking, max_batch, &ingest_rx, &shared))
+                .map_err(spawn_err)?,
+        );
+    }
+
+    let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.workers.max(1));
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    for i in 0..config.workers.max(1) {
+        let rx = Arc::clone(&conn_rx);
+        let shared = Arc::clone(&shared);
+        let ingest_tx = ingest_tx.clone();
+        let cfg = config.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("dogmatixd-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &shared, &ingest_tx, &cfg))
+                .map_err(spawn_err)?,
+        );
+    }
+    drop(ingest_tx);
+
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("dogmatixd-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, conn_tx, &shared))
+                .map_err(spawn_err)?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+/// Accepts connections, handing each to the bounded worker pool; a full
+/// pool sheds the connection with `ERR overloaded` instead of queueing.
+fn accept_loop(listener: &TcpListener, conn_tx: SyncSender<TcpStream>, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        match conn_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.write_all(b"ERR overloaded: server overloaded: worker pool full\n");
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `conn_tx` here lets the workers drain and exit.
+}
+
+/// Applies ingest jobs to the owned session and publishes one snapshot
+/// per drained batch — the probe-visible consistency boundary.
+fn writer_loop(
+    dx: Dogmatix,
+    mut session: IncrementalSession,
+    blocking: ProbeBlocking,
+    max_batch: usize,
+    rx: &Receiver<IngestJob>,
+    shared: &Shared,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let first = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        let mut outcomes: Vec<(IngestReply, Result<usize, DogmatixError>)> =
+            Vec::with_capacity(batch.len());
+        for job in batch {
+            let res = DocumentDelta::parse(&job.line)
+                .and_then(|delta| dx.detect_delta(&mut session, std::slice::from_ref(&delta)))
+                .map(|result| result.duplicate_pairs.len());
+            outcomes.push((job.reply, res));
+        }
+        match session.publish_snapshot(&dx, blocking) {
+            Ok(snap) => {
+                let objects = snap.len();
+                let seq = shared.publish(snap);
+                for (reply, res) in outcomes {
+                    if res.is_ok() {
+                        shared.ingests.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = reply.send(res.map(|duplicates| IngestAck {
+                        seq,
+                        objects,
+                        duplicates,
+                    }));
+                }
+            }
+            Err(e) => {
+                // Keep serving the previous snapshot; acknowledge each
+                // job with its own failure (or the publish failure).
+                for (reply, res) in outcomes {
+                    let _ = reply.send(res.and(Err(e.clone())));
+                }
+            }
+        }
+    }
+}
+
+/// One probe worker: serves connections pulled from the shared queue,
+/// reusing its scratch buffers across requests and connections.
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    shared: &Shared,
+    ingest_tx: &SyncSender<IngestJob>,
+    cfg: &ServerConfig,
+) {
+    let mut scratch = ProbeScratch::new();
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            match guard.recv() {
+                Ok(s) => s,
+                Err(_) => break,
+            }
+        };
+        handle_connection(stream, shared, ingest_tx, cfg, &mut scratch);
+    }
+}
+
+enum LineRead {
+    Eof,
+    Line,
+    /// Over the size cap; `terminated` tells whether the newline was
+    /// already consumed (nothing left to discard).
+    TooLong {
+        terminated: bool,
+    },
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes into `out`.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    out: &mut Vec<u8>,
+) -> std::io::Result<LineRead> {
+    out.clear();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if out.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                out.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                return Ok(if out.len() > max {
+                    LineRead::TooLong { terminated: true }
+                } else {
+                    LineRead::Line
+                });
+            }
+            None => {
+                out.extend_from_slice(buf);
+                let n = buf.len();
+                reader.consume(n);
+                if out.len() > max {
+                    return Ok(LineRead::TooLong { terminated: false });
+                }
+            }
+        }
+    }
+}
+
+/// Discards input through the next newline (the tail of an oversized
+/// request), so the connection stays usable.
+fn drain_to_newline(reader: &mut BufReader<TcpStream>) -> std::io::Result<()> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let n = buf.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+fn err_line(e: &DogmatixError) -> String {
+    format!("ERR {}: {e}\n", e.kind())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    ingest_tx: &SyncSender<IngestJob>,
+    cfg: &ServerConfig,
+    scratch: &mut ProbeScratch,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut raw = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = writer.write_all(b"ERR overloaded: server overloaded: shutting down\n");
+            break;
+        }
+        match read_bounded_line(&mut reader, cfg.max_line_bytes, &mut raw) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::TooLong { terminated }) => {
+                // The oversized line may still be streaming in; discard
+                // its tail, answer, and keep the connection.
+                if !terminated && drain_to_newline(&mut reader).is_err() {
+                    break;
+                }
+                let e = DogmatixError::Protocol {
+                    message: format!("request exceeds {} bytes", cfg.max_line_bytes),
+                };
+                if writer.write_all(err_line(&e).as_bytes()).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break, // read timeout or socket error: close
+        }
+        let line = String::from_utf8_lossy(&raw);
+        let response = answer(line.trim(), shared, ingest_tx, scratch);
+        if writer.write_all(response.as_bytes()).is_err() {
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Dispatches one request line to a single response line.
+fn answer(
+    line: &str,
+    shared: &Shared,
+    ingest_tx: &SyncSender<IngestJob>,
+    scratch: &mut ProbeScratch,
+) -> String {
+    let mut words = line.splitn(2, char::is_whitespace);
+    let cmd = words.next().unwrap_or_default();
+    let rest = words.next().unwrap_or("").trim();
+    match cmd {
+        "PROBE" => probe_response(rest, shared, scratch),
+        "INGEST" => ingest_response(rest, shared, ingest_tx),
+        "STATS" => {
+            let (snap, seq) = shared.current();
+            format!(
+                "OK seq={seq} objects={} probes={} ingests={} shed={}\n",
+                snap.len(),
+                shared.probes.load(Ordering::Relaxed),
+                shared.ingests.load(Ordering::Relaxed),
+                shared.shed.load(Ordering::Relaxed),
+            )
+        }
+        "SHUTDOWN" => {
+            shared.begin_shutdown();
+            "OK bye\n".to_string()
+        }
+        "" => err_line(&DogmatixError::Protocol {
+            message: "empty request".to_string(),
+        }),
+        other => err_line(&DogmatixError::Protocol {
+            message: format!("unknown command '{other}'"),
+        }),
+    }
+}
+
+fn probe_response(rest: &str, shared: &Shared, scratch: &mut ProbeScratch) -> String {
+    let parsed = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| DogmatixError::Protocol {
+            message: "PROBE needs '<k> <xml-fragment>'".to_string(),
+        })
+        .and_then(|(kstr, xml)| {
+            let k: usize = kstr.parse().map_err(|_| DogmatixError::Protocol {
+                message: format!("'{kstr}' is not a probe k"),
+            })?;
+            Ok((k, xml.trim()))
+        });
+    let (k, xml) = match parsed {
+        Ok(p) => p,
+        Err(e) => return err_line(&e),
+    };
+    let (snap, seq) = shared.current();
+    let answered = snap
+        .record_from_xml(xml)
+        .and_then(|record| snap.probe(&record, k, scratch));
+    match answered {
+        Ok(ans) => {
+            shared.probes.fetch_add(1, Ordering::Relaxed);
+            let mut out = format!("OK n={}", ans.matches.len());
+            for m in &ans.matches {
+                let _ = write!(out, " {}:{}", m.index, m.sim);
+            }
+            let _ = write!(
+                out,
+                " seq={seq} examined={}/{}",
+                ans.stats.candidates_examined, ans.stats.total_objects
+            );
+            out.push('\n');
+            out
+        }
+        Err(e) => err_line(&e),
+    }
+}
+
+fn ingest_response(rest: &str, shared: &Shared, ingest_tx: &SyncSender<IngestJob>) -> String {
+    if rest.is_empty() {
+        return err_line(&DogmatixError::Protocol {
+            message: "INGEST needs '<delta-line>'".to_string(),
+        });
+    }
+    let (reply_tx, reply_rx) = channel();
+    let job = IngestJob {
+        line: rest.to_string(),
+        reply: reply_tx,
+    };
+    match ingest_tx.try_send(job) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(Ok(ack)) => format!(
+                "OK ingested seq={} objects={} duplicates={}\n",
+                ack.seq, ack.objects, ack.duplicates
+            ),
+            Ok(Err(e)) => err_line(&e),
+            Err(_) => err_line(&DogmatixError::Overloaded {
+                message: "ingest writer unavailable".to_string(),
+            }),
+        },
+        Err(TrySendError::Full(_)) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            err_line(&DogmatixError::Overloaded {
+                message: "ingest queue full".to_string(),
+            })
+        }
+        Err(TrySendError::Disconnected(_)) => err_line(&DogmatixError::Overloaded {
+            message: "ingest writer stopped".to_string(),
+        }),
+    }
+}

@@ -1,0 +1,110 @@
+//! `dogmatixd` binary: boot the resident dedup server over one corpus.
+
+use dogmatix_core::probe::ProbeBlocking;
+use dogmatix_core::{Dogmatix, Mapping};
+use dogmatix_server::{serve, ServerConfig};
+use dogmatix_xml::Document;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const HELP: &str = "dogmatixd — resident DogmatiX dedup server
+
+USAGE:
+    dogmatixd <doc.xml> <mapping.txt> <rw_type> [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>        bind address (default 127.0.0.1:0, ephemeral)
+    --workers <n>             probe worker threads (default 4)
+    --ingest-queue <n>        bounded ingest queue depth (default 64)
+    --read-timeout-ms <n>     idle-connection timeout (default 30000)
+    --max-line-bytes <n>      request size cap (default 1048576)
+    --help                    print this help
+
+On startup the server prints one line to stdout:
+    dogmatixd listening on <addr>
+then serves the newline-delimited protocol (PROBE / INGEST / STATS /
+SHUTDOWN) until a client sends SHUTDOWN.";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dogmatixd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let mut positional: Vec<&str> = Vec::new();
+    let mut config = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value (see --help)"))
+        };
+        match arg {
+            "--addr" => config.addr = flag_value("--addr")?,
+            "--workers" => config.workers = parse_num(&flag_value("--workers")?, "--workers")?,
+            "--ingest-queue" => {
+                config.ingest_queue = parse_num(&flag_value("--ingest-queue")?, "--ingest-queue")?;
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout = Duration::from_millis(parse_num(
+                    &flag_value("--read-timeout-ms")?,
+                    "--read-timeout-ms",
+                )? as u64);
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes =
+                    parse_num(&flag_value("--max-line-bytes")?, "--max-line-bytes")?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}' (see --help)"));
+            }
+            _ => positional.push(arg),
+        }
+        i += 1;
+    }
+    let [doc_path, mapping_path, rw_type] = positional[..] else {
+        return Err("expected <doc.xml> <mapping.txt> <rw_type> (see --help)".to_string());
+    };
+
+    let xml = std::fs::read_to_string(doc_path)
+        .map_err(|e| format!("cannot read document {doc_path}: {e}"))?;
+    let doc = Document::parse(&xml).map_err(|e| format!("{doc_path}: {e}"))?;
+    let mapping_text = std::fs::read_to_string(mapping_path)
+        .map_err(|e| format!("cannot read mapping {mapping_path}: {e}"))?;
+    let mapping = Mapping::parse(&mapping_text).map_err(|e| format!("{mapping_path}: {e}"))?;
+
+    let dx = Dogmatix::builder().mapping(mapping).build();
+    let session = dx
+        .incremental_session_inferred(doc, rw_type)
+        .map_err(|e| e.to_string())?;
+    config.blocking = ProbeBlocking::default();
+    let handle = serve(dx, session, config).map_err(|e| e.to_string())?;
+
+    // Parseable startup line (flushed — stdout may be a pipe).
+    let mut out = std::io::stdout();
+    let _ = writeln!(out, "dogmatixd listening on {}", handle.addr());
+    let _ = out.flush();
+
+    handle.join();
+    Ok(())
+}
+
+fn parse_num(value: &str, flag: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} needs an unsigned number, got '{value}'"))
+}

@@ -42,7 +42,9 @@ pub use idf::{idf, soft_idf};
 pub use jaccard::{jaccard_tokens, overlap_coefficient};
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{levenshtein, levenshtein_bounded};
-pub use minhash::{band_keys, minhash_signature, mix64, token_hash, Fnv1a};
+pub use minhash::{
+    band_keys, band_keys_into, minhash_signature, minhash_signature_into, mix64, token_hash, Fnv1a,
+};
 pub use ned::{ned, ned_within};
 pub use normalize::{normalize_value, normalize_value_into};
 pub use tokenize::{

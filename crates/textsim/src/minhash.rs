@@ -98,8 +98,28 @@ pub fn token_hash(token: &str) -> u64 {
 /// assert_eq!(minhash_signature(&[], 4, 0), vec![u64::MAX; 4]);
 /// ```
 pub fn minhash_signature(token_hashes: &[u64], hashes: usize, seed: u64) -> Vec<u64> {
-    let mut sig = vec![u64::MAX; hashes];
-    for (i, slot) in sig.iter_mut().enumerate() {
+    let mut sig = Vec::new();
+    minhash_signature_into(token_hashes, hashes, seed, &mut sig);
+    sig
+}
+
+/// Buffer-emitting variant of [`minhash_signature`]: clears `out` and
+/// fills it with the signature, reusing its capacity. Single-record
+/// probe paths call this per request with a per-connection scratch
+/// buffer, so steady-state serving performs no signature allocation.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::{minhash_signature, minhash_signature_into, token_hash};
+/// let toks: Vec<u64> = ["alpha", "beta"].iter().map(|t| token_hash(t)).collect();
+/// let mut out = Vec::new();
+/// minhash_signature_into(&toks, 8, 7, &mut out);
+/// assert_eq!(out, minhash_signature(&toks, 8, 7));
+/// ```
+pub fn minhash_signature_into(token_hashes: &[u64], hashes: usize, seed: u64, out: &mut Vec<u64>) {
+    out.clear();
+    out.resize(hashes, u64::MAX);
+    for (i, slot) in out.iter_mut().enumerate() {
         let fn_seed = mix64(seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
         for &t in token_hashes {
             let h = mix64(t ^ fn_seed);
@@ -108,7 +128,6 @@ pub fn minhash_signature(token_hashes: &[u64], hashes: usize, seed: u64) -> Vec<
             }
         }
     }
-    sig
 }
 
 /// Collapses a signature into `bands` bucket keys of `rows` slots each.
@@ -127,22 +146,38 @@ pub fn minhash_signature(token_hashes: &[u64], hashes: usize, seed: u64) -> Vec<
 /// assert_eq!(keys, band_keys(&minhash_signature(&toks, 8, 0), 4, 2));
 /// ```
 pub fn band_keys(signature: &[u64], bands: usize, rows: usize) -> Vec<u64> {
+    let mut keys = Vec::new();
+    band_keys_into(signature, bands, rows, &mut keys);
+    keys
+}
+
+/// Buffer-emitting variant of [`band_keys`]: clears `out` and fills it
+/// with the `bands` bucket keys, reusing its capacity. The signature
+/// must hold exactly `bands · rows` slots.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::{band_keys, band_keys_into, minhash_signature, token_hash};
+/// let toks: Vec<u64> = ["alpha", "beta"].iter().map(|t| token_hash(t)).collect();
+/// let sig = minhash_signature(&toks, 8, 0);
+/// let mut out = Vec::new();
+/// band_keys_into(&sig, 4, 2, &mut out);
+/// assert_eq!(out, band_keys(&sig, 4, 2));
+/// ```
+pub fn band_keys_into(signature: &[u64], bands: usize, rows: usize, out: &mut Vec<u64>) {
     assert_eq!(
         signature.len(),
         bands * rows,
         "signature length must equal bands * rows"
     );
-    signature
-        .chunks(rows)
-        .enumerate()
-        .map(|(b, chunk)| {
-            let mut key = mix64(b as u64 ^ 0x5851_F42D_4C95_7F2D);
-            for &slot in chunk {
-                key = mix64(key ^ slot);
-            }
-            key
-        })
-        .collect()
+    out.clear();
+    out.extend(signature.chunks(rows).enumerate().map(|(b, chunk)| {
+        let mut key = mix64(b as u64 ^ 0x5851_F42D_4C95_7F2D);
+        for &slot in chunk {
+            key = mix64(key ^ slot);
+        }
+        key
+    }));
 }
 
 #[cfg(test)]
@@ -190,5 +225,22 @@ mod tests {
     #[test]
     fn empty_set_is_all_max() {
         assert_eq!(minhash_signature(&[], 3, 9), vec![u64::MAX; 3]);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match_allocating_apis() {
+        let toks = hashes(&["alpha", "beta", "gamma"]);
+        let mut sig = vec![0xDEAD; 64]; // stale contents must be cleared
+        let mut keys = vec![0xBEEF; 9];
+        minhash_signature_into(&toks, 16, 3, &mut sig);
+        assert_eq!(sig, minhash_signature(&toks, 16, 3));
+        band_keys_into(&sig, 8, 2, &mut keys);
+        assert_eq!(keys, band_keys(&sig, 8, 2));
+        // Second fill with different inputs reuses the same buffers.
+        let other = hashes(&["delta"]);
+        minhash_signature_into(&other, 16, 3, &mut sig);
+        assert_eq!(sig, minhash_signature(&other, 16, 3));
+        band_keys_into(&sig, 4, 4, &mut keys);
+        assert_eq!(keys, band_keys(&sig, 4, 4));
     }
 }

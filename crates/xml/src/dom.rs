@@ -411,6 +411,12 @@ impl Document {
         serializer::to_string(self, true)
     }
 
+    /// Serialises the subtree rooted at `id` compactly — the fragment
+    /// shape a probe client sends over the wire.
+    pub fn node_xml(&self, id: NodeId) -> String {
+        serializer::node_to_string(self, id)
+    }
+
     // ---- construction -------------------------------------------------
 
     fn push_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {

@@ -23,6 +23,14 @@ pub fn to_string(doc: &Document, pretty: bool) -> String {
     out
 }
 
+/// Serialises the subtree rooted at `id` to a compact string — the
+/// shape a probe client sends as an XML fragment.
+pub fn node_to_string(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &mut out, false, 0);
+    out
+}
+
 fn write_node(doc: &Document, id: NodeId, out: &mut String, pretty: bool, depth: usize) {
     match &doc.node(id).kind() {
         NodeKind::Element {

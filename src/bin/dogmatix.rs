@@ -30,6 +30,13 @@
 //!   --output <file>        write the dup-cluster XML here (default stdout)
 //!   --deltas <file>        replay a streaming-delta script against an
 //!                          incremental session instead of one batch run
+//!   --probe <xml>          one-shot point-query: find the top-k
+//!                          duplicates of one record (an XML fragment)
+//!                          among the corpus, without a batch run —
+//!                          the same query core dogmatixd serves
+//!   --probe-k <N>          cap on --probe answers (default 10)
+//!   --emit-queries         print the formulated XQueries Q_C and Q_D
+//!                          for the active heuristic selection and exit
 //! ```
 //!
 //! ## Delta-script format (`--deltas`)
@@ -58,6 +65,7 @@ use dogmatix_repro::core::fusion::{fuse_clusters, FusionConfig};
 use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
 use dogmatix_repro::core::incremental::DocumentDelta;
 use dogmatix_repro::core::pipeline::{DetectionResult, Dogmatix};
+use dogmatix_repro::core::probe::{ProbeBlocking, ProbeScratch, ProbeSnapshot};
 use dogmatix_repro::core::Mapping;
 use dogmatix_repro::xml::{Document, Schema};
 use std::process::ExitCode;
@@ -81,6 +89,9 @@ struct Options {
     fuse: bool,
     output: Option<String>,
     deltas: Option<String>,
+    probe: Option<String>,
+    probe_k: usize,
+    emit_queries: bool,
 }
 
 /// The `--blocking` strategies, parsed once so the detector wiring
@@ -124,6 +135,9 @@ const KNOWN_FLAGS: &[&str] = &[
     "--fuse",
     "--output",
     "--deltas",
+    "--probe",
+    "--probe-k",
+    "--emit-queries",
     "--help",
 ];
 
@@ -163,6 +177,9 @@ fn parse_args() -> Result<Options, String> {
         fuse: false,
         output: None,
         deltas: None,
+        probe: None,
+        probe_k: 10,
+        emit_queries: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -209,6 +226,13 @@ fn parse_args() -> Result<Options, String> {
             "--fuse" => opts.fuse = true,
             "--output" => opts.output = Some(value("--output")?),
             "--deltas" => opts.deltas = Some(value("--deltas")?),
+            "--probe" => opts.probe = Some(value("--probe")?),
+            "--probe-k" => {
+                opts.probe_k = value("--probe-k")?
+                    .parse()
+                    .map_err(|_| "--probe-k must be a positive integer".to_string())?
+            }
+            "--emit-queries" => opts.emit_queries = true,
             "--help" | "-h" => return Err(HELP.to_string()),
             other if other.starts_with('-') => return Err(unknown_flag_error(other)),
             other if opts.input.is_empty() => opts.input = other.to_string(),
@@ -235,6 +259,9 @@ fn parse_args() -> Result<Options, String> {
             "--index-save/--index-load apply to batch runs, not --deltas replay".to_string(),
         );
     }
+    if opts.probe.is_some() && opts.deltas.is_some() {
+        return Err("--probe is a one-shot point-query, not a --deltas replay".to_string());
+    }
     Ok(opts)
 }
 
@@ -243,7 +270,8 @@ const HELP: &str = "usage: dogmatix <input.xml> --type <NAME> \
 [--heuristic rd:<r>|ra:<r>|kc:<k>|auto] [--exp 1..8] \
 [--theta-tuple f] [--theta-cand f] [--threads N] \
 [--blocking qgram|lsh] [--shards N] [--no-filter] [--fuse] \
-[--index-save f | --index-load f] [--output out.xml] [--deltas script.txt]";
+[--index-save f | --index-load f] [--output out.xml] [--deltas script.txt] \
+[--probe '<xml>' [--probe-k N]] [--emit-queries]";
 
 fn run(opts: Options) -> Result<(), String> {
     let text = std::fs::read_to_string(&opts.input)
@@ -340,6 +368,21 @@ fn run(opts: Options) -> Result<(), String> {
     }
     let dx = builder.build();
 
+    if opts.emit_queries {
+        let queries = dx
+            .formulated_queries(&schema, &opts.rw_type)
+            .map_err(|e| e.to_string())?;
+        println!("Q_C:\n{}", queries.candidate_query);
+        for (path, _, qd) in &queries.description_queries {
+            println!("\nQ_D {path}:\n{qd}");
+        }
+        return Ok(());
+    }
+
+    if let Some(probe_xml) = &opts.probe {
+        return run_probe(&dx, &doc, &schema, &opts, probe_xml);
+    }
+
     let (result, doc) = match &opts.deltas {
         None => {
             let result = dx
@@ -380,6 +423,44 @@ fn run(opts: Options) -> Result<(), String> {
     Ok(())
 }
 
+/// One-shot `--probe` mode: answers a point-query over a freshly built
+/// probe snapshot — the same code path `dogmatixd` serves over TCP.
+fn run_probe(
+    dx: &Dogmatix,
+    doc: &Document,
+    schema: &Schema,
+    opts: &Options,
+    probe_xml: &str,
+) -> Result<(), String> {
+    let blocking = match (opts.blocking, opts.use_filter) {
+        (Some(Blocking::Lsh), _) => ProbeBlocking::Lsh(MinHashLshBlocking::new(48, 2)),
+        (Some(Blocking::QGram), _) | (None, true) => {
+            ProbeBlocking::QGram(QGramBlocking::new(2, opts.theta_tuple))
+        }
+        (None, false) => ProbeBlocking::Exhaustive,
+    };
+    let snapshot = ProbeSnapshot::from_batch(dx, doc, schema, &opts.rw_type, blocking)
+        .map_err(|e| e.to_string())?;
+    let record = snapshot
+        .record_from_xml(probe_xml)
+        .map_err(|e| e.to_string())?;
+    let mut scratch = ProbeScratch::new();
+    let answer = snapshot
+        .probe(&record, opts.probe_k, &mut scratch)
+        .map_err(|e| e.to_string())?;
+    for m in &answer.matches {
+        println!("{}\t{}", m.index, m.sim);
+    }
+    eprintln!(
+        "probe: {} duplicates (top {} shown), examined {} of {} candidates",
+        answer.matches.len(),
+        opts.probe_k,
+        answer.stats.candidates_examined,
+        answer.stats.total_objects
+    );
+    Ok(())
+}
+
 fn report_stats(label: &str, result: &DetectionResult) {
     eprintln!(
         "{label}: candidates: {}, pruned: {}, compared: {} pairs, \
@@ -398,78 +479,17 @@ enum ScriptLine {
     Detect,
 }
 
-/// Parses one non-empty, non-comment script line.
+/// Parses one non-empty, non-comment script line. The delta grammar
+/// itself lives in [`DocumentDelta::parse`] (shared with `dogmatixd`'s
+/// `INGEST` command); the script adds only the `detect` boundary.
 fn parse_delta_line(line: &str) -> Result<ScriptLine, String> {
-    let mut words = line.splitn(2, char::is_whitespace);
-    let cmd = words.next().unwrap_or_default();
-    let rest = words.next().unwrap_or("").trim();
-    let index = |s: &str| -> Result<usize, String> {
-        s.parse()
-            .map_err(|_| format!("'{s}' is not a candidate index in '{line}'"))
-    };
-    let occurrence = index;
-    match cmd {
-        "detect" => Ok(ScriptLine::Detect),
-        "insert" => {
-            let (parent, xml) = rest
-                .split_once(char::is_whitespace)
-                .ok_or_else(|| format!("insert needs '<parent_path> <xml>' in '{line}'"))?;
-            Ok(ScriptLine::Delta(DocumentDelta::InsertXml {
-                parent_path: parent.to_string(),
-                xml: xml.trim().to_string(),
-            }))
-        }
-        "remove" => Ok(ScriptLine::Delta(DocumentDelta::RemoveObject {
-            index: index(rest)?,
-        })),
-        "update" => {
-            let parts: Vec<&str> = rest.splitn(3, char::is_whitespace).collect();
-            let [idx, path, tail] = parts[..] else {
-                return Err(format!(
-                    "update needs '<index> <rel_path> <occurrence> <value>' in '{line}'"
-                ));
-            };
-            let (occ, value) = tail
-                .trim()
-                .split_once(char::is_whitespace)
-                .map(|(o, v)| (o, v.trim()))
-                .unwrap_or((tail.trim(), ""));
-            Ok(ScriptLine::Delta(DocumentDelta::UpdateText {
-                index: index(idx)?,
-                path: path.to_string(),
-                occurrence: occurrence(occ)?,
-                value: value.to_string(),
-            }))
-        }
-        "insert-under" => {
-            let parts: Vec<&str> = rest.splitn(4, char::is_whitespace).collect();
-            let [idx, path, occ, xml] = parts[..] else {
-                return Err(format!(
-                    "insert-under needs '<index> <rel_path> <occurrence> <xml>' in '{line}'"
-                ));
-            };
-            Ok(ScriptLine::Delta(DocumentDelta::InsertUnder {
-                index: index(idx)?,
-                path: path.to_string(),
-                occurrence: occurrence(occ)?,
-                xml: xml.trim().to_string(),
-            }))
-        }
-        "remove-element" => {
-            let parts: Vec<&str> = rest.split_whitespace().collect();
-            let [idx, path, occ] = parts[..] else {
-                return Err(format!(
-                    "remove-element needs '<index> <rel_path> <occurrence>' in '{line}'"
-                ));
-            };
-            Ok(ScriptLine::Delta(DocumentDelta::RemoveElement {
-                index: index(idx)?,
-                path: path.to_string(),
-                occurrence: occurrence(occ)?,
-            }))
-        }
-        other => Err(format!("unknown delta command '{other}' in '{line}'")),
+    let cmd = line.split(char::is_whitespace).next().unwrap_or_default();
+    if cmd == "detect" {
+        return Ok(ScriptLine::Detect);
     }
+    DocumentDelta::parse(line)
+        .map(ScriptLine::Delta)
+        .map_err(|e| e.to_string())
 }
 
 /// Replays a delta script against an incremental session, returning the

@@ -4,5 +4,6 @@
 pub use dogmatix_core as core;
 pub use dogmatix_datagen as datagen;
 pub use dogmatix_eval as eval;
+pub use dogmatix_server as server;
 pub use dogmatix_textsim as textsim;
 pub use dogmatix_xml as xml;

@@ -412,3 +412,71 @@ fn index_flags_are_mutually_exclusive_and_batch_only() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("batch runs"));
     let _ = std::fs::remove_dir_all(&paths.dir);
 }
+
+#[test]
+fn emit_queries_prints_candidate_and_description_queries() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE", "--no-filter", "--emit-queries"])
+        .args(["--mapping", paths.mapping.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Q_C:"), "{stdout}");
+    assert!(stdout.contains("$doc/moviedoc/movie"), "{stdout}");
+    assert!(stdout.contains("Q_D /moviedoc/movie:"), "{stdout}");
+    assert!(stdout.contains("<od>"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn probe_answers_point_queries_without_detection_output() {
+    let paths = write_sample();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE", "--no-filter"])
+        .args(["--mapping", paths.mapping.to_str().unwrap()])
+        .args([
+            "--probe",
+            "<movie><title>The Matrix</title><year>1999</year></movie>",
+        ])
+        .args(["--probe-k", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Both Matrix variants match the probe record; Signs does not.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].starts_with("0\t"), "{stdout}");
+    assert!(lines[1].starts_with("1\t"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("examined"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
+
+#[test]
+fn probe_conflicts_with_deltas() {
+    let paths = write_sample();
+    let deltas = paths.dir.join("script.txt");
+    std::fs::write(&deltas, "detect\n").unwrap();
+    let out = dogmatix()
+        .arg(&paths.input)
+        .args(["--type", "MOVIE"])
+        .args(["--probe", "<movie><title>X</title></movie>"])
+        .args(["--deltas", deltas.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&paths.dir);
+}
