@@ -28,6 +28,9 @@ PROPTEST_CASES=128 cargo test -q --test sharding
 echo "==> snapshot round-trip + corruption suite at CI depth (PROPTEST_CASES=128)"
 PROPTEST_CASES=128 cargo test -q --test snapshot
 
+echo "==> WAL kill-and-recover differential + corruption matrix at CI depth (PROPTEST_CASES=128)"
+PROPTEST_CASES=128 cargo test -q --test wal
+
 echo "==> streaming bench sanity (delta replay must beat full re-detection)"
 cargo bench -q -p dogmatix_bench --bench streaming >/dev/null
 
@@ -39,6 +42,11 @@ echo "==> probe bench sanity (mixed probe+ingest load; p99 gated against the"
 echo "    recorded baseline, candidate sets must stay sublinear in |Omega|)"
 cargo bench -q -p dogmatix_bench --bench probe >/dev/null
 test -s BENCH_probe.json || { echo "BENCH_probe.json was not written"; exit 1; }
+
+echo "==> WAL bench sanity (group commit must amortise the fsync >= 5x and"
+echo "    stay within the recorded throughput baseline)"
+cargo bench -q -p dogmatix_bench --bench wal >/dev/null
+test -s BENCH_wal.json || { echo "BENCH_wal.json was not written"; exit 1; }
 
 echo "==> dogmatixd smoke (boot on an ephemeral port, probe + ingest, shutdown)"
 smoke_dir="$(mktemp -d)"
@@ -69,6 +77,45 @@ smoke_expect 'INGEST insert /moviedoc <movie><title>The Mutrix</title><year>1999
 smoke_expect 'PROBE 5 <movie><title>The Matrix</title><year>1999</year></movie>' 'OK n='
 smoke_expect 'FROBNICATE' 'ERR protocol:'
 smoke_expect 'STATS' 'OK seq=2'
+smoke_expect 'SHUTDOWN' 'OK bye'
+exec 3<&- 3>&-
+wait "$server_pid"
+
+echo "==> dogmatixd crash-recover smoke (kill -9 mid-ingest, restart --recover,"
+echo "    pre-kill ingest must answer probes)"
+./target/release/dogmatixd "$smoke_dir/movies.xml" "$smoke_dir/mapping.txt" MOVIE \
+    --addr 127.0.0.1:0 --wal "$smoke_dir/movies.wal" > "$smoke_dir/boot2.log" &
+server_pid=$!
+for _ in $(seq 100); do
+    grep -q "listening on" "$smoke_dir/boot2.log" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^dogmatixd listening on //p' "$smoke_dir/boot2.log")"
+[ -n "$addr" ] || { echo "durable dogmatixd never reported its address"; kill "$server_pid"; exit 1; }
+exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+smoke_expect 'INGEST insert /moviedoc <movie><title>The Maatrix</title><year>1999</year></movie>' 'OK ingested seq=2'
+exec 3<&- 3>&-
+# The crash: no shutdown, no drain — the acked delta must already be durable.
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+./target/release/dogmatixd "$smoke_dir/movies.xml" "$smoke_dir/mapping.txt" MOVIE \
+    --addr 127.0.0.1:0 --wal "$smoke_dir/movies.wal" --recover \
+    > "$smoke_dir/boot3.log" 2> "$smoke_dir/recover.log" &
+server_pid=$!
+for _ in $(seq 100); do
+    grep -q "listening on" "$smoke_dir/boot3.log" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^dogmatixd listening on //p' "$smoke_dir/boot3.log")"
+[ -n "$addr" ] || { echo "recovered dogmatixd never reported its address"; kill "$server_pid"; exit 1; }
+grep -q 'recovered from .* replayed=1' "$smoke_dir/recover.log" \
+    || { echo "recovery did not replay the pre-kill delta:"; cat "$smoke_dir/recover.log"; kill "$server_pid"; exit 1; }
+exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+smoke_expect 'STATS' 'OK seq=1 objects=4 '
+smoke_expect 'PROBE 5 <movie><title>The Maatrix</title><year>1999</year></movie>' 'OK n='
+probe_matches="$(printf '%s' "$reply" | sed -n 's/^OK n=\([0-9]*\).*/\1/p')"
+[ "$probe_matches" -ge 1 ] || { echo "pre-kill ingest lost: recovered probe found nothing"; exit 1; }
+smoke_expect 'CHECKPOINT' 'OK checkpoint lsn='
 smoke_expect 'SHUTDOWN' 'OK bye'
 exec 3<&- 3>&-
 wait "$server_pid"

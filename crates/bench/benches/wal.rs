@@ -1,0 +1,214 @@
+//! Write-ahead-log ingest throughput: group commit vs per-delta fsync.
+//!
+//! Before the criterion group runs, a **durability sanity pass** logs a
+//! stream of insert deltas through `dogmatix_core::wal::Wal` two ways —
+//! one fsync per delta ([`FsyncPolicy::Always`]) and one fsync per
+//! drained batch (the server's group commit under
+//! [`FsyncPolicy::Batch`]) — then
+//!
+//! * writes `BENCH_wal.json` at the repo root (throughput of both
+//!   policies, the speedup, and the measured fsync cost),
+//! * asserts the group-commit speedup is **≥ 5×** (the acceptance bar:
+//!   amortising the fsync over a batch must dominate the append cost),
+//! * gates group-commit throughput against the recorded baseline
+//!   (`baselines/wal.txt`, `DOGMATIX_BASELINE_ALLOWANCE` to widen on a
+//!   slower box).
+//!
+//! The criterion group then measures the append path itself: a single
+//! buffered frame append, an append+fsync, and a 16-delta group commit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dogmatix_bench::CdFixture;
+use dogmatix_core::incremental::DocumentDelta;
+use dogmatix_core::wal::{FsyncPolicy, Wal};
+use dogmatix_core::IncrementalSession;
+use dogmatix_eval::setup::CD_TYPE;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const CORPUS_N: usize = 60;
+const DELTAS: usize = 192;
+const GROUP_BATCH: usize = 16;
+const REQUIRED_SPEEDUP: f64 = 5.0;
+
+fn scratch_log(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dogmatix-wal-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.wal"))
+}
+
+fn remove_log(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let mut ckpt = path.as_os_str().to_os_string();
+    ckpt.push(".ckpt");
+    let _ = std::fs::remove_file(PathBuf::from(ckpt));
+}
+
+/// The benched workload: a stream of planted-duplicate insert deltas
+/// cycling over the corpus' own discs.
+fn delta_stream(fixture: &CdFixture, n: usize) -> Vec<DocumentDelta> {
+    let discs = fixture.doc.select("/discs/disc").expect("select discs");
+    (0..n)
+        .map(|i| DocumentDelta::InsertXml {
+            parent_path: "/discs".into(),
+            xml: fixture.doc.node_xml(discs[i % discs.len()]),
+        })
+        .collect()
+}
+
+fn session(fixture: &CdFixture) -> IncrementalSession {
+    let dx = fixture.detector(
+        dogmatix_core::heuristics::HeuristicExpr::k_closest_descendants(6),
+        false,
+    );
+    dx.incremental_session(fixture.doc.clone(), fixture.schema.clone(), CD_TYPE)
+        .expect("open CD session")
+}
+
+/// Logs the whole stream with one fsync per delta. Returns elapsed time.
+fn per_delta_pass(s: &IncrementalSession, deltas: &[DocumentDelta]) -> Duration {
+    let path = scratch_log("per-delta");
+    let mut wal = Wal::create(&path, s, FsyncPolicy::Always).expect("create WAL");
+    let started = Instant::now();
+    for delta in deltas {
+        // `Always` syncs inside append — the durability point is per
+        // delta, exactly what a no-batching server would pay.
+        wal.append(delta).expect("append");
+    }
+    let elapsed = started.elapsed();
+    remove_log(&path);
+    elapsed
+}
+
+/// Logs the stream in group-committed batches: `GROUP_BATCH` appends,
+/// then one fsync — the server's drained-batch write path.
+fn group_commit_pass(s: &IncrementalSession, deltas: &[DocumentDelta]) -> Duration {
+    let path = scratch_log("group-commit");
+    let mut wal = Wal::create(&path, s, FsyncPolicy::Batch).expect("create WAL");
+    let started = Instant::now();
+    for batch in deltas.chunks(GROUP_BATCH) {
+        for delta in batch {
+            wal.append(delta).expect("append");
+        }
+        wal.commit().expect("group commit");
+    }
+    let elapsed = started.elapsed();
+    remove_log(&path);
+    elapsed
+}
+
+fn rate(n: usize, elapsed: Duration) -> f64 {
+    n as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn durability_sanity() {
+    let fixture = CdFixture::dataset1(CORPUS_N);
+    let s = session(&fixture);
+    let deltas = delta_stream(&fixture, DELTAS);
+
+    // fsync cost is noisy (shared page cache, journal pressure); take
+    // the best pass of three so CI hiccups don't fail the gate while a
+    // real regression still does.
+    let mut per_delta = Duration::MAX;
+    let mut grouped = Duration::MAX;
+    for _ in 0..3 {
+        per_delta = per_delta.min(per_delta_pass(&s, &deltas));
+        grouped = grouped.min(group_commit_pass(&s, &deltas));
+    }
+    let per_delta_rate = rate(DELTAS, per_delta);
+    let grouped_rate = rate(DELTAS, grouped);
+    let speedup = grouped_rate / per_delta_rate;
+    let fsync_micros = per_delta.as_micros() as f64 / DELTAS as f64;
+
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "group commit no longer amortises the fsync: {grouped_rate:.0} vs \
+         {per_delta_rate:.0} deltas/s is only {speedup:.1}x (need ≥ {REQUIRED_SPEEDUP}x)"
+    );
+
+    let baseline =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/wal.txt"))
+            .expect("the recorded WAL baseline is checked in");
+    let baseline_rate: f64 = baseline
+        .lines()
+        .find_map(|l| l.strip_prefix("group_commit_deltas_per_sec"))
+        .and_then(|v| v.trim_start_matches(':').trim().parse().ok())
+        .expect("baseline field group_commit_deltas_per_sec missing");
+    let allowance: f64 = std::env::var("DOGMATIX_BASELINE_ALLOWANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.75);
+    assert!(
+        grouped_rate >= baseline_rate / allowance,
+        "group-commit throughput regressed: {grouped_rate:.0} deltas/s vs \
+         recorded {baseline_rate:.0} (allowance {allowance}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"corpus\": \"cd_dataset1\",\n  \"corpus_n\": {CORPUS_N},\n  \
+         \"deltas\": {DELTAS},\n  \"group_batch\": {GROUP_BATCH},\n  \
+         \"per_delta_fsync_deltas_per_sec\": {per_delta_rate:.0},\n  \
+         \"group_commit_deltas_per_sec\": {grouped_rate:.0},\n  \
+         \"group_commit_speedup\": {speedup:.2},\n  \
+         \"fsync_cost_micros\": {fsync_micros:.1}\n}}\n"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json");
+    std::fs::write(out, json).expect("write BENCH_wal.json");
+    println!(
+        "durability sanity (cd n={CORPUS_N}, {DELTAS} deltas): per-delta fsync \
+         {per_delta_rate:.0}/s, group commit {grouped_rate:.0}/s — {speedup:.1}x \
+         (recorded {baseline_rate:.0}/s)"
+    );
+}
+
+fn bench_wal(c: &mut Criterion) {
+    durability_sanity();
+
+    let fixture = CdFixture::dataset1(CORPUS_N);
+    let s = session(&fixture);
+    let deltas = delta_stream(&fixture, GROUP_BATCH);
+
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(20);
+
+    // Buffered append only — the in-memory frame cost, no durability.
+    let path = scratch_log("bench-buffered");
+    let mut wal = Wal::create(&path, &s, FsyncPolicy::Never).expect("create WAL");
+    group.bench_with_input(BenchmarkId::new("policy", "buffered"), &(), |b, ()| {
+        b.iter(|| wal.append(&deltas[0]).expect("append"))
+    });
+    drop(wal);
+    remove_log(&path);
+
+    // Append + fsync — the per-delta durability point.
+    let path = scratch_log("bench-always");
+    let mut wal = Wal::create(&path, &s, FsyncPolicy::Always).expect("create WAL");
+    group.bench_with_input(BenchmarkId::new("policy", "fsync_each"), &(), |b, ()| {
+        b.iter(|| wal.append(&deltas[0]).expect("append"))
+    });
+    drop(wal);
+    remove_log(&path);
+
+    // A full 16-delta batch with one group commit.
+    let path = scratch_log("bench-batch");
+    let mut wal = Wal::create(&path, &s, FsyncPolicy::Batch).expect("create WAL");
+    group.bench_with_input(
+        BenchmarkId::new("policy", "group_commit_16"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                for delta in &deltas {
+                    wal.append(delta).expect("append");
+                }
+                wal.commit().expect("commit")
+            })
+        },
+    );
+    drop(wal);
+    remove_log(&path);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal);
+criterion_main!(benches);

@@ -224,8 +224,9 @@ fn checksum(payload: &[u8]) -> u64 {
 /// but far cheaper than the extraction + normalisation + interning a
 /// warm start skips, and it catches the silent-staleness case the
 /// candidate count cannot: an in-place value edit that leaves the
-/// corpus shape untouched.
-fn doc_fingerprint(doc: &Document) -> u64 {
+/// corpus shape untouched. Also used by [`crate::wal`] checkpoints to
+/// bind an embedded store snapshot to the checkpointed document.
+pub(crate) fn doc_fingerprint(doc: &Document) -> u64 {
     checksum(doc.to_xml().as_bytes())
 }
 
@@ -293,14 +294,14 @@ impl Writer {
 }
 
 /// Serialises an [`OdSet`] (minus its document-state node ids) to the
-/// snapshot file. Exposed for tests and tools; detectors go through
-/// [`SnapshotBackend`].
-pub fn save_snapshot(
+/// complete snapshot image — header, checksum, and payload — exactly
+/// as [`save_snapshot`] writes to disk. [`crate::wal`] embeds this
+/// image inside checkpoint files instead of writing a sidecar.
+pub fn snapshot_to_bytes(
     ods: &OdSet,
     selections: &HashMap<String, BTreeSet<String>>,
     doc_fingerprint: u64,
-    path: &Path,
-) -> Result<(), DogmatixError> {
+) -> Vec<u8> {
     let (
         store,
         od_starts,
@@ -355,6 +356,19 @@ pub fn save_snapshot(
     out.extend_from_slice(&checksum(&payload).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&payload);
+    out
+}
+
+/// Serialises an [`OdSet`] (minus its document-state node ids) to the
+/// snapshot file. Exposed for tests and tools; detectors go through
+/// [`SnapshotBackend`].
+pub fn save_snapshot(
+    ods: &OdSet,
+    selections: &HashMap<String, BTreeSet<String>>,
+    doc_fingerprint: u64,
+    path: &Path,
+) -> Result<(), DogmatixError> {
+    let out = snapshot_to_bytes(ods, selections, doc_fingerprint);
     std::fs::write(path, out)
         .map_err(|e| snap_err(format!("cannot write snapshot {}: {e}", path.display())))
 }
@@ -444,6 +458,17 @@ pub fn load_snapshot(
 ) -> Result<OdSet, DogmatixError> {
     let data = std::fs::read(path)
         .map_err(|e| snap_err(format!("cannot read snapshot {}: {e}", path.display())))?;
+    snapshot_from_bytes(&data, selections, doc_fingerprint)
+}
+
+/// Verifies and reassembles a snapshot from its in-memory image (the
+/// exact byte sequence [`snapshot_to_bytes`] produced). Used by
+/// [`load_snapshot`] and by [`crate::wal`] checkpoint recovery.
+pub fn snapshot_from_bytes(
+    data: &[u8],
+    selections: &HashMap<String, BTreeSet<String>>,
+    doc_fingerprint: u64,
+) -> Result<OdSet, DogmatixError> {
     if data.len() < 24 {
         return Err(snap_err("snapshot truncated: missing header"));
     }

@@ -50,6 +50,14 @@ pub enum DogmatixError {
         /// Which resource is saturated.
         message: String,
     },
+    /// A write-ahead log or checkpoint could not be written, read, or
+    /// replayed (missing file, bad header, corrupt checkpoint, torn
+    /// tail frame — see [`crate::wal`]). Recovery reports a torn tail
+    /// through this variant without failing: the valid prefix is kept.
+    Wal {
+        /// What is wrong.
+        message: String,
+    },
 }
 
 impl DogmatixError {
@@ -66,6 +74,7 @@ impl DogmatixError {
             DogmatixError::Snapshot { .. } => "snapshot",
             DogmatixError::Protocol { .. } => "protocol",
             DogmatixError::Overloaded { .. } => "overloaded",
+            DogmatixError::Wal { .. } => "wal",
         }
     }
 }
@@ -92,6 +101,9 @@ impl fmt::Display for DogmatixError {
             }
             DogmatixError::Overloaded { message } => {
                 write!(f, "server overloaded: {message}")
+            }
+            DogmatixError::Wal { message } => {
+                write!(f, "write-ahead log error: {message}")
             }
         }
     }
@@ -140,6 +152,11 @@ mod tests {
         };
         assert_eq!(e.kind(), "overloaded");
         assert!(e.to_string().contains("queue"));
+        let e = DogmatixError::Wal {
+            message: "torn frame at offset 8".into(),
+        };
+        assert_eq!(e.kind(), "wal");
+        assert!(e.to_string().contains("torn frame"));
     }
 
     #[test]

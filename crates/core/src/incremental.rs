@@ -177,16 +177,20 @@ impl DocumentDelta {
     /// ```
     ///
     /// Unparseable lines are a [`DogmatixError::Protocol`] — the server
-    /// answers them as structured `ERR` responses.
+    /// answers them as structured `ERR` responses. Line terminators are
+    /// trimmed uniformly: a trailing `\r\n` or `\n` (e.g. from `nc -C`
+    /// or CRLF-emitting shells) is never part of the delta.
     ///
     /// ```
     /// use dogmatix_core::incremental::DocumentDelta;
     /// let d = DocumentDelta::parse("insert /db <m><t>X</t></m>")?;
     /// assert!(matches!(d, DocumentDelta::InsertXml { .. }));
+    /// assert_eq!(DocumentDelta::parse("remove 3\r\n")?, DocumentDelta::parse("remove 3")?);
     /// assert!(DocumentDelta::parse("frobnicate 3").is_err());
     /// # Ok::<(), dogmatix_core::DogmatixError>(())
     /// ```
     pub fn parse(line: &str) -> Result<DocumentDelta, DogmatixError> {
+        let line = line.trim_end_matches(['\r', '\n']);
         let proto = |message: String| DogmatixError::Protocol { message };
         let mut words = line.splitn(2, char::is_whitespace);
         let cmd = words.next().unwrap_or_default();
@@ -282,6 +286,10 @@ pub struct IngestCounters {
 /// batch session's OD-cache key.
 type SelectionKey = Vec<(String, Vec<String>)>;
 
+/// A clean session's interned store and the selections it was built
+/// under — what a checkpoint embeds for warm-started recovery.
+pub(crate) type CleanStore<'a> = (&'a Arc<OdSet>, HashMap<String, BTreeSet<String>>);
+
 /// State carried from the previous detection run.
 struct PrevRun {
     selection_key: SelectionKey,
@@ -340,6 +348,10 @@ pub struct IncrementalSession {
     /// every softIDF weight did too → full re-score).
     structure_changed: bool,
     prev: Option<PrevRun>,
+    /// Selection the extraction cache was prefilled under by checkpoint
+    /// recovery ([`crate::wal`]); the first detection run drops the
+    /// prefill if its own selection differs.
+    prefill_key: Option<SelectionKey>,
     counters: IngestCounters,
 }
 
@@ -363,6 +375,7 @@ impl IncrementalSession {
             dirty: BTreeSet::new(),
             structure_changed: false,
             prev: None,
+            prefill_key: None,
             counters: IngestCounters::default(),
         })
     }
@@ -661,6 +674,68 @@ impl IncrementalSession {
             }
         }
     }
+
+    // ---- durability hooks (see `crate::wal`) --------------------------
+
+    /// Whether the session re-infers its schema after deltas (opened via
+    /// [`IncrementalSession::with_inferred_schema`]); checkpoints record
+    /// this so recovery rebuilds the same kind of session.
+    pub(crate) fn infers_schema(&self) -> bool {
+        self.infer_schema
+    }
+
+    /// The interned store of the last detection run plus the selections
+    /// it was built under — available only while the session is *clean*
+    /// (a run happened and nothing was applied since), so the store
+    /// provably describes the current document. `None` while deltas are
+    /// pending: a checkpoint then stores the document alone and recovery
+    /// re-extracts.
+    pub(crate) fn clean_store(&self) -> Option<CleanStore<'_>> {
+        if !self.dirty.is_empty() || self.structure_changed || self.schema_stale {
+            return None;
+        }
+        let prev = self.prev.as_ref()?;
+        let selections = prev
+            .selection_key
+            .iter()
+            .map(|(path, sel)| (path.clone(), sel.iter().cloned().collect()))
+            .collect();
+        Some((&prev.ods, selections))
+    }
+
+    /// Prefills the per-candidate extraction cache from a
+    /// checkpoint-loaded store so recovery skips re-extracting the whole
+    /// corpus. Rows of `ods` must align with the current candidate set
+    /// (the caller validates object count and document fingerprint
+    /// first); [`OdSet::build_from_raw`] preserves tuple order, so the
+    /// next detection re-interns to a bit-identical store. The recorded
+    /// selection key guards the prefill: the first detection run drops
+    /// it if the live selector chooses differently.
+    pub(crate) fn prefill_extraction(
+        &mut self,
+        ods: &OdSet,
+        selections: &HashMap<String, BTreeSet<String>>,
+    ) {
+        for (i, &node) in self.candidates.nodes.iter().enumerate() {
+            let raw: Vec<RawTuple> = ods
+                .od(i)
+                .tuples()
+                .map(|t| RawTuple {
+                    value: t.value().to_string(),
+                    path: t.path().to_string(),
+                    rw_type: t.rw_type().to_string(),
+                    norm: ods.term(t.term()).norm().to_string(),
+                })
+                .collect();
+            self.extraction.insert(node, Arc::new(raw));
+        }
+        let mut key: SelectionKey = selections
+            .iter()
+            .map(|(path, sel)| (path.clone(), sel.iter().cloned().collect()))
+            .collect();
+        key.sort();
+        self.prefill_key = Some(key);
+    }
 }
 
 impl std::fmt::Debug for IncrementalSession {
@@ -724,6 +799,14 @@ pub(crate) fn detect_incremental(
             // Same descriptions, different measure/classifier: cached
             // verdicts are stale but extractions survive.
             s.prev = None;
+        }
+    }
+    if let Some(key) = s.prefill_key.take() {
+        // A checkpoint-recovered extraction cache is only valid under
+        // the selection it was built with; drop it if the live selector
+        // chooses differently.
+        if key != selection_key {
+            s.extraction.clear();
         }
     }
 

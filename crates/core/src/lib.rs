@@ -20,6 +20,7 @@
 //! | §7 related-work measures for ablations | [`baseline`] |
 //! | §2 framework: pluggable stage traits | [`stage`] |
 //! | beyond the paper: streaming ingest | [`incremental`] |
+//! | beyond the paper: write-ahead delta log + crash recovery | [`wal`] |
 //! | beyond the paper: q-gram / MinHash-LSH blocking | [`filter`], [`neighborhood`] |
 //! | beyond the paper: sharded pair-plan execution | [`shard`] |
 //! | beyond the paper: columnar term store + persistent index backends | [`store`], [`backend`] |
@@ -103,9 +104,11 @@ pub mod shard;
 pub mod sim;
 pub mod stage;
 pub mod store;
+pub mod wal;
 
 pub use error::DogmatixError;
 pub use incremental::{DocumentDelta, IncrementalSession};
 pub use mapping::Mapping;
 pub use pipeline::{DetectionResult, DetectionSession, Dogmatix, DogmatixBuilder, DogmatixConfig};
 pub use probe::{ProbeAnswer, ProbeBlocking, ProbeMatch, ProbeScratch, ProbeSnapshot, ProbeStats};
+pub use wal::{FsyncPolicy, Recovery, RecoveryReport, Wal};

@@ -15,20 +15,41 @@
 //! ```text
 //! PROBE <k> <xml-fragment>   → OK n=<m> <idx>:<sim> … seq=<s> examined=<e>/<t>
 //! INGEST <delta-line>        → OK ingested seq=<s> objects=<n> duplicates=<d>
-//! STATS                      → OK seq=<s> objects=<n> probes=<p> ingests=<i> shed=<x>
+//! STATS                      → OK seq=<s> objects=<n> pairs=<d> probes=<p> ingests=<i> shed=<x>
+//! CHECKPOINT                 → OK checkpoint lsn=<n>   (durable servers only)
 //! SHUTDOWN                   → OK bye            (stops the server)
 //! anything else              → ERR <kind>: <message>
 //! ```
 //!
-//! `<delta-line>` uses the [`DocumentDelta::parse`] grammar shared with
-//! the CLI's `--deltas` scripts. Errors are always answered as a
-//! structured `ERR <kind>: <message>` line ([`DogmatixError::kind`]) —
-//! a malformed or oversized request never drops the connection, and a
-//! saturated ingest queue or worker pool sheds the request with
+//! Lines may end in `\n` or `\r\n` — the trailing `\r` of CRLF clients
+//! (`nc -C`, some `/dev/tcp` shells) is stripped uniformly, never
+//! treated as part of the request. `<delta-line>` uses the
+//! [`DocumentDelta::parse`] grammar shared with the CLI's `--deltas`
+//! scripts. Errors are always answered as a structured
+//! `ERR <kind>: <message>` line ([`DogmatixError::kind`]) — a malformed
+//! or oversized request never drops the connection, and a saturated
+//! ingest queue or worker pool sheds the request with
 //! `ERR overloaded: …` instead of queueing unboundedly.
+//!
+//! `STATS` reports its `(seq, objects, pairs)` triple from one read of
+//! the published snapshot slot, so the three values always describe the
+//! same state — never torn across a writer swap.
+//!
+//! ## Durability ([`serve_durable`])
+//!
+//! A durable server owns a [`Wal`]: the writer thread appends every
+//! delta of a drained batch to the log **before** applying any of it,
+//! then pays one fsync for the whole batch (*group commit* —
+//! [`dogmatix_core::wal::FsyncPolicy::Batch`]) before acknowledging.
+//! An acknowledged `INGEST` therefore survives `kill -9`:
+//! [`IncrementalSession::recover`] replays the log onto the last
+//! checkpoint. Checkpoints are written every
+//! [`ServerConfig::checkpoint_every`] deltas and on the `CHECKPOINT`
+//! command. `SHUTDOWN` drains the ingest queue — queued deltas are
+//! logged, fsynced, and applied before the writer exits, never dropped.
 
 use dogmatix_core::probe::{ProbeBlocking, ProbeScratch, ProbeSnapshot};
-use dogmatix_core::{DocumentDelta, Dogmatix, DogmatixError, IncrementalSession};
+use dogmatix_core::{DocumentDelta, Dogmatix, DogmatixError, IncrementalSession, Wal};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -61,6 +82,10 @@ pub struct ServerConfig {
     pub blocking: ProbeBlocking,
     /// Default `k` is not configurable — clients pass it per `PROBE`.
     pub max_ingest_batch: usize,
+    /// Durable servers ([`serve_durable`]) write an automatic checkpoint
+    /// after this many logged deltas, bounding recovery replay. `0`
+    /// disables auto-checkpoints (the `CHECKPOINT` command still works).
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +98,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             blocking: ProbeBlocking::default(),
             max_ingest_batch: 64,
+            checkpoint_every: 1024,
         }
     }
 }
@@ -91,12 +117,28 @@ struct IngestJob {
     reply: IngestReply,
 }
 
+/// Everything the writer thread consumes, in arrival order.
+enum WriterMsg {
+    Ingest(IngestJob),
+    /// A `CHECKPOINT` request; the writer answers with the covered LSN.
+    Checkpoint(Sender<Result<u64, DogmatixError>>),
+}
+
+/// One published state: the probe snapshot, its sequence number, and
+/// the duplicate-pair count of the detection run that produced it —
+/// swapped as a unit so `STATS` and `PROBE` never see a torn triple.
+struct Published {
+    snap: Arc<ProbeSnapshot>,
+    seq: u64,
+    pairs: usize,
+}
+
 /// State shared between the acceptor, the probe workers, and the
 /// writer thread.
 struct Shared {
-    /// The last published snapshot and its sequence number, swapped
-    /// together so a probe's answer always names the state it saw.
-    snapshot: Mutex<(Arc<ProbeSnapshot>, u64)>,
+    /// The last published state, swapped as one unit so readers always
+    /// get mutually consistent (snapshot, seq, pairs).
+    snapshot: Mutex<Published>,
     addr: Mutex<Option<SocketAddr>>,
     shutdown: AtomicBool,
     probes: AtomicU64,
@@ -105,16 +147,21 @@ struct Shared {
 }
 
 impl Shared {
-    fn current(&self) -> (Arc<ProbeSnapshot>, u64) {
+    fn current(&self) -> Published {
         let slot = self.snapshot.lock().unwrap_or_else(PoisonError::into_inner);
-        (Arc::clone(&slot.0), slot.1)
+        Published {
+            snap: Arc::clone(&slot.snap),
+            seq: slot.seq,
+            pairs: slot.pairs,
+        }
     }
 
-    fn publish(&self, snap: ProbeSnapshot) -> u64 {
+    fn publish(&self, snap: ProbeSnapshot, pairs: usize) -> u64 {
         let mut slot = self.snapshot.lock().unwrap_or_else(PoisonError::into_inner);
-        slot.1 += 1;
-        slot.0 = Arc::new(snap);
-        slot.1
+        slot.seq += 1;
+        slot.snap = Arc::new(snap);
+        slot.pairs = pairs;
+        slot.seq
     }
 
     fn local_addr(&self) -> Option<SocketAddr> {
@@ -174,13 +221,37 @@ impl Drop for ServerHandle {
 /// spawns the acceptor, the probe worker pool, and the writer thread.
 pub fn serve(
     dx: Dogmatix,
+    session: IncrementalSession,
+    config: ServerConfig,
+) -> Result<ServerHandle, DogmatixError> {
+    serve_inner(dx, session, None, config)
+}
+
+/// [`serve`], with a write-ahead log as the `INGEST` durability layer:
+/// group-commit appends before every applied batch, auto-checkpoints
+/// every [`ServerConfig::checkpoint_every`] deltas, and the
+/// `CHECKPOINT` command. Create the log with [`Wal::create`] (fresh
+/// corpus) or re-open it via [`IncrementalSession::recover`] (restart),
+/// then hand both halves here.
+pub fn serve_durable(
+    dx: Dogmatix,
+    session: IncrementalSession,
+    wal: Wal,
+    config: ServerConfig,
+) -> Result<ServerHandle, DogmatixError> {
+    serve_inner(dx, session, Some(wal), config)
+}
+
+fn serve_inner(
+    dx: Dogmatix,
     mut session: IncrementalSession,
+    wal: Option<Wal>,
     config: ServerConfig,
 ) -> Result<ServerHandle, DogmatixError> {
     let spawn_err = |e: std::io::Error| DogmatixError::Config {
         message: format!("cannot spawn server thread: {e}"),
     };
-    dx.detect_delta(&mut session, &[])?;
+    let initial_pairs = dx.detect_delta(&mut session, &[])?.duplicate_pairs.len();
     let initial = session.publish_snapshot(&dx, config.blocking)?;
     let listener = TcpListener::bind(config.addr.as_str()).map_err(|e| DogmatixError::Config {
         message: format!("cannot bind {}: {e}", config.addr),
@@ -190,7 +261,11 @@ pub fn serve(
     })?;
 
     let shared = Arc::new(Shared {
-        snapshot: Mutex::new((Arc::new(initial), 1)),
+        snapshot: Mutex::new(Published {
+            snap: Arc::new(initial),
+            seq: 1,
+            pairs: initial_pairs,
+        }),
         addr: Mutex::new(Some(addr)),
         shutdown: AtomicBool::new(false),
         probes: AtomicU64::new(0),
@@ -200,15 +275,27 @@ pub fn serve(
 
     let mut threads = Vec::new();
 
-    let (ingest_tx, ingest_rx) = sync_channel::<IngestJob>(config.ingest_queue.max(1));
+    let (ingest_tx, ingest_rx) = sync_channel::<WriterMsg>(config.ingest_queue.max(1));
     {
         let shared = Arc::clone(&shared);
         let blocking = config.blocking;
         let max_batch = config.max_ingest_batch.max(1);
+        let checkpoint_every = config.checkpoint_every;
         threads.push(
             std::thread::Builder::new()
                 .name("dogmatixd-writer".to_string())
-                .spawn(move || writer_loop(dx, session, blocking, max_batch, &ingest_rx, &shared))
+                .spawn(move || {
+                    writer_loop(
+                        &dx,
+                        session,
+                        wal,
+                        blocking,
+                        max_batch,
+                        checkpoint_every,
+                        &ingest_rx,
+                        &shared,
+                    )
+                })
                 .map_err(spawn_err)?,
         );
     }
@@ -270,60 +357,171 @@ fn accept_loop(listener: &TcpListener, conn_tx: SyncSender<TcpStream>, shared: &
 }
 
 /// Applies ingest jobs to the owned session and publishes one snapshot
-/// per drained batch — the probe-visible consistency boundary.
+/// per drained batch — the probe-visible consistency boundary. With a
+/// WAL, every delta of the batch is appended and fsynced (**one** sync:
+/// group commit) before any of it is applied or acknowledged.
+///
+/// A shutdown never drops queued work: the flag only stops the loop
+/// once the queue is empty, so ingests accepted before `SHUTDOWN` are
+/// logged, committed, and applied first.
+#[allow(clippy::too_many_arguments)]
 fn writer_loop(
-    dx: Dogmatix,
+    dx: &Dogmatix,
     mut session: IncrementalSession,
+    mut wal: Option<Wal>,
     blocking: ProbeBlocking,
     max_batch: usize,
-    rx: &Receiver<IngestJob>,
+    checkpoint_every: u64,
+    rx: &Receiver<WriterMsg>,
     shared: &Shared,
 ) {
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
         let first = match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(job) => job,
-            Err(RecvTimeoutError::Timeout) => continue,
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => {
+                // Drain-before-exit: only an *empty* queue lets the
+                // shutdown flag stop the writer.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            // All senders gone — the queue is fully drained by then.
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        let mut batch = vec![first];
-        while batch.len() < max_batch {
+        let mut batch = Vec::new();
+        let mut checkpoints = Vec::new();
+        match first {
+            WriterMsg::Ingest(job) => batch.push(job),
+            WriterMsg::Checkpoint(reply) => checkpoints.push(reply),
+        }
+        while batch.len() < max_batch && checkpoints.is_empty() {
             match rx.try_recv() {
-                Ok(job) => batch.push(job),
+                Ok(WriterMsg::Ingest(job)) => batch.push(job),
+                Ok(WriterMsg::Checkpoint(reply)) => checkpoints.push(reply),
                 Err(_) => break,
             }
         }
-        let mut outcomes: Vec<(IngestReply, Result<usize, DogmatixError>)> =
-            Vec::with_capacity(batch.len());
-        for job in batch {
-            let res = DocumentDelta::parse(&job.line)
-                .and_then(|delta| dx.detect_delta(&mut session, std::slice::from_ref(&delta)))
-                .map(|result| result.duplicate_pairs.len());
-            outcomes.push((job.reply, res));
-        }
-        match session.publish_snapshot(&dx, blocking) {
-            Ok(snap) => {
-                let objects = snap.len();
-                let seq = shared.publish(snap);
-                for (reply, res) in outcomes {
-                    if res.is_ok() {
-                        shared.ingests.fetch_add(1, Ordering::Relaxed);
+        if !batch.is_empty() {
+            run_batch(dx, &mut session, wal.as_mut(), blocking, batch, shared);
+            if let Some(wal) = wal.as_mut() {
+                if checkpoint_every > 0 && wal.appended_since_checkpoint() >= checkpoint_every {
+                    if let Err(e) = wal.checkpoint(&session) {
+                        // Keep serving — the log simply keeps growing
+                        // until a later checkpoint succeeds.
+                        eprintln!("dogmatixd: auto-checkpoint failed: {e}");
                     }
-                    let _ = reply.send(res.map(|duplicates| IngestAck {
-                        seq,
-                        objects,
-                        duplicates,
-                    }));
                 }
             }
-            Err(e) => {
-                // Keep serving the previous snapshot; acknowledge each
-                // job with its own failure (or the publish failure).
-                for (reply, res) in outcomes {
-                    let _ = reply.send(res.and(Err(e.clone())));
+        }
+        for reply in checkpoints {
+            let result = match wal.as_mut() {
+                Some(wal) => wal.checkpoint(&session),
+                None => Err(DogmatixError::Config {
+                    message: "server runs without a write-ahead log (start with --wal)".to_string(),
+                }),
+            };
+            let _ = reply.send(result);
+        }
+    }
+    // Whatever the exit path, nothing acknowledged may be un-synced.
+    if let Some(wal) = wal.as_mut() {
+        if let Err(e) = wal.commit() {
+            eprintln!("dogmatixd: final WAL commit failed: {e}");
+        }
+    }
+}
+
+/// One drained ingest batch: parse → WAL append ×N + one group-commit
+/// fsync → apply → publish once → acknowledge.
+fn run_batch(
+    dx: &Dogmatix,
+    session: &mut IncrementalSession,
+    wal: Option<&mut Wal>,
+    blocking: ProbeBlocking,
+    batch: Vec<IngestJob>,
+    shared: &Shared,
+) {
+    // Phase 1: parse every line (a bad line fails its own job only).
+    let mut jobs: Vec<(IngestReply, Result<DocumentDelta, DogmatixError>)> = batch
+        .into_iter()
+        .map(|job| {
+            let parsed = DocumentDelta::parse(&job.line);
+            (job.reply, parsed)
+        })
+        .collect();
+
+    // Phase 2: write-ahead. Append every parsed delta, then pay one
+    // fsync for the whole batch — the group commit. A delta is only
+    // applied (phase 3) once it is durable; on a log failure the whole
+    // batch is refused rather than applied un-logged.
+    if let Some(wal) = wal {
+        let mut log_failure: Option<DogmatixError> = None;
+        for (_, parsed) in jobs.iter_mut() {
+            if log_failure.is_none() {
+                if let Ok(delta) = parsed.as_ref() {
+                    if let Err(e) = wal.append(delta) {
+                        log_failure = Some(e);
+                    }
                 }
+            }
+            if let Some(e) = &log_failure {
+                if parsed.is_ok() {
+                    *parsed = Err(e.clone());
+                }
+            }
+        }
+        if log_failure.is_none() {
+            if let Err(e) = wal.commit() {
+                for (_, parsed) in jobs.iter_mut() {
+                    if parsed.is_ok() {
+                        *parsed = Err(e.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3: apply. Each job's own failure (bad index, dangling
+    // path) is acknowledged individually; recovery replay skips the
+    // same deltas identically.
+    let mut last_pairs: Option<usize> = None;
+    let outcomes: Vec<(IngestReply, Result<usize, DogmatixError>)> = jobs
+        .into_iter()
+        .map(|(reply, parsed)| {
+            let res = parsed
+                .and_then(|delta| dx.detect_delta(session, std::slice::from_ref(&delta)))
+                .map(|result| result.duplicate_pairs.len());
+            if let Ok(pairs) = &res {
+                last_pairs = Some(*pairs);
+            }
+            (reply, res)
+        })
+        .collect();
+
+    // Phase 4: publish once, acknowledge after the swap so an `OK` is
+    // always observable by the next probe.
+    match session.publish_snapshot(dx, blocking) {
+        Ok(snap) => {
+            let objects = snap.len();
+            let pairs = last_pairs.unwrap_or_else(|| shared.current().pairs);
+            let seq = shared.publish(snap, pairs);
+            for (reply, res) in outcomes {
+                if res.is_ok() {
+                    shared.ingests.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = reply.send(res.map(|duplicates| IngestAck {
+                    seq,
+                    objects,
+                    duplicates,
+                }));
+            }
+        }
+        Err(e) => {
+            // Keep serving the previous snapshot; acknowledge each
+            // job with its own failure (or the publish failure).
+            for (reply, res) in outcomes {
+                let _ = reply.send(res.and(Err(e.clone())));
             }
         }
     }
@@ -334,7 +532,7 @@ fn writer_loop(
 fn worker_loop(
     rx: &Mutex<Receiver<TcpStream>>,
     shared: &Shared,
-    ingest_tx: &SyncSender<IngestJob>,
+    ingest_tx: &SyncSender<WriterMsg>,
     cfg: &ServerConfig,
 ) {
     let mut scratch = ProbeScratch::new();
@@ -360,13 +558,16 @@ enum LineRead {
     },
 }
 
-/// Reads one `\n`-terminated line of at most `max` bytes into `out`.
+/// Reads one `\n`-terminated line of at most `max` bytes into `out`,
+/// stripping a trailing `\r` so CRLF clients (`nc -C`, `/dev/tcp`
+/// shells) speak the same protocol as LF ones. The caller clears `out`
+/// before the first call for a request — on a read timeout, partial
+/// bytes stay in `out` and a retry resumes the same line.
 fn read_bounded_line(
     reader: &mut BufReader<TcpStream>,
     max: usize,
     out: &mut Vec<u8>,
 ) -> std::io::Result<LineRead> {
-    out.clear();
     loop {
         let buf = reader.fill_buf()?;
         if buf.is_empty() {
@@ -380,6 +581,9 @@ fn read_bounded_line(
             Some(pos) => {
                 out.extend_from_slice(&buf[..pos]);
                 reader.consume(pos + 1);
+                if out.last() == Some(&b'\r') {
+                    out.pop();
+                }
                 return Ok(if out.len() > max {
                     LineRead::TooLong { terminated: true }
                 } else {
@@ -423,14 +627,31 @@ fn err_line(e: &DogmatixError) -> String {
     format!("ERR {}: {e}\n", e.kind())
 }
 
+/// How often a blocked read wakes to check the shutdown flag. The
+/// socket timeout is the *minimum* of this and the configured idle
+/// timeout, so shutdown latency is bounded by ~this even while a
+/// worker sits in a blocking read on an idle connection.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 fn handle_connection(
     stream: TcpStream,
     shared: &Shared,
-    ingest_tx: &SyncSender<IngestJob>,
+    ingest_tx: &SyncSender<WriterMsg>,
     cfg: &ServerConfig,
     scratch: &mut ProbeScratch,
 ) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let poll = cfg
+        .read_timeout
+        .min(SHUTDOWN_POLL)
+        .max(Duration::from_millis(1));
+    let _ = stream.set_read_timeout(Some(poll));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -443,14 +664,48 @@ fn handle_connection(
             let _ = writer.write_all(b"ERR overloaded: server overloaded: shutting down\n");
             break;
         }
-        match read_bounded_line(&mut reader, cfg.max_line_bytes, &mut raw) {
-            Ok(LineRead::Eof) => break,
-            Ok(LineRead::Line) => {}
-            Ok(LineRead::TooLong { terminated }) => {
+        raw.clear();
+        // Poll-read: each timeout tick re-checks the shutdown flag;
+        // a partially received line survives in `raw` across ticks.
+        let mut idle = Duration::ZERO;
+        let read = loop {
+            match read_bounded_line(&mut reader, cfg.max_line_bytes, &mut raw) {
+                Ok(read) => break Some(read),
+                Err(e) if is_timeout(&e) => {
+                    idle += poll;
+                    if shared.shutdown.load(Ordering::SeqCst) || idle >= cfg.read_timeout {
+                        break None;
+                    }
+                }
+                Err(_) => break None, // socket error: close
+            }
+        };
+        match read {
+            Some(LineRead::Eof) => break,
+            Some(LineRead::Line) => {}
+            Some(LineRead::TooLong { terminated }) => {
                 // The oversized line may still be streaming in; discard
-                // its tail, answer, and keep the connection.
-                if !terminated && drain_to_newline(&mut reader).is_err() {
-                    break;
+                // its tail (riding out poll timeouts), answer, and keep
+                // the connection.
+                if !terminated {
+                    let mut idle = Duration::ZERO;
+                    let drained = loop {
+                        match drain_to_newline(&mut reader) {
+                            Ok(()) => break true,
+                            Err(e) if is_timeout(&e) => {
+                                idle += poll;
+                                if shared.shutdown.load(Ordering::SeqCst)
+                                    || idle >= cfg.read_timeout
+                                {
+                                    break false;
+                                }
+                            }
+                            Err(_) => break false,
+                        }
+                    };
+                    if !drained {
+                        break;
+                    }
                 }
                 let e = DogmatixError::Protocol {
                     message: format!("request exceeds {} bytes", cfg.max_line_bytes),
@@ -460,7 +715,12 @@ fn handle_connection(
                 }
                 continue;
             }
-            Err(_) => break, // read timeout or socket error: close
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = writer.write_all(b"ERR overloaded: server overloaded: shutting down\n");
+                }
+                break; // idle timeout, shutdown, or socket error: close
+            }
         }
         let line = String::from_utf8_lossy(&raw);
         let response = answer(line.trim(), shared, ingest_tx, scratch);
@@ -477,7 +737,7 @@ fn handle_connection(
 fn answer(
     line: &str,
     shared: &Shared,
-    ingest_tx: &SyncSender<IngestJob>,
+    ingest_tx: &SyncSender<WriterMsg>,
     scratch: &mut ProbeScratch,
 ) -> String {
     let mut words = line.splitn(2, char::is_whitespace);
@@ -487,15 +747,21 @@ fn answer(
         "PROBE" => probe_response(rest, shared, scratch),
         "INGEST" => ingest_response(rest, shared, ingest_tx),
         "STATS" => {
-            let (snap, seq) = shared.current();
+            // One read of the published slot: seq, objects, and pairs
+            // always describe the same snapshot — never torn across a
+            // writer swap.
+            let state = shared.current();
             format!(
-                "OK seq={seq} objects={} probes={} ingests={} shed={}\n",
-                snap.len(),
+                "OK seq={} objects={} pairs={} probes={} ingests={} shed={}\n",
+                state.seq,
+                state.snap.len(),
+                state.pairs,
                 shared.probes.load(Ordering::Relaxed),
                 shared.ingests.load(Ordering::Relaxed),
                 shared.shed.load(Ordering::Relaxed),
             )
         }
+        "CHECKPOINT" => checkpoint_response(shared, ingest_tx),
         "SHUTDOWN" => {
             shared.begin_shutdown();
             "OK bye\n".to_string()
@@ -525,7 +791,8 @@ fn probe_response(rest: &str, shared: &Shared, scratch: &mut ProbeScratch) -> St
         Ok(p) => p,
         Err(e) => return err_line(&e),
     };
-    let (snap, seq) = shared.current();
+    let state = shared.current();
+    let (snap, seq) = (state.snap, state.seq);
     let answered = snap
         .record_from_xml(xml)
         .and_then(|record| snap.probe(&record, k, scratch));
@@ -548,7 +815,7 @@ fn probe_response(rest: &str, shared: &Shared, scratch: &mut ProbeScratch) -> St
     }
 }
 
-fn ingest_response(rest: &str, shared: &Shared, ingest_tx: &SyncSender<IngestJob>) -> String {
+fn ingest_response(rest: &str, shared: &Shared, ingest_tx: &SyncSender<WriterMsg>) -> String {
     if rest.is_empty() {
         return err_line(&DogmatixError::Protocol {
             message: "INGEST needs '<delta-line>'".to_string(),
@@ -559,12 +826,38 @@ fn ingest_response(rest: &str, shared: &Shared, ingest_tx: &SyncSender<IngestJob
         line: rest.to_string(),
         reply: reply_tx,
     };
-    match ingest_tx.try_send(job) {
+    match ingest_tx.try_send(WriterMsg::Ingest(job)) {
         Ok(()) => match reply_rx.recv() {
             Ok(Ok(ack)) => format!(
                 "OK ingested seq={} objects={} duplicates={}\n",
                 ack.seq, ack.objects, ack.duplicates
             ),
+            Ok(Err(e)) => err_line(&e),
+            Err(_) => err_line(&DogmatixError::Overloaded {
+                message: "ingest writer unavailable".to_string(),
+            }),
+        },
+        Err(TrySendError::Full(_)) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            err_line(&DogmatixError::Overloaded {
+                message: "ingest queue full".to_string(),
+            })
+        }
+        Err(TrySendError::Disconnected(_)) => err_line(&DogmatixError::Overloaded {
+            message: "ingest writer stopped".to_string(),
+        }),
+    }
+}
+
+/// Asks the writer to checkpoint the write-ahead log and waits for the
+/// durable LSN. Checkpoints jump the batching queue-drain (the writer
+/// answers them between batches), so the reply reflects every delta
+/// acknowledged before this request.
+fn checkpoint_response(shared: &Shared, ingest_tx: &SyncSender<WriterMsg>) -> String {
+    let (reply_tx, reply_rx) = channel();
+    match ingest_tx.try_send(WriterMsg::Checkpoint(reply_tx)) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(Ok(lsn)) => format!("OK checkpoint lsn={lsn}\n"),
             Ok(Err(e)) => err_line(&e),
             Err(_) => err_line(&DogmatixError::Overloaded {
                 message: "ingest writer unavailable".to_string(),

@@ -1,8 +1,8 @@
 //! `dogmatixd` binary: boot the resident dedup server over one corpus.
 
 use dogmatix_core::probe::ProbeBlocking;
-use dogmatix_core::{Dogmatix, Mapping};
-use dogmatix_server::{serve, ServerConfig};
+use dogmatix_core::{Dogmatix, FsyncPolicy, IncrementalSession, Mapping, Wal};
+use dogmatix_server::{serve, serve_durable, ServerConfig};
 use dogmatix_xml::Document;
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -19,12 +19,21 @@ OPTIONS:
     --ingest-queue <n>        bounded ingest queue depth (default 64)
     --read-timeout-ms <n>     idle-connection timeout (default 30000)
     --max-line-bytes <n>      request size cap (default 1048576)
+    --wal <path>              write-ahead-log every ingested delta to <path>
+                              (enables the CHECKPOINT command)
+    --recover                 boot from <wal path>'s checkpoint + log instead
+                              of <doc.xml> (requires --wal; <doc.xml> is
+                              ignored, <rw_type> must match the logged one)
+    --wal-fsync <policy>      fsync policy: always | batch | never
+                              (default batch = one fsync per ingest batch)
+    --checkpoint-every <n>    auto-checkpoint after n logged deltas
+                              (default 1024; 0 disables auto-checkpoints)
     --help                    print this help
 
 On startup the server prints one line to stdout:
     dogmatixd listening on <addr>
 then serves the newline-delimited protocol (PROBE / INGEST / STATS /
-SHUTDOWN) until a client sends SHUTDOWN.";
+CHECKPOINT / SHUTDOWN) until a client sends SHUTDOWN.";
 
 fn main() -> ExitCode {
     match run() {
@@ -44,6 +53,9 @@ fn run() -> Result<(), String> {
     }
     let mut positional: Vec<&str> = Vec::new();
     let mut config = ServerConfig::default();
+    let mut wal_path: Option<String> = None;
+    let mut recover = false;
+    let mut fsync = FsyncPolicy::Batch;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -69,6 +81,16 @@ fn run() -> Result<(), String> {
                 config.max_line_bytes =
                     parse_num(&flag_value("--max-line-bytes")?, "--max-line-bytes")?;
             }
+            "--wal" => wal_path = Some(flag_value("--wal")?),
+            "--recover" => recover = true,
+            "--wal-fsync" => {
+                fsync = FsyncPolicy::parse(&flag_value("--wal-fsync")?)
+                    .map_err(|e| format!("--wal-fsync: {e}"))?;
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every =
+                    parse_num(&flag_value("--checkpoint-every")?, "--checkpoint-every")? as u64;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}' (see --help)"));
             }
@@ -79,20 +101,48 @@ fn run() -> Result<(), String> {
     let [doc_path, mapping_path, rw_type] = positional[..] else {
         return Err("expected <doc.xml> <mapping.txt> <rw_type> (see --help)".to_string());
     };
+    if recover && wal_path.is_none() {
+        return Err("--recover needs --wal <path> to recover from (see --help)".to_string());
+    }
 
-    let xml = std::fs::read_to_string(doc_path)
-        .map_err(|e| format!("cannot read document {doc_path}: {e}"))?;
-    let doc = Document::parse(&xml).map_err(|e| format!("{doc_path}: {e}"))?;
     let mapping_text = std::fs::read_to_string(mapping_path)
         .map_err(|e| format!("cannot read mapping {mapping_path}: {e}"))?;
     let mapping = Mapping::parse(&mapping_text).map_err(|e| format!("{mapping_path}: {e}"))?;
-
-    let dx = Dogmatix::builder().mapping(mapping).build();
-    let session = dx
-        .incremental_session_inferred(doc, rw_type)
-        .map_err(|e| e.to_string())?;
+    let dx = Dogmatix::builder().mapping(mapping.clone()).build();
     config.blocking = ProbeBlocking::default();
-    let handle = serve(dx, session, config).map_err(|e| e.to_string())?;
+
+    let handle = if let Some(path) = wal_path {
+        let (session, wal) = if recover {
+            let rec = IncrementalSession::recover(&path, &mapping, None, fsync)
+                .map_err(|e| format!("cannot recover from {path}: {e}"))?;
+            if rec.session.rw_type() != rw_type {
+                return Err(format!(
+                    "log {path} holds rw_type '{}', not '{rw_type}'",
+                    rec.session.rw_type()
+                ));
+            }
+            eprintln!(
+                "dogmatixd: recovered from {path}: checkpoint lsn={} replayed={} skipped={}{}",
+                rec.report.checkpoint_lsn,
+                rec.report.replayed,
+                rec.report.skipped,
+                match &rec.report.dropped_tail {
+                    Some(e) => format!(" (dropped torn tail: {e})"),
+                    None => String::new(),
+                },
+            );
+            (rec.session, rec.wal)
+        } else {
+            let session = fresh_session(&dx, doc_path, rw_type)?;
+            let wal = Wal::create(&path, &session, fsync)
+                .map_err(|e| format!("cannot create log {path}: {e}"))?;
+            (session, wal)
+        };
+        serve_durable(dx, session, wal, config).map_err(|e| e.to_string())?
+    } else {
+        let session = fresh_session(&dx, doc_path, rw_type)?;
+        serve(dx, session, config).map_err(|e| e.to_string())?
+    };
 
     // Parseable startup line (flushed — stdout may be a pipe).
     let mut out = std::io::stdout();
@@ -101,6 +151,18 @@ fn run() -> Result<(), String> {
 
     handle.join();
     Ok(())
+}
+
+fn fresh_session(
+    dx: &Dogmatix,
+    doc_path: &str,
+    rw_type: &str,
+) -> Result<IncrementalSession, String> {
+    let xml = std::fs::read_to_string(doc_path)
+        .map_err(|e| format!("cannot read document {doc_path}: {e}"))?;
+    let doc = Document::parse(&xml).map_err(|e| format!("{doc_path}: {e}"))?;
+    dx.incremental_session_inferred(doc, rw_type)
+        .map_err(|e| e.to_string())
 }
 
 fn parse_num(value: &str, flag: &str) -> Result<usize, String> {

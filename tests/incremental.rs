@@ -13,6 +13,7 @@ mod common;
 use common::{build_doc, cases, record_strategy, MiniRecord};
 use dogmatix_repro::core::incremental::{DocumentDelta, IncrementalSession};
 use dogmatix_repro::core::pipeline::{DetectionResult, DetectionSession, Dogmatix};
+use dogmatix_repro::core::wal::{FsyncPolicy, Wal};
 use dogmatix_repro::datagen::datasets::{dataset1_sized, dataset2_sized};
 use dogmatix_repro::eval::setup;
 use dogmatix_repro::xml::{Document, Schema};
@@ -472,4 +473,218 @@ fn batched_and_stepwise_delta_application_agree() {
     assert_eq!(last.duplicate_pairs, all_at_once.duplicate_pairs);
     assert_eq!(last.clusters, all_at_once.clusters);
     assert_eq!(stepwise.doc().to_xml(), batched.doc().to_xml());
+}
+
+// ---- crash recovery ----------------------------------------------------
+
+/// Unique scratch path for a write-ahead log (proptest runs many cases
+/// in one process, and cases must not share files).
+fn scratch_wal(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "dogmatix-incremental-{}-{tag}-{n}.wal",
+        std::process::id()
+    ))
+}
+
+fn remove_wal(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let mut ckpt = path.as_os_str().to_os_string();
+    ckpt.push(".ckpt");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(ckpt));
+}
+
+/// "Crashes" a durable session (drops the in-memory state and the log
+/// handle on the floor), recovers from disk, and asserts the recovered
+/// outcome is bit-identical to `expect` — the uninterrupted control's
+/// latest result.
+fn crash_and_recover(
+    path: &std::path::Path,
+    dx: &Dogmatix,
+    logged: usize,
+    expect: &DetectionResult,
+    context: &str,
+) -> (IncrementalSession, Wal) {
+    let rec = IncrementalSession::recover(path, dx.mapping(), None, FsyncPolicy::Batch)
+        .unwrap_or_else(|e| panic!("recovery failed at {context}: {e}"));
+    assert!(
+        rec.report.dropped_tail.is_none(),
+        "committed log reported torn at {context}"
+    );
+    assert_eq!(
+        rec.report.replayed + rec.report.skipped,
+        logged,
+        "lost deltas at {context}"
+    );
+    let mut session = rec.session;
+    let after = dx
+        .detect_delta(&mut session, &[])
+        .unwrap_or_else(|e| panic!("post-recovery detect failed at {context}: {e}"));
+    assert_outcome_eq(&after, expect, context);
+    (session, rec.wal)
+}
+
+/// Replays `ops` through a WAL-backed session, killing it after
+/// `kill_at` logged deltas and recovering from disk, alongside an
+/// uninterrupted control session fed the same concrete deltas. Every
+/// result — before the kill, right after recovery, and for every delta
+/// replayed through the recovered session — must be bit-identical to
+/// the control's (the recovered document re-parses the genesis
+/// checkpoint image, whose XML equals the control's starting state, so
+/// even arena node ids line up).
+fn run_kill_scenario(records: &[MiniRecord], ops: &[OpSpec], theta: f64, kill_at: usize) {
+    let dx = detector(theta, false, 1);
+    let mut control = dx
+        .incremental_session_inferred(build_doc(records), "ITEM")
+        .expect("control session opens");
+    let durable = dx
+        .incremental_session_inferred(build_doc(records), "ITEM")
+        .expect("durable session opens");
+    let mut last = dx.detect_delta(&mut control, &[]).expect("initial run");
+
+    let path = scratch_wal("kill");
+    let mut wal = Some(Wal::create(&path, &durable, FsyncPolicy::Batch).expect("create WAL"));
+    let mut durable = Some(durable);
+    let mut logged = 0usize;
+    let mut crashed = false;
+
+    for (step, op) in ops.iter().enumerate() {
+        if !crashed && logged >= kill_at {
+            durable.take();
+            wal.take();
+            crashed = true;
+            let context = format!("kill before step {step} ({logged} deltas logged)");
+            let (s, w) = crash_and_recover(&path, &dx, logged, &last, &context);
+            durable = Some(s);
+            wal = Some(w);
+        }
+        let Some(delta) = concretize(op, &control) else {
+            continue;
+        };
+        let context = format!("step {step} {op:?} (kill_at={kill_at})");
+        let w = wal.as_mut().expect("log handle alive");
+        w.append(&delta)
+            .unwrap_or_else(|e| panic!("append at {context}: {e}"));
+        w.commit()
+            .unwrap_or_else(|e| panic!("commit at {context}: {e}"));
+        logged += 1;
+        let s = durable.as_mut().expect("durable session alive");
+        let inc = dx
+            .detect_delta(s, std::slice::from_ref(&delta))
+            .unwrap_or_else(|e| panic!("durable delta failed at {context}: {e}"));
+        last = dx
+            .detect_delta(&mut control, std::slice::from_ref(&delta))
+            .unwrap_or_else(|e| panic!("control delta failed at {context}: {e}"));
+        assert_outcome_eq(&inc, &last, &context);
+    }
+
+    // A kill point at (or past) the end of the sequence: the final
+    // crash still recovers the full stream.
+    if !crashed {
+        durable.take();
+        wal.take();
+        let context = format!("kill at end ({logged} deltas logged)");
+        crash_and_recover(&path, &dx, logged, &last, &context);
+    }
+    remove_wal(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(16)))]
+
+    /// The durability centrepiece: random corpus, random delta stream,
+    /// kill -9 at a random delta index — the recovered session's
+    /// verdicts are bit-identical to a run that was never interrupted.
+    #[test]
+    fn killed_and_recovered_sessions_match_uninterrupted_runs(
+        records in corpus_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..6),
+        kill in 0usize..16,
+        theta in 0.10f64..0.6,
+    ) {
+        run_kill_scenario(&records, &ops, theta, kill % (ops.len() + 1));
+    }
+}
+
+/// Directed kill-and-recover on the CD corpus with a *mid-stream
+/// checkpoint*: recovery re-parses the checkpoint image (fresh arena →
+/// different node ids), so the comparison is on the index-based
+/// verdicts and the index-free cluster paths.
+#[test]
+fn cd_kill_after_checkpoint_recovers_bit_identical_verdicts() {
+    let (doc, _) = dataset1_sized(9, 30);
+    let dx = Dogmatix::builder()
+        .mapping(setup::cd_mapping())
+        .theta_tuple(setup::THETA_TUPLE)
+        .theta_cand(setup::THETA_CAND)
+        .build();
+    let schema = setup::cd_schema();
+    let mut control = dx
+        .incremental_session(doc.clone(), schema.clone(), setup::CD_TYPE)
+        .expect("control opens");
+    let durable = dx
+        .incremental_session(doc, schema.clone(), setup::CD_TYPE)
+        .expect("durable opens");
+    dx.detect_delta(&mut control, &[]).expect("initial run");
+
+    let path = scratch_wal("cd-ckpt");
+    let mut wal = Wal::create(&path, &durable, FsyncPolicy::Batch).expect("create WAL");
+    let mut durable = durable;
+
+    let deltas = [
+        DocumentDelta::UpdateText {
+            index: 2,
+            path: "title".into(),
+            occurrence: 0,
+            value: "Checkpointed Album".into(),
+        },
+        DocumentDelta::RemoveObject { index: 5 },
+        DocumentDelta::UpdateText {
+            index: 0,
+            path: "artist".into(),
+            occurrence: 0,
+            value: "Renamed Artist".into(),
+        },
+    ];
+    let mut last = None;
+    for (k, delta) in deltas.iter().enumerate() {
+        wal.append(delta).expect("append");
+        wal.commit().expect("commit");
+        dx.detect_delta(&mut durable, std::slice::from_ref(delta))
+            .expect("durable delta");
+        last = Some(
+            dx.detect_delta(&mut control, std::slice::from_ref(delta))
+                .expect("control delta"),
+        );
+        if k == 1 {
+            // Snapshot mid-stream: replay must start after LSN 2.
+            assert_eq!(wal.checkpoint(&durable).expect("checkpoint"), 2);
+        }
+    }
+    drop(wal);
+    drop(durable);
+
+    let rec = IncrementalSession::recover(&path, dx.mapping(), Some(schema), FsyncPolicy::Batch)
+        .expect("recover");
+    assert_eq!(rec.report.checkpoint_lsn, 2);
+    assert_eq!(rec.report.replayed, 1, "only the post-checkpoint delta");
+    assert!(rec.report.dropped_tail.is_none());
+    let mut recovered = rec.session;
+    let after = dx
+        .detect_delta(&mut recovered, &[])
+        .expect("post-recovery detect");
+    let last = last.expect("three deltas ran");
+    assert_eq!(after.duplicate_pairs, last.duplicate_pairs);
+    assert_eq!(after.possible_pairs, last.possible_pairs);
+    assert_eq!(after.clusters, last.clusters);
+    assert_eq!(after.f_values, last.f_values);
+    assert_eq!(after.pruned, last.pruned);
+    assert_eq!(
+        cluster_paths(recovered.doc(), &after),
+        cluster_paths(control.doc(), &last),
+        "clusters diverge across the checkpoint re-parse"
+    );
+    remove_wal(&path);
 }

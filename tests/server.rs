@@ -15,9 +15,9 @@ use dogmatix_bench::{CdFixture, MovieFixture};
 use dogmatix_repro::core::filter::QGramBlocking;
 use dogmatix_repro::core::heuristics::HeuristicExpr;
 use dogmatix_repro::core::probe::ProbeBlocking;
-use dogmatix_repro::core::Dogmatix;
+use dogmatix_repro::core::{Dogmatix, FsyncPolicy, IncrementalSession, Wal};
 use dogmatix_repro::eval::setup::{CD_TYPE, MOVIE_TYPE, THETA_TUPLE};
-use dogmatix_repro::server::{serve, ServerConfig, ServerHandle};
+use dogmatix_repro::server::{serve, serve_durable, ServerConfig, ServerHandle};
 use dogmatix_repro::xml::{Document, Schema};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -48,8 +48,18 @@ impl Client {
 
     /// Sends one request line and reads the one-line response.
     fn request(&mut self, line: &str) -> String {
+        self.send_terminated(line, "\n")
+    }
+
+    /// Like [`Client::request`] but CRLF-terminated, the framing of
+    /// `telnet`/Windows clients.
+    fn request_crlf(&mut self, line: &str) -> String {
+        self.send_terminated(line, "\r\n")
+    }
+
+    fn send_terminated(&mut self, line: &str, terminator: &str) -> String {
         self.writer
-            .write_all(format!("{line}\n").as_bytes())
+            .write_all(format!("{line}{terminator}").as_bytes())
             .expect("write request");
         let mut resp = String::new();
         self.reader.read_line(&mut resp).expect("read response");
@@ -59,6 +69,48 @@ impl Client {
         );
         resp.trim_end().to_string()
     }
+
+    /// Writes one request line *without* waiting for the response —
+    /// used to pile jobs into the ingest queue.
+    fn fire(&mut self, line: &str) {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write request");
+    }
+
+    /// Reads the one-line response of an earlier [`Client::fire`].
+    fn read_reply(&mut self) -> String {
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read response");
+        assert!(
+            resp.ends_with('\n'),
+            "response truncated (connection closed?): {resp:?}"
+        );
+        resp.trim_end().to_string()
+    }
+}
+
+/// Parses the consistent triple out of an `OK seq=… objects=… pairs=…`
+/// stats line.
+fn parse_stats(resp: &str) -> (u64, usize, usize) {
+    let mut seq = None;
+    let mut objects = None;
+    let mut pairs = None;
+    assert!(resp.starts_with("OK "), "not an OK stats line: {resp}");
+    for word in resp.split_whitespace() {
+        if let Some(v) = word.strip_prefix("seq=") {
+            seq = v.parse().ok();
+        } else if let Some(v) = word.strip_prefix("objects=") {
+            objects = v.parse().ok();
+        } else if let Some(v) = word.strip_prefix("pairs=") {
+            pairs = v.parse().ok();
+        }
+    }
+    (
+        seq.unwrap_or_else(|| panic!("missing seq= in {resp}")),
+        objects.unwrap_or_else(|| panic!("missing objects= in {resp}")),
+        pairs.unwrap_or_else(|| panic!("missing pairs= in {resp}")),
+    )
 }
 
 /// A parsed `OK n=… <idx>:<sim> … seq=… examined=<e>/<t>` probe response.
@@ -356,6 +408,24 @@ fn interleaved_probes_and_ingest_agree_with_batch_at_the_served_snapshot() {
         );
     }
 
+    // A stats thread hammers STATS concurrently: its (seq, objects,
+    // pairs) triple must always be torn-free — every triple describes
+    // one published snapshot, never a mix of two.
+    let stats_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("stats-prober".to_string())
+            .spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut seen: Vec<(u64, usize, usize)> = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    seen.push(parse_stats(&client.request("STATS")));
+                }
+                seen
+            })
+            .expect("spawn stats prober")
+    };
+
     let mut ingest_client = Client::connect(addr);
     for (i, fragment) in fragments.iter().take(ingests).enumerate() {
         let ack = ingest_client.request(&format!("INGEST insert /discs {fragment}"));
@@ -363,6 +433,27 @@ fn interleaved_probes_and_ingest_agree_with_batch_at_the_served_snapshot() {
         assert!(ack.starts_with(&want), "bad ack for insert {i}: {ack}");
     }
     stop.store(true, Ordering::SeqCst);
+
+    // Check the stats triples: at sequence s the corpus is the seed
+    // plus s-1 inserts, and the pair count is the batch run's over
+    // exactly that state.
+    let base_objects = fragments.len();
+    let mut pairs_at_seq: HashMap<u64, usize> = HashMap::new();
+    for (seq, objects, pairs) in stats_thread.join().expect("join stats prober") {
+        assert_eq!(
+            objects,
+            base_objects + (seq - 1) as usize,
+            "stats objects torn from seq"
+        );
+        let expected_pairs = *pairs_at_seq.entry(seq).or_insert_with(|| {
+            let state = &doc_states[(seq - 1) as usize];
+            dx.run(state, &fixture.schema, CD_TYPE)
+                .expect("batch run for stats")
+                .duplicate_pairs
+                .len()
+        });
+        assert_eq!(pairs, expected_pairs, "stats pairs torn from seq {seq}");
+    }
 
     // Every probe answer must equal a from-scratch batch run at the doc
     // state its sequence number names.
@@ -464,4 +555,200 @@ fn shutdown_command_stops_the_server() {
     assert_eq!(client.request("SHUTDOWN"), "OK bye");
     // join() returns once every thread noticed the flag.
     handle.join();
+}
+
+#[test]
+fn crlf_terminated_requests_are_accepted() {
+    let (handle, fixture, _dx) = boot_cd(6, ServerConfig::default());
+    let mut client = Client::connect(handle.addr());
+
+    let stats = client.request_crlf("STATS");
+    assert!(
+        stats.starts_with("OK seq=1 "),
+        "CRLF STATS refused: {stats}"
+    );
+
+    let fragment = fixture
+        .doc
+        .node_xml(fixture.doc.select("/discs/disc").expect("select")[0]);
+    let probe = client.request_crlf(&format!("PROBE 3 {fragment}"));
+    assert!(probe.starts_with("OK n="), "CRLF PROBE refused: {probe}");
+
+    // The \r must be stripped before the delta grammar sees the line —
+    // otherwise the trailing XML fragment fails to parse.
+    let ack = client.request_crlf(&format!("INGEST insert /discs {fragment}"));
+    assert!(
+        ack.starts_with("OK ingested seq=2 "),
+        "CRLF INGEST refused: {ack}"
+    );
+
+    // LF and CRLF clients interleave on one connection.
+    let stats = client.request("STATS");
+    assert!(stats.starts_with("OK seq=2 "), "bad stats: {stats}");
+    assert_eq!(client.request_crlf("SHUTDOWN"), "OK bye");
+    handle.join();
+}
+
+// ---- durability --------------------------------------------------------
+
+/// A per-test, per-process scratch path for a write-ahead log.
+fn temp_wal(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "dogmatixd-server-test-{}-{name}",
+        std::process::id()
+    ))
+}
+
+/// Boots a durable server over the CD fixture with a fresh WAL at
+/// `wal_path`.
+fn boot_cd_durable(
+    n: usize,
+    wal_path: &std::path::Path,
+    config: ServerConfig,
+) -> (ServerHandle, CdFixture, Dogmatix) {
+    let fixture = CdFixture::dataset1(n);
+    let dx = fixture.detector(HeuristicExpr::r_distant_descendants(2), false);
+    let session = dx
+        .incremental_session(fixture.doc.clone(), fixture.schema.clone(), CD_TYPE)
+        .expect("open CD session");
+    let wal = Wal::create(wal_path, &session, FsyncPolicy::Batch).expect("create WAL");
+    let handle = serve_durable(
+        fixture.detector(HeuristicExpr::r_distant_descendants(2), false),
+        session,
+        wal,
+        config,
+    )
+    .expect("boot durable dogmatixd");
+    (handle, fixture, dx)
+}
+
+fn remove_wal(wal_path: &std::path::Path) {
+    let _ = std::fs::remove_file(wal_path);
+    let mut ckpt = wal_path.as_os_str().to_os_string();
+    ckpt.push(".ckpt");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(ckpt));
+}
+
+#[test]
+fn shutdown_drains_queued_ingests_and_recovery_preserves_them() {
+    let wal_path = temp_wal("drain.wal");
+    let config = ServerConfig {
+        workers: 6,
+        blocking: qgram_blocking(),
+        ..ServerConfig::default()
+    };
+    let (handle, fixture, dx) = boot_cd_durable(8, &wal_path, config);
+    let fragments = candidate_fragments(&fixture.doc, "/discs/disc");
+    let burst = 4;
+
+    // Pile a burst of ingests into the queue from separate connections,
+    // without reading any ack...
+    let mut conns: Vec<Client> = (0..burst).map(|_| Client::connect(handle.addr())).collect();
+    for (client, fragment) in conns.iter_mut().zip(&fragments) {
+        client.fire(&format!("INGEST insert /discs {fragment}"));
+    }
+    // ...give the workers a moment to enqueue them, then race SHUTDOWN
+    // against the non-empty queue.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut boss = Client::connect(handle.addr());
+    assert_eq!(boss.request("SHUTDOWN"), "OK bye");
+
+    // Every queued delta was drained, committed, and acked — not
+    // dropped by the shutdown.
+    for client in &mut conns {
+        let ack = client.read_reply();
+        assert!(
+            ack.starts_with("OK ingested seq="),
+            "delta dropped at shutdown: {ack}"
+        );
+    }
+    handle.join();
+
+    // Recovery finds all acked deltas in the log...
+    let rec = IncrementalSession::recover(
+        &wal_path,
+        &fixture.mapping,
+        Some(fixture.schema.clone()),
+        FsyncPolicy::Batch,
+    )
+    .expect("recover from drained WAL");
+    assert_eq!(rec.report.checkpoint_lsn, 0, "unexpected checkpoint");
+    assert_eq!(rec.report.replayed, burst, "acked deltas missing from log");
+    assert_eq!(rec.report.skipped, 0);
+    assert!(rec.report.dropped_tail.is_none(), "clean log reported torn");
+
+    // ...and the recovered verdict counts equal a from-scratch batch
+    // run over the grown corpus (the drain order of concurrent
+    // connections is arbitrary, but verdict *counts* are order-free).
+    let mut rec = rec;
+    let recovered = dx
+        .detect_delta(&mut rec.session, &[])
+        .expect("detect on recovered session");
+    let mut grown = fixture.doc.clone();
+    for fragment in fragments.iter().take(burst) {
+        let discs = grown.select("/discs").expect("select /discs")[0];
+        grown.append_xml(discs, fragment).expect("apply ingest");
+    }
+    let batch = dx
+        .run(&grown, &fixture.schema, CD_TYPE)
+        .expect("batch run over grown corpus");
+    assert_eq!(recovered.candidates.len(), batch.candidates.len());
+    assert_eq!(
+        recovered.duplicate_pairs.len(),
+        batch.duplicate_pairs.len(),
+        "recovered pair count diverges from batch"
+    );
+    assert_eq!(recovered.clusters.len(), batch.clusters.len());
+    remove_wal(&wal_path);
+}
+
+#[test]
+fn checkpoint_command_truncates_the_log_and_is_refused_without_a_wal() {
+    // Without a WAL the command is a structured config error.
+    let (handle, _fixture, _dx) = boot_cd(4, ServerConfig::default());
+    let mut client = Client::connect(handle.addr());
+    let resp = client.request("CHECKPOINT");
+    assert!(
+        resp.starts_with("ERR config:") && resp.contains("--wal"),
+        "bad refusal: {resp}"
+    );
+    handle.shutdown();
+
+    // With one: CHECKPOINT reports the covered LSN, and recovery
+    // replays only what came after it.
+    let wal_path = temp_wal("checkpoint.wal");
+    let (handle, fixture, dx) = boot_cd_durable(
+        6,
+        &wal_path,
+        ServerConfig {
+            blocking: qgram_blocking(),
+            ..ServerConfig::default()
+        },
+    );
+    let fragments = candidate_fragments(&fixture.doc, "/discs/disc");
+    let mut client = Client::connect(handle.addr());
+    for fragment in fragments.iter().take(2) {
+        let ack = client.request(&format!("INGEST insert /discs {fragment}"));
+        assert!(ack.starts_with("OK ingested "), "bad ack: {ack}");
+    }
+    assert_eq!(client.request("CHECKPOINT"), "OK checkpoint lsn=2");
+    let ack = client.request(&format!("INGEST insert /discs {}", fragments[2]));
+    assert!(ack.starts_with("OK ingested "), "bad ack: {ack}");
+    assert_eq!(client.request("SHUTDOWN"), "OK bye");
+    handle.join();
+
+    let mut rec = IncrementalSession::recover(
+        &wal_path,
+        &fixture.mapping,
+        Some(fixture.schema.clone()),
+        FsyncPolicy::Batch,
+    )
+    .expect("recover from checkpointed WAL");
+    assert_eq!(rec.report.checkpoint_lsn, 2);
+    assert_eq!(rec.report.replayed, 1, "only the post-checkpoint delta");
+    let recovered = dx
+        .detect_delta(&mut rec.session, &[])
+        .expect("detect on recovered session");
+    assert_eq!(recovered.candidates.len(), fragments.len() + 3);
+    remove_wal(&wal_path);
 }
