@@ -48,6 +48,12 @@ echo "    stay within the recorded throughput baseline)"
 cargo bench -q -p dogmatix_bench --bench wal >/dev/null
 test -s BENCH_wal.json || { echo "BENCH_wal.json was not written"; exit 1; }
 
+echo "==> paged-snapshot scaling gate (a v2 snapshot several times the pool"
+echo "    budget must load bit-identically with peak residency <= budget, and"
+echo "    budgeted point reads must stay within the recorded baseline)"
+cargo bench -q -p dogmatix_bench --bench paged >/dev/null
+test -s BENCH_paged.json || { echo "BENCH_paged.json was not written"; exit 1; }
+
 echo "==> dogmatixd smoke (boot on an ephemeral port, probe + ingest, shutdown)"
 smoke_dir="$(mktemp -d)"
 printf '<moviedoc><movie><title>The Matrix</title><year>1999</year></movie>%s%s</moviedoc>' \

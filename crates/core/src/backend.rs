@@ -33,6 +33,11 @@
 //!   column as length-prefixed LE arrays
 //! ```
 //!
+//! There is also a **paged version-2** format (fixed-size pages behind
+//! a page directory, read through a pinned buffer pool under a memory
+//! budget) — see [`paged`]. [`SnapshotBackend`] reads both versions;
+//! [`paged::PagedBackend`] reads only v2 and is the out-of-core path.
+//!
 //! Loading validates magic, version, checksum, UTF-8 of the arena, and
 //! the structural invariants of every column (span bounds, CSR
 //! monotonicity, id ranges), so corrupted, truncated, or
@@ -66,6 +71,8 @@
 //! assert_eq!(cold, warm);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+pub mod paged;
 
 use crate::error::DogmatixError;
 use crate::mapping::Mapping;
@@ -180,40 +187,92 @@ impl TermIndexBackend for SnapshotBackend {
                 Ok(Arc::new(ods))
             }
             SnapshotMode::Load => {
-                let mut ods = load_snapshot(&self.path, ctx.selections, doc_fingerprint(ctx.doc))?;
-                let stored = ods.store().object_count();
-                if stored != ctx.candidates.len() {
-                    return Err(snap_err(format!(
-                        "snapshot holds {stored} objects but the corpus resolves {} candidates \
-                         — it was built against a different document state",
-                        ctx.candidates.len()
-                    )));
-                }
-                ods.set_nodes(ctx.candidates.to_vec());
-                Ok(Arc::new(ods))
+                let ods = load_snapshot(&self.path, ctx.selections, doc_fingerprint(ctx.doc))?;
+                Ok(Arc::new(attach_candidates(ods, ctx.candidates)?))
             }
         }
     }
 }
 
-fn snap_err(message: impl Into<String>) -> DogmatixError {
+/// Re-attaches the current run's candidate nodes to a freshly loaded
+/// set, refusing a snapshot built against a different document state.
+/// Shared by every loading backend ([`SnapshotBackend`],
+/// [`paged::PagedBackend`]).
+pub(crate) fn attach_candidates(
+    mut ods: OdSet,
+    candidates: &[NodeId],
+) -> Result<OdSet, DogmatixError> {
+    let stored = ods.store().object_count();
+    if stored != candidates.len() {
+        return Err(snap_err(format!(
+            "snapshot holds {stored} objects but the corpus resolves {} candidates \
+             — it was built against a different document state",
+            candidates.len()
+        )));
+    }
+    ods.set_nodes(candidates.to_vec());
+    Ok(ods)
+}
+
+pub(crate) fn snap_err(message: impl Into<String>) -> DogmatixError {
     DogmatixError::Snapshot {
         message: message.into(),
     }
 }
 
-const MAGIC: &[u8; 4] = b"DXTS";
-/// Current snapshot format version. Bump on any layout change; loaders
-/// reject every other version.
+pub(crate) const MAGIC: &[u8; 4] = b"DXTS";
+/// The flat (version-1) snapshot format: one checksummed payload,
+/// deserialised whole. The paged format is
+/// [`paged::SNAPSHOT_VERSION_PAGED`]; loaders name both versions when
+/// rejecting a file.
 pub const SNAPSHOT_VERSION: u32 = 1;
 /// Hard cap on any single array length in a snapshot (guards corrupted
 /// length prefixes from driving allocations before the checksum/bounds
 /// validation can reject them).
-const MAX_ARRAY_LEN: u64 = 1 << 31;
+pub(crate) const MAX_ARRAY_LEN: u64 = 1 << 31;
+
+/// Converts a host-side length into a u32 snapshot field, refusing
+/// (rather than truncating) anything past `u32::MAX`. An arena or OD
+/// table that large would otherwise wrap silently into a
+/// corrupt-but-checksummed snapshot.
+pub(crate) fn checked_u32(value: usize, what: &str) -> Result<u32, DogmatixError> {
+    u32::try_from(value).map_err(|_| {
+        snap_err(format!(
+            "{what} ({value}) exceeds the u32 snapshot field limit ({}) — \
+             the corpus is too large for one snapshot",
+            u32::MAX
+        ))
+    })
+}
+
+/// Atomically installs `bytes` at `path`: write to a `.tmp` sibling,
+/// fsync, rename over the target, then best-effort fsync the directory
+/// (the WAL checkpoint pattern). A crash mid-save leaves either the
+/// old file or the new one — never a truncated hybrid that poisons the
+/// next `--index-load`.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), DogmatixError> {
+    use std::io::Write;
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    };
+    write().map_err(|e| snap_err(format!("cannot write snapshot {}: {e}", path.display())))
+}
 
 /// FNV-1a over the payload, finished with splitmix64 — cheap, stable,
 /// and plenty to catch corruption (integrity, not authentication).
-fn checksum(payload: &[u8]) -> u64 {
+pub(crate) fn checksum(payload: &[u8]) -> u64 {
     let mut h = dogmatix_textsim::Fnv1a::new();
     h.update(payload);
     dogmatix_textsim::mix64(h.finish())
@@ -232,7 +291,7 @@ pub(crate) fn doc_fingerprint(doc: &Document) -> u64 {
 
 /// Order-independent fingerprint of the candidate count and the
 /// description selection the store was built under.
-fn selection_fingerprint(
+pub(crate) fn selection_fingerprint(
     object_count: usize,
     selections: &HashMap<String, BTreeSet<String>>,
 ) -> u64 {
@@ -274,12 +333,13 @@ impl Writer {
             self.u32(v);
         }
     }
-    fn spans(&mut self, vs: &[Span]) {
+    fn spans(&mut self, vs: &[Span]) -> Result<(), DogmatixError> {
         self.u64(vs.len() as u64);
         for &s in vs {
             self.u32(s.start_raw());
-            self.u32(s.len() as u32);
+            self.u32(checked_u32(s.len(), "span length")?);
         }
+        Ok(())
     }
     fn f64s(&mut self, vs: &[f64]) {
         self.u64(vs.len() as u64);
@@ -301,7 +361,7 @@ pub fn snapshot_to_bytes(
     ods: &OdSet,
     selections: &HashMap<String, BTreeSet<String>>,
     doc_fingerprint: u64,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, DogmatixError> {
     let (
         store,
         od_starts,
@@ -315,19 +375,19 @@ pub fn snapshot_to_bytes(
     ) = ods.columns();
 
     let mut w = Writer { buf: Vec::new() };
-    w.u32(ods.len() as u32);
+    w.u32(checked_u32(ods.len(), "object count")?);
     w.u64(selection_fingerprint(ods.len(), selections));
     w.u64(doc_fingerprint);
     // Store columns.
     w.bytes(store.arena_bytes());
-    w.spans(store.term_norm_spans());
+    w.spans(store.term_norm_spans())?;
     w.u32s(store.term_types());
     w.u32s(store.term_char_lens());
     w.f64s(store.term_idfs());
     w.u32s(store.posting_starts());
     w.u32s(store.postings_raw());
-    w.spans(store.type_name_spans());
-    w.spans(store.path_name_spans());
+    w.spans(store.type_name_spans())?;
+    w.spans(store.path_name_spans())?;
     {
         let stats = store.type_stats();
         w.u64(stats.len() as u64);
@@ -341,7 +401,7 @@ pub fn snapshot_to_bytes(
     w.u32s(od_starts);
     let term_ids: Vec<u32> = tuple_term.iter().map(|t| t.0).collect();
     w.u32s(&term_ids);
-    w.spans(tuple_value);
+    w.spans(tuple_value)?;
     let path_ids: Vec<u32> = tuple_path.iter().map(|p| p.0).collect();
     w.u32s(&path_ids);
     w.u32s(od_group_starts);
@@ -356,7 +416,7 @@ pub fn snapshot_to_bytes(
     out.extend_from_slice(&checksum(&payload).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&payload);
-    out
+    Ok(out)
 }
 
 /// Serialises an [`OdSet`] (minus its document-state node ids) to the
@@ -368,9 +428,8 @@ pub fn save_snapshot(
     doc_fingerprint: u64,
     path: &Path,
 ) -> Result<(), DogmatixError> {
-    let out = snapshot_to_bytes(ods, selections, doc_fingerprint);
-    std::fs::write(path, out)
-        .map_err(|e| snap_err(format!("cannot write snapshot {}: {e}", path.display())))
+    let out = snapshot_to_bytes(ods, selections, doc_fingerprint)?;
+    atomic_write(path, &out)
 }
 
 // ---- reader -----------------------------------------------------------
@@ -450,7 +509,11 @@ impl<'a> Reader<'a> {
 /// Reads, verifies, and reassembles a snapshot. The returned set carries
 /// **no candidate nodes** — the caller re-attaches the current run's
 /// candidates ([`SnapshotBackend`] does this, after checking the count).
-/// Exposed for tests and tools.
+/// Reads **both** formats: flat v1 images directly, and paged v2 files
+/// by delegating to [`paged`] with an unbounded pool budget (every page
+/// resident — v1-equivalent memory behaviour; use
+/// [`paged::PagedBackend`] for a bounded budget). Exposed for tests and
+/// tools.
 pub fn load_snapshot(
     path: &Path,
     selections: &HashMap<String, BTreeSet<String>>,
@@ -458,6 +521,12 @@ pub fn load_snapshot(
 ) -> Result<OdSet, DogmatixError> {
     let data = std::fs::read(path)
         .map_err(|e| snap_err(format!("cannot read snapshot {}: {e}", path.display())))?;
+    if data.len() >= 8
+        && &data[0..4] == MAGIC
+        && u32::from_le_bytes([data[4], data[5], data[6], data[7]]) == paged::SNAPSHOT_VERSION_PAGED
+    {
+        return paged::odset_from_paged_bytes(&data, selections, doc_fingerprint, usize::MAX);
+    }
     snapshot_from_bytes(&data, selections, doc_fingerprint)
 }
 
@@ -476,9 +545,19 @@ pub fn snapshot_from_bytes(
         return Err(snap_err("not a DogmatiX term-index snapshot (bad magic)"));
     }
     let version = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+    if version == paged::SNAPSHOT_VERSION_PAGED {
+        return Err(snap_err(format!(
+            "snapshot is the paged format (version {}), but this flat-image reader \
+             only handles version {SNAPSHOT_VERSION} — load the file through \
+             PagedBackend / --index-paged (or SnapshotBackend, which reads both)",
+            paged::SNAPSHOT_VERSION_PAGED
+        )));
+    }
     if version != SNAPSHOT_VERSION {
         return Err(snap_err(format!(
-            "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            "unsupported snapshot version {version} (this build reads the flat \
+             version {SNAPSHOT_VERSION} and the paged version {})",
+            paged::SNAPSHOT_VERSION_PAGED
         )));
     }
     let stored_checksum = u64::from_le_bytes([
@@ -533,21 +612,10 @@ pub fn snapshot_from_bytes(
         return Err(snap_err("snapshot corrupted: trailing bytes after payload"));
     }
 
-    let expected = selection_fingerprint(object_count, selections);
-    if fingerprint != expected {
-        return Err(snap_err(
-            "snapshot was built under a different description selection \
-             (or candidate count) — rebuild it with --index-save",
-        ));
-    }
-    if stored_doc_fingerprint != doc_fingerprint {
-        return Err(snap_err(
-            "snapshot was built from different document content — \
-             rebuild it with --index-save",
-        ));
-    }
-
-    let store = TermStore::from_parts(
+    let raw = RawColumns {
+        object_count,
+        selection_fp: fingerprint,
+        doc_fp: stored_doc_fingerprint,
         arena,
         term_norm,
         term_type,
@@ -558,11 +626,6 @@ pub fn snapshot_from_bytes(
         type_names,
         path_names,
         type_stats,
-        object_count as u32,
-    );
-    let ods = OdSet::from_columns(
-        Vec::new(),
-        store,
         od_starts,
         tuple_term,
         tuple_value,
@@ -571,6 +634,82 @@ pub fn snapshot_from_bytes(
         group_types,
         group_starts,
         group_tuples,
+    };
+    assemble_and_audit(raw, selections, doc_fingerprint)
+}
+
+/// The decoded columns of a snapshot, before fingerprint checks and
+/// assembly. Both the flat v1 reader and the paged v2 reader end up
+/// here, so validation cannot drift between the formats.
+pub(crate) struct RawColumns {
+    pub(crate) object_count: usize,
+    pub(crate) selection_fp: u64,
+    pub(crate) doc_fp: u64,
+    pub(crate) arena: String,
+    pub(crate) term_norm: Vec<Span>,
+    pub(crate) term_type: Vec<u32>,
+    pub(crate) term_char_len: Vec<u32>,
+    pub(crate) term_idf: Vec<f64>,
+    pub(crate) posting_starts: Vec<u32>,
+    pub(crate) postings: Vec<u32>,
+    pub(crate) type_names: Vec<Span>,
+    pub(crate) path_names: Vec<Span>,
+    pub(crate) type_stats: Vec<TypeStats>,
+    pub(crate) od_starts: Vec<u32>,
+    pub(crate) tuple_term: Vec<TermId>,
+    pub(crate) tuple_value: Vec<Span>,
+    pub(crate) tuple_path: Vec<PathId>,
+    pub(crate) od_group_starts: Vec<u32>,
+    pub(crate) group_types: Vec<u32>,
+    pub(crate) group_starts: Vec<u32>,
+    pub(crate) group_tuples: Vec<u32>,
+}
+
+/// Fingerprint checks, column assembly, and the full store audit — the
+/// shared tail of every snapshot load path.
+pub(crate) fn assemble_and_audit(
+    raw: RawColumns,
+    selections: &HashMap<String, BTreeSet<String>>,
+    doc_fingerprint: u64,
+) -> Result<OdSet, DogmatixError> {
+    let expected = selection_fingerprint(raw.object_count, selections);
+    if raw.selection_fp != expected {
+        return Err(snap_err(
+            "snapshot was built under a different description selection \
+             (or candidate count) — rebuild it with --index-save",
+        ));
+    }
+    if raw.doc_fp != doc_fingerprint {
+        return Err(snap_err(
+            "snapshot was built from different document content — \
+             rebuild it with --index-save",
+        ));
+    }
+
+    let store = TermStore::from_parts(
+        raw.arena,
+        raw.term_norm,
+        raw.term_type,
+        raw.term_char_len,
+        raw.term_idf,
+        raw.posting_starts,
+        raw.postings,
+        raw.type_names,
+        raw.path_names,
+        raw.type_stats,
+        checked_u32(raw.object_count, "object count")?,
+    );
+    let ods = OdSet::from_columns(
+        Vec::new(),
+        store,
+        raw.od_starts,
+        raw.tuple_term,
+        raw.tuple_value,
+        raw.tuple_path,
+        raw.od_group_starts,
+        raw.group_types,
+        raw.group_starts,
+        raw.group_tuples,
     );
 
     // Structural + semantic validation: the live-store auditor checks
@@ -662,6 +801,43 @@ mod tests {
             .run(&doc, &schema, "M")
             .unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn checked_u32_names_the_field_and_the_limit() {
+        assert_eq!(checked_u32(123, "span length").unwrap(), 123);
+        assert_eq!(
+            checked_u32(u32::MAX as usize, "span length").unwrap(),
+            u32::MAX
+        );
+        let err = checked_u32(u32::MAX as usize + 1, "object count").unwrap_err();
+        assert!(matches!(err, DogmatixError::Snapshot { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("object count"), "{msg}");
+        assert!(msg.contains("u32"), "{msg}");
+        assert!(msg.contains(&u32::MAX.to_string()), "{msg}");
+    }
+
+    #[test]
+    fn atomic_write_failure_leaves_the_previous_file_intact() {
+        let dir = std::env::temp_dir().join("dx_backend_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.index");
+        std::fs::write(&path, b"previous contents").unwrap();
+        // A directory squatting on the temp-file name makes the write
+        // fail before the install step — the target must be untouched.
+        let tmp = dir.join("target.index.tmp");
+        let _ = std::fs::remove_file(&tmp);
+        std::fs::create_dir_all(&tmp).unwrap();
+        let err = atomic_write(&path, b"new contents").unwrap_err();
+        assert!(matches!(err, DogmatixError::Snapshot { .. }), "{err}");
+        assert_eq!(std::fs::read(&path).unwrap(), b"previous contents");
+        std::fs::remove_dir_all(&tmp).unwrap();
+        // With the obstruction gone the write lands and cleans up.
+        atomic_write(&path, b"new contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        assert!(!tmp.exists(), "temp file must not survive a save");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,1166 @@
+//! The paged (version-2) DXTS snapshot format and its out-of-core
+//! reader, [`PagedBackend`].
+//!
+//! The flat v1 format (see the [parent module](super)) is one
+//! checksummed payload that must be deserialised whole — memory is
+//! bounded below by the file size. v2 splits every store column into
+//! **fixed-size pages** behind a page directory, so a reader can fault
+//! in exactly the pages it touches through a
+//! [`BufferPool`] and keep at most a
+//! configured budget of them resident:
+//!
+//! ```text
+//! offset  field
+//! 0       magic   b"DXTS"
+//! 4       version u32 LE        = 2
+//! 8       page_size u32 LE      multiple of 8, 64 ..= 2^26
+//! 12      section_count u32 LE  = 19
+//! 16      page_count u32 LE     total data pages
+//! 20      header_len u32 LE     = 32 + 20·sections + 8·pages
+//! 24      header_checksum u64   FNV-1a/mix64 over the header minus
+//!                               this field
+//! 32      directory             per section: id u32, first_page u32,
+//!                               page_count u32, byte_len u64
+//! …       page checksum table   u64 LE per data page
+//! header_len                    data pages, page i at
+//!                               header_len + i·page_size
+//! ```
+//!
+//! Every section starts on a fresh page and its last page is
+//! zero-padded, so page `p` of a section lives at block
+//! `first_page + p` and fixed-width elements (4- and 8-byte) never
+//! straddle a page boundary. Each data page carries its own checksum in
+//! the header table, verified at fault-in time — a byte flip anywhere
+//! in the file is caught either by the header checksum or by the
+//! checksum of the page it lands in, before any decoded value is
+//! trusted.
+//!
+//! The 19 sections mirror the v1 payload exactly: a 20-byte meta
+//! section (object count + selection/document fingerprints), then the
+//! store columns (arena bytes, term spans/types/char-lens/IDF bits,
+//! CSR posting starts + postings, type/path name spans, per-type
+//! stats) and the OD columns (od starts, tuple term/value/path, group
+//! starts/types/members). Loading ends in the same fingerprint checks
+//! and full [`StoreAuditor`](crate::store::audit::StoreAuditor) pass as
+//! v1 — the access path changed, the invariants did not.
+//!
+//! Two readers are built on the pool:
+//!
+//! * [`PagedBackend`] — the [`TermIndexBackend`] implementation.
+//!   Loading streams each section through the pool page by page (one
+//!   pin at a time), so **peak pool residency stays under the budget
+//!   regardless of snapshot size** (the `benches/paged.rs` gate holds
+//!   [`PoolStats::peak_resident_bytes`] under a budget smaller than the
+//!   file).
+//! * [`PagedReader`] — random point access (term text, posting lists)
+//!   that pins only the directory-addressed pages a lookup touches;
+//!   with a small budget the pool visibly evicts and refaults.
+
+use super::{
+    atomic_write, checked_u32, checksum, doc_fingerprint, snap_err, IndexContext, RawColumns,
+    SnapshotMode, TermIndexBackend, MAGIC, MAX_ARRAY_LEN, SNAPSHOT_VERSION,
+};
+use crate::error::DogmatixError;
+use crate::od::{OdSet, TermId};
+use crate::store::pool::{BlockId, BufferPool, PageRef, PageSource, PoolStats};
+use crate::store::{PathId, Span, TypeStats};
+use std::collections::{BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The paged snapshot format version. The flat format is
+/// [`SNAPSHOT_VERSION`]; loaders name both when rejecting a file.
+pub const SNAPSHOT_VERSION_PAGED: u32 = 2;
+
+/// Default page size for saved v2 snapshots.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+const MIN_PAGE_SIZE: usize = 64;
+const MAX_PAGE_SIZE: usize = 1 << 26;
+const HEADER_FIXED: usize = 32;
+const DIR_ENTRY_BYTES: usize = 20;
+
+// Section ids double as directory indices; the order is the v1 payload
+// order with the scalar prologue split into its own section.
+const SEC_META: usize = 0;
+const SEC_ARENA: usize = 1;
+const SEC_TERM_SPANS: usize = 2;
+const SEC_TERM_TYPES: usize = 3;
+const SEC_TERM_CHAR_LENS: usize = 4;
+const SEC_TERM_IDFS: usize = 5;
+const SEC_POSTING_STARTS: usize = 6;
+const SEC_POSTINGS: usize = 7;
+const SEC_TYPE_NAME_SPANS: usize = 8;
+const SEC_PATH_NAME_SPANS: usize = 9;
+const SEC_TYPE_STATS: usize = 10;
+const SEC_OD_STARTS: usize = 11;
+const SEC_TUPLE_TERM: usize = 12;
+const SEC_TUPLE_VALUE_SPANS: usize = 13;
+const SEC_TUPLE_PATH: usize = 14;
+const SEC_OD_GROUP_STARTS: usize = 15;
+const SEC_GROUP_TYPES: usize = 16;
+const SEC_GROUP_STARTS: usize = 17;
+const SEC_GROUP_TUPLES: usize = 18;
+const SECTION_COUNT: usize = 19;
+
+const META_BYTES: u64 = 20;
+
+// ---- writer -----------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn u32s_payload(vs: &[u32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(vs.len() * 4);
+    for &v in vs {
+        put_u32(&mut buf, v);
+    }
+    buf
+}
+
+fn spans_payload(vs: &[Span]) -> Result<Vec<u8>, DogmatixError> {
+    let mut buf = Vec::with_capacity(vs.len() * 8);
+    for &s in vs {
+        put_u32(&mut buf, s.start_raw());
+        put_u32(&mut buf, checked_u32(s.len(), "span length")?);
+    }
+    Ok(buf)
+}
+
+/// Serialises the 19 section payloads in directory order.
+fn section_payloads(
+    ods: &OdSet,
+    selections: &HashMap<String, BTreeSet<String>>,
+    doc_fingerprint: u64,
+) -> Result<Vec<Vec<u8>>, DogmatixError> {
+    let (
+        store,
+        od_starts,
+        tuple_term,
+        tuple_value,
+        tuple_path,
+        od_group_starts,
+        group_types,
+        group_starts,
+        group_tuples,
+    ) = ods.columns();
+
+    let mut meta = Vec::with_capacity(META_BYTES as usize);
+    put_u32(&mut meta, checked_u32(ods.len(), "object count")?);
+    put_u64(
+        &mut meta,
+        super::selection_fingerprint(ods.len(), selections),
+    );
+    put_u64(&mut meta, doc_fingerprint);
+
+    let mut idfs = Vec::with_capacity(store.term_idfs().len() * 8);
+    for &v in store.term_idfs() {
+        put_u64(&mut idfs, v.to_bits());
+    }
+    let mut stats = Vec::with_capacity(store.type_stats().len() * 12);
+    for s in store.type_stats() {
+        put_u32(&mut stats, s.terms);
+        put_u32(&mut stats, s.tuples);
+        put_u32(&mut stats, s.postings);
+    }
+    let term_ids: Vec<u32> = tuple_term.iter().map(|t| t.0).collect();
+    let path_ids: Vec<u32> = tuple_path.iter().map(|p| p.0).collect();
+
+    Ok(vec![
+        meta,
+        store.arena_bytes().to_vec(),
+        spans_payload(store.term_norm_spans())?,
+        u32s_payload(store.term_types()),
+        u32s_payload(store.term_char_lens()),
+        idfs,
+        u32s_payload(store.posting_starts()),
+        u32s_payload(store.postings_raw()),
+        spans_payload(store.type_name_spans())?,
+        spans_payload(store.path_name_spans())?,
+        stats,
+        u32s_payload(od_starts),
+        u32s_payload(&term_ids),
+        spans_payload(tuple_value)?,
+        u32s_payload(&path_ids),
+        u32s_payload(od_group_starts),
+        u32s_payload(group_types),
+        u32s_payload(group_starts),
+        u32s_payload(group_tuples),
+    ])
+}
+
+fn validate_page_size(page_size: usize) -> Result<(), DogmatixError> {
+    if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) || !page_size.is_multiple_of(8) {
+        return Err(snap_err(format!(
+            "implausible page size {page_size} (must be a multiple of 8 in \
+             {MIN_PAGE_SIZE}..={MAX_PAGE_SIZE})"
+        )));
+    }
+    Ok(())
+}
+
+/// Serialises an [`OdSet`] to a complete paged (v2) snapshot image —
+/// header, directory, page checksum table, and zero-padded data pages.
+pub fn paged_snapshot_to_bytes(
+    ods: &OdSet,
+    selections: &HashMap<String, BTreeSet<String>>,
+    doc_fingerprint: u64,
+    page_size: usize,
+) -> Result<Vec<u8>, DogmatixError> {
+    validate_page_size(page_size)?;
+    let sections = section_payloads(ods, selections, doc_fingerprint)?;
+
+    // Directory: each section occupies whole pages, in file order.
+    let mut directory = Vec::with_capacity(SECTION_COUNT * DIR_ENTRY_BYTES);
+    let mut total_pages: u64 = 0;
+    for (id, payload) in sections.iter().enumerate() {
+        let pages = (payload.len() as u64).div_ceil(page_size as u64);
+        put_u32(&mut directory, checked_u32(id, "section id")?);
+        put_u32(
+            &mut directory,
+            checked_u32(total_pages as usize, "first page")?,
+        );
+        put_u32(
+            &mut directory,
+            checked_u32(pages as usize, "section page count")?,
+        );
+        put_u64(&mut directory, payload.len() as u64);
+        total_pages += pages;
+    }
+    let page_count = checked_u32(total_pages as usize, "page count")?;
+    let header_len = checked_u32(
+        HEADER_FIXED + directory.len() + total_pages as usize * 8,
+        "header length",
+    )?;
+
+    // Data region + per-page checksums over the padded pages.
+    let mut data = Vec::with_capacity(total_pages as usize * page_size);
+    let mut page_checksums = Vec::with_capacity(total_pages as usize * 8);
+    for payload in &sections {
+        for chunk in payload.chunks(page_size) {
+            let start = data.len();
+            data.extend_from_slice(chunk);
+            data.resize(start + page_size, 0);
+            put_u64(
+                &mut page_checksums,
+                checksum(&data[start..start + page_size]),
+            );
+        }
+    }
+
+    let mut header = Vec::with_capacity(header_len as usize);
+    header.extend_from_slice(MAGIC);
+    put_u32(&mut header, SNAPSHOT_VERSION_PAGED);
+    put_u32(&mut header, checked_u32(page_size, "page size")?);
+    put_u32(&mut header, SECTION_COUNT as u32);
+    put_u32(&mut header, page_count);
+    put_u32(&mut header, header_len);
+    put_u64(&mut header, 0); // checksum placeholder
+    header.extend_from_slice(&directory);
+    header.extend_from_slice(&page_checksums);
+    let digest = header_digest(&header);
+    header[24..32].copy_from_slice(&digest.to_le_bytes());
+
+    let mut out = header;
+    out.extend_from_slice(&data);
+    Ok(out)
+}
+
+/// [`paged_snapshot_to_bytes`] + the atomic tmp/fsync/rename install.
+pub fn save_snapshot_paged(
+    ods: &OdSet,
+    selections: &HashMap<String, BTreeSet<String>>,
+    doc_fingerprint: u64,
+    path: &Path,
+    page_size: usize,
+) -> Result<(), DogmatixError> {
+    let out = paged_snapshot_to_bytes(ods, selections, doc_fingerprint, page_size)?;
+    atomic_write(path, &out)
+}
+
+/// FNV-1a/mix64 over the header bytes, skipping the checksum field
+/// itself (offsets 24..32).
+fn header_digest(header: &[u8]) -> u64 {
+    let mut h = dogmatix_textsim::Fnv1a::new();
+    h.update(&header[..24]);
+    h.update(&header[32..]);
+    dogmatix_textsim::mix64(h.finish())
+}
+
+// ---- header parsing ---------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SectionMeta {
+    pub(crate) first_page: u32,
+    pub(crate) byte_len: u64,
+}
+
+/// The parsed, checksum-verified header of a v2 snapshot.
+#[derive(Debug)]
+pub(crate) struct PagedHeader {
+    pub(crate) page_size: usize,
+    pub(crate) page_count: u32,
+    pub(crate) header_len: usize,
+    pub(crate) sections: Vec<SectionMeta>,
+    pub(crate) page_checksums: Vec<u64>,
+}
+
+struct FixedHeader {
+    page_size: usize,
+    section_count: usize,
+    page_count: u32,
+    header_len: usize,
+}
+
+fn read_u32_at(b: &[u8], at: usize) -> u32 {
+    // Callers bounds-check; a short slice would already have errored.
+    let mut le = [0u8; 4];
+    le.copy_from_slice(&b[at..at + 4]);
+    u32::from_le_bytes(le)
+}
+
+fn read_u64_at(b: &[u8], at: usize) -> u64 {
+    let mut le = [0u8; 8];
+    le.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(le)
+}
+
+/// Parses and sanity-checks the fixed 32-byte header prefix; this is
+/// where a v1 file or an unknown version is rejected with an error
+/// naming both supported versions.
+fn parse_fixed_header(b: &[u8]) -> Result<FixedHeader, DogmatixError> {
+    if b.len() < HEADER_FIXED {
+        return Err(snap_err("snapshot truncated: missing paged header"));
+    }
+    if &b[0..4] != MAGIC {
+        return Err(snap_err("not a DogmatiX term-index snapshot (bad magic)"));
+    }
+    let version = read_u32_at(b, 4);
+    if version == SNAPSHOT_VERSION {
+        return Err(snap_err(format!(
+            "snapshot is the flat format (version {SNAPSHOT_VERSION}), but this paged \
+             reader only handles version {SNAPSHOT_VERSION_PAGED} — load the file \
+             through SnapshotBackend / --index-load (or re-save it with --index-paged)"
+        )));
+    }
+    if version != SNAPSHOT_VERSION_PAGED {
+        return Err(snap_err(format!(
+            "unsupported snapshot version {version} (this build reads the flat \
+             version {SNAPSHOT_VERSION} and the paged version {SNAPSHOT_VERSION_PAGED})"
+        )));
+    }
+    let page_size = read_u32_at(b, 8) as usize;
+    validate_page_size(page_size)?;
+    let section_count = read_u32_at(b, 12) as usize;
+    if section_count != SECTION_COUNT {
+        return Err(snap_err(format!(
+            "paged snapshot corrupted: {section_count} sections (this format has \
+             {SECTION_COUNT})"
+        )));
+    }
+    let page_count = read_u32_at(b, 16);
+    let header_len = read_u32_at(b, 20) as usize;
+    let expected_len =
+        HEADER_FIXED as u64 + (section_count * DIR_ENTRY_BYTES) as u64 + page_count as u64 * 8;
+    if header_len as u64 != expected_len {
+        return Err(snap_err(
+            "paged snapshot corrupted: header length disagrees with the \
+             section and page counts",
+        ));
+    }
+    Ok(FixedHeader {
+        page_size,
+        section_count,
+        page_count,
+        header_len,
+    })
+}
+
+/// Parses the complete header (`header.len() == header_len`),
+/// verifying the header checksum, the directory's internal consistency,
+/// and that the data region matches `file_len` exactly.
+fn parse_paged_header(header: &[u8], file_len: u64) -> Result<PagedHeader, DogmatixError> {
+    let fixed = parse_fixed_header(header)?;
+    if header.len() != fixed.header_len {
+        return Err(snap_err("snapshot truncated: incomplete paged header"));
+    }
+    let expected_file_len =
+        fixed.header_len as u64 + fixed.page_count as u64 * fixed.page_size as u64;
+    if file_len != expected_file_len {
+        return Err(snap_err(format!(
+            "snapshot truncated or padded: file is {file_len} B but the header \
+             describes {expected_file_len} B"
+        )));
+    }
+    if header_digest(header) != read_u64_at(header, 24) {
+        return Err(snap_err(
+            "paged snapshot corrupted: header checksum mismatch",
+        ));
+    }
+
+    let mut sections = Vec::with_capacity(fixed.section_count);
+    let mut next_page: u64 = 0;
+    for i in 0..fixed.section_count {
+        let at = HEADER_FIXED + i * DIR_ENTRY_BYTES;
+        let id = read_u32_at(header, at);
+        let first_page = read_u32_at(header, at + 4);
+        let pages = read_u32_at(header, at + 8);
+        let byte_len = read_u64_at(header, at + 12);
+        if id as usize != i {
+            return Err(snap_err(format!(
+                "paged snapshot corrupted: directory entry {i} carries id {id}"
+            )));
+        }
+        if first_page as u64 != next_page
+            || pages as u64 != byte_len.div_ceil(fixed.page_size as u64)
+        {
+            return Err(snap_err(format!(
+                "paged snapshot corrupted: directory entry {i} disagrees with \
+                 the page layout"
+            )));
+        }
+        next_page += pages as u64;
+        sections.push(SectionMeta {
+            first_page,
+            byte_len,
+        });
+    }
+    if next_page != fixed.page_count as u64 {
+        return Err(snap_err(
+            "paged snapshot corrupted: directory pages do not sum to the page count",
+        ));
+    }
+
+    let table_at = HEADER_FIXED + fixed.section_count * DIR_ENTRY_BYTES;
+    let page_checksums = (0..fixed.page_count as usize)
+        .map(|i| read_u64_at(header, table_at + i * 8))
+        .collect();
+
+    Ok(PagedHeader {
+        page_size: fixed.page_size,
+        page_count: fixed.page_count,
+        header_len: fixed.header_len,
+        sections,
+        page_checksums,
+    })
+}
+
+// ---- page source ------------------------------------------------------
+
+#[derive(Debug)]
+enum Backing {
+    File(std::fs::File),
+    Bytes(Vec<u8>),
+}
+
+/// [`PageSource`] over a v2 snapshot: serves `page_count` fixed-size
+/// pages from the data region and verifies each page's checksum
+/// against the header table at fault-in time.
+#[derive(Debug)]
+struct PagedSource {
+    header: Arc<PagedHeader>,
+    backing: Backing,
+    label: String,
+}
+
+impl PageSource for PagedSource {
+    fn page_size(&self) -> usize {
+        self.header.page_size
+    }
+
+    fn page_count(&self) -> u32 {
+        self.header.page_count
+    }
+
+    fn read_page(&mut self, block: BlockId, buf: &mut [u8]) -> Result<(), DogmatixError> {
+        let offset = self.header.header_len as u64 + block.0 as u64 * self.header.page_size as u64;
+        match &mut self.backing {
+            Backing::File(f) => {
+                use std::io::{Read, Seek, SeekFrom};
+                f.seek(SeekFrom::Start(offset))
+                    .and_then(|_| f.read_exact(buf))
+                    .map_err(|e| {
+                        snap_err(format!(
+                            "cannot read {block} of snapshot {}: {e}",
+                            self.label
+                        ))
+                    })?;
+            }
+            Backing::Bytes(b) => {
+                let start = offset as usize;
+                let page = b
+                    .get(start..start + self.header.page_size)
+                    .ok_or_else(|| snap_err("snapshot truncated: page past end of image"))?;
+                buf.copy_from_slice(page);
+            }
+        }
+        let expected = self
+            .header
+            .page_checksums
+            .get(block.0 as usize)
+            .copied()
+            .ok_or_else(|| snap_err(format!("{block} has no checksum table entry")))?;
+        if checksum(buf) != expected {
+            return Err(snap_err(format!(
+                "paged snapshot corrupted: checksum mismatch on {block}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Opens a v2 snapshot file: parses + verifies the header, then wraps
+/// the data region in a budget-bounded [`BufferPool`].
+fn pool_over_file(
+    path: &Path,
+    budget: usize,
+) -> Result<(BufferPool, Arc<PagedHeader>), DogmatixError> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path)
+        .map_err(|e| snap_err(format!("cannot read snapshot {}: {e}", path.display())))?;
+    let file_len = f
+        .metadata()
+        .map_err(|e| snap_err(format!("cannot stat snapshot {}: {e}", path.display())))?
+        .len();
+    let mut fixed = [0u8; HEADER_FIXED];
+    f.read_exact(&mut fixed)
+        .map_err(|_| snap_err("snapshot truncated: missing paged header"))?;
+    let parsed = parse_fixed_header(&fixed)?;
+    let mut header_bytes = vec![0u8; parsed.header_len];
+    header_bytes[..HEADER_FIXED].copy_from_slice(&fixed);
+    f.read_exact(&mut header_bytes[HEADER_FIXED..])
+        .map_err(|_| snap_err("snapshot truncated: incomplete paged header"))?;
+    let header = Arc::new(parse_paged_header(&header_bytes, file_len)?);
+    let source = PagedSource {
+        header: Arc::clone(&header),
+        backing: Backing::File(f),
+        label: path.display().to_string(),
+    };
+    let pool = BufferPool::new(Box::new(source), budget)?;
+    Ok((pool, header))
+}
+
+/// A pool over an in-memory v2 image (the compat path
+/// [`super::load_snapshot`] uses after reading the whole file).
+fn pool_over_bytes(
+    data: &[u8],
+    budget: usize,
+) -> Result<(BufferPool, Arc<PagedHeader>), DogmatixError> {
+    let fixed = parse_fixed_header(data)?;
+    let header_bytes = data
+        .get(..fixed.header_len)
+        .ok_or_else(|| snap_err("snapshot truncated: incomplete paged header"))?;
+    let header = Arc::new(parse_paged_header(header_bytes, data.len() as u64)?);
+    let source = PagedSource {
+        header: Arc::clone(&header),
+        backing: Backing::Bytes(data.to_vec()),
+        label: "<bytes>".to_string(),
+    };
+    let pool = BufferPool::new(Box::new(source), budget)?;
+    Ok((pool, header))
+}
+
+// ---- streaming section decoder ----------------------------------------
+
+/// Sequential (or seeked) reads over one section, pinning one page at
+/// a time — the pool, not the cursor, bounds residency.
+struct SectionCursor<'p> {
+    pool: &'p mut BufferPool,
+    first_page: u32,
+    byte_len: u64,
+    pos: u64,
+    current: Option<(PageRef, u32)>,
+}
+
+impl<'p> SectionCursor<'p> {
+    fn new(pool: &'p mut BufferPool, meta: SectionMeta) -> SectionCursor<'p> {
+        SectionCursor::new_at(pool, meta, 0)
+    }
+
+    fn new_at(pool: &'p mut BufferPool, meta: SectionMeta, pos: u64) -> SectionCursor<'p> {
+        SectionCursor {
+            pool,
+            first_page: meta.first_page,
+            byte_len: meta.byte_len,
+            pos,
+            current: None,
+        }
+    }
+
+    fn read_exact(&mut self, out: &mut [u8]) -> Result<(), DogmatixError> {
+        let mut written = 0usize;
+        while written < out.len() {
+            if self.pos >= self.byte_len {
+                return Err(snap_err(
+                    "paged snapshot corrupted: read past the end of a section",
+                ));
+            }
+            let ps = self.pool.page_size() as u64;
+            let page_ix = (self.pos / ps) as u32;
+            let off = (self.pos % ps) as usize;
+            match &self.current {
+                Some((_, ix)) if *ix == page_ix => {}
+                _ => {
+                    if let Some((p, _)) = self.current.take() {
+                        self.pool.unpin(p);
+                    }
+                    let block = BlockId(self.first_page.wrapping_add(page_ix));
+                    let page = self.pool.pin(block)?;
+                    self.current = Some((page, page_ix));
+                }
+            }
+            let Some((page, _)) = &self.current else {
+                return Err(snap_err("paged snapshot reader lost its pinned page"));
+            };
+            let avail = (ps as usize - off)
+                .min(out.len() - written)
+                .min((self.byte_len - self.pos) as usize);
+            out[written..written + avail].copy_from_slice(&self.pool.data(page)[off..off + avail]);
+            written += avail;
+            self.pos += avail as u64;
+        }
+        Ok(())
+    }
+
+    fn u32(&mut self) -> Result<u32, DogmatixError> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, DogmatixError> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Unpins the held page. Dropping the cursor without `finish`
+    /// leaks a pin for the rest of the pool's (short) life, so every
+    /// read path ends here.
+    fn finish(mut self) {
+        if let Some((p, _)) = self.current.take() {
+            self.pool.unpin(p);
+        }
+    }
+}
+
+fn element_count(meta: SectionMeta, elem: u64, what: &str) -> Result<usize, DogmatixError> {
+    if !meta.byte_len.is_multiple_of(elem) {
+        return Err(snap_err(format!(
+            "paged snapshot corrupted: section {what} is {} B, not a multiple \
+             of its {elem} B element",
+            meta.byte_len
+        )));
+    }
+    let n = meta.byte_len / elem;
+    if n > MAX_ARRAY_LEN {
+        return Err(snap_err(format!("implausible array length {n}")));
+    }
+    Ok(n as usize)
+}
+
+fn read_u32s(
+    pool: &mut BufferPool,
+    meta: SectionMeta,
+    what: &str,
+) -> Result<Vec<u32>, DogmatixError> {
+    let n = element_count(meta, 4, what)?;
+    let mut cur = SectionCursor::new(pool, meta);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(cur.u32()?);
+    }
+    cur.finish();
+    Ok(out)
+}
+
+fn read_spans(
+    pool: &mut BufferPool,
+    meta: SectionMeta,
+    what: &str,
+) -> Result<Vec<Span>, DogmatixError> {
+    let n = element_count(meta, 8, what)?;
+    let mut cur = SectionCursor::new(pool, meta);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = cur.u32()?;
+        let len = cur.u32()?;
+        out.push(Span::new(start, len));
+    }
+    cur.finish();
+    Ok(out)
+}
+
+fn read_f64s(
+    pool: &mut BufferPool,
+    meta: SectionMeta,
+    what: &str,
+) -> Result<Vec<f64>, DogmatixError> {
+    let n = element_count(meta, 8, what)?;
+    let mut cur = SectionCursor::new(pool, meta);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(f64::from_bits(cur.u64()?));
+    }
+    cur.finish();
+    Ok(out)
+}
+
+fn read_type_stats(
+    pool: &mut BufferPool,
+    meta: SectionMeta,
+    what: &str,
+) -> Result<Vec<TypeStats>, DogmatixError> {
+    let n = element_count(meta, 12, what)?;
+    let mut cur = SectionCursor::new(pool, meta);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(TypeStats {
+            terms: cur.u32()?,
+            tuples: cur.u32()?,
+            postings: cur.u32()?,
+        });
+    }
+    cur.finish();
+    Ok(out)
+}
+
+fn read_arena(pool: &mut BufferPool, meta: SectionMeta) -> Result<String, DogmatixError> {
+    if meta.byte_len > MAX_ARRAY_LEN {
+        return Err(snap_err(format!(
+            "implausible array length {}",
+            meta.byte_len
+        )));
+    }
+    let mut bytes = vec![0u8; meta.byte_len as usize];
+    let mut cur = SectionCursor::new(pool, meta);
+    cur.read_exact(&mut bytes)?;
+    cur.finish();
+    String::from_utf8(bytes).map_err(|_| snap_err("snapshot corrupted: arena is not valid UTF-8"))
+}
+
+/// Streams every section through the pool and runs the shared
+/// fingerprint + audit tail. Peak pool residency during this call is
+/// bounded by the pool's budget, not the snapshot size.
+fn decode_paged(
+    pool: &mut BufferPool,
+    header: &PagedHeader,
+    selections: &HashMap<String, BTreeSet<String>>,
+    doc_fingerprint: u64,
+) -> Result<OdSet, DogmatixError> {
+    let sec = |i: usize| header.sections[i];
+    let meta = sec(SEC_META);
+    if meta.byte_len != META_BYTES {
+        return Err(snap_err(format!(
+            "paged snapshot corrupted: meta section is {} B (expected {META_BYTES})",
+            meta.byte_len
+        )));
+    }
+    let mut cur = SectionCursor::new(pool, meta);
+    let object_count = cur.u32()? as usize;
+    let selection_fp = cur.u64()?;
+    let doc_fp = cur.u64()?;
+    cur.finish();
+
+    let raw = RawColumns {
+        object_count,
+        selection_fp,
+        doc_fp,
+        arena: read_arena(pool, sec(SEC_ARENA))?,
+        term_norm: read_spans(pool, sec(SEC_TERM_SPANS), "term spans")?,
+        term_type: read_u32s(pool, sec(SEC_TERM_TYPES), "term types")?,
+        term_char_len: read_u32s(pool, sec(SEC_TERM_CHAR_LENS), "term char lens")?,
+        term_idf: read_f64s(pool, sec(SEC_TERM_IDFS), "term idfs")?,
+        posting_starts: read_u32s(pool, sec(SEC_POSTING_STARTS), "posting starts")?,
+        postings: read_u32s(pool, sec(SEC_POSTINGS), "postings")?,
+        type_names: read_spans(pool, sec(SEC_TYPE_NAME_SPANS), "type names")?,
+        path_names: read_spans(pool, sec(SEC_PATH_NAME_SPANS), "path names")?,
+        type_stats: read_type_stats(pool, sec(SEC_TYPE_STATS), "type stats")?,
+        od_starts: read_u32s(pool, sec(SEC_OD_STARTS), "od starts")?,
+        tuple_term: read_u32s(pool, sec(SEC_TUPLE_TERM), "tuple terms")?
+            .into_iter()
+            .map(TermId)
+            .collect(),
+        tuple_value: read_spans(pool, sec(SEC_TUPLE_VALUE_SPANS), "tuple values")?,
+        tuple_path: read_u32s(pool, sec(SEC_TUPLE_PATH), "tuple paths")?
+            .into_iter()
+            .map(PathId)
+            .collect(),
+        od_group_starts: read_u32s(pool, sec(SEC_OD_GROUP_STARTS), "od group starts")?,
+        group_types: read_u32s(pool, sec(SEC_GROUP_TYPES), "group types")?,
+        group_starts: read_u32s(pool, sec(SEC_GROUP_STARTS), "group starts")?,
+        group_tuples: read_u32s(pool, sec(SEC_GROUP_TUPLES), "group tuples")?,
+    };
+    super::assemble_and_audit(raw, selections, doc_fingerprint)
+}
+
+/// Verifies and reassembles a paged snapshot from an in-memory image,
+/// through a pool with the given budget. Used by
+/// [`super::load_snapshot`]'s v2 compatibility path.
+pub(crate) fn odset_from_paged_bytes(
+    data: &[u8],
+    selections: &HashMap<String, BTreeSet<String>>,
+    doc_fingerprint: u64,
+    budget: usize,
+) -> Result<OdSet, DogmatixError> {
+    let (mut pool, header) = pool_over_bytes(data, budget)?;
+    decode_paged(&mut pool, &header, selections, doc_fingerprint)
+}
+
+// ---- the backend ------------------------------------------------------
+
+/// The out-of-core term-index backend: paged v2 snapshots read through
+/// a pinned buffer pool under a configurable memory budget.
+///
+/// [`PagedBackend::open`] loads (the common case); [`PagedBackend::save`]
+/// builds in memory and writes the v2 file. Loading streams the file
+/// page by page, so peak pool residency never exceeds the budget even
+/// when the snapshot is far larger — [`PagedBackend::last_stats`]
+/// exposes the pool counters of the most recent load, which the
+/// scaling bench gate asserts against. Results are bit-identical to
+/// [`InMemoryBackend`](super::InMemoryBackend) and the flat
+/// [`SnapshotBackend`](super::SnapshotBackend)
+/// (`tests/equivalence.rs`).
+///
+/// ```no_run
+/// use dogmatix_core::backend::paged::PagedBackend;
+/// use dogmatix_core::pipeline::Dogmatix;
+/// use dogmatix_xml::{Document, Schema};
+///
+/// let doc = Document::parse("<db><m><t>A</t></m><m><t>A</t></m></db>")?;
+/// let schema = Schema::infer(&doc)?;
+/// // First run: build in memory and persist the paged index.
+/// Dogmatix::builder()
+///     .add_type("M", ["/db/m"])
+///     .index_backend(PagedBackend::save("/tmp/dx.v2", 1 << 20))
+///     .build()
+///     .run(&doc, &schema, "M")?;
+/// // Warm start under a 64 KiB pool budget.
+/// let warm = Dogmatix::builder()
+///     .add_type("M", ["/db/m"])
+///     .index_backend(PagedBackend::open("/tmp/dx.v2", 64 * 1024))
+///     .build()
+///     .run(&doc, &schema, "M")?;
+/// # let _ = warm;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PagedBackend {
+    path: PathBuf,
+    mode: SnapshotMode,
+    budget: usize,
+    page_size: usize,
+    last_stats: Mutex<Option<PoolStats>>,
+}
+
+impl PagedBackend {
+    /// A backend that warm-starts from the paged snapshot at `path`,
+    /// holding at most `budget` bytes of pages resident.
+    pub fn open(path: impl Into<PathBuf>, budget: usize) -> PagedBackend {
+        PagedBackend {
+            path: path.into(),
+            mode: SnapshotMode::Load,
+            budget,
+            page_size: DEFAULT_PAGE_SIZE,
+            last_stats: Mutex::new(None),
+        }
+    }
+
+    /// A backend that builds in memory and saves the paged snapshot to
+    /// `path` (with [`DEFAULT_PAGE_SIZE`] pages unless overridden).
+    pub fn save(path: impl Into<PathBuf>, budget: usize) -> PagedBackend {
+        PagedBackend {
+            path: path.into(),
+            mode: SnapshotMode::Save,
+            budget,
+            page_size: DEFAULT_PAGE_SIZE,
+            last_stats: Mutex::new(None),
+        }
+    }
+
+    /// Overrides the page size used by [`PagedBackend::save`]. Smaller
+    /// pages mean finer-grained eviction (and more checksum entries).
+    pub fn with_page_size(mut self, page_size: usize) -> PagedBackend {
+        self.page_size = page_size;
+        self
+    }
+
+    /// The snapshot file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The backend's mode.
+    pub fn mode(&self) -> SnapshotMode {
+        self.mode
+    }
+
+    /// The pool memory budget, in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Pool counters from the most recent load, if one has completed.
+    /// `peak_resident_bytes` here is what the scaling bench holds under
+    /// the budget.
+    pub fn last_stats(&self) -> Option<PoolStats> {
+        match self.last_stats.lock() {
+            Ok(guard) => *guard,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+}
+
+impl TermIndexBackend for PagedBackend {
+    fn acquire(&self, ctx: IndexContext<'_>) -> Result<Arc<OdSet>, DogmatixError> {
+        match self.mode {
+            SnapshotMode::Save => {
+                let ods = OdSet::build(ctx.doc, ctx.candidates, ctx.selections, ctx.mapping);
+                save_snapshot_paged(
+                    &ods,
+                    ctx.selections,
+                    doc_fingerprint(ctx.doc),
+                    &self.path,
+                    self.page_size,
+                )?;
+                Ok(Arc::new(ods))
+            }
+            SnapshotMode::Load => {
+                let (mut pool, header) = pool_over_file(&self.path, self.budget)?;
+                let ods =
+                    decode_paged(&mut pool, &header, ctx.selections, doc_fingerprint(ctx.doc))?;
+                if let Ok(mut guard) = self.last_stats.lock() {
+                    *guard = Some(pool.stats());
+                }
+                let ods = super::attach_candidates(ods, ctx.candidates)?;
+                Ok(Arc::new(ods))
+            }
+        }
+    }
+}
+
+/// Shared handles work too: the bench keeps an `Arc<PagedBackend>` to
+/// read [`PagedBackend::last_stats`] after handing the backend to a
+/// builder.
+impl TermIndexBackend for Arc<PagedBackend> {
+    fn acquire(&self, ctx: IndexContext<'_>) -> Result<Arc<OdSet>, DogmatixError> {
+        PagedBackend::acquire(self, ctx)
+    }
+}
+
+// ---- point access -----------------------------------------------------
+
+/// Random point access over a paged snapshot: term text and posting
+/// lists resolved by pinning exactly the pages a lookup touches. This
+/// is the genuinely out-of-core access path — nothing is decoded up
+/// front, and with a small budget the pool visibly evicts and refaults
+/// under a scattered access pattern ([`PagedReader::stats`]).
+#[derive(Debug)]
+pub struct PagedReader {
+    pool: BufferPool,
+    header: Arc<PagedHeader>,
+}
+
+impl PagedReader {
+    /// Opens the paged snapshot at `path` under a pool budget.
+    pub fn open(path: impl AsRef<Path>, budget: usize) -> Result<PagedReader, DogmatixError> {
+        let (pool, header) = pool_over_file(path.as_ref(), budget)?;
+        Ok(PagedReader { pool, header })
+    }
+
+    /// Number of interned terms in the snapshot.
+    pub fn term_count(&self) -> usize {
+        (self.header.sections[SEC_TERM_SPANS].byte_len / 8) as usize
+    }
+
+    /// Reads `out.len()` bytes at `offset` within section `sec`.
+    fn read_at(&mut self, sec: usize, offset: u64, out: &mut [u8]) -> Result<(), DogmatixError> {
+        let meta = self.header.sections[sec];
+        let end = offset
+            .checked_add(out.len() as u64)
+            .filter(|&e| e <= meta.byte_len)
+            .ok_or_else(|| {
+                snap_err("paged snapshot corrupted: point read out of section bounds")
+            })?;
+        let _ = end;
+        let mut cur = SectionCursor::new_at(&mut self.pool, meta, offset);
+        let r = cur.read_exact(out);
+        cur.finish();
+        r
+    }
+
+    fn u32_at(&mut self, sec: usize, index: u64) -> Result<u32, DogmatixError> {
+        let mut b = [0u8; 4];
+        self.read_at(sec, index * 4, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// The normalised text of term `term`, resolved through the span
+    /// and arena pages only.
+    pub fn term_text(&mut self, term: u32) -> Result<String, DogmatixError> {
+        let mut span = [0u8; 8];
+        self.read_at(SEC_TERM_SPANS, term as u64 * 8, &mut span)?;
+        let start = u32::from_le_bytes([span[0], span[1], span[2], span[3]]);
+        let len = u32::from_le_bytes([span[4], span[5], span[6], span[7]]);
+        let mut bytes = vec![0u8; len as usize];
+        self.read_at(SEC_ARENA, start as u64, &mut bytes)?;
+        String::from_utf8(bytes)
+            .map_err(|_| snap_err("snapshot corrupted: arena is not valid UTF-8"))
+    }
+
+    /// The posting list (object ids) of term `term`, resolved through
+    /// the CSR start and posting pages only.
+    pub fn postings(&mut self, term: u32) -> Result<Vec<u32>, DogmatixError> {
+        let start = self.u32_at(SEC_POSTING_STARTS, term as u64)?;
+        let end = self.u32_at(SEC_POSTING_STARTS, term as u64 + 1)?;
+        let n = end
+            .checked_sub(start)
+            .ok_or_else(|| snap_err("paged snapshot corrupted: non-monotonic posting starts"))?;
+        let mut bytes = vec![0u8; n as usize * 4];
+        self.read_at(SEC_POSTINGS, start as u64 * 4, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Pool counters so far (hits, misses, evictions, peak residency).
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{InMemoryBackend, SnapshotBackend};
+    use crate::pipeline::Dogmatix;
+    use dogmatix_xml::{Document, Schema};
+
+    fn corpus() -> (Document, Schema) {
+        let mut xml = String::from("<db>");
+        for i in 0..40 {
+            let t = if i % 7 == 0 { "Common Song" } else { "Track" };
+            xml.push_str(&format!(
+                "<m><t>{t} {}</t><y>{}</y></m>",
+                i / 2,
+                1990 + i % 9
+            ));
+        }
+        xml.push_str("</db>");
+        let doc = Document::parse(&xml).unwrap();
+        let schema = Schema::infer(&doc).unwrap();
+        (doc, schema)
+    }
+
+    fn detector(backend: impl TermIndexBackend + 'static) -> Dogmatix {
+        Dogmatix::builder()
+            .add_type("M", ["/db/m"])
+            .index_backend(backend)
+            .build()
+    }
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dx_paged_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.{}.v2", std::process::id()))
+    }
+
+    #[test]
+    fn paged_roundtrip_matches_in_memory_under_a_tight_budget() {
+        let path = temp("roundtrip");
+        let (doc, schema) = corpus();
+        let cold = detector(PagedBackend::save(&path, 1 << 20).with_page_size(256))
+            .run(&doc, &schema, "M")
+            .unwrap();
+        let backend = Arc::new(PagedBackend::open(&path, 1024));
+        let warm = detector(Arc::clone(&backend))
+            .run(&doc, &schema, "M")
+            .unwrap();
+        let in_memory = detector(InMemoryBackend).run(&doc, &schema, "M").unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(warm, in_memory);
+        // A 1 KiB budget over 256 B pages = 4 frames; the snapshot is
+        // far larger, so the load must have evicted and stayed bounded.
+        let stats = backend.last_stats().unwrap();
+        assert!(stats.peak_resident_bytes <= 1024, "{stats:?}");
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > 1024,
+            "snapshot must exceed the budget for this test to mean anything"
+        );
+    }
+
+    #[test]
+    fn snapshot_backend_reads_v2_files() {
+        let path = temp("compat");
+        let (doc, schema) = corpus();
+        let cold = detector(PagedBackend::save(&path, 1 << 20))
+            .run(&doc, &schema, "M")
+            .unwrap();
+        let via_flat_backend = detector(SnapshotBackend::load(&path))
+            .run(&doc, &schema, "M")
+            .unwrap();
+        assert_eq!(cold, via_flat_backend);
+    }
+
+    #[test]
+    fn paged_reader_point_reads_match_the_decoded_store() {
+        let path = temp("points");
+        let (doc, schema) = corpus();
+        let dx = detector(PagedBackend::save(&path, 1 << 20).with_page_size(256));
+        dx.run(&doc, &schema, "M").unwrap();
+
+        // Ground truth from a full in-memory build.
+        let reference = detector(InMemoryBackend);
+        let session = reference.session(&doc, &schema, "M").unwrap();
+        let selections = session
+            .selections_for(reference.selector_stage().as_ref())
+            .unwrap();
+        let ods = session.object_descriptions(&selections);
+        let store = ods.store();
+
+        let mut reader = PagedReader::open(&path, 1024).unwrap();
+        assert_eq!(reader.term_count(), store.term_count());
+        let step = (store.term_count() / 13).max(1);
+        for t in (0..store.term_count()).step_by(step) {
+            assert_eq!(reader.term_text(t as u32).unwrap(), store.norm(t));
+            assert_eq!(reader.postings(t as u32).unwrap(), store.postings(t));
+        }
+        let stats = reader.stats();
+        assert!(stats.peak_resident_bytes <= 1024, "{stats:?}");
+    }
+
+    #[test]
+    fn version_cross_errors_name_both_versions() {
+        let dir = std::env::temp_dir().join("dx_paged_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (doc, schema) = corpus();
+
+        // v1 file through the paged reader.
+        let v1 = temp("v1file");
+        detector(SnapshotBackend::save(&v1))
+            .run(&doc, &schema, "M")
+            .unwrap();
+        let err = PagedReader::open(&v1, 1 << 16).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("flat format (version 1)"), "{msg}");
+        assert!(msg.contains("version 2"), "{msg}");
+
+        // v2 file through the flat-image reader.
+        let v2 = temp("v2file");
+        detector(PagedBackend::save(&v2, 1 << 20))
+            .run(&doc, &schema, "M")
+            .unwrap();
+        let data = std::fs::read(&v2).unwrap();
+        let err = crate::backend::snapshot_from_bytes(&data, &HashMap::new(), 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("paged format (version 2)"), "{msg}");
+        assert!(msg.contains("version 1"), "{msg}");
+    }
+}

@@ -744,7 +744,7 @@ fn write_checkpoint(
                     push_str(&mut payload, p);
                 }
             }
-            let image = snapshot_to_bytes(ods, &selections, doc_fingerprint(session.doc()));
+            let image = snapshot_to_bytes(ods, &selections, doc_fingerprint(session.doc()))?;
             payload.extend_from_slice(&(image.len() as u64).to_le_bytes());
             payload.extend_from_slice(&image);
         }

@@ -17,6 +17,7 @@
 //! INGEST <delta-line>        → OK ingested seq=<s> objects=<n> duplicates=<d>
 //! STATS                      → OK seq=<s> objects=<n> pairs=<d> probes=<p> ingests=<i> shed=<x>
 //! CHECKPOINT                 → OK checkpoint lsn=<n>   (durable servers only)
+//! INDEX-SAVE <path>          → OK index-save bytes=<n> path=<path>
 //! SHUTDOWN                   → OK bye            (stops the server)
 //! anything else              → ERR <kind>: <message>
 //! ```
@@ -47,12 +48,21 @@
 //! [`ServerConfig::checkpoint_every`] deltas and on the `CHECKPOINT`
 //! command. `SHUTDOWN` drains the ingest queue — queued deltas are
 //! logged, fsynced, and applied before the writer exits, never dropped.
+//!
+//! `INDEX-SAVE <path>` exports the live session's term index as a
+//! standalone **paged (v2) snapshot** via
+//! [`IncrementalSession::save_paged_index`] — a file the CLI can later
+//! serve under a memory budget with `--index-load --index-paged`. The
+//! request rides the writer queue like `CHECKPOINT`, so it observes a
+//! batch boundary: the exported index always describes a fully applied,
+//! clean session state.
 
 use dogmatix_core::probe::{ProbeBlocking, ProbeScratch, ProbeSnapshot};
 use dogmatix_core::{DocumentDelta, Dogmatix, DogmatixError, IncrementalSession, Wal};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
@@ -122,6 +132,12 @@ enum WriterMsg {
     Ingest(IngestJob),
     /// A `CHECKPOINT` request; the writer answers with the covered LSN.
     Checkpoint(Sender<Result<u64, DogmatixError>>),
+    /// An `INDEX-SAVE` request: export the clean session store as a
+    /// paged (v2) snapshot; the writer answers with the written bytes.
+    IndexSave {
+        path: PathBuf,
+        reply: Sender<Result<u64, DogmatixError>>,
+    },
 }
 
 /// One published state: the probe snapshot, its sequence number, and
@@ -391,14 +407,17 @@ fn writer_loop(
         };
         let mut batch = Vec::new();
         let mut checkpoints = Vec::new();
+        let mut index_saves = Vec::new();
         match first {
             WriterMsg::Ingest(job) => batch.push(job),
             WriterMsg::Checkpoint(reply) => checkpoints.push(reply),
+            WriterMsg::IndexSave { path, reply } => index_saves.push((path, reply)),
         }
-        while batch.len() < max_batch && checkpoints.is_empty() {
+        while batch.len() < max_batch && checkpoints.is_empty() && index_saves.is_empty() {
             match rx.try_recv() {
                 Ok(WriterMsg::Ingest(job)) => batch.push(job),
                 Ok(WriterMsg::Checkpoint(reply)) => checkpoints.push(reply),
+                Ok(WriterMsg::IndexSave { path, reply }) => index_saves.push((path, reply)),
                 Err(_) => break,
             }
         }
@@ -422,6 +441,12 @@ fn writer_loop(
                 }),
             };
             let _ = reply.send(result);
+        }
+        for (path, reply) in index_saves {
+            // Runs after the batch above, so the session is at a batch
+            // boundary: `save_paged_index` sees the clean store of the
+            // detection that batch published.
+            let _ = reply.send(session.save_paged_index(&path));
         }
     }
     // Whatever the exit path, nothing acknowledged may be un-synced.
@@ -762,6 +787,7 @@ fn answer(
             )
         }
         "CHECKPOINT" => checkpoint_response(shared, ingest_tx),
+        "INDEX-SAVE" => index_save_response(rest, shared, ingest_tx),
         "SHUTDOWN" => {
             shared.begin_shutdown();
             "OK bye\n".to_string()
@@ -853,6 +879,41 @@ fn ingest_response(rest: &str, shared: &Shared, ingest_tx: &SyncSender<WriterMsg
 /// durable LSN. Checkpoints jump the batching queue-drain (the writer
 /// answers them between batches), so the reply reflects every delta
 /// acknowledged before this request.
+/// `INDEX-SAVE <path>`: ships the request to the writer thread (the
+/// only owner of the session) and waits for the export result. Like
+/// `CHECKPOINT`, it is shed — never queued unboundedly — when the
+/// ingest queue is full.
+fn index_save_response(rest: &str, shared: &Shared, ingest_tx: &SyncSender<WriterMsg>) -> String {
+    if rest.is_empty() {
+        return err_line(&DogmatixError::Protocol {
+            message: "INDEX-SAVE needs '<path>'".to_string(),
+        });
+    }
+    let (reply_tx, reply_rx) = channel();
+    let msg = WriterMsg::IndexSave {
+        path: PathBuf::from(rest),
+        reply: reply_tx,
+    };
+    match ingest_tx.try_send(msg) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(Ok(bytes)) => format!("OK index-save bytes={bytes} path={rest}\n"),
+            Ok(Err(e)) => err_line(&e),
+            Err(_) => err_line(&DogmatixError::Overloaded {
+                message: "ingest writer unavailable".to_string(),
+            }),
+        },
+        Err(TrySendError::Full(_)) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            err_line(&DogmatixError::Overloaded {
+                message: "ingest queue full".to_string(),
+            })
+        }
+        Err(TrySendError::Disconnected(_)) => err_line(&DogmatixError::Overloaded {
+            message: "ingest writer stopped".to_string(),
+        }),
+    }
+}
+
 fn checkpoint_response(shared: &Shared, ingest_tx: &SyncSender<WriterMsg>) -> String {
     let (reply_tx, reply_rx) = channel();
     match ingest_tx.try_send(WriterMsg::Checkpoint(reply_tx)) {

@@ -33,7 +33,7 @@ OPTIONS:
 On startup the server prints one line to stdout:
     dogmatixd listening on <addr>
 then serves the newline-delimited protocol (PROBE / INGEST / STATS /
-CHECKPOINT / SHUTDOWN) until a client sends SHUTDOWN.";
+CHECKPOINT / INDEX-SAVE / SHUTDOWN) until a client sends SHUTDOWN.";
 
 fn main() -> ExitCode {
     match run() {

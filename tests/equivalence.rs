@@ -381,3 +381,89 @@ fn every_public_stage_impl_is_exercised() {
         .unwrap();
     assert!(manual.stats.pairs_compared > 0);
 }
+
+/// The paged (v2) backend is an out-of-core drop-in: on both corpora,
+/// sequential and sharded, its results are bit-identical to the
+/// in-memory build while its buffer pool provably stays under a budget
+/// smaller than the snapshot it serves.
+#[test]
+fn paged_backend_equivalence_on_both_corpora() {
+    use dogmatix_repro::core::backend::paged::PagedBackend;
+    use std::sync::Arc;
+
+    let cd = {
+        let (doc, _) = dataset1_sized(21, 60);
+        (
+            doc,
+            setup::cd_schema(),
+            setup::cd_mapping(),
+            table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1),
+            setup::CD_TYPE,
+        )
+    };
+    let movie = {
+        let (doc, _) = dataset2_sized(7, 40);
+        let schema = setup::movie_schema(&doc);
+        (
+            doc,
+            schema,
+            setup::movie_mapping(),
+            table4_heuristic(HeuristicExpr::r_distant_descendants(2), 2),
+            setup::MOVIE_TYPE,
+        )
+    };
+    const BUDGET: usize = 8 * 1024; // sixteen 512 B frames
+    for (tag, (doc, schema, mapping, heuristic, rw_type)) in [("cd", cd), ("movie", movie)] {
+        let path = std::env::temp_dir().join(format!(
+            "dogmatix-equivalence-paged-{}-{tag}.dxts2",
+            std::process::id()
+        ));
+        let build = |backend: Option<Arc<PagedBackend>>, shards: Option<usize>| {
+            let mut b = Dogmatix::builder()
+                .mapping(mapping.clone())
+                .heuristic(heuristic.clone())
+                .theta_tuple(setup::THETA_TUPLE)
+                .theta_cand(setup::THETA_CAND);
+            if let Some(backend) = backend {
+                b = b.index_backend(backend);
+            }
+            if let Some(shards) = shards {
+                b = b.sharded(shards);
+            }
+            b.build().run(&doc, &schema, rw_type).expect("run succeeds")
+        };
+        let reference = build(None, None);
+        let saved = build(
+            Some(Arc::new(
+                PagedBackend::save(&path, BUDGET).with_page_size(512),
+            )),
+            None,
+        );
+        assert_eq!(reference, saved, "{tag}: paged save path diverged");
+        let snapshot_len = std::fs::metadata(&path).expect("snapshot written").len();
+        assert!(
+            snapshot_len as usize > BUDGET,
+            "{tag}: snapshot ({snapshot_len} B) must exceed the {BUDGET} B budget \
+             for the test to exercise eviction"
+        );
+        for shards in [None, Some(2usize), Some(0)] {
+            let backend = Arc::new(PagedBackend::open(&path, BUDGET));
+            let warm = build(Some(backend.clone()), shards);
+            assert_eq!(
+                reference, warm,
+                "{tag}: paged warm start (shards {shards:?}) diverged"
+            );
+            let stats = backend.last_stats().expect("load records pool stats");
+            assert!(
+                stats.peak_resident_bytes <= BUDGET,
+                "{tag}: pool peaked at {} B over the {BUDGET} B budget",
+                stats.peak_resident_bytes
+            );
+            assert!(
+                stats.evictions > 0,
+                "{tag}: a sub-snapshot budget must force evictions"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -752,3 +752,73 @@ fn checkpoint_command_truncates_the_log_and_is_refused_without_a_wal() {
     assert_eq!(recovered.candidates.len(), fragments.len() + 3);
     remove_wal(&wal_path);
 }
+
+// ---- INDEX-SAVE: exporting the live index as a paged snapshot ---------
+
+#[test]
+fn index_save_exports_a_paged_snapshot_the_point_reader_can_serve() {
+    use dogmatix_repro::core::backend::paged::PagedReader;
+
+    let (handle, fixture, _dx) = boot_cd(
+        8,
+        ServerConfig {
+            workers: 2,
+            blocking: qgram_blocking(),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(handle.addr());
+
+    // No path is a protocol error, not a dropped connection.
+    let resp = client.request("INDEX-SAVE");
+    assert!(resp.starts_with("ERR protocol:"), "bad reply: {resp}");
+    assert!(resp.contains("<path>"), "bad reply: {resp}");
+
+    // Exporting after an ingest covers the *grown* corpus: the ingest
+    // batch runs a detection, so the session is clean at the boundary
+    // the INDEX-SAVE observes.
+    let fragment = &candidate_fragments(&fixture.doc, "/discs/disc")[0];
+    let ack = client.request(&format!("INGEST insert /discs {fragment}"));
+    assert!(ack.starts_with("OK ingested "), "bad ack: {ack}");
+
+    let out = std::env::temp_dir().join(format!(
+        "dogmatixd-server-test-{}-index-save.dxts",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&out);
+    let resp = client.request(&format!("INDEX-SAVE {}", out.display()));
+    assert!(
+        resp.starts_with("OK index-save bytes="),
+        "bad reply: {resp}"
+    );
+    assert_eq!(client.request("SHUTDOWN"), "OK bye");
+    handle.join();
+
+    // The reported size is the installed file, the image is the paged
+    // v2 format, and no temp file from the atomic install survives.
+    let bytes: u64 = resp
+        .split("bytes=")
+        .nth(1)
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("parse bytes= from reply");
+    let on_disk = std::fs::metadata(&out).expect("exported snapshot exists");
+    assert_eq!(on_disk.len(), bytes, "reply size must match the file");
+    let mut tmp = out.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    assert!(
+        !std::path::PathBuf::from(tmp).exists(),
+        "atomic install must not leave a temp file"
+    );
+
+    // The export is a genuine out-of-core snapshot: the point reader
+    // serves it under a budget far below the file size.
+    let mut reader = PagedReader::open(&out, 4096).expect("open exported snapshot");
+    assert!(reader.term_count() > 0, "exported index must have terms");
+    for term in 0..reader.term_count().min(16) as u32 {
+        let text = reader.term_text(term).expect("point-read term text");
+        assert!(!text.is_empty(), "term {term} decoded empty");
+        reader.postings(term).expect("point-read postings");
+    }
+    let _ = std::fs::remove_file(&out);
+}

@@ -12,9 +12,11 @@
 //! The number of property cases honours the `PROPTEST_CASES` override
 //! (ci.sh raises it to 128).
 
-use dogmatix_repro::core::backend::SnapshotBackend;
+use dogmatix_repro::core::backend::paged::{PagedBackend, PagedReader};
+use dogmatix_repro::core::backend::{SnapshotBackend, TermIndexBackend};
 use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
 use dogmatix_repro::core::pipeline::{DetectionResult, Dogmatix};
+use dogmatix_repro::core::store::pool::{BlockId, BufferPool, PageSource};
 use dogmatix_repro::core::DogmatixError;
 use dogmatix_repro::datagen::datasets::{dataset1_sized, dataset2_sized};
 use dogmatix_repro::eval::setup;
@@ -214,7 +216,7 @@ proptest! {
 #[test]
 fn wrong_version_snapshots_are_rejected() {
     let (corpus, bytes) = reference_snapshot();
-    for version in [0u32, 2, 7, u32::MAX] {
+    for version in [0u32, 7, u32::MAX] {
         let mut mutated = bytes.clone();
         mutated[4..8].copy_from_slice(&version.to_le_bytes());
         let path = temp_path("wrong-version");
@@ -223,11 +225,27 @@ fn wrong_version_snapshots_are_rejected() {
             .run(&corpus.doc, &corpus.schema, corpus.rw_type)
             .unwrap_err();
         let _ = std::fs::remove_file(&path);
-        assert!(
-            err.to_string().contains("version"),
-            "version {version}: {err}"
-        );
+        // An unknown version names every version this build CAN read.
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("version {version}")), "{msg}");
+        assert!(msg.contains("version 1"), "{msg}");
+        assert!(msg.contains("version 2"), "{msg}");
     }
+    // Version 2 is real: relabelling a v1 image as paged routes it to
+    // the paged parser, which rejects the impostor as corrupt rather
+    // than misreading it.
+    let mut mutated = bytes.clone();
+    mutated[4..8].copy_from_slice(&2u32.to_le_bytes());
+    let path = temp_path("forged-v2");
+    std::fs::write(&path, &mutated).expect("write");
+    let err = detector(&corpus, Some(SnapshotBackend::load(&path)), None)
+        .run(&corpus.doc, &corpus.schema, corpus.rw_type)
+        .unwrap_err();
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        matches!(err, DogmatixError::Snapshot { .. }),
+        "forged v2 label must be rejected: {err}"
+    );
 }
 
 #[test]
@@ -289,4 +307,370 @@ fn snapshot_against_edited_content_same_shape_is_rejected() {
         err.to_string().contains("different document content"),
         "same-shape content edit must be rejected: {err}"
     );
+}
+
+// ---- paged (v2) snapshots ---------------------------------------------
+
+/// Like [`detector`] but over any backend — the paged tests plug in
+/// [`PagedBackend`] where the flat tests use [`SnapshotBackend`].
+fn detector_with(c: &Corpus, backend: impl TermIndexBackend + 'static) -> Dogmatix {
+    Dogmatix::builder()
+        .mapping(c.mapping.clone())
+        .heuristic(c.heuristic.clone())
+        .theta_tuple(setup::THETA_TUPLE)
+        .theta_cand(setup::THETA_CAND)
+        .index_backend(backend)
+        .build()
+}
+
+/// A reference **paged** snapshot built once for the v2 corruption
+/// properties, with small pages so the image spans many pages.
+fn reference_paged_snapshot() -> (Corpus, Vec<u8>) {
+    let corpus = cd_corpus();
+    let path = temp_path(&format!(
+        "paged-reference-{}",
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-")
+    ));
+    detector_with(
+        &corpus,
+        PagedBackend::save(&path, 1 << 20).with_page_size(512),
+    )
+    .run(&corpus.doc, &corpus.schema, corpus.rw_type)
+    .expect("paged save run");
+    let bytes = std::fs::read(&path).expect("paged snapshot written");
+    let _ = std::fs::remove_file(&path);
+    (corpus, bytes)
+}
+
+/// A mutated v2 image must be rejected (or be a no-op mutation) by
+/// BOTH readers: the budgeted [`PagedBackend`] and the
+/// version-dispatching [`SnapshotBackend`].
+fn assert_paged_mutation_handled(
+    corpus: &Corpus,
+    original: &DetectionResult,
+    mutated: &[u8],
+    what: &str,
+) {
+    let path = temp_path(&format!(
+        "paged-mutated-{}",
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-")
+    ));
+    std::fs::write(&path, mutated).expect("write mutated paged snapshot");
+    for (reader, outcome) in [
+        (
+            "PagedBackend",
+            detector_with(corpus, PagedBackend::open(&path, 1 << 20)).run(
+                &corpus.doc,
+                &corpus.schema,
+                corpus.rw_type,
+            ),
+        ),
+        (
+            "SnapshotBackend",
+            detector(corpus, Some(SnapshotBackend::load(&path)), None).run(
+                &corpus.doc,
+                &corpus.schema,
+                corpus.rw_type,
+            ),
+        ),
+    ] {
+        match outcome {
+            Err(DogmatixError::Snapshot { .. }) => {}
+            Err(other) => panic!("{what} via {reader}: unexpected error kind {other}"),
+            Ok(result) => assert_eq!(
+                &result, original,
+                "{what} via {reader}: a mutation that loads must be a no-op mutation"
+            ),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(24)
+    ))]
+
+    #[test]
+    fn corrupted_paged_snapshots_never_panic(position in 0usize..1_000_000, byte in 0u8..=255) {
+        let (corpus, bytes) = reference_paged_snapshot();
+        let original = run(&corpus, None, None);
+        let mut mutated = bytes.clone();
+        let pos = position % mutated.len();
+        mutated[pos] = byte;
+        assert_paged_mutation_handled(&corpus, &original, &mutated, "paged byte flip");
+    }
+
+    #[test]
+    fn truncated_paged_snapshots_never_panic(cut in 0usize..1_000_000) {
+        let (corpus, bytes) = reference_paged_snapshot();
+        let cut = cut % bytes.len();
+        let original = run(&corpus, None, None);
+        assert_paged_mutation_handled(&corpus, &original, &bytes[..cut], "paged truncation");
+    }
+
+    #[test]
+    fn extended_paged_snapshots_never_panic(extra in 1usize..4096) {
+        // Appended garbage changes no described byte — only the exact
+        // file-length check can catch it.
+        let (corpus, bytes) = reference_paged_snapshot();
+        let original = run(&corpus, None, None);
+        let mut padded = bytes.clone();
+        padded.resize(bytes.len() + extra, 0xAB);
+        assert_paged_mutation_handled(&corpus, &original, &padded, "paged padding");
+    }
+}
+
+#[test]
+fn every_data_page_is_checksum_protected() {
+    // Flip one byte in EVERY page, one page at a time: the per-page
+    // checksum table must name the corrupted block each time.
+    let (corpus, bytes) = reference_paged_snapshot();
+    let page_size = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let page_count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    let header_len = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
+    assert!(page_count > 4, "reference must span several pages");
+    let path = temp_path("paged-per-page");
+    for page in 0..page_count {
+        let mut mutated = bytes.clone();
+        mutated[header_len + page * page_size] ^= 0x01;
+        std::fs::write(&path, &mutated).expect("write");
+        let err = detector_with(&corpus, PagedBackend::open(&path, 1 << 20))
+            .run(&corpus.doc, &corpus.schema, corpus.rw_type)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("checksum mismatch on block"),
+            "page {page}: {msg}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn cross_version_loads_fail_naming_both_versions() {
+    let (corpus, v1_bytes) = reference_snapshot();
+    let (_, v2_bytes) = reference_paged_snapshot();
+    let path = temp_path("cross-version");
+
+    // A flat v1 file through the paged-only readers.
+    std::fs::write(&path, &v1_bytes).expect("write v1");
+    let err = detector_with(&corpus, PagedBackend::open(&path, 1 << 20))
+        .run(&corpus.doc, &corpus.schema, corpus.rw_type)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("flat format (version 1)"), "{msg}");
+    assert!(msg.contains("version 2"), "{msg}");
+    assert!(
+        msg.contains("SnapshotBackend"),
+        "points at the right reader: {msg}"
+    );
+    let err = PagedReader::open(&path, 1 << 20).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("flat format (version 1)"), "{msg}");
+    assert!(msg.contains("version 2"), "{msg}");
+
+    // A paged v2 file through the version-dispatching flat backend
+    // LOADS (compat), bit-identical to the in-memory run.
+    std::fs::write(&path, &v2_bytes).expect("write v2");
+    let original = run(&corpus, None, None);
+    let compat = detector(&corpus, Some(SnapshotBackend::load(&path)), None)
+        .run(&corpus.doc, &corpus.schema, corpus.rw_type)
+        .expect("SnapshotBackend reads v2");
+    assert_eq!(original, compat, "v2-via-SnapshotBackend diverged");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn failed_saves_leave_the_previous_snapshot_intact() {
+    // Satellite regression: a save that dies mid-write (simulated by a
+    // directory squatting on the temp-file name) must not clobber the
+    // previously installed snapshot — for the flat AND paged writers.
+    let corpus = cd_corpus();
+    let original = run(&corpus, None, None);
+    for paged in [false, true] {
+        let tag = if paged { "atomic-paged" } else { "atomic-flat" };
+        let path = temp_path(tag);
+        let save_ok = if paged {
+            detector_with(&corpus, PagedBackend::save(&path, 1 << 20)).run(
+                &corpus.doc,
+                &corpus.schema,
+                corpus.rw_type,
+            )
+        } else {
+            detector(&corpus, Some(SnapshotBackend::save(&path)), None).run(
+                &corpus.doc,
+                &corpus.schema,
+                corpus.rw_type,
+            )
+        };
+        save_ok.expect("initial save");
+        let good = std::fs::read(&path).expect("snapshot installed");
+
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::create_dir_all(&tmp).expect("squat temp name");
+        let err = if paged {
+            detector_with(&corpus, PagedBackend::save(&path, 1 << 20))
+                .run(&corpus.doc, &corpus.schema, corpus.rw_type)
+                .unwrap_err()
+        } else {
+            detector(&corpus, Some(SnapshotBackend::save(&path)), None)
+                .run(&corpus.doc, &corpus.schema, corpus.rw_type)
+                .unwrap_err()
+        };
+        assert!(
+            matches!(err, DogmatixError::Snapshot { .. }),
+            "{tag}: {err}"
+        );
+        assert_eq!(
+            std::fs::read(&path).expect("previous snapshot survives"),
+            good,
+            "{tag}: failed save must not touch the installed file"
+        );
+        std::fs::remove_dir_all(&tmp).expect("clear squat");
+
+        // And the surviving file still warm-starts bit-identically.
+        let warm = if paged {
+            detector_with(&corpus, PagedBackend::open(&path, 1 << 20)).run(
+                &corpus.doc,
+                &corpus.schema,
+                corpus.rw_type,
+            )
+        } else {
+            detector(&corpus, Some(SnapshotBackend::load(&path)), None).run(
+                &corpus.doc,
+                &corpus.schema,
+                corpus.rw_type,
+            )
+        }
+        .expect("surviving snapshot loads");
+        assert_eq!(original, warm, "{tag}: surviving snapshot diverged");
+        assert!(!tmp.exists(), "{tag}: temp artefact left behind");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+// ---- buffer-pool properties -------------------------------------------
+
+/// A deterministic in-memory page source: page `i` carries bytes
+/// derived from `i`, so any mix-up of frames is visible in the data.
+#[derive(Debug)]
+struct VecSource {
+    page_size: usize,
+    page_count: u32,
+}
+
+impl VecSource {
+    fn expected(&self, block: u32) -> Vec<u8> {
+        (0..self.page_size)
+            .map(|j| (block as usize).wrapping_mul(31).wrapping_add(j) as u8)
+            .collect()
+    }
+}
+
+impl PageSource for VecSource {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+    fn page_count(&self) -> u32 {
+        self.page_count
+    }
+    fn read_page(&mut self, block: BlockId, buf: &mut [u8]) -> Result<(), DogmatixError> {
+        buf.copy_from_slice(&self.expected(block.0));
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    ))]
+
+    /// Random access patterns keep pins balanced, the pool within its
+    /// budget, and every pinned page's bytes exactly its source page.
+    #[test]
+    fn pool_pins_balance_and_pages_stay_intact(
+        page_count in 2u32..40,
+        capacity in 1usize..8,
+        accesses in proptest::collection::vec(0u32..40, 1..200),
+    ) {
+        let page_size = 64;
+        let source = VecSource { page_size, page_count };
+        let expected: Vec<Vec<u8>> = (0..page_count).map(|b| source.expected(b)).collect();
+        let mut pool = BufferPool::new(Box::new(source), capacity * page_size)
+            .expect("pool admits at least one frame");
+        let mut held = std::collections::VecDeque::new();
+        for block in accesses {
+            let block = BlockId(block % page_count);
+            // Never hold more refs than frames: release the oldest
+            // first, like a scan cursor would.
+            if held.len() == pool.capacity_frames() {
+                pool.unpin(held.pop_front().expect("held page"));
+            }
+            let page = pool.pin(block).expect("pin within capacity");
+            prop_assert_eq!(
+                pool.data(&page),
+                expected[block.0 as usize].as_slice(),
+                "page bytes must match the source page"
+            );
+            held.push_back(page);
+            let s = pool.stats();
+            prop_assert_eq!(s.pins - s.unpins, held.len() as u64, "pins balance held refs");
+            prop_assert!(
+                s.resident_bytes <= capacity * page_size,
+                "resident {} exceeds budget {}", s.resident_bytes, capacity * page_size
+            );
+        }
+        for page in held.drain(..) {
+            pool.unpin(page);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.pins, s.unpins, "all pins released");
+        prop_assert!(s.peak_resident_bytes <= capacity * page_size);
+        prop_assert!(pool.resident_pages() <= pool.capacity_frames());
+    }
+
+    /// A full pool refuses new pins rather than evicting a pinned
+    /// frame, and the refusal names the exhaustion; releasing one pin
+    /// un-wedges it without disturbing the surviving pins.
+    #[test]
+    fn pool_never_evicts_a_pinned_frame(capacity in 1usize..6, extra in 1u32..6) {
+        let page_size = 64;
+        let page_count = capacity as u32 + extra;
+        let source = VecSource { page_size, page_count };
+        let expected: Vec<Vec<u8>> = (0..page_count).map(|b| source.expected(b)).collect();
+        let mut pool = BufferPool::new(Box::new(source), capacity * page_size)
+            .expect("pool admits at least one frame");
+        let mut held: Vec<_> = (0..capacity as u32)
+            .map(|b| pool.pin(BlockId(b)).expect("fill the pool"))
+            .collect();
+        let err = pool.pin(BlockId(capacity as u32)).expect_err("pool is wedged");
+        prop_assert!(err.to_string().contains("frames pinned"), "{}", err);
+        // Every pinned page survived the refused eviction untouched.
+        for (b, page) in held.iter().enumerate() {
+            prop_assert_eq!(pool.data(page), expected[b].as_slice());
+        }
+        // One release frees exactly one frame — the evicted page is the
+        // released one, never one of the still-pinned survivors.
+        pool.unpin(held.remove(0));
+        let newcomer = pool.pin(BlockId(capacity as u32)).expect("unpin un-wedges the pool");
+        prop_assert_eq!(pool.data(&newcomer), expected[capacity].as_slice());
+        for (i, page) in held.iter().enumerate() {
+            prop_assert_eq!(pool.data(page), expected[i + 1].as_slice());
+        }
+        pool.unpin(newcomer);
+        for page in held.drain(..) {
+            pool.unpin(page);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.pins, s.unpins);
+    }
 }
