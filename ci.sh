@@ -31,6 +31,9 @@ PROPTEST_CASES=128 cargo test -q --test snapshot
 echo "==> WAL kill-and-recover differential + corruption matrix at CI depth (PROPTEST_CASES=128)"
 PROPTEST_CASES=128 cargo test -q --test wal
 
+echo "==> edit-distance kernel differential suite at CI depth (PROPTEST_CASES=256)"
+PROPTEST_CASES=256 cargo test -q -p dogmatix_textsim --test kernel_differential
+
 echo "==> streaming bench sanity (delta replay must beat full re-detection)"
 cargo bench -q -p dogmatix_bench --bench streaming >/dev/null
 
@@ -53,6 +56,11 @@ echo "    budget must load bit-identically with peak residency <= budget, and"
 echo "    budgeted point reads must stay within the recorded baseline)"
 cargo bench -q -p dogmatix_bench --bench paged >/dev/null
 test -s BENCH_paged.json || { echo "BENCH_paged.json was not written"; exit 1; }
+
+echo "==> edit-distance kernel gate (bit-parallel must be bit-identical to the"
+echo "    scalar DP and >= 3x faster on the comparison-phase distribution)"
+cargo bench -q -p dogmatix_bench --bench editdist >/dev/null
+test -s BENCH_editdist.json || { echo "BENCH_editdist.json was not written"; exit 1; }
 
 echo "==> dogmatixd smoke (boot on an ephemeral port, probe + ingest, shutdown)"
 smoke_dir="$(mktemp -d)"

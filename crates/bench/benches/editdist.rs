@@ -1,31 +1,221 @@
-//! Edit-distance microbenches: the ablation of the \[18\] bound trick.
+//! Edit-distance kernel gate: Myers' bit-parallel kernel vs the banded
+//! scalar DP on the comparison-phase value distribution.
 //!
-//! `ned_within` (length bound → bag bound → banded Levenshtein) vs. the
-//! naive full `ned` on the value distribution the pipeline actually
-//! compares (CD titles/artists with occasional near-duplicates).
+//! Before the criterion group runs, a **kernel sanity pass**
+//!
+//! * builds the workload the scoring loop actually sees — normalised CD
+//!   title/artist/track values swept in the batch shape (one prepared
+//!   pattern against a whole group of texts, exact cap `max(|a|,|b|)`),
+//! * asserts both kernels are **bit-identical** (per-pair, across caps,
+//!   plus a full-sweep checksum),
+//! * times both kernels best-of-9 **interleaved** and gates the
+//!   bit-parallel kernel at ≥[`REQUIRED_SPEEDUP`]× the scalar DP,
+//! * gates the bit-parallel sweep against the recorded absolute
+//!   baseline (`baselines/editdist.txt`; `DOGMATIX_BASELINE_ALLOWANCE`
+//!   widens it on a slower box),
+//! * writes `BENCH_editdist.json` at the repo root.
+//!
+//! The criterion group then keeps the historical \[18\] bound ablation
+//! (`ned_within` vs full `ned`) and the per-kernel sweep timings.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dogmatix_datagen::cd::{generate_cds, CdCorpusConfig};
-use dogmatix_textsim::{levenshtein, levenshtein_bounded, ned, ned_within};
+use dogmatix_textsim::kernel::{
+    BitParallelKernel, EditDistanceKernel, KernelScratch, ScalarKernel,
+};
+use dogmatix_textsim::{ned, ned_within, normalize_value};
+use std::time::{Duration, Instant};
 
-fn value_pairs(n: usize) -> Vec<(String, String)> {
+const CORPUS_N: usize = 60;
+/// The tentpole multiple: the bit-parallel kernel must beat the scalar
+/// DP by at least this factor on the comparison-phase distribution.
+const REQUIRED_SPEEDUP: f64 = 3.0;
+
+/// Normalised values with cached char counts — the same two columns
+/// (`norm`, `char_len`) the scoring loop gathers from the term store.
+fn workload() -> (Vec<String>, Vec<usize>) {
     let cds = generate_cds(&CdCorpusConfig {
-        n,
+        n: CORPUS_N,
         ..Default::default()
     });
-    let mut pairs = Vec::new();
-    for i in 0..cds.len() {
-        let j = (i * 7 + 13) % cds.len();
-        pairs.push((cds[i].title.clone(), cds[j].title.clone()));
-        pairs.push((cds[i].artist.clone(), cds[j].artist.clone()));
+    let mut values: Vec<String> = Vec::new();
+    for cd in &cds {
+        values.push(normalize_value(&cd.title));
+        values.push(normalize_value(&cd.artist));
+        if let Some(track) = cd.tracks.first() {
+            values.push(normalize_value(track));
+        }
     }
-    pairs
+    values.retain(|v| !v.is_empty());
+    let chars = values.iter().map(|v| v.chars().count()).collect();
+    (values, chars)
+}
+
+/// One full comparison sweep in the engine's batch shape: every value
+/// acts once as the prepared pattern and is probed against every other
+/// value at the exact cap (`max(|a|,|b|)` — the multi-tuple-group path
+/// computes exact distances). Returns a checksum of all distances so
+/// the work cannot be optimised away and the kernels can be diffed.
+fn sweep(
+    kernel: &dyn EditDistanceKernel,
+    scratch: &mut KernelScratch,
+    values: &[String],
+    chars: &[usize],
+) -> u64 {
+    let mut acc = 0u64;
+    for p in 0..values.len() {
+        kernel.prepare(scratch, &values[p], chars[p]);
+        for t in 0..values.len() {
+            if t == p {
+                continue;
+            }
+            let max = chars[p].max(chars[t]);
+            let d = kernel
+                .bounded_prepared(scratch, &values[t], chars[t], max)
+                .unwrap_or(max);
+            acc = acc.wrapping_mul(31).wrapping_add(d as u64);
+        }
+    }
+    acc
+}
+
+/// Best-of-`rounds` wall clock for two contenders, measured interleaved
+/// (a, b, a, b, …) so machine-load drift hits both equally.
+fn best_of_interleaved(
+    rounds: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (Duration, Duration) {
+    let mut best = (Duration::MAX, Duration::MAX);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        a();
+        best.0 = best.0.min(t.elapsed());
+        let t = Instant::now();
+        b();
+        best.1 = best.1.min(t.elapsed());
+    }
+    best
+}
+
+fn kernel_sanity() {
+    let (values, chars) = workload();
+    let comparisons = values.len() * (values.len() - 1);
+    let mut scalar_scratch = KernelScratch::new();
+    let mut bitpar_scratch = KernelScratch::new();
+
+    // Correctness first: per-pair bit-identity across caps on a slice of
+    // the workload, then a full-sweep checksum diff.
+    for a in values.iter().take(48) {
+        let la = a.chars().count();
+        ScalarKernel.prepare(&mut scalar_scratch, a, la);
+        BitParallelKernel.prepare(&mut bitpar_scratch, a, la);
+        for b in values.iter().take(48) {
+            let lb = b.chars().count();
+            for cap in [0, 1, 2, la.max(lb)] {
+                let want = ScalarKernel.bounded_prepared(&mut scalar_scratch, b, lb, cap);
+                let got = BitParallelKernel.bounded_prepared(&mut bitpar_scratch, b, lb, cap);
+                assert_eq!(want, got, "kernels diverged: {a:?} vs {b:?} cap={cap}");
+            }
+        }
+    }
+    let scalar_sum = sweep(&ScalarKernel, &mut scalar_scratch, &values, &chars);
+    let bitpar_sum = sweep(&BitParallelKernel, &mut bitpar_scratch, &values, &chars);
+    assert_eq!(
+        scalar_sum, bitpar_sum,
+        "full-sweep checksums diverged — the kernels are not bit-identical"
+    );
+
+    // Speed: best-of-9 interleaved sweeps, then the two gates.
+    let (scalar_best, bitpar_best) = best_of_interleaved(
+        9,
+        || {
+            black_box(sweep(&ScalarKernel, &mut scalar_scratch, &values, &chars));
+        },
+        || {
+            black_box(sweep(
+                &BitParallelKernel,
+                &mut bitpar_scratch,
+                &values,
+                &chars,
+            ));
+        },
+    );
+    let speedup = scalar_best.as_secs_f64() / bitpar_best.as_secs_f64().max(1e-12);
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "bit-parallel kernel must be >= {REQUIRED_SPEEDUP}x the scalar DP on the \
+         comparison distribution, measured {speedup:.2}x \
+         (scalar {scalar_best:?} vs bitpar {bitpar_best:?})"
+    );
+
+    let baseline = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baselines/editdist.txt"
+    ))
+    .expect("the recorded editdist baseline is checked in");
+    let field = |name: &str| -> f64 {
+        baseline
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|v| v.trim_start_matches(':').trim().parse().ok())
+            .unwrap_or_else(|| panic!("baseline field {name} missing"))
+    };
+    let baseline_bitpar_micros = field("bitpar_sweep_micros");
+    let allowance: f64 = std::env::var("DOGMATIX_BASELINE_ALLOWANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.75);
+    let bitpar_micros = bitpar_best.as_secs_f64() * 1e6;
+    assert!(
+        bitpar_micros <= baseline_bitpar_micros * allowance,
+        "bit-parallel sweep regressed: {bitpar_micros:.0}µs vs recorded \
+         {baseline_bitpar_micros:.0}µs (allowance {allowance}x)"
+    );
+
+    let scalar_micros = scalar_best.as_secs_f64() * 1e6;
+    let json = format!(
+        "{{\n  \"corpus\": \"cd_dataset_values\",\n  \"values\": {},\n  \
+         \"comparisons\": {comparisons},\n  \
+         \"scalar_sweep_micros\": {scalar_micros:.1},\n  \
+         \"bitpar_sweep_micros\": {bitpar_micros:.1},\n  \
+         \"speedup\": {speedup:.2},\n  \
+         \"required_speedup\": {REQUIRED_SPEEDUP},\n  \
+         \"checksum\": {scalar_sum}\n}}\n",
+        values.len(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_editdist.json");
+    std::fs::write(out, json).expect("write BENCH_editdist.json");
+    println!(
+        "editdist kernel gate ({} values, {comparisons} comparisons): \
+         scalar {scalar_best:?}, bitpar {bitpar_best:?} — {speedup:.2}x \
+         (gate {REQUIRED_SPEEDUP}x, recorded {baseline_bitpar_micros:.0}µs)",
+        values.len()
+    );
 }
 
 fn bench_editdist(c: &mut Criterion) {
-    let pairs = value_pairs(200);
+    kernel_sanity();
+
+    let (values, chars) = workload();
     let mut group = c.benchmark_group("editdist");
 
+    let mut scratch = KernelScratch::new();
+    group.bench_function("kernel_sweep_scalar", |b| {
+        b.iter(|| sweep(&ScalarKernel, &mut scratch, &values, &chars))
+    });
+    group.bench_function("kernel_sweep_bitpar", |b| {
+        b.iter(|| sweep(&BitParallelKernel, &mut scratch, &values, &chars))
+    });
+
+    // The historical [18] bound ablation: pruned vs full normalised
+    // distance over sampled pairs.
+    let pairs: Vec<(&str, &str)> = (0..values.len())
+        .map(|i| {
+            let j = (i * 7 + 13) % values.len();
+            (values[i].as_str(), values[j].as_str())
+        })
+        .collect();
     group.bench_function("ned_full", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -35,34 +225,11 @@ fn bench_editdist(c: &mut Criterion) {
             acc
         })
     });
-
     group.bench_function("ned_within_bounds_theta_0.15", |b| {
         b.iter(|| {
             let mut hits = 0usize;
             for (x, y) in &pairs {
                 if ned_within(black_box(x), black_box(y), 0.15).is_some() {
-                    hits += 1;
-                }
-            }
-            hits
-        })
-    });
-
-    group.bench_function("levenshtein_full", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for (x, y) in &pairs {
-                acc += levenshtein(black_box(x), black_box(y));
-            }
-            acc
-        })
-    });
-
-    group.bench_function("levenshtein_banded_max_2", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for (x, y) in &pairs {
-                if levenshtein_bounded(black_box(x), black_box(y), 2).is_some() {
                     hits += 1;
                 }
             }

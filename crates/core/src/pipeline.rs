@@ -34,7 +34,7 @@ use crate::mapping::Mapping;
 use crate::od::OdSet;
 use crate::output::clusters_to_xml;
 use crate::shard::ShardedDriver;
-use crate::sim::{DistCache, SoftIdfMeasure};
+use crate::sim::{DistCache, EditKernelChoice, SoftIdfMeasure};
 use crate::stage::{
     Clusterer, ComparisonFilter, DescriptionSelector, FilterDecision, PairClassifier,
     PreparedMeasure, SimContext, SimilarityMeasure,
@@ -295,6 +295,7 @@ impl Dogmatix {
             clusterer: None,
             driver: None,
             index_backend: None,
+            edit_kernel: EditKernelChoice::default(),
         }
     }
 
@@ -604,6 +605,7 @@ pub struct DogmatixBuilder {
     clusterer: Option<Arc<dyn Clusterer>>,
     driver: Option<ShardedDriver>,
     index_backend: Option<Arc<dyn TermIndexBackend>>,
+    edit_kernel: EditKernelChoice,
 }
 
 impl DogmatixBuilder {
@@ -659,6 +661,25 @@ impl DogmatixBuilder {
     pub fn no_filter(mut self) -> Self {
         self.config.use_filter = false;
         self.filter = Some(Arc::new(NoFilter));
+        self
+    }
+
+    /// Selects the edit-distance kernel the default similarity measure
+    /// scores through (CLI: `--edit-kernel`). Kernels are exact, so the
+    /// choice never changes detection results — only throughput.
+    /// Ignored when a custom measure is set.
+    ///
+    /// ```
+    /// use dogmatix_core::pipeline::Dogmatix;
+    /// use dogmatix_core::sim::EditKernelChoice;
+    /// let dx = Dogmatix::builder()
+    ///     .add_type("M", ["/db/m"])
+    ///     .edit_kernel(EditKernelChoice::Scalar)
+    ///     .build();
+    /// # let _ = dx;
+    /// ```
+    pub fn edit_kernel(mut self, choice: EditKernelChoice) -> Self {
+        self.edit_kernel = choice;
         self
     }
 
@@ -743,6 +764,7 @@ impl DogmatixBuilder {
             clusterer,
             driver,
             index_backend,
+            edit_kernel,
         } = self;
         let selector = selector.unwrap_or_else(|| Arc::new(config.heuristic.clone()) as Arc<_>);
         let filter = filter.unwrap_or_else(|| {
@@ -756,7 +778,9 @@ impl DogmatixBuilder {
             }
         });
         let measure = measure.unwrap_or_else(|| {
-            Arc::new(SoftIdfMeasure::new_unchecked(config.theta_tuple)) as Arc<_>
+            let mut soft_idf = SoftIdfMeasure::new_unchecked(config.theta_tuple);
+            soft_idf.kernel = edit_kernel;
+            Arc::new(soft_idf) as Arc<_>
         });
         let classifier = classifier.unwrap_or_else(|| {
             Arc::new(ThresholdClassifier::new_unchecked(config.theta_cand)) as Arc<_>

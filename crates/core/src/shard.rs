@@ -116,8 +116,9 @@ impl ShardedDriver {
     /// Scores a pair plan shard by shard: every non-empty shard is one
     /// work unit, the cross-shard residual is split into worker-count
     /// chunks (it holds `1 − 1/s` of a uniform plan, so it must
-    /// parallelise too), and each unit is scored with a [`DistCache`]
-    /// pre-sized from **that unit's** plan length. Units are drained by
+    /// parallelise too), and each unit is scored with its worker's
+    /// resident [`DistCache`], reset and sized from **that unit's**
+    /// plan length. Units are drained by
     /// at most `available_parallelism` scoped workers — a shard count of
     /// 50 000 queues units, it does not spawn 50 000 threads. Verdict
     /// order is normalised by the caller's sort, so results do not
@@ -159,20 +160,25 @@ impl ShardedDriver {
             units.extend(parts.residual.chunks(chunk));
         }
 
-        let score_unit = |unit: &[(usize, usize)]| {
-            let mut cache = DistCache::for_plan(unit.len());
+        // One `DistCache` per worker, reset (not rebuilt) between units:
+        // the memo tables clear per unit exactly as before, but the
+        // kernel scratch — pattern bitmask table, DP rows, batch row
+        // buffer — stays warm across every unit the worker drains.
+        let score_unit = |cache: &mut DistCache, unit: &[(usize, usize)]| {
+            cache.reset_for_plan(unit.len());
             let mut found = crate::pipeline::FoundPairs::default();
             for &(i, j) in unit {
-                crate::pipeline::score_pair(measure, classifier, i, j, &mut cache, &mut found);
+                crate::pipeline::score_pair(measure, classifier, i, j, cache, &mut found);
             }
             found
         };
 
         if units.len() <= 1 || workers == 1 {
             // Nothing to parallelise: score the units in place.
+            let mut cache = DistCache::new();
             let mut found = crate::pipeline::FoundPairs::default();
             for unit in units {
-                let local = score_unit(unit);
+                let local = score_unit(&mut cache, unit);
                 found.0.extend(local.0);
                 found.1.extend(local.1);
             }
@@ -186,11 +192,12 @@ impl ShardedDriver {
                 let (units, next, results) = (&units, &next, &results);
                 let score_unit = &score_unit;
                 scope.spawn(move || {
+                    let mut cache = DistCache::new();
                     let mut local = crate::pipeline::FoundPairs::default();
                     loop {
                         let u = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some(unit) = units.get(u) else { break };
-                        let found = score_unit(unit);
+                        let found = score_unit(&mut cache, unit);
                         local.0.extend(found.0);
                         local.1.extend(found.1);
                     }

@@ -21,11 +21,23 @@
 //! value pairs recur constantly (years, genres, dummy track titles), and
 //! the cache turns repeated edit-distance computations into hash lookups.
 //! This implements the spirit of the paper's \[18\] bound optimisation
-//! together with the banded early-exit Levenshtein in `dogmatix-textsim`.
+//! together with the bounded edit-distance kernels in `dogmatix-textsim`.
+//!
+//! Distances that *are* computed go through a pluggable
+//! [`EditDistanceKernel`] (selected per measure via [`EditKernelChoice`],
+//! default bit-parallel). The scoring loop batches each left term's row:
+//! memo hits resolve during a gather pass, then the kernel prepares the
+//! left term's pattern state once and sweeps the remaining right terms,
+//! reading norm spans and cached char lengths straight from the
+//! `TermStore` SoA columns. Kernels are exact, so the kernel choice
+//! never changes any score.
 
 use crate::od::{OdSet, TermId};
-use dogmatix_textsim::{idf, ned};
+use dogmatix_textsim::kernel::{EditDistanceKernel, KernelScratch};
+use dogmatix_textsim::{bag_distance_lower_bound_with, idf, length_lower_bound, strict_cap};
 use std::collections::HashMap;
+
+pub use dogmatix_textsim::kernel::EditKernelChoice;
 
 /// Memoised per-term-pair state plus reusable scratch buffers for the
 /// allocation-free fast path. One cache may be shared across all pair
@@ -58,6 +70,13 @@ pub struct DistCache {
     scratch_candidates: Vec<(f64, u32, u32)>,
     scratch_used_i: Vec<bool>,
     scratch_used_j: Vec<bool>,
+    /// One left term's gathered comparison row: `(tuple_j, term_j,
+    /// distance)`, distance = NaN until the kernel dispatch fills it.
+    scratch_row: Vec<(u32, TermId, f64)>,
+    /// Working state for the edit-distance kernels (pattern bitmasks, DP
+    /// rows, bound tables) — reused across every comparison this cache
+    /// serves.
+    kernel_scratch: KernelScratch,
 }
 
 impl DistCache {
@@ -79,7 +98,28 @@ impl DistCache {
             scratch_candidates: Vec::new(),
             scratch_used_i: Vec::new(),
             scratch_used_j: Vec::new(),
+            scratch_row: Vec::new(),
+            kernel_scratch: KernelScratch::new(),
         }
+    }
+
+    /// Resets the cache for the next unit of a plan: memo tables are
+    /// cleared (per-unit memoisation keeps memory bounded exactly as a
+    /// fresh cache would) and grown toward the plan-derived capacity,
+    /// while every scratch allocation — kernel pattern state, DP rows,
+    /// batch buffers — stays warm. Workers executing many units reuse
+    /// one cache through this instead of building a new one per unit.
+    pub fn reset_for_plan(&mut self, plan_len: usize) {
+        let target = cache_capacity_for_plan(plan_len);
+        self.dist.clear();
+        self.similar.clear();
+        self.union.clear();
+        self.dist
+            .reserve(target.saturating_sub(self.dist.capacity()));
+        self.similar
+            .reserve(target.saturating_sub(self.similar.capacity()));
+        self.union
+            .reserve(target.saturating_sub(self.union.capacity()));
     }
 
     /// Creates a cache pre-sized for a comparison plan of `plan_len`
@@ -108,10 +148,6 @@ impl DistCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
-
-    fn distance(&mut self, ods: &OdSet, a: TermId, b: TermId) -> f64 {
-        distance_memo(&mut self.dist, ods, a, b)
-    }
 }
 
 /// Memoised-entry budget for a worker about to score `plan_len` pairs.
@@ -131,10 +167,79 @@ fn is_frequent(ods: &OdSet, a: TermId, b: TermId) -> bool {
     ods.store().posting_len(a.index()) >= 2 && ods.store().posting_len(b.index()) >= 2
 }
 
+/// Canonical (symmetric) memo key for a term pair.
+#[inline]
+fn ordered(a: TermId, b: TermId) -> (TermId, TermId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Exact `odtDist` through the selected kernel: norm spans and cached
+/// character lengths come straight from the `TermStore` SoA columns —
+/// no per-pair `chars().count()` pass, no allocation.
+fn kernel_distance(
+    kernel: &dyn EditDistanceKernel,
+    scratch: &mut KernelScratch,
+    ods: &OdSet,
+    a: TermId,
+    b: TermId,
+) -> f64 {
+    let term_a = ods.term(a);
+    let term_b = ods.term(b);
+    let la = term_a.char_len();
+    let lb = term_b.char_len();
+    let max_len = la.max(lb);
+    if max_len == 0 {
+        return 0.0;
+    }
+    let d = kernel
+        .bounded_counted(scratch, term_a.norm(), la, term_b.norm(), lb, max_len)
+        .unwrap_or(max_len); // unreachable: every distance is <= max_len
+    d as f64 / max_len as f64
+}
+
+/// Bounds-then-kernel similarity verdict `odtDist < θ` — the
+/// `ned_within` cascade (strict cap, length bound, bag bound, bounded
+/// distance) over store columns and cache-resident scratch.
+fn kernel_similar(
+    kernel: &dyn EditDistanceKernel,
+    scratch: &mut KernelScratch,
+    ods: &OdSet,
+    a: TermId,
+    b: TermId,
+    theta: f64,
+) -> bool {
+    let term_a = ods.term(a);
+    let term_b = ods.term(b);
+    let la = term_a.char_len();
+    let lb = term_b.char_len();
+    let max_len = la.max(lb);
+    if max_len == 0 {
+        return theta > 0.0;
+    }
+    let Some(cap) = strict_cap(theta, max_len) else {
+        return false;
+    };
+    if length_lower_bound(la, lb) > cap {
+        return false;
+    }
+    if bag_distance_lower_bound_with(term_a.norm(), term_b.norm(), &mut scratch.bounds) > cap {
+        return false;
+    }
+    kernel
+        .bounded_counted(scratch, term_a.norm(), la, term_b.norm(), lb, cap)
+        .is_some()
+}
+
 /// Memoised exact `odtDist` (free function so the fast path can borrow
 /// the cache's scratch buffers alongside the maps).
 fn distance_memo(
     map: &mut HashMap<(TermId, TermId), f64>,
+    scratch: &mut KernelScratch,
+    kernel: &dyn EditDistanceKernel,
     ods: &OdSet,
     a: TermId,
     b: TermId,
@@ -146,7 +251,7 @@ fn distance_memo(
     if let Some(d) = map.get(&key) {
         return *d;
     }
-    let d = ned(ods.term(a).norm(), ods.term(b).norm());
+    let d = kernel_distance(kernel, scratch, ods, a, b);
     if is_frequent(ods, a, b) {
         map.insert(key, d);
     }
@@ -158,6 +263,8 @@ fn distance_memo(
 /// the length and bag bounds reject without running the DP.
 fn similar_memo(
     map: &mut HashMap<(TermId, TermId), bool>,
+    scratch: &mut KernelScratch,
+    kernel: &dyn EditDistanceKernel,
     ods: &OdSet,
     a: TermId,
     b: TermId,
@@ -170,7 +277,7 @@ fn similar_memo(
     if let Some(v) = map.get(&key) {
         return *v;
     }
-    let v = dogmatix_textsim::ned_within(ods.term(a).norm(), ods.term(b).norm(), theta).is_some();
+    let v = kernel_similar(kernel, scratch, ods, a, b, theta);
     if is_frequent(ods, a, b) {
         map.insert(key, v);
     }
@@ -263,13 +370,26 @@ pub struct SimBreakdown {
 pub struct SimEngine<'a> {
     ods: &'a OdSet,
     theta_tuple: f64,
+    kernel: &'static dyn EditDistanceKernel,
 }
 
 impl<'a> SimEngine<'a> {
     /// Creates an engine with the given tuple-similarity threshold
-    /// (`θ_tuple`, the paper uses 0.15).
+    /// (`θ_tuple`, the paper uses 0.15) and the default edit-distance
+    /// kernel.
     pub fn new(ods: &'a OdSet, theta_tuple: f64) -> Self {
-        SimEngine { ods, theta_tuple }
+        SimEngine::with_kernel(ods, theta_tuple, EditKernelChoice::default())
+    }
+
+    /// Creates an engine scoring through the selected edit-distance
+    /// kernel. Kernels are exact, so every choice produces bit-identical
+    /// similarity values — only throughput differs.
+    pub fn with_kernel(ods: &'a OdSet, theta_tuple: f64, choice: EditKernelChoice) -> Self {
+        SimEngine {
+            ods,
+            theta_tuple,
+            kernel: choice.kernel(),
+        }
     }
 
     /// The OD set this engine reads.
@@ -315,38 +435,98 @@ impl<'a> SimEngine<'a> {
                     std::cmp::Ordering::Equal => {
                         let idx_i = ods.group_tuple_slice(gi);
                         let idx_j = ods.group_tuple_slice(gj);
-                        let singleton_group = idx_i.len() == 1 && idx_j.len() == 1;
+                        if idx_i.len() == 1 && idx_j.len() == 1 {
+                            // 1×1 group: the greedy matching has a single
+                            // candidate, so only the verdict matters — the
+                            // cheap bounds-based check suffices (no exact
+                            // DP for the common "clearly different" case).
+                            let (ti, tj) = (idx_i[0], idx_j[0]);
+                            let term_i = ods.tuple_term_at(i, ti as usize);
+                            let term_j = ods.tuple_term_at(j, tj as usize);
+                            if similar_memo(
+                                &mut cache.similar,
+                                &mut cache.kernel_scratch,
+                                self.kernel,
+                                ods,
+                                term_i,
+                                term_j,
+                                self.theta_tuple,
+                            ) {
+                                used_i[ti as usize] = true;
+                                used_j[tj as usize] = true;
+                                s_sim +=
+                                    idf(total, union_memo(&mut cache.union, ods, term_i, term_j));
+                            } else {
+                                candidates.push((1.0, ti, tj));
+                            }
+                            gi += 1;
+                            gj += 1;
+                            continue;
+                        }
+                        // Multi-tuple group: the greedy matching orders by
+                        // exact distance. Each left tuple's comparison row
+                        // is batched — gather memo hits, prepare the left
+                        // term's pattern state once, sweep the misses
+                        // through the kernel, then accumulate in the
+                        // original right-tuple order (so the float
+                        // accumulation order, and hence the score, is
+                        // independent of the batching).
                         for &ti in idx_i {
                             let term_i = ods.tuple_term_at(i, ti as usize);
+                            let row = &mut cache.scratch_row;
+                            row.clear();
+                            let mut misses = 0usize;
                             for &tj in idx_j {
                                 let term_j = ods.tuple_term_at(j, tj as usize);
-                                if singleton_group {
-                                    // 1×1 group: the greedy matching has a
-                                    // single candidate, so only the verdict
-                                    // matters — the cheap bounds-based check
-                                    // suffices (no exact DP for the common
-                                    // "clearly different" case).
-                                    if similar_memo(
-                                        &mut cache.similar,
-                                        ods,
-                                        term_i,
-                                        term_j,
-                                        self.theta_tuple,
-                                    ) {
-                                        used_i[ti as usize] = true;
-                                        used_j[tj as usize] = true;
-                                        s_sim += idf(
-                                            total,
-                                            union_memo(&mut cache.union, ods, term_i, term_j),
-                                        );
-                                    } else {
-                                        candidates.push((1.0, ti, tj));
+                                let d = if term_i == term_j {
+                                    0.0
+                                } else {
+                                    let key = ordered(term_i, term_j);
+                                    match cache.dist.get(&key) {
+                                        Some(d) => *d,
+                                        None => {
+                                            misses += 1;
+                                            f64::NAN
+                                        }
                                     }
-                                    continue;
+                                };
+                                row.push((tj, term_j, d));
+                            }
+                            if misses > 0 {
+                                let term_a = ods.term(term_i);
+                                let la = term_a.char_len();
+                                self.kernel
+                                    .prepare(&mut cache.kernel_scratch, term_a.norm(), la);
+                                for entry in row.iter_mut() {
+                                    if !entry.2.is_nan() {
+                                        continue;
+                                    }
+                                    let term_b = ods.term(entry.1);
+                                    let lb = term_b.char_len();
+                                    let max_len = la.max(lb);
+                                    let d = if max_len == 0 {
+                                        0.0
+                                    } else {
+                                        let edits = self
+                                            .kernel
+                                            .bounded_prepared(
+                                                &mut cache.kernel_scratch,
+                                                term_b.norm(),
+                                                lb,
+                                                max_len,
+                                            )
+                                            // unreachable: distance <= max_len
+                                            .unwrap_or(max_len);
+                                        edits as f64 / max_len as f64
+                                    };
+                                    entry.2 = d;
+                                    if is_frequent(ods, term_i, entry.1) {
+                                        cache.dist.insert(ordered(term_i, entry.1), d);
+                                    }
                                 }
-                                // Multi-tuple group: the greedy matching
-                                // orders by exact distance.
-                                let d = distance_memo(&mut cache.dist, ods, term_i, term_j);
+                            }
+                            for k in 0..cache.scratch_row.len() {
+                                let (tj, term_j, d) = cache.scratch_row[k];
                                 if d < self.theta_tuple {
                                     used_i[ti as usize] = true;
                                     used_j[tj as usize] = true;
@@ -428,7 +608,14 @@ impl<'a> SimEngine<'a> {
             };
             for &tj in partners {
                 let t_j = od_j.tuple(tj);
-                let d = cache.distance(ods, t_i.term(), t_j.term());
+                let d = distance_memo(
+                    &mut cache.dist,
+                    &mut cache.kernel_scratch,
+                    self.kernel,
+                    ods,
+                    t_i.term(),
+                    t_j.term(),
+                );
                 if d < self.theta_tuple {
                     in_similar_i[ti] = true;
                     in_similar_j[tj] = true;
@@ -513,24 +700,41 @@ impl<'a> SimEngine<'a> {
 pub struct SoftIdfMeasure {
     /// Tuple-similarity threshold `θ_tuple` (paper: 0.15).
     pub theta_tuple: f64,
+    /// Edit-distance kernel the prepared engine scores through. Kernels
+    /// are exact, so this never changes detection output.
+    pub kernel: EditKernelChoice,
 }
 
 impl SoftIdfMeasure {
-    /// Creates the measure with the given `θ_tuple`. Debug builds
-    /// assert the threshold is a similarity in `[0, 1]`.
+    /// Creates the measure with the given `θ_tuple` and the default
+    /// (bit-parallel) kernel. Debug builds assert the threshold is a
+    /// similarity in `[0, 1]`.
     pub fn new(theta_tuple: f64) -> Self {
         debug_assert!(
             (0.0..=1.0).contains(&theta_tuple),
             "θ_tuple must be a similarity in [0, 1], got {theta_tuple}"
         );
-        SoftIdfMeasure { theta_tuple }
+        SoftIdfMeasure {
+            theta_tuple,
+            kernel: EditKernelChoice::default(),
+        }
+    }
+
+    /// Creates the measure with an explicit edit-distance kernel.
+    pub fn with_kernel(theta_tuple: f64, kernel: EditKernelChoice) -> Self {
+        let mut measure = SoftIdfMeasure::new(theta_tuple);
+        measure.kernel = kernel;
+        measure
     }
 
     /// Config-derived construction: the pipeline validates thresholds
     /// itself and reports a graceful `Config` error, so the debug
     /// audit must not fire first.
     pub(crate) fn new_unchecked(theta_tuple: f64) -> Self {
-        SoftIdfMeasure { theta_tuple }
+        SoftIdfMeasure {
+            theta_tuple,
+            kernel: EditKernelChoice::default(),
+        }
     }
 }
 
@@ -539,7 +743,11 @@ impl crate::stage::SimilarityMeasure for SoftIdfMeasure {
         &self,
         ctx: crate::stage::SimContext<'a>,
     ) -> Box<dyn crate::stage::PreparedMeasure + 'a> {
-        Box::new(SimEngine::new(ctx.ods, self.theta_tuple))
+        Box::new(SimEngine::with_kernel(
+            ctx.ods,
+            self.theta_tuple,
+            self.kernel,
+        ))
     }
 }
 
@@ -827,6 +1035,67 @@ mod tests {
                         "sim({i},{j})@{theta}: fast={fast} breakdown={slow}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_choice_is_bit_identical() {
+        // Exact equality, not approximate: kernels return the same
+        // integer distances, so every float downstream is identical.
+        let ods = movie_odset();
+        for theta in [0.15, 0.45, 0.8] {
+            let scalar = SimEngine::with_kernel(&ods, theta, EditKernelChoice::Scalar);
+            let bitpar = SimEngine::with_kernel(&ods, theta, EditKernelChoice::BitParallel);
+            let mut ca = DistCache::new();
+            let mut cb = DistCache::new();
+            for i in 0..ods.len() {
+                for j in 0..ods.len() {
+                    if i == j {
+                        continue;
+                    }
+                    assert_eq!(
+                        scalar.sim(i, j, &mut ca),
+                        bitpar.sim(i, j, &mut cb),
+                        "sim({i},{j})@{theta}"
+                    );
+                    assert_eq!(
+                        scalar.breakdown(i, j, &mut ca),
+                        bitpar.breakdown(i, j, &mut cb),
+                        "breakdown({i},{j})@{theta}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_for_plan_clears_memo_but_keeps_results_identical() {
+        // Both year terms occur in two ODs, so the (1999, 2002) pair is
+        // frequent and lands in the memo tables.
+        let ods = build_odset(
+            "<r><m><y>1999</y><t>Alpha One</t></m>\
+                <m><y>1999</y><t>Beta Two</t></m>\
+                <m><y>2002</y><t>Gamma Three</t></m>\
+                <m><y>2002</y><t>Delta Four</t></m></r>",
+            "/r/m",
+            &["/r/m/y", "/r/m/t"],
+        );
+        let engine = SimEngine::new(&ods, 0.45);
+        let mut fresh = DistCache::new();
+        let mut reused = DistCache::for_plan(64);
+        engine.sim(0, 2, &mut reused);
+        assert!(!reused.is_empty());
+        reused.reset_for_plan(8);
+        assert!(reused.is_empty(), "reset clears the memo tables");
+        assert!(reused.capacity() >= 16);
+        for i in 0..ods.len() {
+            for j in (i + 1)..ods.len() {
+                assert_eq!(
+                    engine.sim(i, j, &mut fresh),
+                    engine.sim(i, j, &mut reused),
+                    "a reset cache must behave like a fresh one"
+                );
             }
         }
     }

@@ -24,6 +24,24 @@ pub fn length_lower_bound(la: usize, lb: usize) -> usize {
     la.abs_diff(lb)
 }
 
+/// Reusable scratch for [`bag_distance_lower_bound_with`]: the non-ASCII
+/// path needs a character→count table, and allocating a fresh `HashMap`
+/// per call would dominate the bound itself on the batch hot path. One
+/// scratch per worker (it lives inside
+/// [`crate::kernel::KernelScratch`]) amortises it to zero allocations.
+#[derive(Debug, Default)]
+pub struct BoundsScratch {
+    /// Signed multiset counts (`+1` per char of `a`, `−1` per char of `b`).
+    counts: HashMap<char, isize>,
+}
+
+impl BoundsScratch {
+    /// Creates an empty scratch table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Bag-distance lower bound on the Levenshtein distance.
 ///
 /// Treats both strings as multisets of characters and returns
@@ -43,25 +61,46 @@ pub fn bag_distance_lower_bound(a: &str, b: &str) -> usize {
     // this function runs tens of millions of times inside the filter's
     // term-family scan, where a per-call HashMap would dominate.
     if a.is_ascii() && b.is_ascii() {
-        let mut counts = [0i32; 128];
-        for &c in a.as_bytes() {
-            counts[c as usize] += 1;
-        }
-        for &c in b.as_bytes() {
-            counts[c as usize] -= 1;
-        }
-        let mut a_only = 0usize;
-        let mut b_only = 0usize;
-        for v in counts {
-            if v > 0 {
-                a_only += v as usize;
-            } else {
-                b_only += (-v) as usize;
-            }
-        }
-        return a_only.max(b_only);
+        return bag_distance_ascii(a, b);
     }
-    let mut counts: HashMap<char, isize> = HashMap::new();
+    crate::kernel::with_thread_scratch(|s| bag_distance_unicode(a, b, &mut s.bounds))
+}
+
+/// [`bag_distance_lower_bound`] with a caller-owned scratch table, for
+/// batch loops that hold a [`crate::kernel::KernelScratch`] and must not
+/// touch the thread-local one.
+pub fn bag_distance_lower_bound_with(a: &str, b: &str, scratch: &mut BoundsScratch) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        return bag_distance_ascii(a, b);
+    }
+    bag_distance_unicode(a, b, scratch)
+}
+
+/// ASCII path: a 128-slot stack table, no heap at all.
+fn bag_distance_ascii(a: &str, b: &str) -> usize {
+    let mut counts = [0i32; 128];
+    for &c in a.as_bytes() {
+        counts[c as usize] += 1;
+    }
+    for &c in b.as_bytes() {
+        counts[c as usize] -= 1;
+    }
+    let mut a_only = 0usize;
+    let mut b_only = 0usize;
+    for v in counts {
+        if v > 0 {
+            a_only += v as usize;
+        } else {
+            b_only += (-v) as usize;
+        }
+    }
+    a_only.max(b_only)
+}
+
+/// General path: reuses the scratch `HashMap` across calls.
+fn bag_distance_unicode(a: &str, b: &str, scratch: &mut BoundsScratch) -> usize {
+    let counts = &mut scratch.counts;
+    counts.clear();
     for c in a.chars() {
         *counts.entry(c).or_insert(0) += 1;
     }
@@ -135,6 +174,29 @@ mod tests {
             bag_distance_lower_bound("xyz", "xxyy"),
             bag_distance_lower_bound("xxyy", "xyz")
         );
+    }
+
+    #[test]
+    fn scratch_variant_matches_and_reuses_across_calls() {
+        let mut scratch = BoundsScratch::new();
+        let pairs = [
+            ("naïve café", "naive cafe"),
+            ("日本語", "日本"),
+            ("ααββ", "αβ"),
+            ("plain ascii", "ascii plain"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(
+                bag_distance_lower_bound_with(a, b, &mut scratch),
+                bag_distance_lower_bound(a, b),
+                "{a:?} vs {b:?}"
+            );
+            // A second call on the same scratch must not see stale counts.
+            assert_eq!(
+                bag_distance_lower_bound_with(a, b, &mut scratch),
+                bag_distance_lower_bound(a, b)
+            );
+        }
     }
 
     #[test]

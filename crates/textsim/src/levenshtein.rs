@@ -7,12 +7,21 @@
 //! `O(|a| · |b|)`. The bounded variant is what the DogmatiX pipeline uses:
 //! Definition 7 only needs to know whether the normalised distance is below
 //! `θ_tuple`, which caps the absolute distance at `θ_tuple · max(|a|,|b|)`.
+//!
+//! Both functions are allocation-free on the hot path: ASCII inputs run
+//! directly over the byte slices and other inputs decode into reusable
+//! thread-local buffers (see [`crate::kernel::KernelScratch`]). The banded
+//! DP here is also the reference implementation behind
+//! [`crate::kernel::ScalarKernel`], which the bit-parallel kernel
+//! ([`crate::myers`]) must match bit for bit.
+
+use crate::kernel::{with_thread_scratch, KernelScratch};
 
 /// Exact Levenshtein distance between `a` and `b`, counted in Unicode
 /// scalar values (not bytes).
 ///
-/// Uses the classic two-row dynamic program; `O(|a|·|b|)` time,
-/// `O(min(|a|,|b|))` space.
+/// Uses the classic two-row dynamic program; `O(|a|·|b|)` time, with the
+/// two rows held in reusable thread-local scratch.
 ///
 /// # Examples
 /// ```
@@ -25,25 +34,12 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     if a == b {
         return 0;
     }
-    let (short, long) = order_by_len(a, b);
-    let short: Vec<char> = short.chars().collect();
-    let long_len = long.chars().count();
-    if short.is_empty() {
-        return long_len;
-    }
-
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut curr: Vec<usize> = vec![0; short.len() + 1];
-
-    for (i, lc) in long.chars().enumerate() {
-        curr[0] = i + 1;
-        for (j, &sc) in short.iter().enumerate() {
-            let cost = usize::from(lc != sc);
-            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
-        }
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    prev[short.len()]
+    let la = char_count(a);
+    let lb = char_count(b);
+    let max_len = la.max(lb);
+    // A band as wide as the longer string covers the whole matrix, so
+    // the bounded DP degenerates to the exact one and always answers.
+    with_thread_scratch(|s| bounded_with(s, a, la, b, lb, max_len).unwrap_or(max_len))
 }
 
 /// Levenshtein distance if it is `<= max`, otherwise `None`.
@@ -64,23 +60,89 @@ pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
     if a == b {
         return Some(0);
     }
-    let (short, long) = order_by_len(a, b);
-    let short: Vec<char> = short.chars().collect();
-    let long: Vec<char> = long.chars().collect();
+    let la = char_count(a);
+    let lb = char_count(b);
+    with_thread_scratch(|s| bounded_with(s, a, la, b, lb, max))
+}
 
+/// Scalar values in `s`, with an O(bytes) ASCII fast path instead of a
+/// UTF-8 decode.
+#[inline]
+pub(crate) fn char_count(s: &str) -> usize {
+    if s.is_ascii() {
+        s.len()
+    } else {
+        s.chars().count()
+    }
+}
+
+/// One-shot banded distance with caller-supplied char counts, using
+/// `scratch` for the DP rows and any non-ASCII decode buffers.
+pub(crate) fn bounded_with(
+    scratch: &mut KernelScratch,
+    a: &str,
+    la: usize,
+    b: &str,
+    lb: usize,
+    max: usize,
+) -> Option<usize> {
+    // Any distance is at most the longer length, so a larger bound is
+    // equivalent and keeps the band arithmetic overflow-free.
+    let max = max.min(la.max(lb));
     // Length difference is a lower bound on the distance.
-    if long.len() - short.len() > max {
+    if la.abs_diff(lb) > max {
         return None;
     }
-    if short.is_empty() {
-        return Some(long.len());
+    if la.min(lb) == 0 {
+        return Some(la.max(lb)); // within max by the length guard
     }
+    if a.is_ascii() && b.is_ascii() {
+        let (short, long) = if la <= lb {
+            (a.as_bytes(), b.as_bytes())
+        } else {
+            (b.as_bytes(), a.as_bytes())
+        };
+        return banded(
+            short,
+            long,
+            max,
+            &mut scratch.prev_row,
+            &mut scratch.curr_row,
+        );
+    }
+    let (short, long) = if la <= lb { (a, b) } else { (b, a) };
+    scratch.pat_chars.clear();
+    scratch.pat_chars.extend(short.chars());
+    scratch.pat_chars_ready = false; // the decoded pattern no longer matches
+    scratch.text_chars.clear();
+    scratch.text_chars.extend(long.chars());
+    banded(
+        scratch.pat_chars.as_slice(),
+        scratch.text_chars.as_slice(),
+        max,
+        &mut scratch.prev_row,
+        &mut scratch.curr_row,
+    )
+}
+
+/// Ukkonen's banded two-row DP over pre-decoded symbol slices (`u8` for
+/// ASCII, `char` otherwise); `short` must be the shorter slice and both
+/// must be non-empty. `prev`/`curr` are reusable row buffers.
+pub(crate) fn banded<T: Copy + PartialEq>(
+    short: &[T],
+    long: &[T],
+    max: usize,
+    prev: &mut Vec<usize>,
+    curr: &mut Vec<usize>,
+) -> Option<usize> {
+    debug_assert!(!short.is_empty() && short.len() <= long.len());
+    debug_assert!(long.len() - short.len() <= max);
 
     const BIG: usize = usize::MAX / 2;
-    let mut prev: Vec<usize> = (0..=short.len())
-        .map(|j| if j <= max { j } else { BIG })
-        .collect();
-    let mut curr: Vec<usize> = vec![BIG; short.len() + 1];
+    prev.clear();
+    prev.extend((0..=short.len()).map(|j| if j <= max { j } else { BIG }));
+    curr.clear();
+    curr.resize(short.len() + 1, BIG);
 
     for (i, &lc) in long.iter().enumerate() {
         // Only columns within `max` of the diagonal can end up <= max.
@@ -109,21 +171,10 @@ pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
         if row_min > max {
             return None;
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
     let d = prev[short.len()];
     (d <= max).then_some(d)
-}
-
-/// Orders the pair so the first element is the shorter string (by bytes as
-/// a cheap proxy validated against char counts downstream — ordering does
-/// not change the distance, only the DP row length).
-fn order_by_len<'a>(a: &'a str, b: &'a str) -> (&'a str, &'a str) {
-    if a.chars().count() <= b.chars().count() {
-        (a, b)
-    } else {
-        (b, a)
-    }
 }
 
 #[cfg(test)]
@@ -172,6 +223,14 @@ mod tests {
     }
 
     #[test]
+    fn mixed_ascii_and_unicode_operands() {
+        // One ASCII operand, one not: exercises the decoded-chars path.
+        assert_eq!(levenshtein("cafe", "café"), 1);
+        assert_eq!(levenshtein_bounded("cafe", "café", 1), Some(1));
+        assert_eq!(levenshtein_bounded("café", "cafe", 0), None);
+    }
+
+    #[test]
     fn bounded_agrees_with_exact_when_within() {
         let pairs = [
             ("kitten", "sitting"),
@@ -200,6 +259,15 @@ mod tests {
     fn bounded_zero_max() {
         assert_eq!(levenshtein_bounded("x", "x", 0), Some(0));
         assert_eq!(levenshtein_bounded("x", "y", 0), None);
+    }
+
+    #[test]
+    fn bounded_huge_max_is_exact() {
+        // The bound is clamped internally, so even usize::MAX is safe.
+        assert_eq!(
+            levenshtein_bounded("kitten", "sitting", usize::MAX),
+            Some(3)
+        );
     }
 
     #[test]

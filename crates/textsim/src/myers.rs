@@ -1,0 +1,436 @@
+//! Myers' bit-parallel bounded edit distance.
+//!
+//! Computes the Levenshtein distance of a *pattern* against a *text* in
+//! `O(⌈m/64⌉ · n)` word operations instead of the `O(m · n)` cell
+//! operations of the scalar dynamic program, by packing the vertical
+//! delta vectors of the DP matrix into `u64` blocks (Myers, *A fast
+//! bit-vector algorithm for approximate string matching based on dynamic
+//! programming*, JACM 1999; block recurrence after Hyyrö 2003 and the
+//! Edlib formulation).
+//!
+//! The DogmatiX pipeline only ever needs **bounded** distances — Def. 7
+//! caps the admissible distance at `θ_tuple · max(len)` and the \[18\]
+//! lower bounds in [`crate::bounds`] reject most pairs before any DP
+//! runs — so the entry points here take a `max` and exit early as soon
+//! as the distance provably exceeds it. Results are exact: for every
+//! input the returned distance equals the scalar DP's, bit for bit.
+//!
+//! Batch callers should go through [`crate::kernel::BitParallelKernel`],
+//! which reuses the pattern preprocessing (the `Peq` bitmasks built by
+//! [`PatternMasks`]) across every text compared against the same
+//! pattern. The free function [`bounded`] is a self-contained
+//! convenience for one-off distances and differential tests.
+//!
+//! ```
+//! use dogmatix_textsim::myers;
+//! assert_eq!(myers::bounded("kitten", "sitting", 3), Some(3));
+//! assert_eq!(myers::bounded("kitten", "sitting", 2), None);
+//! ```
+
+/// Reusable `Peq` bitmask table for one pattern.
+///
+/// Maps each pattern character to a bitmask per 64-row block: bit `i` of
+/// block `b` is set iff pattern position `b·64 + i` holds that
+/// character. ASCII characters resolve through a direct 128-slot table
+/// (the `[u64; N]`-style mapped alphabet); anything else falls back to a
+/// small interning list scanned linearly — patterns are normalised term
+/// values, so the distinct-character count stays tiny.
+///
+/// Rebuilding for a new pattern reuses every allocation, so a scratch-
+/// resident `PatternMasks` amortises to zero allocations per pattern.
+#[derive(Debug)]
+pub struct PatternMasks {
+    /// Pattern length in Unicode scalar values.
+    m: usize,
+    /// `⌈m / 64⌉`.
+    blocks: usize,
+    /// ASCII byte → slot + 1 (0 = character absent from the pattern).
+    ascii: [u32; 128],
+    /// Interned non-ASCII pattern characters and their slots.
+    extra: Vec<(char, u32)>,
+    /// Flat `Peq` storage: `masks[slot * blocks + block]`. Slot 0 is the
+    /// all-zero "absent" row so lookups never branch.
+    masks: Vec<u64>,
+}
+
+impl Default for PatternMasks {
+    fn default() -> Self {
+        PatternMasks {
+            m: 0,
+            blocks: 0,
+            ascii: [0; 128],
+            extra: Vec::new(),
+            masks: Vec::new(),
+        }
+    }
+}
+
+impl PatternMasks {
+    /// Creates an empty table; call [`PatternMasks::set_pattern`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pattern length (in scalar values) of the last `set_pattern` call.
+    pub fn pattern_len(&self) -> usize {
+        self.m
+    }
+
+    /// (Re)builds the mask table for `pattern`, which must contain
+    /// `m > 0` scalar values. Reuses all prior allocations.
+    pub fn set_pattern(&mut self, pattern: &str, m: usize) {
+        debug_assert!(m > 0, "set_pattern needs a non-empty pattern");
+        debug_assert_eq!(m, pattern.chars().count());
+        let blocks = m.div_ceil(64);
+        self.m = m;
+        self.blocks = blocks;
+        self.ascii = [0; 128];
+        self.extra.clear();
+        self.masks.clear();
+        self.masks.resize(blocks, 0); // slot 0: absent characters
+        let mut next = 0u32;
+        for (i, c) in pattern.chars().enumerate() {
+            let code = c as u32;
+            let slot = if code < 128 {
+                let entry = &mut self.ascii[code as usize];
+                if *entry == 0 {
+                    next += 1;
+                    *entry = next;
+                    self.masks.resize(self.masks.len() + blocks, 0);
+                }
+                *entry
+            } else if let Some(&(_, s)) = self.extra.iter().find(|&&(ec, _)| ec == c) {
+                s
+            } else {
+                next += 1;
+                self.extra.push((c, next));
+                self.masks.resize(self.masks.len() + blocks, 0);
+                next
+            };
+            self.masks[slot as usize * blocks + i / 64] |= 1u64 << (i % 64);
+        }
+    }
+
+    /// Slot of an ASCII text byte (0 when absent from the pattern).
+    #[inline]
+    fn slot_byte(&self, b: u8) -> usize {
+        self.ascii[(b & 0x7f) as usize] as usize
+    }
+
+    /// Slot of an arbitrary text character (0 when absent).
+    #[inline]
+    fn slot_char(&self, c: char) -> usize {
+        let code = c as u32;
+        if code < 128 {
+            self.ascii[code as usize] as usize
+        } else {
+            self.extra
+                .iter()
+                .find(|&&(ec, _)| ec == c)
+                .map_or(0, |&(_, s)| s as usize)
+        }
+    }
+
+    /// `Peq` mask of `slot` for block `block`.
+    #[inline]
+    fn eq_mask(&self, slot: usize, block: usize) -> u64 {
+        self.masks[slot * self.blocks + block]
+    }
+}
+
+/// One column step of one 64-row block (the Myers/Hyyrö recurrence in
+/// the Edlib arrangement). `hin`/the return value are the horizontal
+/// deltas entering the block's top row and leaving through the row
+/// selected by `out_bit` — bit 63 for interior blocks, the true last
+/// pattern row for the final block.
+#[inline]
+fn advance_block(vp: &mut u64, vn: &mut u64, mut eq: u64, hin: i32, out_bit: u64) -> i32 {
+    let hin_neg = (hin < 0) as u64;
+    let xv = eq | *vn;
+    eq |= hin_neg;
+    let xh = (((eq & *vp).wrapping_add(*vp)) ^ *vp) | eq;
+    let mut ph = *vn | !(xh | *vp);
+    let mut mh = *vp & xh;
+    let mut hout = 0i32;
+    if ph & out_bit != 0 {
+        hout = 1;
+    } else if mh & out_bit != 0 {
+        hout = -1;
+    }
+    ph <<= 1;
+    mh <<= 1;
+    mh |= hin_neg;
+    if hin > 0 {
+        ph |= 1;
+    }
+    *vp = mh | !(xv | ph);
+    *vn = ph & xv;
+    hout
+}
+
+/// Bounded distance of a prepared pattern (`masks`, m > 0) against
+/// `text` with `n` scalar values; `vp`/`vn` are reusable column-state
+/// buffers for the multi-block path. Returns `Some(d)` iff `d <= max`.
+///
+/// After consuming text position `i` the tracked score is the DP cell
+/// `D[m][i+1]`; each remaining text character can lower the final cell
+/// by at most one, so `score > max + remaining` proves the distance
+/// exceeds `max` and the scan aborts.
+pub(crate) fn bounded_prepared(
+    masks: &PatternMasks,
+    text: &str,
+    n: usize,
+    max: usize,
+    vp_buf: &mut Vec<u64>,
+    vn_buf: &mut Vec<u64>,
+) -> Option<usize> {
+    let m = masks.m;
+    debug_assert!(m > 0, "prepare the pattern before querying");
+    debug_assert_eq!(n, text.chars().count());
+    if m.abs_diff(n) > max {
+        return None;
+    }
+    if n == 0 {
+        return Some(m); // m <= max by the length guard
+    }
+    if masks.blocks == 1 {
+        bounded_single_block(masks, text, n, max)
+    } else {
+        bounded_multi_block(masks, text, n, max, vp_buf, vn_buf)
+    }
+}
+
+/// Single-block (`m <= 64`) specialisation: the whole column state lives
+/// in two registers.
+fn bounded_single_block(masks: &PatternMasks, text: &str, n: usize, max: usize) -> Option<usize> {
+    let m = masks.m;
+    let out_bit = 1u64 << (m - 1);
+    let mut vp: u64 = if m == 64 { !0 } else { (1u64 << m) - 1 };
+    let mut vn: u64 = 0;
+    let mut score = m;
+    if text.is_ascii() {
+        for (i, &b) in text.as_bytes().iter().enumerate() {
+            let eq = masks.eq_mask(masks.slot_byte(b), 0);
+            score =
+                score.wrapping_add_signed(advance_block(&mut vp, &mut vn, eq, 1, out_bit) as isize);
+            if score > max + (n - i - 1) {
+                return None;
+            }
+        }
+    } else {
+        for (i, c) in text.chars().enumerate() {
+            let eq = masks.eq_mask(masks.slot_char(c), 0);
+            score =
+                score.wrapping_add_signed(advance_block(&mut vp, &mut vn, eq, 1, out_bit) as isize);
+            if score > max + (n - i - 1) {
+                return None;
+            }
+        }
+    }
+    (score <= max).then_some(score)
+}
+
+/// Multi-block path for patterns longer than 64 scalar values: blocks
+/// are chained through their horizontal deltas, the score is tracked at
+/// the true last pattern row (garbage in the final block's padding bits
+/// only ever flows upward, away from it).
+fn bounded_multi_block(
+    masks: &PatternMasks,
+    text: &str,
+    n: usize,
+    max: usize,
+    vp_buf: &mut Vec<u64>,
+    vn_buf: &mut Vec<u64>,
+) -> Option<usize> {
+    let m = masks.m;
+    let blocks = masks.blocks;
+    let last = blocks - 1;
+    let out_bit = 1u64 << ((m - 1) % 64);
+    vp_buf.clear();
+    vp_buf.resize(blocks, !0u64);
+    vn_buf.clear();
+    vn_buf.resize(blocks, 0u64);
+    let mut score = m;
+    for (i, c) in text.chars().enumerate() {
+        let slot = if (c as u32) < 128 {
+            masks.slot_byte(c as u32 as u8)
+        } else {
+            masks.slot_char(c)
+        };
+        let mut hin = 1i32;
+        for b in 0..last {
+            hin = advance_block(
+                &mut vp_buf[b],
+                &mut vn_buf[b],
+                masks.eq_mask(slot, b),
+                hin,
+                1u64 << 63,
+            );
+        }
+        let hout = advance_block(
+            &mut vp_buf[last],
+            &mut vn_buf[last],
+            masks.eq_mask(slot, last),
+            hin,
+            out_bit,
+        );
+        score = score.wrapping_add_signed(hout as isize);
+        if score > max + (n - i - 1) {
+            return None;
+        }
+    }
+    (score <= max).then_some(score)
+}
+
+/// Self-contained bounded distance: `Some(d)` iff the Levenshtein
+/// distance `d` of `a` and `b` satisfies `d <= max`.
+///
+/// Allocates its own pattern table and column state; batch callers
+/// should prefer [`crate::kernel::BitParallelKernel`], which amortises
+/// the pattern preprocessing across a whole posting group.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::myers;
+/// assert_eq!(myers::bounded("The Matrix", "The Motrix", 2), Some(1));
+/// assert_eq!(myers::bounded("Boston", "New York", 7), Some(7));
+/// assert_eq!(myers::bounded("same", "same", 0), Some(0));
+/// assert_eq!(myers::bounded("x", "y", 0), None);
+/// ```
+pub fn bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    let m = a.chars().count();
+    let n = b.chars().count();
+    let max = max.min(m.max(n));
+    if m.abs_diff(n) > max {
+        return None;
+    }
+    if m == 0 || n == 0 {
+        return Some(m.max(n)); // within max by the length guard
+    }
+    let mut masks = PatternMasks::new();
+    masks.set_pattern(a, m);
+    let mut vp = Vec::new();
+    let mut vn = Vec::new();
+    bounded_prepared(&masks, b, n, max, &mut vp, &mut vn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::{levenshtein, levenshtein_bounded};
+
+    #[test]
+    fn agrees_with_scalar_on_classics() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("flaw", "lawn"),
+            ("gumbo", "gambol"),
+            ("book", "back"),
+            ("The Matrix", "Matrix"),
+            ("Boston", "Los Angeles"),
+            ("Boston", "New York"),
+            ("", "abc"),
+            ("abc", ""),
+            ("same", "same"),
+        ];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            for max in [d.saturating_sub(1), d, d + 1, d + 10] {
+                assert_eq!(
+                    bounded(a, b, max),
+                    levenshtein_bounded(a, b, max),
+                    "{a:?} vs {b:?} max={max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_boundary_64_and_65() {
+        // Patterns of exactly 64 and 65 chars straddle the single/multi
+        // block split; texts probe substitutions at both ends.
+        for m in [63, 64, 65, 128, 129] {
+            let a: String = (0..m).map(|i| (b'a' + (i % 26) as u8) as char).collect();
+            let mut head = a.clone();
+            head.replace_range(0..1, "!");
+            let mut tail = a.clone();
+            tail.replace_range(m - 1..m, "!");
+            let longer = format!("{a}xyz");
+            for b in [a.clone(), head, tail, longer, String::new()] {
+                let d = levenshtein(&a, &b);
+                for max in [0, 1, d.saturating_sub(1), d, d + 2] {
+                    assert_eq!(
+                        bounded(&a, &b, max),
+                        levenshtein_bounded(&a, &b, max),
+                        "m={m} b={b:?} max={max}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_max_is_equality() {
+        assert_eq!(bounded("abc", "abc", 0), Some(0));
+        assert_eq!(bounded("abc", "abd", 0), None);
+        assert_eq!(bounded("", "", 0), Some(0));
+        assert_eq!(bounded("", "a", 0), None);
+    }
+
+    #[test]
+    fn mixed_alphabets_intern_beyond_ascii() {
+        let pairs = [
+            ("Bär", "Bar"),
+            ("日本語", "日本"),
+            ("naïve café", "naive cafe"),
+            ("ααββγγ", "αβγ"),
+            ("διacritics", "diacritics"),
+        ];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            assert_eq!(bounded(a, b, d), Some(d), "{a:?} vs {b:?}");
+            if d > 0 {
+                assert_eq!(bounded(a, b, d - 1), None, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reused_masks_forget_the_previous_pattern() {
+        let mut masks = PatternMasks::new();
+        let mut vp = Vec::new();
+        let mut vn = Vec::new();
+        masks.set_pattern("zzzzzz", 6);
+        assert_eq!(
+            bounded_prepared(&masks, "zzzzzz", 6, 0, &mut vp, &mut vn),
+            Some(0)
+        );
+        // Rebuild with a disjoint alphabet: stale 'z' slots must be gone.
+        masks.set_pattern("kitten", 6);
+        assert_eq!(
+            bounded_prepared(&masks, "sitting", 7, 3, &mut vp, &mut vn),
+            Some(3)
+        );
+        assert_eq!(
+            bounded_prepared(&masks, "zzzzzz", 6, 6, &mut vp, &mut vn),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn long_unicode_multi_block() {
+        let a: String = (0..150)
+            .map(|i| if i % 5 == 0 { 'λ' } else { 'x' })
+            .collect();
+        let (start, ch) = a.char_indices().nth(70).unwrap();
+        let mut b = a.clone();
+        b.replace_range(start..start + ch.len_utf8(), "Q");
+        let d = levenshtein(&a, &b);
+        assert_eq!(d, 1);
+        assert_eq!(bounded(&a, &b, 1), Some(1));
+        assert_eq!(bounded(&a, &b, 0), None);
+    }
+}

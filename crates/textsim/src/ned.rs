@@ -3,9 +3,16 @@
 //! `ned(s_i, s_j)` is "the edit distance between two strings s_i and s_j
 //! normalized by the maximum of the two strings' length". Values lie in
 //! `[0, 1]`, where 0 means identical and 1 means maximally different.
+//!
+//! Both entry points are thin wrappers over the default
+//! [`crate::kernel::BitParallelKernel`], so every caller — the filter's
+//! q-gram verification, the probe path, the baseline measures — gets the
+//! bit-parallel speedup without code changes. Kernels are exact, so the
+//! values are identical to the scalar DP's.
 
-use crate::bounds::{bag_distance_lower_bound, length_lower_bound};
-use crate::levenshtein::{levenshtein, levenshtein_bounded};
+use crate::bounds::{bag_distance_lower_bound_with, length_lower_bound};
+use crate::kernel::{with_thread_scratch, BitParallelKernel, EditDistanceKernel};
+use crate::levenshtein::char_count;
 
 /// Normalised edit distance: `levenshtein(a, b) / max(|a|, |b|)`.
 ///
@@ -23,11 +30,18 @@ use crate::levenshtein::{levenshtein, levenshtein_bounded};
 /// assert!((ned("Boston", "New York") - 7.0 / 8.0).abs() < 1e-12);
 /// ```
 pub fn ned(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
-    if max_len == 0 {
-        return 0.0;
+    if a == b {
+        return 0.0; // also covers the two-empty-strings convention
     }
-    levenshtein(a, b) as f64 / max_len as f64
+    let la = char_count(a);
+    let lb = char_count(b);
+    let max_len = la.max(lb); // > 0: a != b rules out both being empty
+    let d = with_thread_scratch(|s| {
+        BitParallelKernel
+            .bounded_counted(s, a, la, b, lb, max_len)
+            .unwrap_or(max_len) // unreachable: any distance is <= max_len
+    });
+    d as f64 / max_len as f64
 }
 
 /// Normalised edit distance if it is strictly below `threshold`, else `None`.
@@ -39,7 +53,7 @@ pub fn ned(a: &str, b: &str) -> f64 {
 ///
 /// 1. the length-difference lower bound,
 /// 2. the bag-distance lower bound (multiset difference, from \[18\]),
-/// 3. the banded early-exit Levenshtein.
+/// 3. the banded early-exit edit distance through the bit-parallel kernel.
 ///
 /// # Examples
 /// ```
@@ -52,29 +66,41 @@ pub fn ned(a: &str, b: &str) -> f64 {
 /// ```
 pub fn ned_within(a: &str, b: &str, threshold: f64) -> Option<f64> {
     debug_assert!((0.0..=1.0).contains(&threshold));
-    let la = a.chars().count();
-    let lb = b.chars().count();
+    let la = char_count(a);
+    let lb = char_count(b);
     let max_len = la.max(lb);
     if max_len == 0 {
         // Identical empty strings: distance 0, below any positive threshold.
         return (threshold > 0.0).then_some(0.0);
     }
-    // Strict inequality: distance must be < threshold * max_len, so the
-    // largest admissible integer distance is ceil(threshold*max_len) - 1.
     let max_edits = strict_cap(threshold, max_len)?;
     if length_lower_bound(la, lb) > max_edits {
         return None;
     }
-    if bag_distance_lower_bound(a, b) > max_edits {
-        return None;
-    }
-    let d = levenshtein_bounded(a, b, max_edits)?;
+    let d = with_thread_scratch(|s| {
+        if bag_distance_lower_bound_with(a, b, &mut s.bounds) > max_edits {
+            return None;
+        }
+        BitParallelKernel.bounded_counted(s, a, la, b, lb, max_edits)
+    })?;
     Some(d as f64 / max_len as f64)
 }
 
 /// Largest integer `d` with `d / max_len < threshold`, or `None` if no
 /// distance (not even 0) satisfies the strict bound.
-fn strict_cap(threshold: f64, max_len: usize) -> Option<usize> {
+///
+/// This is the band the paper's strict `odtDist < θ_tuple` comparison
+/// admits; kernel callers use it to bound the DP before any character is
+/// looked at.
+///
+/// # Examples
+/// ```
+/// use dogmatix_textsim::strict_cap;
+/// assert_eq!(strict_cap(0.15, 10), Some(1)); // d <= 1: 1/10 < 0.15 < 2/10
+/// assert_eq!(strict_cap(0.5, 2), Some(0));   // d < 1 means d = 0
+/// assert_eq!(strict_cap(0.0, 7), None);      // nothing is < 0
+/// ```
+pub fn strict_cap(threshold: f64, max_len: usize) -> Option<usize> {
     if threshold <= 0.0 {
         return None;
     }
@@ -152,6 +178,14 @@ mod tests {
     fn empty_pair_matches_any_positive_threshold() {
         assert_eq!(ned_within("", "", 0.15), Some(0.0));
         assert_eq!(ned_within("", "", 0.0), None);
+    }
+
+    #[test]
+    fn non_ascii_pairs_go_through_the_scratch_bounds() {
+        // Forces the unicode bag-distance path inside the thread scratch.
+        let d = ned_within("naïve café", "naïve cafe", 0.3).unwrap();
+        assert!((d - 0.1).abs() < 1e-12);
+        assert_eq!(ned_within("ααββγγ", "xxyyzz", 0.5), None);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Differential suite for the edit-distance kernels: for ANY pair of
+//! strings (random Unicode, mixed alphabets, multi-block lengths) and
+//! ANY bound, `myers` == scalar DP == an independent full-matrix
+//! reference — exact integer equality, the bit-identity contract of
+//! `EditDistanceKernel`.
+//!
+//! Honours the `PROPTEST_CASES` environment override (ci.sh raises it).
+
+use dogmatix_textsim::kernel::{
+    BitParallelKernel, EditDistanceKernel, KernelScratch, ScalarKernel,
+};
+use dogmatix_textsim::{levenshtein, levenshtein_bounded, myers};
+use proptest::prelude::*;
+
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Independent reference: the textbook full-matrix DP, written against
+/// no shared code so a common bug cannot hide.
+fn reference_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ac) in a.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = i + 1;
+        for (j, &bc) in b.iter().enumerate() {
+            let cost = if ac == bc { diag } else { diag + 1 };
+            diag = row[j + 1];
+            row[j + 1] = cost.min(row[j] + 1).min(diag + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// A random string over a randomly chosen alphabet family. Small, highly
+/// colliding alphabets make interesting distances; the mixed family
+/// forces the char-interning fallback; lengths up to 140 cross the
+/// 64-char block boundary.
+fn string_strategy() -> impl Strategy<Value = String> {
+    let from = |alphabet: &'static [char], max_len: usize| {
+        proptest::collection::vec(0usize..alphabet.len(), 0..max_len)
+            .prop_map(move |ixs| ixs.into_iter().map(|i| alphabet[i]).collect())
+    };
+    const SMALL: &[char] = &['a', 'b', 'c', ' '];
+    const WIDE: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'T', 'M', 'x', '0', '1', '9', ' ', '-', '.', '/',
+    ];
+    const MIXED: &[char] = &[
+        'a', 'b', ' ', 'ä', 'é', 'α', 'β', '日', '本', '語', '€', 'ß',
+    ];
+    prop_oneof![
+        3 => from(SMALL, 30),
+        3 => from(WIDE, 30),
+        2 => from(MIXED, 30),
+        // Multi-block territory: patterns and texts beyond 64 chars.
+        2 => from(WIDE, 140),
+        1 => from(MIXED, 140),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    #[test]
+    fn myers_equals_scalar_dp_at_every_bound(pair in (string_strategy(), string_strategy()), max in 0usize..40) {
+        let (a, b) = pair;
+        let reference = reference_distance(&a, &b);
+        prop_assert_eq!(levenshtein(&a, &b), reference, "scalar exact vs reference: {:?} {:?}", &a, &b);
+
+        // Probe the interesting bounds: the random one, both sides of the
+        // true distance, and the degenerate 0.
+        for cap in [max, reference, reference.saturating_sub(1), reference + 1, 0] {
+            let want = (reference <= cap).then_some(reference);
+            prop_assert_eq!(
+                myers::bounded(&a, &b, cap), want,
+                "myers vs reference: {:?} {:?} cap={}", &a, &b, cap
+            );
+            prop_assert_eq!(
+                levenshtein_bounded(&a, &b, cap), want,
+                "banded scalar vs reference: {:?} {:?} cap={}", &a, &b, cap
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_kernels_agree_over_batches(pattern in string_strategy(), texts in proptest::collection::vec(string_strategy(), 1..8), max in 0usize..40) {
+        // The batch shape of the scoring loop: one prepared pattern,
+        // many texts, one scratch per kernel.
+        let m = pattern.chars().count();
+        let mut scalar_scratch = KernelScratch::new();
+        let mut bitpar_scratch = KernelScratch::new();
+        ScalarKernel.prepare(&mut scalar_scratch, &pattern, m);
+        BitParallelKernel.prepare(&mut bitpar_scratch, &pattern, m);
+        for text in &texts {
+            let n = text.chars().count();
+            let reference = reference_distance(&pattern, text);
+            let want = (reference <= max).then_some(reference);
+            prop_assert_eq!(
+                ScalarKernel.bounded_prepared(&mut scalar_scratch, text, n, max),
+                want,
+                "scalar kernel: {:?} vs {:?} max={}", &pattern, text, max
+            );
+            prop_assert_eq!(
+                BitParallelKernel.bounded_prepared(&mut bitpar_scratch, text, n, max),
+                want,
+                "bitpar kernel: {:?} vs {:?} max={}", &pattern, text, max
+            );
+        }
+    }
+}
+
+#[test]
+fn directed_block_boundary_and_zero_max() {
+    // 64/65-char patterns sit exactly on the single/multi block split.
+    let a64: String = "a".repeat(64);
+    let a65: String = "a".repeat(65);
+    let mut scratch = KernelScratch::new();
+    for pattern in [&a64, &a65] {
+        let m = pattern.chars().count();
+        for (text, d) in [
+            (pattern.clone(), 0),
+            (format!("{pattern}b"), 1),
+            (format!("b{pattern}"), 1),
+            (pattern[1..].to_string(), 1),
+            (pattern.replacen('a', "z", 1), 1),
+        ] {
+            let n = text.chars().count();
+            assert_eq!(reference_distance(pattern, &text), d);
+            for kernel in [&ScalarKernel as &dyn EditDistanceKernel, &BitParallelKernel] {
+                kernel.prepare(&mut scratch, pattern, m);
+                assert_eq!(
+                    kernel.bounded_prepared(&mut scratch, &text, n, d),
+                    Some(d),
+                    "{} m={m} text={text:?}",
+                    kernel.name()
+                );
+                let verdict_at_zero = kernel.bounded_prepared(&mut scratch, &text, n, 0);
+                assert_eq!(verdict_at_zero, (d == 0).then_some(0));
+            }
+        }
+    }
+}

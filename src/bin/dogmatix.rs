@@ -14,6 +14,10 @@
 //!   --theta-cand <f>       duplicate threshold               (default 0.55)
 //!   --threads <N>          comparison worker threads; 0 = all cores
 //!                          (default 0)
+//!   --edit-kernel <k>      edit-distance kernel for the comparison
+//!                          phase: 'bitpar' (Myers' bit-parallel
+//!                          algorithm, default) or 'scalar' (banded DP);
+//!                          kernels are exact, so results are identical
 //!   --blocking <qgram|lsh> replace the object filter with a blocking
 //!                          stage: a positional q-gram index (q = 2,
 //!                          provable superset at θ_tuple) or banded
@@ -75,6 +79,7 @@ use dogmatix_repro::core::heuristics::{table4_heuristic, HeuristicExpr};
 use dogmatix_repro::core::incremental::DocumentDelta;
 use dogmatix_repro::core::pipeline::{DetectionResult, Dogmatix};
 use dogmatix_repro::core::probe::{ProbeBlocking, ProbeScratch, ProbeSnapshot};
+use dogmatix_repro::core::sim::EditKernelChoice;
 use dogmatix_repro::core::Mapping;
 use dogmatix_repro::xml::{Document, Schema};
 use std::process::ExitCode;
@@ -90,6 +95,7 @@ struct Options {
     theta_tuple: f64,
     theta_cand: f64,
     threads: usize,
+    edit_kernel: EditKernelChoice,
     blocking: Option<Blocking>,
     shards: Option<usize>,
     index_save: Option<String>,
@@ -138,6 +144,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--theta-tuple",
     "--theta-cand",
     "--threads",
+    "--edit-kernel",
     "--blocking",
     "--shards",
     "--index-save",
@@ -182,6 +189,7 @@ fn parse_args() -> Result<Options, String> {
         theta_tuple: 0.15,
         theta_cand: 0.55,
         threads: 0,
+        edit_kernel: EditKernelChoice::default(),
         blocking: None,
         shards: None,
         index_save: None,
@@ -227,6 +235,7 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--threads must be a non-negative integer".to_string())?
             }
+            "--edit-kernel" => opts.edit_kernel = value("--edit-kernel")?.parse()?,
             "--blocking" => opts.blocking = Some(value("--blocking")?.parse()?),
             "--shards" => {
                 opts.shards = Some(
@@ -298,7 +307,8 @@ const HELP: &str = "usage: dogmatix <input.xml> --type <NAME> \
 [--mapping m.txt | --candidates /path] [--schema s.xsd] \
 [--heuristic rd:<r>|ra:<r>|kc:<k>|auto] [--exp 1..8] \
 [--theta-tuple f] [--theta-cand f] [--threads N] \
-[--blocking qgram|lsh] [--shards N] [--no-filter] [--fuse] \
+[--edit-kernel scalar|bitpar] [--blocking qgram|lsh] \
+[--shards N] [--no-filter] [--fuse] \
 [--index-save f | --index-load f] [--index-paged [--mem-budget bytes]] \
 [--output out.xml] [--deltas script.txt] \
 [--probe '<xml>' [--probe-k N]] [--emit-queries]";
@@ -376,7 +386,8 @@ fn run(opts: Options) -> Result<(), String> {
         .heuristic(heuristic)
         .theta_tuple(opts.theta_tuple)
         .theta_cand(opts.theta_cand)
-        .threads(opts.threads);
+        .threads(opts.threads)
+        .edit_kernel(opts.edit_kernel);
     if !opts.use_filter {
         builder = builder.no_filter();
     }

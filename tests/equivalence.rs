@@ -382,6 +382,77 @@ fn every_public_stage_impl_is_exercised() {
     assert!(manual.stats.pairs_compared > 0);
 }
 
+/// The edit-distance kernels are exact, so `--edit-kernel scalar` and
+/// `--edit-kernel bitpar` must produce bit-identical `DetectionResult`s
+/// — same pairs, same similarity values — on both corpora, sequential
+/// and sharded, whether selected through the builder or through an
+/// explicit `SoftIdfMeasure::with_kernel` stage.
+#[test]
+fn edit_kernel_equivalence_on_both_corpora() {
+    use dogmatix_repro::core::sim::{EditKernelChoice, SoftIdfMeasure};
+
+    let cd = {
+        let (doc, _) = dataset1_sized(21, 60);
+        (
+            doc,
+            setup::cd_schema(),
+            setup::cd_mapping(),
+            table4_heuristic(HeuristicExpr::k_closest_descendants(6), 1),
+            setup::CD_TYPE,
+        )
+    };
+    let movie = {
+        let (doc, _) = dataset2_sized(7, 40);
+        let schema = setup::movie_schema(&doc);
+        (
+            doc,
+            schema,
+            setup::movie_mapping(),
+            table4_heuristic(HeuristicExpr::r_distant_descendants(2), 2),
+            setup::MOVIE_TYPE,
+        )
+    };
+    for (tag, (doc, schema, mapping, heuristic, rw_type)) in [("cd", cd), ("movie", movie)] {
+        let build = |choice: EditKernelChoice, shards: Option<usize>| {
+            let mut b = Dogmatix::builder()
+                .mapping(mapping.clone())
+                .heuristic(heuristic.clone())
+                .theta_tuple(setup::THETA_TUPLE)
+                .theta_cand(setup::THETA_CAND)
+                .edit_kernel(choice);
+            if let Some(shards) = shards {
+                b = b.sharded(shards);
+            }
+            b.build().run(&doc, &schema, rw_type).expect("run succeeds")
+        };
+        let reference = build(EditKernelChoice::BitParallel, None);
+        assert!(
+            !reference.duplicate_pairs.is_empty(),
+            "{tag} has duplicates"
+        );
+        for choice in [EditKernelChoice::Scalar, EditKernelChoice::BitParallel] {
+            for shards in [None, Some(2usize), Some(0)] {
+                let result = build(choice, shards);
+                assert_eq!(
+                    reference, result,
+                    "{tag}: kernel {choice} (shards {shards:?}) diverged"
+                );
+            }
+            // The explicit-measure spelling of the same selection.
+            let explicit = Dogmatix::builder()
+                .mapping(mapping.clone())
+                .heuristic(heuristic.clone())
+                .theta_tuple(setup::THETA_TUPLE)
+                .theta_cand(setup::THETA_CAND)
+                .measure(SoftIdfMeasure::with_kernel(setup::THETA_TUPLE, choice))
+                .build()
+                .run(&doc, &schema, rw_type)
+                .expect("run succeeds");
+            assert_eq!(reference, explicit, "{tag}: explicit {choice} diverged");
+        }
+    }
+}
+
 /// The paged (v2) backend is an out-of-core drop-in: on both corpora,
 /// sequential and sharded, its results are bit-identical to the
 /// in-memory build while its buffer pool provably stays under a budget
